@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the analytical model: the continuous
+//! two-voltage optimization (numeric scan) and the discrete `Emin(y)`
+//! scan, which together generate the savings surfaces of Figs. 5–11.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvs_model::{ContinuousModel, DiscreteModel, ProgramParams};
+use dvs_vf::{AlphaPower, VoltageLadder};
+
+fn memory_bound() -> ProgramParams {
+    ProgramParams {
+        n_overlap: 1.0e6,
+        n_dependent: 6.0e5,
+        n_cache: 3.0e5,
+        t_invariant_us: 2000.0,
+    }
+}
+
+fn continuous_optimal(c: &mut Criterion) {
+    let m = ContinuousModel::paper();
+    let p = memory_bound();
+    c.bench_function("continuous_optimal", |bench| {
+        bench.iter(|| m.optimal(&p, 3000.0).expect("feasible"));
+    });
+}
+
+fn discrete_optimal(c: &mut Criterion) {
+    let ladder = VoltageLadder::interpolated(&AlphaPower::paper(), 7).expect("ladder");
+    let m = DiscreteModel::new(ladder);
+    let p = memory_bound();
+    c.bench_function("discrete_optimal_7_levels", |bench| {
+        bench.iter(|| m.optimal(&p, 3400.0).expect("feasible"));
+    });
+}
+
+fn savings_surface_row(c: &mut Criterion) {
+    let ladder = VoltageLadder::interpolated(&AlphaPower::paper(), 7).expect("ladder");
+    let m = DiscreteModel::new(ladder);
+    c.bench_function("fig9_surface_row", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..17 {
+                let nov = 2.0e5 + 1.0e5 * f64::from(i);
+                let p = ProgramParams {
+                    n_overlap: nov,
+                    n_dependent: 6.0e5,
+                    n_cache: 2.0e5,
+                    t_invariant_us: 1000.0,
+                };
+                acc += m.savings(&p, 5200.0).unwrap_or(0.0);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, continuous_optimal, discrete_optimal, savings_surface_row);
+criterion_main!(benches);

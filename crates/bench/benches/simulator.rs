@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the cycle-level simulator: instruction
+//! throughput of the fixed-frequency model and of the scheduled (DVS)
+//! executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvs_sim::{EdgeSchedule, Machine};
+use dvs_vf::{AlphaPower, ModeId, OperatingPoint, TransitionModel, VoltageLadder};
+use dvs_workloads::Benchmark;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_run");
+    group.sample_size(10);
+    for b in [Benchmark::GsmEncode, Benchmark::Ghostscript] {
+        let cfg = b.build_cfg();
+        let mut input = b.default_input();
+        input.iterations = input.iterations / 4;
+        let trace = b.trace(&cfg, &input);
+        let machine = Machine::paper_default();
+        let insts = trace.dynamic_inst_count(&cfg);
+        group.throughput(Throughput::Elements(insts));
+        group.bench_with_input(BenchmarkId::from_parameter(b.name()), &trace, |bench, t| {
+            bench.iter(|| machine.run(&cfg, t, OperatingPoint::new(1.65, 800.0)));
+        });
+    }
+    group.finish();
+}
+
+fn scheduled_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_run_scheduled");
+    group.sample_size(10);
+    let b = Benchmark::GsmEncode;
+    let cfg = b.build_cfg();
+    let mut input = b.default_input();
+    input.iterations /= 4;
+    let trace = b.trace(&cfg, &input);
+    let machine = Machine::paper_default();
+    let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+    let tm = TransitionModel::with_capacitance_uf(0.05);
+    let mut schedule = EdgeSchedule::uniform(&cfg, ModeId(1));
+    // Force per-iteration switching to benchmark the worst case.
+    for e in cfg.edges() {
+        if e.src == e.dst {
+            schedule.edge_modes[e.id.index()] = ModeId(0);
+        }
+    }
+    group.throughput(Throughput::Elements(trace.dynamic_inst_count(&cfg)));
+    group.bench_function("gsm_switchy", |bench| {
+        bench.iter(|| machine.run_scheduled(&cfg, &trace, &ladder, &schedule, &tm));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, scheduled_executor);
+criterion_main!(benches);

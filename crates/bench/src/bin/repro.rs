@@ -1,0 +1,66 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all            # every experiment, in paper order
+//! repro table6 fig15   # specific experiments
+//! repro --list         # show available ids
+//! ```
+//!
+//! Each report is printed to stdout and written to `results/<id>.txt` and
+//! `results/<id>.csv`.
+
+use dvs_bench::{run_experiment, Context, ALL_EXPERIMENTS};
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] <experiment-id>... | all");
+        eprintln!("ids: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let out_dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+
+    let mut ctx = Context::new();
+    let mut failures = 0;
+    for id in ids {
+        let t0 = Instant::now();
+        match run_experiment(&mut ctx, id) {
+            Ok(report) => {
+                let text = report.render();
+                println!("{text}");
+                println!("   [{id} completed in {:.2} s]\n", t0.elapsed().as_secs_f64());
+                let _ = fs::write(out_dir.join(format!("{id}.txt")), &text);
+                let _ = fs::write(out_dir.join(format!("{id}.csv")), report.to_csv());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

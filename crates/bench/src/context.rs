@@ -1,0 +1,136 @@
+use dvs_compiler::DeadlineScheme;
+use dvs_ir::{Cfg, Profile};
+use dvs_sim::{Machine, ModeProfiler, RunStats, Trace};
+use dvs_vf::{AlphaPower, VoltageLadder};
+use dvs_workloads::Benchmark;
+use std::collections::HashMap;
+
+/// Cached per-benchmark artifacts: CFG, default-input trace, deadline
+/// scheme, and one profile per ladder size.
+pub struct BenchData {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Its CFG.
+    pub cfg: Cfg,
+    /// Trace of the suite-default input.
+    pub trace: Trace,
+    /// Fig.-16 deadline scheme measured at the XScale 200/600/800 points.
+    pub scheme: DeadlineScheme,
+    profiles: HashMap<usize, (Profile, Vec<RunStats>)>,
+}
+
+impl BenchData {
+    /// The cached profile for an `levels`-mode ladder, computing it on
+    /// first use.
+    pub fn profile(&mut self, machine: &Machine, levels: usize) -> &(Profile, Vec<RunStats>) {
+        self.profiles.entry(levels).or_insert_with(|| {
+            let ladder = ladder_of(levels);
+            ModeProfiler::new(machine.clone()).profile(&self.cfg, &self.trace, &ladder)
+        })
+    }
+}
+
+/// The paper's Table 4 runtimes at 200 MHz, in µs, used to scale regulator
+/// capacitances so each benchmark keeps the paper's transition-cost to
+/// runtime ratio despite our ~10-350x shorter scaled-down inputs.
+#[must_use]
+pub fn paper_t200_us(benchmark: Benchmark) -> f64 {
+    match benchmark {
+        Benchmark::AdpcmEncode => 29_500.0,
+        Benchmark::MpegDecode => 557_600.0,
+        Benchmark::GsmEncode => 334_000.0,
+        Benchmark::Epic => 152_600.0,
+        Benchmark::Ghostscript => 2_000.0,
+        Benchmark::Mpg123 => 177_700.0,
+    }
+}
+
+/// The scale-equivalent of the paper's "typical" 10 µF regulator for
+/// `benchmark`: capacitance shrinks with the runtime ratio, so a transition
+/// costs the same *fraction* of the run as the paper's 12 µs / 1.2 µJ did.
+#[must_use]
+pub fn scaled_capacitance_uf(benchmark: Benchmark, our_t200_us: f64) -> f64 {
+    10.0 * our_t200_us / paper_t200_us(benchmark)
+}
+
+/// Builds the ladder used throughout the experiments: the paper's exact
+/// XScale 3-level ladder, or an interpolated `n`-level one.
+#[must_use]
+pub fn ladder_of(levels: usize) -> VoltageLadder {
+    let law = AlphaPower::paper();
+    if levels == 3 {
+        VoltageLadder::xscale3(&law)
+    } else {
+        VoltageLadder::interpolated(&law, levels).expect("levels >= 2")
+    }
+}
+
+/// Shared experiment context: the machine plus lazily-built benchmark data.
+pub struct Context {
+    /// The simulated machine (paper Table 2 configuration).
+    pub machine: Machine,
+    benches: HashMap<&'static str, BenchData>,
+}
+
+impl Context {
+    /// A fresh context with the paper-default machine.
+    #[must_use]
+    pub fn new() -> Self {
+        Context { machine: Machine::paper_default(), benches: HashMap::new() }
+    }
+
+    /// The (cached) data for `benchmark`, building CFG, trace and deadline
+    /// scheme on first use.
+    pub fn bench(&mut self, benchmark: Benchmark) -> &mut BenchData {
+        let machine = &self.machine;
+        self.benches.entry(benchmark.name()).or_insert_with(|| {
+            let cfg = benchmark.build_cfg();
+            let trace = benchmark.trace(&cfg, &benchmark.default_input());
+            let scheme = DeadlineScheme::measure(machine, &cfg, &trace);
+            BenchData {
+                benchmark,
+                cfg,
+                trace,
+                scheme,
+                profiles: HashMap::new(),
+            }
+        })
+    }
+
+    /// Convenience: profile of `benchmark` on an `levels`-mode ladder.
+    /// Returns clones of the cached data to side-step borrow entanglement
+    /// in experiments that hold several benchmarks at once.
+    pub fn profile_of(&mut self, benchmark: Benchmark, levels: usize) -> (Profile, Vec<RunStats>) {
+        let machine = self.machine.clone();
+        let b = self.bench(benchmark);
+        b.profile(&machine, levels).clone()
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_caches_benchmarks() {
+        let mut ctx = Context::new();
+        let b = Benchmark::Ghostscript;
+        let t1 = ctx.bench(b).scheme;
+        let t2 = ctx.bench(b).scheme;
+        assert_eq!(t1, t2);
+        assert!(t1.t_slow_us > t1.t_fast_us);
+    }
+
+    #[test]
+    fn ladders() {
+        assert_eq!(ladder_of(3).len(), 3);
+        assert_eq!(ladder_of(7).len(), 7);
+        assert!((ladder_of(3).fastest().frequency_mhz - 800.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,334 @@
+//! Extension experiments beyond the paper's published tables:
+//!
+//! * `paths` — Ball–Larus hot-path profiles (§7 proposes moving the MILP
+//!   from edges to paths; this measures how concentrated execution is on
+//!   few paths, i.e. how much context path-granularity could add);
+//! * `gating` — the cost of the paper's perfect-clock-gating assumption 3;
+//! * Lee–Sakurai interval hopping joins the granularity ablation.
+
+use crate::context::{ladder_of, scaled_capacitance_uf};
+use crate::{Context, Report};
+use dvs_compiler::{baseline, emit_instrumented, DvsCompiler, ScheduleAnalysis};
+use dvs_ir::{decode_path, BallLarus, PathProfile};
+use dvs_sim::{ClockGating, EnergyModel, Machine, SimConfig};
+use dvs_vf::{OperatingPoint, TransitionModel};
+use dvs_workloads::Benchmark;
+
+/// Hot acyclic paths per benchmark (Ball–Larus numbering over the CFG with
+/// back edges cut), with the fraction of dynamic path executions the top-3
+/// paths cover.
+#[must_use]
+pub fn paths(ctx: &mut Context) -> Report {
+    let mut r = Report::new(
+        "paths",
+        "Ball-Larus acyclic-path profiles (the §7 path-granularity direction)",
+    );
+    r.note("paths run from the entry or a loop header to the exit or a back edge");
+    r.columns([
+        "benchmark",
+        "static paths",
+        "distinct executed",
+        "top-3 coverage",
+        "hottest path",
+    ]);
+    for b in Benchmark::all() {
+        let bd = ctx.bench(b);
+        let bl = BallLarus::compute(&bd.cfg);
+        let walk = bd.trace.walk();
+        let profile = PathProfile::from_walk(&bd.cfg, &bl, &walk)
+            .expect("benchmark traces are valid walks");
+        let hottest = profile.hottest();
+        let total = profile.total() as f64;
+        let top3: u64 = hottest.iter().take(3).map(|&(_, c)| c).sum();
+        let hot_blocks = hottest
+            .first()
+            .map(|&(k, _)| {
+                decode_path(&bd.cfg, &bl, k)
+                    .iter()
+                    .map(|&blk| bd.cfg.block(blk).label.clone())
+                    .collect::<Vec<_>>()
+                    .join("->")
+            })
+            .unwrap_or_default();
+        r.row([
+            b.name().to_string(),
+            bl.num_paths().to_string(),
+            profile.distinct().to_string(),
+            format!("{:.3}", top3 as f64 / total),
+            hot_blocks,
+        ]);
+    }
+    r
+}
+
+/// How much the perfect-clock-gating assumption is worth: processor energy
+/// at 800 MHz with and without gating, per benchmark.
+#[must_use]
+pub fn gating(ctx: &mut Context) -> Report {
+    let mut r = Report::new(
+        "gating",
+        "Ablation of paper assumption 3: perfect clock gating on memory stalls",
+    );
+    r.note("fixed 800 MHz runs; Ungated charges the clock tree on every idle cycle");
+    r.columns([
+        "benchmark",
+        "E gated (µJ)",
+        "E ungated (µJ)",
+        "overhead",
+        "stall fraction",
+    ]);
+    let pt = OperatingPoint::new(1.65, 800.0);
+    let ungated_machine = Machine::new(
+        SimConfig::default(),
+        EnergyModel { gating: ClockGating::Ungated, ..EnergyModel::default() },
+    );
+    let gated_machine = ctx.machine.clone();
+    for b in Benchmark::all() {
+        let bd = ctx.bench(b);
+        let gated = gated_machine.run(&bd.cfg, &bd.trace, pt);
+        let ungated = ungated_machine.run(&bd.cfg, &bd.trace, pt);
+        r.row([
+            b.name().to_string(),
+            format!("{:.1}", gated.processor_energy_uj()),
+            format!("{:.1}", ungated.processor_energy_uj()),
+            format!(
+                "{:+.1}%",
+                100.0 * (ungated.processor_energy_uj() / gated.processor_energy_uj() - 1.0)
+            ),
+            format!("{:.3}", gated.stall_cycles / gated.total_cycles),
+        ]);
+    }
+    r
+}
+
+/// Static instrumentation cost: mode-set points before and after the
+/// silent-set elision (hoisting) post-pass, at deadline D2.
+#[must_use]
+pub fn hoisting(ctx: &mut Context) -> Report {
+    let mut r = Report::new(
+        "hoisting",
+        "Mode-set instruction counts: naive per-edge placement vs after silent-set elision",
+    );
+    r.note("deadline D2; scale-typical c; listing emitted per benchmark");
+    r.columns([
+        "benchmark",
+        "naive mode-sets",
+        "emitted mode-sets",
+        "elided",
+        "critical-edge sets",
+        "silent back edges",
+    ]);
+    for b in Benchmark::all() {
+        let (profile, _) = ctx.profile_of(b, 3);
+        let machine = ctx.machine.clone();
+        let bd = ctx.bench(b);
+        let comp = DvsCompiler::new(
+            machine,
+            ladder_of(3),
+            TransitionModel::with_capacitance_uf(scaled_capacitance_uf(
+                b,
+                bd.scheme.t_slow_us,
+            )),
+        );
+        match comp.compile(&bd.cfg, &profile, bd.scheme.deadline_us(2)) {
+            Ok(res) => {
+                let analysis =
+                    ScheduleAnalysis::new(&bd.cfg, &profile, &res.milp.schedule);
+                let (_, stats) = emit_instrumented(
+                    &bd.cfg,
+                    comp.ladder(),
+                    &res.milp.schedule,
+                    &analysis,
+                );
+                let (bs, bt) = analysis.back_edge_summary();
+                r.row([
+                    b.name().to_string(),
+                    stats.naive_mode_sets.to_string(),
+                    stats.emitted_mode_sets.to_string(),
+                    format!("{:.0}%", 100.0 * stats.elision_ratio()),
+                    stats.critical_edge_sets.to_string(),
+                    format!("{bs}/{bt}"),
+                ]);
+            }
+            Err(_) => r.row([b.name().to_string(), "infeasible".to_string()]),
+        }
+    }
+    r
+}
+
+/// Lee–Sakurai interval hopping vs the MILP, at the lax deadline where
+/// hopping is most natural.
+#[must_use]
+pub fn interval_hopping(ctx: &mut Context) -> Report {
+    let mut r = Report::new(
+        "hopping",
+        "Lee-Sakurai interval voltage hopping vs the MILP (deadline D5)",
+    );
+    r.note("hopping interval = deadline/50; energies in µJ (predicted)");
+    r.note("hopping is a run-time technique: time-slicing can split a homogeneous");
+    r.note("loop between two modes, which no static per-edge assignment can express —");
+    r.note("that is why it can beat the MILP on single-loop benchmarks (adpcm),");
+    r.note("at the price of needing timer-driven mode-set injection at run time.");
+    r.columns([
+        "benchmark",
+        "MILP energy",
+        "hopping energy",
+        "hopping switches",
+        "best single",
+    ]);
+    for b in Benchmark::all() {
+        let (profile, _) = ctx.profile_of(b, 3);
+        let machine = ctx.machine.clone();
+        let bd = ctx.bench(b);
+        let cap = scaled_capacitance_uf(b, bd.scheme.t_slow_us);
+        let tm = TransitionModel::with_capacitance_uf(cap);
+        let comp = DvsCompiler::new(machine, ladder_of(3), tm);
+        let deadline = bd.scheme.deadline_us(5);
+        let milp = comp
+            .compile(&bd.cfg, &profile, deadline)
+            .map(|res| res.milp.predicted_energy_uj);
+        let ladder = ladder_of(3);
+        let tm = TransitionModel::with_capacitance_uf(cap);
+        let ls = baseline::lee_sakurai(&profile, &ladder, &tm, deadline, deadline / 50.0);
+        let single = baseline::best_single_mode(&profile, &ladder, deadline);
+        r.row([
+            b.name().to_string(),
+            milp.map_or("inf.".to_string(), |e| format!("{e:.1}")),
+            ls.map_or("inf.".to_string(), |l| format!("{:.1}", l.energy_uj)),
+            ls.map_or("-".to_string(), |l| l.switches.to_string()),
+            single.map_or("inf.".to_string(), |(_, _, e)| format!("{e:.1}")),
+        ]);
+    }
+    r
+}
+
+/// Cross-input schedule robustness for every benchmark (generalizing
+/// Fig. 19 beyond MPEG): optimize on the default input, re-simulate on the
+/// small and complex variants, and report whether their own D3 deadlines
+/// still hold.
+#[must_use]
+pub fn inputs(ctx: &mut Context) -> Report {
+    use dvs_compiler::{DeadlineScheme, MilpFormulation};
+    let mut r = Report::new(
+        "inputs",
+        "Schedule robustness across inputs: optimize on default, run on variants",
+    );
+    r.note("deadline = each input's own D3; times in µs; MISS marks a blown deadline");
+    r.columns(["benchmark", "input", "deadline", "time under default-opt schedule", "verdict"]);
+    for b in Benchmark::all() {
+        let (profile, _) = ctx.profile_of(b, 3);
+        let machine = ctx.machine.clone();
+        let bd = ctx.bench(b);
+        let cap = scaled_capacitance_uf(b, bd.scheme.t_slow_us);
+        let tm = TransitionModel::with_capacitance_uf(cap);
+        let ladder = ladder_of(3);
+        let Ok(out) =
+            MilpFormulation::new(&bd.cfg, &profile, &ladder, &tm, bd.scheme.deadline_us(3))
+                .solve()
+        else {
+            r.row([b.name().to_string(), "-".into(), "infeasible".into()]);
+            continue;
+        };
+        let cfg = bd.cfg.clone();
+        for input in b.inputs() {
+            let trace = b.trace(&cfg, &input);
+            let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
+            let d3 = scheme.deadline_us(3);
+            let run = machine.run_scheduled(&cfg, &trace, &ladder, &out.schedule, &tm);
+            let verdict = if run.time_us <= d3 { "ok" } else { "MISS" };
+            r.row([
+                b.name().to_string(),
+                input.name.clone(),
+                format!("{d3:.1}"),
+                format!("{:.1}", run.time_us),
+                verdict.to_string(),
+            ]);
+        }
+    }
+    r
+}
+
+/// Microarchitectural statistics per benchmark at 800 MHz — the
+/// sim-outorder-style numbers behind every other experiment.
+#[must_use]
+pub fn stats(ctx: &mut Context) -> Report {
+    let mut r = Report::new(
+        "stats",
+        "Simulator statistics per benchmark (800 MHz reference run)",
+    );
+    r.columns([
+        "benchmark",
+        "insts",
+        "cycles",
+        "IPC",
+        "L1D miss%",
+        "L1I miss%",
+        "L2 miss%",
+        "mispredicts",
+        "DRAM accesses",
+        "stall%",
+    ]);
+    let pt = OperatingPoint::new(1.65, 800.0);
+    let machine = ctx.machine.clone();
+    for b in Benchmark::all() {
+        let bd = ctx.bench(b);
+        let run = machine.run(&bd.cfg, &bd.trace, pt);
+        r.row([
+            b.name().to_string(),
+            run.committed_insts.to_string(),
+            format!("{:.0}", run.total_cycles),
+            format!("{:.2}", run.ipc()),
+            format!("{:.1}", 100.0 * run.l1d.miss_rate()),
+            format!("{:.1}", 100.0 * run.l1i.miss_rate()),
+            format!("{:.1}", 100.0 * run.l2.miss_rate()),
+            run.mispredicts.to_string(),
+            run.dram_accesses.to_string(),
+            format!("{:.1}", 100.0 * run.stall_cycles / run.total_cycles),
+        ]);
+    }
+    r
+}
+
+/// Ablation: an idealized next-line prefetcher vs the paper's no-prefetch
+/// machine. Prefetching shrinks `tinvariant`, which is exactly the window
+/// compile-time DVS exploits — quantifying how fragile the opportunity is
+/// to memory-system improvements (the paper's "extrapolate into the
+/// future" concern, from the other direction).
+#[must_use]
+pub fn prefetch(ctx: &mut Context) -> Report {
+    let mut r = Report::new(
+        "prefetch",
+        "Ablation: idealized next-line prefetch vs the paper machine",
+    );
+    r.note("800 MHz runs; prefetch fills line+1 on every L1D demand miss");
+    r.columns([
+        "benchmark",
+        "t800 base (µs)",
+        "t800 prefetch (µs)",
+        "tinv base (µs)",
+        "tinv prefetch (µs)",
+        "DRAM base",
+        "DRAM prefetch",
+    ]);
+    let pt = OperatingPoint::new(1.65, 800.0);
+    let base_machine = ctx.machine.clone();
+    let pf_machine = Machine::new(
+        SimConfig { next_line_prefetch: true, ..SimConfig::default() },
+        EnergyModel::default(),
+    );
+    for b in Benchmark::all() {
+        let bd = ctx.bench(b);
+        let base = base_machine.run(&bd.cfg, &bd.trace, pt);
+        let pf = pf_machine.run(&bd.cfg, &bd.trace, pt);
+        r.row([
+            b.name().to_string(),
+            format!("{:.1}", base.total_time_us),
+            format!("{:.1}", pf.total_time_us),
+            format!("{:.1}", base.stall_cycles / 800.0),
+            format!("{:.1}", pf.stall_cycles / 800.0),
+            base.dram_accesses.to_string(),
+            pf.dram_accesses.to_string(),
+        ]);
+    }
+    r
+}

@@ -1,0 +1,8 @@
+//! One module per experiment family; see DESIGN.md §4 for the mapping
+//! from experiment id to paper artifact.
+
+pub mod analytic;
+pub mod extensions;
+pub mod milp;
+pub mod multi;
+pub mod setup;

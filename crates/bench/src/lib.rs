@@ -1,0 +1,75 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Each experiment is a function over a shared [`Context`] (which caches
+//! CFGs, traces, per-mode profiles and deadline schemes per benchmark) and
+//! returns a [`Report`] — a titled block of formatted rows that the `repro`
+//! binary prints and writes under `results/`.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p dvs-bench --release -- all
+//! ```
+//!
+//! or a single experiment by id (`table1`, `fig15`, ...). The mapping from
+//! experiment id to paper artifact is in DESIGN.md §4; paper-vs-measured
+//! numbers are catalogued in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+
+mod context;
+pub mod experiments;
+mod report;
+
+pub use context::{paper_t200_us, scaled_capacitance_uf, BenchData, Context};
+pub use report::Report;
+
+/// All experiment ids in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1",
+    "table2", "fig14", "table3", "fig15", "table4", "fig17", "fig18", "table5", "fig19",
+    "table6", "table7", "ablation", "paths", "gating", "hoisting", "hopping", "inputs", "stats", "prefetch",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids; individual experiments report
+/// infeasibilities inside their tables rather than failing.
+pub fn run_experiment(ctx: &mut Context, id: &str) -> Result<Report, String> {
+    match id {
+        "fig2" => Ok(experiments::analytic::fig2()),
+        "fig3" => Ok(experiments::analytic::fig3()),
+        "fig4" => Ok(experiments::analytic::fig4()),
+        "fig5" => Ok(experiments::analytic::fig5()),
+        "fig6" => Ok(experiments::analytic::fig6()),
+        "fig7" => Ok(experiments::analytic::fig7()),
+        "fig8" => Ok(experiments::analytic::fig8()),
+        "fig9" => Ok(experiments::analytic::fig9()),
+        "fig10" => Ok(experiments::analytic::fig10()),
+        "fig11" => Ok(experiments::analytic::fig11()),
+        "table1" => Ok(experiments::analytic::table1(ctx)),
+        "table2" => Ok(experiments::setup::table2()),
+        "table4" => Ok(experiments::setup::table4(ctx)),
+        "table7" => Ok(experiments::setup::table7(ctx)),
+        "fig14" => Ok(experiments::milp::fig14(ctx)),
+        "table3" => Ok(experiments::milp::table3(ctx)),
+        "fig15" => Ok(experiments::milp::fig15(ctx)),
+        "fig17" => Ok(experiments::milp::fig17(ctx)),
+        "fig18" => Ok(experiments::milp::fig18(ctx)),
+        "table5" => Ok(experiments::milp::table5(ctx)),
+        "table6" => Ok(experiments::milp::table6(ctx)),
+        "fig19" => Ok(experiments::multi::fig19(ctx)),
+        "ablation" => Ok(experiments::milp::ablation_block_vs_edge(ctx)),
+        "paths" => Ok(experiments::extensions::paths(ctx)),
+        "gating" => Ok(experiments::extensions::gating(ctx)),
+        "hoisting" => Ok(experiments::extensions::hoisting(ctx)),
+        "hopping" => Ok(experiments::extensions::interval_hopping(ctx)),
+        "inputs" => Ok(experiments::extensions::inputs(ctx)),
+        "stats" => Ok(experiments::extensions::stats(ctx)),
+        "prefetch" => Ok(experiments::extensions::prefetch(ctx)),
+        other => Err(format!("unknown experiment id `{other}`")),
+    }
+}

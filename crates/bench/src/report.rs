@@ -1,0 +1,148 @@
+use std::fmt::Write as _;
+
+/// A titled experiment result: header lines plus an aligned table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (`"table6"`, `"fig15"`, ...).
+    pub id: String,
+    /// One-line title quoting the paper artifact.
+    pub title: String,
+    /// Free-form commentary lines (parameters, caveats).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts an empty report.
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a commentary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Sets the column headers.
+    pub fn columns<S: Into<String>>(&mut self, cols: impl IntoIterator<Item = S>) {
+        self.columns = cols.into_iter().map(Into::into).collect();
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the aligned text form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} — {} ==", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(s, "   {n}");
+        }
+        if self.columns.is_empty() && self.rows.is_empty() {
+            return s;
+        }
+        let ncol = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.columns.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncol];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.columns);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let render_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                let _ = write!(line, "{cell:>w$}  ", w = w);
+            }
+            line.trim_end().to_string()
+        };
+        if !self.columns.is_empty() {
+            let _ = writeln!(s, "{}", render_row(&self.columns));
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+            let _ = writeln!(s, "{}", "-".repeat(total.min(120)));
+        }
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", render_row(r));
+        }
+        s
+    }
+
+    /// Renders a CSV form (notes as `#` comments).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# {} — {}", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(s, "# {n}");
+        }
+        let esc = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        if !self.columns.is_empty() {
+            let _ = writeln!(s, "{}", self.columns.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", r.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("t", "demo");
+        r.note("a note");
+        r.columns(["name", "value"]);
+        r.row(["x", "1"]);
+        r.row(["longer", "22"]);
+        let out = r.render();
+        assert!(out.contains("== t — demo =="));
+        assert!(out.contains("a note"));
+        assert!(out.contains("name"));
+        assert!(out.contains("longer"));
+        // Aligned: both value cells end at the same column.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut r = Report::new("t", "demo");
+        r.columns(["a,b", "c"]);
+        r.row(["1", "he said \"hi\""]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+}

@@ -1,0 +1,391 @@
+//! The comparison points the paper measures against.
+//!
+//! * [`best_single_mode`] — the "best single-frequency setting that meets
+//!   the deadline", the normalization baseline of Figs. 15 and 17;
+//! * [`saputra`] — the prior MILP of Saputra et al.: per-region (block)
+//!   granularity and **no transition costs** in the objective;
+//! * [`hsu_kremer`] — the heuristic of Hsu & Kremer: slow down
+//!   memory-bound regions, keep everything else at the slowest single mode
+//!   that meets the deadline;
+//! * [`lee_sakurai`] — Lee & Sakurai's run-time voltage hopping: mode-sets
+//!   at regular time intervals, time-slicing between two neighbouring
+//!   modes.
+
+use crate::{Granularity, MilpFormulation, MilpOutcome};
+use dvs_ir::{Cfg, Profile};
+use dvs_milp::MilpError;
+use dvs_sim::EdgeSchedule;
+use dvs_vf::{ModeId, TransitionModel, VoltageLadder};
+
+/// The slowest single mode whose total profiled time meets the deadline.
+/// Returns `(mode, time_us, energy_uj)`, or `None` when even the fastest
+/// mode is too slow.
+#[must_use]
+pub fn best_single_mode(
+    profile: &Profile,
+    ladder: &VoltageLadder,
+    deadline_us: f64,
+) -> Option<(ModeId, f64, f64)> {
+    ladder.modes().find_map(|m| {
+        let t = profile.total_time_at(m.index());
+        (t <= deadline_us).then(|| (m, t, profile.total_energy_at(m.index())))
+    })
+}
+
+/// The Saputra-et-al. formulation: block-granularity mode variables and a
+/// free transition model (their ILP "does not account for any energy
+/// penalties incurred by mode switching").
+///
+/// # Errors
+///
+/// Same as [`MilpFormulation::solve`].
+pub fn saputra(
+    cfg: &Cfg,
+    profile: &Profile,
+    ladder: &VoltageLadder,
+    deadline_us: f64,
+) -> Result<MilpOutcome, MilpError> {
+    let free = TransitionModel::free();
+    MilpFormulation::new(cfg, profile, ladder, &free, deadline_us)
+        .with_granularity(Granularity::Block)
+        .solve()
+}
+
+/// The Hsu–Kremer-style heuristic: classify each block as memory-bound if
+/// its per-invocation time barely improves from the slowest to the fastest
+/// mode (dilation below `threshold`, where pure compute would dilate by the
+/// full frequency ratio), then run memory-bound blocks at the slowest mode
+/// and everything else at the slowest uniform mode that still meets the
+/// deadline. Returns `None` when no such base mode exists.
+#[must_use]
+pub fn hsu_kremer(
+    cfg: &Cfg,
+    profile: &Profile,
+    ladder: &VoltageLadder,
+    deadline_us: f64,
+    threshold: f64,
+) -> Option<EdgeSchedule> {
+    let slow = 0usize;
+    let fast = ladder.len() - 1;
+    let memory_bound: Vec<bool> = (0..cfg.num_blocks())
+        .map(|b| {
+            let bid = dvs_ir::BlockId(b);
+            let ts = profile.block_cost(bid, slow).time_us;
+            let tf = profile.block_cost(bid, fast).time_us;
+            tf > 0.0 && ts / tf < threshold
+        })
+        .collect();
+
+    // Find the slowest base mode that meets the deadline with memory-bound
+    // blocks pinned to the slowest mode.
+    'base: for base in ladder.modes() {
+        let mut total = 0.0;
+        for b in cfg.blocks() {
+            let m = if memory_bound[b.id.index()] { ModeId(slow) } else { base };
+            total += profile.block_cost(b.id, m.index()).time_us
+                * profile.block_count(b.id) as f64;
+            if total > deadline_us {
+                continue 'base;
+            }
+        }
+        // Build the edge schedule: each edge adopts its destination mode.
+        let edge_modes = cfg
+            .edges()
+            .map(|e| if memory_bound[e.dst.index()] { ModeId(slow) } else { base })
+            .collect();
+        let initial = if memory_bound[cfg.entry().index()] { ModeId(slow) } else { base };
+        return Some(EdgeSchedule { initial, edge_modes });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, ProfileBuilder};
+    use dvs_vf::AlphaPower;
+
+    fn ladder() -> VoltageLadder {
+        VoltageLadder::xscale3(&AlphaPower::paper())
+    }
+
+    /// Two-block program: `hot` scales with frequency, `membound` does not.
+    fn setup() -> (Cfg, Profile) {
+        let mut b = CfgBuilder::new("base");
+        let e = b.block("entry");
+        let hot = b.block("hot");
+        let mem = b.block("membound");
+        let x = b.block("exit");
+        b.edge(e, hot);
+        b.edge(hot, mem);
+        b.edge(mem, hot);
+        b.edge(mem, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 3);
+        let mut walk = vec![e];
+        for _ in 0..10 {
+            walk.push(hot);
+            walk.push(mem);
+        }
+        walk.push(x);
+        // Make the walk end at exit properly: last mem -> x edge exists.
+        assert!(pb.record_walk(&cfg, &walk));
+        // hot: pure compute, scales 4x from 200 to 800 MHz.
+        for (m, t) in [(0usize, 40.0), (1, 13.3), (2, 10.0)] {
+            pb.set_block_cost(hot, m, BlockModeCost { time_us: t, energy_uj: t * 0.5 });
+        }
+        // membound: time barely changes with mode.
+        for (m, t) in [(0usize, 22.0), (1, 20.5), (2, 20.0)] {
+            pb.set_block_cost(mem, m, BlockModeCost { time_us: t, energy_uj: 5.0 });
+        }
+        for blk in [e, x] {
+            for m in 0..3 {
+                pb.set_block_cost(blk, m, BlockModeCost { time_us: 0.0, energy_uj: 0.0 });
+            }
+        }
+        (cfg, pb.finish())
+    }
+
+    #[test]
+    fn best_single_mode_picks_slowest_feasible() {
+        let (_, p) = setup();
+        let l = ladder();
+        // Totals: m0: 10*(40+22)=620; m1: 10*33.8=338; m2: 300.
+        let (m, t, _) = best_single_mode(&p, &l, 700.0).unwrap();
+        assert_eq!(m, ModeId(0));
+        assert!((t - 620.0).abs() < 1e-9);
+        let (m, _, _) = best_single_mode(&p, &l, 400.0).unwrap();
+        assert_eq!(m, ModeId(1));
+        assert!(best_single_mode(&p, &l, 100.0).is_none());
+    }
+
+    #[test]
+    fn hsu_kremer_slows_memory_bound_blocks() {
+        let (cfg, p) = setup();
+        let l = ladder();
+        // Threshold 2.0: membound dilates 22/20 = 1.1 < 2 (memory bound);
+        // hot dilates 4.0 (compute).
+        let s = hsu_kremer(&cfg, &p, &l, 500.0, 2.0).unwrap();
+        let hot = cfg.block_by_label("hot").unwrap();
+        let mem = cfg.block_by_label("membound").unwrap();
+        let e_hm = cfg.edge_between(hot, mem).unwrap();
+        let e_mh = cfg.edge_between(mem, hot).unwrap();
+        assert_eq!(s.edge_modes[e_hm.index()], ModeId(0), "membound runs slow");
+        // hot needs a fast-enough base mode to meet 500 µs:
+        // mem slow = 220; hot at m1 = 133 -> 353 OK, at m0 = 400 -> 620 no.
+        assert_eq!(s.edge_modes[e_mh.index()], ModeId(1));
+        // Infeasible deadline.
+        assert!(hsu_kremer(&cfg, &p, &l, 100.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn saputra_block_granularity_solves() {
+        let (cfg, p) = setup();
+        let l = ladder();
+        let out = saputra(&cfg, &p, &l, 500.0).unwrap();
+        assert!(out.predicted_time_us <= 500.0 + 1e-6);
+        // No transition costs in the objective.
+        assert_eq!(out.predicted_transition_energy_uj, 0.0);
+        // Block granularity: all edges into the same block share a mode.
+        let hot = cfg.block_by_label("hot").unwrap();
+        let ins: Vec<_> = cfg.in_edges(hot).collect();
+        let m0 = out.schedule.edge_modes[ins[0].index()];
+        for e in &ins {
+            assert_eq!(out.schedule.edge_modes[e.index()], m0);
+        }
+    }
+}
+
+/// Result of the Lee–Sakurai-style "voltage hopping" baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeeSakurai {
+    /// Slower of the two hopping modes.
+    pub slow: ModeId,
+    /// Faster of the two hopping modes.
+    pub fast: ModeId,
+    /// Fraction of program (block) time run at the slow mode.
+    pub slow_fraction: f64,
+    /// Predicted energy, µJ (including switch energy).
+    pub energy_uj: f64,
+    /// Predicted time, µs (including switch time).
+    pub time_us: f64,
+    /// Number of mode switches performed.
+    pub switches: u64,
+}
+
+/// The Lee–Sakurai run-time voltage-hopping baseline: mode-set points are
+/// placed at regular *time intervals* rather than on program structure, so
+/// the program time-slices between the two modes bracketing its ideal
+/// speed. Switches cost `transition` at every interval boundary where the
+/// mode changes (we charge one switch per interval, the worst case of a
+/// strict alternation).
+///
+/// Returns `None` when no hopping pair can meet the deadline once switch
+/// time is charged.
+#[must_use]
+pub fn lee_sakurai(
+    profile: &Profile,
+    ladder: &VoltageLadder,
+    transition: &TransitionModel,
+    deadline_us: f64,
+    interval_us: f64,
+) -> Option<LeeSakurai> {
+    assert!(interval_us > 0.0, "interval must be positive");
+    // Whole-program time/energy per mode.
+    let totals: Vec<(f64, f64)> = ladder
+        .modes()
+        .map(|m| {
+            (
+                profile.total_time_at(m.index()),
+                profile.total_energy_at(m.index()),
+            )
+        })
+        .collect();
+
+    // All at the slowest feasible mode: no switching at all.
+    for (ix, &(t, e)) in totals.iter().enumerate() {
+        if t <= deadline_us {
+            if ix == 0 {
+                return Some(LeeSakurai {
+                    slow: ModeId(0),
+                    fast: ModeId(0),
+                    slow_fraction: 1.0,
+                    energy_uj: e,
+                    time_us: t,
+                    switches: 0,
+                });
+            }
+            break;
+        }
+    }
+
+    // Hop between neighbours (m, m+1), slowest pair first.
+    for m in 0..ladder.len() - 1 {
+        let (t_slow, e_slow) = totals[m];
+        let (t_fast, e_fast) = totals[m + 1];
+        if t_fast > deadline_us {
+            continue; // even the faster of the pair cannot make it
+        }
+        let switches = (deadline_us / interval_us).floor().max(0.0) as u64;
+        let st = transition.mode_time_us(ladder, ModeId(m), ModeId(m + 1));
+        let se = transition.mode_energy_uj(ladder, ModeId(m), ModeId(m + 1));
+        let overhead = switches as f64 * st;
+        let budget = deadline_us - overhead;
+        if budget < t_fast {
+            continue; // switching overhead ate the slack
+        }
+        // alpha·t_slow + (1-alpha)·t_fast = budget.
+        let alpha = if t_slow > t_fast {
+            ((budget - t_fast) / (t_slow - t_fast)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let energy = alpha * e_slow + (1.0 - alpha) * e_fast + switches as f64 * se;
+        let time = alpha * t_slow + (1.0 - alpha) * t_fast + overhead;
+        // Only count switches if the slice actually alternates.
+        let (switches, energy, time) = if alpha == 0.0 || alpha == 1.0 {
+            (
+                0,
+                alpha * e_slow + (1.0 - alpha) * e_fast,
+                alpha * t_slow + (1.0 - alpha) * t_fast,
+            )
+        } else {
+            (switches, energy, time)
+        };
+        if time <= deadline_us + 1e-9 {
+            return Some(LeeSakurai {
+                slow: ModeId(m),
+                fast: ModeId(m + 1),
+                slow_fraction: alpha,
+                energy_uj: energy,
+                time_us: time,
+                switches,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod lee_sakurai_tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, ProfileBuilder};
+    use dvs_vf::AlphaPower;
+
+    fn profile() -> Profile {
+        let mut b = CfgBuilder::new("ls");
+        let e = b.block("entry");
+        let w = b.block("work");
+        let x = b.block("exit");
+        b.edge(e, w);
+        b.edge(w, w);
+        b.edge(w, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 3);
+        let mut walk = vec![e];
+        walk.extend(std::iter::repeat(w).take(100));
+        walk.push(x);
+        assert!(pb.record_walk(&cfg, &walk));
+        // work: pure compute — time scales exactly with frequency.
+        for (m, t, en) in [(0usize, 4.0, 0.49), (1, 4.0 / 3.0, 1.69), (2, 1.0, 2.7225)] {
+            pb.set_block_cost(w, m, BlockModeCost { time_us: t, energy_uj: en });
+        }
+        pb.finish()
+    }
+
+    fn ladder() -> VoltageLadder {
+        VoltageLadder::xscale3(&AlphaPower::paper())
+    }
+
+    #[test]
+    fn lax_deadline_hops_nowhere() {
+        // Totals: 400 µs at slow, 133 at mid, 100 at fast.
+        let p = profile();
+        let tm = TransitionModel::with_capacitance_uf(1.0);
+        let ls = lee_sakurai(&p, &ladder(), &tm, 500.0, 50.0).unwrap();
+        assert_eq!(ls.switches, 0);
+        assert_eq!(ls.slow, ModeId(0));
+        assert!((ls.slow_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intermediate_deadline_slices_between_neighbours() {
+        let p = profile();
+        let tm = TransitionModel::with_capacitance_uf(0.01);
+        // 250 µs sits between the 400 µs slow and 133 µs mid totals.
+        let ls = lee_sakurai(&p, &ladder(), &tm, 250.0, 25.0).unwrap();
+        assert_eq!((ls.slow, ls.fast), (ModeId(0), ModeId(1)));
+        assert!(ls.slow_fraction > 0.0 && ls.slow_fraction < 1.0);
+        assert!(ls.time_us <= 250.0 + 1e-9);
+        assert!(ls.switches > 0);
+        // Energy must land between the two pure-mode energies.
+        let e_slow = p.total_energy_at(0);
+        let e_mid = p.total_energy_at(1);
+        assert!(ls.energy_uj > e_slow.min(e_mid));
+        assert!(ls.energy_uj < e_slow.max(e_mid) + 1.0);
+    }
+
+    #[test]
+    fn heavy_switch_cost_forces_faster_pair_or_fails() {
+        let p = profile();
+        // Hopping every 5 µs at a cost of 12 µs per switch can never work.
+        let tm = TransitionModel::with_capacitance_uf(10.0);
+        let ls = lee_sakurai(&p, &ladder(), &tm, 140.0, 5.0);
+        assert!(ls.is_none(), "overhead should make the deadline infeasible");
+    }
+
+    #[test]
+    fn infeasible_deadline_is_none() {
+        let p = profile();
+        let tm = TransitionModel::free();
+        assert!(lee_sakurai(&p, &ladder(), &tm, 50.0, 10.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let p = profile();
+        let tm = TransitionModel::free();
+        let _ = lee_sakurai(&p, &ladder(), &tm, 500.0, 0.0);
+    }
+}

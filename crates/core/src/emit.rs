@@ -1,0 +1,282 @@
+//! Emission of the instrumented program.
+//!
+//! The real compiler's output is the original code plus `set_mode`
+//! pseudo-instructions on CFG edges. This module renders that artifact as
+//! an assembly-like listing, applying the hoisting post-pass: mode-sets
+//! proven *silent* by [`crate::ScheduleAnalysis`] (their value always
+//! matches the incoming context — e.g. a loop back-edge matching the loop
+//! entry) are elided, exactly the optimization §4.2 sketches for heavily
+//! executed back edges.
+
+use crate::ScheduleAnalysis;
+use dvs_ir::Cfg;
+use dvs_sim::EdgeSchedule;
+use dvs_vf::VoltageLadder;
+use std::fmt::Write as _;
+
+/// Static instrumentation statistics for one emitted program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmitStats {
+    /// Mode-set points the naive (one-per-edge) placement would insert.
+    pub naive_mode_sets: usize,
+    /// Mode-set points remaining after eliding silent ones.
+    pub emitted_mode_sets: usize,
+    /// Live mode-sets sitting on *critical edges* (source has several
+    /// successors and destination several predecessors): each needs a new
+    /// block — an extra branch — to host its instruction, the code-growth
+    /// concern §7 raises about edge-based placement.
+    pub critical_edge_sets: usize,
+}
+
+impl EmitStats {
+    /// Fraction of mode-set instructions removed by hoisting.
+    #[must_use]
+    pub fn elision_ratio(&self) -> f64 {
+        if self.naive_mode_sets == 0 {
+            0.0
+        } else {
+            1.0 - self.emitted_mode_sets as f64 / self.naive_mode_sets as f64
+        }
+    }
+}
+
+/// Renders `cfg` with `schedule`'s mode-set instructions as an
+/// assembly-like listing, eliding silent mode-sets per `analysis`.
+/// Returns the listing and its instrumentation statistics.
+#[must_use]
+pub fn emit_instrumented(
+    cfg: &Cfg,
+    ladder: &VoltageLadder,
+    schedule: &EdgeSchedule,
+    analysis: &ScheduleAnalysis,
+) -> (String, EmitStats) {
+    let mut out = String::new();
+    let point = |m: dvs_vf::ModeId| ladder.point(m);
+    let _ = writeln!(out, "; program: {}", cfg.name());
+    let _ = writeln!(
+        out,
+        "; initial mode: {} (set at program entry)",
+        point(schedule.initial)
+    );
+    let mut naive = 1; // the initial set
+    let mut emitted = 1;
+    let mut critical = 0;
+    for b in cfg.blocks() {
+        let _ = writeln!(out, "\n{}:", b.label);
+        for inst in &b.insts {
+            let _ = writeln!(out, "    {inst}");
+        }
+        let succs: Vec<_> = cfg.out_edges(b.id).collect();
+        for e in succs {
+            naive += 1;
+            let edge = cfg.edge(e);
+            let dst = &cfg.block(edge.dst).label;
+            if analysis.is_silent(e) {
+                let _ = writeln!(out, "    ; -> {dst} (mode-set elided: always silent)");
+            } else {
+                emitted += 1;
+                let is_critical = cfg.out_edges(edge.src).count() > 1
+                    && cfg.in_edges(edge.dst).count() > 1;
+                if is_critical {
+                    critical += 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "    -> {dst}: set_mode {}{}",
+                    point(schedule.edge_modes[e.index()]),
+                    if is_critical { "  ; critical edge: needs a split block" } else { "" }
+                );
+            }
+        }
+    }
+    (
+        out,
+        EmitStats {
+            naive_mode_sets: naive,
+            emitted_mode_sets: emitted,
+            critical_edge_sets: critical,
+        },
+    )
+}
+
+/// Renders `cfg` in Graphviz DOT with each edge coloured and labelled by
+/// its assigned mode — the visual counterpart of the emitted listing.
+/// Silent mode-sets are drawn dashed.
+#[must_use]
+pub fn schedule_to_dot(
+    cfg: &Cfg,
+    ladder: &VoltageLadder,
+    schedule: &EdgeSchedule,
+    analysis: &ScheduleAnalysis,
+) -> String {
+    use std::fmt::Write as _;
+    // A fixed palette cycled by mode index; slow modes cool, fast warm.
+    const COLORS: [&str; 6] = [
+        "#4575b4", "#91bfdb", "#e0f3f8", "#fee090", "#fc8d59", "#d73027",
+    ];
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", cfg.name());
+    let _ = writeln!(
+        s,
+        "  label=\"initial mode: {}\"; node [shape=box fontname=monospace];",
+        ladder.point(schedule.initial)
+    );
+    for b in cfg.blocks() {
+        let _ = writeln!(s, "  {} [label=\"{}\"];", b.id.index(), b.label);
+    }
+    for e in cfg.edges() {
+        let mode = schedule.edge_modes[e.id.index()];
+        let color = COLORS[mode.index() * COLORS.len() / ladder.len().max(1)
+            % COLORS.len()];
+        let style = if analysis.is_silent(e.id) { "dashed" } else { "solid" };
+        let _ = writeln!(
+            s,
+            "  {} -> {} [color=\"{color}\" style={style} label=\"{:.0}MHz\"];",
+            e.src.index(),
+            e.dst.index(),
+            ladder.point(mode).frequency_mhz
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, Inst, Opcode, ProfileBuilder, Reg};
+    use dvs_vf::{AlphaPower, ModeId};
+
+    #[test]
+    fn emits_listing_with_elision() {
+        let mut b = CfgBuilder::new("emit");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.push(body, Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(1)]));
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h);
+        b.edge(h, x);
+        let cfg = b.finish(e, x).unwrap();
+
+        let mut pb = ProfileBuilder::new(&cfg, 3);
+        let mut walk = vec![e];
+        for _ in 0..5 {
+            walk.push(h);
+            walk.push(body);
+        }
+        walk.push(h);
+        walk.push(x);
+        assert!(pb.record_walk(&cfg, &walk));
+        for blk in [e, h, body, x] {
+            for m in 0..3 {
+                pb.set_block_cost(blk, m, BlockModeCost { time_us: 1.0, energy_uj: 1.0 });
+            }
+        }
+        let profile = pb.finish();
+
+        // Loop runs slow, exit switches fast: the back edge is silent.
+        let mut schedule = dvs_sim::EdgeSchedule::uniform(&cfg, ModeId(0));
+        schedule.edge_modes[cfg.edge_between(h, x).unwrap().index()] = ModeId(2);
+        let analysis = ScheduleAnalysis::new(&cfg, &profile, &schedule);
+        let ladder = dvs_vf::VoltageLadder::xscale3(&AlphaPower::paper());
+        let (listing, stats) = emit_instrumented(&cfg, &ladder, &schedule, &analysis);
+
+        assert!(listing.contains("; program: emit"));
+        assert!(listing.contains("initial mode: 200 MHz"));
+        assert!(listing.contains("set_mode 800 MHz"), "exit switch emitted");
+        assert!(listing.contains("elided"), "silent sets marked");
+        // 4 edges + initial = 5 naive points; only the h->x switch (plus
+        // the initial set) survives.
+        assert_eq!(stats.naive_mode_sets, 5);
+        assert_eq!(stats.emitted_mode_sets, 2);
+        assert!((stats.elision_ratio() - 0.6).abs() < 1e-12);
+        // h -> x: h has two successors but x has a single predecessor, so
+        // the mode-set can live at the top of x: not critical.
+        assert_eq!(stats.critical_edge_sets, 0);
+    }
+
+    #[test]
+    fn dot_renders_modes_and_silence() {
+        let mut b = CfgBuilder::new("dots");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 3);
+        pb.record_walk(&cfg, &[e, x]);
+        let profile = pb.finish();
+        let schedule = dvs_sim::EdgeSchedule::uniform(&cfg, ModeId(2));
+        let analysis = ScheduleAnalysis::new(&cfg, &profile, &schedule);
+        let ladder = dvs_vf::VoltageLadder::xscale3(&AlphaPower::paper());
+        let dot = schedule_to_dot(&cfg, &ladder, &schedule, &analysis);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("800MHz"));
+        assert!(dot.contains("style=dashed"), "uniform edge is silent");
+        assert!(dot.contains("initial mode: 800 MHz"));
+    }
+
+    #[test]
+    fn uniform_schedule_elides_everything_but_initial() {
+        let mut b = CfgBuilder::new("u");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 2);
+        pb.record_walk(&cfg, &[e, x]);
+        let profile = pb.finish();
+        let schedule = dvs_sim::EdgeSchedule::uniform(&cfg, ModeId(1));
+        let analysis = ScheduleAnalysis::new(&cfg, &profile, &schedule);
+        let ladder = dvs_vf::VoltageLadder::xscale3(&AlphaPower::paper());
+        let (_, stats) = emit_instrumented(&cfg, &ladder, &schedule, &analysis);
+        assert_eq!(stats.emitted_mode_sets, 1);
+    }
+}
+
+#[cfg(test)]
+mod critical_edge_tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, ProfileBuilder};
+    use dvs_vf::{AlphaPower, ModeId};
+
+    #[test]
+    fn critical_edges_are_flagged() {
+        // Diamond with a cross edge: entry -> {a, b}, {a, b} -> exit, and
+        // a -> b. Edge a->b is critical (a has 2 succs, b has 2 preds).
+        let mut bld = CfgBuilder::new("crit");
+        let e = bld.block("entry");
+        let a = bld.block("a");
+        let b = bld.block("b");
+        let x = bld.block("exit");
+        bld.edge(e, a);
+        bld.edge(e, b);
+        bld.edge(a, x);
+        bld.edge(a, b);
+        bld.edge(b, x);
+        let cfg = bld.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 2);
+        pb.record_walk(&cfg, &[e, a, b, x]);
+        pb.record_walk(&cfg, &[e, a, x]);
+        pb.record_walk(&cfg, &[e, b, x]);
+        for blk in [e, a, b, x] {
+            for m in 0..2 {
+                pb.set_block_cost(blk, m, BlockModeCost { time_us: 1.0, energy_uj: 1.0 });
+            }
+        }
+        let profile = pb.finish();
+        // Make the a->b mode-set live: a runs fast, b slow.
+        let mut schedule = dvs_sim::EdgeSchedule::uniform(&cfg, ModeId(1));
+        let e_ab = cfg.edge_between(a, b).unwrap();
+        let e_eb = cfg.edge_between(e, b).unwrap();
+        schedule.edge_modes[e_ab.index()] = ModeId(0);
+        schedule.edge_modes[e_eb.index()] = ModeId(0);
+        let analysis = ScheduleAnalysis::new(&cfg, &profile, &schedule);
+        let ladder = dvs_vf::VoltageLadder::xscale3(&AlphaPower::paper());
+        let (listing, stats) = emit_instrumented(&cfg, &ladder, &schedule, &analysis);
+        assert!(stats.critical_edge_sets >= 1, "a->b should be critical");
+        assert!(listing.contains("critical edge"));
+    }
+}

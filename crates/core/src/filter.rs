@@ -1,0 +1,198 @@
+use dvs_ir::{Cfg, EdgeId, Profile};
+
+/// The §5.2 edge filter.
+///
+/// Edges whose *total destination energy* (`G(i,j) · E(j, m_ref)`, for an
+/// arbitrary reference mode) lies in the cumulative tail comprising less
+/// than 2% of total energy give up their independent mode variable: each is
+/// tied to the incoming edge of its **source** block with the largest
+/// profile count, so the mode never changes along the filtered edge when
+/// the source was entered the common way. Timing constraints still see the
+/// filtered edges, so deadlines are met exactly; only achievable energy is
+/// affected (Table 3 shows the loss is negligible).
+#[derive(Debug, Clone)]
+pub struct EdgeFilter {
+    /// `rep[e]` is the representative edge whose mode variable edge `e`
+    /// shares. Unfiltered edges are their own representative.
+    rep: Vec<EdgeId>,
+    /// Number of edges that kept their own variable.
+    independent: usize,
+}
+
+impl EdgeFilter {
+    /// The identity filter: every edge independent.
+    #[must_use]
+    pub fn identity(cfg: &Cfg) -> Self {
+        EdgeFilter {
+            rep: cfg.edges().map(|e| e.id).collect(),
+            independent: cfg.num_edges(),
+        }
+    }
+
+    /// Applies the 2%-tail rule using `profile` counts and per-block energy
+    /// at `ref_mode`.
+    #[must_use]
+    pub fn tail_rule(cfg: &Cfg, profile: &Profile, ref_mode: usize, tail_fraction: f64) -> Self {
+        // Total destination energy per edge.
+        let energy: Vec<f64> = cfg
+            .edges()
+            .map(|e| {
+                profile.edge_count(e.id) as f64 * profile.block_cost(e.dst, ref_mode).energy_uj
+            })
+            .collect();
+        let total: f64 = energy.iter().sum();
+        let mut order: Vec<usize> = (0..energy.len()).collect();
+        order.sort_by(|&a, &b| energy[a].partial_cmp(&energy[b]).expect("finite energies"));
+
+        let mut filtered = vec![false; energy.len()];
+        let mut acc = 0.0;
+        for &ix in &order {
+            acc += energy[ix];
+            if acc < tail_fraction * total {
+                filtered[ix] = true;
+            } else {
+                break;
+            }
+        }
+
+        // Tie each filtered edge (i, j) to the hottest incoming edge of its
+        // source block i. Edges from the CFG entry have no incoming edge
+        // and stay independent.
+        let mut rep: Vec<EdgeId> = cfg.edges().map(|e| e.id).collect();
+        for e in cfg.edges() {
+            if !filtered[e.id.index()] {
+                continue;
+            }
+            let hottest = cfg
+                .in_edges(e.src)
+                .max_by_key(|&ie| profile.edge_count(ie));
+            if let Some(h) = hottest {
+                rep[e.id.index()] = h;
+            }
+        }
+        // Resolve chains (a filtered edge tied to another filtered edge),
+        // guarding against cycles by bounding the walk.
+        let n = rep.len();
+        for e in 0..n {
+            let mut cur = rep[e];
+            for _ in 0..n {
+                let nxt = rep[cur.index()];
+                if nxt == cur {
+                    break;
+                }
+                cur = nxt;
+            }
+            rep[e] = cur;
+        }
+        let independent = (0..n).filter(|&e| rep[e] == EdgeId(e)).count();
+        EdgeFilter { rep, independent }
+    }
+
+    /// The representative edge carrying `e`'s mode variable.
+    #[must_use]
+    pub fn rep(&self, e: EdgeId) -> EdgeId {
+        self.rep[e.index()]
+    }
+
+    /// Whether `e` kept its own variable.
+    #[must_use]
+    pub fn is_independent(&self, e: EdgeId) -> bool {
+        self.rep[e.index()] == e
+    }
+
+    /// Number of independent edges.
+    #[must_use]
+    pub fn num_independent(&self) -> usize {
+        self.independent
+    }
+
+    /// Total number of edges covered.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.rep.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, ProfileBuilder};
+
+    /// diamond with a hot path (entry->a->exit) and a cold path via b.
+    fn setup() -> (Cfg, Profile) {
+        let mut b = CfgBuilder::new("f");
+        let e = b.block("entry");
+        let a = b.block("a");
+        let cold = b.block("b");
+        let x = b.block("exit");
+        b.edge(e, a);
+        b.edge(e, cold);
+        b.edge(a, x);
+        b.edge(cold, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 1);
+        for _ in 0..99 {
+            pb.record_walk(&cfg, &[e, a, x]);
+        }
+        pb.record_walk(&cfg, &[e, cold, x]);
+        for blk in [e, a, cold, x] {
+            pb.set_block_cost(blk, 0, BlockModeCost { time_us: 1.0, energy_uj: 1.0 });
+        }
+        (cfg, pb.finish())
+    }
+
+    #[test]
+    fn identity_keeps_all_edges() {
+        let (cfg, _) = setup();
+        let f = EdgeFilter::identity(&cfg);
+        assert_eq!(f.num_independent(), cfg.num_edges());
+        for e in cfg.edges() {
+            assert!(f.is_independent(e.id));
+        }
+    }
+
+    #[test]
+    fn tail_rule_ties_cold_edges() {
+        let (cfg, p) = setup();
+        // Energies per edge: e->a: 99, e->b: 1, a->x: 99, b->x: 1.
+        // Total 200; 2% = 4. Ascending: (e->b, 1), (b->x, 1), then 99 > 4.
+        // So the two cold edges are filtered.
+        let f = EdgeFilter::tail_rule(&cfg, &p, 0, 0.02);
+        let e = cfg.entry();
+        let cold = cfg.block_by_label("b").unwrap();
+        let x = cfg.exit();
+        let e_cold = cfg.edge_between(e, cold).unwrap();
+        let cold_x = cfg.edge_between(cold, x).unwrap();
+        // e->cold leaves the entry block (no incoming edges): stays
+        // independent.
+        assert!(f.is_independent(e_cold));
+        // cold->x is tied to cold's hottest (only) incoming edge e->cold.
+        assert!(!f.is_independent(cold_x));
+        assert_eq!(f.rep(cold_x), e_cold);
+        assert_eq!(f.num_independent(), cfg.num_edges() - 1);
+    }
+
+    #[test]
+    fn zero_tail_filters_nothing() {
+        let (cfg, p) = setup();
+        let f = EdgeFilter::tail_rule(&cfg, &p, 0, 0.0);
+        assert_eq!(f.num_independent(), cfg.num_edges());
+    }
+
+    #[test]
+    fn full_tail_ties_everything_tieable() {
+        let (cfg, p) = setup();
+        let f = EdgeFilter::tail_rule(&cfg, &p, 0, 1.1);
+        // Edges out of the entry block cannot be tied; everything else can.
+        let tied = cfg
+            .edges()
+            .filter(|e| !f.is_independent(e.id))
+            .count();
+        assert!(tied >= 2, "tied {tied}");
+        // Chains resolve to independent representatives.
+        for e in cfg.edges() {
+            let r = f.rep(e.id);
+            assert_eq!(f.rep(r), r, "rep must be a fixed point");
+        }
+    }
+}

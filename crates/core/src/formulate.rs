@@ -1,0 +1,308 @@
+use crate::EdgeFilter;
+use dvs_ir::{Cfg, EdgeId, LocalPath, Profile};
+use dvs_milp::{solve_seeded, BranchConfig, LinExpr, MilpError, Model, Sense, SolveStats, Var};
+use dvs_sim::EdgeSchedule;
+use dvs_vf::{ModeId, TransitionModel, VoltageLadder};
+use std::time::{Duration, Instant};
+
+/// Mode-variable granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// One mode variable group per CFG edge — the paper's formulation.
+    /// Blocks may run at different modes depending on the entry path.
+    Edge,
+    /// One group per basic block (all incoming edges tied) — the coarser
+    /// granularity of prior work (Saputra et al.), kept as an ablation.
+    Block,
+}
+
+/// Result of building and solving the DVS MILP.
+#[derive(Debug, Clone)]
+pub struct MilpOutcome {
+    /// The extracted per-edge mode assignment.
+    pub schedule: EdgeSchedule,
+    /// Objective value: predicted total energy (µJ), including transition
+    /// energy.
+    pub predicted_energy_uj: f64,
+    /// Predicted run time (µs) of the chosen schedule, including transition
+    /// time.
+    pub predicted_time_us: f64,
+    /// Predicted dynamic transition energy (µJ).
+    pub predicted_transition_energy_uj: f64,
+    /// Branch-and-bound statistics.
+    pub solve_stats: SolveStats,
+    /// Wall-clock MILP solve time.
+    pub solve_time: Duration,
+    /// Number of binary variables in the model.
+    pub binary_vars: usize,
+    /// Number of constraints in the model.
+    pub constraints: usize,
+}
+
+/// Builder for the §4.2 MILP (single input category).
+#[derive(Debug)]
+pub struct MilpFormulation<'a> {
+    cfg: &'a Cfg,
+    profile: &'a Profile,
+    ladder: &'a VoltageLadder,
+    transition: &'a TransitionModel,
+    filter: EdgeFilter,
+    granularity: Granularity,
+    deadline_us: f64,
+    pinned: Vec<(EdgeId, ModeId)>,
+}
+
+/// Internal handle: variables of one mode group.
+pub(crate) struct GroupVars {
+    /// `k[m]` binaries, one per ladder mode.
+    pub k: Vec<Var>,
+}
+
+impl<'a> MilpFormulation<'a> {
+    /// Starts a formulation with no filtering at edge granularity.
+    #[must_use]
+    pub fn new(
+        cfg: &'a Cfg,
+        profile: &'a Profile,
+        ladder: &'a VoltageLadder,
+        transition: &'a TransitionModel,
+        deadline_us: f64,
+    ) -> Self {
+        MilpFormulation {
+            cfg,
+            profile,
+            ladder,
+            transition,
+            filter: EdgeFilter::identity(cfg),
+            granularity: Granularity::Edge,
+            deadline_us,
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Forces the mode on `edge` to `mode` — e.g. pinning an I/O or
+    /// latency-critical region to a specific speed regardless of what the
+    /// optimizer would choose. Pins apply to the edge's representative
+    /// group, so tied edges inherit them.
+    #[must_use]
+    pub fn with_pinned_edge(mut self, edge: EdgeId, mode: ModeId) -> Self {
+        self.pinned.push((edge, mode));
+        self
+    }
+
+    /// Installs an [`EdgeFilter`] (variable tying).
+    #[must_use]
+    pub fn with_filter(mut self, filter: EdgeFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Switches the mode-variable granularity.
+    #[must_use]
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Effective representative of `e` under filter + granularity.
+    fn rep(&self, e: EdgeId) -> EdgeId {
+        match self.granularity {
+            Granularity::Edge => self.filter.rep(e),
+            Granularity::Block => {
+                // All edges into the same block share the lowest-id edge.
+                let dst = self.cfg.edge(e).dst;
+                self.cfg
+                    .in_edges(dst)
+                    .min()
+                    .expect("non-entry blocks have in-edges")
+            }
+        }
+    }
+
+    /// Builds and solves the MILP.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::Infeasible`] when no assignment meets the deadline, or
+    /// solver resource errors.
+    pub fn solve(&self) -> Result<MilpOutcome, MilpError> {
+        let n_modes = self.ladder.len();
+        let mut model = Model::new(Sense::Minimize);
+
+        // --- mode variable groups: one per representative edge + start ---
+        let mut groups: Vec<Option<GroupVars>> = (0..self.cfg.num_edges()).map(|_| None).collect();
+        for e in self.cfg.edges() {
+            let r = self.rep(e.id);
+            if groups[r.index()].is_none() {
+                let k: Vec<Var> = (0..n_modes)
+                    .map(|m| model.bool_var(format!("k_{}_{m}", r.index())))
+                    .collect();
+                let mut sum = LinExpr::zero();
+                for &v in &k {
+                    sum += LinExpr::from(v);
+                }
+                model.add_eq(sum, 1.0);
+                model.add_sos1(k.clone());
+                groups[r.index()] = Some(GroupVars { k });
+            }
+        }
+        let start: Vec<Var> = (0..n_modes).map(|m| model.bool_var(format!("k_start_{m}"))).collect();
+        {
+            let mut sum = LinExpr::zero();
+            for &v in &start {
+                sum += LinExpr::from(v);
+            }
+            model.add_eq(sum, 1.0);
+            model.add_sos1(start.clone());
+        }
+        let kvars = |slot: Option<EdgeId>| -> &[Var] {
+            match slot {
+                Some(e) => {
+                    &groups[self.rep(e).index()]
+                        .as_ref()
+                        .expect("group created for every rep")
+                        .k
+                }
+                None => &start,
+            }
+        };
+
+        // --- block energy & time, attributed per incoming edge ---
+        let mut energy = LinExpr::zero();
+        let mut time = LinExpr::zero();
+        for e in self.cfg.edges() {
+            let g = self.profile.edge_count(e.id) as f64;
+            if g == 0.0 {
+                continue;
+            }
+            let ks = kvars(Some(e.id));
+            for (m, &kv) in ks.iter().enumerate() {
+                let c = self.profile.block_cost(e.dst, m);
+                energy += (g * c.energy_uj) * kv;
+                time += (g * c.time_us) * kv;
+            }
+        }
+        // Entry block runs under the start mode once per run.
+        let entry_runs = self.profile.block_count(self.cfg.entry()) as f64;
+        for (m, &kv) in start.iter().enumerate() {
+            let c = self.profile.block_cost(self.cfg.entry(), m);
+            energy += (entry_runs * c.energy_uj) * kv;
+            time += (entry_runs * c.time_us) * kv;
+        }
+
+        // --- transition costs per local path ---
+        let ce = self.transition.energy_uj(1.0, 0.0); // (1-u)·c
+        let ct = self.transition.time_us(1.0, 0.0); // 2c/IMAX
+        let mut transition_energy = LinExpr::zero();
+        if ce > 0.0 || ct > 0.0 {
+            for (path, d) in self.profile.local_paths() {
+                let Some(exit) = path.exit else { continue };
+                let d = d as f64;
+                let enter_rep = path.enter.map(|e| self.rep(e));
+                let exit_rep = self.rep(exit);
+                if enter_rep == Some(exit_rep) {
+                    continue; // same variable group: never a transition
+                }
+                let ke = kvars(path.enter);
+                let kx = kvars(Some(exit));
+                // X = Σ V²_m (ke_m - kx_m); Y likewise with V.
+                let mut x = LinExpr::zero();
+                let mut y = LinExpr::zero();
+                for (m, pt) in self.ladder.iter() {
+                    let (vv, v) = (pt.voltage * pt.voltage, pt.voltage);
+                    x += vv * ke[m.index()];
+                    x -= vv * kx[m.index()];
+                    y += v * ke[m.index()];
+                    y -= v * kx[m.index()];
+                }
+                let ep = model.num_var(format!("e_p{}", path.block.index()), 0.0, f64::INFINITY);
+                let tp = model.num_var(format!("t_p{}", path.block.index()), 0.0, f64::INFINITY);
+                model.add_ge(LinExpr::from(ep) - x.clone(), 0.0);
+                model.add_ge(LinExpr::from(ep) + x, 0.0);
+                model.add_ge(LinExpr::from(tp) - y.clone(), 0.0);
+                model.add_ge(LinExpr::from(tp) + y, 0.0);
+                transition_energy += (d * ce) * ep;
+                time += (d * ct) * tp;
+            }
+        }
+
+        // User pins: the chosen group member is fixed to 1.
+        for &(edge, mode) in &self.pinned {
+            let ks = kvars(Some(edge));
+            model.add_eq(LinExpr::from(ks[mode.index()]), 1.0);
+        }
+
+        let objective = energy + transition_energy.clone();
+        model.set_objective(objective);
+        model.add_le(time.clone(), self.deadline_us);
+
+        let binary_vars = model.num_int_vars();
+        let constraints = model.num_constraints();
+
+        // Warm start: the slowest single mode that meets the deadline is
+        // always feasible (all groups at that mode, zero transition vars)
+        // and gives branch-and-bound an immediate pruning bound.
+        let warm: Option<Vec<f64>> = self
+            .ladder
+            .modes()
+            .find(|m| self.profile.total_time_at(m.index()) <= self.deadline_us)
+            .map(|m| {
+                let mut x = vec![0.0; model.num_vars()];
+                for g in groups.iter().flatten() {
+                    x[g.k[m.index()].index()] = 1.0;
+                }
+                x[start[m.index()].index()] = 1.0;
+                x
+            });
+
+        let t0 = Instant::now();
+        let sol = solve_seeded(&model, &BranchConfig::default(), warm.as_deref())?;
+        let solve_time = t0.elapsed();
+
+        // --- extract the schedule ---
+        let pick = |ks: &[Var]| -> ModeId {
+            let mut best = 0;
+            let mut bv = f64::NEG_INFINITY;
+            for (m, &kv) in ks.iter().enumerate() {
+                let v = sol.value(kv);
+                if v > bv {
+                    bv = v;
+                    best = m;
+                }
+            }
+            ModeId(best)
+        };
+        let edge_modes: Vec<ModeId> = self
+            .cfg
+            .edges()
+            .map(|e| pick(kvars(Some(e.id))))
+            .collect();
+        let schedule = EdgeSchedule { initial: pick(&start), edge_modes };
+
+        Ok(MilpOutcome {
+            schedule,
+            predicted_energy_uj: sol.objective,
+            predicted_time_us: time.eval(&sol.values),
+            predicted_transition_energy_uj: transition_energy.eval(&sol.values),
+            solve_stats: sol.stats,
+            solve_time,
+            binary_vars,
+            constraints,
+        })
+    }
+
+    /// The filter in use (for reporting).
+    #[must_use]
+    pub fn filter(&self) -> &EdgeFilter {
+        &self.filter
+    }
+
+    /// The local paths that would receive transition variables.
+    #[must_use]
+    pub fn transition_paths(&self) -> Vec<(LocalPath, u64)> {
+        self.profile
+            .local_paths()
+            .filter(|(p, _)| p.exit.is_some())
+            .collect()
+    }
+}

@@ -1,0 +1,372 @@
+use crate::{baseline, EdgeFilter, MilpFormulation, MilpOutcome, ScheduleAnalysis};
+use dvs_ir::{Cfg, Profile};
+use dvs_milp::MilpError;
+use dvs_sim::{Machine, ModeProfiler, RunStats, ScheduledRun, Trace};
+use dvs_vf::{TransitionModel, VoltageLadder};
+
+/// Everything the end-to-end pass produces for one `(program, deadline)`
+/// pair.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The MILP solution (schedule + predictions + solver stats).
+    pub milp: MilpOutcome,
+    /// Static schedule analysis (silent mode-sets, predicted transitions).
+    pub analysis: ScheduleAnalysis,
+    /// Baseline: best single mode `(mode, time_us, energy_uj)`, if any
+    /// single mode meets the deadline.
+    pub single_mode: Option<(dvs_vf::ModeId, f64, f64)>,
+    /// Simulator validation of the schedule (measured, not predicted), when
+    /// requested.
+    pub validated: Option<ScheduledRun>,
+}
+
+impl CompileResult {
+    /// Energy-savings ratio vs the best single mode, from MILP predictions.
+    /// `None` when no single mode is feasible (nothing to normalize by).
+    #[must_use]
+    pub fn savings_vs_single(&self) -> Option<f64> {
+        let (_, _, single_e) = self.single_mode?;
+        if single_e <= 0.0 {
+            return Some(0.0);
+        }
+        Some(((single_e - self.milp.predicted_energy_uj) / single_e).max(0.0))
+    }
+}
+
+/// The end-to-end compile-time DVS pass (profile → filter → MILP →
+/// schedule → optional simulator validation).
+#[derive(Debug)]
+pub struct DvsCompiler {
+    machine: Machine,
+    ladder: VoltageLadder,
+    transition: TransitionModel,
+    /// Cumulative-energy tail fraction for edge filtering; the paper uses
+    /// 2% (0.02). Zero disables filtering.
+    pub tail_fraction: f64,
+}
+
+impl DvsCompiler {
+    /// Creates a pass with the given machine, ladder and regulator model,
+    /// filtering at the paper's 2% tail.
+    #[must_use]
+    pub fn new(machine: Machine, ladder: VoltageLadder, transition: TransitionModel) -> Self {
+        DvsCompiler { machine, ladder, transition, tail_fraction: 0.02 }
+    }
+
+    /// The voltage ladder in use.
+    #[must_use]
+    pub fn ladder(&self) -> &VoltageLadder {
+        &self.ladder
+    }
+
+    /// The transition model in use.
+    #[must_use]
+    pub fn transition(&self) -> &TransitionModel {
+        &self.transition
+    }
+
+    /// The machine used for profiling and validation.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Profiles `trace` at every ladder mode. Profiles are reusable across
+    /// deadlines and transition models, so call this once per
+    /// (program, input) and feed the result to [`DvsCompiler::compile`]
+    /// repeatedly.
+    #[must_use]
+    pub fn profile(&self, cfg: &Cfg, trace: &Trace) -> (Profile, Vec<RunStats>) {
+        ModeProfiler::new(self.machine.clone()).profile(cfg, trace, &self.ladder)
+    }
+
+    /// Runs filter + MILP for one deadline on an existing profile.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::Infeasible`] when the deadline cannot be met.
+    pub fn compile(
+        &self,
+        cfg: &Cfg,
+        profile: &Profile,
+        deadline_us: f64,
+    ) -> Result<CompileResult, MilpError> {
+        let ref_mode = self.ladder.len() - 1;
+        let filter = if self.tail_fraction > 0.0 {
+            EdgeFilter::tail_rule(cfg, profile, ref_mode, self.tail_fraction)
+        } else {
+            EdgeFilter::identity(cfg)
+        };
+        let milp = MilpFormulation::new(cfg, profile, &self.ladder, &self.transition, deadline_us)
+            .with_filter(filter)
+            .solve()?;
+        let analysis = ScheduleAnalysis::new(cfg, profile, &milp.schedule);
+        let single_mode = baseline::best_single_mode(profile, &self.ladder, deadline_us);
+        Ok(CompileResult { milp, analysis, single_mode, validated: None })
+    }
+
+    /// The §4.3 multi-category pass: one shared schedule minimizing the
+    /// weighted-average energy across `categories`, validated by
+    /// re-simulating every category's trace under the shared schedule.
+    /// Returns the outcome plus per-category measured runs (same order as
+    /// `categories`).
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::Infeasible`] when no shared assignment meets every
+    /// category deadline.
+    pub fn compile_multi(
+        &self,
+        cfg: &Cfg,
+        categories: &[crate::CategoryProfile],
+        traces: &[&Trace],
+    ) -> Result<(crate::MultiOutcome, Vec<ScheduledRun>), MilpError> {
+        assert_eq!(
+            categories.len(),
+            traces.len(),
+            "one trace per category required"
+        );
+        let ref_mode = self.ladder.len() - 1;
+        let filter = if self.tail_fraction > 0.0 {
+            // Filter from the heaviest-weight category's profile.
+            let heaviest = categories
+                .iter()
+                .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+                .expect("at least one category");
+            EdgeFilter::tail_rule(cfg, &heaviest.profile, ref_mode, self.tail_fraction)
+        } else {
+            EdgeFilter::identity(cfg)
+        };
+        let outcome = crate::MultiCategory::new(cfg, categories, &self.ladder, &self.transition)
+            .with_filter(filter)
+            .solve()?;
+        let runs = traces
+            .iter()
+            .map(|t| {
+                self.machine.run_scheduled(
+                    cfg,
+                    t,
+                    &self.ladder,
+                    &outcome.schedule,
+                    &self.transition,
+                )
+            })
+            .collect();
+        Ok((outcome, runs))
+    }
+
+    /// [`DvsCompiler::compile`] plus a re-simulation of the schedule to
+    /// measure (rather than predict) time, energy and transition counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DvsCompiler::compile`].
+    pub fn compile_and_validate(
+        &self,
+        cfg: &Cfg,
+        trace: &Trace,
+        profile: &Profile,
+        deadline_us: f64,
+    ) -> Result<CompileResult, MilpError> {
+        let mut result = self.compile(cfg, profile, deadline_us)?;
+        let run = self.machine.run_scheduled(
+            cfg,
+            trace,
+            &self.ladder,
+            &result.milp.schedule,
+            &self.transition,
+        );
+        result.validated = Some(run);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sim::TraceBuilder;
+    use dvs_ir::{CfgBuilder, Inst, MemWidth, Opcode, Reg};
+    use dvs_vf::AlphaPower;
+
+    /// A program with a memory-bound loop followed by a compute-bound loop,
+    /// the canonical shape that benefits from intra-program DVS.
+    fn two_phase_program() -> (Cfg, Trace) {
+        let mut b = CfgBuilder::new("two-phase");
+        let e = b.block("entry");
+        let mem = b.block("memloop");
+        let comp = b.block("comploop");
+        let x = b.block("exit");
+        // memloop: strided load + thin compute.
+        b.push(mem, Inst::load(Reg(1), Reg(2), MemWidth::B4));
+        b.push(mem, Inst::alu(Opcode::IntAlu, Reg(3), &[Reg(1)]));
+        b.push(mem, Inst::branch(Reg(3)));
+        // comploop: dependent ALU chain.
+        for _ in 0..10 {
+            b.push(comp, Inst::alu(Opcode::IntAlu, Reg(4), &[Reg(4)]));
+        }
+        b.push(comp, Inst::branch(Reg(4)));
+        b.edge(e, mem);
+        b.edge(mem, mem);
+        b.edge(mem, comp);
+        b.edge(comp, comp);
+        b.edge(comp, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut tb = TraceBuilder::new(&cfg);
+        let (e, mem, comp, x) = (
+            cfg.entry(),
+            cfg.block_by_label("memloop").unwrap(),
+            cfg.block_by_label("comploop").unwrap(),
+            cfg.exit(),
+        );
+        tb.step(e, vec![]);
+        for i in 0..400u64 {
+            tb.step(mem, vec![0x10_0000 + i * 4096]);
+        }
+        for _ in 0..400 {
+            tb.step(comp, vec![]);
+        }
+        tb.step(x, vec![]);
+        let t = tb.finish().unwrap();
+        (cfg, t)
+    }
+
+    fn compiler() -> DvsCompiler {
+        DvsCompiler::new(
+            Machine::paper_default(),
+            VoltageLadder::xscale3(&AlphaPower::paper()),
+            TransitionModel::with_capacitance_uf(10.0),
+        )
+    }
+
+    #[test]
+    fn end_to_end_meets_deadline_and_beats_single_mode() {
+        let (cfg, trace) = two_phase_program();
+        let c = compiler();
+        let (profile, runs) = c.profile(&cfg, &trace);
+        // Deadline between the all-fast and all-slow runtimes.
+        let t_fast = runs.last().unwrap().total_time_us;
+        let t_slow = runs[0].total_time_us;
+        let deadline = t_fast + 0.5 * (t_slow - t_fast);
+        let r = c.compile_and_validate(&cfg, &trace, &profile, deadline).unwrap();
+
+        assert!(r.milp.predicted_time_us <= deadline + 1e-6);
+        // The MILP may never do worse than the best single mode.
+        let (_, _, single_e) = r.single_mode.unwrap();
+        assert!(
+            r.milp.predicted_energy_uj <= single_e + 1e-6,
+            "milp {} vs single {}",
+            r.milp.predicted_energy_uj,
+            single_e
+        );
+        // Validation: measured time should be near the prediction and must
+        // respect the deadline with a small modelling tolerance.
+        let v = r.validated.unwrap();
+        assert!(
+            v.time_us <= deadline * 1.05,
+            "validated {} vs deadline {}",
+            v.time_us,
+            deadline
+        );
+    }
+
+    #[test]
+    fn infeasible_deadline_is_reported() {
+        let (cfg, trace) = two_phase_program();
+        let c = compiler();
+        let (profile, runs) = c.profile(&cfg, &trace);
+        let t_fast = runs.last().unwrap().total_time_us;
+        let err = c.compile(&cfg, &profile, t_fast * 0.5).unwrap_err();
+        assert!(matches!(err, MilpError::Infeasible));
+    }
+
+    #[test]
+    fn lax_deadline_runs_everything_slow() {
+        let (cfg, trace) = two_phase_program();
+        let c = compiler();
+        let (profile, runs) = c.profile(&cfg, &trace);
+        let t_slow = runs[0].total_time_us;
+        let r = c.compile(&cfg, &profile, t_slow * 1.5).unwrap();
+        // All-slow single mode is optimal: no transitions worth paying for.
+        assert_eq!(r.analysis.predicted_dynamic_transitions(), 0);
+        assert_eq!(r.milp.schedule.initial, dvs_vf::ModeId(0));
+        assert!(r.savings_vs_single().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn compile_multi_meets_both_category_deadlines() {
+        // Two "categories" = the same program with different iteration
+        // balances (memory-heavy vs compute-heavy executions).
+        let (cfg, trace_a) = two_phase_program();
+        let trace_b = {
+            let mut tb = dvs_sim::TraceBuilder::new(&cfg);
+            let (e, mem, comp, x) = (
+                cfg.entry(),
+                cfg.block_by_label("memloop").unwrap(),
+                cfg.block_by_label("comploop").unwrap(),
+                cfg.exit(),
+            );
+            tb.step(e, vec![]);
+            for i in 0..150u64 {
+                tb.step(mem, vec![0x60_0000 + i * 4096]);
+            }
+            for _ in 0..900 {
+                tb.step(comp, vec![]);
+            }
+            tb.step(x, vec![]);
+            tb.finish().unwrap()
+        };
+        let c = compiler();
+        let (pa, runs_a) = c.profile(&cfg, &trace_a);
+        let (pb, runs_b) = c.profile(&cfg, &trace_b);
+        let mk_deadline = |runs: &[dvs_sim::RunStats]| {
+            let tf = runs.last().unwrap().total_time_us;
+            let ts = runs[0].total_time_us;
+            tf + 0.5 * (ts - tf)
+        };
+        let da = mk_deadline(&runs_a);
+        let db = mk_deadline(&runs_b);
+        let cats = vec![
+            crate::CategoryProfile { weight: 0.5, profile: pa, deadline_us: da },
+            crate::CategoryProfile { weight: 0.5, profile: pb, deadline_us: db },
+        ];
+        let (outcome, measured) = c
+            .compile_multi(&cfg, &cats, &[&trace_a, &trace_b])
+            .expect("joint deadlines feasible");
+        assert_eq!(measured.len(), 2);
+        assert!(outcome.predicted_times_us[0] <= da + 1e-6);
+        assert!(outcome.predicted_times_us[1] <= db + 1e-6);
+        assert!(measured[0].time_us <= da * 1.05, "cat A measured over deadline");
+        assert!(measured[1].time_us <= db * 1.05, "cat B measured over deadline");
+    }
+
+    #[test]
+    fn transition_costs_reduce_switching() {
+        let (cfg, trace) = two_phase_program();
+        let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+        let cheap = DvsCompiler::new(
+            Machine::paper_default(),
+            ladder.clone(),
+            TransitionModel::with_capacitance_uf(0.01),
+        );
+        let pricey = DvsCompiler::new(
+            Machine::paper_default(),
+            ladder,
+            TransitionModel::with_capacitance_uf(100.0),
+        );
+        let (profile, runs) = cheap.profile(&cfg, &trace);
+        let t_fast = runs.last().unwrap().total_time_us;
+        let t_slow = runs[0].total_time_us;
+        let deadline = t_fast + 0.4 * (t_slow - t_fast);
+        let r_cheap = cheap.compile(&cfg, &profile, deadline).unwrap();
+        let r_pricey = pricey.compile(&cfg, &profile, deadline).unwrap();
+        assert!(
+            r_pricey.analysis.predicted_dynamic_transitions()
+                <= r_cheap.analysis.predicted_dynamic_transitions(),
+            "expensive transitions must not increase switching"
+        );
+        // And expensive-transition energy is never below cheap-transition.
+        assert!(
+            r_pricey.milp.predicted_energy_uj >= r_cheap.milp.predicted_energy_uj - 1e-9
+        );
+    }
+}

@@ -1,0 +1,96 @@
+use crate::Inst;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a basic block within its [`crate::Cfg`]. Dense indices,
+/// assigned in creation order by [`crate::CfgBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub usize);
+
+impl BlockId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A straight-line sequence of instructions with a single entry and a
+/// single exit.
+///
+/// Blocks are also the paper's "regions": profiling attributes a time
+/// `T(j,m)` and energy `E(j,m)` to each block `j` under each DVS mode `m`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// This block's id.
+    pub id: BlockId,
+    /// Human-readable label (unique within the CFG).
+    pub label: String,
+    /// The instructions, in program order. If the block ends in a branch it
+    /// is the last instruction.
+    pub insts: Vec<Inst>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block.
+    #[must_use]
+    pub fn new(id: BlockId, label: impl Into<String>) -> Self {
+        BasicBlock { id, label: label.into(), insts: Vec::new() }
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Count of instructions that access memory.
+    #[must_use]
+    pub fn mem_inst_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.opcode.is_mem()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemWidth, Opcode, Reg};
+
+    #[test]
+    fn empty_block() {
+        let b = BasicBlock::new(BlockId(3), "loop.body");
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.id, BlockId(3));
+        assert_eq!(b.label, "loop.body");
+    }
+
+    #[test]
+    fn mem_inst_count_counts_loads_and_stores() {
+        let mut b = BasicBlock::new(BlockId(0), "b");
+        b.insts.push(Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(2)]));
+        b.insts.push(Inst::load(Reg(3), Reg(1), MemWidth::B4));
+        b.insts.push(Inst::store(Reg(3), Reg(1), MemWidth::B4));
+        b.insts.push(Inst::branch(Reg(3)));
+        assert_eq!(b.mem_inst_count(), 2);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(12).to_string(), "B12");
+        assert_eq!(BlockId(12).index(), 12);
+    }
+}

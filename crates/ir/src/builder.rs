@@ -1,0 +1,132 @@
+use crate::{BasicBlock, BlockId, Cfg, Edge, EdgeId, Inst, IrError};
+
+/// Incremental builder for [`Cfg`]s.
+///
+/// Blocks and edges can be added in any order; [`CfgBuilder::finish`]
+/// validates the full set of CFG invariants at once and returns every
+/// violation as a typed [`IrError`].
+///
+/// # Example
+///
+/// ```
+/// use dvs_ir::{CfgBuilder, Inst, Opcode, Reg};
+/// let mut b = CfgBuilder::new("tiny");
+/// let entry = b.block("entry");
+/// let exit = b.block("exit");
+/// b.push(entry, Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(1)]));
+/// b.edge(entry, exit);
+/// let cfg = b.finish(entry, exit).unwrap();
+/// assert_eq!(cfg.block(entry).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CfgBuilder {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    edges: Vec<Edge>,
+}
+
+impl CfgBuilder {
+    /// Starts building a CFG called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        CfgBuilder { name: name.into(), blocks: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds an empty block labelled `label` and returns its id.
+    pub fn block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.blocks.push(BasicBlock::new(id, label));
+        id
+    }
+
+    /// Appends an instruction to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn push(&mut self, block: BlockId, inst: Inst) {
+        self.blocks[block.0].insts.push(inst);
+    }
+
+    /// Appends many instructions to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn push_all(&mut self, block: BlockId, insts: impl IntoIterator<Item = Inst>) {
+        self.blocks[block.0].insts.extend(insts);
+    }
+
+    /// Adds the edge `src -> dst` and returns its id. Duplicates are
+    /// detected at [`CfgBuilder::finish`] time.
+    pub fn edge(&mut self, src: BlockId, dst: BlockId) -> EdgeId {
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { id, src, dst });
+        id
+    }
+
+    /// Number of blocks added so far.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Validates and produces the immutable [`Cfg`].
+    ///
+    /// # Errors
+    ///
+    /// Any violated invariant, as an [`IrError`]; see [`Cfg`] for the list.
+    pub fn finish(self, entry: BlockId, exit: BlockId) -> Result<Cfg, IrError> {
+        Cfg::new(self.name, self.blocks, self.edges, entry, exit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Reg};
+
+    #[test]
+    fn builder_accumulates_instructions() {
+        let mut b = CfgBuilder::new("t");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.push(e, Inst::nop());
+        b.push_all(e, vec![Inst::nop(), Inst::alu(Opcode::IntAlu, Reg(1), &[])]);
+        b.edge(e, x);
+        assert_eq!(b.num_blocks(), 2);
+        let cfg = b.finish(e, x).unwrap();
+        assert_eq!(cfg.block(e).len(), 3);
+        assert_eq!(cfg.static_inst_count(), 3);
+    }
+
+    #[test]
+    fn single_block_graph() {
+        let mut b = CfgBuilder::new("one");
+        let only = b.block("only");
+        let cfg = b.finish(only, only).unwrap();
+        assert_eq!(cfg.num_blocks(), 1);
+        assert_eq!(cfg.entry(), cfg.exit());
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let b = CfgBuilder::new("none");
+        assert!(matches!(b.finish(BlockId(0), BlockId(0)), Err(IrError::Empty)));
+    }
+
+    #[test]
+    fn edge_ids_are_dense_in_insertion_order() {
+        let mut b = CfgBuilder::new("t");
+        let e = b.block("entry");
+        let m = b.block("mid");
+        let x = b.block("exit");
+        let e0 = b.edge(e, m);
+        let e1 = b.edge(m, x);
+        assert_eq!(e0, EdgeId(0));
+        assert_eq!(e1, EdgeId(1));
+        let cfg = b.finish(e, x).unwrap();
+        assert_eq!(cfg.edge(e0).dst, m);
+        assert_eq!(cfg.edge(e1).src, m);
+    }
+}

@@ -1,0 +1,446 @@
+use crate::{BasicBlock, BlockId, IrError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a control-flow edge within its [`Cfg`]. Dense indices,
+/// assigned in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A directed control-flow edge `src -> dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// This edge's id.
+    pub id: EdgeId,
+    /// Source block.
+    pub src: BlockId,
+    /// Destination block.
+    pub dst: BlockId,
+}
+
+/// A validated control-flow graph with designated entry and exit blocks.
+///
+/// Invariants established by [`crate::CfgBuilder::finish`]:
+///
+/// * every block is reachable from `entry` and reaches `exit`;
+/// * `entry` has no predecessors and `exit` no successors;
+/// * edges are unique and labels are unique.
+///
+/// The graph is immutable after construction, so analyses can cache dense
+/// per-block/per-edge tables indexed by [`BlockId`]/[`EdgeId`].
+///
+/// Serialization stores only the definitional data (blocks, edges, entry,
+/// exit); adjacency and lookup tables are rebuilt — and the invariants
+/// revalidated — on deserialization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "CfgSerde", into = "CfgSerde")]
+pub struct Cfg {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    edges: Vec<Edge>,
+    succ: Vec<Vec<EdgeId>>,
+    pred: Vec<Vec<EdgeId>>,
+    entry: BlockId,
+    exit: BlockId,
+    edge_lookup: HashMap<(BlockId, BlockId), EdgeId>,
+}
+
+/// Serde bridge carrying only the definitional fields of a [`Cfg`].
+#[derive(Serialize, Deserialize)]
+struct CfgSerde {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    edges: Vec<Edge>,
+    entry: BlockId,
+    exit: BlockId,
+}
+
+impl From<Cfg> for CfgSerde {
+    fn from(c: Cfg) -> Self {
+        CfgSerde {
+            name: c.name,
+            blocks: c.blocks,
+            edges: c.edges,
+            entry: c.entry,
+            exit: c.exit,
+        }
+    }
+}
+
+impl TryFrom<CfgSerde> for Cfg {
+    type Error = IrError;
+    fn try_from(s: CfgSerde) -> Result<Self, IrError> {
+        Cfg::new(s.name, s.blocks, s.edges, s.entry, s.exit)
+    }
+}
+
+impl Cfg {
+    pub(crate) fn new(
+        name: String,
+        blocks: Vec<BasicBlock>,
+        edges: Vec<Edge>,
+        entry: BlockId,
+        exit: BlockId,
+    ) -> Result<Self, IrError> {
+        if blocks.is_empty() {
+            return Err(IrError::Empty);
+        }
+        let n = blocks.len();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        let mut edge_lookup = HashMap::new();
+        for e in &edges {
+            if e.src.0 >= n {
+                return Err(IrError::UnknownBlock(e.src));
+            }
+            if e.dst.0 >= n {
+                return Err(IrError::UnknownBlock(e.dst));
+            }
+            if edge_lookup.insert((e.src, e.dst), e.id).is_some() {
+                return Err(IrError::DuplicateEdge(e.src, e.dst));
+            }
+            succ[e.src.0].push(e.id);
+            pred[e.dst.0].push(e.id);
+        }
+        let cfg = Cfg { name, blocks, edges, succ, pred, entry, exit, edge_lookup };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), IrError> {
+        if !self.pred[self.entry.0].is_empty() {
+            return Err(IrError::EntryHasPredecessors(self.entry));
+        }
+        if !self.succ[self.exit.0].is_empty() {
+            return Err(IrError::ExitHasSuccessors(self.exit));
+        }
+        let mut labels = HashMap::new();
+        for b in &self.blocks {
+            if labels.insert(b.label.clone(), b.id).is_some() {
+                return Err(IrError::DuplicateLabel(b.label.clone()));
+            }
+        }
+        // Forward reachability from entry.
+        let fwd = self.reach(self.entry, |b| self.successors(b).collect::<Vec<_>>());
+        if let Some(b) = (0..self.blocks.len()).find(|&i| !fwd[i]) {
+            return Err(IrError::Unreachable(BlockId(b)));
+        }
+        // Backward reachability from exit.
+        let bwd = self.reach(self.exit, |b| self.predecessors(b).collect::<Vec<_>>());
+        if let Some(b) = (0..self.blocks.len()).find(|&i| !bwd[i]) {
+            return Err(IrError::NoPathToExit(BlockId(b)));
+        }
+        Ok(())
+    }
+
+    fn reach(&self, start: BlockId, next: impl Fn(BlockId) -> Vec<BlockId>) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![start];
+        seen[start.0] = true;
+        while let Some(b) = stack.pop() {
+            for s in next(b) {
+                if !seen[s.0] {
+                    seen[s.0] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The graph's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The exit block.
+    #[must_use]
+    pub fn exit(&self) -> BlockId {
+        self.exit
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The block with id `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn block(&self, b: BlockId) -> &BasicBlock {
+        &self.blocks[b.0]
+    }
+
+    /// The edge with id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.0]
+    }
+
+    /// All blocks in id order.
+    pub fn blocks(&self) -> impl Iterator<Item = &BasicBlock> {
+        self.blocks.iter()
+    }
+
+    /// All edges in id order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Ids of edges leaving `b`.
+    pub fn out_edges(&self, b: BlockId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.succ[b.0].iter().copied()
+    }
+
+    /// Ids of edges entering `b`.
+    pub fn in_edges(&self, b: BlockId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.pred[b.0].iter().copied()
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        self.succ[b.0].iter().map(move |&e| self.edges[e.0].dst)
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn predecessors(&self, b: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        self.pred[b.0].iter().map(move |&e| self.edges[e.0].src)
+    }
+
+    /// The edge `a -> b`, if present.
+    #[must_use]
+    pub fn edge_between(&self, a: BlockId, b: BlockId) -> Option<EdgeId> {
+        self.edge_lookup.get(&(a, b)).copied()
+    }
+
+    /// Looks up a block by label.
+    #[must_use]
+    pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
+        self.blocks.iter().find(|b| b.label == label).map(|b| b.id)
+    }
+
+    /// Blocks in reverse post-order of a depth-first search from the entry —
+    /// the canonical iteration order for forward dataflow analyses.
+    #[must_use]
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut state = vec![0u8; self.blocks.len()]; // 0=unseen 1=open 2=done
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit stack of (block, next-successor-ix).
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        state[self.entry.0] = 1;
+        while let Some(&mut (b, ref mut ix)) = stack.last_mut() {
+            let succs = &self.succ[b.0];
+            if *ix < succs.len() {
+                let nxt = self.edges[succs[*ix].0].dst;
+                *ix += 1;
+                if state[nxt.0] == 0 {
+                    state[nxt.0] = 1;
+                    stack.push((nxt, 0));
+                }
+            } else {
+                state[b.0] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Total static instruction count across all blocks.
+    #[must_use]
+    pub fn static_inst_count(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfgBuilder;
+
+    fn diamond() -> Cfg {
+        let mut b = CfgBuilder::new("d");
+        let e = b.block("entry");
+        let t = b.block("t");
+        let f = b.block("f");
+        let x = b.block("exit");
+        b.edge(e, t);
+        b.edge(e, f);
+        b.edge(t, x);
+        b.edge(f, x);
+        b.finish(e, x).unwrap()
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let g = diamond();
+        assert_eq!(g.num_blocks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.successors(g.entry()).count(), 2);
+        assert_eq!(g.predecessors(g.exit()).count(), 2);
+        assert_eq!(g.out_edges(g.exit()).count(), 0);
+        assert_eq!(g.in_edges(g.entry()).count(), 0);
+    }
+
+    #[test]
+    fn edge_between_lookup() {
+        let g = diamond();
+        let t = g.block_by_label("t").unwrap();
+        assert!(g.edge_between(g.entry(), t).is_some());
+        assert!(g.edge_between(t, g.entry()).is_none());
+        let e = g.edge_between(g.entry(), t).unwrap();
+        assert_eq!(g.edge(e).src, g.entry());
+        assert_eq!(g.edge(e).dst, t);
+    }
+
+    #[test]
+    fn reverse_post_order_starts_at_entry_and_respects_topology() {
+        let g = diamond();
+        let rpo = g.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], g.entry());
+        assert_eq!(*rpo.last().unwrap(), g.exit());
+        // entry must come before both branches, which come before exit.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        let t = g.block_by_label("t").unwrap();
+        let f = g.block_by_label("f").unwrap();
+        assert!(pos(g.entry()) < pos(t));
+        assert!(pos(g.entry()) < pos(f));
+        assert!(pos(t) < pos(g.exit()));
+        assert!(pos(f) < pos(g.exit()));
+    }
+
+    #[test]
+    fn rpo_handles_loops() {
+        let mut b = CfgBuilder::new("loop");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h); // back edge
+        b.edge(h, x);
+        let g = b.finish(e, x).unwrap();
+        let rpo = g.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], e);
+    }
+
+    #[test]
+    fn unreachable_block_rejected() {
+        let mut b = CfgBuilder::new("bad");
+        let e = b.block("entry");
+        let orphan = b.block("orphan");
+        let x = b.block("exit");
+        b.edge(e, x);
+        b.edge(orphan, x);
+        assert!(matches!(b.finish(e, x), Err(IrError::Unreachable(_))));
+    }
+
+    #[test]
+    fn block_with_no_exit_path_rejected() {
+        let mut b = CfgBuilder::new("bad");
+        let e = b.block("entry");
+        let sink = b.block("sink");
+        let x = b.block("exit");
+        b.edge(e, sink);
+        b.edge(e, x);
+        assert!(matches!(b.finish(e, x), Err(IrError::NoPathToExit(_))));
+    }
+
+    #[test]
+    fn entry_with_predecessor_rejected() {
+        let mut b = CfgBuilder::new("bad");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        b.edge(x, e);
+        assert!(matches!(
+            b.finish(e, x),
+            Err(IrError::EntryHasPredecessors(_)) | Err(IrError::ExitHasSuccessors(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = CfgBuilder::new("bad");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        b.edge(e, x);
+        assert!(matches!(b.finish(e, x), Err(IrError::DuplicateEdge(_, _))));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_lookup_tables() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).expect("serializes");
+        let back: Cfg = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(g, back);
+        // The rebuilt graph answers adjacency queries (the lookup table is
+        // not serialized; it must be reconstructed).
+        let t = back.block_by_label("t").unwrap();
+        assert!(back.edge_between(back.entry(), t).is_some());
+        assert_eq!(back.successors(back.entry()).count(), 2);
+    }
+
+    #[test]
+    fn serde_rejects_corrupt_graphs() {
+        // An edge referencing a missing block must fail to deserialize.
+        let json = r#"{
+            "name": "bad",
+            "blocks": [{"id": 0, "label": "only", "insts": []}],
+            "edges": [{"id": 0, "src": 0, "dst": 5}],
+            "entry": 0,
+            "exit": 0
+        }"#;
+        assert!(serde_json::from_str::<Cfg>(json).is_err());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut b = CfgBuilder::new("bad");
+        let e = b.block("same");
+        let x = b.block("same");
+        b.edge(e, x);
+        assert!(matches!(b.finish(e, x), Err(IrError::DuplicateLabel(_))));
+    }
+}

@@ -1,0 +1,192 @@
+use crate::{BlockId, Cfg};
+
+/// Dominator tree of a [`Cfg`], computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm over reverse post-order.
+///
+/// Block `a` *dominates* `b` if every path from the entry to `b` passes
+/// through `a`. The mode-set hoisting pass uses dominance to prove that a
+/// loop back-edge's mode setting is redundant with the loop-entry setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry is its
+    /// own immediate dominator.
+    idom: Vec<BlockId>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes the dominator tree for `cfg`.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Self {
+        let rpo = cfg.reverse_post_order();
+        let n = cfg.num_blocks();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = i;
+        }
+        let entry = cfg.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.0] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // Pick the first processed predecessor as the seed.
+                let mut new_idom: Option<BlockId> = None;
+                for p in cfg.predecessors(b) {
+                    if idom[p.0].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                let new_idom = new_idom.expect("reachable block has a processed predecessor");
+                if idom[b.0] != Some(new_idom) {
+                    idom[b.0] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+        Dominators {
+            idom: idom
+                .into_iter()
+                .map(|d| d.expect("all blocks reachable in a validated CFG"))
+                .collect(),
+            entry,
+        }
+    }
+
+    /// Immediate dominator of `b` (the entry returns itself).
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> BlockId {
+        self.idom[b.0]
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every block dominates itself).
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.0];
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    #[must_use]
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0] > rpo_index[b.0] {
+            a = idom[a.0].expect("processed");
+        }
+        while rpo_index[b.0] > rpo_index[a.0] {
+            b = idom[b.0].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfgBuilder;
+
+    #[test]
+    fn diamond_dominators() {
+        let mut b = CfgBuilder::new("d");
+        let e = b.block("entry");
+        let t = b.block("t");
+        let f = b.block("f");
+        let x = b.block("exit");
+        b.edge(e, t);
+        b.edge(e, f);
+        b.edge(t, x);
+        b.edge(f, x);
+        let g = b.finish(e, x).unwrap();
+        let dom = Dominators::compute(&g);
+        assert_eq!(dom.idom(t), e);
+        assert_eq!(dom.idom(f), e);
+        assert_eq!(dom.idom(x), e); // join point dominated only by entry
+        assert!(dom.dominates(e, x));
+        assert!(!dom.dominates(t, x));
+        assert!(dom.dominates(x, x));
+        assert!(!dom.strictly_dominates(x, x));
+        assert!(dom.strictly_dominates(e, t));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let mut b = CfgBuilder::new("loop");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h);
+        b.edge(h, x);
+        let g = b.finish(e, x).unwrap();
+        let dom = Dominators::compute(&g);
+        assert_eq!(dom.idom(h), e);
+        assert_eq!(dom.idom(body), h);
+        assert_eq!(dom.idom(x), h);
+        assert!(dom.dominates(h, body));
+        assert!(!dom.dominates(body, h));
+    }
+
+    #[test]
+    fn nested_loop_dominators() {
+        let mut b = CfgBuilder::new("nest");
+        let e = b.block("entry");
+        let h1 = b.block("outer");
+        let h2 = b.block("inner");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.edge(e, h1);
+        b.edge(h1, h2);
+        b.edge(h2, body);
+        b.edge(body, h2);
+        b.edge(h2, h1);
+        b.edge(h1, x);
+        let g = b.finish(e, x).unwrap();
+        let dom = Dominators::compute(&g);
+        assert!(dom.dominates(h1, h2));
+        assert!(dom.dominates(h2, body));
+        assert!(dom.dominates(h1, body));
+        assert!(!dom.dominates(h2, x));
+        assert_eq!(dom.idom(x), h1);
+    }
+
+    #[test]
+    fn chain_dominators() {
+        let mut b = CfgBuilder::new("chain");
+        let ids: Vec<_> = (0..5).map(|i| b.block(format!("b{i}"))).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        let g = b.finish(ids[0], ids[4]).unwrap();
+        let dom = Dominators::compute(&g);
+        for i in 1..5 {
+            assert_eq!(dom.idom(ids[i]), ids[i - 1]);
+            for j in 0..i {
+                assert!(dom.dominates(ids[j], ids[i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use crate::{Cfg, Profile};
+use std::fmt::Write as _;
+
+/// Renders a [`Cfg`] in Graphviz DOT syntax, optionally annotating edges
+/// with traversal counts from a [`Profile`].
+///
+/// # Example
+///
+/// ```
+/// use dvs_ir::{CfgBuilder, cfg_to_dot};
+/// let mut b = CfgBuilder::new("g");
+/// let e = b.block("entry");
+/// let x = b.block("exit");
+/// b.edge(e, x);
+/// let cfg = b.finish(e, x).unwrap();
+/// let dot = cfg_to_dot(&cfg, None);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("entry"));
+/// ```
+#[must_use]
+pub fn cfg_to_dot(cfg: &Cfg, profile: Option<&Profile>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", cfg.name());
+    let _ = writeln!(s, "  node [shape=box fontname=\"monospace\"];");
+    for b in cfg.blocks() {
+        let shape = if b.id == cfg.entry() || b.id == cfg.exit() {
+            " peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\\n{} insts\"{shape}];",
+            b.id.index(),
+            b.label,
+            b.len()
+        );
+    }
+    for e in cfg.edges() {
+        match profile {
+            Some(p) => {
+                let _ = writeln!(
+                    s,
+                    "  {} -> {} [label=\"{}\"];",
+                    e.src.index(),
+                    e.dst.index(),
+                    p.edge_count(e.id)
+                );
+            }
+            None => {
+                let _ = writeln!(s, "  {} -> {};", e.src.index(), e.dst.index());
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CfgBuilder, ProfileBuilder};
+
+    #[test]
+    fn dot_includes_all_blocks_and_edges() {
+        let mut b = CfgBuilder::new("dotg");
+        let e = b.block("entry");
+        let m = b.block("mid");
+        let x = b.block("exit");
+        b.edge(e, m);
+        b.edge(m, x);
+        b.edge(e, x);
+        let g = b.finish(e, x).unwrap();
+        let dot = cfg_to_dot(&g, None);
+        assert!(dot.starts_with("digraph \"dotg\""));
+        for label in ["entry", "mid", "exit"] {
+            assert!(dot.contains(label), "missing {label}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 3);
+    }
+
+    #[test]
+    fn dot_with_profile_annotates_counts() {
+        let mut b = CfgBuilder::new("dotg");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        let g = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&g, 1);
+        pb.record_walk(&g, &[e, x]);
+        pb.record_walk(&g, &[e, x]);
+        let p = pb.finish();
+        let dot = cfg_to_dot(&g, Some(&p));
+        assert!(dot.contains("label=\"2\""));
+    }
+}

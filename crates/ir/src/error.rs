@@ -1,0 +1,43 @@
+use crate::BlockId;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Cfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A referenced block id does not exist.
+    UnknownBlock(BlockId),
+    /// The same edge was added twice.
+    DuplicateEdge(BlockId, BlockId),
+    /// Two blocks share a label.
+    DuplicateLabel(String),
+    /// The entry block has incoming edges, which would make the paper's
+    /// edge-based mode placement ambiguous at program start.
+    EntryHasPredecessors(BlockId),
+    /// Some block is unreachable from the entry.
+    Unreachable(BlockId),
+    /// Some block cannot reach the exit.
+    NoPathToExit(BlockId),
+    /// The exit block has outgoing edges.
+    ExitHasSuccessors(BlockId),
+    /// The graph has no blocks.
+    Empty,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownBlock(b) => write!(f, "unknown block {b}"),
+            IrError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            IrError::DuplicateLabel(l) => write!(f, "duplicate block label `{l}`"),
+            IrError::EntryHasPredecessors(b) => {
+                write!(f, "entry block {b} has incoming edges")
+            }
+            IrError::Unreachable(b) => write!(f, "block {b} is unreachable from entry"),
+            IrError::NoPathToExit(b) => write!(f, "block {b} cannot reach the exit"),
+            IrError::ExitHasSuccessors(b) => write!(f, "exit block {b} has outgoing edges"),
+            IrError::Empty => write!(f, "control-flow graph has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,263 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An architectural register name. The machine model has 64 integer/FP
+/// registers in a flat namespace; `Reg(0)` is a hard-wired zero register
+/// that never creates dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 64;
+
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Whether this is the zero register (reads never stall, writes are
+    /// discarded).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Width of a memory access in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemWidth {
+    /// 1-byte access.
+    B1,
+    /// 2-byte access.
+    B2,
+    /// 4-byte access.
+    B4,
+    /// 8-byte access.
+    B8,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// Operation classes, mirroring the functional units of the simulated
+/// machine (4 integer ALUs, 1 integer multiply/divide, 1 FP adder, 1 FP
+/// multiplier, 1 FP divide/sqrt, plus memory ports and branches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Simple integer arithmetic/logic (1-cycle).
+    IntAlu,
+    /// Integer multiply (3-cycle, pipelined).
+    IntMul,
+    /// Integer divide (20-cycle, unpipelined).
+    IntDiv,
+    /// Floating-point add/sub/compare (2-cycle, pipelined).
+    FpAdd,
+    /// Floating-point multiply (4-cycle, pipelined).
+    FpMul,
+    /// Floating-point divide or square root (12-cycle, unpipelined).
+    FpDiv,
+    /// Memory load (address generation + cache access).
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional branch; always the block terminator when
+    /// present.
+    Branch,
+    /// No-operation (consumes a slot, creates no dependences).
+    Nop,
+}
+
+impl Opcode {
+    /// Execution latency in cycles on its functional unit, excluding any
+    /// memory-hierarchy time for loads/stores.
+    #[must_use]
+    pub fn base_latency(self) -> u32 {
+        match self {
+            Opcode::IntAlu | Opcode::Nop | Opcode::Branch => 1,
+            Opcode::IntMul => 3,
+            Opcode::IntDiv => 20,
+            Opcode::FpAdd => 2,
+            Opcode::FpMul => 4,
+            Opcode::FpDiv => 12,
+            Opcode::Load | Opcode::Store => 1,
+        }
+    }
+
+    /// Whether this opcode accesses the data memory hierarchy.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Whether this opcode is a control-flow instruction.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Branch)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::IntAlu => "ialu",
+            Opcode::IntMul => "imul",
+            Opcode::IntDiv => "idiv",
+            Opcode::FpAdd => "fadd",
+            Opcode::FpMul => "fmul",
+            Opcode::FpDiv => "fdiv",
+            Opcode::Load => "ld",
+            Opcode::Store => "st",
+            Opcode::Branch => "br",
+            Opcode::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A static instruction inside a basic block.
+///
+/// Source operands express *true* (read-after-write) dependences to the
+/// timing model; anti/output dependences are resolved by renaming in the
+/// out-of-order core and are not modelled.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// Operation class.
+    pub opcode: Opcode,
+    /// Destination register (`Reg::ZERO` when the instruction produces no
+    /// value, e.g. stores and branches).
+    pub dest: Reg,
+    /// Source registers (at most 3 are ever used).
+    pub srcs: Vec<Reg>,
+    /// Access width for loads/stores; ignored otherwise.
+    pub width: MemWidth,
+}
+
+impl Inst {
+    /// An ALU-class instruction `dest <- op(srcs...)`.
+    #[must_use]
+    pub fn alu(opcode: Opcode, dest: Reg, srcs: &[Reg]) -> Self {
+        debug_assert!(!opcode.is_mem() && !opcode.is_branch());
+        Inst { opcode, dest, srcs: srcs.to_vec(), width: MemWidth::B4 }
+    }
+
+    /// A load `dest <- mem[addr(base)]`.
+    #[must_use]
+    pub fn load(dest: Reg, base: Reg, width: MemWidth) -> Self {
+        Inst { opcode: Opcode::Load, dest, srcs: vec![base], width }
+    }
+
+    /// A store `mem[addr(base)] <- value`.
+    #[must_use]
+    pub fn store(value: Reg, base: Reg, width: MemWidth) -> Self {
+        Inst { opcode: Opcode::Store, dest: Reg::ZERO, srcs: vec![base, value], width }
+    }
+
+    /// A branch testing `cond`.
+    #[must_use]
+    pub fn branch(cond: Reg) -> Self {
+        Inst { opcode: Opcode::Branch, dest: Reg::ZERO, srcs: vec![cond], width: MemWidth::B4 }
+    }
+
+    /// A no-op.
+    #[must_use]
+    pub fn nop() -> Self {
+        Inst { opcode: Opcode::Nop, dest: Reg::ZERO, srcs: Vec::new(), width: MemWidth::B4 }
+    }
+
+    /// Whether the instruction writes an architectural register.
+    #[must_use]
+    pub fn writes_reg(&self) -> bool {
+        !self.dest.is_zero()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.opcode, self.dest)?;
+        for s in &self.srcs {
+            write!(f, ", {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_functional_units() {
+        assert_eq!(Opcode::IntAlu.base_latency(), 1);
+        assert_eq!(Opcode::IntMul.base_latency(), 3);
+        assert_eq!(Opcode::IntDiv.base_latency(), 20);
+        assert_eq!(Opcode::FpAdd.base_latency(), 2);
+        assert_eq!(Opcode::FpMul.base_latency(), 4);
+        assert_eq!(Opcode::FpDiv.base_latency(), 12);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Opcode::Load.is_mem());
+        assert!(Opcode::Store.is_mem());
+        assert!(!Opcode::IntAlu.is_mem());
+        assert!(Opcode::Branch.is_branch());
+        assert!(!Opcode::Load.is_branch());
+    }
+
+    #[test]
+    fn constructors_wire_operands() {
+        let ld = Inst::load(Reg(5), Reg(3), MemWidth::B8);
+        assert_eq!(ld.dest, Reg(5));
+        assert_eq!(ld.srcs, vec![Reg(3)]);
+        assert_eq!(ld.width.bytes(), 8);
+        assert!(ld.writes_reg());
+
+        let st = Inst::store(Reg(7), Reg(3), MemWidth::B4);
+        assert!(!st.writes_reg());
+        assert_eq!(st.srcs, vec![Reg(3), Reg(7)]);
+
+        let br = Inst::branch(Reg(2));
+        assert_eq!(br.opcode, Opcode::Branch);
+        assert_eq!(br.srcs, vec![Reg(2)]);
+
+        let nop = Inst::nop();
+        assert!(nop.srcs.is_empty());
+        assert!(!nop.writes_reg());
+    }
+
+    #[test]
+    fn zero_register_is_special() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg(1).is_zero());
+    }
+
+    #[test]
+    fn display_round_trips_basics() {
+        assert_eq!(Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(2), Reg(3)]).to_string(), "ialu r1, r2, r3");
+        assert_eq!(Reg(9).to_string(), "r9");
+        assert_eq!(Opcode::FpDiv.to_string(), "fdiv");
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(MemWidth::B1.bytes(), 1);
+        assert_eq!(MemWidth::B2.bytes(), 2);
+        assert_eq!(MemWidth::B4.bytes(), 4);
+        assert_eq!(MemWidth::B8.bytes(), 8);
+    }
+}

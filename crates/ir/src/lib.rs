@@ -1,0 +1,65 @@
+//! Program representation for the compile-time DVS reproduction.
+//!
+//! The paper's MILP places DVS *mode-set instructions on control-flow-graph
+//! edges*, and charges mode-transition costs per **local path** — the triple
+//! `(h, i, j)` of entering block `i` through edge `(h, i)` and leaving it
+//! through edge `(i, j)`. This crate provides everything the rest of the
+//! system needs to talk about programs at that granularity:
+//!
+//! * [`Inst`]/[`Opcode`]: a small RISC-flavoured instruction set with
+//!   register operands, enough for an out-of-order timing model to track
+//!   true dependences;
+//! * [`Cfg`]/[`BasicBlock`]/[`Edge`]: control-flow graphs with a designated
+//!   entry and exit, built through the panic-free [`CfgBuilder`];
+//! * [`Dominators`] and [`LoopForest`]: classic analyses used by the
+//!   mode-set hoisting post-pass;
+//! * [`LocalPath`] and [`Profile`]: the profiling artifacts the MILP
+//!   consumes — edge counts `G(i,j)`, local-path counts `D(h,i,j)`, and
+//!   per-block time/energy tables per DVS mode.
+//!
+//! # Example
+//!
+//! ```
+//! use dvs_ir::{CfgBuilder, Opcode, Inst, Reg};
+//!
+//! let mut b = CfgBuilder::new("diamond");
+//! let entry = b.block("entry");
+//! let then_ = b.block("then");
+//! let else_ = b.block("else");
+//! let exit = b.block("exit");
+//! b.push(entry, Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(0)]));
+//! b.edge(entry, then_);
+//! b.edge(entry, else_);
+//! b.edge(then_, exit);
+//! b.edge(else_, exit);
+//! let cfg = b.finish(entry, exit).unwrap();
+//! assert_eq!(cfg.num_blocks(), 4);
+//! assert_eq!(cfg.num_edges(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ball_larus;
+mod block;
+mod builder;
+mod cfg;
+mod dominators;
+mod dot;
+mod error;
+mod inst;
+mod loops;
+mod path;
+mod profile;
+
+pub use ball_larus::{decode_path, path_start_blocks, BallLarus, PathKey, PathProfile};
+pub use block::{BasicBlock, BlockId};
+pub use builder::CfgBuilder;
+pub use cfg::{Cfg, Edge, EdgeId};
+pub use dominators::Dominators;
+pub use dot::cfg_to_dot;
+pub use error::IrError;
+pub use inst::{Inst, MemWidth, Opcode, Reg};
+pub use loops::{LoopForest, NaturalLoop};
+pub use path::LocalPath;
+pub use profile::{BlockModeCost, Profile, ProfileBuilder};

@@ -1,0 +1,227 @@
+use crate::{BlockId, Cfg, Dominators, EdgeId};
+use std::collections::BTreeSet;
+
+/// A natural loop: a back edge `latch -> header` where the header dominates
+/// the latch, together with the set of blocks that reach the latch without
+/// passing through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// The source of the back edge.
+    pub latch: BlockId,
+    /// The back edge itself.
+    pub back_edge: EdgeId,
+    /// All blocks in the loop body, including header and latch.
+    pub body: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to this loop.
+    #[must_use]
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+
+    /// Number of blocks in the loop.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Loops always contain at least their header.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// All natural loops of a [`Cfg`], discovered from back edges in the
+/// dominator tree. Loops sharing a header are kept separate (one per back
+/// edge), matching how the mode-set hoisting pass reasons about individual
+/// back edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Finds every natural loop in `cfg`.
+    #[must_use]
+    pub fn compute(cfg: &Cfg, dom: &Dominators) -> Self {
+        let mut loops = Vec::new();
+        for e in cfg.edges() {
+            // Back edge: destination dominates source.
+            if dom.dominates(e.dst, e.src) {
+                let mut body = BTreeSet::new();
+                body.insert(e.dst);
+                let mut stack = vec![e.src];
+                while let Some(b) = stack.pop() {
+                    if body.insert(b) {
+                        for p in cfg.predecessors(b) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                loops.push(NaturalLoop {
+                    header: e.dst,
+                    latch: e.src,
+                    back_edge: e.id,
+                    body,
+                });
+            }
+        }
+        LoopForest { loops }
+    }
+
+    /// All loops, in back-edge discovery order.
+    #[must_use]
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Number of natural loops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the CFG is loop-free.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// The innermost loop containing `b` (smallest body), if any.
+    #[must_use]
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.len())
+    }
+
+    /// Whether `e` is a back edge of some natural loop.
+    #[must_use]
+    pub fn is_back_edge(&self, e: EdgeId) -> bool {
+        self.loops.iter().any(|l| l.back_edge == e)
+    }
+
+    /// Loop nesting depth of `b` (0 when outside all loops).
+    #[must_use]
+    pub fn depth(&self, b: BlockId) -> usize {
+        // Count distinct headers of loops containing b; multiple back edges
+        // to the same header count once.
+        let headers: BTreeSet<_> = self
+            .loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .map(|l| l.header)
+            .collect();
+        headers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfgBuilder;
+
+    fn simple_loop() -> (Cfg, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = CfgBuilder::new("loop");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h);
+        b.edge(h, x);
+        (b.finish(e, x).unwrap(), e, h, body, x)
+    }
+
+    #[test]
+    fn finds_single_loop() {
+        let (g, e, h, body, x) = simple_loop();
+        let dom = Dominators::compute(&g);
+        let forest = LoopForest::compute(&g, &dom);
+        assert_eq!(forest.len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, h);
+        assert_eq!(l.latch, body);
+        assert!(l.contains(h));
+        assert!(l.contains(body));
+        assert!(!l.contains(e));
+        assert!(!l.contains(x));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn loop_free_graph_has_no_loops() {
+        let mut b = CfgBuilder::new("straight");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        let g = b.finish(e, x).unwrap();
+        let dom = Dominators::compute(&g);
+        let forest = LoopForest::compute(&g, &dom);
+        assert!(forest.is_empty());
+        assert_eq!(forest.depth(e), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let mut b = CfgBuilder::new("nest");
+        let e = b.block("entry");
+        let h1 = b.block("outer");
+        let h2 = b.block("inner");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.edge(e, h1);
+        b.edge(h1, h2);
+        b.edge(h2, body);
+        b.edge(body, h2);
+        b.edge(h2, h1);
+        b.edge(h1, x);
+        let g = b.finish(e, x).unwrap();
+        let dom = Dominators::compute(&g);
+        let forest = LoopForest::compute(&g, &dom);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest.depth(e), 0);
+        assert_eq!(forest.depth(h1), 1);
+        assert_eq!(forest.depth(h2), 2);
+        assert_eq!(forest.depth(body), 2);
+        let inner = forest.innermost_containing(body).unwrap();
+        assert_eq!(inner.header, h2);
+    }
+
+    #[test]
+    fn back_edge_detection() {
+        let (g, _, h, body, _) = simple_loop();
+        let dom = Dominators::compute(&g);
+        let forest = LoopForest::compute(&g, &dom);
+        let back = g.edge_between(body, h).unwrap();
+        let fwd = g.edge_between(h, body).unwrap();
+        assert!(forest.is_back_edge(back));
+        assert!(!forest.is_back_edge(fwd));
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = CfgBuilder::new("self");
+        let e = b.block("entry");
+        let s = b.block("spin");
+        let x = b.block("exit");
+        b.edge(e, s);
+        b.edge(s, s);
+        b.edge(s, x);
+        let g = b.finish(e, x).unwrap();
+        let dom = Dominators::compute(&g);
+        let forest = LoopForest::compute(&g, &dom);
+        assert_eq!(forest.len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, s);
+        assert_eq!(l.latch, s);
+        assert_eq!(l.len(), 1);
+    }
+}

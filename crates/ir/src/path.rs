@@ -1,0 +1,121 @@
+use crate::{BlockId, Cfg, EdgeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A **local path** through a basic block: the paper's `(h, i, j)` triple —
+/// block `i` entered through edge `(h, i)` and exited through edge `(i, j)`.
+///
+/// The MILP charges a mode-transition cost `D(h,i,j) · SE(k_hi, k_ij)` per
+/// local path, because the mode set on the incoming edge is what the block
+/// ran at, and the mode set on the outgoing edge is what execution switches
+/// to next.
+///
+/// Two boundary cases use `None`:
+/// * `enter == None`: `block` is the CFG entry, reached by program start;
+/// * `exit == None`: `block` is the CFG exit, left by program termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalPath {
+    /// The block being traversed (the paper's region `i`).
+    pub block: BlockId,
+    /// Incoming edge `(h, i)`, or `None` at program start.
+    pub enter: Option<EdgeId>,
+    /// Outgoing edge `(i, j)`, or `None` at program end.
+    pub exit: Option<EdgeId>,
+}
+
+impl LocalPath {
+    /// An interior local path `(h, i, j)`.
+    ///
+    /// Returns `None` if the edges do not share `block` as destination and
+    /// source respectively.
+    #[must_use]
+    pub fn interior(cfg: &Cfg, enter: EdgeId, exit: EdgeId) -> Option<Self> {
+        let e = cfg.edge(enter);
+        let x = cfg.edge(exit);
+        if e.dst != x.src {
+            return None;
+        }
+        Some(LocalPath { block: e.dst, enter: Some(enter), exit: Some(exit) })
+    }
+
+    /// The local path for program start: entry block left through `exit`.
+    #[must_use]
+    pub fn from_start(cfg: &Cfg, exit: EdgeId) -> Self {
+        LocalPath { block: cfg.edge(exit).src, enter: None, exit: Some(exit) }
+    }
+
+    /// The local path for program end: exit block entered through `enter`.
+    #[must_use]
+    pub fn to_end(cfg: &Cfg, enter: EdgeId) -> Self {
+        LocalPath { block: cfg.edge(enter).dst, enter: Some(enter), exit: None }
+    }
+
+    /// The degenerate whole-program path for a single-block CFG.
+    #[must_use]
+    pub fn whole(block: BlockId) -> Self {
+        LocalPath { block, enter: None, exit: None }
+    }
+}
+
+impl fmt::Display for LocalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.enter {
+            Some(e) => write!(f, "{e}")?,
+            None => f.write_str("start")?,
+        }
+        write!(f, " -> {} -> ", self.block)?;
+        match self.exit {
+            Some(e) => write!(f, "{e}"),
+            None => f.write_str("end"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfgBuilder;
+
+    fn chain() -> Cfg {
+        let mut b = CfgBuilder::new("chain");
+        let a = b.block("a");
+        let m = b.block("m");
+        let z = b.block("z");
+        b.edge(a, m);
+        b.edge(m, z);
+        b.finish(a, z).unwrap()
+    }
+
+    #[test]
+    fn interior_paths_require_shared_block() {
+        let g = chain();
+        let e0 = EdgeId(0);
+        let e1 = EdgeId(1);
+        let p = LocalPath::interior(&g, e0, e1).unwrap();
+        assert_eq!(p.block, g.block_by_label("m").unwrap());
+        assert_eq!(p.enter, Some(e0));
+        assert_eq!(p.exit, Some(e1));
+        // e1 enters z, e0 leaves a: mismatched.
+        assert!(LocalPath::interior(&g, e1, e0).is_none());
+    }
+
+    #[test]
+    fn boundary_paths() {
+        let g = chain();
+        let start = LocalPath::from_start(&g, EdgeId(0));
+        assert_eq!(start.block, g.entry());
+        assert_eq!(start.enter, None);
+        let end = LocalPath::to_end(&g, EdgeId(1));
+        assert_eq!(end.block, g.exit());
+        assert_eq!(end.exit, None);
+    }
+
+    #[test]
+    fn display_shows_endpoints() {
+        let g = chain();
+        let p = LocalPath::interior(&g, EdgeId(0), EdgeId(1)).unwrap();
+        assert_eq!(p.to_string(), "e0 -> B1 -> e1");
+        let s = LocalPath::from_start(&g, EdgeId(0));
+        assert_eq!(s.to_string(), "start -> B0 -> e0");
+    }
+}

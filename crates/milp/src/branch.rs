@@ -1,0 +1,591 @@
+//! Branch-and-bound driver on top of the LP relaxation.
+
+use crate::presolve::{presolve, Presolved};
+use crate::simplex::{solve_lp, LpProblem, LpStatus, RowKind};
+use crate::{Cmp, MilpError, Model, Sense, Solution, SolveStats, Status, VarKind};
+
+const INT_TOL: f64 = 1e-6;
+const OBJ_TOL: f64 = 1e-7;
+
+/// How branching variables are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchRule {
+    /// Prefer SOS1 group splits where groups are declared, falling back to
+    /// most-fractional single-variable branching. The right default for the
+    /// DVS formulation.
+    #[default]
+    Sos1ThenFractional,
+    /// Always branch on the most fractional integer variable.
+    MostFractional,
+}
+
+/// Tunables for [`solve_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchConfig {
+    /// Stop after this many nodes and return the incumbent (as
+    /// [`Status::Feasible`]) or [`MilpError::LimitReached`].
+    pub max_nodes: usize,
+    /// Branch variable selection rule.
+    pub rule: BranchRule,
+    /// Absolute optimality gap at which a node is pruned against the
+    /// incumbent.
+    pub gap: f64,
+    /// Run [`crate::presolve`] at every node before the LP (bound
+    /// tightening, row elimination, early infeasibility).
+    pub presolve: bool,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig {
+            max_nodes: 500_000,
+            rule: BranchRule::default(),
+            gap: 1e-6,
+            presolve: true,
+        }
+    }
+}
+
+/// Solves `model` to proven optimality with default settings.
+///
+/// # Errors
+///
+/// [`MilpError::Infeasible`], [`MilpError::Unbounded`], or resource errors;
+/// see [`solve_with`].
+pub fn solve(model: &Model) -> Result<Solution, MilpError> {
+    solve_with(model, &BranchConfig::default())
+}
+
+/// Solves `model` under explicit branch-and-bound settings.
+///
+/// # Errors
+///
+/// * [`MilpError::Infeasible`] — no feasible assignment exists;
+/// * [`MilpError::Unbounded`] — the LP relaxation is unbounded;
+/// * [`MilpError::LimitReached`] — node budget exhausted with no incumbent;
+/// * [`MilpError::SimplexStalled`] — numerical failure in the LP layer;
+/// * validation errors from [`Model::validate`].
+pub fn solve_with(model: &Model, config: &BranchConfig) -> Result<Solution, MilpError> {
+    solve_seeded(model, config, None)
+}
+
+/// [`solve_with`] warm-started from a known feasible point `start`
+/// (variable values indexed like the model's variables). The point seeds
+/// the incumbent, so branch-and-bound prunes against its objective from
+/// node one; if the start violates any constraint or integrality it is
+/// silently ignored.
+///
+/// # Errors
+///
+/// Same as [`solve_with`].
+pub fn solve_seeded(
+    model: &Model,
+    config: &BranchConfig,
+    start: Option<&[f64]>,
+) -> Result<Solution, MilpError> {
+    model.validate()?;
+    let base = lower_to_lp(model);
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(i, _)| i)
+        .collect();
+    let flip = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    // Each node records bound overrides for a subset of variables.
+    struct Node {
+        bounds: Vec<(usize, f64, f64)>,
+        parent_bound: f64,
+    }
+    let mut stack = vec![Node { bounds: Vec::new(), parent_bound: f64::NEG_INFINITY }];
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some(x0) = start {
+        if x0.len() == model.num_vars() && start_is_feasible(model, &base, &int_vars, x0) {
+            let obj = recompute_objective(&base, x0);
+            incumbent = Some((obj, x0.to_vec()));
+        }
+    }
+    let mut stats = SolveStats { best_bound: f64::INFINITY, ..SolveStats::default() };
+    let mut root_bound: Option<f64> = None;
+
+    while let Some(node) = stack.pop() {
+        if stats.nodes >= config.max_nodes {
+            return match incumbent {
+                Some((obj, values)) => Ok(Solution {
+                    status: Status::Feasible,
+                    objective: flip * obj,
+                    values,
+                    stats,
+                }),
+                None => Err(MilpError::LimitReached { incumbent: None }),
+            };
+        }
+        // Prune on the parent's bound before paying for an LP solve.
+        if let Some((inc, _)) = &incumbent {
+            if node.parent_bound >= inc - config.gap {
+                continue;
+            }
+        }
+        stats.nodes += 1;
+
+        let mut lp = base.clone();
+        for &(j, lb, ub) in &node.bounds {
+            lp.lb[j] = lp.lb[j].max(lb);
+            lp.ub[j] = lp.ub[j].min(ub);
+        }
+        if config.presolve {
+            match presolve(&lp) {
+                Presolved::Reduced { problem, .. } => lp = problem,
+                Presolved::Infeasible => continue,
+            }
+        }
+        let sol = solve_lp(&lp)?;
+        stats.lp_iterations += sol.iterations;
+        match sol.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // Only the root relaxation can prove the MILP unbounded.
+                if node.bounds.is_empty() && int_vars.is_empty() {
+                    return Err(MilpError::Unbounded);
+                }
+                if node.bounds.is_empty() {
+                    return Err(MilpError::Unbounded);
+                }
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        if root_bound.is_none() {
+            root_bound = Some(sol.objective);
+            stats.best_bound = sol.objective;
+        }
+        if let Some((inc, _)) = &incumbent {
+            if sol.objective >= inc - config.gap {
+                continue;
+            }
+        }
+
+        // Integral?
+        let frac = |v: f64| (v - v.round()).abs();
+        let violated: Vec<usize> = int_vars
+            .iter()
+            .copied()
+            .filter(|&j| frac(sol.x[j]) > INT_TOL)
+            .collect();
+        if violated.is_empty() {
+            let mut x = sol.x.clone();
+            for &j in &int_vars {
+                x[j] = x[j].round();
+            }
+            let obj = recompute_objective(&base, &x);
+            if incumbent.as_ref().map_or(true, |(inc, _)| obj < inc - OBJ_TOL) {
+                incumbent = Some((obj, x));
+            }
+            continue;
+        }
+
+        // Branch.
+        let children = branch_children(model, config.rule, &sol.x, &violated, &node.bounds);
+        for bounds in children {
+            stack.push(Node { bounds, parent_bound: sol.objective });
+        }
+    }
+
+    match incumbent {
+        Some((obj, values)) => {
+            stats.best_bound = obj;
+            Ok(Solution { status: Status::Optimal, objective: flip * obj, values, stats })
+        }
+        None => Err(MilpError::Infeasible),
+    }
+}
+
+/// Produces child bound sets for a fractional LP solution. Children are
+/// returned in the order they should be *pushed* (the most promising child
+/// last, so depth-first search explores it first).
+fn branch_children(
+    model: &Model,
+    rule: BranchRule,
+    x: &[f64],
+    violated: &[usize],
+    parent_bounds: &[(usize, f64, f64)],
+) -> Vec<Vec<(usize, f64, f64)>> {
+    if rule == BranchRule::Sos1ThenFractional {
+        // Find an SOS1 group with at least two "active" fractional members.
+        let mut best_group: Option<(usize, f64)> = None;
+        for (gi, group) in model.sos1_groups.iter().enumerate() {
+            let fractional: Vec<f64> = group
+                .iter()
+                .map(|v| x[v.index()])
+                .filter(|&v| v > INT_TOL && v < 1.0 - INT_TOL)
+                .collect();
+            if fractional.len() >= 2 {
+                // Prefer the most "balanced" group (entropy proxy: product
+                // of top two values).
+                let mut vals = fractional.clone();
+                vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                let score = vals[0] * vals[1];
+                if best_group.map_or(true, |(_, s)| score > s) {
+                    best_group = Some((gi, score));
+                }
+            }
+        }
+        if let Some((gi, _)) = best_group {
+            let group = &model.sos1_groups[gi];
+            // Split members into two halves around the weighted median of
+            // their LP values.
+            let mut members: Vec<(usize, f64)> =
+                group.iter().map(|v| (v.index(), x[v.index()])).collect();
+            members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let total: f64 = members.iter().map(|(_, v)| v).sum();
+            let mut acc = 0.0;
+            let mut cut = 0;
+            for (i, (_, v)) in members.iter().enumerate() {
+                acc += v;
+                if acc >= total * 0.5 {
+                    cut = i + 1;
+                    break;
+                }
+            }
+            cut = cut.clamp(1, members.len() - 1);
+            let (half_a, half_b) = members.split_at(cut);
+            // Child A: everything in half_b forced to 0; child B: half_a to 0.
+            let zero = |half: &[(usize, f64)]| {
+                let mut b = parent_bounds.to_vec();
+                for &(j, _) in half {
+                    b.push((j, 0.0, 0.0));
+                }
+                b
+            };
+            // half_a holds more LP mass; explore the child keeping it first.
+            return vec![zero(half_a), zero(half_b)];
+        }
+    }
+
+    // Most-fractional single variable.
+    let j = *violated
+        .iter()
+        .max_by(|&&a, &&b| {
+            let fa = (x[a] - x[a].round()).abs();
+            let fb = (x[b] - x[b].round()).abs();
+            fa.partial_cmp(&fb).unwrap()
+        })
+        .expect("violated is non-empty");
+    let floor = x[j].floor();
+    let mut down = parent_bounds.to_vec();
+    down.push((j, f64::NEG_INFINITY, floor));
+    let mut up = parent_bounds.to_vec();
+    up.push((j, floor + 1.0, f64::INFINITY));
+    // Explore the side nearer the LP value first.
+    if x[j] - floor > 0.5 {
+        vec![down, up]
+    } else {
+        vec![up, down]
+    }
+}
+
+/// Converts a [`Model`] to minimization computational form.
+fn lower_to_lp(model: &Model) -> LpProblem {
+    let n = model.num_vars();
+    let mut p = LpProblem::new(n);
+    let flip = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    for (v, c) in model.objective().terms() {
+        p.obj[v.index()] = flip * c;
+    }
+    p.obj_offset = flip * model.objective().constant();
+    for (j, def) in model.vars.iter().enumerate() {
+        p.lb[j] = def.lb;
+        p.ub[j] = def.ub;
+    }
+    for c in &model.constraints {
+        let rhs = c.rhs - c.expr.constant();
+        let terms: Vec<(usize, f64)> =
+            c.expr.terms().map(|(v, a)| (v.index(), a)).collect();
+        match c.cmp {
+            Cmp::Le => p.add_row(&terms, RowKind::Le, rhs),
+            Cmp::Eq => p.add_row(&terms, RowKind::Eq, rhs),
+            Cmp::Ge => {
+                let neg: Vec<(usize, f64)> = terms.iter().map(|&(j, a)| (j, -a)).collect();
+                p.add_row(&neg, RowKind::Le, -rhs);
+            }
+        }
+    }
+    p
+}
+
+/// Checks bounds, integrality and every row of the computational-form
+/// problem at `x`.
+fn start_is_feasible(model: &Model, p: &LpProblem, int_vars: &[usize], x: &[f64]) -> bool {
+    const FEAS_TOL: f64 = 1e-6;
+    for j in 0..p.num_vars {
+        if x[j] < p.lb[j] - FEAS_TOL || x[j] > p.ub[j] + FEAS_TOL {
+            return false;
+        }
+    }
+    for &j in int_vars {
+        if (x[j] - x[j].round()).abs() > FEAS_TOL {
+            return false;
+        }
+    }
+    let _ = model;
+    let mut activity = vec![0.0; p.num_rows()];
+    for (j, col) in p.cols.iter().enumerate() {
+        for &(r, a) in col {
+            activity[r] += a * x[j];
+        }
+    }
+    for r in 0..p.num_rows() {
+        let scale = p.rhs[r].abs().max(1.0);
+        match p.row_kind[r] {
+            crate::simplex::RowKind::Le => {
+                if activity[r] > p.rhs[r] + FEAS_TOL * scale {
+                    return false;
+                }
+            }
+            crate::simplex::RowKind::Eq => {
+                if (activity[r] - p.rhs[r]).abs() > FEAS_TOL * scale {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn recompute_objective(p: &LpProblem, x: &[f64]) -> f64 {
+    p.obj_offset + p.obj.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 10.0);
+        m.set_objective(3.0 * x + 2.0 * y);
+        m.add_le(x + y, 4.0);
+        m.add_le(x + 3.0 * y, 6.0);
+        let s = solve(&m).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 12.0); // x=4, y=0
+    }
+
+    #[test]
+    fn knapsack() {
+        // Classic 0/1 knapsack: values [60,100,120], weights [10,20,30], cap 50.
+        let mut m = Model::new(Sense::Maximize);
+        let items: Vec<_> = (0..3).map(|i| m.bool_var(format!("i{i}"))).collect();
+        m.set_objective(60.0 * items[0] + 100.0 * items[1] + 120.0 * items[2]);
+        m.add_le(
+            10.0 * items[0] + 20.0 * items[1] + 30.0 * items[2],
+            50.0,
+        );
+        let s = solve(&m).unwrap();
+        assert_close(s.objective, 220.0); // items 1 and 2
+        assert_eq!(s.int_value(items[0]), 0);
+        assert_eq!(s.int_value(items[1]), 1);
+        assert_eq!(s.int_value(items[2]), 1);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 5, integers -> LP gives 2.5, MILP 2.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.int_var("y", 0.0, 10.0);
+        m.set_objective(x + y);
+        m.add_le(2.0 * x + 2.0 * y, 5.0);
+        let s = solve(&m).unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bool_var("x");
+        m.set_objective(LinExpr::from(x));
+        m.add_ge(LinExpr::from(x), 2.0);
+        assert!(matches!(solve(&m), Err(MilpError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_milp() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.num_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::from(x));
+        assert!(matches!(solve(&m), Err(MilpError::Unbounded)));
+    }
+
+    #[test]
+    fn assignment_problem_with_sos1() {
+        // 3 workers x 3 tasks, minimize cost; optimal = 5 (1+2+2? compute).
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let mut vars = vec![vec![]; 3];
+        for w in 0..3 {
+            for t in 0..3 {
+                vars[w].push(m.bool_var(format!("w{w}t{t}")));
+            }
+        }
+        let mut obj = LinExpr::zero();
+        for w in 0..3 {
+            for t in 0..3 {
+                obj += cost[w][t] * vars[w][t];
+            }
+        }
+        m.set_objective(obj);
+        for w in 0..3 {
+            let e = vars[w][0] + vars[w][1] + vars[w][2];
+            m.add_eq(e, 1.0);
+            m.add_sos1(vars[w].clone());
+        }
+        for t in 0..3 {
+            let e = vars[0][t] + vars[1][t] + vars[2][t];
+            m.add_eq(e, 1.0);
+        }
+        let s = solve(&m).unwrap();
+        // Optimal assignment: w0->t1 (1), w1->t0 (2), w2->t2 (2) = 5.
+        assert_close(s.objective, 5.0);
+        assert_eq!(s.int_value(vars[0][1]), 1);
+        assert_eq!(s.int_value(vars[1][0]), 1);
+        assert_eq!(s.int_value(vars[2][2]), 1);
+    }
+
+    #[test]
+    fn equality_constrained_binaries() {
+        // Pick exactly 2 of 4 items maximizing value.
+        let vals = [3.0, 7.0, 1.0, 5.0];
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..4).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::zero();
+        let mut sum = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            obj += vals[i] * x;
+            sum += LinExpr::from(x);
+        }
+        m.set_objective(obj);
+        m.add_eq(sum, 2.0);
+        let s = solve(&m).unwrap();
+        assert_close(s.objective, 12.0); // items 1 and 3
+    }
+
+    #[test]
+    fn negative_objective_and_maximize_flip() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", -3.0, 3.0);
+        m.set_objective(LinExpr::from(x) * -2.0 + 1.0);
+        let s = solve(&m).unwrap();
+        assert_close(s.objective, -5.0); // x = 3
+        assert_eq!(s.int_value(x), 3);
+    }
+
+    #[test]
+    fn node_limit_reports_incumbent_or_error() {
+        let mut m = Model::new(Sense::Maximize);
+        // A 12-var knapsack that needs some branching.
+        let xs: Vec<_> = (0..12).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::zero();
+        let mut w = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            obj += ((i % 5) as f64 + 1.5) * x;
+            w += ((i % 7) as f64 + 2.0) * x;
+        }
+        m.set_objective(obj);
+        m.add_le(w, 11.0);
+        let cfg = BranchConfig { max_nodes: 1, ..BranchConfig::default() };
+        match solve_with(&m, &cfg) {
+            Ok(s) => assert_eq!(s.status, Status::Feasible),
+            Err(MilpError::LimitReached { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 3x + 2y, x integer in [0,10], y continuous,
+        // s.t. x + y >= 4.3, y <= 2.1  -> x = ceil(2.2) ... optimal x=3, y=1.3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0.0, 10.0);
+        let y = m.num_var("y", 0.0, 2.1);
+        m.set_objective(3.0 * x + 2.0 * y);
+        m.add_ge(x + y, 4.3);
+        let s = solve(&m).unwrap();
+        // Candidates: x=3,y=1.3 -> 11.6; x=4,y=0.3 -> 12.6; x=3 wins.
+        assert_close(s.objective, 11.6);
+        assert_eq!(s.int_value(x), 3);
+        assert_close(s.value(y), 1.3);
+    }
+
+    #[test]
+    fn warm_start_is_used_and_never_worsens_the_answer() {
+        // Knapsack where greedy (items 0..) gives a decent start.
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..10).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::zero();
+        let mut w = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            obj += ((i % 4) as f64 + 1.0) * x;
+            w += ((i % 5) as f64 + 1.5) * x;
+        }
+        m.set_objective(obj);
+        m.add_le(w, 9.0);
+        let cold = solve_with(&m, &BranchConfig::default()).unwrap();
+        // A trivially feasible start: everything zero.
+        let start = vec![0.0; 10];
+        let warm = solve_seeded(&m, &BranchConfig::default(), Some(&start)).unwrap();
+        assert!((cold.objective - warm.objective).abs() < 1e-6);
+        // An infeasible start must be ignored, not believed.
+        let bogus = vec![1.0; 10];
+        let still = solve_seeded(&m, &BranchConfig::default(), Some(&bogus)).unwrap();
+        assert!((cold.objective - still.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_survives_node_limit() {
+        // With a 0-node budget, the seeded incumbent is returned as the
+        // feasible answer instead of erroring.
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..8).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::zero();
+        let mut w = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            obj += (i as f64 + 1.0) * x;
+            w += 2.0 * x;
+        }
+        m.set_objective(obj);
+        m.add_le(w, 7.0);
+        let mut start = vec![0.0; 8];
+        start[7] = 1.0; // weight 2 <= 7, objective 8
+        let cfg = BranchConfig { max_nodes: 0, ..BranchConfig::default() };
+        let sol = solve_seeded(&m, &cfg, Some(&start)).unwrap();
+        assert_eq!(sol.status, Status::Feasible);
+        assert!((sol.objective - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.int_var("x", 0.0, 9.0);
+        let y = m.int_var("y", 0.0, 9.0);
+        m.set_objective(x + y);
+        m.add_le(3.0 * x + 7.0 * y, 21.5);
+        let s = solve(&m).unwrap();
+        assert!(s.stats.nodes >= 1);
+    }
+}

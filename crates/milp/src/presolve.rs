@@ -1,0 +1,317 @@
+//! LP presolve: cheap logical reductions applied before the simplex.
+//!
+//! Operates on an [`LpProblem`] without changing its variable space (so
+//! solutions map back 1:1):
+//!
+//! * **singleton rows** `a·x ≤/= b` become bound tightenings and are
+//!   dropped;
+//! * **activity bounds**: rows whose minimum activity already exceeds the
+//!   rhs prove infeasibility; rows whose maximum activity cannot reach the
+//!   rhs are redundant and dropped;
+//! * **bound propagation**: for `≤` rows, each variable's bound is
+//!   tightened against the row's residual activity;
+//! * iterated to a fixpoint (bounded rounds).
+//!
+//! Inside branch-and-bound this runs at every node (node bounds arrive as
+//! variable-bound overrides, which is exactly what presolve feeds on), and
+//! typically removes most of the mode-selection rows once a few binaries
+//! are fixed.
+
+use crate::simplex::{LpProblem, RowKind};
+
+/// Outcome of presolving: either a reduced problem or a proof of
+/// infeasibility.
+#[derive(Debug, Clone)]
+pub enum Presolved {
+    /// The reduced problem (same variables, possibly fewer rows and
+    /// tighter bounds) plus statistics.
+    Reduced {
+        /// The reduced problem.
+        problem: LpProblem,
+        /// Rows removed.
+        rows_removed: usize,
+        /// Bound tightenings applied.
+        bounds_tightened: usize,
+    },
+    /// The constraints are unsatisfiable within the bounds.
+    Infeasible,
+}
+
+const TOL: f64 = 1e-9;
+/// Presolve rounds before giving up on reaching a fixpoint.
+const MAX_ROUNDS: usize = 8;
+
+/// Runs presolve. The returned problem has identical optimal solutions
+/// (over the same variable indices) as the input.
+#[must_use]
+pub fn presolve(p: &LpProblem) -> Presolved {
+    let n = p.num_vars;
+    let mut lb = p.lb.clone();
+    let mut ub = p.ub.clone();
+    let mut live_row = vec![true; p.num_rows()];
+    let mut bounds_tightened = 0usize;
+
+    // Row-major view of the matrix for activity computations.
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); p.num_rows()];
+    for (j, col) in p.cols.iter().enumerate() {
+        for &(r, a) in col {
+            rows[r].push((j, a));
+        }
+    }
+
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for r in 0..rows.len() {
+            if !live_row[r] {
+                continue;
+            }
+            let terms = &rows[r];
+            let rhs = p.rhs[r];
+            let kind = p.row_kind[r];
+
+            // Activity bounds of the row.
+            let mut min_act = 0.0f64;
+            let mut max_act = 0.0f64;
+            for &(j, a) in terms {
+                if a > 0.0 {
+                    min_act += a * lb[j];
+                    max_act += a * ub[j];
+                } else {
+                    min_act += a * ub[j];
+                    max_act += a * lb[j];
+                }
+            }
+
+            // Infeasibility / redundancy by activity.
+            match kind {
+                RowKind::Le => {
+                    if min_act > rhs + TOL.max(1e-7 * rhs.abs()) {
+                        return Presolved::Infeasible;
+                    }
+                    if max_act <= rhs + TOL {
+                        live_row[r] = false;
+                        changed = true;
+                        continue;
+                    }
+                }
+                RowKind::Eq => {
+                    if min_act > rhs + TOL.max(1e-7 * rhs.abs())
+                        || max_act < rhs - TOL.max(1e-7 * rhs.abs())
+                    {
+                        return Presolved::Infeasible;
+                    }
+                    if (min_act - max_act).abs() <= TOL && (min_act - rhs).abs() <= TOL {
+                        live_row[r] = false;
+                        changed = true;
+                        continue;
+                    }
+                }
+            }
+
+            // Singleton rows tighten a bound and disappear.
+            if terms.len() == 1 {
+                let (j, a) = terms[0];
+                let v = rhs / a;
+                match (kind, a > 0.0) {
+                    (RowKind::Le, true) => {
+                        if v < ub[j] - TOL {
+                            ub[j] = v;
+                            bounds_tightened += 1;
+                        }
+                    }
+                    (RowKind::Le, false) => {
+                        if v > lb[j] + TOL {
+                            lb[j] = v;
+                            bounds_tightened += 1;
+                        }
+                    }
+                    (RowKind::Eq, _) => {
+                        if v > lb[j] + TOL || v < ub[j] - TOL {
+                            lb[j] = lb[j].max(v);
+                            ub[j] = ub[j].min(v);
+                            bounds_tightened += 1;
+                        }
+                    }
+                }
+                if lb[j] > ub[j] + TOL {
+                    return Presolved::Infeasible;
+                }
+                live_row[r] = false;
+                changed = true;
+                continue;
+            }
+
+            // Bound propagation on <= rows: x_j <= (rhs - min_act_without_j)/a.
+            if kind == RowKind::Le && min_act.is_finite() {
+                for &(j, a) in terms {
+                    let contrib_min = if a > 0.0 { a * lb[j] } else { a * ub[j] };
+                    let rest = min_act - contrib_min;
+                    if !rest.is_finite() {
+                        continue;
+                    }
+                    if a > 0.0 {
+                        let new_ub = (rhs - rest) / a;
+                        if new_ub < ub[j] - TOL.max(1e-7 * ub[j].abs()) {
+                            ub[j] = new_ub;
+                            bounds_tightened += 1;
+                            changed = true;
+                        }
+                    } else {
+                        let new_lb = (rhs - rest) / a;
+                        if new_lb > lb[j] + TOL.max(1e-7 * lb[j].abs()) {
+                            lb[j] = new_lb;
+                            bounds_tightened += 1;
+                            changed = true;
+                        }
+                    }
+                    if lb[j] > ub[j] + 1e-7 {
+                        return Presolved::Infeasible;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Assemble the reduced problem.
+    let mut out = LpProblem::new(n);
+    out.obj = p.obj.clone();
+    out.obj_offset = p.obj_offset;
+    out.lb = lb;
+    out.ub = ub;
+    let mut rows_removed = 0;
+    for r in 0..rows.len() {
+        if live_row[r] {
+            out.add_row(&rows[r], p.row_kind[r], p.rhs[r]);
+        } else {
+            rows_removed += 1;
+        }
+    }
+    Presolved::Reduced { problem: out, rows_removed, bounds_tightened }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::{solve_lp, LpStatus};
+
+    fn optimal_value(p: &LpProblem) -> f64 {
+        let s = solve_lp(p).expect("lp solves");
+        assert_eq!(s.status, LpStatus::Optimal);
+        s.objective
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        // min -x - y s.t. x <= 3 (row), y <= 2 (row), x + y <= 4.
+        let mut p = LpProblem::new(2);
+        p.obj = vec![-1.0, -1.0];
+        p.add_row(&[(0, 1.0)], RowKind::Le, 3.0);
+        p.add_row(&[(1, 1.0)], RowKind::Le, 2.0);
+        p.add_row(&[(0, 1.0), (1, 1.0)], RowKind::Le, 4.0);
+        let before = optimal_value(&p);
+        match presolve(&p) {
+            Presolved::Reduced { problem, rows_removed, bounds_tightened } => {
+                assert_eq!(rows_removed, 2);
+                assert!(bounds_tightened >= 2);
+                assert!((problem.ub[0] - 3.0).abs() < 1e-9);
+                assert!((problem.ub[1] - 2.0).abs() < 1e-9);
+                assert!((optimal_value(&problem) - before).abs() < 1e-6);
+            }
+            Presolved::Infeasible => panic!("feasible problem"),
+        }
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        // x in [0, 1]; row x <= 10 can never bind.
+        let mut p = LpProblem::new(1);
+        p.obj = vec![-1.0];
+        p.ub = vec![1.0];
+        p.add_row(&[(0, 1.0)], RowKind::Le, 10.0);
+        match presolve(&p) {
+            Presolved::Reduced { rows_removed, problem, .. } => {
+                assert_eq!(rows_removed, 1);
+                assert_eq!(problem.num_rows(), 0);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn activity_infeasibility_detected() {
+        // x + y >= 5 (as -x - y <= -5) with x, y in [0, 1].
+        let mut p = LpProblem::new(2);
+        p.ub = vec![1.0, 1.0];
+        p.add_row(&[(0, -1.0), (1, -1.0)], RowKind::Le, -5.0);
+        assert!(matches!(presolve(&p), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn equality_activity_infeasibility_detected() {
+        // x + y = 5 with x, y in [0, 1].
+        let mut p = LpProblem::new(2);
+        p.ub = vec![1.0, 1.0];
+        p.add_row(&[(0, 1.0), (1, 1.0)], RowKind::Eq, 5.0);
+        assert!(matches!(presolve(&p), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn bound_propagation_tightens() {
+        // 2x + y <= 4 with y >= 2 forces x <= 1.
+        let mut p = LpProblem::new(2);
+        p.lb = vec![0.0, 2.0];
+        p.ub = vec![100.0, 100.0];
+        p.add_row(&[(0, 2.0), (1, 1.0)], RowKind::Le, 4.0);
+        match presolve(&p) {
+            Presolved::Reduced { problem, .. } => {
+                assert!(problem.ub[0] <= 1.0 + 1e-9, "ub[0] = {}", problem.ub[0]);
+                assert!(problem.ub[1] <= 4.0 + 1e-9, "ub[1] = {}", problem.ub[1]);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn presolve_preserves_optimum_on_random_lps() {
+        let mut seed = 0xC0FFEEu64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) % 1000) as f64 / 100.0
+        };
+        for _ in 0..30 {
+            let n = 4;
+            let mut p = LpProblem::new(n);
+            for j in 0..n {
+                p.obj[j] = rnd() - 5.0;
+                p.ub[j] = 5.0 + rnd();
+            }
+            for _ in 0..4 {
+                let terms: Vec<(usize, f64)> =
+                    (0..n).map(|j| (j, rnd() - 3.0)).collect();
+                p.add_row(&terms, RowKind::Le, 10.0 + rnd());
+            }
+            let direct = solve_lp(&p).expect("solves");
+            match presolve(&p) {
+                Presolved::Reduced { problem, .. } => {
+                    let reduced = solve_lp(&problem).expect("solves");
+                    assert_eq!(direct.status, reduced.status);
+                    if direct.status == LpStatus::Optimal {
+                        assert!(
+                            (direct.objective - reduced.objective).abs()
+                                < 1e-5 * direct.objective.abs().max(1.0),
+                            "direct {} vs reduced {}",
+                            direct.objective,
+                            reduced.objective
+                        );
+                    }
+                }
+                Presolved::Infeasible => {
+                    assert_eq!(direct.status, LpStatus::Infeasible);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1036 @@
+//! Bounded-variable revised primal simplex.
+//!
+//! Solves `min c'x` subject to `Ax ≤/= b` and `l ≤ x ≤ u`, handling the
+//! bounds natively (no extra rows), with:
+//!
+//! * slack-plus-artificial phase 1 (artificials only where the slack basis
+//!   is infeasible);
+//! * dense explicit basis inverse, refactorized periodically for stability;
+//! * Dantzig pricing with an automatic Bland's-rule fallback against
+//!   cycling;
+//! * bound-flip ("long step") handling for boxed variables.
+//!
+//! Callers normally go through [`crate::solve`], which adds branch-and-bound
+//! on top; this module is public so the LP layer can be tested and used
+//! directly.
+
+use crate::MilpError;
+
+/// Row comparison in an [`LpProblem`] — `Le` (`≤`) or `Eq` (`=`).
+/// `≥` rows must be pre-negated by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A linear program in computational form: minimize `obj·x` over
+/// `l ≤ x ≤ u` subject to the rows.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Number of structural variables.
+    pub num_vars: usize,
+    /// Sparse columns: `cols[j]` lists `(row, coefficient)` pairs.
+    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Objective coefficients (length `num_vars`).
+    pub obj: Vec<f64>,
+    /// Constant added to the objective value.
+    pub obj_offset: f64,
+    /// Lower bounds (may be `NEG_INFINITY`).
+    pub lb: Vec<f64>,
+    /// Upper bounds (may be `INFINITY`).
+    pub ub: Vec<f64>,
+    /// Row kinds (length = number of rows).
+    pub row_kind: Vec<RowKind>,
+    /// Row right-hand sides.
+    pub rhs: Vec<f64>,
+}
+
+impl LpProblem {
+    /// An empty problem with `num_vars` variables, all in `[0, ∞)`, zero
+    /// objective and no rows.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem {
+            num_vars,
+            cols: vec![Vec::new(); num_vars],
+            obj: vec![0.0; num_vars],
+            obj_offset: 0.0,
+            lb: vec![0.0; num_vars],
+            ub: vec![f64::INFINITY; num_vars],
+            row_kind: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Appends a row given as sparse `(var, coeff)` terms.
+    pub fn add_row(&mut self, terms: &[(usize, f64)], kind: RowKind, rhs: f64) {
+        let r = self.row_kind.len();
+        for &(j, a) in terms {
+            if a != 0.0 {
+                self.cols[j].push((r, a));
+            }
+        }
+        self.row_kind.push(kind);
+        self.rhs.push(rhs);
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.row_kind.len()
+    }
+}
+
+/// Outcome status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Proven optimal.
+    Optimal,
+    /// No feasible point.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+/// Result of [`solve_lp`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Objective value (meaningful only when `status == Optimal`).
+    pub objective: f64,
+    /// Primal values for the structural variables.
+    pub x: Vec<f64>,
+    /// Row dual values `y = c_B B⁻¹` at the optimum (empty unless
+    /// `Optimal`). For a minimization with `≤` rows, `y_i ≤ 0`; `-y_i` is
+    /// the shadow price of row `i`'s right-hand side.
+    pub duals: Vec<f64>,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+const TOL: f64 = 1e-9;
+const RATIO_TOL: f64 = 1e-10;
+/// Minimum magnitude for an acceptable pivot element; rows with smaller
+/// direction components are treated as unaffected, keeping the basis
+/// well-conditioned.
+const PIVOT_TOL: f64 = 1e-7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+struct Tableau {
+    m: usize,
+    ncols: usize,
+    cols: Vec<Vec<(usize, f64)>>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    cost: Vec<f64>,
+    state: Vec<ColState>,
+    x: Vec<f64>,
+    basis: Vec<usize>,
+    binv: Vec<f64>, // row-major m x m
+    iterations: usize,
+    pivots_since_refactor: usize,
+}
+
+impl Tableau {
+    fn binv_at(&self, i: usize, j: usize) -> f64 {
+        self.binv[i * self.m + j]
+    }
+
+    /// w = B^{-1} · a_j for sparse column j.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for &(r, v) in &self.cols[j] {
+            for i in 0..self.m {
+                w[i] += self.binv_at(i, r) * v;
+            }
+        }
+        w
+    }
+
+    /// y = c_B^T · B^{-1}.
+    fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for i in 0..self.m {
+            let c = cb[i];
+            if c != 0.0 {
+                for j in 0..self.m {
+                    y[j] += c * self.binv_at(i, j);
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut d = self.cost[j];
+        for &(r, v) in &self.cols[j] {
+            d -= y[r] * v;
+        }
+        d
+    }
+
+    /// Recompute basic variable values from nonbasic bound values.
+    fn recompute_basics(&mut self, rhs: &[f64]) {
+        // residual = rhs - A x_N
+        let mut resid = rhs.to_vec();
+        for j in 0..self.ncols {
+            if let ColState::Basic(_) = self.state[j] {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj != 0.0 {
+                for &(r, v) in &self.cols[j] {
+                    resid[r] -= v * xj;
+                }
+            }
+        }
+        // x_B = B^{-1} residual
+        for i in 0..self.m {
+            let mut s = 0.0;
+            for r in 0..self.m {
+                s += self.binv_at(i, r) * resid[r];
+            }
+            self.x[self.basis[i]] = s;
+        }
+    }
+
+    /// Rebuild B^{-1} from scratch by Gauss–Jordan elimination with partial
+    /// pivoting. Returns `false` if the basis matrix is numerically
+    /// singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        // Build dense basis matrix.
+        let mut bmat = vec![0.0; m * m];
+        for (i, &bj) in self.basis.iter().enumerate() {
+            for &(r, v) in &self.cols[bj] {
+                bmat[r * m + i] = v;
+            }
+        }
+        // Augment with identity, eliminate.
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut piv = col;
+            let mut best = bmat[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = bmat[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return false;
+            }
+            if piv != col {
+                for k in 0..m {
+                    bmat.swap(col * m + k, piv * m + k);
+                    inv.swap(col * m + k, piv * m + k);
+                }
+            }
+            let d = bmat[col * m + col];
+            for k in 0..m {
+                bmat[col * m + k] /= d;
+                inv[col * m + k] /= d;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = bmat[r * m + col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            bmat[r * m + k] -= f * bmat[col * m + k];
+                            inv[r * m + k] -= f * inv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// Repairs a numerically singular basis: runs Gaussian elimination over
+    /// the basis columns, and replaces each dependent column with the slack
+    /// or artificial unit column of a row that received no pivot. Returns
+    /// `false` only if no replacement column is available (should not
+    /// happen: every row owns a slack and an artificial).
+    fn repair_basis(&mut self) -> bool {
+        let m = self.m;
+        let n = self.ncols - 2 * m;
+        // Dense copy of the basis matrix, column-major.
+        let mut cols: Vec<Vec<f64>> = self
+            .basis
+            .iter()
+            .map(|&bj| {
+                let mut v = vec![0.0; m];
+                for &(r, a) in &self.cols[bj] {
+                    v[r] = a;
+                }
+                v
+            })
+            .collect();
+        let mut row_used = vec![false; m];
+        let mut col_ok = vec![false; m];
+        for k in 0..m {
+            // Find the largest remaining pivot in column k.
+            let mut best = 0.0;
+            let mut piv = usize::MAX;
+            for r in 0..m {
+                if !row_used[r] && cols[k][r].abs() > best {
+                    best = cols[k][r].abs();
+                    piv = r;
+                }
+            }
+            if best < 1e-9 {
+                continue; // dependent column
+            }
+            col_ok[k] = true;
+            row_used[piv] = true;
+            // Eliminate this row from the remaining columns.
+            let pv = cols[k][piv];
+            let pivot_col = cols[k].clone();
+            for c in cols.iter_mut().skip(k + 1) {
+                let f = c[piv] / pv;
+                if f != 0.0 {
+                    for r in 0..m {
+                        c[r] -= f * pivot_col[r];
+                    }
+                }
+            }
+        }
+        // Replace dependent columns with unit columns of unused rows.
+        let mut free_rows: Vec<usize> = (0..m).filter(|&r| !row_used[r]).collect();
+        for k in 0..m {
+            if col_ok[k] {
+                continue;
+            }
+            let Some(r) = free_rows.pop() else { return false };
+            let slack = n + r;
+            let art = n + m + r;
+            let replacement = if !matches!(self.state[slack], ColState::Basic(_)) {
+                slack
+            } else if !matches!(self.state[art], ColState::Basic(_)) {
+                art
+            } else {
+                return false;
+            };
+            let out = self.basis[k];
+            // Park the ejected variable at its nearest finite bound.
+            let (lo, hi) = (self.lb[out], self.ub[out]);
+            let xv = self.x[out];
+            let (st, val) = if lo.is_finite() && (!hi.is_finite() || (xv - lo).abs() <= (hi - xv).abs())
+            {
+                (ColState::AtLower, lo)
+            } else if hi.is_finite() {
+                (ColState::AtUpper, hi)
+            } else {
+                (ColState::AtLower, 0.0)
+            };
+            self.state[out] = st;
+            self.x[out] = val;
+            self.basis[k] = replacement;
+            self.state[replacement] = ColState::Basic(k);
+        }
+        true
+    }
+
+    /// Update B^{-1} after column `j_in` (with direction vector `w`)
+    /// replaces the basic variable in row `r`.
+    fn update_binv(&mut self, r: usize, w: &[f64]) {
+        let m = self.m;
+        let wr = w[r];
+        for k in 0..m {
+            self.binv[r * m + k] /= wr;
+        }
+        for i in 0..m {
+            if i != r {
+                let f = w[i];
+                if f.abs() > 1e-14 {
+                    for k in 0..m {
+                        self.binv[i * m + k] -= f * self.binv[r * m + k];
+                    }
+                }
+            }
+        }
+        self.pivots_since_refactor += 1;
+    }
+}
+
+/// Solves the LP with the bounded-variable revised simplex.
+///
+/// # Errors
+///
+/// [`MilpError::SimplexStalled`] if the iteration budget is exhausted
+/// (numerical cycling); infeasibility and unboundedness are reported through
+/// [`LpStatus`], not as errors.
+pub fn solve_lp(p: &LpProblem) -> Result<LpSolution, MilpError> {
+    let n = p.num_vars;
+    let m = p.num_rows();
+
+    if m == 0 {
+        // Bound-only problem: each variable goes to whichever bound its cost
+        // prefers.
+        let mut x = vec![0.0; n];
+        let mut obj = p.obj_offset;
+        for j in 0..n {
+            if p.lb[j] > p.ub[j] + TOL {
+                return Ok(LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: 0.0,
+                    x,
+                    duals: Vec::new(),
+                    iterations: 0,
+                });
+            }
+            let c = p.obj[j];
+            let v = if c > 0.0 {
+                p.lb[j]
+            } else if c < 0.0 {
+                p.ub[j]
+            } else if p.lb[j].is_finite() {
+                p.lb[j]
+            } else if p.ub[j].is_finite() {
+                p.ub[j]
+            } else {
+                0.0
+            };
+            if !v.is_finite() && c != 0.0 {
+                return Ok(LpSolution {
+                    status: LpStatus::Unbounded,
+                    objective: f64::NEG_INFINITY,
+                    x,
+                    duals: Vec::new(),
+                    iterations: 0,
+                });
+            }
+            x[j] = if v.is_finite() { v } else { 0.0 };
+            obj += c * x[j];
+        }
+        return Ok(LpSolution {
+            status: LpStatus::Optimal,
+            objective: obj,
+            x,
+            duals: Vec::new(),
+            iterations: 0,
+        });
+    }
+
+    // Quick bound sanity.
+    for j in 0..n {
+        if p.lb[j] > p.ub[j] + TOL {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                x: vec![0.0; n],
+                duals: Vec::new(),
+                iterations: 0,
+            });
+        }
+    }
+
+    // Column layout: [structural 0..n | slack n..n+m | artificial n+m..n+2m]
+    let ncols = n + 2 * m;
+    let mut cols = p.cols.clone();
+    cols.resize(ncols, Vec::new());
+    let mut lb = p.lb.clone();
+    let mut ub = p.ub.clone();
+    lb.resize(ncols, 0.0);
+    ub.resize(ncols, 0.0);
+    for i in 0..m {
+        let s = n + i;
+        cols[s] = vec![(i, 1.0)];
+        match p.row_kind[i] {
+            RowKind::Le => {
+                lb[s] = 0.0;
+                ub[s] = f64::INFINITY;
+            }
+            RowKind::Eq => {
+                lb[s] = 0.0;
+                ub[s] = 0.0;
+            }
+        }
+    }
+
+    // Nonbasic structurals sit at their finite bound (prefer lower).
+    let mut state = vec![ColState::AtLower; ncols];
+    let mut x = vec![0.0; ncols];
+    for j in 0..n {
+        if lb[j].is_finite() {
+            state[j] = ColState::AtLower;
+            x[j] = lb[j];
+        } else if ub[j].is_finite() {
+            state[j] = ColState::AtUpper;
+            x[j] = ub[j];
+        } else {
+            state[j] = ColState::AtLower; // free var pinned at 0 initially
+            x[j] = 0.0;
+        }
+    }
+
+    // Residuals decide which rows need an artificial.
+    let mut resid = p.rhs.clone();
+    for j in 0..n {
+        if x[j] != 0.0 {
+            for &(r, v) in &cols[j] {
+                resid[r] -= v * x[j];
+            }
+        }
+    }
+    let mut basis = Vec::with_capacity(m);
+    let mut any_artificial = false;
+    for i in 0..m {
+        let s = n + i;
+        let a = n + m + i;
+        let fits = resid[i] >= lb[s] - TOL && resid[i] <= ub[s] + TOL;
+        if fits {
+            basis.push(s);
+            state[s] = ColState::Basic(i);
+            x[s] = resid[i];
+            // artificial stays fixed at 0
+            state[a] = ColState::AtLower;
+        } else {
+            // Slack pinned at nearest bound, artificial absorbs the rest.
+            let sv = resid[i].clamp(lb[s], ub[s].min(1e18));
+            x[s] = sv;
+            state[s] = if (sv - lb[s]).abs() <= (ub[s] - sv).abs() {
+                ColState::AtLower
+            } else {
+                ColState::AtUpper
+            };
+            let gap = resid[i] - sv;
+            cols[a] = vec![(i, gap.signum())];
+            lb[a] = 0.0;
+            ub[a] = f64::INFINITY;
+            basis.push(a);
+            state[a] = ColState::Basic(i);
+            x[a] = gap.abs();
+            any_artificial = true;
+        }
+    }
+
+    let mut t = Tableau {
+        m,
+        ncols,
+        cols,
+        lb,
+        ub,
+        cost: vec![0.0; ncols],
+        state,
+        x,
+        basis,
+        binv: {
+            let mut id = vec![0.0; m * m];
+            for i in 0..m {
+                id[i * m + i] = 1.0;
+            }
+            id
+        },
+        iterations: 0,
+        pivots_since_refactor: 0,
+    };
+    if !t.refactorize() {
+        if std::env::var_os("DVS_MILP_DEBUG").is_some() {
+            eprintln!("simplex: initial basis singular");
+        }
+        return Err(MilpError::SimplexStalled);
+    }
+    t.recompute_basics(&p.rhs);
+
+    let max_iters = 5000 + 200 * (n + m);
+
+    // ---- Phase 1 ----
+    if any_artificial {
+        for i in 0..m {
+            t.cost[n + m + i] = 1.0;
+        }
+        let status = run_simplex(&mut t, &p.rhs, max_iters, true)?;
+        if status == LpStatus::Unbounded {
+            // Phase-1 objective is bounded below by 0; cannot be unbounded.
+            if std::env::var_os("DVS_MILP_DEBUG").is_some() {
+                eprintln!("simplex: phase-1 reported unbounded");
+            }
+            return Err(MilpError::SimplexStalled);
+        }
+        let phase1: f64 = (0..m).map(|i| t.cost[n + m + i] * t.x[n + m + i]).sum();
+        if phase1 > 1e-6 {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                x: t.x[..n].to_vec(),
+                duals: Vec::new(),
+                iterations: t.iterations,
+            });
+        }
+        // Freeze artificials.
+        for i in 0..m {
+            let a = n + m + i;
+            t.cost[a] = 0.0;
+            t.ub[a] = 0.0;
+            // A basic artificial at ~0 is harmless (degenerate).
+            if !matches!(t.state[a], ColState::Basic(_)) {
+                t.x[a] = 0.0;
+                t.state[a] = ColState::AtLower;
+            }
+        }
+    }
+
+    // ---- Phase 2 ----
+    for j in 0..n {
+        t.cost[j] = p.obj[j];
+    }
+    for j in n..ncols {
+        t.cost[j] = 0.0;
+    }
+    let status = run_simplex(&mut t, &p.rhs, max_iters, false)?;
+
+    let objective = match status {
+        LpStatus::Unbounded => f64::NEG_INFINITY,
+        _ => {
+            (0..n).map(|j| p.obj[j] * t.x[j]).sum::<f64>() + p.obj_offset
+        }
+    };
+    let duals = if status == LpStatus::Optimal {
+        let cb: Vec<f64> = t.basis.iter().map(|&j| t.cost[j]).collect();
+        t.btran(&cb)
+    } else {
+        Vec::new()
+    };
+    Ok(LpSolution { status, objective, x: t.x[..n].to_vec(), duals, iterations: t.iterations })
+}
+
+/// Runs the simplex loop to optimality on the current cost vector.
+fn run_simplex(
+    t: &mut Tableau,
+    rhs: &[f64],
+    max_iters: usize,
+    phase1: bool,
+) -> Result<LpStatus, MilpError> {
+    let mut stall = 0usize;
+    let mut last_obj = f64::INFINITY;
+    // Once degeneracy is detected, Bland's rule stays on for the rest of
+    // this phase — toggling it off after a productive pivot can re-enter
+    // the same cycle.
+    let mut bland_sticky = false;
+    loop {
+        if t.iterations >= max_iters {
+            if std::env::var_os("DVS_MILP_DEBUG").is_some() {
+                eprintln!(
+                    "simplex stalled: phase1={phase1} m={} iters={} obj={last_obj} stall={stall}",
+                    t.m, t.iterations
+                );
+            }
+            return Err(MilpError::SimplexStalled);
+        }
+        t.iterations += 1;
+        if t.pivots_since_refactor >= 150 {
+            if !t.refactorize() {
+                if !(t.repair_basis() && t.refactorize()) {
+                    return Err(MilpError::SimplexStalled);
+                }
+            }
+            t.recompute_basics(rhs);
+        }
+
+        let cb: Vec<f64> = t.basis.iter().map(|&j| t.cost[j]).collect();
+        let y = t.btran(&cb);
+
+        // Pricing.
+        if stall > t.m + 20 {
+            bland_sticky = true;
+        }
+        let use_bland = bland_sticky;
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, rd, dir)
+        for j in 0..t.ncols {
+            let (st, range_zero) = match t.state[j] {
+                ColState::Basic(_) => continue,
+                s => (s, (t.ub[j] - t.lb[j]).abs() < 1e-15),
+            };
+            if range_zero {
+                continue; // fixed variable can never move
+            }
+            let rd = t.reduced_cost(j, &y);
+            let (eligible, dir) = match st {
+                ColState::AtLower => (rd < -TOL, 1.0),
+                ColState::AtUpper => (rd > TOL, -1.0),
+                ColState::Basic(_) => unreachable!(),
+            };
+            if eligible {
+                if use_bland {
+                    enter = Some((j, rd, dir));
+                    break;
+                }
+                let score = rd.abs();
+                if enter.map_or(true, |(_, brd, _)| score > brd.abs()) {
+                    enter = Some((j, rd, dir));
+                }
+            }
+        }
+        let Some((j_in, _rd, dir)) = enter else {
+            return Ok(LpStatus::Optimal);
+        };
+
+        // Direction through the basis.
+        let w = t.ftran(j_in);
+
+        // Ratio test. Entering variable moves by `step >= 0` in direction
+        // `dir`; basic i changes by -dir * w[i] * step. Ties are broken by
+        // the largest pivot magnitude for stability, or by the smallest
+        // variable index under Bland's rule (guaranteeing termination).
+        let own_range = t.ub[j_in] - t.lb[j_in]; // may be inf
+        let mut best_step = own_range;
+        let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+        for i in 0..t.m {
+            let delta = -dir * w[i];
+            if delta.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let bj = t.basis[i];
+            let xb = t.x[bj];
+            let (step, at_upper) = if delta < 0.0 {
+                let lbi = t.lb[bj];
+                if !lbi.is_finite() {
+                    continue;
+                }
+                ((xb - lbi) / -delta, false)
+            } else {
+                let ubi = t.ub[bj];
+                if !ubi.is_finite() {
+                    continue;
+                }
+                ((ubi - xb) / delta, true)
+            };
+            let better = if step < best_step - RATIO_TOL {
+                true
+            } else if step < best_step + RATIO_TOL {
+                match leave {
+                    None => best_step.is_infinite(),
+                    Some((li, _)) => {
+                        if use_bland {
+                            t.basis[i] < t.basis[li]
+                        } else {
+                            w[i].abs() > w[li].abs()
+                        }
+                    }
+                }
+            } else {
+                false
+            };
+            if better {
+                best_step = step.max(0.0);
+                leave = Some((i, at_upper));
+            }
+        }
+
+        if best_step.is_infinite() {
+            return Ok(LpStatus::Unbounded);
+        }
+
+        // Apply the move.
+        let step = best_step.max(0.0);
+        if step > 0.0 {
+            for i in 0..t.m {
+                let bj = t.basis[i];
+                t.x[bj] -= dir * w[i] * step;
+            }
+        }
+
+        match leave {
+            None => {
+                // Bound flip of the entering variable.
+                t.x[j_in] = if dir > 0.0 { t.ub[j_in] } else { t.lb[j_in] };
+                t.state[j_in] = if dir > 0.0 { ColState::AtUpper } else { ColState::AtLower };
+            }
+            Some((r, at_upper)) => {
+                let j_out = t.basis[r];
+                t.x[j_in] = t.x[j_in] + dir * step;
+                t.x[j_out] = if at_upper { t.ub[j_out] } else { t.lb[j_out] };
+                t.state[j_out] = if at_upper { ColState::AtUpper } else { ColState::AtLower };
+                t.state[j_in] = ColState::Basic(r);
+                t.basis[r] = j_in;
+                t.update_binv(r, &w);
+            }
+        }
+
+        // Cycling monitor: objective (phase-aware) should not increase.
+        let obj: f64 = t
+            .basis
+            .iter()
+            .map(|&j| t.cost[j] * t.x[j])
+            .chain((0..t.ncols).filter_map(|j| match t.state[j] {
+                ColState::Basic(_) => None,
+                _ => Some(t.cost[j] * t.x[j]),
+            }))
+            .sum();
+        if obj < last_obj - TOL {
+            last_obj = obj;
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+        let _ = phase1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_two_var_lp() {
+        // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2  (x,y >= 0)
+        let mut p = LpProblem::new(2);
+        p.obj = vec![-1.0, -2.0];
+        p.ub = vec![3.0, 2.0];
+        p.add_row(&[(0, 1.0), (1, 1.0)], RowKind::Le, 4.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -6.0); // x=2, y=2
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn equality_rows_need_artificials() {
+        // min x + y  s.t. x + y = 3, x - y = 1  -> x=2, y=1
+        let mut p = LpProblem::new(2);
+        p.obj = vec![1.0, 1.0];
+        p.add_row(&[(0, 1.0), (1, 1.0)], RowKind::Eq, 3.0);
+        p.add_row(&[(0, 1.0), (1, -1.0)], RowKind::Eq, 1.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 1.0);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x = 3 simultaneously.
+        let mut p = LpProblem::new(1);
+        p.obj = vec![1.0];
+        p.add_row(&[(0, 1.0)], RowKind::Le, 1.0);
+        p.add_row(&[(0, 1.0)], RowKind::Eq, 3.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with x >= 0 unbounded above and no rows limiting it.
+        let mut p = LpProblem::new(1);
+        p.obj = vec![-1.0];
+        p.add_row(&[(0, -1.0)], RowKind::Le, 0.0); // -x <= 0, i.e. x >= 0
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bounds_without_rows() {
+        let mut p = LpProblem::new(2);
+        p.obj = vec![1.0, -1.0];
+        p.lb = vec![2.0, 0.0];
+        p.ub = vec![5.0, 7.0];
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 7.0);
+        assert_close(s.objective, -5.0);
+    }
+
+    #[test]
+    fn upper_bounds_respected_via_bound_flips() {
+        // max x1 + x2 + x3 s.t. x1 + x2 + x3 <= 10, each x in [0, 4].
+        let mut p = LpProblem::new(3);
+        p.obj = vec![-1.0, -1.0, -1.0];
+        p.ub = vec![4.0, 4.0, 4.0];
+        p.add_row(&[(0, 1.0), (1, 1.0), (2, 1.0)], RowKind::Le, 10.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -10.0);
+        let total: f64 = s.x.iter().sum();
+        assert_close(total, 10.0);
+        for v in &s.x {
+            assert!(*v <= 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5 (bound), x + y = 0, y <= 3  -> x = -3.
+        let mut p = LpProblem::new(2);
+        p.obj = vec![1.0, 0.0];
+        p.lb = vec![-5.0, 0.0];
+        p.ub = vec![f64::INFINITY, 3.0];
+        p.add_row(&[(0, 1.0), (1, 1.0)], RowKind::Eq, 0.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], -3.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut p = LpProblem::new(2);
+        p.obj = vec![-1.0, -1.0];
+        p.add_row(&[(0, 1.0)], RowKind::Le, 1.0);
+        p.add_row(&[(0, 1.0), (1, 0.0)], RowKind::Le, 1.0);
+        p.add_row(&[(0, 2.0)], RowKind::Le, 2.0);
+        p.add_row(&[(1, 1.0)], RowKind::Le, 1.0);
+        p.add_row(&[(0, 1.0), (1, 1.0)], RowKind::Le, 2.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -2.0);
+    }
+
+    #[test]
+    fn objective_offset_carried_through() {
+        let mut p = LpProblem::new(1);
+        p.obj = vec![1.0];
+        p.obj_offset = 10.0;
+        p.lb = vec![3.0];
+        p.add_row(&[(0, 1.0)], RowKind::Le, 5.0);
+        let s = solve_lp(&p).unwrap();
+        assert_close(s.objective, 13.0);
+    }
+
+    #[test]
+    fn fixed_variables_stay_fixed() {
+        // y fixed at 2 via lb=ub; min x s.t. x + y >= 5 (as -x - y <= -5).
+        let mut p = LpProblem::new(2);
+        p.obj = vec![1.0, 0.0];
+        p.lb = vec![0.0, 2.0];
+        p.ub = vec![f64::INFINITY, 2.0];
+        p.add_row(&[(0, -1.0), (1, -1.0)], RowKind::Le, -5.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale's classic example cycles forever under naive Dantzig
+        // pricing with textbook tie-breaking; the anti-cycling safeguards
+        // must terminate at the optimum (objective -0.05).
+        //   min -0.75x1 + 150x2 - 0.02x3 + 6x4
+        //   s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+        //        0.5 x1 - 90x2 - 0.02x3 + 3x4 <= 0
+        //        x3 <= 1,   x >= 0
+        let mut p = LpProblem::new(4);
+        p.obj = vec![-0.75, 150.0, -0.02, 6.0];
+        p.add_row(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], RowKind::Le, 0.0);
+        p.add_row(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], RowKind::Le, 0.0);
+        p.add_row(&[(2, 1.0)], RowKind::Le, 1.0);
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-0.05)).abs() < 1e-9, "obj = {}", s.objective);
+        assert!((s.x[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_duality_on_random_instances() {
+        // min c'x, Ax <= b, x >= 0 (no upper bounds): at an optimum,
+        // c'x* = y'b, A'y <= c, and y <= 0. This is a complete
+        // end-to-end correctness certificate for the simplex.
+        let mut seed = 0xD0A1u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) % 1000) as f64 / 100.0
+        };
+        let mut checked = 0;
+        for _ in 0..40 {
+            let (n, m) = (4, 3);
+            let mut p = LpProblem::new(n);
+            for j in 0..n {
+                p.obj[j] = rnd(); // non-negative costs keep it bounded
+            }
+            for _ in 0..m {
+                let terms: Vec<(usize, f64)> = (0..n).map(|j| (j, rnd() - 4.0)).collect();
+                // b mixed in sign so some instances need phase 1.
+                p.add_row(&terms, RowKind::Le, rnd() - 2.0);
+            }
+            let s = solve_lp(&p).unwrap();
+            if s.status != LpStatus::Optimal {
+                continue;
+            }
+            checked += 1;
+            let y = &s.duals;
+            assert_eq!(y.len(), m);
+            // Strong duality.
+            let primal = s.objective;
+            let dual: f64 = y.iter().zip(&p.rhs).map(|(yi, bi)| yi * bi).sum();
+            assert!(
+                (primal - dual).abs() < 1e-5 * primal.abs().max(1.0),
+                "duality gap: primal {primal} dual {dual}"
+            );
+            // Dual feasibility: A'y <= c and y <= 0.
+            for (i, yi) in y.iter().enumerate() {
+                assert!(*yi <= 1e-7, "y[{i}] = {yi} must be <= 0");
+            }
+            for j in 0..n {
+                let aty: f64 = p.cols[j].iter().map(|&(r, a)| a * y[r]).sum();
+                assert!(aty <= p.obj[j] + 1e-6, "dual infeasible at column {j}");
+            }
+        }
+        assert!(checked >= 10, "too few optimal instances ({checked})");
+    }
+
+    #[test]
+    fn larger_transportation_lp() {
+        // 3 suppliers x 4 consumers transportation problem.
+        let supply = [20.0, 30.0, 25.0];
+        let demand = [10.0, 25.0, 20.0, 20.0];
+        let cost = [
+            [4.0, 6.0, 8.0, 11.0],
+            [5.0, 5.0, 7.0, 9.0],
+            [6.0, 4.0, 3.0, 5.0],
+        ];
+        let nv = 12;
+        let mut p = LpProblem::new(nv);
+        for i in 0..3 {
+            for j in 0..4 {
+                p.obj[i * 4 + j] = cost[i][j];
+            }
+        }
+        for (i, &s) in supply.iter().enumerate() {
+            let terms: Vec<_> = (0..4).map(|j| (i * 4 + j, 1.0)).collect();
+            p.add_row(&terms, RowKind::Le, s);
+        }
+        for (j, &d) in demand.iter().enumerate() {
+            let terms: Vec<_> = (0..3).map(|i| (i * 4 + j, 1.0)).collect();
+            p.add_row(&terms, RowKind::Eq, d);
+        }
+        let s = solve_lp(&p).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        // Validate feasibility of the returned plan.
+        for i in 0..3 {
+            let used: f64 = (0..4).map(|j| s.x[i * 4 + j]).sum();
+            assert!(used <= supply[i] + 1e-6);
+        }
+        for j in 0..4 {
+            let got: f64 = (0..3).map(|i| s.x[i * 4 + j]).sum();
+            assert_close(got, demand[j]);
+        }
+        // Optimum verified by hand (s0: t0=10,t1=10; s1: t1=15,t3=15; s2: t2=20,t3=5).
+        assert_close(s.objective, 395.0);
+    }
+}

@@ -1,0 +1,57 @@
+use crate::Var;
+
+/// Quality of a returned MILP solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// Feasible but optimality not proven (node limit hit).
+    Feasible,
+}
+
+/// Search statistics from a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations across all LP solves.
+    pub lp_iterations: usize,
+    /// Best proven lower bound on the (minimization-form) objective.
+    pub best_bound: f64,
+}
+
+/// A feasible (and usually optimal) solution to a [`crate::Model`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Whether optimality was proven.
+    pub status: Status,
+    /// Objective value in the model's own sense.
+    pub objective: f64,
+    /// Variable values, indexed by [`Var::index`].
+    pub values: Vec<f64>,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// The value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    #[must_use]
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// The value of `var` rounded to the nearest integer — convenient for
+    /// binary/integer variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    #[must_use]
+    pub fn int_value(&self, var: Var) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+}

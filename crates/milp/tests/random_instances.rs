@@ -1,0 +1,224 @@
+//! Property tests: the simplex and branch-and-bound against brute force.
+//!
+//! * For random small **binary** programs, enumerate all 2^n assignments and
+//!   check the MILP solver finds exactly the best feasible one.
+//! * For random small **LPs over boxes**, sample many feasible points and
+//!   verify none beats the simplex optimum, and that the simplex solution
+//!   satisfies every constraint.
+
+use dvs_milp::{solve, solve_with, BranchConfig, BranchRule, LinExpr, Model, MilpError, Sense};
+use proptest::prelude::*;
+
+/// Enumerates all binary assignments, returning the best feasible objective.
+fn brute_force_binary(
+    n: usize,
+    obj: &[f64],
+    cons: &[(Vec<f64>, f64)], // (coeffs, rhs) meaning coeffs . x <= rhs
+) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+        let feasible = cons
+            .iter()
+            .all(|(a, b)| a.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() <= b + 1e-9);
+        if feasible {
+            let v: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            best = Some(best.map_or(v, |b: f64| b.max(v)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_milp_matches_brute_force(
+        n in 2usize..8,
+        obj_raw in prop::collection::vec(-10i32..10, 8),
+        con_raw in prop::collection::vec((prop::collection::vec(-5i32..6, 8), 0i32..20), 1..4),
+    ) {
+        let obj: Vec<f64> = obj_raw[..n].iter().map(|&c| f64::from(c)).collect();
+        let cons: Vec<(Vec<f64>, f64)> = con_raw
+            .iter()
+            .map(|(a, b)| (a[..n].iter().map(|&c| f64::from(c)).collect(), f64::from(*b)))
+            .collect();
+
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..n).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let mut e = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            e += obj[i] * x;
+        }
+        m.set_objective(e);
+        for (a, b) in &cons {
+            let mut lhs = LinExpr::zero();
+            for (i, &x) in xs.iter().enumerate() {
+                lhs += a[i] * x;
+            }
+            m.add_le(lhs, *b);
+        }
+
+        let expected = brute_force_binary(n, &obj, &cons);
+        match (solve(&m), expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective, best);
+                // Returned assignment must itself be feasible and binary.
+                for &x in &xs {
+                    let v = sol.value(x);
+                    prop_assert!((v - v.round()).abs() < 1e-6);
+                }
+                for (a, b) in &cons {
+                    let lhs: f64 = xs.iter().enumerate()
+                        .map(|(i, &x)| a[i] * sol.value(x)).sum();
+                    prop_assert!(lhs <= b + 1e-6);
+                }
+            }
+            (Err(MilpError::Infeasible), None) => {}
+            (got, want) => prop_assert!(false, "solver {:?} vs brute force {:?}",
+                got.map(|s| s.objective), want),
+        }
+    }
+
+    #[test]
+    fn lp_optimum_dominates_random_feasible_points(
+        n in 2usize..6,
+        obj_raw in prop::collection::vec(-10i32..10, 6),
+        con_raw in prop::collection::vec((prop::collection::vec(0i32..6, 6), 1i32..30), 1..4),
+        samples in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 6), 20),
+    ) {
+        // Constraints use non-negative coefficients so x=0 is always
+        // feasible and the instance is never infeasible; the box [0, 10]^n
+        // keeps it bounded.
+        let obj: Vec<f64> = obj_raw[..n].iter().map(|&c| f64::from(c)).collect();
+        let cons: Vec<(Vec<f64>, f64)> = con_raw
+            .iter()
+            .map(|(a, b)| (a[..n].iter().map(|&c| f64::from(c)).collect(), f64::from(*b)))
+            .collect();
+
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..n).map(|i| m.num_var(format!("x{i}"), 0.0, 10.0)).collect();
+        let mut e = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            e += obj[i] * x;
+        }
+        m.set_objective(e);
+        for (a, b) in &cons {
+            let mut lhs = LinExpr::zero();
+            for (i, &x) in xs.iter().enumerate() {
+                lhs += a[i] * x;
+            }
+            m.add_le(lhs, *b);
+        }
+        let sol = solve(&m).unwrap();
+
+        // The solver's point is feasible.
+        for (a, b) in &cons {
+            let lhs: f64 = xs.iter().enumerate().map(|(i, &x)| a[i] * sol.value(x)).sum();
+            prop_assert!(lhs <= b + 1e-6);
+        }
+        for &x in &xs {
+            let v = sol.value(x);
+            prop_assert!((-1e-9..=10.0 + 1e-9).contains(&v));
+        }
+
+        // No sampled feasible point beats it. Scale samples into the box and
+        // reject infeasible ones.
+        for s in &samples {
+            let x: Vec<f64> = s[..n].iter().map(|v| v * 10.0).collect();
+            let feasible = cons.iter().all(|(a, b)| {
+                a.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() <= *b
+            });
+            if feasible {
+                let v: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+                prop_assert!(v <= sol.objective + 1e-6,
+                    "sample {v} beats optimum {}", sol.objective);
+            }
+        }
+    }
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SOS1 branching and plain most-fractional branching must agree on
+    /// the optimal objective of random assignment-like instances (they
+    /// explore different trees, same optimum).
+    #[test]
+    fn branch_rules_agree_on_optimum(
+        costs in prop::collection::vec(0i32..12, 9),
+        cap in 1i32..4,
+    ) {
+        let mut m = Model::new(Sense::Minimize);
+        let mut vars = vec![vec![]; 3];
+        let mut obj = LinExpr::zero();
+        for g in 0..3 {
+            for i in 0..3 {
+                let v = m.bool_var(format!("x{g}{i}"));
+                obj += f64::from(costs[g * 3 + i]) * v;
+                vars[g].push(v);
+            }
+            let mut sum = LinExpr::zero();
+            for &v in &vars[g] {
+                sum += LinExpr::from(v);
+            }
+            m.add_eq(sum, 1.0);
+            m.add_sos1(vars[g].clone());
+        }
+        // A side constraint coupling the groups so the LP relaxation is
+        // usually fractional: at most `cap` of the "column 0" picks.
+        let mut col0 = LinExpr::zero();
+        for g in 0..3 {
+            col0 += LinExpr::from(vars[g][0]);
+        }
+        m.add_le(col0, f64::from(cap));
+        m.set_objective(obj);
+
+        let sos = solve_with(
+            &m,
+            &BranchConfig { rule: BranchRule::Sos1ThenFractional, ..BranchConfig::default() },
+        );
+        let frac = solve_with(
+            &m,
+            &BranchConfig { rule: BranchRule::MostFractional, ..BranchConfig::default() },
+        );
+        match (sos, frac) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "sos {} vs fractional {}", a.objective, b.objective
+            ),
+            (a, b) => prop_assert!(false, "solver disagreement: {:?} vs {:?}",
+                a.map(|s| s.objective), b.map(|s| s.objective)),
+        }
+    }
+
+    /// Presolve on/off agree on the optimum.
+    #[test]
+    fn presolve_preserves_milp_optimum(
+        obj_raw in prop::collection::vec(-8i32..8, 6),
+        rhs in 2i32..16,
+    ) {
+        let n = 6;
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..n).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::zero();
+        let mut w = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            obj += f64::from(obj_raw[i]) * x;
+            w += f64::from((i % 3 + 1) as i32) * x;
+        }
+        m.set_objective(obj);
+        m.add_le(w, f64::from(rhs));
+        let with = solve_with(
+            &m,
+            &BranchConfig { presolve: true, ..BranchConfig::default() },
+        ).expect("feasible: all-zero works");
+        let without = solve_with(
+            &m,
+            &BranchConfig { presolve: false, ..BranchConfig::default() },
+        ).expect("feasible");
+        prop_assert!((with.objective - without.objective).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,462 @@
+use crate::ProgramParams;
+use dvs_vf::AlphaPower;
+use serde::{Deserialize, Serialize};
+
+/// Which structural case of §3.3 a `(program, deadline)` pair falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaseKind {
+    /// §3.3.1 / Fig. 2: `finvariant <= fideal` — one frequency is optimal,
+    /// intra-program DVS saves nothing.
+    ComputeDominated,
+    /// §3.3.1 / Fig. 3: `finvariant > fideal` and `Noverlap > Ncache` — two
+    /// frequencies beat one.
+    MemoryDominated,
+    /// §3.3.2 / Fig. 4: `Ncache >= Noverlap` — slowing the overlap region
+    /// dilates the memory time itself; one frequency is again optimal.
+    MemoryDominatedSlack,
+}
+
+/// The best single `(V, f)` meeting the deadline, and its model energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleFrequency {
+    /// Clock frequency, MHz.
+    pub f_mhz: f64,
+    /// Supply voltage, volts.
+    pub v: f64,
+    /// Model energy, cycle·V².
+    pub energy: f64,
+}
+
+/// Result of the continuous two-voltage optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousSolution {
+    /// Structural case.
+    pub case: CaseKind,
+    /// Voltage of the overlap region.
+    pub v1: f64,
+    /// Frequency of the overlap region, MHz.
+    pub f1_mhz: f64,
+    /// Voltage of the dependent region.
+    pub v2: f64,
+    /// Frequency of the dependent region, MHz.
+    pub f2_mhz: f64,
+    /// Minimum model energy, cycle·V².
+    pub energy: f64,
+}
+
+/// The continuous-voltage analytical model (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousModel {
+    law: AlphaPower,
+    /// Inclusive voltage search range.
+    v_lo: f64,
+    v_hi: f64,
+}
+
+impl ContinuousModel {
+    /// Model with the paper's alpha-power parameters and a wide continuous
+    /// voltage range (0.5 V – 4 V, matching the sweep range of Figs. 2–4).
+    #[must_use]
+    pub fn paper() -> Self {
+        ContinuousModel { law: AlphaPower::paper(), v_lo: 0.5, v_hi: 4.0 }
+    }
+
+    /// Model with an explicit law and voltage range.
+    #[must_use]
+    pub fn new(law: AlphaPower, v_lo: f64, v_hi: f64) -> Self {
+        ContinuousModel { law, v_lo, v_hi }
+    }
+
+    /// The alpha-power law in use.
+    #[must_use]
+    pub fn law(&self) -> &AlphaPower {
+        &self.law
+    }
+
+    fn f_of(&self, v: f64) -> f64 {
+        self.law.frequency_mhz(v).unwrap_or(0.0)
+    }
+
+    fn v_of(&self, f: f64) -> Option<f64> {
+        let v = self.law.voltage_for(f).ok()?;
+        if v > self.v_hi + 1e-9 {
+            None
+        } else {
+            Some(v.max(self.v_lo))
+        }
+    }
+
+    /// Classifies the program at this deadline.
+    #[must_use]
+    pub fn classify(&self, p: &ProgramParams, t_deadline_us: f64) -> CaseKind {
+        if p.n_cache >= p.n_overlap {
+            return CaseKind::MemoryDominatedSlack;
+        }
+        let fid = p.f_ideal_compute_mhz(t_deadline_us);
+        match p.f_invariant_mhz() {
+            Some(finv) if finv < fid => CaseKind::MemoryDominated,
+            _ => CaseKind::ComputeDominated,
+        }
+    }
+
+    /// The best single frequency meeting the deadline, or `None` when even
+    /// the highest voltage in range is too slow.
+    #[must_use]
+    pub fn best_single(&self, p: &ProgramParams, t_deadline_us: f64) -> Option<SingleFrequency> {
+        if !p.is_valid() || t_deadline_us <= p.t_invariant_us {
+            return None;
+        }
+        // time(f) is strictly decreasing; bisect for the slowest f that
+        // meets the deadline.
+        let f_max = self.f_of(self.v_hi);
+        if p.time_at_single_frequency(f_max) > t_deadline_us {
+            return None;
+        }
+        let mut lo = 1e-9;
+        let mut hi = f_max;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if p.time_at_single_frequency(mid) > t_deadline_us {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let f = hi;
+        let v = self.v_of(f)?;
+        let energy = (p.overlap_region_cycles() + p.n_dependent) * v * v;
+        Some(SingleFrequency { f_mhz: f, v, energy })
+    }
+
+    /// Model energy of a candidate overlap-region voltage `v1` with the
+    /// dependent-region voltage chosen optimally under the active deadline
+    /// constraint. `None` when `v1` leaves no feasible `v2`. This is the
+    /// function plotted in Figs. 2–4.
+    #[must_use]
+    pub fn energy_at_v1(&self, p: &ProgramParams, t_deadline_us: f64, v1: f64) -> Option<f64> {
+        let f1 = self.f_of(v1);
+        if f1 <= 0.0 {
+            return None;
+        }
+        let overlap_cycles = p.overlap_region_cycles();
+        // Wall time of the overlap region at f1.
+        let t1 = if p.n_cache >= p.n_overlap {
+            p.t_invariant_us + p.n_cache / f1
+        } else {
+            (p.t_invariant_us + p.n_cache / f1).max(p.n_overlap / f1)
+        };
+        let budget = t_deadline_us - t1;
+        if budget <= 0.0 {
+            return if p.n_dependent == 0.0 && budget >= -1e-12 {
+                Some(overlap_cycles * v1 * v1)
+            } else {
+                None
+            };
+        }
+        if p.n_dependent == 0.0 {
+            return Some(overlap_cycles * v1 * v1);
+        }
+        let f2 = p.n_dependent / budget;
+        let v2 = self.v_of(f2)?;
+        Some(overlap_cycles * v1 * v1 + p.n_dependent * v2 * v2)
+    }
+
+    /// The derivative `dE/dv1` of [`ContinuousModel::energy_at_v1`],
+    /// assembled from the paper's §3.3 chain rule: with
+    /// `E(v1) = X·v1² + Nd·v2(v1)²` and `v2` implied by the active deadline
+    /// constraint,
+    ///
+    /// ```text
+    /// dE/dv1 = 2·X·v1 + 2·Nd·v2 · (dv/df)(f2) · df2/dv1
+    /// ```
+    ///
+    /// where `df/dv` comes from differentiating the alpha-power law and
+    /// `df2/dv1` from the constraint piece in force (`f1 ≷ finvariant`).
+    /// Returns `None` where the energy itself is undefined. At the optimum
+    /// of the memory-dominated case this crosses zero — the condition the
+    /// paper derives.
+    #[must_use]
+    pub fn energy_derivative_v1(
+        &self,
+        p: &ProgramParams,
+        t_deadline_us: f64,
+        v1: f64,
+    ) -> Option<f64> {
+        let f1 = self.f_of(v1);
+        if f1 <= 0.0 || p.n_dependent == 0.0 {
+            return None;
+        }
+        let x_cycles = p.overlap_region_cycles();
+        // Active constraint piece decides how t1 moves with v1.
+        let mem_arm = p.t_invariant_us + p.n_cache / f1;
+        let comp_arm = p.n_overlap / f1;
+        let (t1, governing_cycles) = if p.n_cache >= p.n_overlap {
+            (mem_arm, p.n_cache)
+        } else if mem_arm >= comp_arm {
+            (mem_arm, p.n_cache)
+        } else {
+            (comp_arm, p.n_overlap)
+        };
+        let budget = t_deadline_us - t1;
+        if budget <= 0.0 {
+            return None;
+        }
+        let f2 = p.n_dependent / budget;
+        let v2 = self.v_of(f2)?;
+        // df/dv of the alpha-power law at a voltage v.
+        let dfdv = |v: f64| {
+            let law = &self.law;
+            let d = v - law.vt;
+            law.k * (law.alpha * d.powf(law.alpha - 1.0) * v - d.powf(law.alpha))
+                / (v * v)
+        };
+        // dt1/dv1 = -governing_cycles / f1² · df/dv(v1).
+        let dt1 = -governing_cycles / (f1 * f1) * dfdv(v1);
+        // df2/dv1 = Nd / budget² · dt1/dv1.
+        let df2 = p.n_dependent / (budget * budget) * dt1;
+        // dv2/dv1 = df2 / (df/dv at v2).
+        let dv2 = df2 / dfdv(v2);
+        Some(2.0 * x_cycles * v1 + 2.0 * p.n_dependent * v2 * dv2)
+    }
+
+    /// The optimal continuous solution: one voltage in the
+    /// computation-dominated and with-slack cases, two in the
+    /// memory-dominated case (found numerically over `v1`, as the paper
+    /// does). `None` when the deadline is infeasible.
+    #[must_use]
+    pub fn optimal(&self, p: &ProgramParams, t_deadline_us: f64) -> Option<ContinuousSolution> {
+        let single = self.best_single(p, t_deadline_us)?;
+        let case = self.classify(p, t_deadline_us);
+        let mut best = ContinuousSolution {
+            case,
+            v1: single.v,
+            f1_mhz: single.f_mhz,
+            v2: single.v,
+            f2_mhz: single.f_mhz,
+            energy: single.energy,
+        };
+        if case != CaseKind::MemoryDominated {
+            return Some(best);
+        }
+        // Scan v1 below the single-frequency voltage (slower overlap region)
+        // and refine around the best grid point.
+        let scan = |lo: f64, hi: f64, steps: usize, best: &mut ContinuousSolution| {
+            for i in 0..=steps {
+                let v1 = lo + (hi - lo) * i as f64 / steps as f64;
+                if let Some(e) = self.energy_at_v1(p, t_deadline_us, v1) {
+                    if e < best.energy {
+                        let f1 = self.f_of(v1);
+                        let t1 = (p.t_invariant_us + p.n_cache / f1).max(p.n_overlap / f1);
+                        let f2 = p.n_dependent / (t_deadline_us - t1);
+                        let v2 = self.v_of(f2).unwrap_or(v1);
+                        *best = ContinuousSolution {
+                            case: CaseKind::MemoryDominated,
+                            v1,
+                            f1_mhz: f1,
+                            v2,
+                            f2_mhz: f2,
+                            energy: e,
+                        };
+                    }
+                }
+            }
+        };
+        scan(self.v_lo.max(self.law.vt + 0.01), self.v_hi, 800, &mut best);
+        let dv = (self.v_hi - self.v_lo) / 800.0;
+        let (lo, hi) = (best.v1 - dv, best.v1 + dv);
+        scan(lo.max(self.law.vt + 0.01), hi.min(self.v_hi), 200, &mut best);
+        Some(best)
+    }
+
+    /// Energy-savings ratio of the optimal schedule relative to the best
+    /// single frequency: `1 - E_opt / E_single`, in `[0, 1)`. `None` when
+    /// the deadline is infeasible.
+    #[must_use]
+    pub fn savings(&self, p: &ProgramParams, t_deadline_us: f64) -> Option<f64> {
+        let single = self.best_single(p, t_deadline_us)?;
+        let opt = self.optimal(p, t_deadline_us)?;
+        if single.energy <= 0.0 {
+            return Some(0.0);
+        }
+        Some(((single.energy - opt.energy) / single.energy).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_bound() -> ProgramParams {
+        // Tiny memory time: fideal >> ... finvariant is huge, compute rules.
+        ProgramParams {
+            n_overlap: 1.0e6,
+            n_dependent: 2.0e6,
+            n_cache: 1.0e5,
+            t_invariant_us: 1.0,
+        }
+    }
+
+    fn memory_bound() -> ProgramParams {
+        // Long invariant memory time relative to the deadline, plenty of
+        // overlap compute to hide: finv = 350 MHz < fideal = 533 MHz.
+        ProgramParams {
+            n_overlap: 1.0e6,
+            n_dependent: 6.0e5,
+            n_cache: 3.0e5,
+            t_invariant_us: 2000.0,
+        }
+    }
+
+    fn slack_bound() -> ProgramParams {
+        ProgramParams {
+            n_overlap: 2.0e5,
+            n_dependent: 5.0e6,
+            n_cache: 3.0e6,
+            t_invariant_us: 1000.0,
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_conditions() {
+        let m = ContinuousModel::paper();
+        assert_eq!(m.classify(&compute_bound(), 10_000.0), CaseKind::ComputeDominated);
+        assert_eq!(m.classify(&memory_bound(), 3000.0), CaseKind::MemoryDominated);
+        assert_eq!(m.classify(&slack_bound(), 20_000.0), CaseKind::MemoryDominatedSlack);
+    }
+
+    #[test]
+    fn compute_dominated_saves_nothing() {
+        let m = ContinuousModel::paper();
+        let s = m.savings(&compute_bound(), 10_000.0).unwrap();
+        assert!(s < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn slack_case_saves_nothing() {
+        let m = ContinuousModel::paper();
+        let s = m.savings(&slack_bound(), 20_000.0).unwrap();
+        assert!(s < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn memory_dominated_saves_energy_with_two_voltages() {
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let s = m.savings(&p, 3000.0).unwrap();
+        assert!(s > 0.01, "got {s}");
+        let opt = m.optimal(&p, 3000.0).unwrap();
+        // Overlap region runs slower, dependent region faster.
+        assert!(opt.v1 < opt.v2, "v1 {} v2 {}", opt.v1, opt.v2);
+        // And the optimum beats the single frequency strictly.
+        let single = m.best_single(&p, 3000.0).unwrap();
+        assert!(opt.energy < single.energy);
+        assert!(opt.v1 < single.v && single.v < opt.v2);
+    }
+
+    #[test]
+    fn infeasible_deadline_returns_none() {
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        // Deadline inside tinvariant: impossible at any speed.
+        assert!(m.best_single(&p, 900.0).is_none());
+        assert!(m.savings(&p, 900.0).is_none());
+    }
+
+    #[test]
+    fn energy_curve_is_u_shaped_in_memory_dominated_case() {
+        // Fig. 3: energy decreases then increases as v1 sweeps.
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let opt = m.optimal(&p, 3000.0).unwrap();
+        let e_at = |v: f64| m.energy_at_v1(&p, 3000.0, v);
+        let e_opt = e_at(opt.v1).unwrap();
+        if let Some(e) = e_at(opt.v1 * 0.8) {
+            assert!(e >= e_opt - 1e-6);
+        }
+        if let Some(e) = e_at(opt.v1 * 1.3) {
+            assert!(e >= e_opt - 1e-6);
+        }
+    }
+
+    #[test]
+    fn analytic_derivative_matches_finite_differences() {
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let tdl = 3000.0;
+        for v1 in [1.0, 1.2, 1.4, 1.6, 1.8] {
+            let (Some(d), Some(e_lo), Some(e_hi)) = (
+                m.energy_derivative_v1(&p, tdl, v1),
+                m.energy_at_v1(&p, tdl, v1 - 1e-5),
+                m.energy_at_v1(&p, tdl, v1 + 1e-5),
+            ) else {
+                continue;
+            };
+            let fd = (e_hi - e_lo) / 2e-5;
+            assert!(
+                (d - fd).abs() < 1e-3 * fd.abs().max(1.0),
+                "v1={v1}: analytic {d} vs finite-diff {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_vanishes_at_scan_optimum() {
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let tdl = 3000.0;
+        let opt = m.optimal(&p, tdl).unwrap();
+        let d = m.energy_derivative_v1(&p, tdl, opt.v1).unwrap();
+        // Scale by a characteristic derivative magnitude away from the
+        // optimum.
+        let d_ref = m.energy_derivative_v1(&p, tdl, opt.v1 * 0.9).unwrap().abs();
+        assert!(
+            d.abs() < 0.05 * d_ref.max(1.0),
+            "dE/dv1 at optimum = {d} (reference {d_ref})"
+        );
+    }
+
+    #[test]
+    fn best_single_exactly_meets_deadline() {
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let s = m.best_single(&p, 3000.0).unwrap();
+        let t = p.time_at_single_frequency(s.f_mhz);
+        assert!((t - 3000.0).abs() < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    fn laxer_deadline_never_costs_more_energy() {
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let mut prev = f64::INFINITY;
+        for tdl in [2600.0, 3000.0, 4000.0, 6000.0, 10_000.0] {
+            let opt = m.optimal(&p, tdl).unwrap();
+            assert!(
+                opt.energy <= prev + 1e-6,
+                "energy should fall with laxer deadline (tdl {tdl})"
+            );
+            prev = opt.energy;
+        }
+    }
+
+    #[test]
+    fn savings_condition_matches_paper_inequality() {
+        // Savings require (Nov+Nd)/tdl > (Nov-Nc)/tinv, i.e. fideal >
+        // finvariant is *false* (finv < fid ⇔ memory dominated).
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let fid = p.f_ideal_compute_mhz(3000.0);
+        let finv = p.f_invariant_mhz().unwrap();
+        assert!(finv < fid, "memory-dominated needs finv {finv} < fid {fid}");
+        assert!(m.savings(&p, 3000.0).unwrap() > 0.0);
+
+        // Shrink tinvariant until finv > fid: computation dominates and
+        // savings vanish.
+        let mut q = p;
+        q.t_invariant_us = 100.0;
+        let finv = q.f_invariant_mhz().unwrap();
+        let fid = q.f_ideal_compute_mhz(3000.0);
+        assert!(finv > fid);
+        assert!(m.savings(&q, 3000.0).unwrap() < 1e-9);
+    }
+}

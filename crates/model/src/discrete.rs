@@ -1,0 +1,525 @@
+use crate::{CaseKind, ContinuousModel, ProgramParams};
+use dvs_vf::{ModeId, VoltageLadder};
+
+/// Fractional assignment of cycles to ladder modes, split into the two
+/// phases of the analytical model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretePlan {
+    /// Overlap-region cycles per mode (indexed like the ladder).
+    pub overlap_cycles: Vec<f64>,
+    /// Dependent-region cycles per mode.
+    pub dependent_cycles: Vec<f64>,
+}
+
+impl DiscretePlan {
+    fn zero(n: usize) -> Self {
+        DiscretePlan { overlap_cycles: vec![0.0; n], dependent_cycles: vec![0.0; n] }
+    }
+
+    /// Number of modes with non-zero assigned cycles.
+    #[must_use]
+    pub fn modes_used(&self) -> usize {
+        (0..self.overlap_cycles.len())
+            .filter(|&m| self.overlap_cycles[m] + self.dependent_cycles[m] > 1e-9)
+            .count()
+    }
+
+    /// Model energy of the plan on `ladder`, cycle·V².
+    #[must_use]
+    pub fn energy(&self, ladder: &VoltageLadder) -> f64 {
+        ladder
+            .iter()
+            .map(|(m, pt)| {
+                (self.overlap_cycles[m.index()] + self.dependent_cycles[m.index()])
+                    * pt.voltage
+                    * pt.voltage
+            })
+            .sum()
+    }
+}
+
+/// Result of the discrete optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteSolution {
+    /// Minimum model energy, cycle·V².
+    pub energy: f64,
+    /// The cycle assignment achieving it.
+    pub plan: DiscretePlan,
+    /// For memory-dominated programs, the optimal `y` (µs) of the Fig. 8
+    /// scan; `None` when a two-mode construction won.
+    pub y_us: Option<f64>,
+}
+
+/// The discrete-voltage analytical model (§3.4): cycles may be split
+/// fractionally across the ladder's modes, two phases share the deadline,
+/// and the memory-dominated case is solved by scanning `Emin(y)`.
+///
+/// # Example
+///
+/// ```
+/// use dvs_model::{DiscreteModel, ProgramParams};
+/// use dvs_vf::{AlphaPower, VoltageLadder};
+///
+/// let model = DiscreteModel::new(VoltageLadder::xscale3(&AlphaPower::paper()));
+/// let p = ProgramParams {
+///     n_overlap: 1.0e6,
+///     n_dependent: 2.0e6,
+///     n_cache: 1.0e5,
+///     t_invariant_us: 1.0,
+/// };
+/// // 3e6 cycles: 5000 µs at 600 MHz; a 6000 µs deadline leaves slack a
+/// // 200/600 split can exploit.
+/// let savings = model.savings(&p, 6000.0).unwrap();
+/// assert!(savings > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscreteModel {
+    ladder: VoltageLadder,
+    continuous: ContinuousModel,
+}
+
+impl DiscreteModel {
+    /// Builds the model over `ladder`, classifying cases with the paper's
+    /// alpha-power law.
+    #[must_use]
+    pub fn new(ladder: VoltageLadder) -> Self {
+        DiscreteModel { ladder, continuous: ContinuousModel::paper() }
+    }
+
+    /// The ladder in use.
+    #[must_use]
+    pub fn ladder(&self) -> &VoltageLadder {
+        &self.ladder
+    }
+
+    /// The slowest single mode that meets the deadline, with its model
+    /// energy — the baseline every savings ratio is computed against
+    /// ("best single-frequency setting that meets the deadline").
+    #[must_use]
+    pub fn best_single_mode(
+        &self,
+        p: &ProgramParams,
+        t_deadline_us: f64,
+    ) -> Option<(ModeId, f64)> {
+        let cycles = p.overlap_region_cycles() + p.n_dependent;
+        self.ladder
+            .iter()
+            .find(|(_, pt)| p.time_at_single_frequency(pt.frequency_mhz) <= t_deadline_us)
+            .map(|(m, pt)| (m, cycles * pt.voltage * pt.voltage))
+    }
+
+    /// Splits `cycles` across the two ladder neighbours of the ideal
+    /// frequency `cycles / budget_us` so the work finishes exactly at the
+    /// budget (the §3.4 two-mode construction). Returns per-mode cycles and
+    /// energy, or `None` if even the fastest mode cannot meet the budget.
+    #[must_use]
+    pub fn two_mode_split(&self, cycles: f64, budget_us: f64) -> Option<(Vec<f64>, f64)> {
+        let n = self.ladder.len();
+        let mut out = vec![0.0; n];
+        if cycles <= 0.0 {
+            return Some((out, 0.0));
+        }
+        if budget_us <= 0.0 {
+            return None;
+        }
+        let f_ideal = cycles / budget_us;
+        let (ma, mb) = self.ladder.neighbors(f_ideal);
+        let (pa, pb) = (self.ladder.point(ma), self.ladder.point(mb));
+        if ma == mb {
+            // Single mode: must be fast enough.
+            if pa.frequency_mhz + 1e-9 < f_ideal {
+                return None;
+            }
+            out[ma.index()] = cycles;
+            return Some((out, cycles * pa.voltage * pa.voltage));
+        }
+        let (fa, fb) = (pa.frequency_mhz, pb.frequency_mhz);
+        // xa/fa + xb/fb = budget, xa + xb = cycles.
+        let xa = fa * (fb * budget_us - cycles) / (fb - fa);
+        let xb = cycles - xa;
+        let xa = xa.clamp(0.0, cycles);
+        let xb = xb.clamp(0.0, cycles);
+        out[ma.index()] = xa;
+        out[mb.index()] = xb;
+        let energy = xa * pa.voltage * pa.voltage + xb * pb.voltage * pb.voltage;
+        Some((out, energy))
+    }
+
+    /// `Emin(y)`: minimum energy when the cache-hit memory cycles are given
+    /// exactly `y` µs (§3.4's four-frequency construction, Fig. 8).
+    /// `None` when `y` is infeasible.
+    #[must_use]
+    pub fn emin_at_y(
+        &self,
+        p: &ProgramParams,
+        t_deadline_us: f64,
+        y_us: f64,
+    ) -> Option<(f64, DiscretePlan)> {
+        let n = self.ladder.len();
+        let budget2 = t_deadline_us - p.t_invariant_us - y_us;
+        if y_us < 0.0 || budget2 < 0.0 {
+            return None;
+        }
+        let mut plan = DiscretePlan::zero(n);
+
+        // Phase 1a: Ncache cycles within y at the neighbours of Nc/y.
+        let pair = if p.n_cache > 0.0 {
+            let (oc, _) = self.two_mode_split(p.n_cache, y_us)?;
+            let mut used: Vec<usize> = (0..n).filter(|&m| oc[m] > 0.0).collect();
+            if used.is_empty() {
+                used.push(0);
+            }
+            for (m, c) in oc.iter().enumerate() {
+                plan.overlap_cycles[m] += c;
+            }
+            (used[0], *used.last().expect("non-empty"))
+        } else {
+            (0, 0)
+        };
+
+        // Phase 1b: the remaining overlap compute (Nov - Nc) executes during
+        // the invariant memory time; as much as fits runs at the slower of
+        // the pair, the excess at the faster.
+        let extra = (p.n_overlap - p.n_cache).max(0.0);
+        if extra > 0.0 {
+            let (slow_m, fast_m) = pair;
+            let f_slow = self.ladder.point(ModeId(slow_m)).frequency_mhz;
+            let capacity = p.t_invariant_us * f_slow;
+            let at_slow = extra.min(capacity);
+            plan.overlap_cycles[slow_m] += at_slow;
+            plan.overlap_cycles[fast_m] += extra - at_slow;
+        }
+
+        // Phase 2: Ndependent cycles within the remaining budget.
+        if p.n_dependent > 0.0 {
+            let (dc, _) = self.two_mode_split(p.n_dependent, budget2)?;
+            for (m, c) in dc.iter().enumerate() {
+                plan.dependent_cycles[m] += c;
+            }
+        }
+
+        let e = plan.energy(&self.ladder);
+        Some((e, plan))
+    }
+
+    /// Samples `Emin(y)` on a grid — the curve of Fig. 8. Returns
+    /// `(y, energy)` pairs for feasible `y` values.
+    #[must_use]
+    pub fn emin_curve(
+        &self,
+        p: &ProgramParams,
+        t_deadline_us: f64,
+        points: usize,
+    ) -> Vec<(f64, f64)> {
+        let f_max = self.ladder.fastest().frequency_mhz;
+        let y_lo = p.n_cache / f_max;
+        let y_hi = t_deadline_us - p.t_invariant_us - p.n_dependent / f_max;
+        let mut out = Vec::new();
+        if y_hi <= y_lo || points < 2 {
+            return out;
+        }
+        for i in 0..=points {
+            let y = y_lo + (y_hi - y_lo) * i as f64 / points as f64;
+            if let Some((e, _)) = self.emin_at_y(p, t_deadline_us, y) {
+                out.push((y, e));
+            }
+        }
+        out
+    }
+
+    /// The optimal discrete solution: the cheapest of the single-mode
+    /// baseline, the two-mode constructions (compute-dominated and
+    /// with-slack), and the memory-dominated `Emin(y)` scan. `None` if no
+    /// single mode meets the deadline.
+    #[must_use]
+    pub fn optimal(&self, p: &ProgramParams, t_deadline_us: f64) -> Option<DiscreteSolution> {
+        let (single_mode, single_energy) = self.best_single_mode(p, t_deadline_us)?;
+        let n = self.ladder.len();
+        let mut best = DiscreteSolution {
+            energy: single_energy,
+            plan: {
+                let mut pl = DiscretePlan::zero(n);
+                pl.overlap_cycles[single_mode.index()] = p.overlap_region_cycles();
+                pl.dependent_cycles[single_mode.index()] = p.n_dependent;
+                pl
+            },
+            y_us: None,
+        };
+
+        match self.continuous.classify(p, t_deadline_us) {
+            CaseKind::ComputeDominated => {
+                let cycles = p.n_overlap + p.n_dependent;
+                if let Some((oc, e)) = self.two_mode_split(cycles, t_deadline_us) {
+                    if e < best.energy {
+                        best = DiscreteSolution {
+                            energy: e,
+                            plan: DiscretePlan {
+                                overlap_cycles: oc,
+                                dependent_cycles: vec![0.0; n],
+                            },
+                            y_us: None,
+                        };
+                    }
+                }
+            }
+            CaseKind::MemoryDominatedSlack => {
+                let cycles = p.n_cache + p.n_dependent;
+                let budget = t_deadline_us - p.t_invariant_us;
+                if let Some((oc, e)) = self.two_mode_split(cycles, budget) {
+                    if e < best.energy {
+                        best = DiscreteSolution {
+                            energy: e,
+                            plan: DiscretePlan {
+                                overlap_cycles: oc,
+                                dependent_cycles: vec![0.0; n],
+                            },
+                            y_us: None,
+                        };
+                    }
+                }
+            }
+            CaseKind::MemoryDominated => {
+                let f_max = self.ladder.fastest().frequency_mhz;
+                let y_lo = p.n_cache / f_max;
+                let y_hi = t_deadline_us - p.t_invariant_us - p.n_dependent / f_max;
+                if y_hi > y_lo {
+                    let steps = 600;
+                    for i in 0..=steps {
+                        let y = y_lo + (y_hi - y_lo) * f64::from(i) / f64::from(steps);
+                        if let Some((e, plan)) = self.emin_at_y(p, t_deadline_us, y) {
+                            if e < best.energy {
+                                best = DiscreteSolution { energy: e, plan, y_us: Some(y) };
+                            }
+                        }
+                    }
+                }
+                // The pure compute split is also admissible (runs everything
+                // as if no memory window existed but slower overall).
+                let cycles = p.n_overlap + p.n_dependent;
+                if let Some((oc, e)) = self.two_mode_split(cycles, t_deadline_us) {
+                    if e < best.energy
+                        && p.time_at_single_frequency(cycles / t_deadline_us) <= t_deadline_us
+                    {
+                        best = DiscreteSolution {
+                            energy: e,
+                            plan: DiscretePlan {
+                                overlap_cycles: oc,
+                                dependent_cycles: vec![0.0; n],
+                            },
+                            y_us: None,
+                        };
+                    }
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// Energy-savings ratio vs the best single mode meeting the deadline.
+    /// `None` if the deadline is infeasible at every mode.
+    #[must_use]
+    pub fn savings(&self, p: &ProgramParams, t_deadline_us: f64) -> Option<f64> {
+        let (_, single_energy) = self.best_single_mode(p, t_deadline_us)?;
+        let opt = self.optimal(p, t_deadline_us)?;
+        if single_energy <= 0.0 {
+            return Some(0.0);
+        }
+        Some(((single_energy - opt.energy) / single_energy).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_vf::AlphaPower;
+
+    fn ladder(n: usize) -> VoltageLadder {
+        let law = AlphaPower::paper();
+        if n == 3 {
+            VoltageLadder::xscale3(&law)
+        } else {
+            VoltageLadder::interpolated(&law, n).unwrap()
+        }
+    }
+
+    fn compute_bound() -> ProgramParams {
+        ProgramParams {
+            n_overlap: 1.0e6,
+            n_dependent: 2.0e6,
+            n_cache: 1.0e5,
+            t_invariant_us: 1.0,
+        }
+    }
+
+    fn memory_bound() -> ProgramParams {
+        ProgramParams {
+            n_overlap: 1.0e6,
+            n_dependent: 6.0e5,
+            n_cache: 3.0e5,
+            t_invariant_us: 2000.0,
+        }
+    }
+
+    #[test]
+    fn best_single_mode_is_slowest_feasible() {
+        let m = DiscreteModel::new(ladder(3));
+        let p = compute_bound();
+        // 3e6 cycles: at 200 MHz takes 15000 µs (+eps); at 600 MHz 5000 µs.
+        let (mode, _) = m.best_single_mode(&p, 20_000.0).unwrap();
+        assert_eq!(mode, ModeId(0));
+        let (mode, _) = m.best_single_mode(&p, 6000.0).unwrap();
+        assert_eq!(mode, ModeId(1));
+        let (mode, _) = m.best_single_mode(&p, 4000.0).unwrap();
+        assert_eq!(mode, ModeId(2));
+        assert!(m.best_single_mode(&p, 3000.0).is_none());
+    }
+
+    #[test]
+    fn two_mode_split_exactly_fills_budget() {
+        let m = DiscreteModel::new(ladder(3));
+        // 1e6 cycles in 2500 µs -> ideal 400 MHz, between 200 and 600.
+        let (cycles, energy) = m.two_mode_split(1.0e6, 2500.0).unwrap();
+        let time: f64 = cycles
+            .iter()
+            .zip(m.ladder().iter())
+            .map(|(c, (_, pt))| c / pt.frequency_mhz)
+            .sum();
+        assert!((time - 2500.0).abs() < 1e-6);
+        let total: f64 = cycles.iter().sum();
+        assert!((total - 1.0e6).abs() < 1e-6);
+        // Energy between the pure-200 and pure-600 levels.
+        assert!(energy > 1.0e6 * 0.49 - 1.0);
+        assert!(energy < 1.0e6 * 1.69 + 1.0);
+    }
+
+    #[test]
+    fn two_mode_split_on_exact_level_uses_one_mode() {
+        let m = DiscreteModel::new(ladder(3));
+        // Ideal = 600 MHz exactly.
+        let (cycles, energy) = m.two_mode_split(6.0e5, 1000.0).unwrap();
+        assert!((cycles[1] - 6.0e5).abs() < 1e-6);
+        assert_eq!(cycles[0], 0.0);
+        assert_eq!(cycles[2], 0.0);
+        assert!((energy - 6.0e5 * 1.69).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_mode_split_infeasible_budget() {
+        let m = DiscreteModel::new(ladder(3));
+        // 1e6 cycles in 1000 µs needs 1000 MHz > 800 MHz max.
+        assert!(m.two_mode_split(1.0e6, 1000.0).is_none());
+        assert!(m.two_mode_split(1.0e6, -5.0).is_none());
+    }
+
+    #[test]
+    fn discrete_beats_single_mode_between_levels() {
+        let m = DiscreteModel::new(ladder(3));
+        let p = compute_bound();
+        // Deadline of 6000 µs: single mode must use 600 MHz (5000 µs),
+        // wasting 1000 µs of slack; the split uses 200+600 and saves.
+        let s = m.savings(&p, 6000.0).unwrap();
+        assert!(s > 0.05, "got {s}");
+        // At a deadline exactly matching a mode (5000 µs at 600 MHz +
+        // epsilon for tinv), savings nearly vanish... at least shrink.
+        let s_tight = m.savings(&p, 5002.0).unwrap();
+        assert!(s_tight < s);
+    }
+
+    #[test]
+    fn more_levels_reduce_savings_on_average() {
+        // Table 1 trend: averaged over deadlines, finer ladders leave less
+        // for intra-program DVS to exploit (pointwise the curve is bumpy —
+        // savings peak where the ideal frequency falls between levels).
+        let p = compute_bound();
+        let deadlines: Vec<f64> = (0..10).map(|i| 5200.0 + 1000.0 * f64::from(i)).collect();
+        let avg = |n: usize| -> f64 {
+            let m = DiscreteModel::new(ladder(n));
+            let vals: Vec<f64> =
+                deadlines.iter().filter_map(|&t| m.savings(&p, t)).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let (a3, a7, a13) = (avg(3), avg(7), avg(13));
+        assert!(a3 > a7, "avg3 {a3} vs avg7 {a7}");
+        assert!(a7 > a13, "avg7 {a7} vs avg13 {a13}");
+    }
+
+    #[test]
+    fn memory_dominated_y_scan_runs() {
+        let m = DiscreteModel::new(ladder(7));
+        let p = memory_bound();
+        let sol = m.optimal(&p, 3400.0).unwrap();
+        let (_, single) = m.best_single_mode(&p, 3400.0).unwrap();
+        assert!(sol.energy <= single + 1e-9);
+        // The plan conserves cycle counts.
+        let total: f64 = sol
+            .plan
+            .overlap_cycles
+            .iter()
+            .chain(&sol.plan.dependent_cycles)
+            .sum();
+        let expect = p.n_overlap.max(p.n_cache) + p.n_dependent;
+        assert!(
+            (total - expect).abs() < 1e-3 * expect,
+            "cycles {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn emin_curve_has_interior_minimum_shape() {
+        let m = DiscreteModel::new(ladder(7));
+        let p = memory_bound();
+        let curve = m.emin_curve(&p, 3400.0, 100);
+        assert!(curve.len() > 50);
+        let min = curve
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(f64::INFINITY, f64::min);
+        let ends = curve[0].1.max(curve.last().unwrap().1);
+        assert!(min < ends, "interior min {min} vs ends {ends}");
+    }
+
+    #[test]
+    fn discrete_converges_to_continuous_for_compute_bound() {
+        // For a computation-dominated program the continuous optimum (a
+        // single ideal frequency) is the true lower bound: mixing the two
+        // neighbouring levels always costs at least the exact ideal by
+        // convexity of v²(f). More levels close the gap. (In the
+        // memory-dominated case this bound does NOT hold — the paper's own
+        // 4-frequency discrete construction uses two speeds inside the
+        // overlap region, which its continuous single-v1 analysis never
+        // does.)
+        let p = compute_bound();
+        let tdl = 6100.0;
+        let cont = ContinuousModel::paper().optimal(&p, tdl).unwrap();
+        let mut prev_gap = f64::INFINITY;
+        for n in [3, 7, 13, 25] {
+            let disc = DiscreteModel::new(ladder(n)).optimal(&p, tdl).unwrap();
+            assert!(
+                disc.energy >= cont.energy - 1e-6 * cont.energy,
+                "{n} levels: discrete {} < continuous {}",
+                disc.energy,
+                cont.energy
+            );
+            let gap = disc.energy - cont.energy;
+            assert!(gap <= prev_gap + 1e-6, "{n} levels widened the gap");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn infeasible_deadline_gives_none() {
+        let m = DiscreteModel::new(ladder(3));
+        let p = memory_bound();
+        assert!(m.optimal(&p, 900.0).is_none());
+        assert!(m.savings(&p, 900.0).is_none());
+    }
+
+    #[test]
+    fn plan_modes_used_counts() {
+        let mut plan = DiscretePlan::zero(3);
+        assert_eq!(plan.modes_used(), 0);
+        plan.overlap_cycles[0] = 10.0;
+        plan.dependent_cycles[2] = 5.0;
+        assert_eq!(plan.modes_used(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's §3 analytical model of compile-time DVS energy savings.
+//!
+//! Given four program parameters — `Noverlap`, `Ndependent`, `Ncache`
+//! (cycles) and `tinvariant` (absolute memory-stall time) — plus a deadline
+//! and the available voltage range or ladder, the model answers: *how much
+//! energy can intra-program DVS save over the best single frequency that
+//! meets the deadline?*
+//!
+//! Two variants, matching §3.3 and §3.4:
+//!
+//! * [`ContinuousModel`]: supply voltage scales continuously. The program
+//!   falls into one of three structural cases ([`CaseKind`]); only the
+//!   memory-dominated case benefits from two voltages, under the paper's
+//!   condition `Noverlap > Ncache` **and** `fideal > finvariant`.
+//! * [`DiscreteModel`]: a finite [`dvs_vf::VoltageLadder`]. Compute-bound
+//!   and memory-bound-with-slack programs split cycles across the two
+//!   ladder neighbours of the continuous optimum; memory-dominated
+//!   programs need up to four modes, found by scanning the `Emin(y)` curve
+//!   over the time `y` allotted to cache-hit memory operations (Fig. 8).
+//!
+//! Energy is reported in model units of **cycle·V²** — all the paper's
+//! results are *ratios*, which are unit-free.
+//!
+//! # Example
+//!
+//! ```
+//! use dvs_model::{ContinuousModel, ProgramParams};
+//!
+//! // A memory-dominated program: lots of overlap compute hidden behind a
+//! // long invariant memory time, with a lax deadline.
+//! let p = ProgramParams {
+//!     n_overlap: 1.0e6,
+//!     n_dependent: 6.0e5,
+//!     n_cache: 3.0e5,
+//!     t_invariant_us: 2000.0,
+//! };
+//! let m = ContinuousModel::paper();
+//! let savings = m.savings(&p, 3000.0).unwrap();
+//! assert!(savings > 0.0, "two voltages should beat one here");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod continuous;
+mod discrete;
+mod params;
+mod surfaces;
+
+pub use continuous::{CaseKind, ContinuousModel, ContinuousSolution, SingleFrequency};
+pub use discrete::{DiscreteModel, DiscretePlan, DiscreteSolution};
+pub use params::ProgramParams;
+pub use surfaces::{Surface, SweepAxis};

@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+/// The analytical model's program parameters (§3.2). Frequencies are in
+/// MHz, so `cycles / frequency_mhz` yields µs directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramParams {
+    /// `Noverlap`: cycles of computation that can run in parallel with
+    /// memory operations.
+    pub n_overlap: f64,
+    /// `Ndependent`: cycles of computation dependent on memory operations.
+    pub n_dependent: f64,
+    /// `Ncache`: cycles of memory operations that hit in the caches.
+    pub n_cache: f64,
+    /// `tinvariant`: execution time (µs) of cache-miss memory operations —
+    /// absolute, because memory is asynchronous with the CPU clock.
+    pub t_invariant_us: f64,
+}
+
+impl ProgramParams {
+    /// Number of energy-bearing cycles in the overlap region: the compute
+    /// cycles when computation outlasts the cache-hit memory time, the
+    /// cache-hit cycles otherwise. The paper's case formulas charge
+    /// `Noverlap·v1²` in the memory-dominated case and `Ncache·v1²` in the
+    /// with-slack case; this is their common generalization.
+    #[must_use]
+    pub fn overlap_region_cycles(&self) -> f64 {
+        self.n_overlap.max(self.n_cache)
+    }
+
+    /// Total execution time (µs) of the program when the *whole run* uses a
+    /// single clock frequency `f_mhz` (§3.2):
+    /// `max(tinvariant + Ncache/f, Noverlap/f) + Ndependent/f`.
+    #[must_use]
+    pub fn time_at_single_frequency(&self, f_mhz: f64) -> f64 {
+        let mem = self.t_invariant_us + self.n_cache / f_mhz;
+        let compute = self.n_overlap / f_mhz;
+        mem.max(compute) + self.n_dependent / f_mhz
+    }
+
+    /// `finvariant` (MHz): the frequency at which `Noverlap - Ncache`
+    /// cycles of computation exactly fill the miss-service time
+    /// `tinvariant`. Returns `None` when `Ncache >= Noverlap` or
+    /// `tinvariant == 0` (no meaningful balance point).
+    #[must_use]
+    pub fn f_invariant_mhz(&self) -> Option<f64> {
+        if self.n_overlap > self.n_cache && self.t_invariant_us > 0.0 {
+            Some((self.n_overlap - self.n_cache) / self.t_invariant_us)
+        } else {
+            None
+        }
+    }
+
+    /// `fideal` (MHz) for the computation-dominated case: the single
+    /// frequency that finishes `Noverlap + Ndependent` cycles exactly at
+    /// the deadline.
+    #[must_use]
+    pub fn f_ideal_compute_mhz(&self, t_deadline_us: f64) -> f64 {
+        (self.n_overlap + self.n_dependent) / t_deadline_us
+    }
+
+    /// `fideal` (MHz) for the memory-dominated-with-slack case: finishes
+    /// `Ncache + Ndependent` cycles in the deadline minus the invariant
+    /// memory time. `None` if the deadline is inside the invariant time.
+    #[must_use]
+    pub fn f_ideal_slack_mhz(&self, t_deadline_us: f64) -> Option<f64> {
+        let budget = t_deadline_us - self.t_invariant_us;
+        if budget > 0.0 {
+            Some((self.n_cache + self.n_dependent) / budget)
+        } else {
+            None
+        }
+    }
+
+    /// Validates non-negativity of all parameters.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.n_overlap >= 0.0
+            && self.n_dependent >= 0.0
+            && self.n_cache >= 0.0
+            && self.t_invariant_us >= 0.0
+            && (self.n_overlap + self.n_dependent + self.n_cache) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ProgramParams {
+        ProgramParams {
+            n_overlap: 1000.0,
+            n_dependent: 2000.0,
+            n_cache: 400.0,
+            t_invariant_us: 10.0,
+        }
+    }
+
+    #[test]
+    fn single_frequency_time_piecewise() {
+        let p = p();
+        // At high f, memory dominates: t = tinv + (Nc + Nd)/f.
+        let t = p.time_at_single_frequency(1000.0);
+        assert!((t - (10.0 + 2.4)).abs() < 1e-12);
+        // At low f, compute dominates: t = (Nov + Nd)/f.
+        let t = p.time_at_single_frequency(10.0);
+        assert!((t - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_invariant_balances_overlap_against_misses() {
+        let p = p();
+        let fi = p.f_invariant_mhz().unwrap();
+        assert!((fi - 60.0).abs() < 1e-12); // (1000-400)/10
+        // At exactly finvariant the two arms of the max are equal.
+        let mem = p.t_invariant_us + p.n_cache / fi;
+        let compute = p.n_overlap / fi;
+        assert!((mem - compute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_invariant_absent_when_cache_dominates() {
+        let mut q = p();
+        q.n_cache = 1500.0;
+        assert!(q.f_invariant_mhz().is_none());
+        q.n_cache = 400.0;
+        q.t_invariant_us = 0.0;
+        assert!(q.f_invariant_mhz().is_none());
+    }
+
+    #[test]
+    fn ideal_frequencies() {
+        let p = p();
+        assert!((p.f_ideal_compute_mhz(30.0) - 100.0).abs() < 1e-12);
+        assert!((p.f_ideal_slack_mhz(30.0).unwrap() - 120.0).abs() < 1e-12);
+        assert!(p.f_ideal_slack_mhz(5.0).is_none()); // inside tinv
+    }
+
+    #[test]
+    fn overlap_region_cycles_takes_max() {
+        let mut q = p();
+        assert_eq!(q.overlap_region_cycles(), 1000.0);
+        q.n_cache = 5000.0;
+        assert_eq!(q.overlap_region_cycles(), 5000.0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(p().is_valid());
+        let zero = ProgramParams {
+            n_overlap: 0.0,
+            n_dependent: 0.0,
+            n_cache: 0.0,
+            t_invariant_us: 0.0,
+        };
+        assert!(!zero.is_valid());
+        let neg = ProgramParams { n_overlap: -1.0, ..p() };
+        assert!(!neg.is_valid());
+    }
+}

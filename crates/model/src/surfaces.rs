@@ -1,0 +1,132 @@
+use serde::{Deserialize, Serialize};
+
+/// One axis of a parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepAxis {
+    /// Human-readable axis label (e.g. `"Noverlap (cycles)"`).
+    pub label: String,
+    /// Sample points, ascending.
+    pub values: Vec<f64>,
+}
+
+impl SweepAxis {
+    /// `n` evenly spaced samples over `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `hi <= lo`.
+    #[must_use]
+    pub fn linspace(label: impl Into<String>, lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        assert!(hi > lo, "empty range");
+        let values = (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect();
+        SweepAxis { label: label.into(), values }
+    }
+}
+
+/// A 2-D sweep result: `z[i][j]` is the value at `(y.values[i],
+/// x.values[j])` — the shape of the paper's savings-surface figures
+/// (Figs. 5–7, 9–11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Surface {
+    /// Horizontal axis.
+    pub x: SweepAxis,
+    /// Vertical axis.
+    pub y: SweepAxis,
+    /// Row-major samples, `z[y][x]`.
+    pub z: Vec<Vec<f64>>,
+}
+
+impl Surface {
+    /// Evaluates `f(x, y)` over the grid.
+    #[must_use]
+    pub fn sweep(x: SweepAxis, y: SweepAxis, f: impl Fn(f64, f64) -> f64) -> Self {
+        let z = y
+            .values
+            .iter()
+            .map(|&yv| x.values.iter().map(|&xv| f(xv, yv)).collect())
+            .collect();
+        Surface { x, y, z }
+    }
+
+    /// Maximum sampled value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.z
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum sampled value.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.z.iter().flatten().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The `(x, y)` coordinates of the maximum sample.
+    #[must_use]
+    pub fn argmax(&self) -> (f64, f64) {
+        let mut best = (0, 0);
+        let mut bv = f64::NEG_INFINITY;
+        for (i, row) in self.z.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v > bv {
+                    bv = v;
+                    best = (i, j);
+                }
+            }
+        }
+        (self.x.values[best.1], self.y.values[best.0])
+    }
+
+    /// Fraction of grid points with value above `threshold`.
+    #[must_use]
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        let total = self.z.iter().map(Vec::len).sum::<usize>();
+        if total == 0 {
+            return 0.0;
+        }
+        let above = self.z.iter().flatten().filter(|&&v| v > threshold).count();
+        above as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints() {
+        let a = SweepAxis::linspace("x", 0.0, 10.0, 6);
+        assert_eq!(a.values.len(), 6);
+        assert_eq!(a.values[0], 0.0);
+        assert_eq!(a.values[5], 10.0);
+        assert!((a.values[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_rejects_single_point() {
+        let _ = SweepAxis::linspace("x", 0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn sweep_evaluates_grid() {
+        let s = Surface::sweep(
+            SweepAxis::linspace("x", 0.0, 2.0, 3),
+            SweepAxis::linspace("y", 0.0, 1.0, 2),
+            |x, y| x + 10.0 * y,
+        );
+        assert_eq!(s.z.len(), 2);
+        assert_eq!(s.z[0], vec![0.0, 1.0, 2.0]);
+        assert_eq!(s.z[1], vec![10.0, 11.0, 12.0]);
+        assert_eq!(s.max(), 12.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.argmax(), (2.0, 1.0));
+        assert!((s.fraction_above(5.0) - 0.5).abs() < 1e-12);
+    }
+}

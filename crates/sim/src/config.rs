@@ -1,0 +1,137 @@
+use crate::{CacheConfig, PredictorConfig};
+use serde::{Deserialize, Serialize};
+
+/// Full machine configuration. `SimConfig::default()` reproduces the
+/// paper's Table 2 setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Register update unit (instruction window) capacity.
+    pub ruu_size: usize,
+    /// Load/store queue capacity.
+    pub lsq_size: usize,
+    /// Fetch queue capacity.
+    pub fetch_queue: usize,
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions decoded per cycle.
+    pub decode_width: usize,
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Number of simple integer ALUs.
+    pub int_alus: usize,
+    /// Number of integer multiply/divide units.
+    pub int_mult: usize,
+    /// Number of FP adders.
+    pub fp_adders: usize,
+    /// Number of FP multipliers.
+    pub fp_mult: usize,
+    /// Number of FP divide/sqrt units.
+    pub fp_div: usize,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u32,
+    /// Main-memory service time in µs — **absolute**, not cycles: memory is
+    /// asynchronous with the CPU clock, the property compile-time DVS
+    /// exploits.
+    pub mem_latency_us: f64,
+    /// TLB entries (each of I/D).
+    pub tlb_entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// TLB miss penalty in cycles.
+    pub tlb_miss_penalty: u32,
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+    /// Branch misprediction pipeline-refill penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Tagged next-line prefetch into L1D: a demand miss also fills the
+    /// following line (zero modelled latency/bandwidth cost — an idealized
+    /// prefetcher for ablations). Off in the paper configuration.
+    pub next_line_prefetch: bool,
+}
+
+impl Default for SimConfig {
+    /// The paper's Table 2 configuration: 64-entry RUU, 32-entry LSQ,
+    /// 8-entry fetch queue, 4-wide everywhere, 4+1 integer and 1+1+1 FP
+    /// units, 64 KB 4-way 32 B L1s at 1 cycle, 512 KB 4-way unified L2 at
+    /// 16 cycles, 32-entry TLBs with 4096-byte pages, combined branch
+    /// predictor with 2K bimodal, 1K/8-bit two-level, 1K chooser and a
+    /// 512-entry 4-way BTB. Main memory is asynchronous at 80 ns.
+    fn default() -> Self {
+        SimConfig {
+            ruu_size: 64,
+            lsq_size: 32,
+            fetch_queue: 8,
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            int_alus: 4,
+            int_mult: 1,
+            fp_adders: 1,
+            fp_mult: 1,
+            fp_div: 1,
+            l1d: CacheConfig { size_bytes: 64 * 1024, ways: 4, block_bytes: 32 },
+            l1i: CacheConfig { size_bytes: 64 * 1024, ways: 4, block_bytes: 32 },
+            l2: CacheConfig { size_bytes: 512 * 1024, ways: 4, block_bytes: 32 },
+            l1_latency: 1,
+            l2_latency: 16,
+            mem_latency_us: 0.08, // 80 ns
+            tlb_entries: 32,
+            page_bytes: 4096,
+            tlb_miss_penalty: 30,
+            predictor: PredictorConfig::default(),
+            mispredict_penalty: 7,
+            next_line_prefetch: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A scaled-down configuration for fast unit tests: tiny caches so that
+    /// misses are easy to provoke deterministically.
+    #[must_use]
+    pub fn tiny_for_tests() -> Self {
+        SimConfig {
+            l1d: CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 32 },
+            l1i: CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 32 },
+            l2: CacheConfig { size_bytes: 8 * 1024, ways: 2, block_bytes: 32 },
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table2() {
+        let c = SimConfig::default();
+        assert_eq!(c.ruu_size, 64);
+        assert_eq!(c.lsq_size, 32);
+        assert_eq!(c.fetch_queue, 8);
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.commit_width, 4);
+        assert_eq!(c.int_alus, 4);
+        assert_eq!(c.l1d.size_bytes, 65536);
+        assert_eq!(c.l1d.ways, 4);
+        assert_eq!(c.l1d.block_bytes, 32);
+        assert_eq!(c.l2.size_bytes, 524_288);
+        assert_eq!(c.l2_latency, 16);
+        assert_eq!(c.tlb_entries, 32);
+        assert_eq!(c.page_bytes, 4096);
+        assert!(c.mem_latency_us > 0.0);
+        assert!(!c.next_line_prefetch, "paper config has no prefetcher");
+    }
+}

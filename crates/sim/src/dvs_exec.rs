@@ -1,0 +1,444 @@
+//! Re-execution of a trace under a compile-time DVS schedule.
+//!
+//! The MILP predicts time and energy from per-block profile averages; this
+//! module *validates* a schedule by re-running the dataflow timing model
+//! with the clock actually changing at mode-set points, charging the
+//! regulator's transition time and energy on every real mode change (a
+//! mode-set instruction whose value matches the current mode is silent, as
+//! in the paper).
+//!
+//! Because the clock varies, the timeline here is kept in **microseconds**
+//! rather than cycles; instruction latencies convert through the period of
+//! whichever mode the surrounding block was assigned.
+
+use crate::{BranchPredictor, DataLevel, MemoryHierarchy, Machine, Trace};
+use dvs_ir::{Cfg, Opcode};
+use dvs_vf::{ModeId, TransitionModel, VoltageLadder};
+
+/// Pipeline front-end depth in cycles (matches the fixed-frequency model).
+const FRONTEND_DEPTH: f64 = 3.0;
+const INST_BYTES: u64 = 4;
+const BLOCK_STRIDE: u64 = 1024;
+
+/// A compile-time DVS mode assignment: one mode per CFG edge plus the mode
+/// the program starts in (the paper's mode-set on the virtual start edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSchedule {
+    /// Mode in force when the entry block begins executing.
+    pub initial: ModeId,
+    /// Mode set by each edge, indexed by [`dvs_ir::EdgeId`].
+    pub edge_modes: Vec<ModeId>,
+}
+
+impl EdgeSchedule {
+    /// A schedule that pins every edge to `mode` (the single-frequency
+    /// baseline; it performs no transitions).
+    #[must_use]
+    pub fn uniform(cfg: &Cfg, mode: ModeId) -> Self {
+        EdgeSchedule { initial: mode, edge_modes: vec![mode; cfg.num_edges()] }
+    }
+
+    /// Number of *static* mode-set points whose value differs from some
+    /// incoming context — an upper bound on distinct settings; dynamic
+    /// transition counting happens during execution.
+    #[must_use]
+    pub fn distinct_modes(&self) -> usize {
+        let mut modes: Vec<ModeId> = self.edge_modes.clone();
+        modes.push(self.initial);
+        modes.sort_unstable();
+        modes.dedup();
+        modes.len()
+    }
+}
+
+/// Measured outcome of executing a trace under an [`EdgeSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledRun {
+    /// Total wall-clock time, µs (includes transition time).
+    pub time_us: f64,
+    /// On-chip processor energy, µJ (includes transition energy).
+    pub processor_energy_uj: f64,
+    /// Off-chip DRAM energy, µJ (reported separately, as in the paper).
+    pub dram_energy_uj: f64,
+    /// Dynamic mode transitions actually performed.
+    pub transitions: u64,
+    /// Energy spent in transitions, µJ.
+    pub transition_energy_uj: f64,
+    /// Time spent in transitions, µs.
+    pub transition_time_us: f64,
+}
+
+impl Machine {
+    /// Executes `trace` under `schedule`, switching the clock/voltage on
+    /// edges whose assigned mode differs from the current one and charging
+    /// `transition` costs for each switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule.edge_modes` does not cover every CFG edge or if
+    /// the trace is inconsistent with `cfg`.
+    #[must_use]
+    pub fn run_scheduled(
+        &self,
+        cfg: &Cfg,
+        trace: &Trace,
+        ladder: &VoltageLadder,
+        schedule: &EdgeSchedule,
+        transition: &TransitionModel,
+    ) -> ScheduledRun {
+        assert_eq!(
+            schedule.edge_modes.len(),
+            cfg.num_edges(),
+            "schedule must cover every edge"
+        );
+        let cfgm = self.config();
+        let em = self.energy_model();
+
+        let mut hier = MemoryHierarchy::new(cfgm);
+        let mut pred = BranchPredictor::new(cfgm.predictor);
+
+        let mut reg_ready = [0.0f64; 64];
+        let fu_pools: [usize; 7] = [
+            cfgm.int_alus,
+            cfgm.int_mult,
+            cfgm.int_mult,
+            cfgm.fp_adders,
+            cfgm.fp_mult,
+            cfgm.fp_div,
+            1,
+        ];
+        let mut fu_free: Vec<Vec<f64>> = fu_pools.iter().map(|&n| vec![0.0; n.max(1)]).collect();
+        let mut window_ring = vec![0.0f64; cfgm.ruu_size];
+        let mut lsq_ring = vec![0.0f64; cfgm.lsq_size];
+        let mut commit_ring = vec![0.0f64; cfgm.commit_width];
+
+        let mut fetch_us = 0.0f64;
+        let mut fetch_slots = 0usize;
+        let mut mem_free = 0.0f64;
+        let mut prev_commit = 0.0f64;
+        let mut inst_index = 0usize;
+        let mut mem_index = 0usize;
+        let mut pending_redirect = 0.0f64;
+
+        let mut cap_weighted_uj = 0.0f64; // Σ cap·V² accumulated per block mode
+        let mut dram_uj = 0.0f64;
+        let mut transitions = 0u64;
+        let mut transition_energy = 0.0f64;
+        let mut transition_time = 0.0f64;
+
+        let mut current = schedule.initial;
+        let mut prev_block: Option<dvs_ir::BlockId> = None;
+
+        for dyn_block in trace.blocks() {
+            // Mode-set on the edge we arrive through.
+            if let Some(pb) = prev_block {
+                let e = cfg
+                    .edge_between(pb, dyn_block.block)
+                    .expect("trace follows CFG edges");
+                let target = schedule.edge_modes[e.index()];
+                if target != current {
+                    let st = transition.mode_time_us(ladder, current, target);
+                    let se = transition.mode_energy_uj(ladder, current, target);
+                    let barrier = fetch_us.max(prev_commit) + st;
+                    fetch_us = barrier;
+                    fetch_slots = 0;
+                    transitions += 1;
+                    transition_energy += se;
+                    transition_time += st;
+                    current = target;
+                }
+            }
+            prev_block = Some(dyn_block.block);
+
+            let point = ladder.point(current);
+            let period = point.period_us();
+            let vv = point.voltage * point.voltage;
+            let mem_lat_us = cfgm.mem_latency_us;
+
+            let bb = cfg.block(dyn_block.block);
+            let base_pc = dyn_block.block.index() as u64 * BLOCK_STRIDE;
+            fetch_us = fetch_us.max(pending_redirect);
+            if pending_redirect > 0.0 {
+                fetch_slots = 0;
+                pending_redirect = 0.0;
+            }
+
+            let line_bytes = cfgm.l1i.block_bytes;
+            let mut next_line_pc = base_pc;
+            let mut addr_ix = 0usize;
+
+            for (ii, inst) in bb.insts.iter().enumerate() {
+                let pc = base_pc + (ii as u64 * INST_BYTES) % BLOCK_STRIDE;
+                if pc >= next_line_pc {
+                    let (lvl, cyc) = hier.inst_access(pc);
+                    cap_weighted_uj += crate::EnergyModel::cap_to_uj(em.l1_nf, point.voltage);
+                    match lvl {
+                        DataLevel::L1 => {}
+                        DataLevel::L2 => {
+                            cap_weighted_uj +=
+                                crate::EnergyModel::cap_to_uj(em.l2_nf, point.voltage);
+                            fetch_us += f64::from(cyc - cfgm.l1_latency) * period;
+                        }
+                        DataLevel::Memory => {
+                            cap_weighted_uj +=
+                                crate::EnergyModel::cap_to_uj(em.l2_nf, point.voltage);
+                            dram_uj += em.dram_uj_per_access;
+                            let ready = fetch_us + f64::from(cyc) * period;
+                            let start = ready.max(mem_free);
+                            let end = start + mem_lat_us;
+                            mem_free = end;
+                            fetch_us = end;
+                        }
+                    }
+                    next_line_pc = (pc / line_bytes + 1) * line_bytes;
+                }
+
+                if fetch_slots >= cfgm.fetch_width {
+                    fetch_us += period;
+                    fetch_slots = 0;
+                }
+                let fetch_time = fetch_us;
+                fetch_slots += 1;
+
+                let dispatch_ready = fetch_time + FRONTEND_DEPTH * period;
+                let window_gate = window_ring[inst_index % cfgm.ruu_size];
+
+                let mut src_ready = 0.0f64;
+                for s in &inst.srcs {
+                    if !s.is_zero() {
+                        src_ready = src_ready.max(reg_ready[s.0 as usize % 64]);
+                    }
+                }
+
+                let pool_ix = match inst.opcode {
+                    Opcode::IntAlu | Opcode::Branch | Opcode::Load | Opcode::Store => 0,
+                    Opcode::IntMul => 1,
+                    Opcode::IntDiv => 2,
+                    Opcode::FpAdd => 3,
+                    Opcode::FpMul => 4,
+                    Opcode::FpDiv => 5,
+                    Opcode::Nop => 6,
+                };
+                let pool = &mut fu_free[pool_ix];
+                let (unit_ix, unit_free) = pool
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .expect("pool non-empty");
+
+                let mut issue = dispatch_ready.max(window_gate).max(src_ready).max(unit_free);
+                let is_mem = inst.opcode.is_mem();
+                if is_mem {
+                    issue = issue.max(lsq_ring[mem_index % cfgm.lsq_size]);
+                }
+                let occupancy = match inst.opcode {
+                    Opcode::IntDiv | Opcode::FpDiv => f64::from(inst.opcode.base_latency()),
+                    _ => 1.0,
+                };
+                pool[unit_ix] = issue + occupancy * period;
+
+                let mut complete = issue + f64::from(inst.opcode.base_latency()) * period;
+                if is_mem {
+                    let addr = dyn_block.addrs[addr_ix];
+                    addr_ix += 1;
+                    let (lvl, cyc) = hier.data_access(addr);
+                    cap_weighted_uj += crate::EnergyModel::cap_to_uj(em.l1_nf, point.voltage);
+                    match lvl {
+                        DataLevel::L1 | DataLevel::L2 => {
+                            if lvl == DataLevel::L2 {
+                                cap_weighted_uj +=
+                                    crate::EnergyModel::cap_to_uj(em.l2_nf, point.voltage);
+                            }
+                            if inst.opcode == Opcode::Load {
+                                complete = issue + (1.0 + f64::from(cyc)) * period;
+                            }
+                        }
+                        DataLevel::Memory => {
+                            cap_weighted_uj +=
+                                crate::EnergyModel::cap_to_uj(em.l2_nf, point.voltage);
+                            dram_uj += em.dram_uj_per_access;
+                            let ready = issue + (1.0 + f64::from(cyc)) * period;
+                            let start = ready.max(mem_free);
+                            let end = start + mem_lat_us;
+                            mem_free = end;
+                            if inst.opcode == Opcode::Load {
+                                complete = end;
+                            }
+                        }
+                    }
+                }
+
+                if inst.opcode.is_branch() {
+                    cap_weighted_uj += crate::EnergyModel::cap_to_uj(em.bpred_nf, point.voltage);
+                    let target_pc = base_pc + BLOCK_STRIDE;
+                    let correct = pred.predict_and_update(
+                        pc,
+                        dyn_block.taken,
+                        if dyn_block.taken { target_pc } else { 0 },
+                    );
+                    if !correct {
+                        pending_redirect = pending_redirect
+                            .max(complete + f64::from(cfgm.mispredict_penalty) * period);
+                    }
+                }
+
+                let commit = (complete + period)
+                    .max(prev_commit)
+                    .max(commit_ring[inst_index % cfgm.commit_width] + period);
+                prev_commit = commit;
+                commit_ring[inst_index % cfgm.commit_width] = commit;
+                window_ring[inst_index % cfgm.ruu_size] = commit;
+                if is_mem {
+                    lsq_ring[mem_index % cfgm.lsq_size] = commit;
+                    mem_index += 1;
+                }
+                if inst.writes_reg() {
+                    reg_ready[inst.dest.0 as usize % 64] = complete;
+                }
+
+                let reads = inst.srcs.iter().filter(|s| !s.is_zero()).count() as f64;
+                let writes = if inst.writes_reg() { 1.0 } else { 0.0 };
+                let cap = em.frontend_nf
+                    + em.window_nf
+                    + em.clock_nf
+                    + em.regfile_nf * (reads + writes)
+                    + em.fu_nf(inst.opcode);
+                cap_weighted_uj += cap * vv * 1e-3;
+
+                inst_index += 1;
+            }
+        }
+
+        ScheduledRun {
+            time_us: prev_commit,
+            processor_energy_uj: cap_weighted_uj + transition_energy,
+            dram_energy_uj: dram_uj,
+            transitions,
+            transition_energy_uj: transition_energy,
+            transition_time_us: transition_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, TraceBuilder};
+    use dvs_ir::{CfgBuilder, Inst, Opcode, Reg};
+    use dvs_vf::AlphaPower;
+
+    fn program() -> (Cfg, Trace) {
+        let mut b = CfgBuilder::new("p");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        for _ in 0..8 {
+            b.push(body, Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(1)]));
+        }
+        b.push(h, Inst::branch(Reg(1)));
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h);
+        b.edge(h, x);
+        let cfg = b.finish(e, x).unwrap();
+        let (e, h, body, x) = (
+            cfg.entry(),
+            cfg.block_by_label("head").unwrap(),
+            cfg.block_by_label("body").unwrap(),
+            cfg.exit(),
+        );
+        let mut tb = TraceBuilder::new(&cfg);
+        tb.step(e, vec![]);
+        for _ in 0..100 {
+            tb.step(h, vec![]);
+            tb.step(body, vec![]);
+        }
+        tb.step(h, vec![]);
+        tb.step(x, vec![]);
+        let t = tb.finish().unwrap();
+        (cfg, t)
+    }
+
+    fn ladder() -> VoltageLadder {
+        VoltageLadder::xscale3(&AlphaPower::paper())
+    }
+
+    #[test]
+    fn uniform_schedule_makes_no_transitions() {
+        let (cfg, t) = program();
+        let m = Machine::paper_default();
+        let l = ladder();
+        let tm = TransitionModel::with_capacitance_uf(10.0);
+        let r = m.run_scheduled(&cfg, &t, &l, &EdgeSchedule::uniform(&cfg, ModeId(1)), &tm);
+        assert_eq!(r.transitions, 0);
+        assert_eq!(r.transition_energy_uj, 0.0);
+        assert!(r.time_us > 0.0);
+    }
+
+    #[test]
+    fn uniform_schedule_matches_fixed_frequency_run() {
+        let (cfg, t) = program();
+        let m = Machine::paper_default();
+        let l = ladder();
+        let tm = TransitionModel::free();
+        for (mode, point) in l.iter() {
+            let sched = m.run_scheduled(&cfg, &t, &l, &EdgeSchedule::uniform(&cfg, mode), &tm);
+            let fixed = m.run(&cfg, &t, point);
+            let dt = (sched.time_us - fixed.total_time_us).abs();
+            assert!(
+                dt < 1e-6 * fixed.total_time_us.max(1.0),
+                "{mode}: scheduled {} vs fixed {}",
+                sched.time_us,
+                fixed.total_time_us
+            );
+            let de = (sched.processor_energy_uj - fixed.processor_energy_uj()).abs();
+            assert!(
+                de < 1e-6 * fixed.processor_energy_uj().max(1.0),
+                "{mode}: energy {} vs {}",
+                sched.processor_energy_uj,
+                fixed.processor_energy_uj()
+            );
+        }
+    }
+
+    #[test]
+    fn mode_switches_are_counted_and_charged() {
+        let (cfg, t) = program();
+        let m = Machine::paper_default();
+        let l = ladder();
+        let tm = TransitionModel::with_capacitance_uf(10.0);
+        // Alternate: head runs fast, body runs slow => 2 transitions per
+        // iteration.
+        let h = cfg.block_by_label("head").unwrap();
+        let body = cfg.block_by_label("body").unwrap();
+        let mut sched = EdgeSchedule::uniform(&cfg, ModeId(2));
+        let e_hb = cfg.edge_between(h, body).unwrap();
+        let e_bh = cfg.edge_between(body, h).unwrap();
+        sched.edge_modes[e_hb.index()] = ModeId(0);
+        sched.edge_modes[e_bh.index()] = ModeId(2);
+        let r = m.run_scheduled(&cfg, &t, &l, &sched, &tm);
+        assert_eq!(r.transitions, 200);
+        assert!((r.transition_energy_uj - 200.0 * tm.energy_uj(0.7, 1.65)).abs() < 1e-9);
+        assert!(r.transition_time_us > 0.0);
+
+        // With free transitions, same schedule costs no switch overhead.
+        let r2 = m.run_scheduled(&cfg, &t, &l, &sched, &TransitionModel::free());
+        assert_eq!(r2.transitions, 200);
+        assert!(r2.time_us < r.time_us);
+        assert!(r2.processor_energy_uj < r.processor_energy_uj);
+    }
+
+    #[test]
+    fn slow_mode_saves_energy_but_costs_time() {
+        let (cfg, t) = program();
+        let m = Machine::paper_default();
+        let l = ladder();
+        let tm = TransitionModel::free();
+        let fast = m.run_scheduled(&cfg, &t, &l, &EdgeSchedule::uniform(&cfg, ModeId(2)), &tm);
+        let slow = m.run_scheduled(&cfg, &t, &l, &EdgeSchedule::uniform(&cfg, ModeId(0)), &tm);
+        assert!(slow.time_us > fast.time_us);
+        assert!(slow.processor_energy_uj < fast.processor_energy_uj);
+    }
+}

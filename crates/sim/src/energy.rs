@@ -1,0 +1,201 @@
+use dvs_ir::Opcode;
+use serde::{Deserialize, Serialize};
+
+/// Clock-gating discipline during idle (memory-stall) cycles.
+///
+/// The paper's analytical model assumes *perfect* gating (assumption 3:
+/// "the clock is gated when the processor is idle"), which is what makes
+/// memory stalls energy-free and the whole DVS analysis work. The
+/// `Ungated` variant keeps the clock tree burning through stalls — an
+/// ablation showing how much of the technique's benefit that assumption
+/// carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ClockGating {
+    /// Idle cycles cost nothing (the paper's assumption).
+    #[default]
+    Perfect,
+    /// The clock tree charges every cycle, busy or not.
+    Ungated,
+}
+
+/// Wattch-style activity-based energy model.
+///
+/// Every microarchitectural event charges an *effective switched
+/// capacitance* (in nF); at an operating point with supply voltage `V` the
+/// energy of an event is `C · V²` (nanojoules for nF and volts, reported in
+/// µJ). This reproduces the two properties of Wattch the paper relies on:
+///
+/// * energy scales with `V²` across DVS modes while event counts stay
+///   fixed, so the maximum DVS gain for a fixed cycle count is the `V²`
+///   ratio the paper quotes (0.7²/1.3² ≈ 0.29);
+/// * idle (memory-stall) cycles cost nothing — perfect clock gating, the
+///   paper's assumption 3.
+///
+/// Off-chip DRAM energy is charged per access at a *fixed* energy
+/// independent of the CPU voltage (the paper treats memory energy as a
+/// constant and excludes it from the optimization); the simulator reports
+/// it separately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Front end (fetch + decode + rename) per instruction, nF.
+    pub frontend_nf: f64,
+    /// Issue window wakeup/select per issued instruction, nF.
+    pub window_nf: f64,
+    /// Register file, per operand read or write, nF.
+    pub regfile_nf: f64,
+    /// Branch predictor + BTB per branch, nF.
+    pub bpred_nf: f64,
+    /// Clock tree per instruction slot (amortized per-busy-cycle cost), nF.
+    pub clock_nf: f64,
+    /// Simple integer ALU op, nF.
+    pub int_alu_nf: f64,
+    /// Integer multiply, nF.
+    pub int_mul_nf: f64,
+    /// Integer divide, nF.
+    pub int_div_nf: f64,
+    /// FP add, nF.
+    pub fp_add_nf: f64,
+    /// FP multiply, nF.
+    pub fp_mul_nf: f64,
+    /// FP divide/sqrt, nF.
+    pub fp_div_nf: f64,
+    /// L1 (I or D) access, nF.
+    pub l1_nf: f64,
+    /// L2 access, nF.
+    pub l2_nf: f64,
+    /// Off-chip DRAM access energy in µJ per access, voltage-independent.
+    pub dram_uj_per_access: f64,
+    /// Idle-cycle clock discipline.
+    pub gating: ClockGating,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            frontend_nf: 0.15,
+            window_nf: 0.10,
+            regfile_nf: 0.03,
+            bpred_nf: 0.04,
+            clock_nf: 0.22,
+            int_alu_nf: 0.08,
+            int_mul_nf: 0.30,
+            int_div_nf: 0.60,
+            fp_add_nf: 0.25,
+            fp_mul_nf: 0.35,
+            fp_div_nf: 0.70,
+            l1_nf: 0.12,
+            l2_nf: 0.40,
+            dram_uj_per_access: 0.01,
+            gating: ClockGating::Perfect,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Switched capacitance of the functional-unit operation for `op`.
+    #[must_use]
+    pub fn fu_nf(&self, op: Opcode) -> f64 {
+        match op {
+            Opcode::IntAlu | Opcode::Branch => self.int_alu_nf,
+            Opcode::IntMul => self.int_mul_nf,
+            Opcode::IntDiv => self.int_div_nf,
+            Opcode::FpAdd => self.fp_add_nf,
+            Opcode::FpMul => self.fp_mul_nf,
+            Opcode::FpDiv => self.fp_div_nf,
+            // Loads/stores use an AGU (ALU-class); cache energy is separate.
+            Opcode::Load | Opcode::Store => self.int_alu_nf,
+            Opcode::Nop => 0.0,
+        }
+    }
+
+    /// Converts accumulated capacitance (nF) to energy (µJ) at supply
+    /// voltage `v`.
+    #[must_use]
+    pub fn cap_to_uj(cap_nf: f64, v: f64) -> f64 {
+        cap_nf * v * v * 1e-3
+    }
+}
+
+/// Accumulated switched capacitance by category, convertible to µJ at a
+/// given supply voltage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Front end, window, regfile, clock (core overheads), nF.
+    pub core_nf: f64,
+    /// Functional units, nF.
+    pub fu_nf: f64,
+    /// Caches (L1 + L2), nF.
+    pub cache_nf: f64,
+    /// Branch prediction, nF.
+    pub bpred_nf: f64,
+    /// DRAM energy, µJ (voltage-independent, kept separate).
+    pub dram_uj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total on-chip switched capacitance, nF.
+    #[must_use]
+    pub fn total_nf(&self) -> f64 {
+        self.core_nf + self.fu_nf + self.cache_nf + self.bpred_nf
+    }
+
+    /// On-chip (processor) energy at supply voltage `v`, in µJ. DRAM energy
+    /// is *not* included, matching the paper's accounting.
+    #[must_use]
+    pub fn processor_uj(&self, v: f64) -> f64 {
+        EnergyModel::cap_to_uj(self.total_nf(), v)
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.core_nf += other.core_nf;
+        self.fu_nf += other.fu_nf;
+        self.cache_nf += other.cache_nf;
+        self.bpred_nf += other.bpred_nf;
+        self.dram_uj += other.dram_uj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_squared_scaling() {
+        let e = 10.0; // nF
+        let at07 = EnergyModel::cap_to_uj(e, 0.7);
+        let at13 = EnergyModel::cap_to_uj(e, 1.3);
+        assert!((at07 / at13 - (0.7f64 * 0.7) / (1.3 * 1.3)).abs() < 1e-12);
+        // The paper's headline ratio: 0.29.
+        assert!((at07 / at13 - 0.29).abs() < 0.01);
+    }
+
+    #[test]
+    fn fu_energies_ordered_by_complexity() {
+        let m = EnergyModel::default();
+        assert!(m.fu_nf(Opcode::IntAlu) < m.fu_nf(Opcode::IntMul));
+        assert!(m.fu_nf(Opcode::IntMul) < m.fu_nf(Opcode::IntDiv));
+        assert!(m.fu_nf(Opcode::FpAdd) < m.fu_nf(Opcode::FpMul));
+        assert!(m.fu_nf(Opcode::FpMul) < m.fu_nf(Opcode::FpDiv));
+        assert_eq!(m.fu_nf(Opcode::Nop), 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals_and_merge() {
+        let mut a = EnergyBreakdown {
+            core_nf: 1.0,
+            fu_nf: 2.0,
+            cache_nf: 3.0,
+            bpred_nf: 4.0,
+            dram_uj: 0.5,
+        };
+        assert_eq!(a.total_nf(), 10.0);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total_nf(), 20.0);
+        assert_eq!(a.dram_uj, 1.0);
+        // DRAM not in processor energy.
+        let p = a.processor_uj(1.0);
+        assert!((p - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+use serde::{Deserialize, Serialize};
+
+/// Branch predictor geometry; the default matches the paper's Table 2
+/// combined predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Bimodal table entries (2-bit counters).
+    pub bimodal_entries: usize,
+    /// Two-level pattern table entries (2-bit counters).
+    pub two_level_entries: usize,
+    /// History bits per branch in the two-level component.
+    pub history_bits: u32,
+    /// Chooser table entries (2-bit counters selecting bimodal vs 2-level).
+    pub chooser_entries: usize,
+    /// Branch target buffer entries.
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            bimodal_entries: 2048,
+            two_level_entries: 1024,
+            history_bits: 8,
+            chooser_entries: 1024,
+            btb_entries: 512,
+            btb_ways: 4,
+        }
+    }
+}
+
+/// Per-run predictor statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Conditional branches predicted.
+    pub lookups: u64,
+    /// Direction mispredictions.
+    pub mispredicts: u64,
+    /// Taken branches whose target missed in the BTB.
+    pub btb_misses: u64,
+}
+
+/// The combined (tournament) predictor of Table 2: a 2K-entry bimodal
+/// predictor and a 1K-entry two-level predictor with 8 bits of per-branch
+/// history, arbitrated by a 1K-entry chooser, plus a 512-entry 4-way BTB
+/// for taken-branch targets.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: PredictorConfig,
+    bimodal: Vec<u8>,
+    history: Vec<u8>,
+    pattern: Vec<u8>,
+    chooser: Vec<u8>,
+    /// BTB sets, each an MRU list of (tag, target).
+    btb: Vec<Vec<(u64, u64)>>,
+    stats: PredictorStats,
+}
+
+impl BranchPredictor {
+    /// Builds a predictor with all counters weakly-not-taken and empty BTB.
+    #[must_use]
+    pub fn new(config: PredictorConfig) -> Self {
+        let btb_sets = (config.btb_entries / config.btb_ways).max(1);
+        BranchPredictor {
+            config,
+            bimodal: vec![1; config.bimodal_entries],
+            history: vec![0; config.two_level_entries],
+            pattern: vec![1; config.two_level_entries],
+            chooser: vec![1; config.chooser_entries],
+            btb: vec![Vec::with_capacity(config.btb_ways); btb_sets],
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// Predicts the direction of the branch at `pc`, then updates all state
+    /// with the actual `taken` outcome and `target`. Returns `true` when
+    /// direction *and* (for taken branches) target were both right.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool, target: u64) -> bool {
+        self.stats.lookups += 1;
+        let bi_ix = (pc as usize / 4) % self.config.bimodal_entries;
+        let h_ix = (pc as usize / 4) % self.config.two_level_entries;
+        let hist = self.history[h_ix];
+        let p_ix = ((pc as usize / 4) ^ (hist as usize)) % self.config.two_level_entries;
+        let c_ix = (pc as usize / 4) % self.config.chooser_entries;
+
+        let bi_pred = self.bimodal[bi_ix] >= 2;
+        let tl_pred = self.pattern[p_ix] >= 2;
+        let use_two_level = self.chooser[c_ix] >= 2;
+        let pred = if use_two_level { tl_pred } else { bi_pred };
+
+        // Update counters.
+        bump(&mut self.bimodal[bi_ix], taken);
+        bump(&mut self.pattern[p_ix], taken);
+        if bi_pred != tl_pred {
+            // Train chooser toward the component that was right.
+            bump(&mut self.chooser[c_ix], tl_pred == taken);
+        }
+        let mask = (1u16 << self.config.history_bits) - 1;
+        self.history[h_ix] = (((u16::from(hist) << 1) | u16::from(taken)) & mask) as u8;
+
+        let mut correct = pred == taken;
+        if taken {
+            if !self.btb_lookup_update(pc, target) {
+                self.stats.btb_misses += 1;
+                correct = false;
+            }
+        }
+        if pred != taken {
+            self.stats.mispredicts += 1;
+        }
+        correct
+    }
+
+    /// Looks up `pc` in the BTB, checking the stored target; installs or
+    /// refreshes the entry. Returns whether a correct target was present.
+    fn btb_lookup_update(&mut self, pc: u64, target: u64) -> bool {
+        let sets = self.btb.len();
+        let set_ix = (pc as usize / 4) % sets;
+        let tag = pc / 4 / sets as u64;
+        let set = &mut self.btb[set_ix];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, old_target) = set.remove(pos);
+            set.insert(0, (t, target));
+            old_target == target
+        } else {
+            if set.len() == self.config.btb_ways {
+                set.pop();
+            }
+            set.insert(0, (tag, target));
+            false
+        }
+    }
+
+    /// Running statistics.
+    #[must_use]
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+fn bump(counter: &mut u8, up: bool) {
+    if up {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred() -> BranchPredictor {
+        BranchPredictor::new(PredictorConfig::default())
+    }
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut p = pred();
+        let mut correct_late = 0;
+        for i in 0..100 {
+            let ok = p.predict_and_update(0x400, true, 0x800);
+            if i >= 10 && ok {
+                correct_late += 1;
+            }
+        }
+        assert_eq!(correct_late, 90, "should lock on after warm-up");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut p = pred();
+        // T,N,T,N... The bimodal component can't learn this; the two-level
+        // one can, and the chooser should migrate to it.
+        let mut correct_late = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let ok = p.predict_and_update(0x123400, taken, 0x500);
+            if i >= 200 && ok {
+                correct_late += 1;
+            }
+        }
+        assert!(
+            correct_late >= 190,
+            "two-level should capture alternation, got {correct_late}/200"
+        );
+    }
+
+    #[test]
+    fn btb_miss_on_first_taken_branch() {
+        let mut p = pred();
+        p.predict_and_update(0x40, true, 0x100);
+        assert_eq!(p.stats().btb_misses, 1);
+        // Second time the target is cached.
+        for _ in 0..5 {
+            p.predict_and_update(0x40, true, 0x100);
+        }
+        assert_eq!(p.stats().btb_misses, 1);
+    }
+
+    #[test]
+    fn btb_detects_target_change() {
+        let mut p = pred();
+        for _ in 0..4 {
+            p.predict_and_update(0x40, true, 0x100);
+        }
+        // Same branch, new target (e.g. indirect): treated as BTB miss once.
+        let before = p.stats().btb_misses;
+        p.predict_and_update(0x40, true, 0x999);
+        assert_eq!(p.stats().btb_misses, before + 1);
+    }
+
+    #[test]
+    fn not_taken_branches_skip_btb() {
+        let mut p = pred();
+        for _ in 0..10 {
+            p.predict_and_update(0x80, false, 0);
+        }
+        assert_eq!(p.stats().btb_misses, 0);
+    }
+
+    #[test]
+    fn random_branches_mispredict_substantially() {
+        let mut p = pred();
+        // Deterministic pseudo-random outcomes.
+        let mut x = 0x12345678u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 62) & 1 == 1;
+            p.predict_and_update(0x999000, taken, 0x100);
+        }
+        let wrong = p.stats().mispredicts;
+        assert!(wrong > 200, "random stream should hurt: {wrong}");
+    }
+}

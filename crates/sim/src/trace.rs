@@ -1,0 +1,211 @@
+use dvs_ir::{BlockId, Cfg};
+
+/// One dynamic execution of a basic block: which block ran, the effective
+/// byte address of each of its memory instructions (in program order), and
+/// whether its terminating branch (if any) was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynBlock {
+    /// The static block.
+    pub block: BlockId,
+    /// One address per `Load`/`Store` in the block, in order.
+    pub addrs: Vec<u64>,
+    /// Outcome of the block-ending branch; `false` for fall-through blocks.
+    pub taken: bool,
+}
+
+/// A dynamic instruction trace: the sequence of block executions from CFG
+/// entry to CFG exit, with resolved memory addresses and branch outcomes.
+///
+/// The same trace is replayed at every DVS mode (the paper's assumption 1:
+/// program behaviour does not change with frequency), so traces are built
+/// once per (program, input) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    blocks: Vec<DynBlock>,
+}
+
+impl Trace {
+    /// The dynamic block executions in order.
+    #[must_use]
+    pub fn blocks(&self) -> &[DynBlock] {
+        &self.blocks
+    }
+
+    /// Number of dynamic block executions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the trace is empty (never true for built traces).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block id sequence, e.g. for [`dvs_ir::ProfileBuilder::record_walk`].
+    #[must_use]
+    pub fn walk(&self) -> Vec<BlockId> {
+        self.blocks.iter().map(|b| b.block).collect()
+    }
+
+    /// Total dynamic instruction count with respect to `cfg`.
+    #[must_use]
+    pub fn dynamic_inst_count(&self, cfg: &Cfg) -> u64 {
+        self.blocks
+            .iter()
+            .map(|d| cfg.block(d.block).len() as u64)
+            .sum()
+    }
+}
+
+/// Builds [`Trace`]s while validating them against a [`Cfg`].
+#[derive(Debug)]
+pub struct TraceBuilder<'a> {
+    cfg: &'a Cfg,
+    blocks: Vec<DynBlock>,
+    ok: bool,
+}
+
+impl<'a> TraceBuilder<'a> {
+    /// Starts an empty trace for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &'a Cfg) -> Self {
+        TraceBuilder { cfg, blocks: Vec::new(), ok: true }
+    }
+
+    /// Appends one dynamic block execution. The block must be the CFG entry
+    /// (first call) or a successor of the previous block, and `addrs` must
+    /// have exactly one element per memory instruction in the block.
+    pub fn step(&mut self, block: BlockId, addrs: Vec<u64>) -> &mut Self {
+        let valid_edge = match self.blocks.last() {
+            None => block == self.cfg.entry(),
+            Some(prev) => self.cfg.edge_between(prev.block, block).is_some(),
+        };
+        if !valid_edge || addrs.len() != self.cfg.block(block).mem_inst_count() {
+            self.ok = false;
+            return self;
+        }
+        // The previous block's branch was "taken" if it didn't fall through
+        // to its lowest-id successor.
+        if let Some(prev) = self.blocks.last_mut() {
+            let fallthrough = self
+                .cfg
+                .successors(prev.block)
+                .min()
+                .expect("non-exit block has successors");
+            prev.taken = block != fallthrough;
+        }
+        self.blocks.push(DynBlock { block, addrs, taken: false });
+        self
+    }
+
+    /// Finalizes the trace. Returns `None` if any step was invalid or the
+    /// trace does not run from entry to exit.
+    #[must_use]
+    pub fn finish(self) -> Option<Trace> {
+        if !self.ok
+            || self.blocks.first().map(|b| b.block) != Some(self.cfg.entry())
+            || self.blocks.last().map(|b| b.block) != Some(self.cfg.exit())
+        {
+            return None;
+        }
+        Some(Trace { blocks: self.blocks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_ir::{CfgBuilder, Inst, MemWidth, Opcode, Reg};
+
+    fn loop_cfg() -> Cfg {
+        let mut b = CfgBuilder::new("loop");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.push(body, Inst::load(Reg(1), Reg(2), MemWidth::B4));
+        b.push(body, Inst::alu(Opcode::IntAlu, Reg(3), &[Reg(1)]));
+        b.push(h, Inst::branch(Reg(3)));
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h);
+        b.edge(h, x);
+        b.finish(e, x).unwrap()
+    }
+
+    #[test]
+    fn valid_trace_builds() {
+        let g = loop_cfg();
+        let (e, h, body, x) = (
+            g.entry(),
+            g.block_by_label("head").unwrap(),
+            g.block_by_label("body").unwrap(),
+            g.exit(),
+        );
+        let mut tb = TraceBuilder::new(&g);
+        tb.step(e, vec![])
+            .step(h, vec![])
+            .step(body, vec![0x1000])
+            .step(h, vec![])
+            .step(x, vec![]);
+        let t = tb.finish().unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.walk(), vec![e, h, body, h, x]);
+        assert_eq!(t.dynamic_inst_count(&g), 0 + 1 + 2 + 1 + 0);
+    }
+
+    #[test]
+    fn taken_flags_follow_control_flow() {
+        let g = loop_cfg();
+        let (e, h, body, x) = (
+            g.entry(),
+            g.block_by_label("head").unwrap(),
+            g.block_by_label("body").unwrap(),
+            g.exit(),
+        );
+        let mut tb = TraceBuilder::new(&g);
+        tb.step(e, vec![])
+            .step(h, vec![])
+            .step(body, vec![0x0])
+            .step(h, vec![])
+            .step(x, vec![]);
+        let t = tb.finish().unwrap();
+        // head's successors are {body, exit}; lowest id is body, so
+        // head->body is fall-through and head->exit is taken.
+        assert!(!t.blocks()[1].taken, "head->body falls through");
+        assert!(t.blocks()[3].taken, "head->exit is taken");
+    }
+
+    #[test]
+    fn wrong_address_count_rejected() {
+        let g = loop_cfg();
+        let (e, h, body) = (
+            g.entry(),
+            g.block_by_label("head").unwrap(),
+            g.block_by_label("body").unwrap(),
+        );
+        let mut tb = TraceBuilder::new(&g);
+        tb.step(e, vec![]).step(h, vec![]).step(body, vec![]); // body needs 1 addr
+        assert!(tb.finish().is_none());
+    }
+
+    #[test]
+    fn non_edge_step_rejected() {
+        let g = loop_cfg();
+        let (e, body) = (g.entry(), g.block_by_label("body").unwrap());
+        let mut tb = TraceBuilder::new(&g);
+        tb.step(e, vec![]).step(body, vec![0x0]); // no edge entry->body
+        assert!(tb.finish().is_none());
+    }
+
+    #[test]
+    fn incomplete_trace_rejected() {
+        let g = loop_cfg();
+        let (e, h) = (g.entry(), g.block_by_label("head").unwrap());
+        let mut tb = TraceBuilder::new(&g);
+        tb.step(e, vec![]).step(h, vec![]);
+        assert!(tb.finish().is_none(), "must end at exit");
+    }
+}

@@ -1,0 +1,179 @@
+use crate::VfError;
+use serde::{Deserialize, Serialize};
+
+/// The Sakurai–Newton alpha-power law relating supply voltage to the maximum
+/// clock frequency a CMOS circuit sustains:
+///
+/// ```text
+/// f(v) = k · (v - vt)^a / v
+/// ```
+///
+/// where `vt` is the device threshold voltage and `a` is a
+/// technology-dependent velocity-saturation exponent (≈ 1.5 for the
+/// technology generation the paper considers).
+///
+/// The constant `k` fixes the absolute frequency scale; [`AlphaPower::paper`]
+/// calibrates it so that 1.65 V yields 800 MHz, matching the top of the
+/// XScale-like ladder used throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaPower {
+    /// Technology exponent `a`.
+    pub alpha: f64,
+    /// Threshold voltage `vt` in volts.
+    pub vt: f64,
+    /// Scale constant `k` in MHz·V^(1-a)... fixed by calibration.
+    pub k: f64,
+}
+
+impl AlphaPower {
+    /// Paper parameters: `a = 1.5`, `vt = 0.45 V`, calibrated so that
+    /// `f(1.65 V) = 800 MHz`.
+    #[must_use]
+    pub fn paper() -> Self {
+        AlphaPower::calibrated(1.5, 0.45, 1.65, 800.0)
+            .expect("paper calibration point is valid")
+    }
+
+    /// Builds a law with exponent `alpha` and threshold `vt`, choosing `k`
+    /// such that `f(v_ref) = f_ref_mhz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfError::VoltageBelowThreshold`] if `v_ref <= vt`, and
+    /// [`VfError::InvalidParameter`] for non-positive `alpha`, `vt`, or
+    /// reference frequency.
+    pub fn calibrated(
+        alpha: f64,
+        vt: f64,
+        v_ref: f64,
+        f_ref_mhz: f64,
+    ) -> Result<Self, VfError> {
+        if !(alpha > 0.0) {
+            return Err(VfError::InvalidParameter { name: "alpha", value: alpha });
+        }
+        if !(vt > 0.0) {
+            return Err(VfError::InvalidParameter { name: "vt", value: vt });
+        }
+        if !(f_ref_mhz > 0.0) {
+            return Err(VfError::InvalidParameter { name: "f_ref_mhz", value: f_ref_mhz });
+        }
+        if v_ref <= vt {
+            return Err(VfError::VoltageBelowThreshold { voltage: v_ref, threshold: vt });
+        }
+        let k = f_ref_mhz * v_ref / (v_ref - vt).powf(alpha);
+        Ok(AlphaPower { alpha, vt, k })
+    }
+
+    /// Maximum clock frequency (MHz) at supply voltage `v` (volts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfError::VoltageBelowThreshold`] if `v <= vt`.
+    pub fn frequency_mhz(&self, v: f64) -> Result<f64, VfError> {
+        if v <= self.vt {
+            return Err(VfError::VoltageBelowThreshold { voltage: v, threshold: self.vt });
+        }
+        Ok(self.k * (v - self.vt).powf(self.alpha) / v)
+    }
+
+    /// Inverts the law: the minimum supply voltage (volts) that sustains
+    /// `f_mhz`. Solved numerically by bisection; `f(v)` is strictly
+    /// increasing in `v` for `v > vt` whenever `a >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfError::FrequencyOutOfRange`] for non-positive frequencies
+    /// or frequencies above `f(100 V)` (far outside any physical range).
+    pub fn voltage_for(&self, f_mhz: f64) -> Result<f64, VfError> {
+        if !(f_mhz > 0.0) {
+            return Err(VfError::FrequencyOutOfRange { frequency_mhz: f_mhz });
+        }
+        let mut lo = self.vt;
+        let mut hi = 100.0;
+        if self.frequency_mhz(hi).unwrap_or(0.0) < f_mhz {
+            return Err(VfError::FrequencyOutOfRange { frequency_mhz: f_mhz });
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            match self.frequency_mhz(mid) {
+                Ok(f) if f < f_mhz => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_hits_800mhz_at_1_65v() {
+        let law = AlphaPower::paper();
+        let f = law.frequency_mhz(1.65).unwrap();
+        assert!((f - 800.0).abs() < 1e-9, "f(1.65) = {f}");
+    }
+
+    #[test]
+    fn paper_law_approximates_xscale_mid_and_low_points() {
+        // The paper's ladder (0.7 V -> 200 MHz, 1.3 V -> 600 MHz) is "similar
+        // to XScale", not exactly on the law; the law should land within ~12%.
+        let law = AlphaPower::paper();
+        let f13 = law.frequency_mhz(1.3).unwrap();
+        assert!((f13 - 600.0).abs() / 600.0 < 0.05, "f(1.3) = {f13}");
+        let f07 = law.frequency_mhz(0.7).unwrap();
+        assert!((f07 - 200.0).abs() / 200.0 < 0.12, "f(0.7) = {f07}");
+    }
+
+    #[test]
+    fn frequency_is_monotonic_in_voltage() {
+        let law = AlphaPower::paper();
+        let mut prev = 0.0;
+        let mut v = 0.5;
+        while v < 2.0 {
+            let f = law.frequency_mhz(v).unwrap();
+            assert!(f > prev, "not monotonic at v={v}");
+            prev = f;
+            v += 0.05;
+        }
+    }
+
+    #[test]
+    fn voltage_for_inverts_frequency() {
+        let law = AlphaPower::paper();
+        for &f in &[50.0, 200.0, 400.0, 600.0, 800.0, 1200.0] {
+            let v = law.voltage_for(f).unwrap();
+            let back = law.frequency_mhz(v).unwrap();
+            assert!((back - f).abs() < 1e-6, "f={f} v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn below_threshold_is_rejected() {
+        let law = AlphaPower::paper();
+        assert!(matches!(
+            law.frequency_mhz(0.45),
+            Err(VfError::VoltageBelowThreshold { .. })
+        ));
+        assert!(matches!(
+            law.frequency_mhz(0.1),
+            Err(VfError::VoltageBelowThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_calibration_parameters_are_rejected() {
+        assert!(AlphaPower::calibrated(-1.0, 0.45, 1.65, 800.0).is_err());
+        assert!(AlphaPower::calibrated(1.5, -0.1, 1.65, 800.0).is_err());
+        assert!(AlphaPower::calibrated(1.5, 0.45, 0.4, 800.0).is_err());
+        assert!(AlphaPower::calibrated(1.5, 0.45, 1.65, 0.0).is_err());
+    }
+
+    #[test]
+    fn unreachable_frequency_is_rejected() {
+        let law = AlphaPower::paper();
+        assert!(law.voltage_for(0.0).is_err());
+        assert!(law.voltage_for(1e12).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a DVS mode within a [`crate::VoltageLadder`].
+///
+/// Mode 0 is always the *slowest* (lowest-voltage) setting; higher indices
+/// are strictly faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModeId(pub usize);
+
+impl ModeId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One `(V, f)` pair the processor can be set to.
+///
+/// Energy bookkeeping across this reproduction uses the standard CMOS
+/// dynamic-energy scaling: the energy of one clock cycle of activity is
+/// proportional to `V²`, and power to `V²·f`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Clock frequency in MHz. (1 MHz == 1 cycle/µs, so cycle counts divided
+    /// by this frequency give microseconds directly.)
+    pub frequency_mhz: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    #[must_use]
+    pub fn new(voltage: f64, frequency_mhz: f64) -> Self {
+        OperatingPoint { voltage, frequency_mhz }
+    }
+
+    /// Clock period in microseconds.
+    #[must_use]
+    pub fn period_us(&self) -> f64 {
+        1.0 / self.frequency_mhz
+    }
+
+    /// The `V²` factor by which per-cycle switching energy scales at this
+    /// point, relative to a 1 V reference.
+    #[must_use]
+    pub fn energy_scale(&self) -> f64 {
+        self.voltage * self.voltage
+    }
+
+    /// Time in microseconds to execute `cycles` clock cycles at this point.
+    #[must_use]
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / self.frequency_mhz
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} MHz @ {:.2} V", self.frequency_mhz, self.voltage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_and_cycle_conversion() {
+        let p = OperatingPoint::new(1.3, 600.0);
+        assert!((p.period_us() - 1.0 / 600.0).abs() < 1e-15);
+        // 600 cycles at 600 MHz take exactly 1 µs.
+        assert!((p.cycles_to_us(600.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scale_is_v_squared() {
+        let p = OperatingPoint::new(1.65, 800.0);
+        assert!((p.energy_scale() - 1.65 * 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = OperatingPoint::new(0.7, 200.0);
+        assert_eq!(p.to_string(), "200 MHz @ 0.70 V");
+        assert_eq!(ModeId(2).to_string(), "m2");
+    }
+
+    #[test]
+    fn mode_ids_order() {
+        assert!(ModeId(0) < ModeId(1));
+        assert_eq!(ModeId(3).index(), 3);
+    }
+}

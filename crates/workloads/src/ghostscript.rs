@@ -1,0 +1,153 @@
+//! Synthetic `ghostscript`: PostScript page rasterization.
+//!
+//! A small, branchy workload: per scanline band, the renderer walks the
+//! display list making path/clip decisions (hard-to-predict branches) and
+//! fills spans with streaming stores into the framebuffer. It is the
+//! shortest-running benchmark in the suite (Table 4: 2 ms at 200 MHz) and
+//! produces the smallest MILP instances (Table 3: 357 µJ total energy).
+
+use crate::{InputSpec, Lcg};
+use dvs_ir::{Cfg, CfgBuilder, Inst, MemWidth, Opcode, Reg};
+use dvs_sim::{Trace, TraceBuilder};
+
+const DISPLAY_LIST: u64 = 0x0100_0000;
+const FRAMEBUF: u64 = 0x0A00_0000;
+const ROW_BYTES: u64 = 2048;
+
+/// Blocks: entry → band_head → elem (looped) → (clip | fill) → span
+/// (looped from fill) → elem_next → (band_head | exit).
+pub(crate) fn build_cfg() -> Cfg {
+    let mut b = CfgBuilder::new("ghostscript");
+    let entry = b.block("entry");
+    let band_head = b.block("band_head");
+    let elem = b.block("elem");
+    let clip = b.block("clip");
+    let fill = b.block("fill");
+    let span = b.block("span");
+    let elem_next = b.block("elem_next");
+    let exit = b.block("exit");
+
+    b.push_all(
+        entry,
+        (0..3).map(|i| Inst::alu(Opcode::IntAlu, Reg(1 + i), &[Reg(0)])),
+    );
+
+    // band_head: band setup.
+    b.push(band_head, Inst::alu(Opcode::IntAlu, Reg(10), &[Reg(1)]));
+    b.push(band_head, Inst::alu(Opcode::IntAlu, Reg(11), &[Reg(10)]));
+
+    // elem: fetch a display-list element, branch on kind.
+    b.push(elem, Inst::load(Reg(12), Reg(2), MemWidth::B8));
+    b.push(elem, Inst::alu(Opcode::IntAlu, Reg(13), &[Reg(12)]));
+    b.push(elem, Inst::alu(Opcode::IntAlu, Reg(14), &[Reg(13)]));
+    b.push(elem, Inst::branch(Reg(14)));
+
+    // clip: clipping arithmetic, no output.
+    b.push(clip, Inst::alu(Opcode::IntAlu, Reg(15), &[Reg(14)]));
+    b.push(clip, Inst::alu(Opcode::IntMul, Reg(16), &[Reg(15)]));
+    b.push(clip, Inst::alu(Opcode::IntAlu, Reg(17), &[Reg(16)]));
+
+    // fill: span setup (edge intersection divide).
+    b.push(fill, Inst::alu(Opcode::IntDiv, Reg(18), &[Reg(14), Reg(11)]));
+    b.push(fill, Inst::alu(Opcode::IntAlu, Reg(19), &[Reg(18)]));
+
+    // span: write 8 framebuffer bytes per step.
+    b.push(span, Inst::store(Reg(19), Reg(3), MemWidth::B8));
+    b.push(span, Inst::alu(Opcode::IntAlu, Reg(20), &[Reg(20)]));
+    b.push(span, Inst::branch(Reg(20)));
+
+    // elem_next: advance the display list cursor.
+    b.push(elem_next, Inst::alu(Opcode::IntAlu, Reg(21), &[Reg(20)]));
+    b.push(elem_next, Inst::branch(Reg(21)));
+
+    b.edge(entry, band_head);
+    b.edge(band_head, elem);
+    b.edge(elem, clip);
+    b.edge(elem, fill);
+    b.edge(clip, elem_next);
+    b.edge(fill, span);
+    b.edge(span, span);
+    b.edge(span, elem_next);
+    b.edge(elem_next, elem);
+    b.edge(elem_next, band_head);
+    b.edge(elem_next, exit);
+    b.finish(entry, exit).expect("ghostscript CFG is well-formed")
+}
+
+pub(crate) fn trace(cfg: &Cfg, input: &InputSpec) -> Trace {
+    let blk = |l: &str| cfg.block_by_label(l).expect("gs cfg");
+    let (entry, band_head, elem, clip, fill, span, elem_next, exit) = (
+        cfg.entry(),
+        blk("band_head"),
+        blk("elem"),
+        blk("clip"),
+        blk("fill"),
+        blk("span"),
+        blk("elem_next"),
+        cfg.exit(),
+    );
+    let mut rng = Lcg::new(input.seed);
+    let mut tb = TraceBuilder::new(cfg);
+    tb.step(entry, vec![]);
+    let mut dl = DISPLAY_LIST;
+    for band in 0..input.iterations as u64 {
+        tb.step(band_head, vec![]);
+        let elems = 10 + rng.below(8);
+        for e in 0..elems {
+            tb.step(elem, vec![dl]);
+            dl += 8;
+            // Path decision is data-dependent and hard to predict.
+            if rng.chance(0.4 + 0.2 * input.complexity) {
+                tb.step(clip, vec![]);
+            } else {
+                tb.step(fill, vec![]);
+                let spans = 8 + rng.below(16);
+                for s in 0..spans {
+                    // Spans within an element overwrite a narrow window, so
+                    // most stores hit lines already resident.
+                    let addr = FRAMEBUF + band * ROW_BYTES + (e * 32 + s * 8) % 256;
+                    tb.step(span, vec![addr]);
+                }
+            }
+            tb.step(elem_next, vec![]);
+        }
+    }
+    tb.step(exit, vec![]);
+    tb.finish().expect("ghostscript trace is a valid walk")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use dvs_sim::Machine;
+    use dvs_vf::OperatingPoint;
+
+    #[test]
+    fn cfg_shape() {
+        let cfg = build_cfg();
+        assert_eq!(cfg.num_blocks(), 8);
+        assert_eq!(cfg.num_edges(), 11);
+    }
+
+    #[test]
+    fn is_the_smallest_benchmark() {
+        let gs_cfg = build_cfg();
+        let gs = trace(&gs_cfg, &Benchmark::Ghostscript.default_input());
+        let mpeg_b = Benchmark::MpegDecode;
+        let mpeg_cfg = mpeg_b.build_cfg();
+        let mpeg = mpeg_b.trace(&mpeg_cfg, &mpeg_b.default_input());
+        assert!(
+            gs.dynamic_inst_count(&gs_cfg) < mpeg.dynamic_inst_count(&mpeg_cfg) / 2,
+            "ghostscript should be much smaller than mpeg"
+        );
+    }
+
+    #[test]
+    fn branches_are_hard_to_predict() {
+        let cfg = build_cfg();
+        let t = trace(&cfg, &Benchmark::Ghostscript.default_input());
+        let run = Machine::paper_default().run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
+        assert!(run.mispredicts > 50, "mispredicts = {}", run.mispredicts);
+    }
+}

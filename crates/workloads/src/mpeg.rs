@@ -1,0 +1,365 @@
+//! Synthetic `mpeg/decode`: MPEG-2 video decoder.
+//!
+//! Per frame, the decoder loops over macroblocks doing inverse DCT
+//! (integer multiply tree) and motion compensation (loads from one or two
+//! large reference frames at motion-vector offsets — the memory-heavy
+//! part). The paper's four test bitstreams fall into two categories:
+//! `100b`/`bbc` have no B frames, `flwr`/`cact` use 2 B frames between
+//! anchors; B frames execute an extra bidirectional-MC path, which is why
+//! profiling only on a no-B input mis-estimates the B-heavy inputs
+//! (§6.4, Fig. 19).
+
+use crate::{InputSpec, Lcg};
+use dvs_ir::{Cfg, CfgBuilder, Inst, MemWidth, Opcode, Reg};
+use dvs_sim::{Trace, TraceBuilder};
+
+const STREAM_BASE: u64 = 0x0100_0000;
+const REF_FWD: u64 = 0x1000_0000; // forward reference frame (~1.5 MB)
+const REF_BWD: u64 = 0x2000_0000; // backward reference frame
+const FRAME_OUT: u64 = 0x3000_0000;
+const REF_BYTES: u64 = 0x0018_0000; // 1.5 MB, far beyond L2
+const QUANT_TABLE: u64 = 0x0480_0000; // 128 B, cache-resident
+const CHROMA_BASE: u64 = 0x4000_0000; // quarter-size chroma planes
+
+/// The paper's four MPEG test bitstreams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpegInput {
+    /// `100b.m2v`: no B frames, low complexity.
+    Hundredb,
+    /// `bbc.m2v`: no B frames, high complexity.
+    Bbc,
+    /// `flwr.m2v`: 2 B frames between anchors.
+    Flwr,
+    /// `cact.m2v`: 2 B frames, high complexity.
+    Cact,
+}
+
+/// All four inputs in the paper's order.
+pub const MPEG_INPUTS: [MpegInput; 4] = [
+    MpegInput::Hundredb,
+    MpegInput::Bbc,
+    MpegInput::Flwr,
+    MpegInput::Cact,
+];
+
+/// Description of an MPEG input.
+#[derive(Debug, Clone, Copy)]
+pub struct MpegInputDesc {
+    kind: MpegInput,
+}
+
+impl MpegInputDesc {
+    /// The generic [`InputSpec`] for this bitstream.
+    #[must_use]
+    pub fn spec(&self) -> InputSpec {
+        let (name, seed, complexity, b_frames) = match self.kind {
+            MpegInput::Hundredb => ("100b.m2v", 0x100B_0001, 0.3, false),
+            MpegInput::Bbc => ("bbc.m2v", 0x0BBC_0001, 0.8, false),
+            MpegInput::Flwr => ("flwr.m2v", 0xF109_0001, 0.5, true),
+            MpegInput::Cact => ("cact.m2v", 0xCAC7_0001, 0.8, true),
+        };
+        InputSpec {
+            name: name.into(),
+            seed,
+            iterations: 30, // frames
+            complexity,
+            variant: b_frames,
+        }
+    }
+
+    /// Whether this stream contains B frames (category 2 in §6.4).
+    #[must_use]
+    pub fn has_b_frames(&self) -> bool {
+        self.spec().variant
+    }
+}
+
+/// Looks up an input descriptor.
+#[must_use]
+pub fn input(kind: MpegInput) -> MpegInputDesc {
+    MpegInputDesc { kind }
+}
+
+impl MpegInput {
+    /// File-style name (`"flwr.m2v"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MpegInput::Hundredb => "100b.m2v",
+            MpegInput::Bbc => "bbc.m2v",
+            MpegInput::Flwr => "flwr.m2v",
+            MpegInput::Cact => "cact.m2v",
+        }
+    }
+}
+
+/// Blocks: entry → frame_head → mb_head → vlc* → dequant → idct* →
+/// (mc_intra | mc_fwd | mc_bidir) → chroma → mb_store → (mb_head |
+/// frame_end) → display* → (frame_head | exit).
+pub(crate) fn build_cfg() -> Cfg {
+    let mut b = CfgBuilder::new("mpeg/decode");
+    let entry = b.block("entry");
+    let frame_head = b.block("frame_head");
+    let mb_head = b.block("mb_head");
+    let vlc = b.block("vlc");
+    let idct = b.block("idct");
+    let dequant = b.block("dequant");
+    let mc_intra = b.block("mc_intra");
+    let mc_fwd = b.block("mc_fwd");
+    let mc_bidir = b.block("mc_bidir");
+    let chroma = b.block("chroma");
+    let mb_store = b.block("mb_store");
+    let frame_end = b.block("frame_end");
+    let display = b.block("display");
+    let exit = b.block("exit");
+
+    b.push_all(
+        entry,
+        (0..4).map(|i| Inst::alu(Opcode::IntAlu, Reg(1 + i), &[Reg(0)])),
+    );
+
+    // frame_head: parse picture header from the stream.
+    b.push(frame_head, Inst::load(Reg(10), Reg(2), MemWidth::B4));
+    b.push(frame_head, Inst::alu(Opcode::IntAlu, Reg(11), &[Reg(10)]));
+    b.push(frame_head, Inst::alu(Opcode::IntAlu, Reg(12), &[Reg(11)]));
+
+    // mb_head: macroblock header decode, branch on MB type.
+    b.push(mb_head, Inst::load(Reg(13), Reg(2), MemWidth::B4));
+    b.push(mb_head, Inst::alu(Opcode::IntAlu, Reg(14), &[Reg(13)]));
+    b.push(mb_head, Inst::branch(Reg(14)));
+
+    // vlc: coefficient run-length decode (dependent integer chain).
+    b.push(vlc, Inst::load(Reg(15), Reg(2), MemWidth::B4));
+    for i in 0..4 {
+        b.push(vlc, Inst::alu(Opcode::IntAlu, Reg(16 + i), &[Reg(15 + i)]));
+    }
+    b.push(vlc, Inst::branch(Reg(19)));
+
+    // dequant: inverse-quantize the coefficient block (table lookup +
+    // multiply per slice).
+    b.push(dequant, Inst::load(Reg(44), Reg(8), MemWidth::B2));
+    b.push(dequant, Inst::alu(Opcode::IntMul, Reg(45), &[Reg(19), Reg(44)]));
+    b.push(dequant, Inst::alu(Opcode::IntAlu, Reg(16), &[Reg(45)]));
+
+    // idct: 8-point butterfly slice — integer multiplies, good ILP.
+    for i in 0..4 {
+        b.push(idct, Inst::alu(Opcode::IntMul, Reg(20 + 2 * i), &[Reg(16)]));
+        b.push(idct, Inst::alu(Opcode::IntAlu, Reg(21 + 2 * i), &[Reg(20 + 2 * i)]));
+    }
+    b.push(idct, Inst::branch(Reg(27)));
+
+    // mc_intra: no reference access, just a copy of decoded coefficients.
+    b.push(mc_intra, Inst::alu(Opcode::IntAlu, Reg(30), &[Reg(27)]));
+    b.push(mc_intra, Inst::alu(Opcode::IntAlu, Reg(31), &[Reg(30)]));
+
+    // mc_fwd: forward prediction — two reference loads + average.
+    b.push(mc_fwd, Inst::load(Reg(32), Reg(5), MemWidth::B8));
+    b.push(mc_fwd, Inst::load(Reg(33), Reg(5), MemWidth::B8));
+    b.push(mc_fwd, Inst::alu(Opcode::IntAlu, Reg(34), &[Reg(32), Reg(33)]));
+    b.push(mc_fwd, Inst::alu(Opcode::IntAlu, Reg(35), &[Reg(34), Reg(27)]));
+
+    // mc_bidir: bidirectional — loads from both references.
+    b.push(mc_bidir, Inst::load(Reg(36), Reg(5), MemWidth::B8));
+    b.push(mc_bidir, Inst::load(Reg(37), Reg(6), MemWidth::B8));
+    b.push(mc_bidir, Inst::load(Reg(38), Reg(6), MemWidth::B8));
+    b.push(mc_bidir, Inst::alu(Opcode::IntAlu, Reg(39), &[Reg(36), Reg(37)]));
+    b.push(mc_bidir, Inst::alu(Opcode::IntAlu, Reg(40), &[Reg(39), Reg(38)]));
+    b.push(mc_bidir, Inst::alu(Opcode::IntAlu, Reg(41), &[Reg(40), Reg(27)]));
+
+    // chroma: motion-compensate the two chroma blocks (cache-friendly:
+    // chroma planes are a quarter the size of luma).
+    b.push(chroma, Inst::load(Reg(46), Reg(9), MemWidth::B8));
+    b.push(chroma, Inst::alu(Opcode::IntAlu, Reg(47), &[Reg(46), Reg(41)]));
+    b.push(chroma, Inst::alu(Opcode::IntAlu, Reg(48), &[Reg(47)]));
+
+    // mb_store: write the reconstructed macroblock row.
+    b.push(mb_store, Inst::store(Reg(41), Reg(7), MemWidth::B8));
+    b.push(mb_store, Inst::store(Reg(41), Reg(7), MemWidth::B8));
+    b.push(mb_store, Inst::branch(Reg(41)));
+
+    // frame_end: reference frame bookkeeping.
+    b.push(frame_end, Inst::alu(Opcode::IntAlu, Reg(42), &[Reg(41)]));
+
+    // display: 4:2:0 -> 4:2:2 chroma upsampling sweep over the output
+    // frame (sequential, warm lines from mb_store).
+    b.push(display, Inst::load(Reg(49), Reg(7), MemWidth::B8));
+    b.push(display, Inst::alu(Opcode::IntAlu, Reg(50), &[Reg(49)]));
+    b.push(display, Inst::store(Reg(50), Reg(7), MemWidth::B8));
+    b.push(display, Inst::branch(Reg(50)));
+
+    b.edge(entry, frame_head);
+    b.edge(frame_head, mb_head);
+    b.edge(mb_head, vlc);
+    b.edge(vlc, vlc);
+    b.edge(vlc, dequant);
+    b.edge(dequant, idct);
+    b.edge(idct, idct);
+    b.edge(idct, mc_intra);
+    b.edge(idct, mc_fwd);
+    b.edge(idct, mc_bidir);
+    b.edge(mc_intra, chroma);
+    b.edge(mc_fwd, chroma);
+    b.edge(mc_bidir, chroma);
+    b.edge(chroma, mb_store);
+    b.edge(mb_store, mb_head);
+    b.edge(mb_store, frame_end);
+    b.edge(frame_end, display);
+    b.edge(display, display);
+    b.edge(display, frame_head);
+    b.edge(display, exit);
+    b.finish(entry, exit).expect("mpeg CFG is well-formed")
+}
+
+pub(crate) fn trace(cfg: &Cfg, inp: &InputSpec) -> Trace {
+    let blk = |l: &str| cfg.block_by_label(l).expect("mpeg cfg");
+    let (entry, frame_head, mb_head, vlc, idct) = (
+        cfg.entry(),
+        blk("frame_head"),
+        blk("mb_head"),
+        blk("vlc"),
+        blk("idct"),
+    );
+    let (dequant, mc_intra, mc_fwd, mc_bidir, chroma, mb_store, frame_end, display, exit) = (
+        blk("dequant"),
+        blk("mc_intra"),
+        blk("mc_fwd"),
+        blk("mc_bidir"),
+        blk("chroma"),
+        blk("mb_store"),
+        blk("frame_end"),
+        blk("display"),
+        cfg.exit(),
+    );
+    let mut rng = Lcg::new(inp.seed);
+    let mut tb = TraceBuilder::new(cfg);
+    tb.step(entry, vec![]);
+    let mut stream = STREAM_BASE;
+    let macroblocks = 72u64;
+    for frame in 0..inp.iterations as u64 {
+        // GOP pattern: with B frames the sequence is I B B P B B P...;
+        // without it is I P P P...
+        let is_b = inp.variant && frame % 3 != 0;
+        let is_i = frame % 9 == 0;
+        tb.step(frame_head, vec![stream]);
+        stream += 16;
+        for mb in 0..macroblocks {
+            tb.step(mb_head, vec![stream]);
+            stream += 8;
+            // Coefficient density scales with complexity.
+            let vlc_runs = 2 + (4.0 * inp.complexity) as u64 + rng.below(3);
+            for _ in 0..vlc_runs {
+                tb.step(vlc, vec![stream]);
+                stream += 2;
+            }
+            tb.step(dequant, vec![QUANT_TABLE + rng.below(64) * 2]);
+            let idct_slices = 16 + rng.below(6);
+            for _ in 0..idct_slices {
+                tb.step(idct, vec![]);
+            }
+            // Motion compensation: most vectors are short (the reference
+            // region around the macroblock is still cached from neighbours),
+            // with occasional long jumps whose rate grows with complexity.
+            let near = 8 * 1024u64;
+            let long_jump_p = 0.02 + 0.05 * inp.complexity;
+            let intra = is_i || rng.chance(0.1);
+            let mv = |base: u64, rng: &mut Lcg| {
+                let off = if rng.chance(long_jump_p) {
+                    rng.below(REF_BYTES)
+                } else {
+                    rng.below(near)
+                };
+                base + (mb * 1024 + off) % REF_BYTES
+            };
+            if intra {
+                tb.step(mc_intra, vec![]);
+            } else if is_b {
+                let a = mv(REF_FWD, &mut rng);
+                let b2 = mv(REF_BWD, &mut rng);
+                let c = mv(REF_BWD, &mut rng);
+                tb.step(mc_bidir, vec![a, b2, c]);
+            } else {
+                let a = mv(REF_FWD, &mut rng);
+                let b2 = mv(REF_FWD, &mut rng);
+                tb.step(mc_fwd, vec![a, b2]);
+            }
+            // Chroma MC: quarter-size planes, short vectors — warm.
+            let ch = CHROMA_BASE + (mb * 256 + rng.below(2048)) % 0x4_0000;
+            tb.step(chroma, vec![ch]);
+            let out = FRAME_OUT + (frame % 2) * REF_BYTES + mb * 1024;
+            tb.step(mb_store, vec![out, out + 8]);
+        }
+        tb.step(frame_end, vec![]);
+        // Display: upsample a sweep of the just-written frame (warm lines).
+        let sweeps = 24 + rng.below(8);
+        for k in 0..sweeps {
+            let p = FRAME_OUT + (frame % 2) * REF_BYTES + (k * 512) % (72 * 1024);
+            tb.step(display, vec![p, p + 8]);
+        }
+    }
+    tb.step(exit, vec![]);
+    tb.finish().expect("mpeg trace is a valid walk")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sim::Machine;
+    use dvs_vf::OperatingPoint;
+
+    #[test]
+    fn cfg_shape() {
+        let cfg = build_cfg();
+        assert_eq!(cfg.num_blocks(), 14);
+        assert_eq!(cfg.num_edges(), 20);
+    }
+
+    #[test]
+    fn b_frame_inputs_execute_bidir_path() {
+        let cfg = build_cfg();
+        let bidir = cfg.block_by_label("mc_bidir").unwrap();
+        let flwr = trace(&cfg, &input(MpegInput::Flwr).spec());
+        assert!(flwr.walk().contains(&bidir), "flwr should take mc_bidir");
+        let bbc = trace(&cfg, &input(MpegInput::Bbc).spec());
+        assert!(!bbc.walk().contains(&bidir), "bbc must not take mc_bidir");
+    }
+
+    #[test]
+    fn categories_split_two_by_two() {
+        let with_b: Vec<_> = MPEG_INPUTS
+            .iter()
+            .filter(|&&k| input(k).has_b_frames())
+            .collect();
+        assert_eq!(with_b.len(), 2);
+    }
+
+    #[test]
+    fn motion_compensation_is_memory_heavy() {
+        let cfg = build_cfg();
+        let mut spec = input(MpegInput::Flwr).spec();
+        spec.iterations = 6;
+        let t = trace(&cfg, &spec);
+        let run = Machine::paper_default().run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
+        assert!(run.dram_accesses > 200, "dram = {}", run.dram_accesses);
+    }
+
+    #[test]
+    fn complex_inputs_run_longer() {
+        let cfg = build_cfg();
+        let machine = Machine::paper_default();
+        let pt = OperatingPoint::new(1.65, 800.0);
+        let mut simple = input(MpegInput::Hundredb).spec();
+        let mut complex = input(MpegInput::Bbc).spec();
+        simple.iterations = 6;
+        complex.iterations = 6;
+        let t_simple = machine
+            .run(&cfg, &trace(&cfg, &simple), pt)
+            .total_time_us;
+        let t_complex = machine
+            .run(&cfg, &trace(&cfg, &complex), pt)
+            .total_time_us;
+        assert!(
+            t_complex > t_simple,
+            "bbc ({t_complex}) should outlast 100b ({t_simple})"
+        );
+    }
+}

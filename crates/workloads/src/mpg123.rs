@@ -1,0 +1,163 @@
+//! Synthetic `mpg123`: MPEG-1 layer-III audio decoder.
+//!
+//! The hot code is polyphase subband synthesis: per granule, 32 subband
+//! dot products against a 512-entry window table (FP multiply-accumulate),
+//! preceded by Huffman decoding (branchy integer work). Working sets are
+//! table-sized and cache-resident, so the profile is FP-heavy with modest
+//! memory traffic.
+
+use crate::{InputSpec, Lcg};
+use dvs_ir::{Cfg, CfgBuilder, Inst, MemWidth, Opcode, Reg};
+use dvs_sim::{Trace, TraceBuilder};
+
+const STREAM_BASE: u64 = 0x0100_0000;
+const WINDOW_TABLE: u64 = 0x0600_0000; // 2 KB window, cache-resident
+const SYNTH_BUF: u64 = 0x0700_0000; // rolling synthesis buffer, 4 KB
+const PCM_OUT: u64 = 0x0900_0000;
+
+/// Blocks: entry → gr_head → huffman (looped) → dequant → alias (looped) →
+/// synth (looped) → window → stereo → (gr_head | exit).
+pub(crate) fn build_cfg() -> Cfg {
+    let mut b = CfgBuilder::new("mpg123");
+    let entry = b.block("entry");
+    let gr_head = b.block("gr_head");
+    let huffman = b.block("huffman");
+    let dequant = b.block("dequant");
+    let alias = b.block("alias");
+    let synth = b.block("synth");
+    let window = b.block("window");
+    let stereo = b.block("stereo");
+    let exit = b.block("exit");
+
+    b.push_all(
+        entry,
+        (0..3).map(|i| Inst::alu(Opcode::IntAlu, Reg(1 + i), &[Reg(0)])),
+    );
+
+    // gr_head: side-info parse.
+    b.push(gr_head, Inst::load(Reg(10), Reg(2), MemWidth::B4));
+    b.push(gr_head, Inst::alu(Opcode::IntAlu, Reg(11), &[Reg(10)]));
+
+    // huffman: bit-serial decode — dependent integer chain with a branch.
+    b.push(huffman, Inst::load(Reg(12), Reg(2), MemWidth::B4));
+    b.push(huffman, Inst::alu(Opcode::IntAlu, Reg(13), &[Reg(12), Reg(13)]));
+    b.push(huffman, Inst::alu(Opcode::IntAlu, Reg(14), &[Reg(13)]));
+    b.push(huffman, Inst::branch(Reg(14)));
+
+    // dequant: scale-factor multiply + pow approximation.
+    b.push(dequant, Inst::alu(Opcode::FpMul, Reg(15), &[Reg(14)]));
+    b.push(dequant, Inst::alu(Opcode::FpMul, Reg(16), &[Reg(15)]));
+    b.push(dequant, Inst::alu(Opcode::FpAdd, Reg(17), &[Reg(16)]));
+
+    // alias: butterfly alias-reduction between adjacent subbands.
+    b.push(alias, Inst::alu(Opcode::FpMul, Reg(26), &[Reg(17)]));
+    b.push(alias, Inst::alu(Opcode::FpMul, Reg(27), &[Reg(17)]));
+    b.push(alias, Inst::alu(Opcode::FpAdd, Reg(28), &[Reg(26), Reg(27)]));
+    b.push(alias, Inst::branch(Reg(28)));
+
+    // synth: one subband dot-product step (2 loads + FP MAC).
+    b.push(synth, Inst::load(Reg(18), Reg(3), MemWidth::B4));
+    b.push(synth, Inst::load(Reg(19), Reg(4), MemWidth::B4));
+    b.push(synth, Inst::alu(Opcode::FpMul, Reg(20), &[Reg(18), Reg(19)]));
+    b.push(synth, Inst::alu(Opcode::FpAdd, Reg(21), &[Reg(20), Reg(21)]));
+    b.push(synth, Inst::branch(Reg(21)));
+
+    // window: fold + clamp + store PCM samples.
+    b.push(window, Inst::alu(Opcode::FpMul, Reg(22), &[Reg(21)]));
+    b.push(window, Inst::alu(Opcode::FpAdd, Reg(23), &[Reg(22)]));
+    b.push(window, Inst::alu(Opcode::IntAlu, Reg(24), &[Reg(23)]));
+    b.push(window, Inst::store(Reg(24), Reg(5), MemWidth::B2));
+
+    // stereo: mid/side reconstruction + interleaved PCM store.
+    b.push(stereo, Inst::alu(Opcode::FpAdd, Reg(29), &[Reg(23)]));
+    b.push(stereo, Inst::alu(Opcode::FpAdd, Reg(30), &[Reg(23)]));
+    b.push(stereo, Inst::store(Reg(29), Reg(5), MemWidth::B2));
+    b.push(stereo, Inst::store(Reg(30), Reg(5), MemWidth::B2));
+    b.push(stereo, Inst::branch(Reg(30)));
+
+    b.edge(entry, gr_head);
+    b.edge(gr_head, huffman);
+    b.edge(huffman, huffman);
+    b.edge(huffman, dequant);
+    b.edge(dequant, alias);
+    b.edge(alias, alias);
+    b.edge(alias, synth);
+    b.edge(synth, synth);
+    b.edge(synth, window);
+    b.edge(window, stereo);
+    b.edge(stereo, gr_head);
+    b.edge(stereo, exit);
+    b.finish(entry, exit).expect("mpg123 CFG is well-formed")
+}
+
+pub(crate) fn trace(cfg: &Cfg, input: &InputSpec) -> Trace {
+    let blk = |l: &str| cfg.block_by_label(l).expect("mpg123 cfg");
+    let (entry, gr_head, huffman, dequant, alias, synth, window, stereo, exit) = (
+        cfg.entry(),
+        blk("gr_head"),
+        blk("huffman"),
+        blk("dequant"),
+        blk("alias"),
+        blk("synth"),
+        blk("window"),
+        blk("stereo"),
+        cfg.exit(),
+    );
+    let mut rng = Lcg::new(input.seed);
+    let mut tb = TraceBuilder::new(cfg);
+    tb.step(entry, vec![]);
+    let mut stream = STREAM_BASE;
+    for gr in 0..input.iterations as u64 {
+        tb.step(gr_head, vec![stream]);
+        stream += 32;
+        let symbols = 20 + (20.0 * input.complexity) as u64 + rng.below(10);
+        for _ in 0..symbols {
+            tb.step(huffman, vec![stream]);
+            stream += 4;
+        }
+        tb.step(dequant, vec![]);
+        // 31 butterfly pairs of alias reduction.
+        for _ in 0..31 {
+            tb.step(alias, vec![]);
+        }
+        // 32 subbands x 8 MAC steps against window + rolling buffer.
+        for sb in 0..32u64 {
+            for k in 0..8u64 {
+                let w = WINDOW_TABLE + ((sb * 8 + k) % 512) * 4;
+                let s = SYNTH_BUF + ((gr * 32 + sb * 8 + k) % 1024) * 4;
+                tb.step(synth, vec![w, s]);
+            }
+        }
+        tb.step(window, vec![PCM_OUT + gr * 64]);
+        tb.step(stereo, vec![PCM_OUT + gr * 64 + 2, PCM_OUT + gr * 64 + 4]);
+    }
+    tb.step(exit, vec![]);
+    tb.finish().expect("mpg123 trace is a valid walk")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use dvs_sim::Machine;
+    use dvs_vf::OperatingPoint;
+
+    #[test]
+    fn cfg_shape() {
+        let cfg = build_cfg();
+        assert_eq!(cfg.num_blocks(), 9);
+        assert_eq!(cfg.num_edges(), 12);
+    }
+
+    #[test]
+    fn fp_heavy_and_cache_resident() {
+        let cfg = build_cfg();
+        let mut input = Benchmark::Mpg123.default_input();
+        input.iterations = 30;
+        let t = trace(&cfg, &input);
+        let run = Machine::paper_default().run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
+        // Tables are cache-resident: very low D-miss rate after warm-up.
+        assert!(run.l1d.miss_rate() < 0.1, "miss rate {}", run.l1d.miss_rate());
+        assert!(run.committed_insts > 10_000);
+    }
+}

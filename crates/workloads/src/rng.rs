@@ -1,0 +1,102 @@
+/// A tiny deterministic linear-congruential generator.
+///
+/// Workload traces must be bit-reproducible across runs and platforms (the
+/// paper re-simulates the *same* execution at every DVS mode), so the
+/// generators use this fixed LCG rather than an external RNG whose stream
+/// might change between versions.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Seeds the generator. A zero seed is remapped to a fixed constant.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Lcg { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // Knuth MMIX multiplier.
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // Scramble the high bits down (low LCG bits are weak).
+        let x = self.state;
+        (x >> 29) ^ (x >> 7) ^ x
+    }
+
+    /// Uniform value in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 > 1.0 - p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Lcg::new(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = Lcg::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_600..3_400).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn unit_in_range_and_varied() {
+        let mut r = Lcg::new(13);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            lo |= u < 0.25;
+            hi |= u > 0.75;
+        }
+        assert!(lo && hi);
+    }
+}

@@ -1,0 +1,91 @@
+//! Explore the paper's §3 analytical model interactively-ish: for a
+//! MediaBench-style workload, extract the four program parameters from
+//! simulation and print the energy-savings bound for several voltage
+//! ladders and deadlines, next to what the MILP actually achieves.
+//!
+//! ```text
+//! cargo run --release --example analytic_bounds
+//! ```
+
+use compile_time_dvs::compiler::{analyze_params, DeadlineScheme, DvsCompiler};
+use compile_time_dvs::model::{ContinuousModel, DiscreteModel};
+use compile_time_dvs::sim::Machine;
+use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
+use compile_time_dvs::workloads::Benchmark;
+
+fn main() {
+    let law = AlphaPower::paper();
+    let benchmark = Benchmark::Epic;
+    let cfg = benchmark.build_cfg();
+    let trace = benchmark.trace(&cfg, &benchmark.default_input());
+    let machine = Machine::paper_default();
+
+    println!("benchmark: {}\n", benchmark.name());
+
+    // Program parameters from cycle-level simulation (paper Table 7).
+    let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
+    let ladder3 = VoltageLadder::xscale3(&law);
+    let compiler = DvsCompiler::new(
+        machine.clone(),
+        ladder3.clone(),
+        TransitionModel::with_capacitance_uf(0.2),
+    );
+    let (profile, runs) = compiler.profile(&cfg, &trace);
+    let params = analyze_params(&runs);
+    println!(
+        "params: Noverlap={:.0}  Ndependent={:.0}  Ncache={:.0} cycles, tinvariant={:.1} µs",
+        params.n_overlap, params.n_dependent, params.n_cache, params.t_invariant_us
+    );
+
+    let continuous = ContinuousModel::paper();
+    println!("\n{:<10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "deadline", "µs", "continuous", "3 levels", "7 levels", "13 levels");
+    for i in 1..=5usize {
+        let d = scheme.deadline_us(i);
+        let cont = continuous
+            .savings(&params, d)
+            .map_or("inf.".to_string(), |s| format!("{s:.3}"));
+        let mut cells = Vec::new();
+        for n in [3usize, 7, 13] {
+            let ladder = if n == 3 {
+                VoltageLadder::xscale3(&law)
+            } else {
+                VoltageLadder::interpolated(&law, n).expect("valid ladder")
+            };
+            let s = DiscreteModel::new(ladder)
+                .savings(&params, d)
+                .map_or("inf.".to_string(), |s| format!("{s:.3}"));
+            cells.push(s);
+        }
+        println!(
+            "{:<10} {:>12.1} {:>12} {:>10} {:>10} {:>10}",
+            format!("D{i}"),
+            d,
+            cont,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    // What the practical MILP extracts of that bound (paper §6.5).
+    println!("\nMILP-achieved savings vs analytical bound (3-level ladder):");
+    for i in 1..=5usize {
+        let d = scheme.deadline_us(i);
+        let bound = DiscreteModel::new(ladder3.clone())
+            .savings(&params, d)
+            .unwrap_or(0.0);
+        match compiler.compile(&cfg, &profile, d) {
+            Ok(res) => {
+                let milp = res.savings_vs_single().unwrap_or(0.0);
+                println!("  D{i}: bound {bound:.3}  milp {milp:.3}");
+            }
+            Err(_) => println!("  D{i}: infeasible"),
+        }
+    }
+    println!("\nThe analytical bound ignores switching costs, so the MILP column");
+    println!("generally sits at or below it (the paper's §6.5 check). Small");
+    println!("overshoots can occur because the MILP optimizes per-block while the");
+    println!("model lumps all computation — the paper itself reports one such");
+    println!("exception for gsm and attributes it to rounding.");
+}

@@ -1,0 +1,69 @@
+//! Compare the paper's static MILP against Lee–Sakurai-style interval
+//! voltage hopping (run-time time-slicing) across the whole suite, on a
+//! custom frequency-defined ladder.
+//!
+//! Structure matters: the MILP needs *regions* with different
+//! memory/compute balance to place mode-sets between; hopping needs only
+//! slack. On a homogeneous single loop hopping wins; with real phases the
+//! MILP wins.
+//!
+//! ```text
+//! cargo run --release --example interval_hopping
+//! ```
+
+use compile_time_dvs::compiler::{baseline, DeadlineScheme, DvsCompiler};
+use compile_time_dvs::sim::Machine;
+use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
+use compile_time_dvs::workloads::Benchmark;
+
+fn main() {
+    // A custom ladder defined by frequency steps (e.g. a part documented
+    // as 150/300/600 MHz), voltages from the alpha-power law.
+    let law = AlphaPower::paper();
+    let ladder = VoltageLadder::from_frequencies(&law, &[150.0, 300.0, 600.0])
+        .expect("frequencies within the law's range");
+    println!("ladder:");
+    for (_, p) in ladder.iter() {
+        println!("  {p}");
+    }
+
+    let machine = Machine::paper_default();
+    println!(
+        "\n{:<14} {:>10} {:>12} {:>12} {:>14}",
+        "benchmark", "deadline", "single (µJ)", "MILP (µJ)", "hopping (µJ)"
+    );
+    for b in Benchmark::all() {
+        let cfg = b.build_cfg();
+        let trace = b.trace(&cfg, &b.default_input());
+        let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
+        // A deadline between the ladder's fast and slow runtimes.
+        let tm = TransitionModel::with_capacitance_uf(0.02);
+        let compiler = DvsCompiler::new(machine.clone(), ladder.clone(), tm);
+        let (profile, runs) = compiler.profile(&cfg, &trace);
+        let t_fast = runs.last().expect("runs").total_time_us;
+        let t_slow = runs[0].total_time_us;
+        let deadline = t_fast + 0.6 * (t_slow - t_fast);
+        let _ = scheme; // reference runtimes available if needed
+
+        let single = baseline::best_single_mode(&profile, &ladder, deadline)
+            .map_or("inf.".to_string(), |(_, _, e)| format!("{e:.1}"));
+        let milp = compiler
+            .compile(&cfg, &profile, deadline)
+            .map_or("inf.".to_string(), |r| {
+                format!("{:.1}", r.milp.predicted_energy_uj)
+            });
+        let tm = TransitionModel::with_capacitance_uf(0.02);
+        let hop = baseline::lee_sakurai(&profile, &ladder, &tm, deadline, deadline / 40.0)
+            .map_or("inf.".to_string(), |l| format!("{:.1}", l.energy_uj));
+        println!(
+            "{:<14} {:>10.1} {:>12} {:>12} {:>14}",
+            b.name(),
+            deadline,
+            single,
+            milp,
+            hop
+        );
+    }
+    println!("\nHopping assumes a run-time timer can inject mode-sets anywhere;");
+    println!("the MILP's schedule is purely static. See EXPERIMENTS.md (`hopping`).");
+}

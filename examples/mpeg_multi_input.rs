@@ -1,0 +1,85 @@
+//! The paper's §6.4 study as a runnable scenario: how sensitive is the DVS
+//! schedule to the input used for profiling, and how the multi-category
+//! MILP fixes it.
+//!
+//! The MPEG workload ships four inputs in two categories (with and without
+//! B frames). Profiling on a no-B-frame input mis-estimates the B-frame
+//! machinery; the multi-category formulation optimizes the weighted
+//! average while enforcing both deadlines.
+//!
+//! ```text
+//! cargo run --release --example mpeg_multi_input
+//! ```
+
+use compile_time_dvs::compiler::{CategoryProfile, DeadlineScheme, MilpFormulation, MultiCategory};
+use compile_time_dvs::sim::{Machine, ModeProfiler};
+use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
+use compile_time_dvs::workloads::{mpeg_input, Benchmark, MpegInput, MPEG_INPUTS};
+
+fn main() {
+    let b = Benchmark::MpegDecode;
+    let cfg = b.build_cfg();
+    let machine = Machine::paper_default();
+    let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+    let tm = TransitionModel::with_capacitance_uf(0.03);
+    let profiler = ModeProfiler::new(machine.clone());
+
+    // Profile every input; deadline = its own D3 (just above the 600 MHz
+    // runtime).
+    let mut data = Vec::new();
+    for &k in &MPEG_INPUTS {
+        let spec = mpeg_input(k).spec();
+        let trace = b.trace(&cfg, &spec);
+        let (profile, _) = profiler.profile(&cfg, &trace, &ladder);
+        let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
+        let d3 = scheme.deadline_us(3);
+        println!(
+            "{:<10} category {}   deadline D3 = {:.1} µs",
+            k.name(),
+            if mpeg_input(k).has_b_frames() { "2-B-frames" } else { "no-B-frames" },
+            d3
+        );
+        data.push((k, trace, profile, d3));
+    }
+
+    // Schedule from the bbc profile (no B frames)...
+    let bbc = data.iter().find(|(k, ..)| *k == MpegInput::Bbc).expect("bbc present");
+    let bbc_schedule = MilpFormulation::new(&cfg, &bbc.2, &ladder, &tm, bbc.3)
+        .solve()
+        .expect("bbc deadline feasible")
+        .schedule;
+
+    // ...and from the equal-weight average of flwr and bbc (§4.3).
+    let cats: Vec<CategoryProfile> = data
+        .iter()
+        .filter(|(k, ..)| matches!(k, MpegInput::Flwr | MpegInput::Bbc))
+        .map(|(_, _, p, d)| CategoryProfile { weight: 0.5, profile: p.clone(), deadline_us: *d })
+        .collect();
+    let avg_schedule = MultiCategory::new(&cfg, &cats, &ladder, &tm)
+        .solve()
+        .expect("joint deadlines feasible")
+        .schedule;
+
+    println!("\n{:<10} {:>14} {:>16} {:>18}", "input", "deadline (µs)", "bbc-profiled", "average-profiled");
+    for (k, trace, _, d) in &data {
+        let t_bbc = machine
+            .run_scheduled(&cfg, trace, &ladder, &bbc_schedule, &tm)
+            .time_us;
+        let t_avg = machine
+            .run_scheduled(&cfg, trace, &ladder, &avg_schedule, &tm)
+            .time_us;
+        let mark = |t: f64| if t <= *d { "ok " } else { "MISS" };
+        println!(
+            "{:<10} {:>14.1} {:>11.1} {} {:>13.1} {}",
+            k.name(),
+            d,
+            t_bbc,
+            mark(t_bbc),
+            t_avg,
+            mark(t_avg)
+        );
+    }
+    println!("\nProfiles gathered on a no-B-frame stream mis-predict the B-frame");
+    println!("inputs (the paper's Fig. 19); the multi-category schedule meets every");
+    println!("deadline it optimized for.");
+}

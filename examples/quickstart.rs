@@ -1,0 +1,99 @@
+//! Quickstart: compile-time DVS for a small two-phase program.
+//!
+//! Builds a program with a memory-bound phase followed by a compute-bound
+//! phase, profiles it on the cycle-level simulator, runs the MILP pass, and
+//! prints the chosen schedule next to the single-frequency baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use compile_time_dvs::compiler::DvsCompiler;
+use compile_time_dvs::ir::{CfgBuilder, Inst, MemWidth, Opcode, Reg};
+use compile_time_dvs::sim::{Machine, TraceBuilder};
+use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
+
+fn main() {
+    // --- 1. Build a program: stream loads, then crunch numbers. ---------
+    let mut b = CfgBuilder::new("quickstart");
+    let entry = b.block("entry");
+    let memloop = b.block("memloop");
+    let comploop = b.block("comploop");
+    let exit = b.block("exit");
+    b.push(memloop, Inst::load(Reg(1), Reg(2), MemWidth::B4));
+    b.push(memloop, Inst::alu(Opcode::IntAlu, Reg(3), &[Reg(1)]));
+    b.push(memloop, Inst::branch(Reg(3)));
+    for _ in 0..12 {
+        b.push(comploop, Inst::alu(Opcode::IntAlu, Reg(4), &[Reg(4)]));
+    }
+    b.push(comploop, Inst::branch(Reg(4)));
+    b.edge(entry, memloop);
+    b.edge(memloop, memloop);
+    b.edge(memloop, comploop);
+    b.edge(comploop, comploop);
+    b.edge(comploop, exit);
+    let cfg = b.finish(entry, exit).expect("valid CFG");
+
+    // --- 2. One execution: 600 strided misses, then 600 compute trips. --
+    let mut tb = TraceBuilder::new(&cfg);
+    tb.step(entry, vec![]);
+    for i in 0..600u64 {
+        tb.step(memloop, vec![0x10_0000 + i * 4096]);
+    }
+    for _ in 0..600 {
+        tb.step(comploop, vec![]);
+    }
+    tb.step(exit, vec![]);
+    let trace = tb.finish().expect("valid trace");
+
+    // --- 3. The compile-time DVS pass. -----------------------------------
+    let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+    let compiler = DvsCompiler::new(
+        Machine::paper_default(),
+        ladder.clone(),
+        TransitionModel::with_capacitance_uf(0.05),
+    );
+    let (profile, runs) = compiler.profile(&cfg, &trace);
+
+    let t_fast = runs.last().expect("runs").total_time_us;
+    let t_slow = runs[0].total_time_us;
+    println!("runtime at 800 MHz: {t_fast:.1} µs, at 200 MHz: {t_slow:.1} µs");
+
+    let deadline = t_fast + 0.5 * (t_slow - t_fast);
+    println!("deadline: {deadline:.1} µs\n");
+
+    let result = compiler
+        .compile_and_validate(&cfg, &trace, &profile, deadline)
+        .expect("deadline is feasible");
+
+    // --- 4. Report. -------------------------------------------------------
+    let (mode, t_single, e_single) = result.single_mode.expect("a single mode fits");
+    println!(
+        "best single mode : {} -> {:.1} µs, {:.1} µJ",
+        ladder.point(mode),
+        t_single,
+        e_single
+    );
+    println!(
+        "MILP schedule    : {:.1} µs predicted, {:.1} µJ predicted",
+        result.milp.predicted_time_us, result.milp.predicted_energy_uj
+    );
+    let v = result.validated.expect("validated");
+    println!(
+        "re-simulated     : {:.1} µs measured,  {:.1} µJ measured, {} transitions",
+        v.time_us, v.processor_energy_uj, v.transitions
+    );
+    println!(
+        "savings vs single-frequency baseline: {:.1}%",
+        100.0 * result.savings_vs_single().unwrap_or(0.0)
+    );
+    println!("\nper-edge modes:");
+    for e in cfg.edges() {
+        println!(
+            "  {} -> {}: {}",
+            cfg.block(e.src).label,
+            cfg.block(e.dst).label,
+            ladder.point(result.milp.schedule.edge_modes[e.id.index()])
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! `dvsc` — command-line front end for the compile-time DVS pass.
+//!
+//! ```text
+//! dvsc list
+//! dvsc compile --benchmark gsm --deadline 3 [--levels 3] [--capacitance 0.05]
+//!              [--emit listing.s] [--no-validate]
+//! dvsc analyze --benchmark epic [--levels 7]
+//! ```
+//!
+//! `compile` runs profile → filter → MILP → schedule on a built-in
+//! workload, re-simulates the schedule and prints predicted vs measured
+//! numbers. `analyze` prints the §3 analytical parameters and the
+//! savings bound per deadline.
+
+use compile_time_dvs::compiler::{
+    analyze_params, emit_instrumented, DeadlineScheme, DvsCompiler,
+};
+use compile_time_dvs::model::DiscreteModel;
+use compile_time_dvs::sim::Machine;
+use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
+use compile_time_dvs::workloads::Benchmark;
+use std::process::ExitCode;
+
+struct Args {
+    benchmark: Option<String>,
+    deadline_index: usize,
+    levels: usize,
+    capacitance_uf: f64,
+    emit: Option<String>,
+    validate: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dvsc list\n  dvsc compile --benchmark <name> [--deadline 1..5] \
+         [--levels N] [--capacitance µF] [--emit FILE] [--no-validate]\n  \
+         dvsc analyze --benchmark <name> [--levels N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse(mut argv: std::env::Args) -> Option<(String, Args)> {
+    let cmd = argv.next()?;
+    let mut args = Args {
+        benchmark: None,
+        deadline_index: 3,
+        levels: 3,
+        capacitance_uf: 0.05,
+        emit: None,
+        validate: true,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--benchmark" | "-b" => args.benchmark = Some(argv.next()?),
+            "--deadline" | "-d" => args.deadline_index = argv.next()?.parse().ok()?,
+            "--levels" | "-l" => args.levels = argv.next()?.parse().ok()?,
+            "--capacitance" | "-c" => args.capacitance_uf = argv.next()?.parse().ok()?,
+            "--emit" | "-e" => args.emit = Some(argv.next()?),
+            "--no-validate" => args.validate = false,
+            _ => return None,
+        }
+    }
+    Some((cmd, args))
+}
+
+fn find_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name || b.name().starts_with(name))
+}
+
+fn ladder(levels: usize) -> Option<VoltageLadder> {
+    let law = AlphaPower::paper();
+    if levels == 3 {
+        Some(VoltageLadder::xscale3(&law))
+    } else {
+        VoltageLadder::interpolated(&law, levels).ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    let _ = argv.next();
+    let Some((cmd, args)) = parse(argv) else { return usage() };
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<14} {}", "benchmark", "inputs");
+            for b in Benchmark::all() {
+                let names: Vec<String> =
+                    b.inputs().into_iter().map(|i| i.name).collect();
+                println!("{:<14} {}", b.name(), names.join(", "));
+            }
+            ExitCode::SUCCESS
+        }
+        "compile" => run_compile(&args),
+        "analyze" => run_analyze(&args),
+        _ => usage(),
+    }
+}
+
+fn run_compile(args: &Args) -> ExitCode {
+    let Some(name) = &args.benchmark else {
+        eprintln!("compile requires --benchmark");
+        return ExitCode::from(2);
+    };
+    let Some(b) = find_benchmark(name) else {
+        eprintln!("unknown benchmark `{name}` (try `dvsc list`)");
+        return ExitCode::from(2);
+    };
+    if !(1..=5).contains(&args.deadline_index) {
+        eprintln!("--deadline must be 1..5");
+        return ExitCode::from(2);
+    }
+    let Some(ladder) = ladder(args.levels) else {
+        eprintln!("bad --levels");
+        return ExitCode::from(2);
+    };
+
+    let cfg = b.build_cfg();
+    let trace = b.trace(&cfg, &b.default_input());
+    let machine = Machine::paper_default();
+    let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
+    let deadline = scheme.deadline_us(args.deadline_index);
+    println!(
+        "{}: t200={:.1} t600={:.1} t800={:.1} µs; deadline D{} = {:.1} µs",
+        b.name(),
+        scheme.t_slow_us,
+        scheme.t_mid_us,
+        scheme.t_fast_us,
+        args.deadline_index,
+        deadline
+    );
+
+    let compiler = DvsCompiler::new(
+        machine,
+        ladder,
+        TransitionModel::with_capacitance_uf(args.capacitance_uf),
+    );
+    let (profile, _) = compiler.profile(&cfg, &trace);
+    let result = if args.validate {
+        compiler.compile_and_validate(&cfg, &trace, &profile, deadline)
+    } else {
+        compiler.compile(&cfg, &profile, deadline)
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "MILP: {:.1} µs predicted, {:.2} µJ predicted ({} B&B nodes, {:.1} ms solve)",
+        result.milp.predicted_time_us,
+        result.milp.predicted_energy_uj,
+        result.milp.solve_stats.nodes,
+        result.milp.solve_time.as_secs_f64() * 1e3,
+    );
+    if let Some((m, t, e)) = result.single_mode {
+        println!(
+            "best single mode: {} -> {:.1} µs, {:.2} µJ  (savings {:.1}%)",
+            compiler.ladder().point(m),
+            t,
+            e,
+            100.0 * result.savings_vs_single().unwrap_or(0.0)
+        );
+    }
+    if let Some(v) = &result.validated {
+        println!(
+            "validated: {:.1} µs measured, {:.2} µJ measured, {} transitions",
+            v.time_us, v.processor_energy_uj, v.transitions
+        );
+    }
+    println!(
+        "mode-sets: {} live of {} edges ({} silent, hoistable)",
+        result.analysis.num_live(),
+        cfg.num_edges(),
+        result.analysis.num_silent(),
+    );
+    if let Some(path) = &args.emit {
+        let (listing, stats) = emit_instrumented(
+            &cfg,
+            compiler.ladder(),
+            &result.milp.schedule,
+            &result.analysis,
+        );
+        if let Err(e) = std::fs::write(path, listing) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {path} ({} of {} naive mode-sets emitted)",
+            stats.emitted_mode_sets, stats.naive_mode_sets
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_analyze(args: &Args) -> ExitCode {
+    let Some(name) = &args.benchmark else {
+        eprintln!("analyze requires --benchmark");
+        return ExitCode::from(2);
+    };
+    let Some(b) = find_benchmark(name) else {
+        eprintln!("unknown benchmark `{name}` (try `dvsc list`)");
+        return ExitCode::from(2);
+    };
+    let Some(ladder) = ladder(args.levels) else {
+        eprintln!("bad --levels");
+        return ExitCode::from(2);
+    };
+    let cfg = b.build_cfg();
+    let trace = b.trace(&cfg, &b.default_input());
+    let machine = Machine::paper_default();
+    let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
+    let compiler = DvsCompiler::new(machine, ladder.clone(), TransitionModel::free());
+    let (_, runs) = compiler.profile(&cfg, &trace);
+    let params = analyze_params(&runs);
+    println!(
+        "{}: Noverlap={:.0} Ndependent={:.0} Ncache={:.0} cycles, tinvariant={:.1} µs",
+        b.name(),
+        params.n_overlap,
+        params.n_dependent,
+        params.n_cache,
+        params.t_invariant_us
+    );
+    let model = DiscreteModel::new(ladder);
+    println!("{:<4} {:>12} {:>10}", "D", "deadline µs", "bound");
+    for i in 1..=5usize {
+        let d = scheme.deadline_us(i);
+        let s = model
+            .savings(&params, d)
+            .map_or("inf.".to_string(), |s| format!("{s:.3}"));
+        println!("D{i:<3} {d:>12.1} {s:>10}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,71 @@
+//! Integration tests for the `dvsc` command-line front end.
+
+use std::process::Command;
+
+fn dvsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dvsc"))
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let out = dvsc().arg("list").output().expect("dvsc runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["adpcm/encode", "mpeg/decode", "gsm/encode", "epic", "ghostscript", "mpg123"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    assert!(text.contains("flwr.m2v"), "mpeg inputs listed");
+}
+
+#[test]
+fn compile_ghostscript_and_emit_listing() {
+    let tmp = std::env::temp_dir().join("dvsc_cli_test_listing.s");
+    let _ = std::fs::remove_file(&tmp);
+    let out = dvsc()
+        .args([
+            "compile",
+            "--benchmark",
+            "ghostscript",
+            "--deadline",
+            "4",
+            "--capacitance",
+            "0.01",
+            "--emit",
+        ])
+        .arg(&tmp)
+        .output()
+        .expect("dvsc runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("MILP:"), "summary printed:\n{text}");
+    assert!(text.contains("validated:"), "validation printed");
+    let listing = std::fs::read_to_string(&tmp).expect("listing written");
+    assert!(listing.contains("; program: ghostscript"));
+    assert!(listing.contains("band_head:"));
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn analyze_prints_bounds() {
+    let out = dvsc()
+        .args(["analyze", "--benchmark", "gsm", "--levels", "7"])
+        .output()
+        .expect("dvsc runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Noverlap="));
+    assert!(text.contains("D5"));
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = dvsc().args(["compile"]).output().expect("dvsc runs");
+    assert!(!out.status.success());
+    let out = dvsc()
+        .args(["compile", "--benchmark", "nonexistent"])
+        .output()
+        .expect("dvsc runs");
+    assert!(!out.status.success());
+    let out = dvsc().args(["frobnicate"]).output().expect("dvsc runs");
+    assert!(!out.status.success());
+}

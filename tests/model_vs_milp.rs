@@ -1,0 +1,166 @@
+//! Cross-crate consistency between the analytical model, the MILP, and the
+//! simulator on hand-built programs with known structure.
+
+use compile_time_dvs::compiler::DvsCompiler;
+use compile_time_dvs::ir::{Cfg, CfgBuilder, Inst, MemWidth, Opcode, Reg};
+use compile_time_dvs::sim::{Machine, Trace, TraceBuilder};
+use compile_time_dvs::vf::{AlphaPower, ModeId, TransitionModel, VoltageLadder};
+
+fn two_phase(mem_iters: u64, comp_iters: u64) -> (Cfg, Trace) {
+    let mut b = CfgBuilder::new("two-phase");
+    let e = b.block("entry");
+    let mem = b.block("mem");
+    let comp = b.block("comp");
+    let x = b.block("exit");
+    // Four independent missing loads per iteration: they pipeline through
+    // the single DRAM channel, so the block's wall time is dominated by
+    // serialized (frequency-invariant) service — the canonical
+    // "slow it down for free" region.
+    for i in 0..4 {
+        b.push(mem, Inst::load(Reg(1 + i), Reg(10), MemWidth::B4));
+    }
+    b.push(mem, Inst::branch(Reg(1)));
+    for _ in 0..10 {
+        b.push(comp, Inst::alu(Opcode::IntAlu, Reg(4), &[Reg(4)]));
+    }
+    b.push(comp, Inst::branch(Reg(4)));
+    b.edge(e, mem);
+    b.edge(mem, mem);
+    b.edge(mem, comp);
+    b.edge(comp, comp);
+    b.edge(comp, x);
+    let cfg = b.finish(e, x).expect("valid cfg");
+    let mut tb = TraceBuilder::new(&cfg);
+    let (e, mem, comp, x) = (
+        cfg.entry(),
+        cfg.block_by_label("mem").expect("mem"),
+        cfg.block_by_label("comp").expect("comp"),
+        cfg.exit(),
+    );
+    tb.step(e, vec![]);
+    for i in 0..mem_iters {
+        let base = 0x20_0000 + i * 4 * 4096;
+        tb.step(mem, (0..4).map(|k| base + k * 4096).collect());
+    }
+    for _ in 0..comp_iters {
+        tb.step(comp, vec![]);
+    }
+    tb.step(x, vec![]);
+    let t = tb.finish().expect("valid trace");
+    (cfg, t)
+}
+
+fn compiler(cap_uf: f64) -> DvsCompiler {
+    DvsCompiler::new(
+        Machine::paper_default(),
+        VoltageLadder::xscale3(&AlphaPower::paper()),
+        TransitionModel::with_capacitance_uf(cap_uf),
+    )
+}
+
+/// With free transitions and a deadline between the all-fast and all-slow
+/// runtimes, the MILP must place the memory phase at a *slower* mode than
+/// the compute phase — the structural prediction of the analytical model
+/// (slow down what memory hides). This needs memory slow enough that the
+/// pointer chase's wall time is dominated by the frequency-invariant DRAM
+/// service rather than by clocked cache lookups, so the machine uses 320 ns
+/// memory here.
+#[test]
+fn memory_phase_runs_slower_than_compute_phase() {
+    use compile_time_dvs::sim::{EnergyModel, SimConfig};
+    let (cfg, trace) = two_phase(500, 500);
+    let machine = Machine::new(
+        SimConfig { mem_latency_us: 0.32, ..SimConfig::default() },
+        EnergyModel::default(),
+    );
+    let c = DvsCompiler::new(
+        machine,
+        VoltageLadder::xscale3(&AlphaPower::paper()),
+        TransitionModel::with_capacitance_uf(0.001),
+    );
+    let (profile, runs) = c.profile(&cfg, &trace);
+    let t_fast = runs.last().expect("runs").total_time_us;
+    let t_slow = runs[0].total_time_us;
+    let res = c
+        .compile(&cfg, &profile, t_fast + 0.35 * (t_slow - t_fast))
+        .expect("feasible");
+    let mem = cfg.block_by_label("mem").expect("mem");
+    let comp = cfg.block_by_label("comp").expect("comp");
+    let mem_mode = res.milp.schedule.edge_modes
+        [cfg.edge_between(mem, mem).expect("self edge").index()];
+    let comp_mode = res.milp.schedule.edge_modes
+        [cfg.edge_between(comp, comp).expect("self edge").index()];
+    assert!(
+        mem_mode < comp_mode,
+        "memory loop at {mem_mode:?} should run slower than compute loop at {comp_mode:?}"
+    );
+    assert!(res.savings_vs_single().expect("single feasible") > 0.0);
+}
+
+/// Tightening the deadline can only increase the optimal energy.
+#[test]
+fn energy_is_monotone_in_deadline() {
+    let (cfg, trace) = two_phase(300, 600);
+    let c = compiler(0.01);
+    let (profile, runs) = c.profile(&cfg, &trace);
+    let t_fast = runs.last().expect("runs").total_time_us;
+    let t_slow = runs[0].total_time_us;
+    let mut prev = f64::INFINITY;
+    for k in 1..=6 {
+        let d = t_fast + (t_slow - t_fast) * f64::from(k) / 6.0;
+        let res = c.compile(&cfg, &profile, d).expect("feasible");
+        assert!(
+            res.milp.predicted_energy_uj <= prev + 1e-9,
+            "deadline {d}: energy went up"
+        );
+        prev = res.milp.predicted_energy_uj;
+    }
+}
+
+/// Raising transition costs can only increase the optimum.
+#[test]
+fn energy_is_monotone_in_transition_cost() {
+    let (cfg, trace) = two_phase(400, 400);
+    let probe = compiler(0.01);
+    let (profile, runs) = probe.profile(&cfg, &trace);
+    let t_fast = runs.last().expect("runs").total_time_us;
+    let t_slow = runs[0].total_time_us;
+    let d = t_fast + 0.5 * (t_slow - t_fast);
+    let mut prev = 0.0;
+    for cap in [0.001, 0.01, 0.1, 1.0, 10.0] {
+        let c = compiler(cap);
+        let res = c.compile(&cfg, &profile, d).expect("feasible");
+        assert!(
+            res.milp.predicted_energy_uj >= prev - 1e-9,
+            "cap {cap}: energy decreased"
+        );
+        prev = res.milp.predicted_energy_uj;
+    }
+}
+
+/// A uniform single-mode schedule re-simulated under the scheduled executor
+/// must agree exactly with the plain fixed-frequency run — the executor is
+/// a strict generalization.
+#[test]
+fn scheduled_executor_degenerates_to_fixed_runs() {
+    use compile_time_dvs::sim::EdgeSchedule;
+    let (cfg, trace) = two_phase(200, 300);
+    let machine = Machine::paper_default();
+    let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+    for (m, pt) in ladder.iter() {
+        let fixed = machine.run(&cfg, &trace, pt);
+        let sched = machine.run_scheduled(
+            &cfg,
+            &trace,
+            &ladder,
+            &EdgeSchedule::uniform(&cfg, ModeId(m.index())),
+            &TransitionModel::free(),
+        );
+        assert!((fixed.total_time_us - sched.time_us).abs() < 1e-9 * fixed.total_time_us);
+        assert!(
+            (fixed.processor_energy_uj() - sched.processor_energy_uj).abs()
+                < 1e-9 * fixed.processor_energy_uj()
+        );
+        assert_eq!(sched.transitions, 0);
+    }
+}
