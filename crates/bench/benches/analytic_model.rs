@@ -1,8 +1,10 @@
-//! Criterion benchmarks for the analytical model: the continuous
-//! two-voltage optimization (numeric scan) and the discrete `Emin(y)`
-//! scan, which together generate the savings surfaces of Figs. 5–11.
+//! Manual benchmarks for the analytical model: the continuous two-voltage
+//! optimization (numeric scan) and the discrete `Emin(y)` scan, which
+//! together generate the savings surfaces of Figs. 5–11.
+//!
+//! Run with `cargo bench -p dvs-bench --bench analytic_model`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dvs_bench::timing::bench;
 use dvs_model::{ContinuousModel, DiscreteModel, ProgramParams};
 use dvs_vf::{AlphaPower, VoltageLadder};
 
@@ -15,28 +17,28 @@ fn memory_bound() -> ProgramParams {
     }
 }
 
-fn continuous_optimal(c: &mut Criterion) {
-    let m = ContinuousModel::paper();
-    let p = memory_bound();
-    c.bench_function("continuous_optimal", |bench| {
-        bench.iter(|| m.optimal(&p, 3000.0).expect("feasible"));
-    });
-}
-
-fn discrete_optimal(c: &mut Criterion) {
-    let ladder = VoltageLadder::interpolated(&AlphaPower::paper(), 7).expect("ladder");
-    let m = DiscreteModel::new(ladder);
-    let p = memory_bound();
-    c.bench_function("discrete_optimal_7_levels", |bench| {
-        bench.iter(|| m.optimal(&p, 3400.0).expect("feasible"));
-    });
-}
-
-fn savings_surface_row(c: &mut Criterion) {
-    let ladder = VoltageLadder::interpolated(&AlphaPower::paper(), 7).expect("ladder");
-    let m = DiscreteModel::new(ladder);
-    c.bench_function("fig9_surface_row", |bench| {
-        bench.iter(|| {
+fn main() {
+    {
+        let m = ContinuousModel::paper();
+        let p = memory_bound();
+        let r = bench("continuous_optimal", 20, 10, || {
+            m.optimal(&p, 3000.0).expect("feasible")
+        });
+        println!("{}", r.render());
+    }
+    {
+        let ladder = VoltageLadder::interpolated(&AlphaPower::paper(), 7).expect("ladder");
+        let m = DiscreteModel::new(ladder);
+        let p = memory_bound();
+        let r = bench("discrete_optimal_7_levels", 20, 10, || {
+            m.optimal(&p, 3400.0).expect("feasible")
+        });
+        println!("{}", r.render());
+    }
+    {
+        let ladder = VoltageLadder::interpolated(&AlphaPower::paper(), 7).expect("ladder");
+        let m = DiscreteModel::new(ladder);
+        let r = bench("fig9_surface_row", 20, 5, || {
             let mut acc = 0.0;
             for i in 0..17 {
                 let nov = 2.0e5 + 1.0e5 * f64::from(i);
@@ -50,8 +52,6 @@ fn savings_surface_row(c: &mut Criterion) {
             }
             acc
         });
-    });
+        println!("{}", r.render());
+    }
 }
-
-criterion_group!(benches, continuous_optimal, discrete_optimal, savings_surface_row);
-criterion_main!(benches);

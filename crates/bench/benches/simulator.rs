@@ -1,54 +1,77 @@
-//! Criterion benchmarks for the cycle-level simulator: instruction
-//! throughput of the fixed-frequency model and of the scheduled (DVS)
-//! executor.
+//! Manual benchmarks for the cycle-level simulator: instruction throughput
+//! of the fixed-frequency model and of the scheduled (DVS) executor, plus
+//! the observability-layer overhead check (disabled collection must not
+//! slow the sim hot loop measurably; the ISSUE budget is < 2%).
+//!
+//! Run with `cargo bench -p dvs-bench --bench simulator`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dvs_bench::timing::bench;
 use dvs_sim::{EdgeSchedule, Machine};
 use dvs_vf::{AlphaPower, ModeId, OperatingPoint, TransitionModel, VoltageLadder};
 use dvs_workloads::Benchmark;
 
-fn sim_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine_run");
-    group.sample_size(10);
+fn main() {
+    println!("machine_run (fixed frequency)");
     for b in [Benchmark::GsmEncode, Benchmark::Ghostscript] {
         let cfg = b.build_cfg();
         let mut input = b.default_input();
-        input.iterations = input.iterations / 4;
+        input.iterations /= 4;
         let trace = b.trace(&cfg, &input);
         let machine = Machine::paper_default();
         let insts = trace.dynamic_inst_count(&cfg);
-        group.throughput(Throughput::Elements(insts));
-        group.bench_with_input(BenchmarkId::from_parameter(b.name()), &trace, |bench, t| {
-            bench.iter(|| machine.run(&cfg, t, OperatingPoint::new(1.65, 800.0)));
+        let m = bench(b.name(), 10, 1, || {
+            machine.run(&cfg, &trace, OperatingPoint::new(1.65, 800.0))
         });
+        let minsts_per_s = insts as f64 / m.min_us;
+        println!("  {}   {minsts_per_s:.1} Minsts/s", m.render());
     }
-    group.finish();
-}
 
-fn scheduled_executor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine_run_scheduled");
-    group.sample_size(10);
-    let b = Benchmark::GsmEncode;
-    let cfg = b.build_cfg();
-    let mut input = b.default_input();
-    input.iterations /= 4;
-    let trace = b.trace(&cfg, &input);
-    let machine = Machine::paper_default();
-    let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
-    let tm = TransitionModel::with_capacitance_uf(0.05);
-    let mut schedule = EdgeSchedule::uniform(&cfg, ModeId(1));
-    // Force per-iteration switching to benchmark the worst case.
-    for e in cfg.edges() {
-        if e.src == e.dst {
-            schedule.edge_modes[e.id.index()] = ModeId(0);
+    println!("machine_run_scheduled (per-iteration mode switching)");
+    {
+        let b = Benchmark::GsmEncode;
+        let cfg = b.build_cfg();
+        let mut input = b.default_input();
+        input.iterations /= 4;
+        let trace = b.trace(&cfg, &input);
+        let machine = Machine::paper_default();
+        let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+        let tm = TransitionModel::with_capacitance_uf(0.05);
+        let mut schedule = EdgeSchedule::uniform(&cfg, ModeId(1));
+        // Force per-iteration switching to benchmark the worst case.
+        for e in cfg.edges() {
+            if e.src == e.dst {
+                schedule.edge_modes[e.id.index()] = ModeId(0);
+            }
         }
+        let m = bench("gsm_switchy", 10, 1, || {
+            machine.run_scheduled(&cfg, &trace, &ladder, &schedule, &tm)
+        });
+        println!("  {}", m.render());
     }
-    group.throughput(Throughput::Elements(trace.dynamic_inst_count(&cfg)));
-    group.bench_function("gsm_switchy", |bench| {
-        bench.iter(|| machine.run_scheduled(&cfg, &trace, &ladder, &schedule, &tm));
-    });
-    group.finish();
-}
 
-criterion_group!(benches, sim_throughput, scheduled_executor);
-criterion_main!(benches);
+    println!("obs overhead on the sim hot loop");
+    {
+        let b = Benchmark::GsmEncode;
+        let cfg = b.build_cfg();
+        let mut input = b.default_input();
+        input.iterations /= 4;
+        let trace = b.trace(&cfg, &input);
+        let machine = Machine::paper_default();
+        let point = OperatingPoint::new(1.65, 800.0);
+
+        dvs_obs::disable();
+        let disabled = bench("run_obs_disabled", 12, 1, || {
+            machine.run(&cfg, &trace, point)
+        });
+        dvs_obs::enable();
+        dvs_obs::reset();
+        let enabled = bench("run_obs_enabled", 12, 1, || {
+            machine.run(&cfg, &trace, point)
+        });
+        dvs_obs::disable();
+        println!("  {}", disabled.render());
+        println!("  {}", enabled.render());
+        let overhead = (enabled.min_us - disabled.min_us) / disabled.min_us * 100.0;
+        println!("  enabled-vs-disabled delta: {overhead:.2}% (budget for *disabled* is < 2%; disabled cost is one atomic load per run)");
+    }
+}

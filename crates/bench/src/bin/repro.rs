@@ -9,9 +9,12 @@
 //! ```
 //!
 //! Each report is printed to stdout and written to `results/<id>.txt` and
-//! `results/<id>.csv`.
+//! `results/<id>.csv`. A cross-experiment perf baseline (wall-clock plus
+//! pipeline metrics per experiment) lands in `results/stats.csv`.
 
-use dvs_bench::{run_experiment, Context, ALL_EXPERIMENTS};
+use dvs_bench::Report;
+use dvs_bench::{run_experiment, Context, ExperimentStats, ALL_EXPERIMENTS};
+use dvs_obs::MetricsSnapshot;
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
@@ -42,23 +45,37 @@ fn main() {
         std::process::exit(1);
     }
 
+    dvs_obs::enable();
     let mut ctx = Context::new();
     let mut failures = 0;
+    let mut stats: Vec<ExperimentStats> = Vec::new();
     for id in ids {
+        dvs_obs::reset();
         let t0 = Instant::now();
         match run_experiment(&mut ctx, id) {
             Ok(report) => {
+                let wall_s = t0.elapsed().as_secs_f64();
                 let text = report.render();
                 println!("{text}");
-                println!("   [{id} completed in {:.2} s]\n", t0.elapsed().as_secs_f64());
+                println!("   [{id} completed in {wall_s:.2} s]\n");
                 let _ = fs::write(out_dir.join(format!("{id}.txt")), &text);
                 let _ = fs::write(out_dir.join(format!("{id}.csv")), report.to_csv());
+                stats.push(ExperimentStats {
+                    id: id.to_string(),
+                    wall_s,
+                    metrics: MetricsSnapshot::capture(),
+                });
             }
             Err(e) => {
                 eprintln!("error: {e}");
                 failures += 1;
             }
         }
+    }
+    if !stats.is_empty() {
+        let harness = Report::harness_stats(&stats);
+        println!("{}", harness.render());
+        let _ = fs::write(out_dir.join("stats.csv"), harness.to_csv());
     }
     if failures > 0 {
         std::process::exit(1);

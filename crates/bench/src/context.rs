@@ -76,7 +76,10 @@ impl Context {
     /// A fresh context with the paper-default machine.
     #[must_use]
     pub fn new() -> Self {
-        Context { machine: Machine::paper_default(), benches: HashMap::new() }
+        Context {
+            machine: Machine::paper_default(),
+            benches: HashMap::new(),
+        }
     }
 
     /// The (cached) data for `benchmark`, building CFG, trace and deadline

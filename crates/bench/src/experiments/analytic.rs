@@ -14,12 +14,7 @@ fn wide_continuous() -> ContinuousModel {
     ContinuousModel::new(AlphaPower::paper(), 0.46, 8.0)
 }
 
-fn energy_curve(
-    id: &str,
-    title: &str,
-    p: ProgramParams,
-    t_deadline_us: f64,
-) -> Report {
+fn energy_curve(id: &str, title: &str, p: ProgramParams, t_deadline_us: f64) -> Report {
     let m = wide_continuous();
     let mut r = Report::new(id, title);
     r.note(format!(
@@ -116,7 +111,11 @@ fn surface_report(id: &str, title: &str, notes: &[String], surface: &Surface) ->
         ay,
         surface.fraction_above(0.01)
     ));
-    r.columns([surface.x.label.as_str(), surface.y.label.as_str(), "savings"]);
+    r.columns([
+        surface.x.label.as_str(),
+        surface.y.label.as_str(),
+        "savings",
+    ]);
     for (yi, row) in surface.z.iter().enumerate() {
         for (xi, &z) in row.iter().enumerate() {
             r.row([
@@ -150,7 +149,9 @@ pub fn fig5() -> Report {
     surface_report(
         "fig5",
         "Continuous case: savings vs (Noverlap, Ndependent)",
-        &[format!("Ncache={nc:.0} cycles, tdeadline={tdl} µs, tinvariant={tinv} µs")],
+        &[format!(
+            "Ncache={nc:.0} cycles, tdeadline={tdl} µs, tinvariant={tinv} µs"
+        )],
         &s,
     )
 }
@@ -176,7 +177,9 @@ pub fn fig6() -> Report {
     surface_report(
         "fig6",
         "Continuous case: savings vs (Ncache, tinvariant)",
-        &[format!("Noverlap={nov:.0}, Ndependent={nd:.0} cycles, tdeadline={tdl} µs")],
+        &[format!(
+            "Noverlap={nov:.0}, Ndependent={nd:.0} cycles, tdeadline={tdl} µs"
+        )],
         &s,
     )
 }
@@ -202,7 +205,9 @@ pub fn fig7() -> Report {
     surface_report(
         "fig7",
         "Continuous case: savings vs (tdeadline, Ncache)",
-        &[format!("Noverlap={nov:.0}, Ndependent={nd:.0} cycles, tinvariant={tinv} µs")],
+        &[format!(
+            "Noverlap={nov:.0}, Ndependent={nd:.0} cycles, tinvariant={tinv} µs"
+        )],
         &s,
     )
 }
@@ -218,7 +223,10 @@ pub fn fig8() -> Report {
         t_invariant_us: 2000.0,
     };
     let tdl = 3400.0;
-    let mut r = Report::new("fig8", "Discrete case: Emin(y) vs execution time y of Ncache");
+    let mut r = Report::new(
+        "fig8",
+        "Discrete case: Emin(y) vs execution time y of Ncache",
+    );
     r.note(format!(
         "7 voltage levels; Noverlap={:.0}, Ndependent={:.0}, Ncache={:.0}, tinv={} µs, tdeadline={tdl} µs",
         p.n_overlap, p.n_dependent, p.n_cache, p.t_invariant_us
@@ -238,6 +246,7 @@ pub fn fig8() -> Report {
     r
 }
 
+#[allow(clippy::too_many_arguments)] // one arg per sweep dimension; a struct would just rename them
 fn discrete_surface(
     id: &str,
     title: &str,
@@ -263,7 +272,9 @@ pub fn fig9() -> Report {
         "fig9",
         "Discrete case (7 levels): savings vs (Noverlap, Ndependent)",
         7,
-        vec![format!("Ncache={nc:.0} cycles, tdeadline={tdl} µs, tinvariant={tinv} µs")],
+        vec![format!(
+            "Ncache={nc:.0} cycles, tdeadline={tdl} µs, tinvariant={tinv} µs"
+        )],
         SweepAxis::linspace("Noverlap (cycles)", 2.0e5, 1.8e6, 17),
         SweepAxis::linspace("Ndependent (cycles)", 5.0e4, 1.5e6, 15),
         move |nov, nd| ProgramParams {
@@ -284,7 +295,9 @@ pub fn fig10() -> Report {
         "fig10",
         "Discrete case (7 levels): savings vs (Ncache, tinvariant)",
         7,
-        vec![format!("Noverlap={nov:.1e}, Ndependent={nd:.1e} cycles, tdeadline={tdl:.1e} µs")],
+        vec![format!(
+            "Noverlap={nov:.1e}, Ndependent={nd:.1e} cycles, tdeadline={tdl:.1e} µs"
+        )],
         SweepAxis::linspace("Ncache (cycles)", 5.0e5, 1.5e7, 15),
         SweepAxis::linspace("tinvariant (µs)", 500.0, 15000.0, 13),
         move |nc, tinv| ProgramParams {
@@ -305,7 +318,9 @@ pub fn fig11() -> Report {
         "fig11",
         "Discrete case (7 levels): savings vs (tdeadline, Ncache)",
         7,
-        vec![format!("Noverlap={nov:.1e}, Ndependent={nd:.1e} cycles, tinvariant={tinv} µs")],
+        vec![format!(
+            "Noverlap={nov:.1e}, Ndependent={nd:.1e} cycles, tinvariant={tinv} µs"
+        )],
         SweepAxis::linspace("tdeadline (µs)", 1.05e5, 2.6e5, 16),
         SweepAxis::linspace("Ncache (cycles)", 2.5e5, 1.5e6, 11),
         move |_, nc| ProgramParams {
@@ -333,9 +348,7 @@ pub fn table1(ctx: &mut Context) -> Report {
         "Analytical energy-saving ratios: benchmark × voltage levels × deadline",
     );
     r.note("program parameters extracted from cycle-level simulation (see table7)");
-    r.columns([
-        "benchmark", "levels", "D1", "D2", "D3", "D4", "D5",
-    ]);
+    r.columns(["benchmark", "levels", "D1", "D2", "D3", "D4", "D5"]);
     for b in Benchmark::table7_set() {
         let (_, runs) = ctx.profile_of(b, 3);
         let params = analyze_params(&runs);

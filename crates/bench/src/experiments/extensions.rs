@@ -35,8 +35,8 @@ pub fn paths(ctx: &mut Context) -> Report {
         let bd = ctx.bench(b);
         let bl = BallLarus::compute(&bd.cfg);
         let walk = bd.trace.walk();
-        let profile = PathProfile::from_walk(&bd.cfg, &bl, &walk)
-            .expect("benchmark traces are valid walks");
+        let profile =
+            PathProfile::from_walk(&bd.cfg, &bl, &walk).expect("benchmark traces are valid walks");
         let hottest = profile.hottest();
         let total = profile.total() as f64;
         let top3: u64 = hottest.iter().take(3).map(|&(_, c)| c).sum();
@@ -80,7 +80,10 @@ pub fn gating(ctx: &mut Context) -> Report {
     let pt = OperatingPoint::new(1.65, 800.0);
     let ungated_machine = Machine::new(
         SimConfig::default(),
-        EnergyModel { gating: ClockGating::Ungated, ..EnergyModel::default() },
+        EnergyModel {
+            gating: ClockGating::Ungated,
+            ..EnergyModel::default()
+        },
     );
     let gated_machine = ctx.machine.clone();
     for b in Benchmark::all() {
@@ -125,21 +128,13 @@ pub fn hoisting(ctx: &mut Context) -> Report {
         let comp = DvsCompiler::new(
             machine,
             ladder_of(3),
-            TransitionModel::with_capacitance_uf(scaled_capacitance_uf(
-                b,
-                bd.scheme.t_slow_us,
-            )),
+            TransitionModel::with_capacitance_uf(scaled_capacitance_uf(b, bd.scheme.t_slow_us)),
         );
         match comp.compile(&bd.cfg, &profile, bd.scheme.deadline_us(2)) {
             Ok(res) => {
-                let analysis =
-                    ScheduleAnalysis::new(&bd.cfg, &profile, &res.milp.schedule);
-                let (_, stats) = emit_instrumented(
-                    &bd.cfg,
-                    comp.ladder(),
-                    &res.milp.schedule,
-                    &analysis,
-                );
+                let analysis = ScheduleAnalysis::new(&bd.cfg, &profile, &res.milp.schedule);
+                let (_, stats) =
+                    emit_instrumented(&bd.cfg, comp.ladder(), &res.milp.schedule, &analysis);
                 let (bs, bt) = analysis.back_edge_summary();
                 r.row([
                     b.name().to_string(),
@@ -214,7 +209,13 @@ pub fn inputs(ctx: &mut Context) -> Report {
         "Schedule robustness across inputs: optimize on default, run on variants",
     );
     r.note("deadline = each input's own D3; times in µs; MISS marks a blown deadline");
-    r.columns(["benchmark", "input", "deadline", "time under default-opt schedule", "verdict"]);
+    r.columns([
+        "benchmark",
+        "input",
+        "deadline",
+        "time under default-opt schedule",
+        "verdict",
+    ]);
     for b in Benchmark::all() {
         let (profile, _) = ctx.profile_of(b, 3);
         let machine = ctx.machine.clone();
@@ -223,8 +224,7 @@ pub fn inputs(ctx: &mut Context) -> Report {
         let tm = TransitionModel::with_capacitance_uf(cap);
         let ladder = ladder_of(3);
         let Ok(out) =
-            MilpFormulation::new(&bd.cfg, &profile, &ladder, &tm, bd.scheme.deadline_us(3))
-                .solve()
+            MilpFormulation::new(&bd.cfg, &profile, &ladder, &tm, bd.scheme.deadline_us(3)).solve()
         else {
             r.row([b.name().to_string(), "-".into(), "infeasible".into()]);
             continue;
@@ -253,7 +253,7 @@ pub fn inputs(ctx: &mut Context) -> Report {
 #[must_use]
 pub fn stats(ctx: &mut Context) -> Report {
     let mut r = Report::new(
-        "stats",
+        "simstats",
         "Simulator statistics per benchmark (800 MHz reference run)",
     );
     r.columns([
@@ -313,7 +313,10 @@ pub fn prefetch(ctx: &mut Context) -> Report {
     let pt = OperatingPoint::new(1.65, 800.0);
     let base_machine = ctx.machine.clone();
     let pf_machine = Machine::new(
-        SimConfig { next_line_prefetch: true, ..SimConfig::default() },
+        SimConfig {
+            next_line_prefetch: true,
+            ..SimConfig::default()
+        },
         EnergyModel::default(),
     );
     for b in Benchmark::all() {

@@ -34,10 +34,8 @@ pub fn fig14(ctx: &mut Context) -> Report {
         let bd = ctx.bench(b);
         let deadline = bd.scheme.deadline_us(2);
         let ladder = ladder_of(3);
-        let tm = TransitionModel::with_capacitance_uf(scaled_capacitance_uf(
-            b,
-            bd.scheme.t_slow_us,
-        ));
+        let tm =
+            TransitionModel::with_capacitance_uf(scaled_capacitance_uf(b, bd.scheme.t_slow_us));
 
         let unfiltered = MilpFormulation::new(&bd.cfg, &profile, &ladder, &tm, deadline)
             .with_filter(EdgeFilter::identity(&bd.cfg))
@@ -74,16 +72,19 @@ pub fn table3(ctx: &mut Context) -> Report {
         "Energy consumption: MILP on all edges vs filtered subset (µJ)",
     );
     r.note("scale-typical c per benchmark (paper 10 µF x runtime ratio); deadline D2; deadlines met in both");
-    r.columns(["benchmark", "All:Energy (µJ)", "Subset:Energy (µJ)", "delta (%)"]);
+    r.columns([
+        "benchmark",
+        "All:Energy (µJ)",
+        "Subset:Energy (µJ)",
+        "delta (%)",
+    ]);
     for b in Benchmark::all() {
         let (profile, _) = ctx.profile_of(b, 3);
         let bd = ctx.bench(b);
         let deadline = bd.scheme.deadline_us(2);
         let ladder = ladder_of(3);
-        let tm = TransitionModel::with_capacitance_uf(scaled_capacitance_uf(
-            b,
-            bd.scheme.t_slow_us,
-        ));
+        let tm =
+            TransitionModel::with_capacitance_uf(scaled_capacitance_uf(b, bd.scheme.t_slow_us));
         let all = MilpFormulation::new(&bd.cfg, &profile, &ladder, &tm, deadline)
             .with_filter(EdgeFilter::identity(&bd.cfg))
             .solve();
@@ -93,9 +94,8 @@ pub fn table3(ctx: &mut Context) -> Report {
             .solve();
         match (all, sub) {
             (Ok(a), Ok(s)) => {
-                let delta =
-                    100.0 * (s.predicted_energy_uj - a.predicted_energy_uj)
-                        / a.predicted_energy_uj.max(1e-12);
+                let delta = 100.0 * (s.predicted_energy_uj - a.predicted_energy_uj)
+                    / a.predicted_energy_uj.max(1e-12);
                 r.row([
                     b.name().to_string(),
                     format!("{:.1}", a.predicted_energy_uj),
@@ -247,7 +247,11 @@ pub fn table6(ctx: &mut Context) -> Report {
             let (profile, _) = ctx.profile_of(b, levels);
             let machine = ctx.machine.clone();
             let bd = ctx.bench(b);
-            let comp = compiler(&machine, levels, scaled_capacitance_uf(b, bd.scheme.t_slow_us));
+            let comp = compiler(
+                &machine,
+                levels,
+                scaled_capacitance_uf(b, bd.scheme.t_slow_us),
+            );
             let mut cells = vec![b.name().to_string(), levels.to_string()];
             for i in 1..=5usize {
                 let deadline = bd.scheme.deadline_us(i);
@@ -288,10 +292,8 @@ pub fn ablation_block_vs_edge(ctx: &mut Context) -> Report {
         let bd = ctx.bench(b);
         let deadline = bd.scheme.deadline_us(2);
         let ladder = ladder_of(3);
-        let tm = TransitionModel::with_capacitance_uf(scaled_capacitance_uf(
-            b,
-            bd.scheme.t_slow_us,
-        ));
+        let tm =
+            TransitionModel::with_capacitance_uf(scaled_capacitance_uf(b, bd.scheme.t_slow_us));
         let edge = MilpFormulation::new(&bd.cfg, &profile, &ladder, &tm, deadline).solve();
         let block = MilpFormulation::new(&bd.cfg, &profile, &ladder, &tm, deadline)
             .with_granularity(Granularity::Block)
@@ -308,10 +310,11 @@ pub fn ablation_block_vs_edge(ctx: &mut Context) -> Report {
             let mut e = 0.0;
             for edge in bd.cfg.edges() {
                 let m = s.edge_modes[edge.id.index()].index();
-                e += profile.edge_count(edge.id) as f64
-                    * profile.block_cost(edge.dst, m).energy_uj;
+                e += profile.edge_count(edge.id) as f64 * profile.block_cost(edge.dst, m).energy_uj;
             }
-            e += profile.block_cost(bd.cfg.entry(), s.initial.index()).energy_uj
+            e += profile
+                .block_cost(bd.cfg.entry(), s.initial.index())
+                .energy_uj
                 * profile.block_count(bd.cfg.entry()) as f64;
             format!("{e:.1}")
         });

@@ -20,10 +20,7 @@ pub fn fig19(ctx: &mut Context) -> Report {
     // Scale-typical capacitance for mpeg (see context::scaled_capacitance_uf).
     let probe_trace = b.trace(&cfg, &mpeg_input(MpegInput::Flwr).spec());
     let probe_scheme = dvs_compiler::DeadlineScheme::measure(&machine, &cfg, &probe_trace);
-    let tm = TransitionModel::with_capacitance_uf(scaled_capacitance_uf(
-        b,
-        probe_scheme.t_slow_us,
-    ));
+    let tm = TransitionModel::with_capacitance_uf(scaled_capacitance_uf(b, probe_scheme.t_slow_us));
     let profiler = ModeProfiler::new(machine.clone());
 
     // Traces, profiles and deadline schemes per input.
@@ -70,8 +67,7 @@ pub fn fig19(ctx: &mut Context) -> Report {
             (0.5, &profiles[MpegInput::Flwr.name()]),
             (0.5, &profiles[MpegInput::Bbc.name()]),
         ]);
-        let d = deadlines[MpegInput::Flwr.name()]
-            .min(deadlines[MpegInput::Bbc.name()]);
+        let d = deadlines[MpegInput::Flwr.name()].min(deadlines[MpegInput::Bbc.name()]);
         dvs_compiler::MilpFormulation::new(&cfg, &merged, &ladder, &tm, d)
             .solve()
             .ok()

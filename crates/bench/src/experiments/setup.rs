@@ -13,11 +13,26 @@ pub fn table2() -> Report {
     r.columns(["parameter", "value"]);
     r.row(["RUU size", &format!("{} instructions", c.ruu_size)]);
     r.row(["LSQ size", &format!("{} instructions", c.lsq_size)]);
-    r.row(["Fetch queue size", &format!("{} instructions", c.fetch_queue)]);
-    r.row(["Fetch width", &format!("{} instructions/cycle", c.fetch_width)]);
-    r.row(["Decode width", &format!("{} instructions/cycle", c.decode_width)]);
-    r.row(["Issue width", &format!("{} instructions/cycle", c.issue_width)]);
-    r.row(["Commit width", &format!("{} instructions/cycle", c.commit_width)]);
+    r.row([
+        "Fetch queue size",
+        &format!("{} instructions", c.fetch_queue),
+    ]);
+    r.row([
+        "Fetch width",
+        &format!("{} instructions/cycle", c.fetch_width),
+    ]);
+    r.row([
+        "Decode width",
+        &format!("{} instructions/cycle", c.decode_width),
+    ]);
+    r.row([
+        "Issue width",
+        &format!("{} instructions/cycle", c.issue_width),
+    ]);
+    r.row([
+        "Commit width",
+        &format!("{} instructions/cycle", c.commit_width),
+    ]);
     r.row([
         "Functional units".to_string(),
         format!(
@@ -37,7 +52,10 @@ pub fn table2() -> Report {
     ]);
     r.row([
         "BTB".to_string(),
-        format!("{}-entry, {}-way", c.predictor.btb_entries, c.predictor.btb_ways),
+        format!(
+            "{}-entry, {}-way",
+            c.predictor.btb_entries, c.predictor.btb_ways
+        ),
     ]);
     r.row([
         "L1 data cache".to_string(),
@@ -66,7 +84,10 @@ pub fn table2() -> Report {
     ]);
     r.row([
         "Main memory".to_string(),
-        format!("asynchronous, {} ns service time", c.mem_latency_us * 1000.0),
+        format!(
+            "asynchronous, {} ns service time",
+            c.mem_latency_us * 1000.0
+        ),
     ]);
     r
 }
@@ -81,7 +102,15 @@ pub fn table4(ctx: &mut Context) -> Report {
     );
     r.note("the paper's Table 4 is in ms on unscaled inputs; shapes (ratios, orderings) match");
     r.columns([
-        "benchmark", "t@200MHz", "t@600MHz", "t@800MHz", "D1", "D2", "D3", "D4", "D5",
+        "benchmark",
+        "t@200MHz",
+        "t@600MHz",
+        "t@800MHz",
+        "D1",
+        "D2",
+        "D3",
+        "D4",
+        "D5",
     ]);
     for b in Benchmark::all() {
         let s = ctx.bench(b).scheme;

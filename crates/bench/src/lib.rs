@@ -21,15 +21,17 @@
 mod context;
 pub mod experiments;
 mod report;
+pub mod timing;
 
 pub use context::{paper_t200_us, scaled_capacitance_uf, BenchData, Context};
-pub use report::Report;
+pub use report::{ExperimentStats, Report};
 
 /// All experiment ids in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1",
-    "table2", "fig14", "table3", "fig15", "table4", "fig17", "fig18", "table5", "fig19",
-    "table6", "table7", "ablation", "paths", "gating", "hoisting", "hopping", "inputs", "stats", "prefetch",
+    "table2", "fig14", "table3", "fig15", "table4", "fig17", "fig18", "table5", "fig19", "table6",
+    "table7", "ablation", "paths", "gating", "hoisting", "hopping", "inputs", "simstats",
+    "prefetch",
 ];
 
 /// Runs one experiment by id.
@@ -68,7 +70,7 @@ pub fn run_experiment(ctx: &mut Context, id: &str) -> Result<Report, String> {
         "hoisting" => Ok(experiments::extensions::hoisting(ctx)),
         "hopping" => Ok(experiments::extensions::interval_hopping(ctx)),
         "inputs" => Ok(experiments::extensions::inputs(ctx)),
-        "stats" => Ok(experiments::extensions::stats(ctx)),
+        "simstats" => Ok(experiments::extensions::stats(ctx)),
         "prefetch" => Ok(experiments::extensions::prefetch(ctx)),
         other => Err(format!("unknown experiment id `{other}`")),
     }

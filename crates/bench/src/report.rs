@@ -1,4 +1,30 @@
+use dvs_obs::MetricsSnapshot;
 use std::fmt::Write as _;
+
+/// Wall-clock time plus the observability snapshot for one experiment run
+/// under the `repro` harness.
+#[derive(Debug, Clone)]
+pub struct ExperimentStats {
+    /// Experiment id (`"table6"`, `"fig15"`, ...).
+    pub id: String,
+    /// Wall-clock seconds the experiment took.
+    pub wall_s: f64,
+    /// Metrics accumulated while the experiment ran (the harness resets
+    /// the collector between experiments, so these are per-experiment
+    /// deltas).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Counter columns carried into the harness stats report, in order.
+const STAT_COUNTERS: &[&str] = &[
+    "sim.runs",
+    "sim.cycles",
+    "milp.solves",
+    "milp.pivots",
+    "milp.bnb_nodes",
+    "filter.edges_tied",
+    "emit.mode_switches",
+];
 
 /// A titled experiment result: header lines plus an aligned table.
 #[derive(Debug, Clone)]
@@ -90,6 +116,37 @@ impl Report {
         s
     }
 
+    /// Builds the cross-experiment harness report: one row per experiment
+    /// with its wall-clock time and headline pipeline counters, giving the
+    /// bench trajectory a perf baseline (written to `results/stats.csv`).
+    #[must_use]
+    pub fn harness_stats(rows: &[ExperimentStats]) -> Report {
+        let mut r = Report::new(
+            "stats",
+            "Per-experiment wall-clock and pipeline metrics (repro harness)",
+        );
+        r.note("counters are per-experiment deltas; wall_s is harness wall-clock");
+        let mut cols = vec!["experiment".to_string(), "wall_s".to_string()];
+        cols.extend(STAT_COUNTERS.iter().map(|c| (*c).to_string()));
+        cols.push("milp.wall_us".to_string());
+        r.columns(cols);
+        for e in rows {
+            let mut cells = vec![e.id.clone(), format!("{:.3}", e.wall_s)];
+            cells.extend(
+                STAT_COUNTERS
+                    .iter()
+                    .map(|c| e.metrics.counter(c).to_string()),
+            );
+            cells.push(
+                e.metrics
+                    .gauge("pass.solve.wall_us")
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+            );
+            r.rows.push(cells);
+        }
+        r
+    }
+
     /// Renders a CSV form (notes as `#` comments).
     #[must_use]
     pub fn to_csv(&self) -> String {
@@ -106,7 +163,11 @@ impl Report {
             }
         };
         if !self.columns.is_empty() {
-            let _ = writeln!(s, "{}", self.columns.iter().map(esc).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                s,
+                "{}",
+                self.columns.iter().map(esc).collect::<Vec<_>>().join(",")
+            );
         }
         for r in &self.rows {
             let _ = writeln!(s, "{}", r.iter().map(esc).collect::<Vec<_>>().join(","));
@@ -134,6 +195,30 @@ mod tests {
         // Aligned: both value cells end at the same column.
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn harness_stats_has_one_row_per_experiment() {
+        let rows = vec![
+            ExperimentStats {
+                id: "table6".into(),
+                wall_s: 1.25,
+                metrics: MetricsSnapshot::default(),
+            },
+            ExperimentStats {
+                id: "fig15".into(),
+                wall_s: 0.5,
+                metrics: MetricsSnapshot::default(),
+            },
+        ];
+        let r = Report::harness_stats(&rows);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns[0], "experiment");
+        assert!(r.columns.iter().any(|c| c == "sim.cycles"));
+        assert!(r.columns.iter().any(|c| c == "milp.pivots"));
+        let csv = r.to_csv();
+        assert!(csv.contains("table6,1.250"));
+        assert!(csv.contains("fig15,0.500"));
     }
 
     #[test]

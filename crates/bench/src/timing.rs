@@ -1,0 +1,74 @@
+//! Minimal manual benchmark harness used by the `benches/` targets (the
+//! container has no external benchmark framework available).
+//!
+//! Methodology: a few warm-up runs, then `samples` timed batches of
+//! `iters_per_sample` calls each; the reported statistic is the **minimum**
+//! batch mean, which is the standard low-noise estimator for short
+//! deterministic workloads.
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Minimum per-call wall time across batches, in µs.
+    pub min_us: f64,
+    /// Mean per-call wall time across batches, in µs.
+    pub mean_us: f64,
+    /// Total calls timed.
+    pub calls: u64,
+}
+
+impl Measurement {
+    /// `name: min X µs, mean Y µs (N calls)` — one line per measurement.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<32} min {:>12.3} µs   mean {:>12.3} µs   ({} calls)",
+            self.name, self.min_us, self.mean_us, self.calls
+        )
+    }
+}
+
+/// Times `f`, returning per-call statistics. The closure's return value is
+/// folded into a black-box sink so the optimizer cannot elide the work.
+pub fn bench<T>(
+    name: &str,
+    samples: usize,
+    iters_per_sample: u64,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    // Warm-up: populate caches, fault in pages.
+    for _ in 0..2 {
+        sink(&f());
+    }
+    let mut batch_means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            sink(&f());
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        batch_means.push(us / iters_per_sample as f64);
+    }
+    let min_us = batch_means.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_us = batch_means.iter().sum::<f64>() / batch_means.len() as f64;
+    Measurement {
+        name: name.to_owned(),
+        min_us,
+        mean_us,
+        calls: samples as u64 * iters_per_sample,
+    }
+}
+
+/// An opaque read of `v` the optimizer must assume is observed.
+pub fn sink<T>(v: &T) {
+    // A volatile-ish read through a raw pointer would need unsafe; instead
+    // route the reference through a function whose body the optimizer cannot
+    // see into from the caller's perspective.
+    #[inline(never)]
+    fn opaque<T>(_: &T) {}
+    opaque(v);
+}

@@ -21,8 +21,8 @@ pub fn analyze_params(runs: &[RunStats]) -> ProgramParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvs_sim::{Machine, TraceBuilder};
     use dvs_ir::{CfgBuilder, Inst, MemWidth, Opcode, Reg};
+    use dvs_sim::{Machine, TraceBuilder};
     use dvs_vf::OperatingPoint;
 
     #[test]

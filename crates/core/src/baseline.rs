@@ -81,9 +81,12 @@ pub fn hsu_kremer(
     'base: for base in ladder.modes() {
         let mut total = 0.0;
         for b in cfg.blocks() {
-            let m = if memory_bound[b.id.index()] { ModeId(slow) } else { base };
-            total += profile.block_cost(b.id, m.index()).time_us
-                * profile.block_count(b.id) as f64;
+            let m = if memory_bound[b.id.index()] {
+                ModeId(slow)
+            } else {
+                base
+            };
+            total += profile.block_cost(b.id, m.index()).time_us * profile.block_count(b.id) as f64;
             if total > deadline_us {
                 continue 'base;
             }
@@ -91,10 +94,23 @@ pub fn hsu_kremer(
         // Build the edge schedule: each edge adopts its destination mode.
         let edge_modes = cfg
             .edges()
-            .map(|e| if memory_bound[e.dst.index()] { ModeId(slow) } else { base })
+            .map(|e| {
+                if memory_bound[e.dst.index()] {
+                    ModeId(slow)
+                } else {
+                    base
+                }
+            })
             .collect();
-        let initial = if memory_bound[cfg.entry().index()] { ModeId(slow) } else { base };
-        return Some(EdgeSchedule { initial, edge_modes });
+        let initial = if memory_bound[cfg.entry().index()] {
+            ModeId(slow)
+        } else {
+            base
+        };
+        return Some(EdgeSchedule {
+            initial,
+            edge_modes,
+        });
     }
     None
 }
@@ -132,15 +148,36 @@ mod tests {
         assert!(pb.record_walk(&cfg, &walk));
         // hot: pure compute, scales 4x from 200 to 800 MHz.
         for (m, t) in [(0usize, 40.0), (1, 13.3), (2, 10.0)] {
-            pb.set_block_cost(hot, m, BlockModeCost { time_us: t, energy_uj: t * 0.5 });
+            pb.set_block_cost(
+                hot,
+                m,
+                BlockModeCost {
+                    time_us: t,
+                    energy_uj: t * 0.5,
+                },
+            );
         }
         // membound: time barely changes with mode.
         for (m, t) in [(0usize, 22.0), (1, 20.5), (2, 20.0)] {
-            pb.set_block_cost(mem, m, BlockModeCost { time_us: t, energy_uj: 5.0 });
+            pb.set_block_cost(
+                mem,
+                m,
+                BlockModeCost {
+                    time_us: t,
+                    energy_uj: 5.0,
+                },
+            );
         }
         for blk in [e, x] {
             for m in 0..3 {
-                pb.set_block_cost(blk, m, BlockModeCost { time_us: 0.0, energy_uj: 0.0 });
+                pb.set_block_cost(
+                    blk,
+                    m,
+                    BlockModeCost {
+                        time_us: 0.0,
+                        energy_uj: 0.0,
+                    },
+                );
             }
         }
         (cfg, pb.finish())
@@ -323,12 +360,19 @@ mod lee_sakurai_tests {
         let cfg = b.finish(e, x).unwrap();
         let mut pb = ProfileBuilder::new(&cfg, 3);
         let mut walk = vec![e];
-        walk.extend(std::iter::repeat(w).take(100));
+        walk.extend(std::iter::repeat_n(w, 100));
         walk.push(x);
         assert!(pb.record_walk(&cfg, &walk));
         // work: pure compute — time scales exactly with frequency.
         for (m, t, en) in [(0usize, 4.0, 0.49), (1, 4.0 / 3.0, 1.69), (2, 1.0, 2.7225)] {
-            pb.set_block_cost(w, m, BlockModeCost { time_us: t, energy_uj: en });
+            pb.set_block_cost(
+                w,
+                m,
+                BlockModeCost {
+                    time_us: t,
+                    energy_uj: en,
+                },
+            );
         }
         pb.finish()
     }

@@ -1,5 +1,5 @@
-use dvs_sim::{Machine, Trace};
 use dvs_ir::Cfg;
+use dvs_sim::{Machine, Trace};
 use dvs_vf::OperatingPoint;
 
 /// The paper's Fig. 16 deadline-selection scheme.
@@ -50,7 +50,11 @@ impl DeadlineScheme {
     /// Builds the scheme from known runtimes (µs).
     #[must_use]
     pub fn from_times(t_slow_us: f64, t_mid_us: f64, t_fast_us: f64) -> Self {
-        DeadlineScheme { t_slow_us, t_mid_us, t_fast_us }
+        DeadlineScheme {
+            t_slow_us,
+            t_mid_us,
+            t_fast_us,
+        }
     }
 
     /// The five deadlines, most stringent first (`[D1, D2, D3, D4, D5]`).
@@ -104,11 +108,31 @@ mod tests {
         let s = DeadlineScheme::from_times(557_600.0, 187_300.0, 141_000.0);
         let d = s.deadlines_us();
         // Paper picks (ms): 151, 181, 190, 300, 557.6. Same ballpark:
-        assert!((d[0] / 1000.0 - 151.0).abs() < 10.0, "D1 = {}", d[0] / 1000.0);
-        assert!((d[1] / 1000.0 - 181.0).abs() < 10.0, "D2 = {}", d[1] / 1000.0);
-        assert!((d[2] / 1000.0 - 190.0).abs() < 10.0, "D3 = {}", d[2] / 1000.0);
-        assert!((d[3] / 1000.0 - 300.0).abs() < 15.0, "D4 = {}", d[3] / 1000.0);
-        assert!((d[4] / 1000.0 - 549.2).abs() < 1.0, "D5 = {}", d[4] / 1000.0);
+        assert!(
+            (d[0] / 1000.0 - 151.0).abs() < 10.0,
+            "D1 = {}",
+            d[0] / 1000.0
+        );
+        assert!(
+            (d[1] / 1000.0 - 181.0).abs() < 10.0,
+            "D2 = {}",
+            d[1] / 1000.0
+        );
+        assert!(
+            (d[2] / 1000.0 - 190.0).abs() < 10.0,
+            "D3 = {}",
+            d[2] / 1000.0
+        );
+        assert!(
+            (d[3] / 1000.0 - 300.0).abs() < 15.0,
+            "D4 = {}",
+            d[3] / 1000.0
+        );
+        assert!(
+            (d[4] / 1000.0 - 549.2).abs() < 1.0,
+            "D5 = {}",
+            d[4] / 1000.0
+        );
     }
 
     #[test]

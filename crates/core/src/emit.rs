@@ -75,8 +75,8 @@ pub fn emit_instrumented(
                 let _ = writeln!(out, "    ; -> {dst} (mode-set elided: always silent)");
             } else {
                 emitted += 1;
-                let is_critical = cfg.out_edges(edge.src).count() > 1
-                    && cfg.in_edges(edge.dst).count() > 1;
+                let is_critical =
+                    cfg.out_edges(edge.src).count() > 1 && cfg.in_edges(edge.dst).count() > 1;
                 if is_critical {
                     critical += 1;
                 }
@@ -84,7 +84,11 @@ pub fn emit_instrumented(
                     out,
                     "    -> {dst}: set_mode {}{}",
                     point(schedule.edge_modes[e.index()]),
-                    if is_critical { "  ; critical edge: needs a split block" } else { "" }
+                    if is_critical {
+                        "  ; critical edge: needs a split block"
+                    } else {
+                        ""
+                    }
                 );
             }
         }
@@ -126,9 +130,12 @@ pub fn schedule_to_dot(
     }
     for e in cfg.edges() {
         let mode = schedule.edge_modes[e.id.index()];
-        let color = COLORS[mode.index() * COLORS.len() / ladder.len().max(1)
-            % COLORS.len()];
-        let style = if analysis.is_silent(e.id) { "dashed" } else { "solid" };
+        let color = COLORS[mode.index() * COLORS.len() / ladder.len().max(1) % COLORS.len()];
+        let style = if analysis.is_silent(e.id) {
+            "dashed"
+        } else {
+            "solid"
+        };
         let _ = writeln!(
             s,
             "  {} -> {} [color=\"{color}\" style={style} label=\"{:.0}MHz\"];",
@@ -172,7 +179,14 @@ mod tests {
         assert!(pb.record_walk(&cfg, &walk));
         for blk in [e, h, body, x] {
             for m in 0..3 {
-                pb.set_block_cost(blk, m, BlockModeCost { time_us: 1.0, energy_uj: 1.0 });
+                pb.set_block_cost(
+                    blk,
+                    m,
+                    BlockModeCost {
+                        time_us: 1.0,
+                        energy_uj: 1.0,
+                    },
+                );
             }
         }
         let profile = pb.finish();
@@ -263,7 +277,14 @@ mod critical_edge_tests {
         pb.record_walk(&cfg, &[e, b, x]);
         for blk in [e, a, b, x] {
             for m in 0..2 {
-                pb.set_block_cost(blk, m, BlockModeCost { time_us: 1.0, energy_uj: 1.0 });
+                pb.set_block_cost(
+                    blk,
+                    m,
+                    BlockModeCost {
+                        time_us: 1.0,
+                        energy_uj: 1.0,
+                    },
+                );
             }
         }
         let profile = pb.finish();

@@ -63,9 +63,7 @@ impl EdgeFilter {
             if !filtered[e.id.index()] {
                 continue;
             }
-            let hottest = cfg
-                .in_edges(e.src)
-                .max_by_key(|&ie| profile.edge_count(ie));
+            let hottest = cfg.in_edges(e.src).max_by_key(|&ie| profile.edge_count(ie));
             if let Some(h) = hottest {
                 rep[e.id.index()] = h;
             }
@@ -85,6 +83,10 @@ impl EdgeFilter {
             rep[e] = cur;
         }
         let independent = (0..n).filter(|&e| rep[e] == EdgeId(e)).count();
+        if dvs_obs::enabled() {
+            dvs_obs::counter("filter.edges_tied", (n - independent) as u64);
+            dvs_obs::gauge("filter.independent_edges", independent as f64);
+        }
         EdgeFilter { rep, independent }
     }
 
@@ -136,7 +138,14 @@ mod tests {
         }
         pb.record_walk(&cfg, &[e, cold, x]);
         for blk in [e, a, cold, x] {
-            pb.set_block_cost(blk, 0, BlockModeCost { time_us: 1.0, energy_uj: 1.0 });
+            pb.set_block_cost(
+                blk,
+                0,
+                BlockModeCost {
+                    time_us: 1.0,
+                    energy_uj: 1.0,
+                },
+            );
         }
         (cfg, pb.finish())
     }
@@ -184,10 +193,7 @@ mod tests {
         let (cfg, p) = setup();
         let f = EdgeFilter::tail_rule(&cfg, &p, 0, 1.1);
         // Edges out of the entry block cannot be tied; everything else can.
-        let tied = cfg
-            .edges()
-            .filter(|e| !f.is_independent(e.id))
-            .count();
+        let tied = cfg.edges().filter(|e| !f.is_independent(e.id)).count();
         assert!(tied >= 2, "tied {tied}");
         // Chains resolve to independent representatives.
         for e in cfg.edges() {

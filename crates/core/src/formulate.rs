@@ -126,6 +126,8 @@ impl<'a> MilpFormulation<'a> {
     /// [`MilpError::Infeasible`] when no assignment meets the deadline, or
     /// solver resource errors.
     pub fn solve(&self) -> Result<MilpOutcome, MilpError> {
+        let formulate_span = dvs_obs::span!("pass.formulate");
+        let build_start = Instant::now();
         let n_modes = self.ladder.len();
         let mut model = Model::new(Sense::Minimize);
 
@@ -146,7 +148,9 @@ impl<'a> MilpFormulation<'a> {
                 groups[r.index()] = Some(GroupVars { k });
             }
         }
-        let start: Vec<Var> = (0..n_modes).map(|m| model.bool_var(format!("k_start_{m}"))).collect();
+        let start: Vec<Var> = (0..n_modes)
+            .map(|m| model.bool_var(format!("k_start_{m}")))
+            .collect();
         {
             let mut sum = LinExpr::zero();
             for &v in &start {
@@ -255,9 +259,24 @@ impl<'a> MilpFormulation<'a> {
                 x
             });
 
+        if dvs_obs::enabled() {
+            dvs_obs::gauge("milp.num_vars", model.num_vars() as f64);
+            dvs_obs::gauge("milp.num_binary_vars", binary_vars as f64);
+            dvs_obs::gauge("milp.num_constraints", constraints as f64);
+            dvs_obs::gauge(
+                "pass.formulate.wall_us",
+                build_start.elapsed().as_secs_f64() * 1e6,
+            );
+        }
+        drop(formulate_span);
+
         let t0 = Instant::now();
-        let sol = solve_seeded(&model, &BranchConfig::default(), warm.as_deref())?;
+        let sol = {
+            let _span = dvs_obs::span!("pass.solve");
+            solve_seeded(&model, &BranchConfig::default(), warm.as_deref())?
+        };
         let solve_time = t0.elapsed();
+        dvs_obs::gauge("pass.solve.wall_us", solve_time.as_secs_f64() * 1e6);
 
         // --- extract the schedule ---
         let pick = |ks: &[Var]| -> ModeId {
@@ -272,12 +291,11 @@ impl<'a> MilpFormulation<'a> {
             }
             ModeId(best)
         };
-        let edge_modes: Vec<ModeId> = self
-            .cfg
-            .edges()
-            .map(|e| pick(kvars(Some(e.id))))
-            .collect();
-        let schedule = EdgeSchedule { initial: pick(&start), edge_modes };
+        let edge_modes: Vec<ModeId> = self.cfg.edges().map(|e| pick(kvars(Some(e.id)))).collect();
+        let schedule = EdgeSchedule {
+            initial: pick(&start),
+            edge_modes,
+        };
 
         Ok(MilpOutcome {
             schedule,

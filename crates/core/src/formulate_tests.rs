@@ -22,13 +22,48 @@ fn setup() -> (Cfg, Profile) {
     let cfg = bld.finish(e, x).expect("valid");
     let mut pb = ProfileBuilder::new(&cfg, 2);
     assert!(pb.record_walk(&cfg, &[e, a, b, x]));
-    pb.set_block_cost(a, 0, BlockModeCost { time_us: 10.0, energy_uj: 1.0 });
-    pb.set_block_cost(a, 1, BlockModeCost { time_us: 5.0, energy_uj: 4.0 });
-    pb.set_block_cost(b, 0, BlockModeCost { time_us: 20.0, energy_uj: 2.0 });
-    pb.set_block_cost(b, 1, BlockModeCost { time_us: 10.0, energy_uj: 8.0 });
+    pb.set_block_cost(
+        a,
+        0,
+        BlockModeCost {
+            time_us: 10.0,
+            energy_uj: 1.0,
+        },
+    );
+    pb.set_block_cost(
+        a,
+        1,
+        BlockModeCost {
+            time_us: 5.0,
+            energy_uj: 4.0,
+        },
+    );
+    pb.set_block_cost(
+        b,
+        0,
+        BlockModeCost {
+            time_us: 20.0,
+            energy_uj: 2.0,
+        },
+    );
+    pb.set_block_cost(
+        b,
+        1,
+        BlockModeCost {
+            time_us: 10.0,
+            energy_uj: 8.0,
+        },
+    );
     for blk in [e, x] {
         for m in 0..2 {
-            pb.set_block_cost(blk, m, BlockModeCost { time_us: 0.0, energy_uj: 0.0 });
+            pb.set_block_cost(
+                blk,
+                m,
+                BlockModeCost {
+                    time_us: 0.0,
+                    energy_uj: 0.0,
+                },
+            );
         }
     }
     (cfg, pb.finish())
@@ -59,7 +94,11 @@ mod tests {
         let out = MilpFormulation::new(&cfg, &profile, &ladder, &free, 25.0)
             .solve()
             .expect("feasible");
-        assert!((out.predicted_energy_uj - 6.0).abs() < 1e-6, "E = {}", out.predicted_energy_uj);
+        assert!(
+            (out.predicted_energy_uj - 6.0).abs() < 1e-6,
+            "E = {}",
+            out.predicted_energy_uj
+        );
         assert!((out.predicted_time_us - 25.0).abs() < 1e-6);
         let a = cfg.block_by_label("a").expect("a");
         let b = cfg.block_by_label("b").expect("b");
@@ -124,7 +163,10 @@ mod tests {
         // With all edges tied to the entry chain, only uniform schedules
         // remain: all-fast (15 µs / 12 µJ) is the single feasible one.
         assert!(out.predicted_time_us <= 25.0 + 1e-9);
-        assert!(out.predicted_energy_uj >= 6.0, "cannot beat the unfiltered optimum");
+        assert!(
+            out.predicted_energy_uj >= 6.0,
+            "cannot beat the unfiltered optimum"
+        );
     }
 
     #[test]
@@ -142,7 +184,11 @@ mod tests {
             .solve()
             .expect("still feasible");
         assert_eq!(out.schedule.edge_modes[e_a.index()], ModeId(0));
-        assert!((out.predicted_energy_uj - 9.0).abs() < 1e-6, "E = {}", out.predicted_energy_uj);
+        assert!(
+            (out.predicted_energy_uj - 9.0).abs() < 1e-6,
+            "E = {}",
+            out.predicted_energy_uj
+        );
         // Pinning both blocks slow is infeasible at this deadline.
         let b = cfg.block_by_label("b").expect("b");
         let e_b = cfg.in_edges(b).next().expect("edge into b");
@@ -179,11 +225,25 @@ mod tests {
         let mut pb = ProfileBuilder::new(&cfg, 3);
         assert!(pb.record_walk(&cfg, &[e, a, x]));
         for (m, t, en) in [(0usize, 40.0, 4.9), (1, 13.3, 16.9), (2, 10.0, 27.2)] {
-            pb.set_block_cost(a, m, BlockModeCost { time_us: t, energy_uj: en });
+            pb.set_block_cost(
+                a,
+                m,
+                BlockModeCost {
+                    time_us: t,
+                    energy_uj: en,
+                },
+            );
         }
         for blk in [e, x] {
             for m in 0..3 {
-                pb.set_block_cost(blk, m, BlockModeCost { time_us: 0.0, energy_uj: 0.0 });
+                pb.set_block_cost(
+                    blk,
+                    m,
+                    BlockModeCost {
+                        time_us: 0.0,
+                        energy_uj: 0.0,
+                    },
+                );
             }
         }
         let profile = pb.finish();

@@ -80,11 +80,11 @@ mod pass;
 mod schedule;
 
 pub use analyze::analyze_params;
+pub use baseline::{lee_sakurai, LeeSakurai};
 pub use deadline::DeadlineScheme;
 pub use emit::{emit_instrumented, schedule_to_dot, EmitStats};
 pub use filter::EdgeFilter;
 pub use formulate::{Granularity, MilpFormulation, MilpOutcome};
 pub use multi::{CategoryProfile, MultiCategory, MultiOutcome};
-pub use baseline::{lee_sakurai, LeeSakurai};
 pub use pass::{CompileResult, DvsCompiler};
 pub use schedule::ScheduleAnalysis;

@@ -90,8 +90,7 @@ impl<'a> MultiCategory<'a> {
         let n_modes = self.ladder.len();
         let mut model = Model::new(Sense::Minimize);
 
-        let mut groups: Vec<Option<Vec<Var>>> =
-            (0..self.cfg.num_edges()).map(|_| None).collect();
+        let mut groups: Vec<Option<Vec<Var>>> = (0..self.cfg.num_edges()).map(|_| None).collect();
         for e in self.cfg.edges() {
             let r = self.filter.rep(e.id);
             if groups[r.index()].is_none() {
@@ -216,12 +215,11 @@ impl<'a> MultiCategory<'a> {
             }
             ModeId(best)
         };
-        let edge_modes = self
-            .cfg
-            .edges()
-            .map(|e| pick(kvars(Some(e.id))))
-            .collect();
-        let schedule = EdgeSchedule { initial: pick(&start), edge_modes };
+        let edge_modes = self.cfg.edges().map(|e| pick(kvars(Some(e.id)))).collect();
+        let schedule = EdgeSchedule {
+            initial: pick(&start),
+            edge_modes,
+        };
         let predicted_times_us = time_exprs.iter().map(|t| t.eval(&sol.values)).collect();
 
         Ok(MultiOutcome {

@@ -4,6 +4,20 @@ use dvs_milp::MilpError;
 use dvs_sim::{Machine, ModeProfiler, RunStats, ScheduledRun, Trace};
 use dvs_vf::{TransitionModel, VoltageLadder};
 
+/// Runs `f` under a named span and records its wall time as a
+/// `pass.<stage>.wall_us` gauge. Costs one atomic load when observability
+/// is disabled.
+fn timed<T>(span_name: &'static str, gauge_name: &'static str, f: impl FnOnce() -> T) -> T {
+    if !dvs_obs::enabled() {
+        return f();
+    }
+    let _span = dvs_obs::span(span_name);
+    let start = std::time::Instant::now();
+    let out = f();
+    dvs_obs::gauge(gauge_name, start.elapsed().as_secs_f64() * 1e6);
+    out
+}
+
 /// Everything the end-to-end pass produces for one `(program, deadline)`
 /// pair.
 #[derive(Debug, Clone)]
@@ -50,7 +64,12 @@ impl DvsCompiler {
     /// filtering at the paper's 2% tail.
     #[must_use]
     pub fn new(machine: Machine, ladder: VoltageLadder, transition: TransitionModel) -> Self {
-        DvsCompiler { machine, ladder, transition, tail_fraction: 0.02 }
+        DvsCompiler {
+            machine,
+            ladder,
+            transition,
+            tail_fraction: 0.02,
+        }
     }
 
     /// The voltage ladder in use.
@@ -77,7 +96,9 @@ impl DvsCompiler {
     /// repeatedly.
     #[must_use]
     pub fn profile(&self, cfg: &Cfg, trace: &Trace) -> (Profile, Vec<RunStats>) {
-        ModeProfiler::new(self.machine.clone()).profile(cfg, trace, &self.ladder)
+        timed("pass.profile", "pass.profile.wall_us", || {
+            ModeProfiler::new(self.machine.clone()).profile(cfg, trace, &self.ladder)
+        })
     }
 
     /// Runs filter + MILP for one deadline on an existing profile.
@@ -92,17 +113,26 @@ impl DvsCompiler {
         deadline_us: f64,
     ) -> Result<CompileResult, MilpError> {
         let ref_mode = self.ladder.len() - 1;
-        let filter = if self.tail_fraction > 0.0 {
-            EdgeFilter::tail_rule(cfg, profile, ref_mode, self.tail_fraction)
-        } else {
-            EdgeFilter::identity(cfg)
-        };
+        let filter = timed("pass.filter", "pass.filter.wall_us", || {
+            if self.tail_fraction > 0.0 {
+                EdgeFilter::tail_rule(cfg, profile, ref_mode, self.tail_fraction)
+            } else {
+                EdgeFilter::identity(cfg)
+            }
+        });
         let milp = MilpFormulation::new(cfg, profile, &self.ladder, &self.transition, deadline_us)
             .with_filter(filter)
             .solve()?;
-        let analysis = ScheduleAnalysis::new(cfg, profile, &milp.schedule);
+        let analysis = timed("pass.schedule", "pass.schedule.wall_us", || {
+            ScheduleAnalysis::new(cfg, profile, &milp.schedule)
+        });
         let single_mode = baseline::best_single_mode(profile, &self.ladder, deadline_us);
-        Ok(CompileResult { milp, analysis, single_mode, validated: None })
+        Ok(CompileResult {
+            milp,
+            analysis,
+            single_mode,
+            validated: None,
+        })
     }
 
     /// The §4.3 multi-category pass: one shared schedule minimizing the
@@ -169,13 +199,15 @@ impl DvsCompiler {
         deadline_us: f64,
     ) -> Result<CompileResult, MilpError> {
         let mut result = self.compile(cfg, profile, deadline_us)?;
-        let run = self.machine.run_scheduled(
-            cfg,
-            trace,
-            &self.ladder,
-            &result.milp.schedule,
-            &self.transition,
-        );
+        let run = timed("pass.validate", "pass.validate.wall_us", || {
+            self.machine.run_scheduled(
+                cfg,
+                trace,
+                &self.ladder,
+                &result.milp.schedule,
+                &self.transition,
+            )
+        });
         result.validated = Some(run);
         Ok(result)
     }
@@ -184,8 +216,8 @@ impl DvsCompiler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvs_sim::TraceBuilder;
     use dvs_ir::{CfgBuilder, Inst, MemWidth, Opcode, Reg};
+    use dvs_sim::TraceBuilder;
     use dvs_vf::AlphaPower;
 
     /// A program with a memory-bound loop followed by a compute-bound loop,
@@ -247,7 +279,9 @@ mod tests {
         let t_fast = runs.last().unwrap().total_time_us;
         let t_slow = runs[0].total_time_us;
         let deadline = t_fast + 0.5 * (t_slow - t_fast);
-        let r = c.compile_and_validate(&cfg, &trace, &profile, deadline).unwrap();
+        let r = c
+            .compile_and_validate(&cfg, &trace, &profile, deadline)
+            .unwrap();
 
         assert!(r.milp.predicted_time_us <= deadline + 1e-6);
         // The MILP may never do worse than the best single mode.
@@ -326,8 +360,16 @@ mod tests {
         let da = mk_deadline(&runs_a);
         let db = mk_deadline(&runs_b);
         let cats = vec![
-            crate::CategoryProfile { weight: 0.5, profile: pa, deadline_us: da },
-            crate::CategoryProfile { weight: 0.5, profile: pb, deadline_us: db },
+            crate::CategoryProfile {
+                weight: 0.5,
+                profile: pa,
+                deadline_us: da,
+            },
+            crate::CategoryProfile {
+                weight: 0.5,
+                profile: pb,
+                deadline_us: db,
+            },
         ];
         let (outcome, measured) = c
             .compile_multi(&cfg, &cats, &[&trace_a, &trace_b])
@@ -335,8 +377,14 @@ mod tests {
         assert_eq!(measured.len(), 2);
         assert!(outcome.predicted_times_us[0] <= da + 1e-6);
         assert!(outcome.predicted_times_us[1] <= db + 1e-6);
-        assert!(measured[0].time_us <= da * 1.05, "cat A measured over deadline");
-        assert!(measured[1].time_us <= db * 1.05, "cat B measured over deadline");
+        assert!(
+            measured[0].time_us <= da * 1.05,
+            "cat A measured over deadline"
+        );
+        assert!(
+            measured[1].time_us <= db * 1.05,
+            "cat B measured over deadline"
+        );
     }
 
     #[test]
@@ -365,8 +413,6 @@ mod tests {
             "expensive transitions must not increase switching"
         );
         // And expensive-transition energy is never below cheap-transition.
-        assert!(
-            r_pricey.milp.predicted_energy_uj >= r_cheap.milp.predicted_energy_uj - 1e-9
-        );
+        assert!(r_pricey.milp.predicted_energy_uj >= r_cheap.milp.predicted_energy_uj - 1e-9);
     }
 }

@@ -91,7 +91,7 @@ impl ScheduleAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvs_ir::{BlockModeCost, BlockId, CfgBuilder, ProfileBuilder};
+    use dvs_ir::{BlockId, BlockModeCost, CfgBuilder, ProfileBuilder};
     use dvs_vf::ModeId;
 
     fn loop_cfg() -> (Cfg, Vec<BlockId>) {
@@ -121,7 +121,14 @@ mod tests {
         assert!(pb.record_walk(cfg, &walk));
         for &b in blocks {
             for m in 0..3 {
-                pb.set_block_cost(b, m, BlockModeCost { time_us: 1.0, energy_uj: 1.0 });
+                pb.set_block_cost(
+                    b,
+                    m,
+                    BlockModeCost {
+                        time_us: 1.0,
+                        energy_uj: 1.0,
+                    },
+                );
             }
         }
         pb.finish()

@@ -60,10 +60,7 @@ impl BallLarus {
     #[must_use]
     pub fn compute(cfg: &Cfg) -> Self {
         let dom = Dominators::compute(cfg);
-        let is_back: Vec<bool> = cfg
-            .edges()
-            .map(|e| dom.dominates(e.dst, e.src))
-            .collect();
+        let is_back: Vec<bool> = cfg.edges().map(|e| dom.dominates(e.dst, e.src)).collect();
 
         // NumPaths(v) over the DAG in reverse topological order.
         let order = cfg.reverse_post_order();
@@ -73,10 +70,7 @@ impl BallLarus {
             .map(|e| if is_back[e.id.index()] { None } else { Some(0) })
             .collect();
         for &b in order.iter().rev() {
-            let outs: Vec<EdgeId> = cfg
-                .out_edges(b)
-                .filter(|e| !is_back[e.index()])
-                .collect();
+            let outs: Vec<EdgeId> = cfg.out_edges(b).filter(|e| !is_back[e.index()]).collect();
             if outs.is_empty() {
                 num_from[b.0] = 1; // exit (or a latch whose only exits are back edges)
             } else {
@@ -252,8 +246,7 @@ mod tests {
             .iter()
             .map(|l| b.block(*l))
             .collect();
-        let (e, a1, a2, m, b1, b2, x) =
-            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
+        let (e, a1, a2, m, b1, b2, x) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
         b.edge(e, a1);
         b.edge(e, a2);
         b.edge(a1, m);
@@ -271,8 +264,7 @@ mod tests {
         let bl = BallLarus::compute(&cfg);
         assert_eq!(bl.num_paths(), 4);
         // Every entry-to-exit walk yields a distinct id in 0..4.
-        let (e, a1, a2, m, b1, b2, x) =
-            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
+        let (e, a1, a2, m, b1, b2, x) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
         let mut seen = std::collections::BTreeSet::new();
         for first in [a1, a2] {
             for second in [b1, b2] {
@@ -291,8 +283,7 @@ mod tests {
     fn decode_inverts_numbering() {
         let (cfg, ids) = double_diamond();
         let bl = BallLarus::compute(&cfg);
-        let (e, a1, _a2, m, b1, _b2, x) =
-            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
+        let (e, a1, _a2, m, b1, _b2, x) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
         let walk = [e, a1, m, b1, x];
         let p = PathProfile::from_walk(&cfg, &bl, &walk).unwrap();
         let key = p.hottest()[0].0;

@@ -1,10 +1,9 @@
 use crate::Inst;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a basic block within its [`crate::Cfg`]. Dense indices,
 /// assigned in creation order by [`crate::CfgBuilder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub usize);
 
 impl BlockId {
@@ -26,7 +25,7 @@ impl fmt::Display for BlockId {
 ///
 /// Blocks are also the paper's "regions": profiling attributes a time
 /// `T(j,m)` and energy `E(j,m)` to each block `j` under each DVS mode `m`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicBlock {
     /// This block's id.
     pub id: BlockId,
@@ -41,7 +40,11 @@ impl BasicBlock {
     /// Creates an empty block.
     #[must_use]
     pub fn new(id: BlockId, label: impl Into<String>) -> Self {
-        BasicBlock { id, label: label.into(), insts: Vec::new() }
+        BasicBlock {
+            id,
+            label: label.into(),
+            insts: Vec::new(),
+        }
     }
 
     /// Number of static instructions.

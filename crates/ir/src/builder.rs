@@ -29,7 +29,11 @@ impl CfgBuilder {
     /// Starts building a CFG called `name`.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        CfgBuilder { name: name.into(), blocks: Vec::new(), edges: Vec::new() }
+        CfgBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an empty block labelled `label` and returns its id.
@@ -112,7 +116,10 @@ mod tests {
     #[test]
     fn empty_graph_rejected() {
         let b = CfgBuilder::new("none");
-        assert!(matches!(b.finish(BlockId(0), BlockId(0)), Err(IrError::Empty)));
+        assert!(matches!(
+            b.finish(BlockId(0), BlockId(0)),
+            Err(IrError::Empty)
+        ));
     }
 
     #[test]

@@ -1,11 +1,11 @@
-use crate::{BasicBlock, BlockId, IrError};
-use serde::{Deserialize, Serialize};
+use crate::{BasicBlock, BlockId, Inst, IrError, MemWidth, Opcode, Reg};
+use dvs_obs::json::Json;
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a control-flow edge within its [`Cfg`]. Dense indices,
 /// assigned in insertion order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub usize);
 
 impl EdgeId {
@@ -23,7 +23,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// A directed control-flow edge `src -> dst`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// This edge's id.
     pub id: EdgeId,
@@ -47,8 +47,7 @@ pub struct Edge {
 /// Serialization stores only the definitional data (blocks, edges, entry,
 /// exit); adjacency and lookup tables are rebuilt — and the invariants
 /// revalidated — on deserialization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(try_from = "CfgSerde", into = "CfgSerde")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cfg {
     name: String,
     blocks: Vec<BasicBlock>,
@@ -60,33 +59,92 @@ pub struct Cfg {
     edge_lookup: HashMap<(BlockId, BlockId), EdgeId>,
 }
 
-/// Serde bridge carrying only the definitional fields of a [`Cfg`].
-#[derive(Serialize, Deserialize)]
-struct CfgSerde {
-    name: String,
-    blocks: Vec<BasicBlock>,
-    edges: Vec<Edge>,
-    entry: BlockId,
-    exit: BlockId,
+fn malformed(what: impl Into<String>) -> IrError {
+    IrError::Malformed(what.into())
 }
 
-impl From<Cfg> for CfgSerde {
-    fn from(c: Cfg) -> Self {
-        CfgSerde {
-            name: c.name,
-            blocks: c.blocks,
-            edges: c.edges,
-            entry: c.entry,
-            exit: c.exit,
-        }
+fn get_u64(j: &Json, key: &str) -> Result<u64, IrError> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| malformed(format!("missing or non-integer field `{key}`")))
+}
+
+fn opcode_name(op: Opcode) -> &'static str {
+    match op {
+        Opcode::IntAlu => "ialu",
+        Opcode::IntMul => "imul",
+        Opcode::IntDiv => "idiv",
+        Opcode::FpAdd => "fadd",
+        Opcode::FpMul => "fmul",
+        Opcode::FpDiv => "fdiv",
+        Opcode::Load => "ld",
+        Opcode::Store => "st",
+        Opcode::Branch => "br",
+        Opcode::Nop => "nop",
     }
 }
 
-impl TryFrom<CfgSerde> for Cfg {
-    type Error = IrError;
-    fn try_from(s: CfgSerde) -> Result<Self, IrError> {
-        Cfg::new(s.name, s.blocks, s.edges, s.entry, s.exit)
-    }
+fn opcode_from_name(name: &str) -> Result<Opcode, IrError> {
+    Ok(match name {
+        "ialu" => Opcode::IntAlu,
+        "imul" => Opcode::IntMul,
+        "idiv" => Opcode::IntDiv,
+        "fadd" => Opcode::FpAdd,
+        "fmul" => Opcode::FpMul,
+        "fdiv" => Opcode::FpDiv,
+        "ld" => Opcode::Load,
+        "st" => Opcode::Store,
+        "br" => Opcode::Branch,
+        "nop" => Opcode::Nop,
+        other => return Err(malformed(format!("unknown opcode `{other}`"))),
+    })
+}
+
+fn inst_to_json(i: &Inst) -> Json {
+    Json::obj([
+        ("opcode", Json::from(opcode_name(i.opcode))),
+        ("dest", Json::from(u64::from(i.dest.0))),
+        (
+            "srcs",
+            Json::Arr(i.srcs.iter().map(|r| Json::from(u64::from(r.0))).collect()),
+        ),
+        ("width", Json::from(i.width.bytes())),
+    ])
+}
+
+fn inst_from_json(j: &Json) -> Result<Inst, IrError> {
+    let opcode = opcode_from_name(
+        j.get("opcode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed("inst missing `opcode`"))?,
+    )?;
+    let dest =
+        Reg(u8::try_from(get_u64(j, "dest")?).map_err(|_| malformed("register out of range"))?);
+    let srcs = j
+        .get("srcs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| malformed("inst missing `srcs`"))?
+        .iter()
+        .map(|s| {
+            s.as_u64()
+                .and_then(|v| u8::try_from(v).ok())
+                .map(Reg)
+                .ok_or_else(|| malformed("bad source register"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let width = match get_u64(j, "width")? {
+        1 => MemWidth::B1,
+        2 => MemWidth::B2,
+        4 => MemWidth::B4,
+        8 => MemWidth::B8,
+        w => return Err(malformed(format!("bad memory width {w}"))),
+    };
+    Ok(Inst {
+        opcode,
+        dest,
+        srcs,
+        width,
+    })
 }
 
 impl Cfg {
@@ -117,7 +175,16 @@ impl Cfg {
             succ[e.src.0].push(e.id);
             pred[e.dst.0].push(e.id);
         }
-        let cfg = Cfg { name, blocks, edges, succ, pred, entry, exit, edge_lookup };
+        let cfg = Cfg {
+            name,
+            blocks,
+            edges,
+            succ,
+            pred,
+            entry,
+            exit,
+            edge_lookup,
+        };
         cfg.validate()?;
         Ok(cfg)
     }
@@ -288,6 +355,106 @@ impl Cfg {
     pub fn static_inst_count(&self) -> usize {
         self.blocks.iter().map(BasicBlock::len).sum()
     }
+
+    /// Serializes the definitional data (blocks, edges, entry, exit) to a
+    /// JSON value. Adjacency and lookup tables are *not* stored; they are
+    /// rebuilt — and the graph invariants revalidated — by [`Cfg::from_json`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("id", Json::from(b.id.0 as u64)),
+                    ("label", Json::from(b.label.as_str())),
+                    (
+                        "insts",
+                        Json::Arr(b.insts.iter().map(inst_to_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("id", Json::from(e.id.0 as u64)),
+                    ("src", Json::from(e.src.0 as u64)),
+                    ("dst", Json::from(e.dst.0 as u64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("blocks", Json::Arr(blocks)),
+            ("edges", Json::Arr(edges)),
+            ("entry", Json::from(self.entry.0 as u64)),
+            ("exit", Json::from(self.exit.0 as u64)),
+        ])
+    }
+
+    /// Serializes to a compact JSON string (see [`Cfg::to_json`]).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().dump()
+    }
+
+    /// Rebuilds a graph from the JSON produced by [`Cfg::to_json`], running
+    /// the full structural validation (`entry`/`exit` discipline,
+    /// reachability, unique edges and labels).
+    pub fn from_json(j: &Json) -> Result<Self, IrError> {
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed("missing `name`"))?
+            .to_owned();
+        let blocks = j
+            .get("blocks")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("missing `blocks`"))?
+            .iter()
+            .map(|b| {
+                let id = BlockId(get_u64(b, "id")? as usize);
+                let label = b
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| malformed("block missing `label`"))?
+                    .to_owned();
+                let insts = b
+                    .get("insts")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| malformed("block missing `insts`"))?
+                    .iter()
+                    .map(inst_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(BasicBlock { id, label, insts })
+            })
+            .collect::<Result<Vec<_>, IrError>>()?;
+        let edges = j
+            .get("edges")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("missing `edges`"))?
+            .iter()
+            .map(|e| {
+                Ok(Edge {
+                    id: EdgeId(get_u64(e, "id")? as usize),
+                    src: BlockId(get_u64(e, "src")? as usize),
+                    dst: BlockId(get_u64(e, "dst")? as usize),
+                })
+            })
+            .collect::<Result<Vec<_>, IrError>>()?;
+        let entry = BlockId(get_u64(j, "entry")? as usize);
+        let exit = BlockId(get_u64(j, "exit")? as usize);
+        Cfg::new(name, blocks, edges, entry, exit)
+    }
+
+    /// Parses a JSON string and rebuilds the graph (see [`Cfg::from_json`]).
+    pub fn from_json_str(s: &str) -> Result<Self, IrError> {
+        let j = Json::parse(s).map_err(|e| malformed(format!("invalid JSON: {e}")))?;
+        Cfg::from_json(&j)
+    }
 }
 
 #[cfg(test)]
@@ -412,8 +579,8 @@ mod tests {
     #[test]
     fn serde_round_trip_rebuilds_lookup_tables() {
         let g = diamond();
-        let json = serde_json::to_string(&g).expect("serializes");
-        let back: Cfg = serde_json::from_str(&json).expect("deserializes");
+        let json = g.to_json_string();
+        let back = Cfg::from_json_str(&json).expect("deserializes");
         assert_eq!(g, back);
         // The rebuilt graph answers adjacency queries (the lookup table is
         // not serialized; it must be reconstructed).
@@ -432,7 +599,42 @@ mod tests {
             "entry": 0,
             "exit": 0
         }"#;
-        assert!(serde_json::from_str::<Cfg>(json).is_err());
+        assert!(matches!(
+            Cfg::from_json_str(json),
+            Err(IrError::UnknownBlock(_))
+        ));
+        // Outright broken JSON fails with a parse error, not a panic.
+        assert!(matches!(
+            Cfg::from_json_str("{nope"),
+            Err(IrError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_instructions() {
+        let mut b = CfgBuilder::new("insts");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        let mut g = b.finish(e, x).unwrap();
+        // Reach in through the serialized form to attach instructions.
+        let j = g.to_json();
+        drop(j);
+        g = {
+            let mut blocks: Vec<BasicBlock> = g.blocks().cloned().collect();
+            blocks[0].insts = vec![
+                Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(2), Reg(3)]),
+                Inst::load(Reg(4), Reg(1), MemWidth::B8),
+                Inst::store(Reg(4), Reg(1), MemWidth::B2),
+                Inst::branch(Reg(4)),
+            ];
+            let edges: Vec<Edge> = g.edges().collect();
+            Cfg::new("insts".into(), blocks, edges, g.entry(), g.exit()).unwrap()
+        };
+        let back = Cfg::from_json_str(&g.to_json_string()).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.static_inst_count(), 4);
+        assert_eq!(back.block(back.entry()).mem_inst_count(), 2);
     }
 
     #[test]

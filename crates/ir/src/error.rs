@@ -21,6 +21,8 @@ pub enum IrError {
     ExitHasSuccessors(BlockId),
     /// The graph has no blocks.
     Empty,
+    /// Serialized form could not be parsed or is missing fields.
+    Malformed(String),
 }
 
 impl fmt::Display for IrError {
@@ -36,6 +38,7 @@ impl fmt::Display for IrError {
             IrError::NoPathToExit(b) => write!(f, "block {b} cannot reach the exit"),
             IrError::ExitHasSuccessors(b) => write!(f, "exit block {b} has outgoing edges"),
             IrError::Empty => write!(f, "control-flow graph has no blocks"),
+            IrError::Malformed(m) => write!(f, "malformed CFG serialization: {m}"),
         }
     }
 }

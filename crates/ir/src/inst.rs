@@ -1,10 +1,9 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An architectural register name. The machine model has 64 integer/FP
 /// registers in a flat namespace; `Reg(0)` is a hard-wired zero register
 /// that never creates dependences.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -29,7 +28,7 @@ impl fmt::Display for Reg {
 }
 
 /// Width of a memory access in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemWidth {
     /// 1-byte access.
     B1,
@@ -57,7 +56,7 @@ impl MemWidth {
 /// Operation classes, mirroring the functional units of the simulated
 /// machine (4 integer ALUs, 1 integer multiply/divide, 1 FP adder, 1 FP
 /// multiplier, 1 FP divide/sqrt, plus memory ports and branches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Opcode {
     /// Simple integer arithmetic/logic (1-cycle).
     IntAlu,
@@ -134,7 +133,7 @@ impl fmt::Display for Opcode {
 /// Source operands express *true* (read-after-write) dependences to the
 /// timing model; anti/output dependences are resolved by renaming in the
 /// out-of-order core and are not modelled.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Inst {
     /// Operation class.
     pub opcode: Opcode,
@@ -152,31 +151,56 @@ impl Inst {
     #[must_use]
     pub fn alu(opcode: Opcode, dest: Reg, srcs: &[Reg]) -> Self {
         debug_assert!(!opcode.is_mem() && !opcode.is_branch());
-        Inst { opcode, dest, srcs: srcs.to_vec(), width: MemWidth::B4 }
+        Inst {
+            opcode,
+            dest,
+            srcs: srcs.to_vec(),
+            width: MemWidth::B4,
+        }
     }
 
     /// A load `dest <- mem[addr(base)]`.
     #[must_use]
     pub fn load(dest: Reg, base: Reg, width: MemWidth) -> Self {
-        Inst { opcode: Opcode::Load, dest, srcs: vec![base], width }
+        Inst {
+            opcode: Opcode::Load,
+            dest,
+            srcs: vec![base],
+            width,
+        }
     }
 
     /// A store `mem[addr(base)] <- value`.
     #[must_use]
     pub fn store(value: Reg, base: Reg, width: MemWidth) -> Self {
-        Inst { opcode: Opcode::Store, dest: Reg::ZERO, srcs: vec![base, value], width }
+        Inst {
+            opcode: Opcode::Store,
+            dest: Reg::ZERO,
+            srcs: vec![base, value],
+            width,
+        }
     }
 
     /// A branch testing `cond`.
     #[must_use]
     pub fn branch(cond: Reg) -> Self {
-        Inst { opcode: Opcode::Branch, dest: Reg::ZERO, srcs: vec![cond], width: MemWidth::B4 }
+        Inst {
+            opcode: Opcode::Branch,
+            dest: Reg::ZERO,
+            srcs: vec![cond],
+            width: MemWidth::B4,
+        }
     }
 
     /// A no-op.
     #[must_use]
     pub fn nop() -> Self {
-        Inst { opcode: Opcode::Nop, dest: Reg::ZERO, srcs: Vec::new(), width: MemWidth::B4 }
+        Inst {
+            opcode: Opcode::Nop,
+            dest: Reg::ZERO,
+            srcs: Vec::new(),
+            width: MemWidth::B4,
+        }
     }
 
     /// Whether the instruction writes an architectural register.
@@ -248,7 +272,10 @@ mod tests {
 
     #[test]
     fn display_round_trips_basics() {
-        assert_eq!(Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(2), Reg(3)]).to_string(), "ialu r1, r2, r3");
+        assert_eq!(
+            Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(2), Reg(3)]).to_string(),
+            "ialu r1, r2, r3"
+        );
         assert_eq!(Reg(9).to_string(), "r9");
         assert_eq!(Opcode::FpDiv.to_string(), "fdiv");
     }

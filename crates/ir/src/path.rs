@@ -1,5 +1,4 @@
 use crate::{BlockId, Cfg, EdgeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A **local path** through a basic block: the paper's `(h, i, j)` triple —
@@ -13,7 +12,7 @@ use std::fmt;
 /// Two boundary cases use `None`:
 /// * `enter == None`: `block` is the CFG entry, reached by program start;
 /// * `exit == None`: `block` is the CFG exit, left by program termination.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocalPath {
     /// The block being traversed (the paper's region `i`).
     pub block: BlockId,
@@ -35,25 +34,41 @@ impl LocalPath {
         if e.dst != x.src {
             return None;
         }
-        Some(LocalPath { block: e.dst, enter: Some(enter), exit: Some(exit) })
+        Some(LocalPath {
+            block: e.dst,
+            enter: Some(enter),
+            exit: Some(exit),
+        })
     }
 
     /// The local path for program start: entry block left through `exit`.
     #[must_use]
     pub fn from_start(cfg: &Cfg, exit: EdgeId) -> Self {
-        LocalPath { block: cfg.edge(exit).src, enter: None, exit: Some(exit) }
+        LocalPath {
+            block: cfg.edge(exit).src,
+            enter: None,
+            exit: Some(exit),
+        }
     }
 
     /// The local path for program end: exit block entered through `enter`.
     #[must_use]
     pub fn to_end(cfg: &Cfg, enter: EdgeId) -> Self {
-        LocalPath { block: cfg.edge(enter).dst, enter: Some(enter), exit: None }
+        LocalPath {
+            block: cfg.edge(enter).dst,
+            enter: Some(enter),
+            exit: None,
+        }
     }
 
     /// The degenerate whole-program path for a single-block CFG.
     #[must_use]
     pub fn whole(block: BlockId) -> Self {
-        LocalPath { block, enter: None, exit: None }
+        LocalPath {
+            block,
+            enter: None,
+            exit: None,
+        }
     }
 }
 

@@ -1,10 +1,9 @@
 use crate::{BlockId, Cfg, EdgeId, LocalPath};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-invocation cost of one basic block under one DVS mode, measured by
 /// the profiler: the paper's `T(j,m)` (µs) and `E(j,m)` (µJ).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BlockModeCost {
     /// Average wall-clock time of one invocation, in µs.
     pub time_us: f64,
@@ -24,7 +23,7 @@ pub struct BlockModeCost {
 /// Edge and local-path counts are mode-independent (the program's logical
 /// behaviour does not change with frequency — paper assumption 1), so they
 /// are profiled once; block costs are profiled once per mode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     num_modes: usize,
     /// `[block][mode]` costs.
@@ -139,8 +138,7 @@ impl Profile {
         let mut block_counts = vec![0u64; nblocks];
         let mut edge_counts = vec![0u64; nedges];
         let mut path_counts: BTreeMap<LocalPath, u64> = BTreeMap::new();
-        let mut block_costs =
-            vec![vec![BlockModeCost::default(); num_modes]; nblocks];
+        let mut block_costs = vec![vec![BlockModeCost::default(); num_modes]; nblocks];
 
         for b in 0..nblocks {
             let weighted_invocations: f64 = parts
@@ -148,7 +146,7 @@ impl Profile {
                 .map(|(w, p)| w * p.block_counts[b] as f64)
                 .sum();
             block_counts[b] = (weighted_invocations / wsum).round() as u64;
-            for m in 0..num_modes {
+            for (m, cost) in block_costs[b].iter_mut().enumerate().take(num_modes) {
                 // Cost per invocation averaged by invocation mass.
                 let mut t = 0.0;
                 let mut e = 0.0;
@@ -158,27 +156,29 @@ impl Profile {
                     e += n * p.block_costs[b][m].energy_uj;
                 }
                 if weighted_invocations > 0.0 {
-                    block_costs[b][m] = BlockModeCost {
+                    *cost = BlockModeCost {
                         time_us: t / weighted_invocations,
                         energy_uj: e / weighted_invocations,
                     };
                 }
             }
         }
-        for e in 0..nedges {
-            let v: f64 = parts
-                .iter()
-                .map(|(w, p)| w * p.edge_counts[e] as f64)
-                .sum();
-            edge_counts[e] = (v / wsum).round() as u64;
+        for (e, count) in edge_counts.iter_mut().enumerate().take(nedges) {
+            let v: f64 = parts.iter().map(|(w, p)| w * p.edge_counts[e] as f64).sum();
+            *count = (v / wsum).round() as u64;
         }
         for (w, p) in parts {
             for (path, c) in &p.path_counts {
-                *path_counts.entry(*path).or_insert(0) +=
-                    ((w / wsum) * *c as f64).round() as u64;
+                *path_counts.entry(*path).or_insert(0) += ((w / wsum) * *c as f64).round() as u64;
             }
         }
-        Profile { num_modes, block_costs, edge_counts, path_counts, block_counts }
+        Profile {
+            num_modes,
+            block_costs,
+            edge_counts,
+            path_counts,
+            block_counts,
+        }
     }
 }
 
@@ -258,7 +258,10 @@ impl ProfileBuilder {
             self.edge_counts[e.0] += 1;
         }
         if edges.is_empty() {
-            *self.path_counts.entry(LocalPath::whole(cfg.entry())).or_insert(0) += 1;
+            *self
+                .path_counts
+                .entry(LocalPath::whole(cfg.entry()))
+                .or_insert(0) += 1;
             return true;
         }
         *self
@@ -266,8 +269,8 @@ impl ProfileBuilder {
             .entry(LocalPath::from_start(cfg, edges[0]))
             .or_insert(0) += 1;
         for w in edges.windows(2) {
-            let p = LocalPath::interior(cfg, w[0], w[1])
-                .expect("consecutive walk edges share a block");
+            let p =
+                LocalPath::interior(cfg, w[0], w[1]).expect("consecutive walk edges share a block");
             *self.path_counts.entry(p).or_insert(0) += 1;
         }
         *self
@@ -385,7 +388,10 @@ mod tests {
             pb.set_block_cost(
                 b,
                 0,
-                BlockModeCost { time_us: (i + 1) as f64, energy_uj: 10.0 * (i + 1) as f64 },
+                BlockModeCost {
+                    time_us: (i + 1) as f64,
+                    energy_uj: 10.0 * (i + 1) as f64,
+                },
             );
         }
         let p = pb.finish();
@@ -415,7 +421,14 @@ mod tests {
             walk.push(x);
             assert!(pb.record_walk(&g, &walk));
             for &b in &[e, h, body, x] {
-                pb.set_block_cost(b, 0, BlockModeCost { time_us: t, energy_uj: 2.0 * t });
+                pb.set_block_cost(
+                    b,
+                    0,
+                    BlockModeCost {
+                        time_us: t,
+                        energy_uj: 2.0 * t,
+                    },
+                );
             }
             pb.finish()
         };

@@ -1,39 +1,57 @@
-//! Property tests over randomly generated CFGs: structural invariants of
-//! reverse post-order, dominators, natural loops, profiles and the
-//! Ball–Larus numbering.
+//! Randomized tests over generated CFGs: structural invariants of reverse
+//! post-order, dominators, natural loops, profiles and the Ball–Larus
+//! numbering.
+//!
+//! Graphs come from a fixed-seed SplitMix64 generator so failures
+//! reproduce exactly.
 
 use dvs_ir::{
     BallLarus, BlockId, Cfg, CfgBuilder, Dominators, LoopForest, PathProfile, ProfileBuilder,
 };
-use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
 
 /// Builds a random but always-valid CFG: a backbone chain `b0 -> b1 -> ...
 /// -> b(n-1)` guaranteeing reachability and exit paths, plus random extra
 /// forward edges and a few back edges.
-fn arb_cfg() -> impl Strategy<Value = Cfg> {
-    (3usize..12, prop::collection::vec((0usize..12, 0usize..12), 0..12)).prop_map(
-        |(n, extra)| {
-            let mut b = CfgBuilder::new("random");
-            let ids: Vec<BlockId> = (0..n).map(|i| b.block(format!("b{i}"))).collect();
-            for w in ids.windows(2) {
-                b.edge(w[0], w[1]);
-            }
-            let mut present: std::collections::BTreeSet<(usize, usize)> =
-                (0..n - 1).map(|i| (i, i + 1)).collect();
-            for (a, c) in extra {
-                let (a, c) = (a % n, c % n);
-                // Entry may not gain predecessors; exit no successors;
-                // no duplicates or self-edges at the entry/exit boundary.
-                if a == c || c == 0 || a == n - 1 {
-                    continue;
-                }
-                if present.insert((a, c)) {
-                    b.edge(ids[a], ids[c]);
-                }
-            }
-            b.finish(ids[0], ids[n - 1]).expect("constructed CFG is valid")
-        },
-    )
+fn random_cfg(rng: &mut Rng) -> Cfg {
+    let n = rng.int(3, 12) as usize;
+    let num_extra = rng.int(0, 12) as usize;
+    let mut b = CfgBuilder::new("random");
+    let ids: Vec<BlockId> = (0..n).map(|i| b.block(format!("b{i}"))).collect();
+    for w in ids.windows(2) {
+        b.edge(w[0], w[1]);
+    }
+    let mut present: std::collections::BTreeSet<(usize, usize)> =
+        (0..n - 1).map(|i| (i, i + 1)).collect();
+    for _ in 0..num_extra {
+        let a = rng.int(0, 12) as usize % n;
+        let c = rng.int(0, 12) as usize % n;
+        // Entry may not gain predecessors; exit no successors;
+        // no duplicates or self-edges at the entry/exit boundary.
+        if a == c || c == 0 || a == n - 1 {
+            continue;
+        }
+        if present.insert((a, c)) {
+            b.edge(ids[a], ids[c]);
+        }
+    }
+    b.finish(ids[0], ids[n - 1])
+        .expect("constructed CFG is valid")
 }
 
 /// A random walk through a CFG from entry to exit, bounded in length by
@@ -60,72 +78,84 @@ fn random_walk(cfg: &Cfg, seed: u64, max_len: usize) -> Vec<BlockId> {
     walk
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn rpo_is_a_permutation_starting_at_entry(cfg in arb_cfg()) {
+#[test]
+fn rpo_is_a_permutation_starting_at_entry() {
+    let mut rng = Rng(0xD5_5EED_0031);
+    for _ in 0..64 {
+        let cfg = random_cfg(&mut rng);
         let rpo = cfg.reverse_post_order();
-        prop_assert_eq!(rpo.len(), cfg.num_blocks());
-        prop_assert_eq!(rpo[0], cfg.entry());
+        assert_eq!(rpo.len(), cfg.num_blocks());
+        assert_eq!(rpo[0], cfg.entry());
         let mut sorted: Vec<usize> = rpo.iter().map(|b| b.index()).collect();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..cfg.num_blocks()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..cfg.num_blocks()).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn dominator_axioms(cfg in arb_cfg()) {
+#[test]
+fn dominator_axioms() {
+    let mut rng = Rng(0xD5_5EED_0032);
+    for _ in 0..64 {
+        let cfg = random_cfg(&mut rng);
         let dom = Dominators::compute(&cfg);
         let entry = cfg.entry();
         for b in cfg.blocks() {
             // Entry dominates everything; everything dominates itself.
-            prop_assert!(dom.dominates(entry, b.id));
-            prop_assert!(dom.dominates(b.id, b.id));
+            assert!(dom.dominates(entry, b.id));
+            assert!(dom.dominates(b.id, b.id));
             // The immediate dominator dominates its child strictly.
             if b.id != entry {
                 let idom = dom.idom(b.id);
-                prop_assert!(dom.strictly_dominates(idom, b.id));
+                assert!(dom.strictly_dominates(idom, b.id));
             }
             // A block with a single predecessor is dominated by it.
             let preds: Vec<BlockId> = cfg.predecessors(b.id).collect();
             if preds.len() == 1 {
-                prop_assert!(dom.dominates(preds[0], b.id));
+                assert!(dom.dominates(preds[0], b.id));
             }
         }
     }
+}
 
-    #[test]
-    fn loop_bodies_contain_their_headers_and_latches(cfg in arb_cfg()) {
+#[test]
+fn loop_bodies_contain_their_headers_and_latches() {
+    let mut rng = Rng(0xD5_5EED_0033);
+    for _ in 0..64 {
+        let cfg = random_cfg(&mut rng);
         let dom = Dominators::compute(&cfg);
         let forest = LoopForest::compute(&cfg, &dom);
         for l in forest.loops() {
-            prop_assert!(l.contains(l.header));
-            prop_assert!(l.contains(l.latch));
+            assert!(l.contains(l.header));
+            assert!(l.contains(l.latch));
             // The header dominates every block in the body.
             for &b in &l.body {
-                prop_assert!(dom.dominates(l.header, b));
+                assert!(dom.dominates(l.header, b));
             }
             // The back edge really is an edge latch -> header.
             let e = cfg.edge(l.back_edge);
-            prop_assert_eq!(e.src, l.latch);
-            prop_assert_eq!(e.dst, l.header);
+            assert_eq!(e.src, l.latch);
+            assert_eq!(e.dst, l.header);
         }
     }
+}
 
-    #[test]
-    fn profile_counts_are_flow_consistent(cfg in arb_cfg(), seed in any::<u64>()) {
-        let walk = random_walk(&cfg, seed, 200);
+#[test]
+fn profile_counts_are_flow_consistent() {
+    let mut rng = Rng(0xD5_5EED_0034);
+    for case in 0..64 {
+        let cfg = random_cfg(&mut rng);
+        let walk = random_walk(&cfg, rng.next_u64(), 200);
         if walk.last() != Some(&cfg.exit()) {
-            return Ok(()); // walk did not terminate in budget; skip
+            continue; // walk did not terminate in budget; skip
         }
         let mut pb = ProfileBuilder::new(&cfg, 1);
-        prop_assert!(pb.record_walk(&cfg, &walk));
+        assert!(pb.record_walk(&cfg, &walk), "case {case}");
         let p = pb.finish();
         // Block invocations equal total in-edge counts (+1 for entry).
         for b in cfg.blocks() {
             let in_count: u64 = cfg.in_edges(b.id).map(|e| p.edge_count(e)).sum();
             let expect = in_count + u64::from(b.id == cfg.entry());
-            prop_assert_eq!(p.block_count(b.id), expect, "block {}", b.id);
+            assert_eq!(p.block_count(b.id), expect, "case {case}: block {}", b.id);
         }
         // For every edge, local paths exiting through it sum to its count.
         for e in cfg.edges() {
@@ -134,12 +164,16 @@ proptest! {
                 .filter(|(lp, _)| lp.exit == Some(e.id))
                 .map(|(_, c)| c)
                 .sum();
-            prop_assert_eq!(through, p.edge_count(e.id), "edge {}", e.id);
+            assert_eq!(through, p.edge_count(e.id), "case {case}: edge {}", e.id);
         }
     }
+}
 
-    #[test]
-    fn ball_larus_numbering_is_injective(cfg in arb_cfg(), seed in any::<u64>()) {
+#[test]
+fn ball_larus_numbering_is_injective() {
+    let mut rng = Rng(0xD5_5EED_0035);
+    for case in 0..64 {
+        let cfg = random_cfg(&mut rng);
         let bl = BallLarus::compute(&cfg);
         // Decode every whole-graph path id: all decodings distinct, all
         // start at entry and end at exit.
@@ -149,17 +183,23 @@ proptest! {
             let blocks = dvs_ir::decode_path(
                 &cfg,
                 &bl,
-                dvs_ir::PathKey { start: cfg.entry(), id },
+                dvs_ir::PathKey {
+                    start: cfg.entry(),
+                    id,
+                },
             );
-            prop_assert_eq!(blocks[0], cfg.entry());
-            prop_assert!(seen.insert(blocks.clone()), "duplicate path for id {id}");
+            assert_eq!(blocks[0], cfg.entry(), "case {case}");
+            assert!(
+                seen.insert(blocks.clone()),
+                "case {case}: duplicate path for id {id}"
+            );
         }
         // Replaying a random walk always produces countable segments.
-        let walk = random_walk(&cfg, seed, 200);
+        let walk = random_walk(&cfg, rng.next_u64(), 200);
         if walk.last() == Some(&cfg.exit()) {
             let p = PathProfile::from_walk(&cfg, &bl, &walk);
-            prop_assert!(p.is_some());
-            prop_assert!(p.expect("checked").total() >= 1);
+            assert!(p.is_some(), "case {case}");
+            assert!(p.expect("checked").total() >= 1, "case {case}");
         }
     }
 }

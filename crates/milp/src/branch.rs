@@ -83,6 +83,23 @@ pub fn solve_seeded(
     config: &BranchConfig,
     start: Option<&[f64]>,
 ) -> Result<Solution, MilpError> {
+    let _span = dvs_obs::span!("milp.solve");
+    let result = solve_seeded_impl(model, config, start);
+    if dvs_obs::enabled() {
+        dvs_obs::counter("milp.solves", 1);
+        if let Ok(sol) = &result {
+            dvs_obs::counter("milp.bnb_nodes", sol.stats.nodes as u64);
+            dvs_obs::histogram("milp.bnb_nodes_per_solve", sol.stats.nodes as f64);
+        }
+    }
+    result
+}
+
+fn solve_seeded_impl(
+    model: &Model,
+    config: &BranchConfig,
+    start: Option<&[f64]>,
+) -> Result<Solution, MilpError> {
     model.validate()?;
     let base = lower_to_lp(model);
     let int_vars: Vec<usize> = model
@@ -102,7 +119,10 @@ pub fn solve_seeded(
         bounds: Vec<(usize, f64, f64)>,
         parent_bound: f64,
     }
-    let mut stack = vec![Node { bounds: Vec::new(), parent_bound: f64::NEG_INFINITY }];
+    let mut stack = vec![Node {
+        bounds: Vec::new(),
+        parent_bound: f64::NEG_INFINITY,
+    }];
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     if let Some(x0) = start {
         if x0.len() == model.num_vars() && start_is_feasible(model, &base, &int_vars, x0) {
@@ -110,7 +130,10 @@ pub fn solve_seeded(
             incumbent = Some((obj, x0.to_vec()));
         }
     }
-    let mut stats = SolveStats { best_bound: f64::INFINITY, ..SolveStats::default() };
+    let mut stats = SolveStats {
+        best_bound: f64::INFINITY,
+        ..SolveStats::default()
+    };
     let mut root_bound: Option<f64> = None;
 
     while let Some(node) = stack.pop() {
@@ -183,7 +206,10 @@ pub fn solve_seeded(
                 x[j] = x[j].round();
             }
             let obj = recompute_objective(&base, &x);
-            if incumbent.as_ref().map_or(true, |(inc, _)| obj < inc - OBJ_TOL) {
+            if incumbent
+                .as_ref()
+                .is_none_or(|(inc, _)| obj < inc - OBJ_TOL)
+            {
                 incumbent = Some((obj, x));
             }
             continue;
@@ -192,14 +218,22 @@ pub fn solve_seeded(
         // Branch.
         let children = branch_children(model, config.rule, &sol.x, &violated, &node.bounds);
         for bounds in children {
-            stack.push(Node { bounds, parent_bound: sol.objective });
+            stack.push(Node {
+                bounds,
+                parent_bound: sol.objective,
+            });
         }
     }
 
     match incumbent {
         Some((obj, values)) => {
             stats.best_bound = obj;
-            Ok(Solution { status: Status::Optimal, objective: flip * obj, values, stats })
+            Ok(Solution {
+                status: Status::Optimal,
+                objective: flip * obj,
+                values,
+                stats,
+            })
         }
         None => Err(MilpError::Infeasible),
     }
@@ -230,7 +264,7 @@ fn branch_children(
                 let mut vals = fractional.clone();
                 vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
                 let score = vals[0] * vals[1];
-                if best_group.map_or(true, |(_, s)| score > s) {
+                if best_group.is_none_or(|(_, s)| score > s) {
                     best_group = Some((gi, score));
                 }
             }
@@ -307,8 +341,7 @@ fn lower_to_lp(model: &Model) -> LpProblem {
     }
     for c in &model.constraints {
         let rhs = c.rhs - c.expr.constant();
-        let terms: Vec<(usize, f64)> =
-            c.expr.terms().map(|(v, a)| (v.index(), a)).collect();
+        let terms: Vec<(usize, f64)> = c.expr.terms().map(|(v, a)| (v.index(), a)).collect();
         match c.cmp {
             Cmp::Le => p.add_row(&terms, RowKind::Le, rhs),
             Cmp::Eq => p.add_row(&terms, RowKind::Eq, rhs),
@@ -325,8 +358,8 @@ fn lower_to_lp(model: &Model) -> LpProblem {
 /// problem at `x`.
 fn start_is_feasible(model: &Model, p: &LpProblem, int_vars: &[usize], x: &[f64]) -> bool {
     const FEAS_TOL: f64 = 1e-6;
-    for j in 0..p.num_vars {
-        if x[j] < p.lb[j] - FEAS_TOL || x[j] > p.ub[j] + FEAS_TOL {
+    for (j, &xj) in x.iter().enumerate().take(p.num_vars) {
+        if xj < p.lb[j] - FEAS_TOL || xj > p.ub[j] + FEAS_TOL {
             return false;
         }
     }
@@ -342,16 +375,16 @@ fn start_is_feasible(model: &Model, p: &LpProblem, int_vars: &[usize], x: &[f64]
             activity[r] += a * x[j];
         }
     }
-    for r in 0..p.num_rows() {
+    for (r, &act) in activity.iter().enumerate().take(p.num_rows()) {
         let scale = p.rhs[r].abs().max(1.0);
         match p.row_kind[r] {
             crate::simplex::RowKind::Le => {
-                if activity[r] > p.rhs[r] + FEAS_TOL * scale {
+                if act > p.rhs[r] + FEAS_TOL * scale {
                     return false;
                 }
             }
             crate::simplex::RowKind::Eq => {
-                if (activity[r] - p.rhs[r]).abs() > FEAS_TOL * scale {
+                if (act - p.rhs[r]).abs() > FEAS_TOL * scale {
                     return false;
                 }
             }
@@ -392,10 +425,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let items: Vec<_> = (0..3).map(|i| m.bool_var(format!("i{i}"))).collect();
         m.set_objective(60.0 * items[0] + 100.0 * items[1] + 120.0 * items[2]);
-        m.add_le(
-            10.0 * items[0] + 20.0 * items[1] + 30.0 * items[2],
-            50.0,
-        );
+        m.add_le(10.0 * items[0] + 20.0 * items[1] + 30.0 * items[2], 50.0);
         let s = solve(&m).unwrap();
         assert_close(s.objective, 220.0); // items 1 and 2
         assert_eq!(s.int_value(items[0]), 0);
@@ -438,26 +468,25 @@ mod tests {
         let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
         let mut m = Model::new(Sense::Minimize);
         let mut vars = vec![vec![]; 3];
-        for w in 0..3 {
+        for (w, row) in vars.iter_mut().enumerate() {
             for t in 0..3 {
-                vars[w].push(m.bool_var(format!("w{w}t{t}")));
+                row.push(m.bool_var(format!("w{w}t{t}")));
             }
         }
         let mut obj = LinExpr::zero();
-        for w in 0..3 {
-            for t in 0..3 {
-                obj += cost[w][t] * vars[w][t];
+        for (w, row) in vars.iter().enumerate() {
+            for (t, &v) in row.iter().enumerate() {
+                obj += cost[w][t] * v;
             }
         }
         m.set_objective(obj);
-        for w in 0..3 {
-            let e = vars[w][0] + vars[w][1] + vars[w][2];
+        for row in &vars {
+            let e = row[0] + row[1] + row[2];
             m.add_eq(e, 1.0);
-            m.add_sos1(vars[w].clone());
+            m.add_sos1(row.clone());
         }
-        for t in 0..3 {
-            let e = vars[0][t] + vars[1][t] + vars[2][t];
-            m.add_eq(e, 1.0);
+        for ((&a, &b), &c) in vars[0].iter().zip(&vars[1]).zip(&vars[2]) {
+            m.add_eq(a + b + c, 1.0);
         }
         let s = solve(&m).unwrap();
         // Optimal assignment: w0->t1 (1), w1->t0 (2), w2->t2 (2) = 5.
@@ -508,7 +537,10 @@ mod tests {
         }
         m.set_objective(obj);
         m.add_le(w, 11.0);
-        let cfg = BranchConfig { max_nodes: 1, ..BranchConfig::default() };
+        let cfg = BranchConfig {
+            max_nodes: 1,
+            ..BranchConfig::default()
+        };
         match solve_with(&m, &cfg) {
             Ok(s) => assert_eq!(s.status, Status::Feasible),
             Err(MilpError::LimitReached { .. }) => {}
@@ -572,7 +604,10 @@ mod tests {
         m.add_le(w, 7.0);
         let mut start = vec![0.0; 8];
         start[7] = 1.0; // weight 2 <= 7, objective 8
-        let cfg = BranchConfig { max_nodes: 0, ..BranchConfig::default() };
+        let cfg = BranchConfig {
+            max_nodes: 0,
+            ..BranchConfig::default()
+        };
         let sol = solve_seeded(&m, &cfg, Some(&start)).unwrap();
         assert_eq!(sol.status, Status::Feasible);
         assert!((sol.objective - 8.0).abs() < 1e-9);

@@ -50,7 +50,10 @@ impl LinExpr {
     /// A constant expression.
     #[must_use]
     pub fn constant_expr(c: f64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// Adds `coeff * var` to the expression.

@@ -117,17 +117,29 @@ impl Model {
 
     /// Adds `expr <= rhs`.
     pub fn add_le(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
-        self.constraints.push(Constraint { expr: expr.into(), cmp: Cmp::Le, rhs });
+        self.constraints.push(Constraint {
+            expr: expr.into(),
+            cmp: Cmp::Le,
+            rhs,
+        });
     }
 
     /// Adds `expr >= rhs`.
     pub fn add_ge(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
-        self.constraints.push(Constraint { expr: expr.into(), cmp: Cmp::Ge, rhs });
+        self.constraints.push(Constraint {
+            expr: expr.into(),
+            cmp: Cmp::Ge,
+            rhs,
+        });
     }
 
     /// Adds `expr == rhs`.
     pub fn add_eq(&mut self, expr: impl Into<LinExpr>, rhs: f64) {
-        self.constraints.push(Constraint { expr: expr.into(), cmp: Cmp::Eq, rhs });
+        self.constraints.push(Constraint {
+            expr: expr.into(),
+            cmp: Cmp::Eq,
+            rhs,
+        });
     }
 
     /// Adds the two-sided constraint `lo <= expr <= hi`.
@@ -138,8 +150,16 @@ impl Model {
     pub fn add_range(&mut self, expr: impl Into<LinExpr>, lo: f64, hi: f64) {
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
         let e = expr.into();
-        self.constraints.push(Constraint { expr: e.clone(), cmp: Cmp::Ge, rhs: lo });
-        self.constraints.push(Constraint { expr: e, cmp: Cmp::Le, rhs: hi });
+        self.constraints.push(Constraint {
+            expr: e.clone(),
+            cmp: Cmp::Ge,
+            rhs: lo,
+        });
+        self.constraints.push(Constraint {
+            expr: e,
+            cmp: Cmp::Le,
+            rhs: hi,
+        });
     }
 
     /// Declares that the given binary variables form an SOS1 group (at most
@@ -168,7 +188,10 @@ impl Model {
     /// Number of integer (including binary) variables.
     #[must_use]
     pub fn num_int_vars(&self) -> usize {
-        self.vars.iter().filter(|v| v.kind == VarKind::Integer).count()
+        self.vars
+            .iter()
+            .filter(|v| v.kind == VarKind::Integer)
+            .count()
     }
 
     /// The name given to `var`.
@@ -199,7 +222,11 @@ impl Model {
     pub fn validate(&self) -> Result<(), MilpError> {
         for (i, v) in self.vars.iter().enumerate() {
             if v.lb > v.ub {
-                return Err(MilpError::BadBounds { index: i, lb: v.lb, ub: v.ub });
+                return Err(MilpError::BadBounds {
+                    index: i,
+                    lb: v.lb,
+                    ub: v.ub,
+                });
             }
         }
         let check = |e: &LinExpr| -> Result<(), MilpError> {
@@ -259,7 +286,10 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let _x = m.num_var("x", 0.0, 1.0);
         m.set_objective(LinExpr::from(Var(7)));
-        assert!(matches!(m.validate(), Err(MilpError::BadVariable { index: 7 })));
+        assert!(matches!(
+            m.validate(),
+            Err(MilpError::BadVariable { index: 7 })
+        ));
     }
 
     #[test]

@@ -189,7 +189,15 @@ pub fn presolve(p: &LpProblem) -> Presolved {
             rows_removed += 1;
         }
     }
-    Presolved::Reduced { problem: out, rows_removed, bounds_tightened }
+    if dvs_obs::enabled() {
+        dvs_obs::counter("milp.presolve_rows_removed", rows_removed as u64);
+        dvs_obs::counter("milp.presolve_bounds_tightened", bounds_tightened as u64);
+    }
+    Presolved::Reduced {
+        problem: out,
+        rows_removed,
+        bounds_tightened,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +221,11 @@ mod tests {
         p.add_row(&[(0, 1.0), (1, 1.0)], RowKind::Le, 4.0);
         let before = optimal_value(&p);
         match presolve(&p) {
-            Presolved::Reduced { problem, rows_removed, bounds_tightened } => {
+            Presolved::Reduced {
+                problem,
+                rows_removed,
+                bounds_tightened,
+            } => {
                 assert_eq!(rows_removed, 2);
                 assert!(bounds_tightened >= 2);
                 assert!((problem.ub[0] - 3.0).abs() < 1e-9);
@@ -232,7 +244,11 @@ mod tests {
         p.ub = vec![1.0];
         p.add_row(&[(0, 1.0)], RowKind::Le, 10.0);
         match presolve(&p) {
-            Presolved::Reduced { rows_removed, problem, .. } => {
+            Presolved::Reduced {
+                rows_removed,
+                problem,
+                ..
+            } => {
                 assert_eq!(rows_removed, 1);
                 assert_eq!(problem.num_rows(), 0);
             }
@@ -289,8 +305,7 @@ mod tests {
                 p.ub[j] = 5.0 + rnd();
             }
             for _ in 0..4 {
-                let terms: Vec<(usize, f64)> =
-                    (0..n).map(|j| (j, rnd() - 3.0)).collect();
+                let terms: Vec<(usize, f64)> = (0..n).map(|j| (j, rnd() - 3.0)).collect();
                 p.add_row(&terms, RowKind::Le, 10.0 + rnd());
             }
             let direct = solve_lp(&p).expect("solves");

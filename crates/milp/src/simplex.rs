@@ -139,6 +139,8 @@ struct Tableau {
     binv: Vec<f64>, // row-major m x m
     iterations: usize,
     pivots_since_refactor: usize,
+    degenerate_pivots: usize,
+    bound_flips: usize,
 }
 
 impl Tableau {
@@ -150,8 +152,8 @@ impl Tableau {
     fn ftran(&self, j: usize) -> Vec<f64> {
         let mut w = vec![0.0; self.m];
         for &(r, v) in &self.cols[j] {
-            for i in 0..self.m {
-                w[i] += self.binv_at(i, r) * v;
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi += self.binv_at(i, r) * v;
             }
         }
         w
@@ -160,11 +162,10 @@ impl Tableau {
     /// y = c_B^T · B^{-1}.
     fn btran(&self, cb: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.m];
-        for i in 0..self.m {
-            let c = cb[i];
+        for (i, &c) in cb.iter().enumerate().take(self.m) {
             if c != 0.0 {
-                for j in 0..self.m {
-                    y[j] += c * self.binv_at(i, j);
+                for (j, yj) in y.iter_mut().enumerate() {
+                    *yj += c * self.binv_at(i, j);
                 }
             }
         }
@@ -197,8 +198,8 @@ impl Tableau {
         // x_B = B^{-1} residual
         for i in 0..self.m {
             let mut s = 0.0;
-            for r in 0..self.m {
-                s += self.binv_at(i, r) * resid[r];
+            for (r, &res) in resid.iter().enumerate().take(self.m) {
+                s += self.binv_at(i, r) * res;
             }
             self.x[self.basis[i]] = s;
         }
@@ -314,11 +315,13 @@ impl Tableau {
         }
         // Replace dependent columns with unit columns of unused rows.
         let mut free_rows: Vec<usize> = (0..m).filter(|&r| !row_used[r]).collect();
-        for k in 0..m {
-            if col_ok[k] {
+        for (k, &ok) in col_ok.iter().enumerate().take(m) {
+            if ok {
                 continue;
             }
-            let Some(r) = free_rows.pop() else { return false };
+            let Some(r) = free_rows.pop() else {
+                return false;
+            };
             let slack = n + r;
             let art = n + m + r;
             let replacement = if !matches!(self.state[slack], ColState::Basic(_)) {
@@ -332,14 +335,14 @@ impl Tableau {
             // Park the ejected variable at its nearest finite bound.
             let (lo, hi) = (self.lb[out], self.ub[out]);
             let xv = self.x[out];
-            let (st, val) = if lo.is_finite() && (!hi.is_finite() || (xv - lo).abs() <= (hi - xv).abs())
-            {
-                (ColState::AtLower, lo)
-            } else if hi.is_finite() {
-                (ColState::AtUpper, hi)
-            } else {
-                (ColState::AtLower, 0.0)
-            };
+            let (st, val) =
+                if lo.is_finite() && (!hi.is_finite() || (xv - lo).abs() <= (hi - xv).abs()) {
+                    (ColState::AtLower, lo)
+                } else if hi.is_finite() {
+                    (ColState::AtUpper, hi)
+                } else {
+                    (ColState::AtLower, 0.0)
+                };
             self.state[out] = st;
             self.x[out] = val;
             self.basis[k] = replacement;
@@ -356,13 +359,10 @@ impl Tableau {
         for k in 0..m {
             self.binv[r * m + k] /= wr;
         }
-        for i in 0..m {
-            if i != r {
-                let f = w[i];
-                if f.abs() > 1e-14 {
-                    for k in 0..m {
-                        self.binv[i * m + k] -= f * self.binv[r * m + k];
-                    }
+        for (i, &f) in w.iter().enumerate().take(m) {
+            if i != r && f.abs() > 1e-14 {
+                for k in 0..m {
+                    self.binv[i * m + k] -= f * self.binv[r * m + k];
                 }
             }
         }
@@ -378,6 +378,18 @@ impl Tableau {
 /// (numerical cycling); infeasibility and unboundedness are reported through
 /// [`LpStatus`], not as errors.
 pub fn solve_lp(p: &LpProblem) -> Result<LpSolution, MilpError> {
+    let result = solve_lp_impl(p);
+    if dvs_obs::enabled() {
+        dvs_obs::counter("milp.lp_solves", 1);
+        if let Ok(sol) = &result {
+            dvs_obs::counter("milp.pivots", sol.iterations as u64);
+            dvs_obs::histogram("milp.lp_pivots", sol.iterations as f64);
+        }
+    }
+    result
+}
+
+fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
     let n = p.num_vars;
     let m = p.num_rows();
 
@@ -492,26 +504,26 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpSolution, MilpError> {
     }
     let mut basis = Vec::with_capacity(m);
     let mut any_artificial = false;
-    for i in 0..m {
+    for (i, &res) in resid.iter().enumerate().take(m) {
         let s = n + i;
         let a = n + m + i;
-        let fits = resid[i] >= lb[s] - TOL && resid[i] <= ub[s] + TOL;
+        let fits = res >= lb[s] - TOL && res <= ub[s] + TOL;
         if fits {
             basis.push(s);
             state[s] = ColState::Basic(i);
-            x[s] = resid[i];
+            x[s] = res;
             // artificial stays fixed at 0
             state[a] = ColState::AtLower;
         } else {
             // Slack pinned at nearest bound, artificial absorbs the rest.
-            let sv = resid[i].clamp(lb[s], ub[s].min(1e18));
+            let sv = res.clamp(lb[s], ub[s].min(1e18));
             x[s] = sv;
             state[s] = if (sv - lb[s]).abs() <= (ub[s] - sv).abs() {
                 ColState::AtLower
             } else {
                 ColState::AtUpper
             };
-            let gap = resid[i] - sv;
+            let gap = res - sv;
             cols[a] = vec![(i, gap.signum())];
             lb[a] = 0.0;
             ub[a] = f64::INFINITY;
@@ -541,6 +553,8 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpSolution, MilpError> {
         },
         iterations: 0,
         pivots_since_refactor: 0,
+        degenerate_pivots: 0,
+        bound_flips: 0,
     };
     if !t.refactorize() {
         if std::env::var_os("DVS_MILP_DEBUG").is_some() {
@@ -599,9 +613,7 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpSolution, MilpError> {
 
     let objective = match status {
         LpStatus::Unbounded => f64::NEG_INFINITY,
-        _ => {
-            (0..n).map(|j| p.obj[j] * t.x[j]).sum::<f64>() + p.obj_offset
-        }
+        _ => (0..n).map(|j| p.obj[j] * t.x[j]).sum::<f64>() + p.obj_offset,
     };
     let duals = if status == LpStatus::Optimal {
         let cb: Vec<f64> = t.basis.iter().map(|&j| t.cost[j]).collect();
@@ -609,7 +621,17 @@ pub fn solve_lp(p: &LpProblem) -> Result<LpSolution, MilpError> {
     } else {
         Vec::new()
     };
-    Ok(LpSolution { status, objective, x: t.x[..n].to_vec(), duals, iterations: t.iterations })
+    if dvs_obs::enabled() {
+        dvs_obs::counter("milp.degenerate_pivots", t.degenerate_pivots as u64);
+        dvs_obs::counter("milp.bound_flips", t.bound_flips as u64);
+    }
+    Ok(LpSolution {
+        status,
+        objective,
+        x: t.x[..n].to_vec(),
+        duals,
+        iterations: t.iterations,
+    })
 }
 
 /// Runs the simplex loop to optimality on the current cost vector.
@@ -637,10 +659,9 @@ fn run_simplex(
         }
         t.iterations += 1;
         if t.pivots_since_refactor >= 150 {
-            if !t.refactorize() {
-                if !(t.repair_basis() && t.refactorize()) {
-                    return Err(MilpError::SimplexStalled);
-                }
+            let rebuilt = t.refactorize() || (t.repair_basis() && t.refactorize());
+            if !rebuilt {
+                return Err(MilpError::SimplexStalled);
             }
             t.recompute_basics(rhs);
         }
@@ -674,7 +695,7 @@ fn run_simplex(
                     break;
                 }
                 let score = rd.abs();
-                if enter.map_or(true, |(_, brd, _)| score > brd.abs()) {
+                if enter.is_none_or(|(_, brd, _)| score > brd.abs()) {
                     enter = Some((j, rd, dir));
                 }
             }
@@ -742,23 +763,35 @@ fn run_simplex(
         // Apply the move.
         let step = best_step.max(0.0);
         if step > 0.0 {
-            for i in 0..t.m {
+            for (i, &wi) in w.iter().enumerate().take(t.m) {
                 let bj = t.basis[i];
-                t.x[bj] -= dir * w[i] * step;
+                t.x[bj] -= dir * wi * step;
             }
         }
 
         match leave {
             None => {
                 // Bound flip of the entering variable.
+                t.bound_flips += 1;
                 t.x[j_in] = if dir > 0.0 { t.ub[j_in] } else { t.lb[j_in] };
-                t.state[j_in] = if dir > 0.0 { ColState::AtUpper } else { ColState::AtLower };
+                t.state[j_in] = if dir > 0.0 {
+                    ColState::AtUpper
+                } else {
+                    ColState::AtLower
+                };
             }
             Some((r, at_upper)) => {
+                if step <= 0.0 {
+                    t.degenerate_pivots += 1;
+                }
                 let j_out = t.basis[r];
-                t.x[j_in] = t.x[j_in] + dir * step;
+                t.x[j_in] += dir * step;
                 t.x[j_out] = if at_upper { t.ub[j_out] } else { t.lb[j_out] };
-                t.state[j_out] = if at_upper { ColState::AtUpper } else { ColState::AtLower };
+                t.state[j_out] = if at_upper {
+                    ColState::AtUpper
+                } else {
+                    ColState::AtLower
+                };
                 t.state[j_in] = ColState::Basic(r);
                 t.basis[r] = j_in;
                 t.update_binv(r, &w);
@@ -937,12 +970,24 @@ mod tests {
         //        x3 <= 1,   x >= 0
         let mut p = LpProblem::new(4);
         p.obj = vec![-0.75, 150.0, -0.02, 6.0];
-        p.add_row(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], RowKind::Le, 0.0);
-        p.add_row(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], RowKind::Le, 0.0);
+        p.add_row(
+            &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            RowKind::Le,
+            0.0,
+        );
+        p.add_row(
+            &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            RowKind::Le,
+            0.0,
+        );
         p.add_row(&[(2, 1.0)], RowKind::Le, 1.0);
         let s = solve_lp(&p).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - (-0.05)).abs() < 1e-9, "obj = {}", s.objective);
+        assert!(
+            (s.objective - (-0.05)).abs() < 1e-9,
+            "obj = {}",
+            s.objective
+        );
         assert!((s.x[2] - 1.0).abs() < 1e-9);
     }
 
@@ -1006,9 +1051,9 @@ mod tests {
         ];
         let nv = 12;
         let mut p = LpProblem::new(nv);
-        for i in 0..3 {
-            for j in 0..4 {
-                p.obj[i * 4 + j] = cost[i][j];
+        for (i, row) in cost.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                p.obj[i * 4 + j] = c;
             }
         }
         for (i, &s) in supply.iter().enumerate() {
@@ -1022,13 +1067,13 @@ mod tests {
         let s = solve_lp(&p).unwrap();
         assert_eq!(s.status, LpStatus::Optimal);
         // Validate feasibility of the returned plan.
-        for i in 0..3 {
+        for (i, &cap) in supply.iter().enumerate() {
             let used: f64 = (0..4).map(|j| s.x[i * 4 + j]).sum();
-            assert!(used <= supply[i] + 1e-6);
+            assert!(used <= cap + 1e-6);
         }
-        for j in 0..4 {
+        for (j, &want) in demand.iter().enumerate() {
             let got: f64 = (0..3).map(|i| s.x[i * 4 + j]).sum();
-            assert_close(got, demand[j]);
+            assert_close(got, want);
         }
         // Optimum verified by hand (s0: t0=10,t1=10; s1: t1=15,t3=15; s2: t2=20,t3=5).
         assert_close(s.objective, 395.0);

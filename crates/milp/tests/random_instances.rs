@@ -1,13 +1,40 @@
-//! Property tests: the simplex and branch-and-bound against brute force.
+//! Randomized tests: the simplex and branch-and-bound against brute force.
 //!
 //! * For random small **binary** programs, enumerate all 2^n assignments and
 //!   check the MILP solver finds exactly the best feasible one.
 //! * For random small **LPs over boxes**, sample many feasible points and
 //!   verify none beats the simplex optimum, and that the simplex solution
 //!   satisfies every constraint.
+//!
+//! Instances come from a fixed-seed SplitMix64 generator so failures
+//! reproduce exactly; each test sweeps the same instance counts the old
+//! property-testing setup used.
 
-use dvs_milp::{solve, solve_with, BranchConfig, BranchRule, LinExpr, Model, MilpError, Sense};
-use proptest::prelude::*;
+use dvs_milp::{solve, solve_with, BranchConfig, BranchRule, LinExpr, MilpError, Model, Sense};
+
+/// SplitMix64: tiny, seedable, and statistically fine for test-case
+/// generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// Enumerates all binary assignments, returning the best feasible objective.
 fn brute_force_binary(
@@ -29,19 +56,18 @@ fn brute_force_binary(
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn binary_milp_matches_brute_force(
-        n in 2usize..8,
-        obj_raw in prop::collection::vec(-10i32..10, 8),
-        con_raw in prop::collection::vec((prop::collection::vec(-5i32..6, 8), 0i32..20), 1..4),
-    ) {
-        let obj: Vec<f64> = obj_raw[..n].iter().map(|&c| f64::from(c)).collect();
-        let cons: Vec<(Vec<f64>, f64)> = con_raw
-            .iter()
-            .map(|(a, b)| (a[..n].iter().map(|&c| f64::from(c)).collect(), f64::from(*b)))
+#[test]
+fn binary_milp_matches_brute_force() {
+    let mut rng = Rng(0xD5_5EED_0001);
+    for case in 0..64 {
+        let n = rng.int(2, 8) as usize;
+        let obj: Vec<f64> = (0..n).map(|_| rng.int(-10, 10) as f64).collect();
+        let num_cons = rng.int(1, 4) as usize;
+        let cons: Vec<(Vec<f64>, f64)> = (0..num_cons)
+            .map(|_| {
+                let a: Vec<f64> = (0..n).map(|_| rng.int(-5, 6) as f64).collect();
+                (a, rng.int(0, 20) as f64)
+            })
             .collect();
 
         let mut m = Model::new(Sense::Maximize);
@@ -62,43 +88,57 @@ proptest! {
         let expected = brute_force_binary(n, &obj, &cons);
         match (solve(&m), expected) {
             (Ok(sol), Some(best)) => {
-                prop_assert!((sol.objective - best).abs() < 1e-6,
-                    "solver {} vs brute force {}", sol.objective, best);
+                assert!(
+                    (sol.objective - best).abs() < 1e-6,
+                    "case {case}: solver {} vs brute force {}",
+                    sol.objective,
+                    best
+                );
                 // Returned assignment must itself be feasible and binary.
                 for &x in &xs {
                     let v = sol.value(x);
-                    prop_assert!((v - v.round()).abs() < 1e-6);
+                    assert!((v - v.round()).abs() < 1e-6, "case {case}: non-binary {v}");
                 }
                 for (a, b) in &cons {
-                    let lhs: f64 = xs.iter().enumerate()
-                        .map(|(i, &x)| a[i] * sol.value(x)).sum();
-                    prop_assert!(lhs <= b + 1e-6);
+                    let lhs: f64 = xs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| a[i] * sol.value(x))
+                        .sum();
+                    assert!(lhs <= b + 1e-6, "case {case}: violated constraint");
                 }
             }
             (Err(MilpError::Infeasible), None) => {}
-            (got, want) => prop_assert!(false, "solver {:?} vs brute force {:?}",
-                got.map(|s| s.objective), want),
+            (got, want) => panic!(
+                "case {case}: solver {:?} vs brute force {:?}",
+                got.map(|s| s.objective),
+                want
+            ),
         }
     }
+}
 
-    #[test]
-    fn lp_optimum_dominates_random_feasible_points(
-        n in 2usize..6,
-        obj_raw in prop::collection::vec(-10i32..10, 6),
-        con_raw in prop::collection::vec((prop::collection::vec(0i32..6, 6), 1i32..30), 1..4),
-        samples in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 6), 20),
-    ) {
+#[test]
+fn lp_optimum_dominates_random_feasible_points() {
+    let mut rng = Rng(0xD5_5EED_0002);
+    for case in 0..64 {
         // Constraints use non-negative coefficients so x=0 is always
         // feasible and the instance is never infeasible; the box [0, 10]^n
         // keeps it bounded.
-        let obj: Vec<f64> = obj_raw[..n].iter().map(|&c| f64::from(c)).collect();
-        let cons: Vec<(Vec<f64>, f64)> = con_raw
-            .iter()
-            .map(|(a, b)| (a[..n].iter().map(|&c| f64::from(c)).collect(), f64::from(*b)))
+        let n = rng.int(2, 6) as usize;
+        let obj: Vec<f64> = (0..n).map(|_| rng.int(-10, 10) as f64).collect();
+        let num_cons = rng.int(1, 4) as usize;
+        let cons: Vec<(Vec<f64>, f64)> = (0..num_cons)
+            .map(|_| {
+                let a: Vec<f64> = (0..n).map(|_| rng.int(0, 6) as f64).collect();
+                (a, rng.int(1, 30) as f64)
+            })
             .collect();
 
         let mut m = Model::new(Sense::Maximize);
-        let xs: Vec<_> = (0..n).map(|i| m.num_var(format!("x{i}"), 0.0, 10.0)).collect();
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.num_var(format!("x{i}"), 0.0, 10.0))
+            .collect();
         let mut e = LinExpr::zero();
         for (i, &x) in xs.iter().enumerate() {
             e += obj[i] * x;
@@ -115,49 +155,57 @@ proptest! {
 
         // The solver's point is feasible.
         for (a, b) in &cons {
-            let lhs: f64 = xs.iter().enumerate().map(|(i, &x)| a[i] * sol.value(x)).sum();
-            prop_assert!(lhs <= b + 1e-6);
+            let lhs: f64 = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| a[i] * sol.value(x))
+                .sum();
+            assert!(lhs <= b + 1e-6, "case {case}: infeasible optimum");
         }
         for &x in &xs {
             let v = sol.value(x);
-            prop_assert!((-1e-9..=10.0 + 1e-9).contains(&v));
+            assert!(
+                (-1e-9..=10.0 + 1e-9).contains(&v),
+                "case {case}: out of box {v}"
+            );
         }
 
         // No sampled feasible point beats it. Scale samples into the box and
         // reject infeasible ones.
-        for s in &samples {
-            let x: Vec<f64> = s[..n].iter().map(|v| v * 10.0).collect();
-            let feasible = cons.iter().all(|(a, b)| {
-                a.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() <= *b
-            });
+        for _ in 0..20 {
+            let x: Vec<f64> = (0..n).map(|_| rng.unit() * 10.0).collect();
+            let feasible = cons
+                .iter()
+                .all(|(a, b)| a.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() <= *b);
             if feasible {
                 let v: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
-                prop_assert!(v <= sol.objective + 1e-6,
-                    "sample {v} beats optimum {}", sol.objective);
+                assert!(
+                    v <= sol.objective + 1e-6,
+                    "case {case}: sample {v} beats optimum {}",
+                    sol.objective
+                );
             }
         }
     }
 }
 
+/// SOS1 branching and plain most-fractional branching must agree on
+/// the optimal objective of random assignment-like instances (they
+/// explore different trees, same optimum).
+#[test]
+fn branch_rules_agree_on_optimum() {
+    let mut rng = Rng(0xD5_5EED_0003);
+    for case in 0..48 {
+        let costs: Vec<f64> = (0..9).map(|_| rng.int(0, 12) as f64).collect();
+        let cap = rng.int(1, 4) as f64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// SOS1 branching and plain most-fractional branching must agree on
-    /// the optimal objective of random assignment-like instances (they
-    /// explore different trees, same optimum).
-    #[test]
-    fn branch_rules_agree_on_optimum(
-        costs in prop::collection::vec(0i32..12, 9),
-        cap in 1i32..4,
-    ) {
         let mut m = Model::new(Sense::Minimize);
         let mut vars = vec![vec![]; 3];
         let mut obj = LinExpr::zero();
         for g in 0..3 {
             for i in 0..3 {
                 let v = m.bool_var(format!("x{g}{i}"));
-                obj += f64::from(costs[g * 3 + i]) * v;
+                obj += costs[g * 3 + i] * v;
                 vars[g].push(v);
             }
             let mut sum = LinExpr::zero();
@@ -170,55 +218,82 @@ proptest! {
         // A side constraint coupling the groups so the LP relaxation is
         // usually fractional: at most `cap` of the "column 0" picks.
         let mut col0 = LinExpr::zero();
-        for g in 0..3 {
-            col0 += LinExpr::from(vars[g][0]);
+        for group in &vars {
+            col0 += LinExpr::from(group[0]);
         }
-        m.add_le(col0, f64::from(cap));
+        m.add_le(col0, cap);
         m.set_objective(obj);
 
         let sos = solve_with(
             &m,
-            &BranchConfig { rule: BranchRule::Sos1ThenFractional, ..BranchConfig::default() },
+            &BranchConfig {
+                rule: BranchRule::Sos1ThenFractional,
+                ..BranchConfig::default()
+            },
         );
         let frac = solve_with(
             &m,
-            &BranchConfig { rule: BranchRule::MostFractional, ..BranchConfig::default() },
+            &BranchConfig {
+                rule: BranchRule::MostFractional,
+                ..BranchConfig::default()
+            },
         );
         match (sos, frac) {
-            (Ok(a), Ok(b)) => prop_assert!(
+            (Ok(a), Ok(b)) => assert!(
                 (a.objective - b.objective).abs() < 1e-6,
-                "sos {} vs fractional {}", a.objective, b.objective
+                "case {case}: sos {} vs fractional {}",
+                a.objective,
+                b.objective
             ),
-            (a, b) => prop_assert!(false, "solver disagreement: {:?} vs {:?}",
-                a.map(|s| s.objective), b.map(|s| s.objective)),
+            (a, b) => panic!(
+                "case {case}: solver disagreement: {:?} vs {:?}",
+                a.map(|s| s.objective),
+                b.map(|s| s.objective)
+            ),
         }
     }
+}
 
-    /// Presolve on/off agree on the optimum.
-    #[test]
-    fn presolve_preserves_milp_optimum(
-        obj_raw in prop::collection::vec(-8i32..8, 6),
-        rhs in 2i32..16,
-    ) {
+/// Presolve on/off agree on the optimum.
+#[test]
+fn presolve_preserves_milp_optimum() {
+    let mut rng = Rng(0xD5_5EED_0004);
+    for case in 0..48 {
         let n = 6;
+        let obj_raw: Vec<f64> = (0..n).map(|_| rng.int(-8, 8) as f64).collect();
+        let rhs = rng.int(2, 16) as f64;
+
         let mut m = Model::new(Sense::Maximize);
         let xs: Vec<_> = (0..n).map(|i| m.bool_var(format!("x{i}"))).collect();
         let mut obj = LinExpr::zero();
         let mut w = LinExpr::zero();
         for (i, &x) in xs.iter().enumerate() {
-            obj += f64::from(obj_raw[i]) * x;
-            w += f64::from((i % 3 + 1) as i32) * x;
+            obj += obj_raw[i] * x;
+            w += ((i % 3 + 1) as f64) * x;
         }
         m.set_objective(obj);
-        m.add_le(w, f64::from(rhs));
+        m.add_le(w, rhs);
         let with = solve_with(
             &m,
-            &BranchConfig { presolve: true, ..BranchConfig::default() },
-        ).expect("feasible: all-zero works");
+            &BranchConfig {
+                presolve: true,
+                ..BranchConfig::default()
+            },
+        )
+        .expect("feasible: all-zero works");
         let without = solve_with(
             &m,
-            &BranchConfig { presolve: false, ..BranchConfig::default() },
-        ).expect("feasible");
-        prop_assert!((with.objective - without.objective).abs() < 1e-6);
+            &BranchConfig {
+                presolve: false,
+                ..BranchConfig::default()
+            },
+        )
+        .expect("feasible");
+        assert!(
+            (with.objective - without.objective).abs() < 1e-6,
+            "case {case}: presolve {} vs raw {}",
+            with.objective,
+            without.objective
+        );
     }
 }

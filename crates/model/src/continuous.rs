@@ -1,9 +1,8 @@
 use crate::ProgramParams;
 use dvs_vf::AlphaPower;
-use serde::{Deserialize, Serialize};
 
 /// Which structural case of §3.3 a `(program, deadline)` pair falls into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CaseKind {
     /// §3.3.1 / Fig. 2: `finvariant <= fideal` — one frequency is optimal,
     /// intra-program DVS saves nothing.
@@ -58,7 +57,11 @@ impl ContinuousModel {
     /// voltage range (0.5 V – 4 V, matching the sweep range of Figs. 2–4).
     #[must_use]
     pub fn paper() -> Self {
-        ContinuousModel { law: AlphaPower::paper(), v_lo: 0.5, v_hi: 4.0 }
+        ContinuousModel {
+            law: AlphaPower::paper(),
+            v_lo: 0.5,
+            v_hi: 4.0,
+        }
     }
 
     /// Model with an explicit law and voltage range.
@@ -125,7 +128,11 @@ impl ContinuousModel {
         let f = hi;
         let v = self.v_of(f)?;
         let energy = (p.overlap_region_cycles() + p.n_dependent) * v * v;
-        Some(SingleFrequency { f_mhz: f, v, energy })
+        Some(SingleFrequency {
+            f_mhz: f,
+            v,
+            energy,
+        })
     }
 
     /// Model energy of a candidate overlap-region voltage `v1` with the
@@ -190,9 +197,7 @@ impl ContinuousModel {
         // Active constraint piece decides how t1 moves with v1.
         let mem_arm = p.t_invariant_us + p.n_cache / f1;
         let comp_arm = p.n_overlap / f1;
-        let (t1, governing_cycles) = if p.n_cache >= p.n_overlap {
-            (mem_arm, p.n_cache)
-        } else if mem_arm >= comp_arm {
+        let (t1, governing_cycles) = if p.n_cache >= p.n_overlap || mem_arm >= comp_arm {
             (mem_arm, p.n_cache)
         } else {
             (comp_arm, p.n_overlap)
@@ -207,8 +212,7 @@ impl ContinuousModel {
         let dfdv = |v: f64| {
             let law = &self.law;
             let d = v - law.vt;
-            law.k * (law.alpha * d.powf(law.alpha - 1.0) * v - d.powf(law.alpha))
-                / (v * v)
+            law.k * (law.alpha * d.powf(law.alpha - 1.0) * v - d.powf(law.alpha)) / (v * v)
         };
         // dt1/dv1 = -governing_cycles / f1² · df/dv(v1).
         let dt1 = -governing_cycles / (f1 * f1) * dfdv(v1);
@@ -264,7 +268,12 @@ impl ContinuousModel {
         scan(self.v_lo.max(self.law.vt + 0.01), self.v_hi, 800, &mut best);
         let dv = (self.v_hi - self.v_lo) / 800.0;
         let (lo, hi) = (best.v1 - dv, best.v1 + dv);
-        scan(lo.max(self.law.vt + 0.01), hi.min(self.v_hi), 200, &mut best);
+        scan(
+            lo.max(self.law.vt + 0.01),
+            hi.min(self.v_hi),
+            200,
+            &mut best,
+        );
         Some(best)
     }
 
@@ -319,9 +328,18 @@ mod tests {
     #[test]
     fn classification_matches_paper_conditions() {
         let m = ContinuousModel::paper();
-        assert_eq!(m.classify(&compute_bound(), 10_000.0), CaseKind::ComputeDominated);
-        assert_eq!(m.classify(&memory_bound(), 3000.0), CaseKind::MemoryDominated);
-        assert_eq!(m.classify(&slack_bound(), 20_000.0), CaseKind::MemoryDominatedSlack);
+        assert_eq!(
+            m.classify(&compute_bound(), 10_000.0),
+            CaseKind::ComputeDominated
+        );
+        assert_eq!(
+            m.classify(&memory_bound(), 3000.0),
+            CaseKind::MemoryDominated
+        );
+        assert_eq!(
+            m.classify(&slack_bound(), 20_000.0),
+            CaseKind::MemoryDominatedSlack
+        );
     }
 
     #[test]

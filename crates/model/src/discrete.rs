@@ -13,7 +13,10 @@ pub struct DiscretePlan {
 
 impl DiscretePlan {
     fn zero(n: usize) -> Self {
-        DiscretePlan { overlap_cycles: vec![0.0; n], dependent_cycles: vec![0.0; n] }
+        DiscretePlan {
+            overlap_cycles: vec![0.0; n],
+            dependent_cycles: vec![0.0; n],
+        }
     }
 
     /// Number of modes with non-zero assigned cycles.
@@ -83,7 +86,10 @@ impl DiscreteModel {
     /// alpha-power law.
     #[must_use]
     pub fn new(ladder: VoltageLadder) -> Self {
-        DiscreteModel { ladder, continuous: ContinuousModel::paper() }
+        DiscreteModel {
+            ladder,
+            continuous: ContinuousModel::paper(),
+        }
     }
 
     /// The ladder in use.
@@ -96,11 +102,7 @@ impl DiscreteModel {
     /// energy — the baseline every savings ratio is computed against
     /// ("best single-frequency setting that meets the deadline").
     #[must_use]
-    pub fn best_single_mode(
-        &self,
-        p: &ProgramParams,
-        t_deadline_us: f64,
-    ) -> Option<(ModeId, f64)> {
+    pub fn best_single_mode(&self, p: &ProgramParams, t_deadline_us: f64) -> Option<(ModeId, f64)> {
         let cycles = p.overlap_region_cycles() + p.n_dependent;
         self.ladder
             .iter()
@@ -288,7 +290,11 @@ impl DiscreteModel {
                         let y = y_lo + (y_hi - y_lo) * f64::from(i) / f64::from(steps);
                         if let Some((e, plan)) = self.emin_at_y(p, t_deadline_us, y) {
                             if e < best.energy {
-                                best = DiscreteSolution { energy: e, plan, y_us: Some(y) };
+                                best = DiscreteSolution {
+                                    energy: e,
+                                    plan,
+                                    y_us: Some(y),
+                                };
                             }
                         }
                     }
@@ -434,8 +440,7 @@ mod tests {
         let deadlines: Vec<f64> = (0..10).map(|i| 5200.0 + 1000.0 * f64::from(i)).collect();
         let avg = |n: usize| -> f64 {
             let m = DiscreteModel::new(ladder(n));
-            let vals: Vec<f64> =
-                deadlines.iter().filter_map(|&t| m.savings(&p, t)).collect();
+            let vals: Vec<f64> = deadlines.iter().filter_map(|&t| m.savings(&p, t)).collect();
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         let (a3, a7, a13) = (avg(3), avg(7), avg(13));
@@ -470,10 +475,7 @@ mod tests {
         let p = memory_bound();
         let curve = m.emin_curve(&p, 3400.0, 100);
         assert!(curve.len() > 50);
-        let min = curve
-            .iter()
-            .map(|&(_, e)| e)
-            .fold(f64::INFINITY, f64::min);
+        let min = curve.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
         let ends = curve[0].1.max(curve.last().unwrap().1);
         assert!(min < ends, "interior min {min} vs ends {ends}");
     }

@@ -1,8 +1,6 @@
-use serde::{Deserialize, Serialize};
-
 /// The analytical model's program parameters (§3.2). Frequencies are in
 /// MHz, so `cycles / frequency_mhz` yields µs directly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProgramParams {
     /// `Noverlap`: cycles of computation that can run in parallel with
     /// memory operations.
@@ -111,7 +109,7 @@ mod tests {
         let p = p();
         let fi = p.f_invariant_mhz().unwrap();
         assert!((fi - 60.0).abs() < 1e-12); // (1000-400)/10
-        // At exactly finvariant the two arms of the max are equal.
+                                            // At exactly finvariant the two arms of the max are equal.
         let mem = p.t_invariant_us + p.n_cache / fi;
         let compute = p.n_overlap / fi;
         assert!((mem - compute).abs() < 1e-9);
@@ -153,7 +151,10 @@ mod tests {
             t_invariant_us: 0.0,
         };
         assert!(!zero.is_valid());
-        let neg = ProgramParams { n_overlap: -1.0, ..p() };
+        let neg = ProgramParams {
+            n_overlap: -1.0,
+            ..p()
+        };
         assert!(!neg.is_valid());
     }
 }

@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// One axis of a parameter sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepAxis {
     /// Human-readable axis label (e.g. `"Noverlap (cycles)"`).
     pub label: String,
@@ -22,14 +20,17 @@ impl SweepAxis {
         let values = (0..n)
             .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
             .collect();
-        SweepAxis { label: label.into(), values }
+        SweepAxis {
+            label: label.into(),
+            values,
+        }
     }
 }
 
 /// A 2-D sweep result: `z[i][j]` is the value at `(y.values[i],
 /// x.values[j])` — the shape of the paper's savings-surface figures
 /// (Figs. 5–7, 9–11).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Surface {
     /// Horizontal axis.
     pub x: SweepAxis,
@@ -64,7 +65,11 @@ impl Surface {
     /// Minimum sampled value.
     #[must_use]
     pub fn min(&self) -> f64 {
-        self.z.iter().flatten().copied().fold(f64::INFINITY, f64::min)
+        self.z
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The `(x, y)` coordinates of the maximum sample.

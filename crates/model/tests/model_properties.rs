@@ -1,22 +1,35 @@
-//! Property tests of the analytical model over random program parameters.
+//! Randomized tests of the analytical model over random program parameters.
+//!
+//! Parameters come from a fixed-seed SplitMix64 generator so failures
+//! reproduce exactly.
 
 use dvs_model::{ContinuousModel, DiscreteModel, ProgramParams};
 use dvs_vf::{AlphaPower, VoltageLadder};
-use proptest::prelude::*;
 
-fn arb_params() -> impl Strategy<Value = ProgramParams> {
-    (
-        1.0e4f64..2.0e6,
-        1.0e4f64..2.0e6,
-        0.0f64..2.0e6,
-        0.0f64..3.0e3,
-    )
-        .prop_map(|(n_overlap, n_dependent, n_cache, t_invariant_us)| ProgramParams {
-            n_overlap,
-            n_dependent,
-            n_cache,
-            t_invariant_us,
-        })
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+fn params(rng: &mut Rng) -> ProgramParams {
+    ProgramParams {
+        n_overlap: rng.range(1.0e4, 2.0e6),
+        n_dependent: rng.range(1.0e4, 2.0e6),
+        n_cache: rng.range(0.0, 2.0e6),
+        t_invariant_us: rng.range(0.0, 3.0e3),
+    }
 }
 
 fn ladder(n: usize) -> VoltageLadder {
@@ -28,54 +41,80 @@ fn ladder(n: usize) -> VoltageLadder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn savings_are_a_valid_ratio(p in arb_params(), slack in 1.01f64..6.0) {
+#[test]
+fn savings_are_a_valid_ratio() {
+    let mut rng = Rng(0xD5_5EED_0011);
+    for case in 0..96 {
+        let p = params(&mut rng);
+        let slack = rng.range(1.01, 6.0);
         // Deadline set as a multiple of the fastest ladder runtime so the
         // discrete problem is often (not always) feasible.
         let l = ladder(7);
         let t_fast = p.time_at_single_frequency(l.fastest().frequency_mhz);
         let d = t_fast * slack;
         if let Some(s) = DiscreteModel::new(l).savings(&p, d) {
-            prop_assert!((0.0..1.0).contains(&s), "savings {s}");
+            assert!((0.0..1.0).contains(&s), "case {case}: savings {s}");
         }
         if let Some(s) = ContinuousModel::paper().savings(&p, d) {
-            prop_assert!((0.0..1.0).contains(&s), "continuous savings {s}");
+            assert!(
+                (0.0..1.0).contains(&s),
+                "case {case}: continuous savings {s}"
+            );
         }
     }
+}
 
-    #[test]
-    fn single_frequency_time_is_monotone(p in arb_params(), f in 50.0f64..1600.0) {
+#[test]
+fn single_frequency_time_is_monotone() {
+    let mut rng = Rng(0xD5_5EED_0012);
+    for case in 0..96 {
+        let p = params(&mut rng);
+        let f = rng.range(50.0, 1600.0);
         let t1 = p.time_at_single_frequency(f);
         let t2 = p.time_at_single_frequency(f * 1.5);
-        prop_assert!(t2 <= t1 + 1e-9);
+        assert!(t2 <= t1 + 1e-9, "case {case}: not monotone");
         // And bounded below by the invariant memory time.
-        prop_assert!(t1 >= p.t_invariant_us);
+        assert!(t1 >= p.t_invariant_us, "case {case}: below invariant time");
     }
+}
 
-    #[test]
-    fn discrete_optimal_never_beats_nothing(p in arb_params(), slack in 1.05f64..4.0) {
+#[test]
+fn discrete_optimal_never_beats_nothing() {
+    let mut rng = Rng(0xD5_5EED_0013);
+    for case in 0..96 {
+        let p = params(&mut rng);
+        let slack = rng.range(1.05, 4.0);
         let l = ladder(3);
         let t_fast = p.time_at_single_frequency(l.fastest().frequency_mhz);
         let d = t_fast * slack;
         let model = DiscreteModel::new(l);
-        let Some((_, single)) = model.best_single_mode(&p, d) else { return Ok(()) };
-        let Some(opt) = model.optimal(&p, d) else { return Ok(()) };
-        prop_assert!(opt.energy <= single + 1e-6 * single, "optimal above baseline");
-        prop_assert!(opt.energy > 0.0);
+        let Some((_, single)) = model.best_single_mode(&p, d) else {
+            continue;
+        };
+        let Some(opt) = model.optimal(&p, d) else {
+            continue;
+        };
+        assert!(
+            opt.energy <= single + 1e-6 * single,
+            "case {case}: optimal above baseline"
+        );
+        assert!(opt.energy > 0.0, "case {case}: non-positive energy");
     }
+}
 
-    #[test]
-    fn emin_plans_conserve_cycles(p in arb_params(), frac in 0.2f64..0.8) {
+#[test]
+fn emin_plans_conserve_cycles() {
+    let mut rng = Rng(0xD5_5EED_0014);
+    for case in 0..96 {
+        let p = params(&mut rng);
+        let frac = rng.range(0.2, 0.8);
         let l = ladder(7);
         let f_max = l.fastest().frequency_mhz;
         let y_lo = p.n_cache / f_max;
-        let y_hi = 4.0 * p.time_at_single_frequency(f_max) - p.t_invariant_us
-            - p.n_dependent / f_max;
+        let y_hi =
+            4.0 * p.time_at_single_frequency(f_max) - p.t_invariant_us - p.n_dependent / f_max;
         if y_hi <= y_lo {
-            return Ok(());
+            continue;
         }
         let y = y_lo + frac * (y_hi - y_lo);
         let tdl = y + p.t_invariant_us + p.n_dependent / f_max * 2.0;
@@ -87,11 +126,14 @@ proptest! {
                 .chain(&plan.dependent_cycles)
                 .sum();
             let expect = p.overlap_region_cycles() + p.n_dependent;
-            prop_assert!(
+            assert!(
                 (total - expect).abs() < 1e-6 * expect.max(1.0),
-                "cycles {total} vs {expect}"
+                "case {case}: cycles {total} vs {expect}"
             );
-            prop_assert!((energy - plan.energy(&l)).abs() < 1e-6 * energy.max(1.0));
+            assert!(
+                (energy - plan.energy(&l)).abs() < 1e-6 * energy.max(1.0),
+                "case {case}: energy mismatch"
+            );
             // The plan's phase-2 time fits its budget.
             let t2: f64 = plan
                 .dependent_cycles
@@ -99,23 +141,28 @@ proptest! {
                 .zip(l.iter())
                 .map(|(c, (_, pt))| c / pt.frequency_mhz)
                 .sum();
-            prop_assert!(t2 <= tdl - p.t_invariant_us - y + 1e-6);
+            assert!(
+                t2 <= tdl - p.t_invariant_us - y + 1e-6,
+                "case {case}: budget blown"
+            );
         }
     }
+}
 
-    #[test]
-    fn nested_ladder_optimum_dominates_coarse_baseline(
-        p in arb_params(),
-        slack in 1.05f64..4.0,
-    ) {
+#[test]
+fn nested_ladder_optimum_dominates_coarse_baseline() {
+    let mut rng = Rng(0xD5_5EED_0015);
+    for case in 0..96 {
         // Evenly-interpolated ladders nest when the fine one has 2n-1
         // levels: every 4-level voltage appears among the 7 levels. The
         // fine ladder's optimum can then never exceed the coarse ladder's
         // single-mode baseline (the fine ladder contains that very mode).
         // (The XScale 3-level ladder is NOT on the alpha-power law — its
         // 200 MHz @ 0.7 V point is better than the law allows — so no such
-        // relation holds against interpolated ladders; a proptest
+        // relation holds against interpolated ladders; a random
         // counterexample found exactly that.)
+        let p = params(&mut rng);
+        let slack = rng.range(1.05, 4.0);
         let coarse = ladder(4);
         let fine = ladder(7);
         let t_fast = p.time_at_single_frequency(coarse.fastest().frequency_mhz);
@@ -123,9 +170,9 @@ proptest! {
         let base4 = DiscreteModel::new(coarse).best_single_mode(&p, d);
         let o7 = DiscreteModel::new(fine).optimal(&p, d);
         if let (Some((_, base)), Some(fine_opt)) = (base4, o7) {
-            prop_assert!(
+            assert!(
                 fine_opt.energy <= base * (1.0 + 1e-9),
-                "7-level optimum {} above 4-level baseline {base}",
+                "case {case}: 7-level optimum {} above 4-level baseline {base}",
                 fine_opt.energy
             );
         }

@@ -1,0 +1,170 @@
+//! `dvs-obs` — zero-dependency observability for the DVS pipeline.
+//!
+//! The compile-time DVS pass is a multi-stage pipeline (profile →
+//! formulate → filter → solve → emit → validate) whose behaviour used to
+//! be visible only through final CSV numbers. This crate makes each stage
+//! measurable:
+//!
+//! * **Spans** — RAII scope guards ([`span!`]) that record wall-clock
+//!   intervals per thread, exportable as a Chrome trace-event JSON
+//!   ([`chrome_trace_string`]) for `chrome://tracing` / Perfetto.
+//! * **Metrics** — typed [`counter`]s (`milp.pivots`, `sim.cycles`, ...),
+//!   [`gauge`]s (`pass.solve.wall_us`), and power-of-two-bucket
+//!   [`histogram`]s.
+//! * **Snapshots** — [`MetricsSnapshot::capture`] freezes everything into
+//!   a plain value with JSON ([`MetricsSnapshot::to_json`]) and
+//!   human-readable table ([`MetricsSnapshot::summary_table`]) renderings.
+//!
+//! Collection is **off by default** and the whole layer then costs one
+//! relaxed atomic load per call site ([`enabled`]); the instrumented crates
+//! additionally record only per-run/per-solve aggregates, never per-cycle
+//! events, so the disabled overhead on the simulator hot loop is
+//! unmeasurable (see `crates/bench/benches/simulator.rs`).
+//!
+//! ```
+//! dvs_obs::enable();
+//! dvs_obs::reset();
+//! {
+//!     let _g = dvs_obs::span!("demo.stage");
+//!     dvs_obs::counter("demo.items", 3);
+//! }
+//! let snap = dvs_obs::MetricsSnapshot::capture();
+//! assert_eq!(snap.counter("demo.items"), 3);
+//! assert_eq!(snap.spans[0].name, "demo.stage");
+//! dvs_obs::disable();
+//! ```
+//!
+//! The [`json`] module is public and deliberately generic: it is the
+//! workspace's replacement for external JSON crates (used by `dvs-ir` and
+//! `dvs-vf` for their serialization round-trips as well as by the
+//! exporters here).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+
+pub use metrics::{
+    chrome_trace, chrome_trace_string, counter, disable, enable, enabled, gauge, histogram,
+    record_span, reset, thread_id, HistogramSummary, MetricsSnapshot, SpanEvent, SpanSummary,
+};
+
+use std::time::Instant;
+
+/// An RAII guard that records a span from construction to drop.
+///
+/// Obtain one through [`span()`] or the [`span!`] macro. When collection is
+/// disabled at construction time the guard is inert (no clock read, no
+/// allocation, nothing recorded at drop).
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// The span's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            record_span(self.name, start, Instant::now());
+        }
+    }
+}
+
+/// Starts a span named `name`; the returned guard records it when dropped.
+///
+/// `name` must be `'static` (use dotted lower-case names, e.g.
+/// `"pass.solve"`) so recording never allocates.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    let start = if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    SpanGuard { name, start }
+}
+
+/// `span!("stage.name")` — sugar for [`span()`] that reads like the
+/// `tracing` crate's macro. Bind the result (`let _g = span!(...)`) or the
+/// span ends immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global sink is process-wide, so the unit tests here stay within
+    // one `#[test]` body per concern and serialize via a lock.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_layer_records_nothing() {
+        let _l = TEST_LOCK.lock().unwrap();
+        disable();
+        reset();
+        counter("off.counter", 7);
+        gauge("off.gauge", 1.0);
+        histogram("off.hist", 2.0);
+        drop(span("off.span"));
+        let snap = MetricsSnapshot::capture();
+        assert_eq!(snap.counters.len(), 0);
+        assert_eq!(snap.gauges.len(), 0);
+        assert_eq!(snap.histograms.len(), 0);
+        assert_eq!(snap.spans.len(), 0);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_and_spans_round_trip() {
+        let _l = TEST_LOCK.lock().unwrap();
+        enable();
+        reset();
+        counter("t.count", 2);
+        counter("t.count", 3);
+        gauge("t.gauge", 1.5);
+        gauge("t.gauge", 2.5);
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            histogram("t.hist", v);
+        }
+        {
+            let _g = span!("t.span");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = MetricsSnapshot::capture();
+        disable();
+        assert_eq!(snap.counter("t.count"), 5);
+        assert_eq!(snap.counter("t.missing"), 0);
+        assert_eq!(snap.gauge("t.gauge"), Some(2.5));
+        let h = &snap.histograms[0];
+        assert_eq!((h.count, h.min, h.max), (4, 0.5, 100.0));
+        assert!((h.sum - 104.5).abs() < 1e-9);
+        assert!(h.p50_est >= 1.0 && h.p50_est <= 100.0);
+        let s = &snap.spans[0];
+        assert_eq!(s.name, "t.span");
+        assert_eq!(s.count, 1);
+        assert!(
+            s.total_us >= 1000.0,
+            "span shorter than the sleep: {}",
+            s.total_us
+        );
+
+        // JSON export and re-import of the scalar parts.
+        let j = snap.to_json();
+        let back = MetricsSnapshot::from_json(&j).unwrap();
+        assert_eq!(back.counter("t.count"), 5);
+        assert_eq!(back.gauge("t.gauge"), Some(2.5));
+    }
+}

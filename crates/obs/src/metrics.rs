@@ -1,0 +1,523 @@
+//! The global metrics sink: typed counters, gauges and histograms plus the
+//! span-event buffer, all behind one mutex that is only ever touched when
+//! collection is enabled.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Span events kept before the buffer saturates; a counter of dropped
+/// events is maintained past this point so truncation is never silent.
+const MAX_SPAN_EVENTS: usize = 1 << 20;
+
+/// The single global "is collection on?" flag. Every recording entry point
+/// checks this with one relaxed atomic load and returns immediately when
+/// off, which is what keeps the disabled layer out of hot-loop profiles.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+
+/// Monotone sequence for compact per-thread ids (Chrome traces want small
+/// integer `tid`s; `std::thread::ThreadId` has no stable integer form).
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The compact id of the calling thread (stable for the thread's life).
+#[must_use]
+pub fn thread_id() -> u32 {
+    TID.with(|t| *t)
+}
+
+/// A finished span occurrence, timestamped against the sink epoch.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Static span name, e.g. `"pass.solve"`.
+    pub name: &'static str,
+    /// Compact id of the thread the span ran on.
+    pub tid: u32,
+    /// Start time in µs since the sink epoch.
+    pub ts_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+}
+
+#[derive(Debug)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Power-of-two buckets: bucket `i` counts values in `[2^(i-1), 2^i)`,
+    /// bucket 0 counts values below 1.
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let bucket = if v < 1.0 {
+            0
+        } else {
+            (v.log2() as usize + 1).min(63)
+        };
+        self.buckets[bucket] += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: Vec<SpanEvent>,
+    dropped_spans: u64,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    SINK.get_or_init(|| Mutex::new(Sink::default()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether collection is currently enabled. One relaxed atomic load.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on (idempotent). Also pins the trace epoch, so `ts`
+/// values in a Chrome trace are relative to (roughly) the first `enable`.
+pub fn enable() {
+    let _ = epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns collection off. Already-recorded data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears every counter, gauge, histogram and span event.
+pub fn reset() {
+    let mut s = sink().lock().expect("obs sink poisoned");
+    *s = Sink::default();
+}
+
+/// Adds `delta` to the named monotonic counter. No-op while disabled.
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut s = sink().lock().expect("obs sink poisoned");
+    *s.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Sets the named gauge to `value` (last write wins). No-op while disabled.
+pub fn gauge(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut s = sink().lock().expect("obs sink poisoned");
+    s.gauges.insert(name, value);
+}
+
+/// Records one observation into the named histogram. No-op while disabled.
+pub fn histogram(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut s = sink().lock().expect("obs sink poisoned");
+    s.histograms.entry(name).or_default().record(value);
+}
+
+/// Records a finished span. Called by the [`crate::SpanGuard`] drop; public
+/// so exporters can be tested without real time passing.
+pub fn record_span(name: &'static str, start: Instant, end: Instant) {
+    if !enabled() {
+        return;
+    }
+    let e = epoch();
+    let ts_us = start.saturating_duration_since(e).as_secs_f64() * 1e6;
+    let dur_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
+    let mut s = sink().lock().expect("obs sink poisoned");
+    if s.spans.len() >= MAX_SPAN_EVENTS {
+        s.dropped_spans += 1;
+        return;
+    }
+    s.spans.push(SpanEvent {
+        name,
+        tid: thread_id(),
+        ts_us,
+        dur_us,
+    });
+}
+
+/// Aggregated statistics of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median estimated from the power-of-two buckets (upper bound of the
+    /// bucket holding the middle observation).
+    pub p50_est: f64,
+}
+
+/// Aggregated statistics of one span name at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Total time inside the span, µs (self-time is not subtracted).
+    pub total_us: f64,
+    /// Longest single occurrence, µs.
+    pub max_us: f64,
+}
+
+/// A point-in-time copy of every metric, detached from the live sink.
+///
+/// This is the unit the rest of the workspace passes around (bench reports
+/// attach one per experiment) and the input to the JSON/table exporters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges (last written value), sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// Per-span-name aggregates, sorted by name.
+    pub spans: Vec<SpanSummary>,
+    /// Span events discarded after the buffer filled (0 in healthy runs).
+    pub dropped_spans: u64,
+}
+
+impl MetricsSnapshot {
+    /// Captures the current state of the global sink.
+    #[must_use]
+    pub fn capture() -> Self {
+        let s = sink().lock().expect("obs sink poisoned");
+        let histograms = s
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let mut seen = 0u64;
+                let mut p50 = h.max;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    seen += c;
+                    if seen * 2 >= h.count {
+                        p50 = 2f64.powi(i as i32).min(h.max);
+                        break;
+                    }
+                }
+                HistogramSummary {
+                    name: (*name).to_string(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    p50_est: p50,
+                }
+            })
+            .collect();
+        let mut by_name: BTreeMap<&'static str, SpanSummary> = BTreeMap::new();
+        for ev in &s.spans {
+            let agg = by_name.entry(ev.name).or_insert_with(|| SpanSummary {
+                name: ev.name.to_string(),
+                count: 0,
+                total_us: 0.0,
+                max_us: 0.0,
+            });
+            agg.count += 1;
+            agg.total_us += ev.dur_us;
+            agg.max_us = agg.max_us.max(ev.dur_us);
+        }
+        MetricsSnapshot {
+            counters: s
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            gauges: s
+                .gauges
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            histograms,
+            spans: by_name.into_values().collect(),
+            dropped_spans: s.dropped_spans,
+        }
+    }
+
+    /// The value of a counter, or 0 when it was never incremented.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The value of a gauge, if it was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Serializes the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
+        let histograms = Json::Arr(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    Json::obj([
+                        ("name", Json::from(h.name.as_str())),
+                        ("count", Json::from(h.count)),
+                        ("sum", Json::from(h.sum)),
+                        ("min", Json::from(h.min)),
+                        ("max", Json::from(h.max)),
+                        ("p50_est", Json::from(h.p50_est)),
+                    ])
+                })
+                .collect(),
+        );
+        let spans = Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("name", Json::from(s.name.as_str())),
+                        ("count", Json::from(s.count)),
+                        ("total_us", Json::from(s.total_us)),
+                        ("max_us", Json::from(s.max_us)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+            ("spans".to_string(), spans),
+            ("dropped_spans".to_string(), Json::from(self.dropped_spans)),
+        ])
+    }
+
+    /// Parses a snapshot previously produced by [`MetricsSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let mut snap = MetricsSnapshot::default();
+        if let Some(members) = v.get("counters").and_then(Json::as_obj) {
+            for (k, val) in members {
+                let n = val
+                    .as_u64()
+                    .ok_or_else(|| format!("counter `{k}` not a u64"))?;
+                snap.counters.push((k.clone(), n));
+            }
+        }
+        if let Some(members) = v.get("gauges").and_then(Json::as_obj) {
+            for (k, val) in members {
+                let n = val
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge `{k}` not a number"))?;
+                snap.gauges.push((k.clone(), n));
+            }
+        }
+        if let Some(items) = v.get("histograms").and_then(Json::as_arr) {
+            for h in items {
+                let name = h
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("histogram without a name")?
+                    .to_string();
+                let field = |key: &str| {
+                    h.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("histogram `{name}`: `{key}` not a number"))
+                };
+                snap.histograms.push(HistogramSummary {
+                    count: h
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("histogram `{name}`: `count` not a u64"))?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    p50_est: field("p50_est")?,
+                    name,
+                });
+            }
+        }
+        if let Some(items) = v.get("spans").and_then(Json::as_arr) {
+            for s in items {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("span without a name")?
+                    .to_string();
+                let field = |key: &str| {
+                    s.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("span `{name}`: `{key}` not a number"))
+                };
+                snap.spans.push(SpanSummary {
+                    count: s
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("span `{name}`: `count` not a u64"))?,
+                    total_us: field("total_us")?,
+                    max_us: field("max_us")?,
+                    name,
+                });
+            }
+        }
+        if let Some(d) = v.get("dropped_spans").and_then(Json::as_u64) {
+            snap.dropped_spans = d;
+        }
+        Ok(snap)
+    }
+
+    /// A human-readable, aligned summary of every metric — the `--metrics`
+    /// output of `dvsc`.
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== metrics ==");
+        if !self.counters.is_empty() {
+            let w = self
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<w$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "-- gauges --");
+            let w = self.gauges.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<w$}  {v:.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "-- histograms --");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {}  n={} sum={:.3} min={:.3} p50≈{:.3} max={:.3}",
+                    h.name, h.count, h.sum, h.min, h.p50_est, h.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "-- spans --");
+            let w = self.spans.iter().map(|s| s.name.len()).max().unwrap_or(0);
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<w$}  n={:<6} total={:>12.1} µs  max={:>10.1} µs",
+                    s.name, s.count, s.total_us, s.max_us
+                );
+            }
+        }
+        if self.dropped_spans > 0 {
+            let _ = writeln!(
+                out,
+                "!! {} span events dropped (buffer full)",
+                self.dropped_spans
+            );
+        }
+        out
+    }
+}
+
+/// Renders every recorded span as a Chrome trace-event JSON array —
+/// loadable in `chrome://tracing` and <https://ui.perfetto.dev>.
+///
+/// Each event is a "complete" (`"ph": "X"`) event carrying `name`, `cat`,
+/// `ts`/`dur` in microseconds, and `pid`/`tid`.
+#[must_use]
+pub fn chrome_trace() -> Json {
+    let s = sink().lock().expect("obs sink poisoned");
+    Json::Arr(
+        s.spans
+            .iter()
+            .map(|ev| {
+                Json::obj([
+                    ("name", Json::from(ev.name)),
+                    ("cat", Json::from("dvs")),
+                    ("ph", Json::from("X")),
+                    ("ts", Json::from(ev.ts_us)),
+                    ("dur", Json::from(ev.dur_us)),
+                    ("pid", Json::from(1_u64)),
+                    ("tid", Json::from(u64::from(ev.tid))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// [`chrome_trace`] serialized as a compact string, ready to write to the
+/// `--trace-out` file.
+#[must_use]
+pub fn chrome_trace_string() -> String {
+    chrome_trace().dump()
+}

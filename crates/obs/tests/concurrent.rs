@@ -1,0 +1,134 @@
+//! Thread-safety and export-shape tests for the global collector.
+//!
+//! The sink is process-wide, so every test takes `LOCK` and fully
+//! resets the collector before making assertions.
+
+use dvs_obs::json::Json;
+use dvs_obs::MetricsSnapshot;
+use std::sync::Mutex;
+use std::thread;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn concurrent_counters_lose_no_increments() {
+    let _l = LOCK.lock().unwrap();
+    dvs_obs::enable();
+    dvs_obs::reset();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 1000;
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    dvs_obs::counter("cc.hits", 1);
+                }
+            });
+        }
+    });
+    let snap = MetricsSnapshot::capture();
+    dvs_obs::disable();
+    assert_eq!(snap.counter("cc.hits"), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histograms_account_every_sample() {
+    let _l = LOCK.lock().unwrap();
+    dvs_obs::enable();
+    dvs_obs::reset();
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 500;
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    dvs_obs::histogram("ch.lat", (t * PER_THREAD + i) as f64);
+                }
+            });
+        }
+    });
+    let snap = MetricsSnapshot::capture();
+    dvs_obs::disable();
+    let h = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "ch.lat")
+        .expect("histogram recorded");
+    let n = (THREADS * PER_THREAD) as u64;
+    assert_eq!(h.count, n);
+    assert_eq!(h.min, 0.0);
+    assert_eq!(h.max, (n - 1) as f64);
+    // Sum of 0..n-1.
+    assert!((h.sum - (n * (n - 1) / 2) as f64).abs() < 1e-6);
+}
+
+/// Golden shape test: the Chrome trace export must be a JSON array of
+/// complete ("ph":"X") events carrying exactly the fields the
+/// chrome://tracing / Perfetto loaders require.
+#[test]
+fn chrome_trace_export_has_the_documented_shape() {
+    let _l = LOCK.lock().unwrap();
+    dvs_obs::enable();
+    dvs_obs::reset();
+    {
+        let _a = dvs_obs::span!("shape.outer");
+        let _b = dvs_obs::span!("shape.inner");
+    }
+    // Spans from a second thread must carry a distinct tid.
+    thread::spawn(|| drop(dvs_obs::span!("shape.worker")))
+        .join()
+        .unwrap();
+    let text = dvs_obs::chrome_trace_string();
+    dvs_obs::disable();
+
+    let root = Json::parse(&text).expect("trace is valid JSON");
+    let events = root.as_arr().expect("trace is a JSON array");
+    assert_eq!(events.len(), 3, "one event per span: {text}");
+    for ev in events {
+        let obj = ev.as_obj().expect("each event is an object");
+        let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+        for required in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(keys.contains(&required), "missing `{required}` in {text}");
+        }
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(ev.get("cat").and_then(Json::as_str), Some("dvs"));
+        assert_eq!(ev.get("pid").and_then(Json::as_u64), Some(1));
+        assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+        assert!(ev.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    for n in ["shape.outer", "shape.inner", "shape.worker"] {
+        assert!(names.contains(&n), "missing span `{n}`");
+    }
+    let tid_of = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|e| e.get("tid").and_then(Json::as_u64))
+            .unwrap()
+    };
+    assert_eq!(tid_of("shape.outer"), tid_of("shape.inner"));
+    assert_ne!(tid_of("shape.outer"), tid_of("shape.worker"));
+}
+
+#[test]
+fn snapshot_survives_json_round_trip() {
+    let _l = LOCK.lock().unwrap();
+    dvs_obs::enable();
+    dvs_obs::reset();
+    dvs_obs::counter("rt.count", 42);
+    dvs_obs::gauge("rt.gauge", 3.25);
+    dvs_obs::histogram("rt.hist", 7.0);
+    let snap = MetricsSnapshot::capture();
+    dvs_obs::disable();
+    let back = MetricsSnapshot::from_json(&snap.to_json()).expect("round trip");
+    assert_eq!(back.counter("rt.count"), 42);
+    assert_eq!(back.gauge("rt.gauge"), Some(3.25));
+    assert_eq!(back.histograms.len(), 1);
+    let table = back.summary_table();
+    assert!(table.contains("rt.count"));
+    assert!(table.contains("42"));
+}

@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -29,7 +27,7 @@ pub enum AccessOutcome {
 }
 
 /// Access counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,
@@ -185,12 +183,20 @@ mod tests {
 
     fn small() -> CacheSim {
         // 4 sets x 2 ways x 32B = 256 B.
-        CacheSim::new(CacheConfig { size_bytes: 256, ways: 2, block_bytes: 32 })
+        CacheSim::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            block_bytes: 32,
+        })
     }
 
     #[test]
     fn geometry() {
-        let c = CacheConfig { size_bytes: 64 * 1024, ways: 4, block_bytes: 32 };
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            block_bytes: 32,
+        };
         assert_eq!(c.num_sets(), 512);
     }
 

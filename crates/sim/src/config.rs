@@ -1,9 +1,8 @@
 use crate::{CacheConfig, PredictorConfig};
-use serde::{Deserialize, Serialize};
 
 /// Full machine configuration. `SimConfig::default()` reproduces the
 /// paper's Table 2 setup.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Register update unit (instruction window) capacity.
     pub ruu_size: usize,
@@ -80,9 +79,21 @@ impl Default for SimConfig {
             fp_adders: 1,
             fp_mult: 1,
             fp_div: 1,
-            l1d: CacheConfig { size_bytes: 64 * 1024, ways: 4, block_bytes: 32 },
-            l1i: CacheConfig { size_bytes: 64 * 1024, ways: 4, block_bytes: 32 },
-            l2: CacheConfig { size_bytes: 512 * 1024, ways: 4, block_bytes: 32 },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                block_bytes: 32,
+            },
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                block_bytes: 32,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 4,
+                block_bytes: 32,
+            },
             l1_latency: 1,
             l2_latency: 16,
             mem_latency_us: 0.08, // 80 ns
@@ -102,9 +113,21 @@ impl SimConfig {
     #[must_use]
     pub fn tiny_for_tests() -> Self {
         SimConfig {
-            l1d: CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 32 },
-            l1i: CacheConfig { size_bytes: 1024, ways: 2, block_bytes: 32 },
-            l2: CacheConfig { size_bytes: 8 * 1024, ways: 2, block_bytes: 32 },
+            l1d: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                block_bytes: 32,
+            },
+            l1i: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                block_bytes: 32,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 * 1024,
+                ways: 2,
+                block_bytes: 32,
+            },
             ..SimConfig::default()
         }
     }

@@ -11,7 +11,7 @@
 //! rather than cycles; instruction latencies convert through the period of
 //! whichever mode the surrounding block was assigned.
 
-use crate::{BranchPredictor, DataLevel, MemoryHierarchy, Machine, Trace};
+use crate::{BranchPredictor, DataLevel, Machine, MemoryHierarchy, Trace};
 use dvs_ir::{Cfg, Opcode};
 use dvs_vf::{ModeId, TransitionModel, VoltageLadder};
 
@@ -35,7 +35,10 @@ impl EdgeSchedule {
     /// baseline; it performs no transitions).
     #[must_use]
     pub fn uniform(cfg: &Cfg, mode: ModeId) -> Self {
-        EdgeSchedule { initial: mode, edge_modes: vec![mode; cfg.num_edges()] }
+        EdgeSchedule {
+            initial: mode,
+            edge_modes: vec![mode; cfg.num_edges()],
+        }
     }
 
     /// Number of *static* mode-set points whose value differs from some
@@ -91,6 +94,7 @@ impl Machine {
             cfg.num_edges(),
             "schedule must cover every edge"
         );
+        let _span = dvs_obs::span!("sim.run_scheduled");
         let cfgm = self.config();
         let em = self.energy_model();
 
@@ -227,7 +231,10 @@ impl Machine {
                     .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
                     .expect("pool non-empty");
 
-                let mut issue = dispatch_ready.max(window_gate).max(src_ready).max(unit_free);
+                let mut issue = dispatch_ready
+                    .max(window_gate)
+                    .max(src_ready)
+                    .max(unit_free);
                 let is_mem = inst.opcode.is_mem();
                 if is_mem {
                     issue = issue.max(lsq_ring[mem_index % cfgm.lsq_size]);
@@ -310,6 +317,11 @@ impl Machine {
             }
         }
 
+        if dvs_obs::enabled() {
+            dvs_obs::counter("sim.scheduled_runs", 1);
+            dvs_obs::counter("emit.mode_switches", transitions);
+            dvs_obs::histogram("sim.scheduled_time_us", prev_commit);
+        }
         ScheduledRun {
             time_us: prev_commit,
             processor_energy_uj: cap_weighted_uj + transition_energy,

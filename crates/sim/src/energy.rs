@@ -1,5 +1,4 @@
 use dvs_ir::Opcode;
-use serde::{Deserialize, Serialize};
 
 /// Clock-gating discipline during idle (memory-stall) cycles.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// `Ungated` variant keeps the clock tree burning through stalls — an
 /// ablation showing how much of the technique's benefit that assumption
 /// carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClockGating {
     /// Idle cycles cost nothing (the paper's assumption).
     #[default]
@@ -35,7 +34,7 @@ pub enum ClockGating {
 /// independent of the CPU voltage (the paper treats memory energy as a
 /// constant and excludes it from the optimization); the simulator reports
 /// it separately.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Front end (fetch + decode + rename) per instruction, nF.
     pub frontend_nf: f64,
@@ -118,7 +117,7 @@ impl EnergyModel {
 
 /// Accumulated switched capacitance by category, convertible to µJ at a
 /// given supply voltage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Front end, window, regfile, clock (core overheads), nF.
     pub core_nf: f64,

@@ -82,7 +82,10 @@ impl MemoryHierarchy {
         if self.l2.access(addr) == AccessOutcome::Hit {
             return (DataLevel::L2, cycles + self.l1_latency + self.l2_latency);
         }
-        (DataLevel::Memory, cycles + self.l1_latency + self.l2_latency)
+        (
+            DataLevel::Memory,
+            cycles + self.l1_latency + self.l2_latency,
+        )
     }
 
     /// Performs an instruction fetch access for the line holding `addr`.
@@ -98,7 +101,10 @@ impl MemoryHierarchy {
         if self.l2.access(addr) == AccessOutcome::Hit {
             return (DataLevel::L2, cycles + self.l1_latency + self.l2_latency);
         }
-        (DataLevel::Memory, cycles + self.l1_latency + self.l2_latency)
+        (
+            DataLevel::Memory,
+            cycles + self.l1_latency + self.l2_latency,
+        )
     }
 
     /// Absolute main-memory service time in µs.
@@ -198,7 +204,10 @@ mod tests {
             }
         }
         assert_eq!(hits_without, 0, "cold stream never hits without prefetch");
-        assert!(hits_with >= 30, "prefetch should catch the stream: {hits_with}");
+        assert!(
+            hits_with >= 30,
+            "prefetch should catch the stream: {hits_with}"
+        );
     }
 
     #[test]

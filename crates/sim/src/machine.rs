@@ -80,6 +80,23 @@ impl RunStats {
             0.0
         }
     }
+
+    /// Feeds this run's aggregates into the global `dvs-obs` sink (one call
+    /// per simulated run; a no-op unless collection is enabled).
+    pub(crate) fn record_metrics(&self) {
+        if !dvs_obs::enabled() {
+            return;
+        }
+        dvs_obs::counter("sim.runs", 1);
+        dvs_obs::counter("sim.cycles", self.total_cycles as u64);
+        dvs_obs::counter("sim.insts", self.committed_insts);
+        dvs_obs::counter("sim.l1d_misses", self.l1d.misses);
+        dvs_obs::counter("sim.l1i_misses", self.l1i.misses);
+        dvs_obs::counter("sim.l2_misses", self.l2.misses);
+        dvs_obs::counter("sim.dram_accesses", self.dram_accesses);
+        dvs_obs::counter("sim.mispredicts", self.mispredicts);
+        dvs_obs::histogram("sim.run_ipc", self.ipc());
+    }
 }
 
 impl std::fmt::Display for RunStats {
@@ -153,6 +170,7 @@ impl Machine {
     /// Panics if the trace references blocks outside `cfg`.
     #[must_use]
     pub fn run(&self, cfg: &Cfg, trace: &Trace, point: OperatingPoint) -> RunStats {
+        let _span = dvs_obs::span!("sim.run");
         let cfgm = &self.config;
         let em = &self.energy;
         let f = point.frequency_mhz;
@@ -283,7 +301,10 @@ impl Machine {
                     .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
                     .expect("pool non-empty");
 
-                let mut issue = dispatch_ready.max(window_gate).max(src_ready).max(unit_free);
+                let mut issue = dispatch_ready
+                    .max(window_gate)
+                    .max(src_ready)
+                    .max(unit_free);
                 let is_mem = inst.opcode.is_mem();
                 if is_mem {
                     issue = issue.max(lsq_ring[mem_index % cfgm.lsq_size]);
@@ -420,7 +441,7 @@ impl Machine {
             energy.core_nf += idle * em.clock_nf;
         }
 
-        RunStats {
+        let stats = RunStats {
             point,
             total_time_us: total_cycles / f,
             total_cycles,
@@ -436,7 +457,9 @@ impl Machine {
             l2: hier.l2_stats(),
             mispredicts: pred.stats().mispredicts,
             dram_accesses,
-        }
+        };
+        stats.record_metrics();
+        stats
     }
 }
 
@@ -483,8 +506,6 @@ impl BusyBitmap {
             self.words[wend] |= !0u64 >> (63 - (e - 1) % 64);
         }
     }
-
-
 
     fn count(&self) -> u64 {
         self.words.iter().map(|w| u64::from(w.count_ones())).sum()
@@ -749,7 +770,10 @@ mod oversized_block_tests {
         let big = b.block("big");
         let x = b.block("exit");
         for i in 0..600 {
-            b.push(big, Inst::alu(Opcode::IntAlu, Reg((1 + i % 30) as u8), &[Reg(0)]));
+            b.push(
+                big,
+                Inst::alu(Opcode::IntAlu, Reg((1 + i % 30) as u8), &[Reg(0)]),
+            );
         }
         b.edge(e, big);
         b.edge(big, x);
@@ -817,9 +841,15 @@ mod gating_tests {
         let t = tb.finish().unwrap();
 
         let perfect = Machine::paper_default().run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
-        let ungated_model = EnergyModel { gating: ClockGating::Ungated, ..EnergyModel::default() };
-        let ungated = Machine::new(SimConfig::default(), ungated_model)
-            .run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
+        let ungated_model = EnergyModel {
+            gating: ClockGating::Ungated,
+            ..EnergyModel::default()
+        };
+        let ungated = Machine::new(SimConfig::default(), ungated_model).run(
+            &cfg,
+            &t,
+            OperatingPoint::new(1.65, 800.0),
+        );
 
         // Same timing, strictly more energy without gating.
         assert!((perfect.total_cycles - ungated.total_cycles).abs() < 1e-9);

@@ -1,8 +1,6 @@
-use serde::{Deserialize, Serialize};
-
 /// Branch predictor geometry; the default matches the paper's Table 2
 /// combined predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PredictorConfig {
     /// Bimodal table entries (2-bit counters).
     pub bimodal_entries: usize,
@@ -101,11 +99,9 @@ impl BranchPredictor {
         self.history[h_ix] = (((u16::from(hist) << 1) | u16::from(taken)) & mask) as u8;
 
         let mut correct = pred == taken;
-        if taken {
-            if !self.btb_lookup_update(pc, target) {
-                self.stats.btb_misses += 1;
-                correct = false;
-            }
+        if taken && !self.btb_lookup_update(pc, target) {
+            self.stats.btb_misses += 1;
+            correct = false;
         }
         if pred != taken {
             self.stats.mispredicts += 1;
@@ -227,7 +223,9 @@ mod tests {
         // Deterministic pseudo-random outcomes.
         let mut x = 0x12345678u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             p.predict_and_update(0x999000, taken, 0x100);
         }

@@ -1,14 +1,13 @@
 use crate::{Machine, RunStats, Trace};
 use dvs_ir::{BlockModeCost, Cfg, Profile, ProfileBuilder};
 use dvs_vf::VoltageLadder;
-use serde::{Deserialize, Serialize};
 
 /// The four program parameters of the paper's analytical model (§3),
 /// extracted from cycle-level simulation exactly as Table 7 does.
 ///
 /// Cycle counts are frequency-independent program properties; the stall
 /// time `tinvariant` is absolute because memory is asynchronous.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProgramParams {
     /// `Noverlap`: computation cycles that ran while a main-memory miss was
     /// outstanding.
@@ -96,6 +95,7 @@ impl ModeProfiler {
         trace: &Trace,
         ladder: &VoltageLadder,
     ) -> (Profile, Vec<RunStats>) {
+        let _span = dvs_obs::span!("sim.profile");
         let mut pb = ProfileBuilder::new(cfg, ladder.len());
         assert!(
             pb.record_walk(cfg, &trace.walk()),

@@ -71,7 +71,11 @@ impl<'a> TraceBuilder<'a> {
     /// Starts an empty trace for `cfg`.
     #[must_use]
     pub fn new(cfg: &'a Cfg) -> Self {
-        TraceBuilder { cfg, blocks: Vec::new(), ok: true }
+        TraceBuilder {
+            cfg,
+            blocks: Vec::new(),
+            ok: true,
+        }
     }
 
     /// Appends one dynamic block execution. The block must be the CFG entry
@@ -96,7 +100,11 @@ impl<'a> TraceBuilder<'a> {
                 .expect("non-exit block has successors");
             prev.taken = block != fallthrough;
         }
-        self.blocks.push(DynBlock { block, addrs, taken: false });
+        self.blocks.push(DynBlock {
+            block,
+            addrs,
+            taken: false,
+        });
         self
     }
 
@@ -110,7 +118,9 @@ impl<'a> TraceBuilder<'a> {
         {
             return None;
         }
-        Some(Trace { blocks: self.blocks })
+        Some(Trace {
+            blocks: self.blocks,
+        })
     }
 }
 
@@ -153,7 +163,7 @@ mod tests {
         let t = tb.finish().unwrap();
         assert_eq!(t.len(), 5);
         assert_eq!(t.walk(), vec![e, h, body, h, x]);
-        assert_eq!(t.dynamic_inst_count(&g), 0 + 1 + 2 + 1 + 0);
+        assert_eq!(t.dynamic_inst_count(&g), (1 + 2 + 1));
     }
 
     #[test]

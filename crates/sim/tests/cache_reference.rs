@@ -1,10 +1,28 @@
-//! Property tests: the set-associative cache against a naive reference
+//! Randomized tests: the set-associative cache against a naive reference
 //! model, and timing-model sanity over random traces.
+//!
+//! Cases come from a fixed-seed SplitMix64 generator so failures reproduce
+//! exactly.
 
-use dvs_sim::{AccessOutcome, CacheConfig, CacheSim, Machine, TraceBuilder};
 use dvs_ir::{CfgBuilder, Inst, MemWidth, Opcode, Reg};
+use dvs_sim::{AccessOutcome, CacheConfig, CacheSim, Machine, TraceBuilder};
 use dvs_vf::OperatingPoint;
-use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
 
 /// A deliberately naive LRU set-associative cache: per-set `Vec` of tags
 /// ordered by recency, rebuilt with O(n) scans.
@@ -43,15 +61,14 @@ impl ReferenceCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cache_matches_reference_model(
-        addrs in prop::collection::vec(0u64..0x4000, 1..400),
-        ways in 1usize..5,
-        sets_pow in 1u32..5,
-    ) {
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = Rng(0xD5_5EED_0021);
+    for case in 0..48 {
+        let ways = rng.int(1, 5) as usize;
+        let sets_pow = rng.int(1, 5) as u32;
+        let len = rng.int(1, 400) as usize;
+        let addrs: Vec<u64> = (0..len).map(|_| rng.int(0, 0x4000)).collect();
         let cfg = CacheConfig {
             size_bytes: 32 * u64::from(1u32 << sets_pow) * ways as u64,
             ways,
@@ -60,31 +77,35 @@ proptest! {
         let mut dut = CacheSim::new(cfg);
         let mut reference = ReferenceCache::new(cfg);
         for &a in &addrs {
-            prop_assert_eq!(dut.access(a), reference.access(a), "at addr {:#x}", a);
+            assert_eq!(
+                dut.access(a),
+                reference.access(a),
+                "case {case}: divergence at addr {a:#x}"
+            );
         }
-        let misses = addrs
-            .iter()
-            .map(|_| ())
-            .count(); // length only; stats checked against re-run below
-        prop_assert!(dut.stats().accesses as usize == misses);
+        assert_eq!(dut.stats().accesses as usize, addrs.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn machine_timing_monotone_in_frequency(
-        n_alu in 1usize..24,
-        n_loads in 0usize..8,
-        iters in 1u64..60,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn machine_timing_monotone_in_frequency() {
+    let mut rng = Rng(0xD5_5EED_0022);
+    for case in 0..48 {
         // Random loop body of ALU ops + loads; time at a faster clock can
-        // never exceed time at a slower clock, and cycle counts stay equal
-        // for pure-compute bodies.
+        // never exceed time at a slower clock, and committed instruction
+        // counts stay equal.
+        let n_alu = rng.int(1, 24) as usize;
+        let n_loads = rng.int(0, 8) as usize;
+        let iters = rng.int(1, 60);
         let mut b = CfgBuilder::new("p");
         let e = b.block("entry");
         let body = b.block("body");
         let x = b.block("exit");
         for i in 0..n_alu {
-            b.push(body, Inst::alu(Opcode::IntAlu, Reg((1 + i % 20) as u8), &[Reg(0)]));
+            b.push(
+                body,
+                Inst::alu(Opcode::IntAlu, Reg((1 + i % 20) as u8), &[Reg(0)]),
+            );
         }
         for _ in 0..n_loads {
             b.push(body, Inst::load(Reg(30), Reg(31), MemWidth::B4));
@@ -96,14 +117,8 @@ proptest! {
         let cfg = b.finish(e, x).expect("valid");
         let mut tb = TraceBuilder::new(&cfg);
         tb.step(e, vec![]);
-        let mut s = seed | 1;
         for _ in 0..iters {
-            let addrs: Vec<u64> = (0..n_loads)
-                .map(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    (s >> 30) % 0x10_0000
-                })
-                .collect();
+            let addrs: Vec<u64> = (0..n_loads).map(|_| rng.int(0, 0x10_0000)).collect();
             tb.step(body, addrs);
         }
         tb.step(x, vec![]);
@@ -111,12 +126,21 @@ proptest! {
         let m = Machine::paper_default();
         let slow = m.run(&cfg, &t, OperatingPoint::new(0.7, 200.0));
         let fast = m.run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
-        prop_assert!(fast.total_time_us <= slow.total_time_us * (1.0 + 1e-9));
-        prop_assert_eq!(fast.committed_insts, slow.committed_insts);
+        assert!(
+            fast.total_time_us <= slow.total_time_us * (1.0 + 1e-9),
+            "case {case}: faster clock is slower"
+        );
+        assert_eq!(fast.committed_insts, slow.committed_insts, "case {case}");
         // Energy at the lower voltage is strictly lower (same events, V²).
-        prop_assert!(slow.processor_energy_uj() < fast.processor_energy_uj());
+        assert!(
+            slow.processor_energy_uj() < fast.processor_energy_uj(),
+            "case {case}: energy not lower at low voltage"
+        );
         // Block time attribution always sums to the total.
         let sum: f64 = fast.blocks.iter().map(|bs| bs.time_us).sum();
-        prop_assert!((sum - fast.total_time_us).abs() < 1e-6 * fast.total_time_us.max(1.0));
+        assert!(
+            (sum - fast.total_time_us).abs() < 1e-6 * fast.total_time_us.max(1.0),
+            "case {case}: block times don't sum"
+        );
     }
 }

@@ -1,5 +1,5 @@
 use crate::VfError;
-use serde::{Deserialize, Serialize};
+use dvs_obs::json::Json;
 
 /// The Sakurai–Newton alpha-power law relating supply voltage to the maximum
 /// clock frequency a CMOS circuit sustains:
@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// The constant `k` fixes the absolute frequency scale; [`AlphaPower::paper`]
 /// calibrates it so that 1.65 V yields 800 MHz, matching the top of the
 /// XScale-like ladder used throughout the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlphaPower {
     /// Technology exponent `a`.
     pub alpha: f64,
@@ -30,8 +30,7 @@ impl AlphaPower {
     /// `f(1.65 V) = 800 MHz`.
     #[must_use]
     pub fn paper() -> Self {
-        AlphaPower::calibrated(1.5, 0.45, 1.65, 800.0)
-            .expect("paper calibration point is valid")
+        AlphaPower::calibrated(1.5, 0.45, 1.65, 800.0).expect("paper calibration point is valid")
     }
 
     /// Builds a law with exponent `alpha` and threshold `vt`, choosing `k`
@@ -42,23 +41,30 @@ impl AlphaPower {
     /// Returns [`VfError::VoltageBelowThreshold`] if `v_ref <= vt`, and
     /// [`VfError::InvalidParameter`] for non-positive `alpha`, `vt`, or
     /// reference frequency.
-    pub fn calibrated(
-        alpha: f64,
-        vt: f64,
-        v_ref: f64,
-        f_ref_mhz: f64,
-    ) -> Result<Self, VfError> {
-        if !(alpha > 0.0) {
-            return Err(VfError::InvalidParameter { name: "alpha", value: alpha });
+    pub fn calibrated(alpha: f64, vt: f64, v_ref: f64, f_ref_mhz: f64) -> Result<Self, VfError> {
+        if alpha <= 0.0 || alpha.is_nan() {
+            return Err(VfError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+            });
         }
-        if !(vt > 0.0) {
-            return Err(VfError::InvalidParameter { name: "vt", value: vt });
+        if vt <= 0.0 || vt.is_nan() {
+            return Err(VfError::InvalidParameter {
+                name: "vt",
+                value: vt,
+            });
         }
-        if !(f_ref_mhz > 0.0) {
-            return Err(VfError::InvalidParameter { name: "f_ref_mhz", value: f_ref_mhz });
+        if f_ref_mhz <= 0.0 || f_ref_mhz.is_nan() {
+            return Err(VfError::InvalidParameter {
+                name: "f_ref_mhz",
+                value: f_ref_mhz,
+            });
         }
         if v_ref <= vt {
-            return Err(VfError::VoltageBelowThreshold { voltage: v_ref, threshold: vt });
+            return Err(VfError::VoltageBelowThreshold {
+                voltage: v_ref,
+                threshold: vt,
+            });
         }
         let k = f_ref_mhz * v_ref / (v_ref - vt).powf(alpha);
         Ok(AlphaPower { alpha, vt, k })
@@ -71,7 +77,10 @@ impl AlphaPower {
     /// Returns [`VfError::VoltageBelowThreshold`] if `v <= vt`.
     pub fn frequency_mhz(&self, v: f64) -> Result<f64, VfError> {
         if v <= self.vt {
-            return Err(VfError::VoltageBelowThreshold { voltage: v, threshold: self.vt });
+            return Err(VfError::VoltageBelowThreshold {
+                voltage: v,
+                threshold: self.vt,
+            });
         }
         Ok(self.k * (v - self.vt).powf(self.alpha) / v)
     }
@@ -85,13 +94,17 @@ impl AlphaPower {
     /// Returns [`VfError::FrequencyOutOfRange`] for non-positive frequencies
     /// or frequencies above `f(100 V)` (far outside any physical range).
     pub fn voltage_for(&self, f_mhz: f64) -> Result<f64, VfError> {
-        if !(f_mhz > 0.0) {
-            return Err(VfError::FrequencyOutOfRange { frequency_mhz: f_mhz });
+        if f_mhz <= 0.0 || f_mhz.is_nan() {
+            return Err(VfError::FrequencyOutOfRange {
+                frequency_mhz: f_mhz,
+            });
         }
         let mut lo = self.vt;
         let mut hi = 100.0;
         if self.frequency_mhz(hi).unwrap_or(0.0) < f_mhz {
-            return Err(VfError::FrequencyOutOfRange { frequency_mhz: f_mhz });
+            return Err(VfError::FrequencyOutOfRange {
+                frequency_mhz: f_mhz,
+            });
         }
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);
@@ -101,6 +114,34 @@ impl AlphaPower {
             }
         }
         Ok(0.5 * (lo + hi))
+    }
+
+    /// Serializes the law's three parameters to a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("alpha", Json::from(self.alpha)),
+            ("vt", Json::from(self.vt)),
+            ("k", Json::from(self.k)),
+        ])
+    }
+
+    /// Rebuilds a law from the JSON produced by [`AlphaPower::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`VfError::Malformed`] when a field is missing or non-numeric.
+    pub fn from_json(j: &Json) -> Result<Self, VfError> {
+        let field = |name: &str| {
+            j.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| VfError::Malformed(format!("missing or non-numeric `{name}`")))
+        };
+        Ok(AlphaPower {
+            alpha: field("alpha")?,
+            vt: field("vt")?,
+            k: field("k")?,
+        })
     }
 }
 

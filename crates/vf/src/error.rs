@@ -33,6 +33,8 @@ pub enum VfError {
         /// The rejected value.
         value: f64,
     },
+    /// Serialized form could not be parsed or is missing fields.
+    Malformed(String),
 }
 
 impl fmt::Display for VfError {
@@ -54,6 +56,7 @@ impl fmt::Display for VfError {
             VfError::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter `{name}`")
             }
+            VfError::Malformed(m) => write!(f, "malformed serialization: {m}"),
         }
     }
 }

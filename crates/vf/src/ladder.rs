@@ -1,8 +1,8 @@
 use crate::{AlphaPower, ModeId, OperatingPoint, VfError};
-use serde::{Deserialize, Serialize};
+use dvs_obs::json::Json;
 
 /// How a [`VoltageLadder`] should be generated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LadderSpec {
     /// The paper's XScale-like 3-level ladder:
     /// 200 MHz @ 0.7 V, 600 MHz @ 1.3 V, 800 MHz @ 1.65 V.
@@ -28,7 +28,7 @@ pub enum LadderSpec {
 /// assert_eq!(ladder.len(), 7);
 /// assert!(ladder.slowest().frequency_mhz < ladder.fastest().frequency_mhz);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VoltageLadder {
     points: Vec<OperatingPoint>,
 }
@@ -43,7 +43,9 @@ impl VoltageLadder {
     /// [`VfError::NonMonotonicLadder`] if ordering is violated.
     pub fn from_points(points: Vec<OperatingPoint>) -> Result<Self, VfError> {
         if points.len() < 2 {
-            return Err(VfError::LadderTooSmall { levels: points.len() });
+            return Err(VfError::LadderTooSmall {
+                levels: points.len(),
+            });
         }
         for w in points.windows(2) {
             if w[1].voltage <= w[0].voltage || w[1].frequency_mhz <= w[0].frequency_mhz {
@@ -98,7 +100,9 @@ impl VoltageLadder {
     /// or [`VfError::FrequencyOutOfRange`] if the law cannot reach one.
     pub fn from_frequencies(law: &AlphaPower, freqs_mhz: &[f64]) -> Result<Self, VfError> {
         if freqs_mhz.len() < 2 {
-            return Err(VfError::LadderTooSmall { levels: freqs_mhz.len() });
+            return Err(VfError::LadderTooSmall {
+                levels: freqs_mhz.len(),
+            });
         }
         let mut points = Vec::with_capacity(freqs_mhz.len());
         for &f in freqs_mhz {
@@ -171,6 +175,50 @@ impl VoltageLadder {
         self.iter()
             .find(|(_, p)| p.frequency_mhz >= f_mhz)
             .map(|(m, _)| m)
+    }
+
+    /// Serializes the ladder as a JSON array of `{v, f_mhz}` objects,
+    /// slowest first.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("v", Json::from(p.voltage)),
+                        ("f_mhz", Json::from(p.frequency_mhz)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a ladder from the JSON produced by [`VoltageLadder::to_json`],
+    /// re-running the monotonicity validation.
+    ///
+    /// # Errors
+    ///
+    /// [`VfError::Malformed`] for shape errors, plus everything
+    /// [`VoltageLadder::from_points`] rejects.
+    pub fn from_json(j: &Json) -> Result<Self, VfError> {
+        let arr = j
+            .as_arr()
+            .ok_or_else(|| VfError::Malformed("expected a JSON array of points".into()))?;
+        let points = arr
+            .iter()
+            .map(|p| {
+                let v = p.get("v").and_then(Json::as_f64);
+                let f = p.get("f_mhz").and_then(Json::as_f64);
+                match (v, f) {
+                    (Some(v), Some(f)) => Ok(OperatingPoint::new(v, f)),
+                    _ => Err(VfError::Malformed(
+                        "point needs numeric `v` and `f_mhz`".into(),
+                    )),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        VoltageLadder::from_points(points)
     }
 
     /// The discrete modes bracketing a continuous frequency: the fastest
@@ -313,16 +361,19 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let l = VoltageLadder::xscale3(&law());
-        let json = serde_json::to_string(&l).unwrap();
-        let back: VoltageLadder = serde_json::from_str(&json).unwrap();
+        let json = l.to_json().dump();
+        let back = VoltageLadder::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(l, back);
         let law2 = law();
-        let json = serde_json::to_string(&law2).unwrap();
-        let back: AlphaPower = serde_json::from_str(&json).unwrap();
+        let json = law2.to_json().dump();
+        let back = AlphaPower::from_json(&Json::parse(&json).unwrap()).unwrap();
         // JSON round-trips f64 to ~17 significant digits; allow 1 ulp-ish.
         assert!((law2.k - back.k).abs() < 1e-9);
         assert_eq!(law2.alpha, back.alpha);
         assert_eq!(law2.vt, back.vt);
+        // A deserialized non-monotonic ladder is rejected by validation.
+        let bad = r#"[{"v":1.0,"f_mhz":400.0},{"v":0.9,"f_mhz":500.0}]"#;
+        assert!(VoltageLadder::from_json(&Json::parse(bad).unwrap()).is_err());
     }
 
     #[test]

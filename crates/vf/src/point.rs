@@ -1,11 +1,10 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a DVS mode within a [`crate::VoltageLadder`].
 ///
 /// Mode 0 is always the *slowest* (lowest-voltage) setting; higher indices
 /// are strictly faster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ModeId(pub usize);
 
 impl ModeId {
@@ -27,7 +26,7 @@ impl fmt::Display for ModeId {
 /// Energy bookkeeping across this reproduction uses the standard CMOS
 /// dynamic-energy scaling: the energy of one clock cycle of activity is
 /// proportional to `V²`, and power to `V²·f`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Supply voltage in volts.
     pub voltage: f64,
@@ -40,7 +39,10 @@ impl OperatingPoint {
     /// Creates an operating point.
     #[must_use]
     pub fn new(voltage: f64, frequency_mhz: f64) -> Self {
-        OperatingPoint { voltage, frequency_mhz }
+        OperatingPoint {
+            voltage,
+            frequency_mhz,
+        }
     }
 
     /// Clock period in microseconds.

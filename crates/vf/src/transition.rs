@@ -1,5 +1,4 @@
 use crate::{ModeId, VfError, VoltageLadder};
-use serde::{Deserialize, Serialize};
 
 /// The Burd–Brodersen voltage-regulator transition-cost model used by the
 /// paper (its equations are taken from ISLPED'00):
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// energies come out in **µJ** and times in **µs**. With the paper's default
 /// `u = 0.9` and `IMAX = 1 A`, a 10 µF regulator charges 12 µs and 1.2 µJ
 /// for a 1.3 V ↔ 0.7 V transition, matching the paper's quoted typical cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionModel {
     /// Regulator capacitance in µF.
     pub capacitance_uf: f64,
@@ -32,7 +31,11 @@ impl TransitionModel {
     /// 1.2 µJ cost at `c = 10 µF`.
     #[must_use]
     pub fn with_capacitance_uf(capacitance_uf: f64) -> Self {
-        TransitionModel { capacitance_uf, efficiency: 0.9, i_max_a: 1.0 }
+        TransitionModel {
+            capacitance_uf,
+            efficiency: 0.9,
+            i_max_a: 1.0,
+        }
     }
 
     /// Fully parameterized constructor.
@@ -42,26 +45,40 @@ impl TransitionModel {
     /// [`VfError::InvalidParameter`] for non-positive capacitance or current,
     /// or efficiency outside `[0, 1)`.
     pub fn new(capacitance_uf: f64, efficiency: f64, i_max_a: f64) -> Result<Self, VfError> {
-        if !(capacitance_uf > 0.0) {
+        if capacitance_uf <= 0.0 || capacitance_uf.is_nan() {
             return Err(VfError::InvalidParameter {
                 name: "capacitance_uf",
                 value: capacitance_uf,
             });
         }
         if !(0.0..1.0).contains(&efficiency) {
-            return Err(VfError::InvalidParameter { name: "efficiency", value: efficiency });
+            return Err(VfError::InvalidParameter {
+                name: "efficiency",
+                value: efficiency,
+            });
         }
-        if !(i_max_a > 0.0) {
-            return Err(VfError::InvalidParameter { name: "i_max_a", value: i_max_a });
+        if i_max_a <= 0.0 || i_max_a.is_nan() {
+            return Err(VfError::InvalidParameter {
+                name: "i_max_a",
+                value: i_max_a,
+            });
         }
-        Ok(TransitionModel { capacitance_uf, efficiency, i_max_a })
+        Ok(TransitionModel {
+            capacitance_uf,
+            efficiency,
+            i_max_a,
+        })
     }
 
     /// A zero-cost model (the limit `c -> 0`), useful for the
     /// Saputra-et-al.-style baseline that ignores transition costs.
     #[must_use]
     pub fn free() -> Self {
-        TransitionModel { capacitance_uf: 0.0, efficiency: 0.9, i_max_a: 1.0 }
+        TransitionModel {
+            capacitance_uf: 0.0,
+            efficiency: 0.9,
+            i_max_a: 1.0,
+        }
     }
 
     /// Energy cost `SE` in µJ of switching between supplies `v1` and `v2`

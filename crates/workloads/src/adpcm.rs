@@ -37,8 +37,14 @@ pub(crate) fn build_cfg() -> Cfg {
     b.push(head, Inst::alu(Opcode::IntAlu, Reg(11), &[Reg(10), Reg(3)])); // delta
     b.push(head, Inst::alu(Opcode::IntAlu, Reg(12), &[Reg(11)])); // abs
     b.push(head, Inst::load(Reg(13), Reg(4), MemWidth::B4)); // step table
-    b.push(head, Inst::alu(Opcode::IntAlu, Reg(14), &[Reg(12), Reg(13)])); // quantize 1
-    b.push(head, Inst::alu(Opcode::IntAlu, Reg(15), &[Reg(14), Reg(13)])); // quantize 2
+    b.push(
+        head,
+        Inst::alu(Opcode::IntAlu, Reg(14), &[Reg(12), Reg(13)]),
+    ); // quantize 1
+    b.push(
+        head,
+        Inst::alu(Opcode::IntAlu, Reg(15), &[Reg(14), Reg(13)]),
+    ); // quantize 2
     b.push(head, Inst::alu(Opcode::IntAlu, Reg(16), &[Reg(15)])); // code
     b.push(head, Inst::branch(Reg(11)));
 
@@ -54,7 +60,10 @@ pub(crate) fn build_cfg() -> Cfg {
     b.push(emit, Inst::alu(Opcode::IntAlu, Reg(3), &[Reg(3), Reg(20)])); // new prediction
     b.push(emit, Inst::alu(Opcode::IntAlu, Reg(24), &[Reg(3)])); // clamp lo
     b.push(emit, Inst::alu(Opcode::IntAlu, Reg(25), &[Reg(24)])); // clamp hi
-    b.push(emit, Inst::alu(Opcode::IntAlu, Reg(26), &[Reg(16), Reg(25)])); // pack
+    b.push(
+        emit,
+        Inst::alu(Opcode::IntAlu, Reg(26), &[Reg(16), Reg(25)]),
+    ); // pack
     b.push(emit, Inst::store(Reg(26), Reg(5), MemWidth::B1));
     b.push(emit, Inst::branch(Reg(26)));
 
@@ -135,6 +144,10 @@ mod tests {
         // Memory stalls must be a small fraction of the run.
         let stall_frac = run.stall_cycles / run.total_cycles;
         assert!(stall_frac < 0.25, "adpcm stall fraction {stall_frac}");
-        assert!(run.l1d.miss_rate() < 0.15, "miss rate {}", run.l1d.miss_rate());
+        assert!(
+            run.l1d.miss_rate() < 0.15,
+            "miss rate {}",
+            run.l1d.miss_rate()
+        );
     }
 }

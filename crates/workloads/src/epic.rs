@@ -41,12 +41,27 @@ pub(crate) fn build_cfg() -> Cfg {
     b.push(rowpass, Inst::load(Reg(10), Reg(2), MemWidth::B4));
     b.push(rowpass, Inst::load(Reg(11), Reg(2), MemWidth::B4));
     for i in 0..5 {
-        b.push(rowpass, Inst::alu(Opcode::FpMul, Reg(12 + i), &[Reg(10 + i % 2)]));
+        b.push(
+            rowpass,
+            Inst::alu(Opcode::FpMul, Reg(12 + i), &[Reg(10 + i % 2)]),
+        );
     }
-    b.push(rowpass, Inst::alu(Opcode::FpAdd, Reg(20), &[Reg(12), Reg(13)]));
-    b.push(rowpass, Inst::alu(Opcode::FpAdd, Reg(21), &[Reg(14), Reg(15)]));
-    b.push(rowpass, Inst::alu(Opcode::FpAdd, Reg(22), &[Reg(20), Reg(21)]));
-    b.push(rowpass, Inst::alu(Opcode::FpAdd, Reg(23), &[Reg(22), Reg(16)]));
+    b.push(
+        rowpass,
+        Inst::alu(Opcode::FpAdd, Reg(20), &[Reg(12), Reg(13)]),
+    );
+    b.push(
+        rowpass,
+        Inst::alu(Opcode::FpAdd, Reg(21), &[Reg(14), Reg(15)]),
+    );
+    b.push(
+        rowpass,
+        Inst::alu(Opcode::FpAdd, Reg(22), &[Reg(20), Reg(21)]),
+    );
+    b.push(
+        rowpass,
+        Inst::alu(Opcode::FpAdd, Reg(23), &[Reg(22), Reg(16)]),
+    );
     b.push(rowpass, Inst::alu(Opcode::IntAlu, Reg(24), &[Reg(2)]));
     b.push(rowpass, Inst::store(Reg(23), Reg(3), MemWidth::B4));
     b.push(rowpass, Inst::branch(Reg(23)));
@@ -59,11 +74,23 @@ pub(crate) fn build_cfg() -> Cfg {
     b.push(colpass, Inst::load(Reg(30), Reg(4), MemWidth::B4));
     b.push(colpass, Inst::load(Reg(31), Reg(4), MemWidth::B4));
     for i in 0..4 {
-        b.push(colpass, Inst::alu(Opcode::FpMul, Reg(32 + i), &[Reg(30 + i % 2)]));
+        b.push(
+            colpass,
+            Inst::alu(Opcode::FpMul, Reg(32 + i), &[Reg(30 + i % 2)]),
+        );
     }
-    b.push(colpass, Inst::alu(Opcode::FpAdd, Reg(36), &[Reg(32), Reg(33)]));
-    b.push(colpass, Inst::alu(Opcode::FpAdd, Reg(37), &[Reg(34), Reg(35)]));
-    b.push(colpass, Inst::alu(Opcode::FpAdd, Reg(38), &[Reg(36), Reg(37)]));
+    b.push(
+        colpass,
+        Inst::alu(Opcode::FpAdd, Reg(36), &[Reg(32), Reg(33)]),
+    );
+    b.push(
+        colpass,
+        Inst::alu(Opcode::FpAdd, Reg(37), &[Reg(34), Reg(35)]),
+    );
+    b.push(
+        colpass,
+        Inst::alu(Opcode::FpAdd, Reg(38), &[Reg(36), Reg(37)]),
+    );
     b.push(colpass, Inst::store(Reg(38), Reg(5), MemWidth::B4));
     b.push(colpass, Inst::branch(Reg(38)));
 
@@ -77,7 +104,10 @@ pub(crate) fn build_cfg() -> Cfg {
     // huffman: run-length/entropy coding of the quantized coefficients —
     // branchy, bit-serial integer work over resident buffers.
     b.push(huffman, Inst::load(Reg(40), Reg(8), MemWidth::B2));
-    b.push(huffman, Inst::alu(Opcode::IntAlu, Reg(41), &[Reg(40), Reg(41)]));
+    b.push(
+        huffman,
+        Inst::alu(Opcode::IntAlu, Reg(41), &[Reg(40), Reg(41)]),
+    );
     b.push(huffman, Inst::alu(Opcode::IntAlu, Reg(42), &[Reg(41)]));
     b.push(huffman, Inst::store(Reg(42), Reg(9), MemWidth::B1));
     b.push(huffman, Inst::branch(Reg(42)));
@@ -203,6 +233,10 @@ mod tests {
         input.iterations = 48;
         let t = trace(&cfg, &input);
         let run = Machine::paper_default().run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
-        assert!(run.l1d.miss_rate() > 0.05, "miss rate {}", run.l1d.miss_rate());
+        assert!(
+            run.l1d.miss_rate() > 0.05,
+            "miss rate {}",
+            run.l1d.miss_rate()
+        );
     }
 }

@@ -48,7 +48,10 @@ pub(crate) fn build_cfg() -> Cfg {
     b.push(clip, Inst::alu(Opcode::IntAlu, Reg(17), &[Reg(16)]));
 
     // fill: span setup (edge intersection divide).
-    b.push(fill, Inst::alu(Opcode::IntDiv, Reg(18), &[Reg(14), Reg(11)]));
+    b.push(
+        fill,
+        Inst::alu(Opcode::IntDiv, Reg(18), &[Reg(14), Reg(11)]),
+    );
     b.push(fill, Inst::alu(Opcode::IntAlu, Reg(19), &[Reg(18)]));
 
     // span: write 8 framebuffer bytes per step.
@@ -71,7 +74,8 @@ pub(crate) fn build_cfg() -> Cfg {
     b.edge(elem_next, elem);
     b.edge(elem_next, band_head);
     b.edge(elem_next, exit);
-    b.finish(entry, exit).expect("ghostscript CFG is well-formed")
+    b.finish(entry, exit)
+        .expect("ghostscript CFG is well-formed")
 }
 
 pub(crate) fn trace(cfg: &Cfg, input: &InputSpec) -> Trace {

@@ -40,15 +40,24 @@ pub(crate) fn build_cfg() -> Cfg {
     // frame_head: load a chunk of samples, pre-emphasis filter (dependent).
     for _ in 0..4 {
         b.push(frame_head, Inst::load(Reg(10), Reg(2), MemWidth::B2));
-        b.push(frame_head, Inst::alu(Opcode::IntAlu, Reg(11), &[Reg(10), Reg(11)]));
+        b.push(
+            frame_head,
+            Inst::alu(Opcode::IntAlu, Reg(11), &[Reg(10), Reg(11)]),
+        );
     }
     b.push(frame_head, Inst::alu(Opcode::IntAlu, Reg(12), &[Reg(11)]));
 
     // autocorr: multiply-accumulate over the window (looped dynamically).
     b.push(autocorr, Inst::load(Reg(13), Reg(3), MemWidth::B2));
     b.push(autocorr, Inst::load(Reg(14), Reg(3), MemWidth::B2));
-    b.push(autocorr, Inst::alu(Opcode::IntMul, Reg(15), &[Reg(13), Reg(14)]));
-    b.push(autocorr, Inst::alu(Opcode::IntAlu, Reg(16), &[Reg(16), Reg(15)]));
+    b.push(
+        autocorr,
+        Inst::alu(Opcode::IntMul, Reg(15), &[Reg(13), Reg(14)]),
+    );
+    b.push(
+        autocorr,
+        Inst::alu(Opcode::IntAlu, Reg(16), &[Reg(16), Reg(15)]),
+    );
     b.push(autocorr, Inst::branch(Reg(16)));
 
     // lpc: reflection coefficients — division-heavy Schur recursion.
@@ -60,8 +69,14 @@ pub(crate) fn build_cfg() -> Cfg {
     // stfilter: short-term analysis filtering through the lattice
     // (per-sample multiply-accumulate against the reflection coefficients).
     b.push(stfilter, Inst::load(Reg(30), Reg(7), MemWidth::B2));
-    b.push(stfilter, Inst::alu(Opcode::IntMul, Reg(31), &[Reg(30), Reg(19)]));
-    b.push(stfilter, Inst::alu(Opcode::IntAlu, Reg(32), &[Reg(31), Reg(32)]));
+    b.push(
+        stfilter,
+        Inst::alu(Opcode::IntMul, Reg(31), &[Reg(30), Reg(19)]),
+    );
+    b.push(
+        stfilter,
+        Inst::alu(Opcode::IntAlu, Reg(32), &[Reg(31), Reg(32)]),
+    );
     b.push(stfilter, Inst::store(Reg(32), Reg(7), MemWidth::B2));
     b.push(stfilter, Inst::branch(Reg(32)));
 
@@ -72,20 +87,35 @@ pub(crate) fn build_cfg() -> Cfg {
     // ltp_step: one lag candidate — cross-correlation against history.
     b.push(ltp_step, Inst::load(Reg(21), Reg(5), MemWidth::B2));
     b.push(ltp_step, Inst::load(Reg(22), Reg(5), MemWidth::B2));
-    b.push(ltp_step, Inst::alu(Opcode::IntMul, Reg(23), &[Reg(21), Reg(22)]));
-    b.push(ltp_step, Inst::alu(Opcode::IntAlu, Reg(24), &[Reg(24), Reg(23)]));
-    b.push(ltp_step, Inst::alu(Opcode::IntAlu, Reg(25), &[Reg(24), Reg(20)]));
+    b.push(
+        ltp_step,
+        Inst::alu(Opcode::IntMul, Reg(23), &[Reg(21), Reg(22)]),
+    );
+    b.push(
+        ltp_step,
+        Inst::alu(Opcode::IntAlu, Reg(24), &[Reg(24), Reg(23)]),
+    );
+    b.push(
+        ltp_step,
+        Inst::alu(Opcode::IntAlu, Reg(25), &[Reg(24), Reg(20)]),
+    );
     b.push(ltp_step, Inst::branch(Reg(25)));
 
     // rpe: grid decimation + coding, store the subframe.
     for i in 0..3 {
-        b.push(rpe, Inst::alu(Opcode::IntMul, Reg(26 + i), &[Reg(25), Reg(19)]));
+        b.push(
+            rpe,
+            Inst::alu(Opcode::IntMul, Reg(26 + i), &[Reg(25), Reg(19)]),
+        );
         b.push(rpe, Inst::alu(Opcode::IntAlu, Reg(29), &[Reg(26 + i)]));
     }
     b.push(rpe, Inst::store(Reg(29), Reg(6), MemWidth::B2));
 
     // quantize: APCM gain quantization + frame packing.
-    b.push(quantize, Inst::alu(Opcode::IntDiv, Reg(33), &[Reg(29), Reg(12)]));
+    b.push(
+        quantize,
+        Inst::alu(Opcode::IntDiv, Reg(33), &[Reg(29), Reg(12)]),
+    );
     b.push(quantize, Inst::alu(Opcode::IntAlu, Reg(34), &[Reg(33)]));
     b.push(quantize, Inst::store(Reg(34), Reg(6), MemWidth::B2));
     b.push(quantize, Inst::branch(Reg(34)));

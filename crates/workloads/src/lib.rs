@@ -191,10 +191,7 @@ impl Benchmark {
     pub fn inputs(self) -> Vec<InputSpec> {
         let base = self.default_input();
         match self {
-            Benchmark::MpegDecode => MPEG_INPUTS
-                .iter()
-                .map(|&k| mpeg::input(k).spec())
-                .collect(),
+            Benchmark::MpegDecode => MPEG_INPUTS.iter().map(|&k| mpeg::input(k).spec()).collect(),
             _ => {
                 let mut small = base.clone();
                 small.name = format!("{}.small", base.name);

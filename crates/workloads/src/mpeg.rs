@@ -138,13 +138,19 @@ pub(crate) fn build_cfg() -> Cfg {
     // dequant: inverse-quantize the coefficient block (table lookup +
     // multiply per slice).
     b.push(dequant, Inst::load(Reg(44), Reg(8), MemWidth::B2));
-    b.push(dequant, Inst::alu(Opcode::IntMul, Reg(45), &[Reg(19), Reg(44)]));
+    b.push(
+        dequant,
+        Inst::alu(Opcode::IntMul, Reg(45), &[Reg(19), Reg(44)]),
+    );
     b.push(dequant, Inst::alu(Opcode::IntAlu, Reg(16), &[Reg(45)]));
 
     // idct: 8-point butterfly slice — integer multiplies, good ILP.
     for i in 0..4 {
         b.push(idct, Inst::alu(Opcode::IntMul, Reg(20 + 2 * i), &[Reg(16)]));
-        b.push(idct, Inst::alu(Opcode::IntAlu, Reg(21 + 2 * i), &[Reg(20 + 2 * i)]));
+        b.push(
+            idct,
+            Inst::alu(Opcode::IntAlu, Reg(21 + 2 * i), &[Reg(20 + 2 * i)]),
+        );
     }
     b.push(idct, Inst::branch(Reg(27)));
 
@@ -155,21 +161,39 @@ pub(crate) fn build_cfg() -> Cfg {
     // mc_fwd: forward prediction — two reference loads + average.
     b.push(mc_fwd, Inst::load(Reg(32), Reg(5), MemWidth::B8));
     b.push(mc_fwd, Inst::load(Reg(33), Reg(5), MemWidth::B8));
-    b.push(mc_fwd, Inst::alu(Opcode::IntAlu, Reg(34), &[Reg(32), Reg(33)]));
-    b.push(mc_fwd, Inst::alu(Opcode::IntAlu, Reg(35), &[Reg(34), Reg(27)]));
+    b.push(
+        mc_fwd,
+        Inst::alu(Opcode::IntAlu, Reg(34), &[Reg(32), Reg(33)]),
+    );
+    b.push(
+        mc_fwd,
+        Inst::alu(Opcode::IntAlu, Reg(35), &[Reg(34), Reg(27)]),
+    );
 
     // mc_bidir: bidirectional — loads from both references.
     b.push(mc_bidir, Inst::load(Reg(36), Reg(5), MemWidth::B8));
     b.push(mc_bidir, Inst::load(Reg(37), Reg(6), MemWidth::B8));
     b.push(mc_bidir, Inst::load(Reg(38), Reg(6), MemWidth::B8));
-    b.push(mc_bidir, Inst::alu(Opcode::IntAlu, Reg(39), &[Reg(36), Reg(37)]));
-    b.push(mc_bidir, Inst::alu(Opcode::IntAlu, Reg(40), &[Reg(39), Reg(38)]));
-    b.push(mc_bidir, Inst::alu(Opcode::IntAlu, Reg(41), &[Reg(40), Reg(27)]));
+    b.push(
+        mc_bidir,
+        Inst::alu(Opcode::IntAlu, Reg(39), &[Reg(36), Reg(37)]),
+    );
+    b.push(
+        mc_bidir,
+        Inst::alu(Opcode::IntAlu, Reg(40), &[Reg(39), Reg(38)]),
+    );
+    b.push(
+        mc_bidir,
+        Inst::alu(Opcode::IntAlu, Reg(41), &[Reg(40), Reg(27)]),
+    );
 
     // chroma: motion-compensate the two chroma blocks (cache-friendly:
     // chroma planes are a quarter the size of luma).
     b.push(chroma, Inst::load(Reg(46), Reg(9), MemWidth::B8));
-    b.push(chroma, Inst::alu(Opcode::IntAlu, Reg(47), &[Reg(46), Reg(41)]));
+    b.push(
+        chroma,
+        Inst::alu(Opcode::IntAlu, Reg(47), &[Reg(46), Reg(41)]),
+    );
     b.push(chroma, Inst::alu(Opcode::IntAlu, Reg(48), &[Reg(47)]));
 
     // mb_store: write the reconstructed macroblock row.
@@ -351,12 +375,8 @@ mod tests {
         let mut complex = input(MpegInput::Bbc).spec();
         simple.iterations = 6;
         complex.iterations = 6;
-        let t_simple = machine
-            .run(&cfg, &trace(&cfg, &simple), pt)
-            .total_time_us;
-        let t_complex = machine
-            .run(&cfg, &trace(&cfg, &complex), pt)
-            .total_time_us;
+        let t_simple = machine.run(&cfg, &trace(&cfg, &simple), pt).total_time_us;
+        let t_complex = machine.run(&cfg, &trace(&cfg, &complex), pt).total_time_us;
         assert!(
             t_complex > t_simple,
             "bbc ({t_complex}) should outlast 100b ({t_simple})"

@@ -40,7 +40,10 @@ pub(crate) fn build_cfg() -> Cfg {
 
     // huffman: bit-serial decode — dependent integer chain with a branch.
     b.push(huffman, Inst::load(Reg(12), Reg(2), MemWidth::B4));
-    b.push(huffman, Inst::alu(Opcode::IntAlu, Reg(13), &[Reg(12), Reg(13)]));
+    b.push(
+        huffman,
+        Inst::alu(Opcode::IntAlu, Reg(13), &[Reg(12), Reg(13)]),
+    );
     b.push(huffman, Inst::alu(Opcode::IntAlu, Reg(14), &[Reg(13)]));
     b.push(huffman, Inst::branch(Reg(14)));
 
@@ -52,14 +55,23 @@ pub(crate) fn build_cfg() -> Cfg {
     // alias: butterfly alias-reduction between adjacent subbands.
     b.push(alias, Inst::alu(Opcode::FpMul, Reg(26), &[Reg(17)]));
     b.push(alias, Inst::alu(Opcode::FpMul, Reg(27), &[Reg(17)]));
-    b.push(alias, Inst::alu(Opcode::FpAdd, Reg(28), &[Reg(26), Reg(27)]));
+    b.push(
+        alias,
+        Inst::alu(Opcode::FpAdd, Reg(28), &[Reg(26), Reg(27)]),
+    );
     b.push(alias, Inst::branch(Reg(28)));
 
     // synth: one subband dot-product step (2 loads + FP MAC).
     b.push(synth, Inst::load(Reg(18), Reg(3), MemWidth::B4));
     b.push(synth, Inst::load(Reg(19), Reg(4), MemWidth::B4));
-    b.push(synth, Inst::alu(Opcode::FpMul, Reg(20), &[Reg(18), Reg(19)]));
-    b.push(synth, Inst::alu(Opcode::FpAdd, Reg(21), &[Reg(20), Reg(21)]));
+    b.push(
+        synth,
+        Inst::alu(Opcode::FpMul, Reg(20), &[Reg(18), Reg(19)]),
+    );
+    b.push(
+        synth,
+        Inst::alu(Opcode::FpAdd, Reg(21), &[Reg(20), Reg(21)]),
+    );
     b.push(synth, Inst::branch(Reg(21)));
 
     // window: fold + clamp + store PCM samples.
@@ -157,7 +169,11 @@ mod tests {
         let t = trace(&cfg, &input);
         let run = Machine::paper_default().run(&cfg, &t, OperatingPoint::new(1.65, 800.0));
         // Tables are cache-resident: very low D-miss rate after warm-up.
-        assert!(run.l1d.miss_rate() < 0.1, "miss rate {}", run.l1d.miss_rate());
+        assert!(
+            run.l1d.miss_rate() < 0.1,
+            "miss rate {}",
+            run.l1d.miss_rate()
+        );
         assert!(run.committed_insts > 10_000);
     }
 }

@@ -13,7 +13,13 @@ impl Lcg {
     /// Seeds the generator. A zero seed is remapped to a fixed constant.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Lcg { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        Lcg {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.

@@ -38,8 +38,10 @@ fn main() {
     );
 
     let continuous = ContinuousModel::paper();
-    println!("\n{:<10} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "deadline", "µs", "continuous", "3 levels", "7 levels", "13 levels");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "deadline", "µs", "continuous", "3 levels", "7 levels", "13 levels"
+    );
     for i in 1..=5usize {
         let d = scheme.deadline_us(i);
         let cont = continuous

@@ -22,13 +22,19 @@ fn main() {
     let trace = b.trace(&cfg, &b.default_input());
     let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
 
-    println!("benchmark: {} — analytical DVS bound vs memory latency\n", b.name());
+    println!(
+        "benchmark: {} — analytical DVS bound vs memory latency\n",
+        b.name()
+    );
     println!(
         "{:>16} {:>12} {:>12} {:>10} {:>10}",
         "mem latency (ns)", "t800 (µs)", "tinv (µs)", "D4 bound", "D5 bound"
     );
     for mem_ns in [40.0, 80.0, 160.0, 320.0, 640.0] {
-        let config = SimConfig { mem_latency_us: mem_ns / 1000.0, ..SimConfig::default() };
+        let config = SimConfig {
+            mem_latency_us: mem_ns / 1000.0,
+            ..SimConfig::default()
+        };
         let machine = Machine::new(config, EnergyModel::default());
         let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
         let (_, runs) = ModeProfiler::new(machine).profile(&cfg, &trace, &ladder);

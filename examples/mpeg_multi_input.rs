@@ -36,14 +36,21 @@ fn main() {
         println!(
             "{:<10} category {}   deadline D3 = {:.1} µs",
             k.name(),
-            if mpeg_input(k).has_b_frames() { "2-B-frames" } else { "no-B-frames" },
+            if mpeg_input(k).has_b_frames() {
+                "2-B-frames"
+            } else {
+                "no-B-frames"
+            },
             d3
         );
         data.push((k, trace, profile, d3));
     }
 
     // Schedule from the bbc profile (no B frames)...
-    let bbc = data.iter().find(|(k, ..)| *k == MpegInput::Bbc).expect("bbc present");
+    let bbc = data
+        .iter()
+        .find(|(k, ..)| *k == MpegInput::Bbc)
+        .expect("bbc present");
     let bbc_schedule = MilpFormulation::new(&cfg, &bbc.2, &ladder, &tm, bbc.3)
         .solve()
         .expect("bbc deadline feasible")
@@ -53,14 +60,21 @@ fn main() {
     let cats: Vec<CategoryProfile> = data
         .iter()
         .filter(|(k, ..)| matches!(k, MpegInput::Flwr | MpegInput::Bbc))
-        .map(|(_, _, p, d)| CategoryProfile { weight: 0.5, profile: p.clone(), deadline_us: *d })
+        .map(|(_, _, p, d)| CategoryProfile {
+            weight: 0.5,
+            profile: p.clone(),
+            deadline_us: *d,
+        })
         .collect();
     let avg_schedule = MultiCategory::new(&cfg, &cats, &ladder, &tm)
         .solve()
         .expect("joint deadlines feasible")
         .schedule;
 
-    println!("\n{:<10} {:>14} {:>16} {:>18}", "input", "deadline (µs)", "bbc-profiled", "average-profiled");
+    println!(
+        "\n{:<10} {:>14} {:>16} {:>18}",
+        "input", "deadline (µs)", "bbc-profiled", "average-profiled"
+    );
     for (k, trace, _, d) in &data {
         let t_bbc = machine
             .run_scheduled(&cfg, trace, &ladder, &bbc_schedule, &tm)

@@ -3,19 +3,24 @@
 //! ```text
 //! dvsc list
 //! dvsc compile --benchmark gsm --deadline 3 [--levels 3] [--capacitance 0.05]
-//!              [--emit listing.s] [--no-validate]
+//!              [--emit listing.s] [--no-validate] [--metrics]
+//!              [--trace-out trace.json]
 //! dvsc analyze --benchmark epic [--levels 7]
 //! ```
 //!
 //! `compile` runs profile → filter → MILP → schedule on a built-in
 //! workload, re-simulates the schedule and prints predicted vs measured
 //! numbers. `analyze` prints the §3 analytical parameters and the
-//! savings bound per deadline.
+//! savings bound per deadline. Invoking `dvsc` with flags but no
+//! subcommand implies `compile`.
+//!
+//! `--metrics` prints a pipeline metrics summary (counters, gauges,
+//! histograms) after the run; `--trace-out FILE` writes a Chrome
+//! trace-event JSON file loadable in `chrome://tracing` or Perfetto.
 
-use compile_time_dvs::compiler::{
-    analyze_params, emit_instrumented, DeadlineScheme, DvsCompiler,
-};
+use compile_time_dvs::compiler::{analyze_params, emit_instrumented, DeadlineScheme, DvsCompiler};
 use compile_time_dvs::model::DiscreteModel;
+use compile_time_dvs::obs;
 use compile_time_dvs::sim::Machine;
 use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
 use compile_time_dvs::workloads::Benchmark;
@@ -28,19 +33,31 @@ struct Args {
     capacitance_uf: f64,
     emit: Option<String>,
     validate: bool,
+    metrics: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dvsc list\n  dvsc compile --benchmark <name> [--deadline 1..5] \
+        "usage:\n  dvsc list\n  dvsc [compile] --benchmark <name> [--deadline 1..5] \
          [--levels N] [--capacitance µF] [--emit FILE] [--no-validate]\n  \
-         dvsc analyze --benchmark <name> [--levels N]"
+         \x20              [--metrics] [--trace-out FILE]\n  \
+         dvsc analyze --benchmark <name> [--levels N]\n  \
+         dvsc --version"
     );
     ExitCode::from(2)
 }
 
-fn parse(mut argv: std::env::Args) -> Option<(String, Args)> {
-    let cmd = argv.next()?;
+/// Parses the command line, reporting exactly which flag failed and why.
+/// A leading flag (no subcommand) implies `compile`, so the common
+/// `dvsc --benchmark adpcm --deadline 2` invocation works as-is.
+fn parse(argv: &[String]) -> Result<(String, Args), String> {
+    let mut it = argv.iter().peekable();
+    let cmd = match it.peek() {
+        None => return Err("missing subcommand (try `dvsc list`)".into()),
+        Some(tok) if tok.starts_with('-') => "compile".to_string(),
+        Some(_) => it.next().expect("peeked").clone(),
+    };
     let mut args = Args {
         benchmark: None,
         deadline_index: 3,
@@ -48,19 +65,53 @@ fn parse(mut argv: std::env::Args) -> Option<(String, Args)> {
         capacitance_uf: 0.05,
         emit: None,
         validate: true,
+        metrics: false,
+        trace_out: None,
     };
-    while let Some(flag) = argv.next() {
+    fn value<'a>(
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a String>,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} requires a value"))
+    }
+    fn number<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag}: invalid value `{raw}` (expected a number)"))
+    }
+    while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--benchmark" | "-b" => args.benchmark = Some(argv.next()?),
-            "--deadline" | "-d" => args.deadline_index = argv.next()?.parse().ok()?,
-            "--levels" | "-l" => args.levels = argv.next()?.parse().ok()?,
-            "--capacitance" | "-c" => args.capacitance_uf = argv.next()?.parse().ok()?,
-            "--emit" | "-e" => args.emit = Some(argv.next()?),
+            "--benchmark" | "-b" => args.benchmark = Some(value(flag, &mut it)?.clone()),
+            "--deadline" | "-d" => {
+                args.deadline_index = number(flag, value(flag, &mut it)?)?;
+            }
+            "--levels" | "-l" => args.levels = number(flag, value(flag, &mut it)?)?,
+            "--capacitance" | "-c" => {
+                args.capacitance_uf = number(flag, value(flag, &mut it)?)?;
+            }
+            "--emit" | "-e" => args.emit = Some(value(flag, &mut it)?.clone()),
             "--no-validate" => args.validate = false,
-            _ => return None,
+            "--metrics" | "-m" => args.metrics = true,
+            "--trace-out" | "-t" => args.trace_out = Some(value(flag, &mut it)?.clone()),
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    Some((cmd, args))
+    Ok((cmd, args))
+}
+
+/// Emits the requested observability outputs after a run.
+fn finalize_obs(args: &Args) -> Result<(), ExitCode> {
+    if let Some(path) = &args.trace_out {
+        let json = obs::chrome_trace_string();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("wrote Chrome trace to {path} (load in chrome://tracing or Perfetto)");
+    }
+    if args.metrics {
+        print!("{}", obs::MetricsSnapshot::capture().summary_table());
+    }
+    Ok(())
 }
 
 fn find_benchmark(name: &str) -> Option<Benchmark> {
@@ -79,41 +130,64 @@ fn ladder(levels: usize) -> Option<VoltageLadder> {
 }
 
 fn main() -> ExitCode {
-    let mut argv = std::env::args();
-    let _ = argv.next();
-    let Some((cmd, args)) = parse(argv) else { return usage() };
-    match cmd.as_str() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--version" || a == "-V") {
+        println!("dvsc {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    let (cmd, args) = match parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return usage();
+        }
+    };
+    if args.metrics || args.trace_out.is_some() {
+        obs::enable();
+        obs::reset();
+    }
+    let code = match cmd.as_str() {
         "list" => {
-            println!("{:<14} {}", "benchmark", "inputs");
+            println!("{:<14} inputs", "benchmark");
             for b in Benchmark::all() {
-                let names: Vec<String> =
-                    b.inputs().into_iter().map(|i| i.name).collect();
+                let names: Vec<String> = b.inputs().into_iter().map(|i| i.name).collect();
                 println!("{:<14} {}", b.name(), names.join(", "));
             }
-            ExitCode::SUCCESS
+            0
         }
         "compile" => run_compile(&args),
         "analyze" => run_analyze(&args),
-        _ => usage(),
+        other => {
+            eprintln!("error: unknown subcommand `{other}`");
+            return usage();
+        }
+    };
+    // Only emit trace/metrics for runs that did real work; a usage error
+    // would otherwise print an empty metrics table after the message.
+    if code == 0 {
+        if let Err(fail) = finalize_obs(&args) {
+            return fail;
+        }
     }
+    ExitCode::from(code)
 }
 
-fn run_compile(args: &Args) -> ExitCode {
+fn run_compile(args: &Args) -> u8 {
     let Some(name) = &args.benchmark else {
         eprintln!("compile requires --benchmark");
-        return ExitCode::from(2);
+        return 2;
     };
     let Some(b) = find_benchmark(name) else {
         eprintln!("unknown benchmark `{name}` (try `dvsc list`)");
-        return ExitCode::from(2);
+        return 2;
     };
     if !(1..=5).contains(&args.deadline_index) {
         eprintln!("--deadline must be 1..5");
-        return ExitCode::from(2);
+        return 2;
     }
     let Some(ladder) = ladder(args.levels) else {
         eprintln!("bad --levels");
-        return ExitCode::from(2);
+        return 2;
     };
 
     let cfg = b.build_cfg();
@@ -146,7 +220,7 @@ fn run_compile(args: &Args) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compile failed: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
     };
 
@@ -187,28 +261,28 @@ fn run_compile(args: &Args) -> ExitCode {
         );
         if let Err(e) = std::fs::write(path, listing) {
             eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
         println!(
             "wrote {path} ({} of {} naive mode-sets emitted)",
             stats.emitted_mode_sets, stats.naive_mode_sets
         );
     }
-    ExitCode::SUCCESS
+    0
 }
 
-fn run_analyze(args: &Args) -> ExitCode {
+fn run_analyze(args: &Args) -> u8 {
     let Some(name) = &args.benchmark else {
         eprintln!("analyze requires --benchmark");
-        return ExitCode::from(2);
+        return 2;
     };
     let Some(b) = find_benchmark(name) else {
         eprintln!("unknown benchmark `{name}` (try `dvsc list`)");
-        return ExitCode::from(2);
+        return 2;
     };
     let Some(ladder) = ladder(args.levels) else {
         eprintln!("bad --levels");
-        return ExitCode::from(2);
+        return 2;
     };
     let cfg = b.build_cfg();
     let trace = b.trace(&cfg, &b.default_input());
@@ -234,5 +308,5 @@ fn run_analyze(args: &Args) -> ExitCode {
             .map_or("inf.".to_string(), |s| format!("{s:.3}"));
         println!("D{i:<3} {d:>12.1} {s:>10}");
     }
-    ExitCode::SUCCESS
+    0
 }

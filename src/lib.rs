@@ -3,6 +3,7 @@ pub use dvs_compiler as compiler;
 pub use dvs_ir as ir;
 pub use dvs_milp as milp;
 pub use dvs_model as model;
+pub use dvs_obs as obs;
 pub use dvs_sim as sim;
 pub use dvs_vf as vf;
 pub use dvs_workloads as workloads;

@@ -11,7 +11,14 @@ fn list_names_all_benchmarks() {
     let out = dvsc().arg("list").output().expect("dvsc runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for name in ["adpcm/encode", "mpeg/decode", "gsm/encode", "epic", "ghostscript", "mpg123"] {
+    for name in [
+        "adpcm/encode",
+        "mpeg/decode",
+        "gsm/encode",
+        "epic",
+        "ghostscript",
+        "mpg123",
+    ] {
         assert!(text.contains(name), "missing {name} in:\n{text}");
     }
     assert!(text.contains("flwr.m2v"), "mpeg inputs listed");
@@ -36,7 +43,11 @@ fn compile_ghostscript_and_emit_listing() {
         .output()
         .expect("dvsc runs");
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(text.contains("MILP:"), "summary printed:\n{text}");
     assert!(text.contains("validated:"), "validation printed");
     let listing = std::fs::read_to_string(&tmp).expect("listing written");
@@ -68,4 +79,108 @@ fn bad_arguments_fail_cleanly() {
     assert!(!out.status.success());
     let out = dvsc().args(["frobnicate"]).output().expect("dvsc runs");
     assert!(!out.status.success());
+}
+
+#[test]
+fn argument_errors_name_the_failing_flag() {
+    // Missing value.
+    let out = dvsc()
+        .args(["compile", "--deadline"])
+        .output()
+        .expect("dvsc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--deadline requires a value"), "stderr: {err}");
+
+    // Unparseable value.
+    let out = dvsc()
+        .args(["compile", "--levels", "three"])
+        .output()
+        .expect("dvsc runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--levels") && err.contains("`three`"),
+        "stderr: {err}"
+    );
+
+    // Unknown flag.
+    let out = dvsc()
+        .args(["compile", "--bogus"])
+        .output()
+        .expect("dvsc runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--bogus`"), "stderr: {err}");
+}
+
+#[test]
+fn version_flag_prints_version() {
+    let out = dvsc().arg("--version").output().expect("dvsc runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.starts_with("dvsc ") && text.trim().len() > 5,
+        "got: {text}"
+    );
+}
+
+/// The observability acceptance path: flags without a subcommand imply
+/// `compile`, `--metrics` prints non-zero pipeline counters, and
+/// `--trace-out` writes a Chrome-trace JSON file.
+#[test]
+fn metrics_and_trace_out_capture_the_pipeline() {
+    use compile_time_dvs::obs::json::Json;
+
+    let tmp = std::env::temp_dir().join("dvsc_cli_test_trace.json");
+    let _ = std::fs::remove_file(&tmp);
+    let out = dvsc()
+        .args([
+            "--benchmark",
+            "adpcm",
+            "--deadline",
+            "2",
+            "--metrics",
+            "--trace-out",
+        ])
+        .arg(&tmp)
+        .output()
+        .expect("dvsc runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+
+    // The metrics summary must report non-zero work in every stage.
+    let metric_value = |name: &str| -> f64 {
+        let line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with(name))
+            .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"));
+        line.split_whitespace().nth(1).unwrap().parse().unwrap()
+    };
+    assert!(metric_value("milp.pivots") > 0.0);
+    assert!(metric_value("sim.cycles") > 0.0);
+    assert!(metric_value("pass.solve.wall_us") > 0.0);
+    assert!(metric_value("pass.profile.wall_us") > 0.0);
+
+    // The trace must be a JSON array of complete events.
+    let trace = std::fs::read_to_string(&tmp).expect("trace written");
+    let root = Json::parse(&trace).expect("trace is valid JSON");
+    let events = root.as_arr().expect("array of events");
+    assert!(!events.is_empty());
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "missing {key} in {trace}");
+        }
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+    }
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for span in ["sim.run", "pass.formulate", "pass.solve", "milp.solve"] {
+        assert!(names.contains(&span), "span {span} missing: {names:?}");
+    }
+    let _ = std::fs::remove_file(&tmp);
 }

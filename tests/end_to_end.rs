@@ -17,7 +17,11 @@ fn ladder() -> VoltageLadder {
 #[test]
 fn pipeline_meets_deadlines_and_beats_single_mode() {
     let machine = Machine::paper_default();
-    for b in [Benchmark::GsmEncode, Benchmark::Ghostscript, Benchmark::Mpg123] {
+    for b in [
+        Benchmark::GsmEncode,
+        Benchmark::Ghostscript,
+        Benchmark::Mpg123,
+    ] {
         let cfg = b.build_cfg();
         let trace = b.trace(&cfg, &b.default_input());
         let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
@@ -29,8 +33,7 @@ fn pipeline_meets_deadlines_and_beats_single_mode() {
         let (profile, _) = compiler.profile(&cfg, &trace);
         for i in 1..=5usize {
             let deadline = scheme.deadline_us(i);
-            let Ok(res) = compiler.compile_and_validate(&cfg, &trace, &profile, deadline)
-            else {
+            let Ok(res) = compiler.compile_and_validate(&cfg, &trace, &profile, deadline) else {
                 // D1 can be genuinely tight; other deadlines must be
                 // feasible by construction.
                 assert_eq!(i, 1, "{}: D{i} unexpectedly infeasible", b.name());
@@ -84,9 +87,13 @@ fn milp_predictions_track_resimulation() {
         let v = res.validated.expect("validated");
         let dt = (v.time_us - res.milp.predicted_time_us).abs() / v.time_us;
         assert!(dt < 0.08, "D{i}: time prediction off by {:.1}%", dt * 100.0);
-        let de = (v.processor_energy_uj - res.milp.predicted_energy_uj).abs()
-            / v.processor_energy_uj;
-        assert!(de < 0.08, "D{i}: energy prediction off by {:.1}%", de * 100.0);
+        let de =
+            (v.processor_energy_uj - res.milp.predicted_energy_uj).abs() / v.processor_energy_uj;
+        assert!(
+            de < 0.08,
+            "D{i}: energy prediction off by {:.1}%",
+            de * 100.0
+        );
     }
 }
 
@@ -175,14 +182,20 @@ fn filtering_preserves_quality() {
         .solve()
         .expect("feasible");
     let filt = EdgeFilter::tail_rule(&cfg, &profile, l.len() - 1, 0.02);
-    assert!(filt.num_independent() < cfg.num_edges(), "filter should tie something");
+    assert!(
+        filt.num_independent() < cfg.num_edges(),
+        "filter should tie something"
+    );
     let sub = MilpFormulation::new(&cfg, &profile, &l, &tm, d)
         .with_filter(filt)
         .solve()
         .expect("feasible");
     assert!(sub.predicted_time_us <= d * (1.0 + 1e-9));
-    let delta = (sub.predicted_energy_uj - all.predicted_energy_uj)
-        / all.predicted_energy_uj;
-    assert!(delta.abs() < 0.02, "filtering changed energy by {:.2}%", delta * 100.0);
+    let delta = (sub.predicted_energy_uj - all.predicted_energy_uj) / all.predicted_energy_uj;
+    assert!(
+        delta.abs() < 0.02,
+        "filtering changed energy by {:.2}%",
+        delta * 100.0
+    );
     assert!(delta >= -1e-9, "filtering cannot improve the optimum");
 }

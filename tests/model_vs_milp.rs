@@ -70,7 +70,10 @@ fn memory_phase_runs_slower_than_compute_phase() {
     use compile_time_dvs::sim::{EnergyModel, SimConfig};
     let (cfg, trace) = two_phase(500, 500);
     let machine = Machine::new(
-        SimConfig { mem_latency_us: 0.32, ..SimConfig::default() },
+        SimConfig {
+            mem_latency_us: 0.32,
+            ..SimConfig::default()
+        },
         EnergyModel::default(),
     );
     let c = DvsCompiler::new(
@@ -86,10 +89,10 @@ fn memory_phase_runs_slower_than_compute_phase() {
         .expect("feasible");
     let mem = cfg.block_by_label("mem").expect("mem");
     let comp = cfg.block_by_label("comp").expect("comp");
-    let mem_mode = res.milp.schedule.edge_modes
-        [cfg.edge_between(mem, mem).expect("self edge").index()];
-    let comp_mode = res.milp.schedule.edge_modes
-        [cfg.edge_between(comp, comp).expect("self edge").index()];
+    let mem_mode =
+        res.milp.schedule.edge_modes[cfg.edge_between(mem, mem).expect("self edge").index()];
+    let comp_mode =
+        res.milp.schedule.edge_modes[cfg.edge_between(comp, comp).expect("self edge").index()];
     assert!(
         mem_mode < comp_mode,
         "memory loop at {mem_mode:?} should run slower than compute loop at {comp_mode:?}"
