@@ -3,14 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! repro all            # every experiment, in paper order
-//! repro table6 fig15   # specific experiments
-//! repro --list         # show available ids
+//! repro all                # every experiment, in paper order
+//! repro table6 fig15       # specific experiments
+//! repro all --jobs 4       # run independent experiments concurrently
+//! repro --list             # show available ids
 //! ```
 //!
 //! Each report is printed to stdout and written to `results/<id>.txt` and
 //! `results/<id>.csv`. A cross-experiment perf baseline (wall-clock plus
 //! pipeline metrics per experiment) lands in `results/stats.csv`.
+//!
+//! `--jobs N` (or the `DVS_JOBS` environment variable) fans independent
+//! experiments out over N worker threads. Reports stream to stdout in
+//! completion order, but `results/*.csv` files and the row order of
+//! `stats.csv` are independent of N: deterministic experiments produce
+//! byte-identical files whatever the parallelism (timing columns such as
+//! solve times vary run to run even sequentially). When a single
+//! experiment id is given, the jobs go to its inner grid cells instead.
 
 use dvs_bench::Report;
 use dvs_bench::{run_experiment, Context, ExperimentStats, ALL_EXPERIMENTS};
@@ -19,10 +28,47 @@ use std::fs;
 use std::path::Path;
 use std::time::Instant;
 
+fn parse_jobs(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = if args[i] == "--jobs" {
+            let v = args
+                .get(i + 1)
+                .cloned()
+                .ok_or_else(|| "--jobs needs a value".to_string())?;
+            args.drain(i..=i + 1);
+            v
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            let v = v.to_string();
+            args.remove(i);
+            v
+        } else {
+            i += 1;
+            continue;
+        };
+        let n: usize = take
+            .parse()
+            .map_err(|_| format!("invalid --jobs value `{take}`"))?;
+        if n == 0 {
+            return Err("--jobs must be at least 1".to_string());
+        }
+        jobs = Some(n);
+    }
+    Ok(jobs)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match parse_jobs(&mut args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--list] <experiment-id>... | all");
+        eprintln!("usage: repro [--list] [--jobs N] <experiment-id>... | all");
         eprintln!("ids: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -45,33 +91,70 @@ fn main() {
         std::process::exit(1);
     }
 
+    // `--jobs` beats `DVS_JOBS` beats sequential. With several experiments
+    // the workers run whole experiments; a single experiment instead gets
+    // the full job count for its inner grid cells.
+    let jobs = jobs.unwrap_or_else(|| {
+        std::env::var(dvs_runtime::JOBS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    });
+    let (outer_jobs, inner_jobs) = if ids.len() > 1 { (jobs, 1) } else { (1, jobs) };
+
     dvs_obs::enable();
-    let mut ctx = Context::new();
-    let mut failures = 0;
-    let mut stats: Vec<ExperimentStats> = Vec::new();
-    for id in ids {
-        dvs_obs::reset();
-        let t0 = Instant::now();
-        match run_experiment(&mut ctx, id) {
-            Ok(report) => {
-                let wall_s = t0.elapsed().as_secs_f64();
-                let text = report.render();
-                println!("{text}");
-                println!("   [{id} completed in {wall_s:.2} s]\n");
-                let _ = fs::write(out_dir.join(format!("{id}.txt")), &text);
-                let _ = fs::write(out_dir.join(format!("{id}.csv")), report.to_csv());
-                stats.push(ExperimentStats {
-                    id: id.to_string(),
-                    wall_s,
-                    metrics: MetricsSnapshot::capture(),
-                });
+    dvs_obs::reset();
+    let ctx = Context::with_jobs(inner_jobs);
+    let pool = dvs_runtime::Pool::new(outer_jobs);
+    let (tx, rx) = dvs_runtime::channel::<Result<String, String>>();
+
+    // Experiments run on the pool; a printer thread streams finished
+    // reports in completion order so progress is visible under --jobs.
+    let results: Vec<Option<ExperimentStats>> = std::thread::scope(|s| {
+        let printer = s.spawn(move || {
+            for msg in rx.iter() {
+                match msg {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                failures += 1;
+        });
+        let results = pool.map(ids.clone(), |idx, id| {
+            // Domain 0 is the harness itself; experiments get 1-based
+            // domains so concurrent runs don't bleed metrics into each
+            // other's stats.csv rows.
+            let domain = u32::try_from(idx).unwrap_or(u32::MAX - 1) + 1;
+            let _dg = dvs_obs::enter_domain(domain);
+            let t0 = Instant::now();
+            match run_experiment(&ctx, id) {
+                Ok(report) => {
+                    let wall_s = t0.elapsed().as_secs_f64();
+                    let text = report.render();
+                    tx.send(Ok(format!(
+                        "{text}\n   [{id} completed in {wall_s:.2} s]\n"
+                    )));
+                    let _ = fs::write(out_dir.join(format!("{id}.txt")), &text);
+                    let _ = fs::write(out_dir.join(format!("{id}.csv")), report.to_csv());
+                    Some(ExperimentStats {
+                        id: id.to_string(),
+                        wall_s,
+                        metrics: MetricsSnapshot::capture_domain(domain),
+                    })
+                }
+                Err(e) => {
+                    tx.send(Err(e));
+                    None
+                }
             }
-        }
-    }
+        });
+        drop(tx);
+        let _ = printer.join();
+        results
+    });
+
+    let failures = results.iter().filter(|r| r.is_none()).count();
+    let stats: Vec<ExperimentStats> = results.into_iter().flatten().collect();
     if !stats.is_empty() {
         let harness = Report::harness_stats(&stats);
         println!("{}", harness.render());

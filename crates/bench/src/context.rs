@@ -4,9 +4,11 @@ use dvs_sim::{Machine, ModeProfiler, RunStats, Trace};
 use dvs_vf::{AlphaPower, VoltageLadder};
 use dvs_workloads::Benchmark;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Cached per-benchmark artifacts: CFG, default-input trace, deadline
-/// scheme, and one profile per ladder size.
+/// Cached per-benchmark artifacts: CFG, default-input trace and deadline
+/// scheme. Per-ladder profiles live in a separate [`Context`] cache so that
+/// `BenchData` is immutable and can be shared across worker threads.
 pub struct BenchData {
     /// The benchmark.
     pub benchmark: Benchmark,
@@ -16,18 +18,6 @@ pub struct BenchData {
     pub trace: Trace,
     /// Fig.-16 deadline scheme measured at the XScale 200/600/800 points.
     pub scheme: DeadlineScheme,
-    profiles: HashMap<usize, (Profile, Vec<RunStats>)>,
-}
-
-impl BenchData {
-    /// The cached profile for an `levels`-mode ladder, computing it on
-    /// first use.
-    pub fn profile(&mut self, machine: &Machine, levels: usize) -> &(Profile, Vec<RunStats>) {
-        self.profiles.entry(levels).or_insert_with(|| {
-            let ladder = ladder_of(levels);
-            ModeProfiler::new(machine.clone()).profile(&self.cfg, &self.trace, &ladder)
-        })
-    }
 }
 
 /// The paper's Table 4 runtimes at 200 MHz, in µs, used to scale regulator
@@ -65,48 +55,106 @@ pub fn ladder_of(levels: usize) -> VoltageLadder {
     }
 }
 
+/// A compute-once cell shared between threads: the map lock is held only
+/// long enough to hand out the cell, so concurrent requests for *different*
+/// keys build in parallel while requests for the *same* key block on the
+/// one thread doing the work.
+type Slot<T> = Arc<OnceLock<T>>;
+type Cache<K, V> = Mutex<HashMap<K, Slot<V>>>;
+
+fn slot_of<K: std::hash::Hash + Eq, V>(map: &Cache<K, V>, key: K) -> Slot<V> {
+    map.lock()
+        .expect("bench cache lock poisoned")
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
 /// Shared experiment context: the machine plus lazily-built benchmark data.
+///
+/// All caches are internally synchronized, so experiments borrow the
+/// context immutably (`&Context`) and may query it from many threads at
+/// once — each CFG, trace and per-ladder profile is still built exactly
+/// once.
 pub struct Context {
     /// The simulated machine (paper Table 2 configuration).
     pub machine: Machine,
-    benches: HashMap<&'static str, BenchData>,
+    jobs: usize,
+    benches: Cache<&'static str, Arc<BenchData>>,
+    profiles: Cache<(&'static str, usize), (Profile, Vec<RunStats>)>,
 }
 
 impl Context {
     /// A fresh context with the paper-default machine.
     #[must_use]
     pub fn new() -> Self {
+        Context::with_jobs(1)
+    }
+
+    /// A fresh context whose grid experiments fan cells out over `jobs`
+    /// worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
         Context {
             machine: Machine::paper_default(),
-            benches: HashMap::new(),
+            jobs: jobs.max(1),
+            benches: Mutex::new(HashMap::new()),
+            profiles: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Worker threads grid experiments may use for independent cells.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps `f` over `items` on a [`dvs_runtime::Pool`] sized to this
+    /// context's job count, preserving item order in the results and
+    /// propagating the caller's metric domain into the workers (so
+    /// per-experiment [`dvs_obs`] attribution survives the fan-out).
+    pub fn par_map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let domain = dvs_obs::current_domain();
+        dvs_runtime::Pool::new(self.jobs).map(items, |i, item| {
+            let _dg = dvs_obs::enter_domain(domain);
+            f(i, item)
+        })
     }
 
     /// The (cached) data for `benchmark`, building CFG, trace and deadline
     /// scheme on first use.
-    pub fn bench(&mut self, benchmark: Benchmark) -> &mut BenchData {
-        let machine = &self.machine;
-        self.benches.entry(benchmark.name()).or_insert_with(|| {
+    pub fn bench(&self, benchmark: Benchmark) -> Arc<BenchData> {
+        let cell = slot_of(&self.benches, benchmark.name());
+        cell.get_or_init(|| {
             let cfg = benchmark.build_cfg();
             let trace = benchmark.trace(&cfg, &benchmark.default_input());
-            let scheme = DeadlineScheme::measure(machine, &cfg, &trace);
-            BenchData {
+            let scheme = DeadlineScheme::measure(&self.machine, &cfg, &trace);
+            Arc::new(BenchData {
                 benchmark,
                 cfg,
                 trace,
                 scheme,
-                profiles: HashMap::new(),
-            }
+            })
         })
+        .clone()
     }
 
     /// Convenience: profile of `benchmark` on an `levels`-mode ladder.
     /// Returns clones of the cached data to side-step borrow entanglement
     /// in experiments that hold several benchmarks at once.
-    pub fn profile_of(&mut self, benchmark: Benchmark, levels: usize) -> (Profile, Vec<RunStats>) {
-        let machine = self.machine.clone();
-        let b = self.bench(benchmark);
-        b.profile(&machine, levels).clone()
+    pub fn profile_of(&self, benchmark: Benchmark, levels: usize) -> (Profile, Vec<RunStats>) {
+        let cell = slot_of(&self.profiles, (benchmark.name(), levels));
+        cell.get_or_init(|| {
+            let bd = self.bench(benchmark);
+            let ladder = ladder_of(levels);
+            ModeProfiler::new(self.machine.clone()).profile(&bd.cfg, &bd.trace, &ladder)
+        })
+        .clone()
     }
 }
 
@@ -122,12 +170,32 @@ mod tests {
 
     #[test]
     fn context_caches_benchmarks() {
-        let mut ctx = Context::new();
+        let ctx = Context::new();
         let b = Benchmark::Ghostscript;
         let t1 = ctx.bench(b).scheme;
         let t2 = ctx.bench(b).scheme;
         assert_eq!(t1, t2);
         assert!(t1.t_slow_us > t1.t_fast_us);
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        let ctx = Context::with_jobs(4);
+        let b = Benchmark::Ghostscript;
+        let schemes = ctx.par_map(vec![(); 8], |_, ()| ctx.bench(b).scheme);
+        assert!(schemes.windows(2).all(|w| w[0] == w[1]));
+        // The cache holds exactly one entry despite 8 concurrent requests.
+        assert_eq!(ctx.benches.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn profiles_are_computed_once_per_ladder() {
+        let ctx = Context::with_jobs(4);
+        let b = Benchmark::Ghostscript;
+        let profiles = ctx.par_map(vec![(); 4], |_, ()| ctx.profile_of(b, 3).0);
+        assert_eq!(ctx.profiles.lock().unwrap().len(), 1);
+        let t0 = profiles[0].total_time_at(0);
+        assert!(profiles.iter().all(|p| p.total_time_at(0) == t0));
     }
 
     #[test]

@@ -342,28 +342,33 @@ pub fn fig11() -> Report {
 /// Table 1: analytical savings bounds for the Table 7 benchmarks at 3/7/13
 /// levels and the five Fig. 16 deadlines.
 #[must_use]
-pub fn table1(ctx: &mut Context) -> Report {
+pub fn table1(ctx: &Context) -> Report {
     let mut r = Report::new(
         "table1",
         "Analytical energy-saving ratios: benchmark × voltage levels × deadline",
     );
     r.note("program parameters extracted from cycle-level simulation (see table7)");
     r.columns(["benchmark", "levels", "D1", "D2", "D3", "D4", "D5"]);
-    for b in Benchmark::table7_set() {
+    // The profiling runs dominate; fan them out per (benchmark, levels) cell
+    // block and assemble rows in benchmark order afterwards.
+    let tasks: Vec<(Benchmark, usize)> = Benchmark::table7_set()
+        .into_iter()
+        .flat_map(|b| [3usize, 7, 13].into_iter().map(move |l| (b, l)))
+        .collect();
+    let rows = ctx.par_map(tasks, |_, (b, levels)| {
         let (_, runs) = ctx.profile_of(b, 3);
         let params = analyze_params(&runs);
         let deadlines = ctx.bench(b).scheme.deadlines_us();
-        for levels in [3usize, 7, 13] {
-            let model = DiscreteModel::new(ladder_of(levels));
-            let mut cells = vec![b.name().to_string(), levels.to_string()];
-            for &d in &deadlines {
-                match model.savings(&params, d) {
-                    Some(s) => cells.push(format!("{s:.2}")),
-                    None => cells.push("inf.".to_string()),
-                }
+        let model = DiscreteModel::new(ladder_of(levels));
+        let mut cells = vec![b.name().to_string(), levels.to_string()];
+        for &d in &deadlines {
+            match model.savings(&params, d) {
+                Some(s) => cells.push(format!("{s:.2}")),
+                None => cells.push("inf.".to_string()),
             }
-            r.row(cells);
         }
-    }
+        cells
+    });
+    r.rows.extend(rows);
     r
 }

@@ -18,7 +18,7 @@ use dvs_workloads::Benchmark;
 /// back edges cut), with the fraction of dynamic path executions the top-3
 /// paths cover.
 #[must_use]
-pub fn paths(ctx: &mut Context) -> Report {
+pub fn paths(ctx: &Context) -> Report {
     let mut r = Report::new(
         "paths",
         "Ball-Larus acyclic-path profiles (the §7 path-granularity direction)",
@@ -64,7 +64,7 @@ pub fn paths(ctx: &mut Context) -> Report {
 /// How much the perfect-clock-gating assumption is worth: processor energy
 /// at 800 MHz with and without gating, per benchmark.
 #[must_use]
-pub fn gating(ctx: &mut Context) -> Report {
+pub fn gating(ctx: &Context) -> Report {
     let mut r = Report::new(
         "gating",
         "Ablation of paper assumption 3: perfect clock gating on memory stalls",
@@ -107,7 +107,7 @@ pub fn gating(ctx: &mut Context) -> Report {
 /// Static instrumentation cost: mode-set points before and after the
 /// silent-set elision (hoisting) post-pass, at deadline D2.
 #[must_use]
-pub fn hoisting(ctx: &mut Context) -> Report {
+pub fn hoisting(ctx: &Context) -> Report {
     let mut r = Report::new(
         "hoisting",
         "Mode-set instruction counts: naive per-edge placement vs after silent-set elision",
@@ -125,11 +125,13 @@ pub fn hoisting(ctx: &mut Context) -> Report {
         let (profile, _) = ctx.profile_of(b, 3);
         let machine = ctx.machine.clone();
         let bd = ctx.bench(b);
-        let comp = DvsCompiler::new(
+        let comp = DvsCompiler::builder(
             machine,
             ladder_of(3),
             TransitionModel::with_capacitance_uf(scaled_capacitance_uf(b, bd.scheme.t_slow_us)),
-        );
+        )
+        .build()
+        .expect("experiment compiler settings are valid");
         match comp.compile(&bd.cfg, &profile, bd.scheme.deadline_us(2)) {
             Ok(res) => {
                 let analysis = ScheduleAnalysis::new(&bd.cfg, &profile, &res.milp.schedule);
@@ -154,7 +156,7 @@ pub fn hoisting(ctx: &mut Context) -> Report {
 /// Lee–Sakurai interval hopping vs the MILP, at the lax deadline where
 /// hopping is most natural.
 #[must_use]
-pub fn interval_hopping(ctx: &mut Context) -> Report {
+pub fn interval_hopping(ctx: &Context) -> Report {
     let mut r = Report::new(
         "hopping",
         "Lee-Sakurai interval voltage hopping vs the MILP (deadline D5)",
@@ -177,7 +179,9 @@ pub fn interval_hopping(ctx: &mut Context) -> Report {
         let bd = ctx.bench(b);
         let cap = scaled_capacitance_uf(b, bd.scheme.t_slow_us);
         let tm = TransitionModel::with_capacitance_uf(cap);
-        let comp = DvsCompiler::new(machine, ladder_of(3), tm);
+        let comp = DvsCompiler::builder(machine, ladder_of(3), tm)
+            .build()
+            .expect("experiment compiler settings are valid");
         let deadline = bd.scheme.deadline_us(5);
         let milp = comp
             .compile(&bd.cfg, &profile, deadline)
@@ -202,7 +206,7 @@ pub fn interval_hopping(ctx: &mut Context) -> Report {
 /// small and complex variants, and report whether their own D3 deadlines
 /// still hold.
 #[must_use]
-pub fn inputs(ctx: &mut Context) -> Report {
+pub fn inputs(ctx: &Context) -> Report {
     use dvs_compiler::{DeadlineScheme, MilpFormulation};
     let mut r = Report::new(
         "inputs",
@@ -251,7 +255,7 @@ pub fn inputs(ctx: &mut Context) -> Report {
 /// Microarchitectural statistics per benchmark at 800 MHz — the
 /// sim-outorder-style numbers behind every other experiment.
 #[must_use]
-pub fn stats(ctx: &mut Context) -> Report {
+pub fn stats(ctx: &Context) -> Report {
     let mut r = Report::new(
         "simstats",
         "Simulator statistics per benchmark (800 MHz reference run)",
@@ -295,7 +299,7 @@ pub fn stats(ctx: &mut Context) -> Report {
 /// to memory-system improvements (the paper's "extrapolate into the
 /// future" concern, from the other direction).
 #[must_use]
-pub fn prefetch(ctx: &mut Context) -> Report {
+pub fn prefetch(ctx: &Context) -> Report {
     let mut r = Report::new(
         "prefetch",
         "Ablation: idealized next-line prefetch vs the paper machine",

@@ -12,7 +12,7 @@ use dvs_workloads::{mpeg_input, Benchmark, MpegInput, MPEG_INPUTS};
 /// (a) the same input, (b) the `flwr` profile, (c) the `bbc` profile,
 /// (d) the equal-weight average of `flwr` and `bbc`.
 #[must_use]
-pub fn fig19(ctx: &mut Context) -> Report {
+pub fn fig19(ctx: &Context) -> Report {
     let machine = ctx.machine.clone();
     let b = Benchmark::MpegDecode;
     let cfg = b.build_cfg();

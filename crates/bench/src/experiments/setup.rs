@@ -95,7 +95,7 @@ pub fn table2() -> Report {
 /// Table 4: reference runtimes at 200/600/800 MHz and the five chosen
 /// deadlines per benchmark (µs; the paper reports ms at its ~100x scale).
 #[must_use]
-pub fn table4(ctx: &mut Context) -> Report {
+pub fn table4(ctx: &Context) -> Report {
     let mut r = Report::new(
         "table4",
         "Deadline boundaries and chosen deadlines per benchmark (µs)",
@@ -132,7 +132,7 @@ pub fn table4(ctx: &mut Context) -> Report {
 
 /// Table 7: simulated program parameters for the analytical model.
 #[must_use]
-pub fn table7(ctx: &mut Context) -> Report {
+pub fn table7(ctx: &Context) -> Report {
     let mut r = Report::new("table7", "Simulation results of program parameters");
     r.note("cycle counts in Kcycles at the 800 MHz reference; tinvariant absolute");
     r.columns([

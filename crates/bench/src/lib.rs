@@ -36,11 +36,15 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 
 /// Runs one experiment by id.
 ///
+/// The context is shared immutably: its caches are internally
+/// synchronized, so independent experiments may run concurrently on one
+/// `Context` (the `repro` binary does exactly that under `--jobs`).
+///
 /// # Errors
 ///
 /// Returns an error string for unknown ids; individual experiments report
 /// infeasibilities inside their tables rather than failing.
-pub fn run_experiment(ctx: &mut Context, id: &str) -> Result<Report, String> {
+pub fn run_experiment(ctx: &Context, id: &str) -> Result<Report, String> {
     match id {
         "fig2" => Ok(experiments::analytic::fig2()),
         "fig3" => Ok(experiments::analytic::fig3()),

@@ -1,0 +1,96 @@
+//! The pass-level error type.
+//!
+//! Historically every `DvsCompiler` entry point surfaced
+//! [`dvs_milp::MilpError`], which forced callers to match *solver* errors
+//! for failures that had nothing to do with the solver (a bad filter
+//! fraction, a profile/ladder mismatch). [`PassError`] names the pipeline
+//! stage that failed; solver failures are wrapped, not flattened.
+
+use dvs_milp::MilpError;
+use std::fmt;
+
+/// An error from one stage of the compile-time DVS pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PassError {
+    /// Profiling input was unusable (e.g. the profile's mode count does not
+    /// match the voltage ladder it is being compiled against).
+    Profile(String),
+    /// Edge filtering was misconfigured (e.g. a tail fraction outside
+    /// `[0, 1)`).
+    Filter(String),
+    /// The MILP could not be formulated from the inputs (e.g. a
+    /// non-positive or non-finite deadline).
+    Formulate(String),
+    /// The MILP solver failed; [`MilpError::Infeasible`] here means the
+    /// deadline cannot be met by any mode assignment.
+    Solve(MilpError),
+    /// Post-solve validation could not run (e.g. schedule/ladder mismatch).
+    Validate(String),
+}
+
+impl PassError {
+    /// Whether this is the common "deadline cannot be met" outcome, which
+    /// callers sweeping deadlines usually treat as data, not as a fault.
+    #[must_use]
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, PassError::Solve(MilpError::Infeasible))
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Profile(msg) => write!(f, "profile stage: {msg}"),
+            PassError::Filter(msg) => write!(f, "filter stage: {msg}"),
+            PassError::Formulate(msg) => write!(f, "formulate stage: {msg}"),
+            PassError::Solve(e) => write!(f, "solve stage: {e}"),
+            PassError::Validate(msg) => write!(f, "validate stage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PassError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MilpError> for PassError {
+    fn from(e: MilpError) -> Self {
+        PassError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_stage() {
+        assert_eq!(
+            PassError::Filter("tail fraction 1.5 outside [0, 1)".into()).to_string(),
+            "filter stage: tail fraction 1.5 outside [0, 1)"
+        );
+        assert!(PassError::from(MilpError::Infeasible)
+            .to_string()
+            .starts_with("solve stage:"));
+    }
+
+    #[test]
+    fn infeasible_is_recognized_through_the_wrapper() {
+        assert!(PassError::from(MilpError::Infeasible).is_infeasible());
+        assert!(!PassError::Profile("x".into()).is_infeasible());
+        assert!(!PassError::from(MilpError::SimplexStalled).is_infeasible());
+    }
+
+    #[test]
+    fn source_exposes_the_solver_error() {
+        use std::error::Error as _;
+        let e = PassError::from(MilpError::Unbounded);
+        assert!(e.source().is_some());
+        assert!(PassError::Validate("v".into()).source().is_none());
+    }
+}

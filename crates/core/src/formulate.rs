@@ -50,6 +50,7 @@ pub struct MilpFormulation<'a> {
     granularity: Granularity,
     deadline_us: f64,
     pinned: Vec<(EdgeId, ModeId)>,
+    solver_jobs: usize,
 }
 
 /// Internal handle: variables of one mode group.
@@ -77,7 +78,16 @@ impl<'a> MilpFormulation<'a> {
             granularity: Granularity::Edge,
             deadline_us,
             pinned: Vec::new(),
+            solver_jobs: 1,
         }
+    }
+
+    /// Solver threads for the MILP's root branch split (see
+    /// [`BranchConfig`]'s `jobs`). `1` (the default) is fully sequential.
+    #[must_use]
+    pub fn with_solver_jobs(mut self, jobs: usize) -> Self {
+        self.solver_jobs = jobs.max(1);
+        self
     }
 
     /// Forces the mode on `edge` to `mode` — e.g. pinning an I/O or
@@ -273,7 +283,11 @@ impl<'a> MilpFormulation<'a> {
         let t0 = Instant::now();
         let sol = {
             let _span = dvs_obs::span!("pass.solve");
-            solve_seeded(&model, &BranchConfig::default(), warm.as_deref())?
+            let config = BranchConfig {
+                jobs: self.solver_jobs,
+                ..BranchConfig::default()
+            };
+            solve_seeded(&model, &config, warm.as_deref())?
         };
         let solve_time = t0.elapsed();
         dvs_obs::gauge("pass.solve.wall_us", solve_time.as_secs_f64() * 1e6);

@@ -53,11 +53,13 @@
 //! let trace = tb.finish().unwrap();
 //!
 //! // Profile and compile against a deadline between all-fast and all-slow.
-//! let compiler = DvsCompiler::new(
+//! let compiler = DvsCompiler::builder(
 //!     Machine::paper_default(),
 //!     VoltageLadder::xscale3(&AlphaPower::paper()),
 //!     TransitionModel::with_capacitance_uf(0.01),
-//! );
+//! )
+//! .build()
+//! .unwrap();
 //! let (profile, runs) = compiler.profile(&cfg, &trace);
 //! let deadline = runs.last().unwrap().total_time_us * 1.5;
 //! let result = compiler.compile(&cfg, &profile, deadline).unwrap();
@@ -71,6 +73,7 @@ mod analyze;
 pub mod baseline;
 mod deadline;
 mod emit;
+mod error;
 mod filter;
 mod formulate;
 #[cfg(test)]
@@ -83,8 +86,9 @@ pub use analyze::analyze_params;
 pub use baseline::{lee_sakurai, LeeSakurai};
 pub use deadline::DeadlineScheme;
 pub use emit::{emit_instrumented, schedule_to_dot, EmitStats};
+pub use error::PassError;
 pub use filter::EdgeFilter;
 pub use formulate::{Granularity, MilpFormulation, MilpOutcome};
 pub use multi::{CategoryProfile, MultiCategory, MultiOutcome};
-pub use pass::{CompileResult, DvsCompiler};
+pub use pass::{CompileResult, CompilerBuilder, DvsCompiler};
 pub use schedule::ScheduleAnalysis;

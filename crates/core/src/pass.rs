@@ -1,6 +1,5 @@
-use crate::{baseline, EdgeFilter, MilpFormulation, MilpOutcome, ScheduleAnalysis};
+use crate::{baseline, EdgeFilter, MilpFormulation, MilpOutcome, PassError, ScheduleAnalysis};
 use dvs_ir::{Cfg, Profile};
-use dvs_milp::MilpError;
 use dvs_sim::{Machine, ModeProfiler, RunStats, ScheduledRun, Trace};
 use dvs_vf::{TransitionModel, VoltageLadder};
 
@@ -47,29 +46,171 @@ impl CompileResult {
     }
 }
 
+/// Configures and builds a [`DvsCompiler`] with named settings instead of
+/// the positional constructor arguments the pass accumulated over time.
+///
+/// ```no_run
+/// use dvs_compiler::DvsCompiler;
+/// use dvs_sim::Machine;
+/// use dvs_vf::{AlphaPower, TransitionModel, VoltageLadder};
+///
+/// let compiler = DvsCompiler::builder(
+///     Machine::paper_default(),
+///     VoltageLadder::xscale3(&AlphaPower::paper()),
+///     TransitionModel::with_capacitance_uf(0.05),
+/// )
+/// .tail_fraction(0.02)
+/// .hoisting(true)
+/// .validation(true)
+/// .jobs(4)
+/// .build()
+/// .unwrap();
+/// # let _ = compiler;
+/// ```
+#[derive(Debug)]
+pub struct CompilerBuilder {
+    machine: Machine,
+    ladder: VoltageLadder,
+    transition: TransitionModel,
+    tail_fraction: f64,
+    hoisting: bool,
+    validation: bool,
+    jobs: usize,
+    solver_jobs: usize,
+}
+
+impl CompilerBuilder {
+    /// Starts a builder from the three mandatory inputs. Defaults: the
+    /// paper's 2% filter tail, hoisting on, validation on, one job.
+    #[must_use]
+    pub fn new(machine: Machine, ladder: VoltageLadder, transition: TransitionModel) -> Self {
+        CompilerBuilder {
+            machine,
+            ladder,
+            transition,
+            tail_fraction: 0.02,
+            hoisting: true,
+            validation: true,
+            jobs: 1,
+            solver_jobs: 1,
+        }
+    }
+
+    /// Cumulative-energy tail fraction for edge filtering (the paper's §5
+    /// rule uses 0.02). `0.0` disables filtering. Must lie in `[0, 1)`.
+    #[must_use]
+    pub fn tail_fraction(mut self, fraction: f64) -> Self {
+        self.tail_fraction = fraction;
+        self
+    }
+
+    /// Enables or disables the hoisting post-pass that marks silent
+    /// mode-sets for removal (§4.2's loop-back-edge observation). With
+    /// hoisting off, every mode-set is reported live to the emitter.
+    #[must_use]
+    pub fn hoisting(mut self, on: bool) -> Self {
+        self.hoisting = on;
+        self
+    }
+
+    /// Enables or disables simulator re-validation in
+    /// [`DvsCompiler::compile_and_validate`]. With validation off that
+    /// entry point behaves like [`DvsCompiler::compile`].
+    #[must_use]
+    pub fn validation(mut self, on: bool) -> Self {
+        self.validation = on;
+        self
+    }
+
+    /// Worker threads for [`DvsCompiler::compile_grid`]'s per-deadline
+    /// cells. `0` is treated as 1. Grid results are byte-identical for
+    /// every jobs value.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Worker threads for the MILP's root branch split (see
+    /// [`dvs_milp::BranchConfig::jobs`]). Unlike [`CompilerBuilder::jobs`]
+    /// this can perturb which optimal-within-gap solution is returned, so
+    /// it is a separate opt-in and [`DvsCompiler::compile_grid`] always
+    /// solves its cells sequentially.
+    #[must_use]
+    pub fn solver_jobs(mut self, jobs: usize) -> Self {
+        self.solver_jobs = jobs;
+        self
+    }
+
+    /// Validates the configuration and builds the compiler.
+    ///
+    /// # Errors
+    ///
+    /// [`PassError::Filter`] for a tail fraction outside `[0, 1)`;
+    /// [`PassError::Profile`] for an empty voltage ladder.
+    pub fn build(self) -> Result<DvsCompiler, PassError> {
+        if !self.tail_fraction.is_finite() || !(0.0..1.0).contains(&self.tail_fraction) {
+            return Err(PassError::Filter(format!(
+                "tail fraction {} outside [0, 1)",
+                self.tail_fraction
+            )));
+        }
+        if self.ladder.is_empty() {
+            return Err(PassError::Profile("voltage ladder has no modes".into()));
+        }
+        Ok(DvsCompiler {
+            machine: self.machine,
+            ladder: self.ladder,
+            transition: self.transition,
+            tail_fraction: self.tail_fraction,
+            hoisting: self.hoisting,
+            validation: self.validation,
+            jobs: self.jobs.max(1),
+            solver_jobs: self.solver_jobs.max(1),
+        })
+    }
+}
+
 /// The end-to-end compile-time DVS pass (profile → filter → MILP →
 /// schedule → optional simulator validation).
+///
+/// Construct one with [`DvsCompiler::builder`]. The compiler is immutable
+/// and internally share-nothing, so `&DvsCompiler` may be used freely from
+/// many threads ([`DvsCompiler::compile_grid`] does exactly that).
 #[derive(Debug)]
 pub struct DvsCompiler {
     machine: Machine,
     ladder: VoltageLadder,
     transition: TransitionModel,
-    /// Cumulative-energy tail fraction for edge filtering; the paper uses
-    /// 2% (0.02). Zero disables filtering.
-    pub tail_fraction: f64,
+    tail_fraction: f64,
+    hoisting: bool,
+    validation: bool,
+    jobs: usize,
+    solver_jobs: usize,
 }
 
 impl DvsCompiler {
     /// Creates a pass with the given machine, ladder and regulator model,
     /// filtering at the paper's 2% tail.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `DvsCompiler::builder(..).build()` for named, validated settings"
+    )]
     #[must_use]
     pub fn new(machine: Machine, ladder: VoltageLadder, transition: TransitionModel) -> Self {
-        DvsCompiler {
-            machine,
-            ladder,
-            transition,
-            tail_fraction: 0.02,
-        }
+        CompilerBuilder::new(machine, ladder, transition)
+            .build()
+            .expect("default compiler configuration is valid")
+    }
+
+    /// Starts a [`CompilerBuilder`] with named, validated settings.
+    #[must_use]
+    pub fn builder(
+        machine: Machine,
+        ladder: VoltageLadder,
+        transition: TransitionModel,
+    ) -> CompilerBuilder {
+        CompilerBuilder::new(machine, ladder, transition)
     }
 
     /// The voltage ladder in use.
@@ -90,6 +231,18 @@ impl DvsCompiler {
         &self.machine
     }
 
+    /// The configured edge-filter tail fraction.
+    #[must_use]
+    pub fn tail_fraction(&self) -> f64 {
+        self.tail_fraction
+    }
+
+    /// Worker threads used by [`DvsCompiler::compile_grid`].
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
     /// Profiles `trace` at every ladder mode. Profiles are reusable across
     /// deadlines and transition models, so call this once per
     /// (program, input) and feed the result to [`DvsCompiler::compile`]
@@ -101,17 +254,52 @@ impl DvsCompiler {
         })
     }
 
+    /// Validates the (profile, deadline) inputs shared by every compile
+    /// entry point.
+    fn check_inputs(&self, profile: &Profile, deadline_us: f64) -> Result<(), PassError> {
+        if profile.num_modes() != self.ladder.len() {
+            return Err(PassError::Profile(format!(
+                "profile has {} modes but the ladder has {}",
+                profile.num_modes(),
+                self.ladder.len()
+            )));
+        }
+        if !deadline_us.is_finite() || deadline_us <= 0.0 {
+            return Err(PassError::Formulate(format!(
+                "deadline {deadline_us} µs is not a positive finite time"
+            )));
+        }
+        Ok(())
+    }
+
     /// Runs filter + MILP for one deadline on an existing profile.
     ///
     /// # Errors
     ///
-    /// [`MilpError::Infeasible`] when the deadline cannot be met.
+    /// [`PassError::Solve`] wrapping [`dvs_milp::MilpError::Infeasible`]
+    /// when the deadline cannot be met (see [`PassError::is_infeasible`]);
+    /// [`PassError::Profile`]/[`PassError::Formulate`] for malformed
+    /// inputs.
     pub fn compile(
         &self,
         cfg: &Cfg,
         profile: &Profile,
         deadline_us: f64,
-    ) -> Result<CompileResult, MilpError> {
+    ) -> Result<CompileResult, PassError> {
+        self.compile_cell(cfg, profile, deadline_us, self.solver_jobs)
+    }
+
+    /// [`DvsCompiler::compile`] with an explicit MILP `solver_jobs` — the
+    /// grid path pins this to 1 so cell results cannot depend on the
+    /// worker count.
+    fn compile_cell(
+        &self,
+        cfg: &Cfg,
+        profile: &Profile,
+        deadline_us: f64,
+        solver_jobs: usize,
+    ) -> Result<CompileResult, PassError> {
+        self.check_inputs(profile, deadline_us)?;
         let ref_mode = self.ladder.len() - 1;
         let filter = timed("pass.filter", "pass.filter.wall_us", || {
             if self.tail_fraction > 0.0 {
@@ -122,9 +310,15 @@ impl DvsCompiler {
         });
         let milp = MilpFormulation::new(cfg, profile, &self.ladder, &self.transition, deadline_us)
             .with_filter(filter)
+            .with_solver_jobs(solver_jobs)
             .solve()?;
         let analysis = timed("pass.schedule", "pass.schedule.wall_us", || {
-            ScheduleAnalysis::new(cfg, profile, &milp.schedule)
+            let a = ScheduleAnalysis::new(cfg, profile, &milp.schedule);
+            if self.hoisting {
+                a
+            } else {
+                a.without_hoisting()
+            }
         });
         let single_mode = baseline::best_single_mode(profile, &self.ladder, deadline_us);
         Ok(CompileResult {
@@ -132,6 +326,28 @@ impl DvsCompiler {
             analysis,
             single_mode,
             validated: None,
+        })
+    }
+
+    /// Compiles one shared profile against many deadlines concurrently on a
+    /// [`dvs_runtime::Pool`] of [`CompilerBuilder::jobs`] workers.
+    ///
+    /// Results are index-aligned with `deadlines_us`, and every cell is
+    /// solved with a sequential MILP regardless of
+    /// [`CompilerBuilder::solver_jobs`], so the output is identical for
+    /// every jobs value — `jobs` trades wall-clock only. Metrics recorded
+    /// by cells land in the caller's `dvs_obs` domain.
+    pub fn compile_grid(
+        &self,
+        cfg: &Cfg,
+        profile: &Profile,
+        deadlines_us: &[f64],
+    ) -> Vec<Result<CompileResult, PassError>> {
+        let pool = dvs_runtime::Pool::new(self.jobs);
+        let domain = dvs_obs::current_domain();
+        pool.map(deadlines_us.to_vec(), |_, deadline_us| {
+            let _dg = dvs_obs::enter_domain(domain);
+            self.compile_cell(cfg, profile, deadline_us, 1)
         })
     }
 
@@ -143,14 +359,14 @@ impl DvsCompiler {
     ///
     /// # Errors
     ///
-    /// [`MilpError::Infeasible`] when no shared assignment meets every
-    /// category deadline.
+    /// [`PassError::Solve`] wrapping [`dvs_milp::MilpError::Infeasible`]
+    /// when no shared assignment meets every category deadline.
     pub fn compile_multi(
         &self,
         cfg: &Cfg,
         categories: &[crate::CategoryProfile],
         traces: &[&Trace],
-    ) -> Result<(crate::MultiOutcome, Vec<ScheduledRun>), MilpError> {
+    ) -> Result<(crate::MultiOutcome, Vec<ScheduledRun>), PassError> {
         assert_eq!(
             categories.len(),
             traces.len(),
@@ -187,6 +403,8 @@ impl DvsCompiler {
 
     /// [`DvsCompiler::compile`] plus a re-simulation of the schedule to
     /// measure (rather than predict) time, energy and transition counts.
+    /// With the builder's [`CompilerBuilder::validation`] turned off, the
+    /// re-simulation is skipped and `validated` stays `None`.
     ///
     /// # Errors
     ///
@@ -197,18 +415,20 @@ impl DvsCompiler {
         trace: &Trace,
         profile: &Profile,
         deadline_us: f64,
-    ) -> Result<CompileResult, MilpError> {
+    ) -> Result<CompileResult, PassError> {
         let mut result = self.compile(cfg, profile, deadline_us)?;
-        let run = timed("pass.validate", "pass.validate.wall_us", || {
-            self.machine.run_scheduled(
-                cfg,
-                trace,
-                &self.ladder,
-                &result.milp.schedule,
-                &self.transition,
-            )
-        });
-        result.validated = Some(run);
+        if self.validation {
+            let run = timed("pass.validate", "pass.validate.wall_us", || {
+                self.machine.run_scheduled(
+                    cfg,
+                    trace,
+                    &self.ladder,
+                    &result.milp.schedule,
+                    &self.transition,
+                )
+            });
+            result.validated = Some(run);
+        }
         Ok(result)
     }
 }
@@ -263,11 +483,13 @@ mod tests {
     }
 
     fn compiler() -> DvsCompiler {
-        DvsCompiler::new(
+        DvsCompiler::builder(
             Machine::paper_default(),
             VoltageLadder::xscale3(&AlphaPower::paper()),
             TransitionModel::with_capacitance_uf(10.0),
         )
+        .build()
+        .unwrap()
     }
 
     #[test]
@@ -310,7 +532,7 @@ mod tests {
         let (profile, runs) = c.profile(&cfg, &trace);
         let t_fast = runs.last().unwrap().total_time_us;
         let err = c.compile(&cfg, &profile, t_fast * 0.5).unwrap_err();
-        assert!(matches!(err, MilpError::Infeasible));
+        assert!(err.is_infeasible(), "got {err}");
     }
 
     #[test]
@@ -324,6 +546,137 @@ mod tests {
         assert_eq!(r.analysis.predicted_dynamic_transitions(), 0);
         assert_eq!(r.milp.schedule.initial, dvs_vf::ModeId(0));
         assert!(r.savings_vs_single().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_bad_settings() {
+        let mk = || {
+            DvsCompiler::builder(
+                Machine::paper_default(),
+                VoltageLadder::xscale3(&AlphaPower::paper()),
+                TransitionModel::free(),
+            )
+        };
+        let err = mk().tail_fraction(1.5).build().unwrap_err();
+        assert!(matches!(err, PassError::Filter(_)), "got {err}");
+        let err = mk().tail_fraction(f64::NAN).build().unwrap_err();
+        assert!(matches!(err, PassError::Filter(_)), "got {err}");
+        // Jobs are clamped, not rejected.
+        assert_eq!(mk().jobs(0).build().unwrap().jobs(), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_name_the_failing_stage() {
+        let (cfg, trace) = two_phase_program();
+        let c = compiler();
+        let (profile, _) = c.profile(&cfg, &trace);
+        let err = c.compile(&cfg, &profile, f64::NAN).unwrap_err();
+        assert!(matches!(err, PassError::Formulate(_)), "got {err}");
+        let err = c.compile(&cfg, &profile, -3.0).unwrap_err();
+        assert!(matches!(err, PassError::Formulate(_)), "got {err}");
+        // A profile built for a different ladder size is a profile error.
+        let five = DvsCompiler::builder(
+            Machine::paper_default(),
+            VoltageLadder::interpolated(&AlphaPower::paper(), 5).unwrap(),
+            TransitionModel::free(),
+        )
+        .build()
+        .unwrap();
+        let (p5, _) = five.profile(&cfg, &trace);
+        let err = c.compile(&cfg, &p5, 1000.0).unwrap_err();
+        assert!(matches!(err, PassError::Profile(_)), "got {err}");
+    }
+
+    #[test]
+    fn compile_grid_matches_sequential_compiles() {
+        let (cfg, trace) = two_phase_program();
+        let seq = compiler();
+        let par = DvsCompiler::builder(
+            Machine::paper_default(),
+            VoltageLadder::xscale3(&AlphaPower::paper()),
+            TransitionModel::with_capacitance_uf(10.0),
+        )
+        .jobs(4)
+        .build()
+        .unwrap();
+        let (profile, runs) = seq.profile(&cfg, &trace);
+        let t_fast = runs.last().unwrap().total_time_us;
+        let t_slow = runs[0].total_time_us;
+        // Includes one infeasible cell on purpose.
+        let deadlines: Vec<f64> = vec![
+            t_fast * 0.5,
+            t_fast + 0.25 * (t_slow - t_fast),
+            t_fast + 0.5 * (t_slow - t_fast),
+            t_fast + 0.75 * (t_slow - t_fast),
+            t_slow * 1.2,
+        ];
+        let grid = par.compile_grid(&cfg, &profile, &deadlines);
+        assert_eq!(grid.len(), deadlines.len());
+        for (i, d) in deadlines.iter().enumerate() {
+            match (&grid[i], seq.compile(&cfg, &profile, *d)) {
+                (Ok(g), Ok(s)) => {
+                    assert_eq!(
+                        g.milp.schedule, s.milp.schedule,
+                        "cell {i}: schedules differ"
+                    );
+                    assert!(
+                        (g.milp.predicted_energy_uj - s.milp.predicted_energy_uj).abs() < 1e-12
+                    );
+                }
+                (Err(ge), Err(se)) => assert_eq!(ge.to_string(), se.to_string()),
+                (g, s) => panic!("cell {i}: grid {g:?} vs sequential {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validation_toggle_skips_resimulation() {
+        let (cfg, trace) = two_phase_program();
+        let c = DvsCompiler::builder(
+            Machine::paper_default(),
+            VoltageLadder::xscale3(&AlphaPower::paper()),
+            TransitionModel::with_capacitance_uf(10.0),
+        )
+        .validation(false)
+        .build()
+        .unwrap();
+        let (profile, runs) = c.profile(&cfg, &trace);
+        let t_slow = runs[0].total_time_us;
+        let r = c
+            .compile_and_validate(&cfg, &trace, &profile, t_slow * 1.5)
+            .unwrap();
+        assert!(r.validated.is_none());
+    }
+
+    #[test]
+    fn hoisting_toggle_marks_everything_live() {
+        let (cfg, trace) = two_phase_program();
+        let mk = |hoist: bool| {
+            DvsCompiler::builder(
+                Machine::paper_default(),
+                VoltageLadder::xscale3(&AlphaPower::paper()),
+                TransitionModel::with_capacitance_uf(10.0),
+            )
+            .hoisting(hoist)
+            .build()
+            .unwrap()
+        };
+        let on = mk(true);
+        let off = mk(false);
+        let (profile, runs) = on.profile(&cfg, &trace);
+        let t_slow = runs[0].total_time_us;
+        let d = t_slow * 1.5;
+        let r_on = on.compile(&cfg, &profile, d).unwrap();
+        let r_off = off.compile(&cfg, &profile, d).unwrap();
+        // Same schedule either way; hoisting only changes the analysis.
+        assert_eq!(r_on.milp.schedule, r_off.milp.schedule);
+        assert!(r_on.analysis.num_silent() > 0);
+        assert_eq!(r_off.analysis.num_silent(), 0);
+        assert_eq!(r_off.analysis.num_live(), cfg.num_edges());
+        assert_eq!(
+            r_on.analysis.predicted_dynamic_transitions(),
+            r_off.analysis.predicted_dynamic_transitions()
+        );
     }
 
     #[test]
@@ -391,16 +744,17 @@ mod tests {
     fn transition_costs_reduce_switching() {
         let (cfg, trace) = two_phase_program();
         let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
-        let cheap = DvsCompiler::new(
-            Machine::paper_default(),
-            ladder.clone(),
-            TransitionModel::with_capacitance_uf(0.01),
-        );
-        let pricey = DvsCompiler::new(
-            Machine::paper_default(),
-            ladder,
-            TransitionModel::with_capacitance_uf(100.0),
-        );
+        let mk = |cap_uf: f64, ladder: VoltageLadder| {
+            DvsCompiler::builder(
+                Machine::paper_default(),
+                ladder,
+                TransitionModel::with_capacitance_uf(cap_uf),
+            )
+            .build()
+            .unwrap()
+        };
+        let cheap = mk(0.01, ladder.clone());
+        let pricey = mk(100.0, ladder);
         let (profile, runs) = cheap.profile(&cfg, &trace);
         let t_fast = runs.last().unwrap().total_time_us;
         let t_slow = runs[0].total_time_us;

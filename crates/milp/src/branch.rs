@@ -33,6 +33,14 @@ pub struct BranchConfig {
     /// Run [`crate::presolve`] at every node before the LP (bound
     /// tightening, row elimination, early infeasibility).
     pub presolve: bool,
+    /// With `jobs >= 2`, the two children of the *root* branch-and-bound
+    /// split are solved as independent subproblems on a
+    /// [`dvs_runtime::Pool`], each under an equal share of the node budget.
+    /// Merging keeps best-bound pruning deterministic: the depth-first
+    /// child wins ties, exactly as in the sequential search (the answer can
+    /// differ from sequential only inside the `gap` tolerance). `0`/`1`
+    /// solve entirely sequentially.
+    pub jobs: usize,
 }
 
 impl Default for BranchConfig {
@@ -42,6 +50,7 @@ impl Default for BranchConfig {
             rule: BranchRule::default(),
             gap: 1e-6,
             presolve: true,
+            jobs: 1,
         }
     }
 }
@@ -84,7 +93,11 @@ pub fn solve_seeded(
     start: Option<&[f64]>,
 ) -> Result<Solution, MilpError> {
     let _span = dvs_obs::span!("milp.solve");
-    let result = solve_seeded_impl(model, config, start);
+    let result = if config.jobs >= 2 {
+        solve_root_parallel(model, config, start)
+    } else {
+        solve_seeded_impl(model, config, start)
+    };
     if dvs_obs::enabled() {
         dvs_obs::counter("milp.solves", 1);
         if let Ok(sol) = &result {
@@ -235,6 +248,192 @@ fn solve_seeded_impl(
                 stats,
             })
         }
+        None => Err(MilpError::Infeasible),
+    }
+}
+
+/// The `jobs >= 2` path: solve the root relaxation, branch once, then solve
+/// the two child subproblems to completion as *independent models* (child
+/// bounds folded into variable bounds) on a [`dvs_runtime::Pool`].
+///
+/// Determinism: the sequential search explores the last-pushed (most
+/// promising) child's subtree first and replaces its incumbent only on a
+/// strict `OBJ_TOL` improvement. The merge below applies the same rule in
+/// the same order — seeded incumbent, then the depth-first child, then the
+/// other child — so ties resolve identically regardless of which worker
+/// finished first. The only divergence from sequential is that neither
+/// child prunes against the *other's* incumbent, which can surface a
+/// solution that differs inside the `gap` tolerance.
+fn solve_root_parallel(
+    model: &Model,
+    config: &BranchConfig,
+    start: Option<&[f64]>,
+) -> Result<Solution, MilpError> {
+    model.validate()?;
+    let base = lower_to_lp(model);
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(i, _)| i)
+        .collect();
+    let flip = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some(x0) = start {
+        if x0.len() == model.num_vars() && start_is_feasible(model, &base, &int_vars, x0) {
+            incumbent = Some((recompute_objective(&base, x0), x0.to_vec()));
+        }
+    }
+    let done = |status: Status, obj: f64, values: Vec<f64>, stats: SolveStats| {
+        Ok(Solution {
+            status,
+            objective: flip * obj,
+            values,
+            stats,
+        })
+    };
+    if config.max_nodes == 0 {
+        return match incumbent {
+            Some((obj, values)) => done(Status::Feasible, obj, values, SolveStats::default()),
+            None => Err(MilpError::LimitReached { incumbent: None }),
+        };
+    }
+
+    // Root relaxation (node 1).
+    let mut stats = SolveStats {
+        nodes: 1,
+        best_bound: f64::INFINITY,
+        ..SolveStats::default()
+    };
+    let mut lp = base.clone();
+    let mut root_infeasible = false;
+    if config.presolve {
+        match presolve(&lp) {
+            Presolved::Reduced { problem, .. } => lp = problem,
+            Presolved::Infeasible => root_infeasible = true,
+        }
+    }
+    let sol = if root_infeasible {
+        None
+    } else {
+        let s = solve_lp(&lp)?;
+        stats.lp_iterations += s.iterations;
+        match s.status {
+            LpStatus::Infeasible => None,
+            LpStatus::Unbounded => return Err(MilpError::Unbounded),
+            LpStatus::Optimal => Some(s),
+        }
+    };
+    let Some(sol) = sol else {
+        // Root infeasible: only a seeded incumbent can save the answer
+        // (matching the sequential search, which would drain its stack).
+        return match incumbent {
+            Some((obj, values)) => {
+                stats.best_bound = obj;
+                done(Status::Optimal, obj, values, stats)
+            }
+            None => Err(MilpError::Infeasible),
+        };
+    };
+    stats.best_bound = sol.objective;
+
+    let frac = |v: f64| (v - v.round()).abs();
+    let violated: Vec<usize> = int_vars
+        .iter()
+        .copied()
+        .filter(|&j| frac(sol.x[j]) > INT_TOL)
+        .collect();
+    let root_pruned = incumbent
+        .as_ref()
+        .is_some_and(|(inc, _)| sol.objective >= inc - config.gap);
+    if violated.is_empty() || root_pruned {
+        if !root_pruned {
+            let mut x = sol.x.clone();
+            for &j in &int_vars {
+                x[j] = x[j].round();
+            }
+            let obj = recompute_objective(&base, &x);
+            if incumbent
+                .as_ref()
+                .is_none_or(|(inc, _)| obj < inc - OBJ_TOL)
+            {
+                incumbent = Some((obj, x));
+            }
+        }
+        return match incumbent {
+            Some((obj, values)) => {
+                stats.best_bound = obj;
+                done(Status::Optimal, obj, values, stats)
+            }
+            None => Err(MilpError::Infeasible),
+        };
+    }
+
+    // One root split; each child becomes a standalone model with the branch
+    // bounds folded into its variable bounds, solved sequentially under an
+    // equal share of the remaining node budget.
+    let children = branch_children(model, config.rule, &sol.x, &violated, &[]);
+    let child_budget = config.max_nodes.saturating_sub(1) / children.len().max(1);
+    let child_config = BranchConfig {
+        jobs: 1,
+        max_nodes: child_budget,
+        ..*config
+    };
+    let domain = dvs_obs::current_domain();
+    let results =
+        dvs_runtime::Pool::new(config.jobs.min(children.len())).map(children, |_, bounds| {
+            let _dg = dvs_obs::enter_domain(domain);
+            let mut child = model.clone();
+            for (j, lb, ub) in bounds {
+                child.vars[j].lb = child.vars[j].lb.max(lb);
+                child.vars[j].ub = child.vars[j].ub.min(ub);
+            }
+            solve_seeded_impl(&child, &child_config, start)
+        });
+
+    // Merge in the sequential exploration order: the most promising child
+    // (pushed last, popped first) before its sibling.
+    let mut hit_limit = false;
+    for r in results.iter().rev() {
+        match r {
+            Ok(s) => {
+                if s.status == Status::Feasible {
+                    hit_limit = true;
+                }
+                let obj = flip * s.objective;
+                stats.nodes += s.stats.nodes;
+                stats.lp_iterations += s.stats.lp_iterations;
+                if incumbent
+                    .as_ref()
+                    .is_none_or(|(inc, _)| obj < inc - OBJ_TOL)
+                {
+                    incumbent = Some((obj, s.values.clone()));
+                }
+            }
+            Err(MilpError::Infeasible) => {}
+            // The sequential search only raises `LimitReached` when it has
+            // no incumbent of its own; any feasible point it found comes
+            // back as a `Status::Feasible` solution handled above.
+            Err(MilpError::LimitReached { .. }) => hit_limit = true,
+            Err(e) => return Err(e.clone()),
+        }
+    }
+    match incumbent {
+        Some((obj, values)) => {
+            let status = if hit_limit {
+                Status::Feasible
+            } else {
+                stats.best_bound = obj;
+                Status::Optimal
+            };
+            done(status, obj, values, stats)
+        }
+        None if hit_limit => Err(MilpError::LimitReached { incumbent: None }),
         None => Err(MilpError::Infeasible),
     }
 }
@@ -611,6 +810,168 @@ mod tests {
         let sol = solve_seeded(&m, &cfg, Some(&start)).unwrap();
         assert_eq!(sol.status, Status::Feasible);
         assert!((sol.objective - 8.0).abs() < 1e-9);
+    }
+
+    /// A knapsack family used to compare the sequential and parallel
+    /// searches over several instances.
+    fn knapsack_instance(seed: u64, n: usize) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..n).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::zero();
+        let mut w = LinExpr::zero();
+        let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) % 97) as f64
+        };
+        let mut cap = 0.0;
+        for &x in &xs {
+            obj += (next() + 1.0) * x;
+            let wt = next() + 1.0;
+            w += wt * x;
+            cap += wt;
+        }
+        m.set_objective(obj);
+        m.add_le(w, cap * 0.4);
+        m
+    }
+
+    #[test]
+    fn parallel_root_split_matches_sequential_objective() {
+        for seed in 0..6u64 {
+            let m = knapsack_instance(seed, 14);
+            let seq = solve(&m).unwrap();
+            let par = solve_with(
+                &m,
+                &BranchConfig {
+                    jobs: 2,
+                    ..BranchConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.status, Status::Optimal, "seed {seed}");
+            assert!(
+                (seq.objective - par.objective).abs() < 1e-6,
+                "seed {seed}: sequential {} vs parallel {}",
+                seq.objective,
+                par.objective
+            );
+            // Deterministic merge: the chosen assignment must be feasible
+            // and repeatable run-to-run.
+            let again = solve_with(
+                &m,
+                &BranchConfig {
+                    jobs: 2,
+                    ..BranchConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.values, again.values, "seed {seed}: unstable values");
+        }
+    }
+
+    #[test]
+    fn parallel_split_on_sos1_model() {
+        // The DVS shape: SOS1 mode groups. Root split is a group split.
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.5, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let mut vars = vec![vec![]; 3];
+        for (w, row) in vars.iter_mut().enumerate() {
+            for t in 0..3 {
+                row.push(m.bool_var(format!("w{w}t{t}")));
+            }
+        }
+        let mut obj = LinExpr::zero();
+        for (w, row) in vars.iter().enumerate() {
+            for (t, &v) in row.iter().enumerate() {
+                obj += cost[w][t] * v;
+            }
+        }
+        m.set_objective(obj);
+        for row in &vars {
+            m.add_eq(row[0] + row[1] + row[2], 1.0);
+            m.add_sos1(row.clone());
+        }
+        for ((&a, &b), &c) in vars[0].iter().zip(&vars[1]).zip(&vars[2]) {
+            m.add_eq(a + b + c, 1.0);
+        }
+        let seq = solve(&m).unwrap();
+        let par = solve_with(
+            &m,
+            &BranchConfig {
+                jobs: 4,
+                ..BranchConfig::default()
+            },
+        )
+        .unwrap();
+        assert!((seq.objective - par.objective).abs() < 1e-6);
+        assert_eq!(seq.values, par.values);
+    }
+
+    #[test]
+    fn parallel_infeasible_and_trivial_cases() {
+        let cfg = BranchConfig {
+            jobs: 2,
+            ..BranchConfig::default()
+        };
+        // Infeasible.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bool_var("x");
+        m.set_objective(LinExpr::from(x));
+        m.add_ge(LinExpr::from(x), 2.0);
+        assert!(matches!(solve_with(&m, &cfg), Err(MilpError::Infeasible)));
+        // Root-integral (no split needed).
+        let mut m2 = Model::new(Sense::Maximize);
+        let y = m2.bool_var("y");
+        m2.set_objective(2.0 * y);
+        let s = solve_with(&m2, &cfg).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-9);
+        // Pure LP under jobs=2.
+        let mut m3 = Model::new(Sense::Maximize);
+        let a = m3.num_var("a", 0.0, 4.0);
+        m3.set_objective(3.0 * a);
+        let s3 = solve_with(&m3, &cfg).unwrap();
+        assert!((s3.objective - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_respects_node_budget() {
+        let m = knapsack_instance(3, 16);
+        let cfg = BranchConfig {
+            jobs: 2,
+            max_nodes: 3,
+            ..BranchConfig::default()
+        };
+        match solve_with(&m, &cfg) {
+            Ok(s) => assert_eq!(s.status, Status::Feasible),
+            Err(MilpError::LimitReached { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        // Zero budget behaves like the sequential search.
+        let zero = BranchConfig {
+            jobs: 2,
+            max_nodes: 0,
+            ..BranchConfig::default()
+        };
+        assert!(matches!(
+            solve_with(&m, &zero),
+            Err(MilpError::LimitReached { incumbent: None })
+        ));
+    }
+
+    #[test]
+    fn parallel_warm_start_survives_tiny_budget() {
+        let m = knapsack_instance(5, 12);
+        let seq = solve(&m).unwrap();
+        let cfg = BranchConfig {
+            jobs: 2,
+            ..BranchConfig::default()
+        };
+        let warm = solve_seeded(&m, &cfg, Some(&seq.values)).unwrap();
+        assert!((warm.objective - seq.objective).abs() < 1e-6);
     }
 
     #[test]

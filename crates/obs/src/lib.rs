@@ -46,8 +46,9 @@ pub mod json;
 mod metrics;
 
 pub use metrics::{
-    chrome_trace, chrome_trace_string, counter, disable, enable, enabled, gauge, histogram,
-    record_span, reset, thread_id, HistogramSummary, MetricsSnapshot, SpanEvent, SpanSummary,
+    chrome_trace, chrome_trace_string, counter, current_domain, disable, enable, enabled,
+    enter_domain, gauge, histogram, record_span, reset, thread_id, DomainGuard, HistogramSummary,
+    MetricsSnapshot, SpanEvent, SpanSummary,
 };
 
 use std::time::Instant;
@@ -166,5 +167,59 @@ mod tests {
         let back = MetricsSnapshot::from_json(&j).unwrap();
         assert_eq!(back.counter("t.count"), 5);
         assert_eq!(back.gauge("t.gauge"), Some(2.5));
+    }
+
+    #[test]
+    fn domains_partition_metrics_and_aggregate_cleanly() {
+        let _l = TEST_LOCK.lock().unwrap();
+        enable();
+        reset();
+        counter("d.count", 1); // domain 0
+        gauge("d.gauge", 10.0);
+        {
+            let _d = enter_domain(7);
+            counter("d.count", 20);
+            gauge("d.gauge", 70.0); // later write: wins the aggregate
+            histogram("d.hist", 4.0);
+            {
+                let _g = span!("d.span");
+            }
+            // Guards nest and restore.
+            {
+                let _inner = enter_domain(9);
+                assert_eq!(current_domain(), 9);
+                counter("d.count", 300);
+            }
+            assert_eq!(current_domain(), 7);
+        }
+        assert_eq!(current_domain(), 0);
+
+        let all = MetricsSnapshot::capture();
+        let d7 = MetricsSnapshot::capture_domain(7);
+        let d9 = MetricsSnapshot::capture_domain(9);
+        disable();
+
+        assert_eq!(all.counter("d.count"), 321);
+        assert_eq!(d7.counter("d.count"), 20);
+        assert_eq!(d9.counter("d.count"), 300);
+        assert_eq!(all.gauge("d.gauge"), Some(70.0));
+        assert_eq!(d7.gauge("d.gauge"), Some(70.0));
+        assert_eq!(d9.gauge("d.gauge"), None);
+        assert_eq!(d7.histograms.len(), 1);
+        assert_eq!(d9.histograms.len(), 0);
+        assert_eq!(d7.spans.len(), 1);
+        assert_eq!(d9.spans.len(), 0);
+        assert_eq!(all.spans[0].count, 1);
+    }
+
+    // Worker threads must start in domain 0 even when spawned from a thread
+    // that entered a domain — attribution is explicit, never ambient.
+    #[test]
+    fn threads_do_not_inherit_domains() {
+        let _l = TEST_LOCK.lock().unwrap();
+        let _d = enter_domain(42);
+        let child = std::thread::spawn(current_domain).join().unwrap();
+        assert_eq!(child, 0);
+        assert_eq!(current_domain(), 42);
     }
 }

@@ -3,6 +3,7 @@
 //! collection is enabled.
 
 use crate::json::Json;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -26,12 +27,50 @@ static NEXT_TID: AtomicU32 = AtomicU32::new(1);
 
 thread_local! {
     static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DOMAIN: Cell<u32> = const { Cell::new(0) };
 }
 
 /// The compact id of the calling thread (stable for the thread's life).
 #[must_use]
 pub fn thread_id() -> u32 {
     TID.with(|t| *t)
+}
+
+/// The metric domain the calling thread currently records into.
+///
+/// Domains attribute metrics to logical units of work (one bench experiment,
+/// one grid cell) rather than to threads, so a parallel harness can still
+/// produce per-experiment [`MetricsSnapshot`]s. Domain `0` is the default
+/// for code that never calls [`enter_domain`].
+#[must_use]
+pub fn current_domain() -> u32 {
+    DOMAIN.with(Cell::get)
+}
+
+/// Restores the previous metric domain of its thread when dropped.
+#[derive(Debug)]
+pub struct DomainGuard {
+    prev: u32,
+}
+
+impl Drop for DomainGuard {
+    fn drop(&mut self) {
+        DOMAIN.with(|d| d.set(self.prev));
+    }
+}
+
+/// Routes this thread's subsequent counters/gauges/histograms/spans into
+/// `domain` until the returned guard drops (guards nest; the previous
+/// domain is restored).
+///
+/// Worker threads do **not** inherit a domain — a task running on a pool
+/// must re-enter its domain on the worker (see `dvs-runtime`'s `Pool::map`
+/// callers in `dvs-bench`).
+#[must_use]
+pub fn enter_domain(domain: u32) -> DomainGuard {
+    DomainGuard {
+        prev: DOMAIN.with(|d| d.replace(domain)),
+    }
 }
 
 /// A finished span occurrence, timestamped against the sink epoch.
@@ -41,13 +80,15 @@ pub struct SpanEvent {
     pub name: &'static str,
     /// Compact id of the thread the span ran on.
     pub tid: u32,
+    /// Metric domain active when the span finished (see [`enter_domain`]).
+    pub domain: u32,
     /// Start time in µs since the sink epoch.
     pub ts_us: f64,
     /// Duration in µs.
     pub dur_us: f64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Histogram {
     count: u64,
     sum: f64,
@@ -89,13 +130,40 @@ impl Histogram {
         };
         self.buckets[bucket] += 1;
     }
+
+    /// Folds another histogram into this one (used when aggregating the
+    /// per-domain shards of one metric name into a cross-domain snapshot).
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
 }
+
+/// Key of a per-domain metric shard: (metric name, domain id). Ordering by
+/// name first keeps cross-domain aggregation a single ordered walk.
+type Key = (&'static str, u32);
 
 #[derive(Debug, Default)]
 struct Sink {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<Key, u64>,
+    /// Gauge shards carry the global write sequence number so "last write
+    /// wins" still holds when shards from several domains are merged.
+    gauges: BTreeMap<Key, (u64, f64)>,
+    gauge_seq: u64,
+    histograms: BTreeMap<Key, Histogram>,
     spans: Vec<SpanEvent>,
     dropped_spans: u64,
 }
@@ -134,31 +202,40 @@ pub fn reset() {
     *s = Sink::default();
 }
 
-/// Adds `delta` to the named monotonic counter. No-op while disabled.
+/// Adds `delta` to the named monotonic counter in the calling thread's
+/// current domain. No-op while disabled.
 pub fn counter(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
+    let key = (name, current_domain());
     let mut s = sink().lock().expect("obs sink poisoned");
-    *s.counters.entry(name).or_insert(0) += delta;
+    *s.counters.entry(key).or_insert(0) += delta;
 }
 
-/// Sets the named gauge to `value` (last write wins). No-op while disabled.
+/// Sets the named gauge to `value` (last write wins, tracked with a global
+/// write sequence so cross-domain aggregation stays well defined). No-op
+/// while disabled.
 pub fn gauge(name: &'static str, value: f64) {
     if !enabled() {
         return;
     }
+    let key = (name, current_domain());
     let mut s = sink().lock().expect("obs sink poisoned");
-    s.gauges.insert(name, value);
+    s.gauge_seq += 1;
+    let seq = s.gauge_seq;
+    s.gauges.insert(key, (seq, value));
 }
 
-/// Records one observation into the named histogram. No-op while disabled.
+/// Records one observation into the named histogram in the calling thread's
+/// current domain. No-op while disabled.
 pub fn histogram(name: &'static str, value: f64) {
     if !enabled() {
         return;
     }
+    let key = (name, current_domain());
     let mut s = sink().lock().expect("obs sink poisoned");
-    s.histograms.entry(name).or_default().record(value);
+    s.histograms.entry(key).or_default().record(value);
 }
 
 /// Records a finished span. Called by the [`crate::SpanGuard`] drop; public
@@ -178,6 +255,7 @@ pub fn record_span(name: &'static str, start: Instant, end: Instant) {
     s.spans.push(SpanEvent {
         name,
         tid: thread_id(),
+        domain: current_domain(),
         ts_us,
         dur_us,
     });
@@ -233,12 +311,47 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Captures the current state of the global sink.
+    /// Captures the current state of the global sink, aggregated across
+    /// every metric domain (counters/histograms sum; a gauge takes its
+    /// globally most recent write).
     #[must_use]
     pub fn capture() -> Self {
+        Self::capture_where(&|_| true)
+    }
+
+    /// Captures only the metrics recorded in one domain (see
+    /// [`enter_domain`]) — the per-experiment snapshot of a parallel bench
+    /// run. `dropped_spans` is a property of the shared buffer and is
+    /// reported as-is.
+    #[must_use]
+    pub fn capture_domain(domain: u32) -> Self {
+        Self::capture_where(&|d| d == domain)
+    }
+
+    fn capture_where(keep: &dyn Fn(u32) -> bool) -> Self {
         let s = sink().lock().expect("obs sink poisoned");
-        let histograms = s
-            .histograms
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (&(name, dom), &v) in &s.counters {
+            if keep(dom) {
+                *counters.entry(name).or_insert(0) += v;
+            }
+        }
+        let mut gauges: BTreeMap<&'static str, (u64, f64)> = BTreeMap::new();
+        for (&(name, dom), &(seq, v)) in &s.gauges {
+            if keep(dom) {
+                let e = gauges.entry(name).or_insert((seq, v));
+                if seq >= e.0 {
+                    *e = (seq, v);
+                }
+            }
+        }
+        let mut merged: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for (&(name, dom), h) in &s.histograms {
+            if keep(dom) {
+                merged.entry(name).or_default().merge(h);
+            }
+        }
+        let histograms = merged
             .iter()
             .map(|(name, h)| {
                 let mut seen = 0u64;
@@ -261,7 +374,7 @@ impl MetricsSnapshot {
             })
             .collect();
         let mut by_name: BTreeMap<&'static str, SpanSummary> = BTreeMap::new();
-        for ev in &s.spans {
+        for ev in s.spans.iter().filter(|ev| keep(ev.domain)) {
             let agg = by_name.entry(ev.name).or_insert_with(|| SpanSummary {
                 name: ev.name.to_string(),
                 count: 0,
@@ -273,15 +386,13 @@ impl MetricsSnapshot {
             agg.max_us = agg.max_us.max(ev.dur_us);
         }
         MetricsSnapshot {
-            counters: s
-                .counters
-                .iter()
-                .map(|(k, v)| ((*k).to_string(), *v))
+            counters: counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
                 .collect(),
-            gauges: s
-                .gauges
-                .iter()
-                .map(|(k, v)| ((*k).to_string(), *v))
+            gauges: gauges
+                .into_iter()
+                .map(|(k, (_, v))| (k.to_string(), v))
                 .collect(),
             histograms,
             spans: by_name.into_values().collect(),

@@ -1,0 +1,409 @@
+//! # dvs-runtime — scoped work-stealing thread pool
+//!
+//! A zero-dependency parallel runtime for the DVS workspace, built only on
+//! `std`: [`std::thread::scope`] for structured borrowing, per-worker
+//! [`Mutex`]-guarded deques with work stealing for load balance, and a
+//! [`Condvar`]-backed [`channel`] for streaming results out of a running
+//! pool.
+//!
+//! The design goal is *determinism first*: [`Pool::map`] always returns
+//! results ordered by task index, regardless of how many workers ran or
+//! which worker executed which task. Callers that need bit-identical output
+//! across `--jobs 1` and `--jobs N` only have to ensure each task is a pure
+//! function of its input; the runtime never reorders outputs.
+//!
+//! ## Scheduling
+//!
+//! Tasks are indexed `0..n`. Worker `w` starts with a contiguous chunk of
+//! indices in its own deque and pops from the *back* (LIFO — hot in cache,
+//! and the chunk is walked in order because it was pushed reversed). When a
+//! worker's own deque is empty it steals from the *front* of a victim's
+//! deque (FIFO — takes the work the owner will reach last, minimizing
+//! contention). No task is ever enqueued after the scope starts, so
+//! termination is simply "every deque is empty"; no condition variable is
+//! needed on the deques themselves.
+//!
+//! ```
+//! use dvs_runtime::Pool;
+//! let pool = Pool::new(4);
+//! let squares = pool.map((0..100u64).collect(), |_idx, x| x * x);
+//! assert_eq!(squares[7], 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Environment variable consulted by [`Pool::from_env`] (and the CLIs'
+/// `--jobs` default) to pick a worker count.
+pub const JOBS_ENV: &str = "DVS_JOBS";
+
+/// A fixed-width scoped thread pool.
+///
+/// `Pool` is trivially cheap to construct — it holds only the worker count.
+/// Threads are spawned per [`Pool::map`] call inside a [`std::thread::scope`],
+/// so borrowed data may flow into tasks freely and no thread outlives the
+/// call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool that runs `jobs` tasks concurrently. `0` is treated as `1`.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized from the environment: the `DVS_JOBS` variable when set
+    /// to a positive integer, otherwise [`std::thread::available_parallelism`]
+    /// (falling back to 1 when even that is unavailable).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let jobs = std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Pool::new(jobs)
+    }
+
+    /// The number of concurrent workers this pool uses.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, in parallel, returning results **in task
+    /// order** (`out[i]` is `f(i, items[i])`).
+    ///
+    /// The calling thread participates as worker 0, so `map` with one job
+    /// (or one item) degenerates to a plain sequential loop with no thread
+    /// spawned at all.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` after the scope joins (the panic unwinds
+    /// out of [`std::thread::scope`]).
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        // One slot per task. Each index lives in exactly one deque, so the
+        // `take()` below always finds the item; the slot exists only to move
+        // owned items into whichever worker claims the index.
+        let tasks: Vec<Mutex<Option<I>>> =
+            items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        // Contiguous chunk per worker, pushed in reverse so LIFO pops walk
+        // the chunk in ascending index order.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = n * w / workers;
+                let hi = n * (w + 1) / workers;
+                Mutex::new((lo..hi).rev().collect())
+            })
+            .collect();
+
+        let worker = |me: usize| loop {
+            // Own deque first (back = most recently pushed = lowest
+            // remaining index of our chunk).
+            let mut claimed = deques[me].lock().expect("deque poisoned").pop_back();
+            if claimed.is_none() {
+                // Steal oldest work from the first non-empty victim.
+                for off in 1..workers {
+                    let victim = (me + off) % workers;
+                    claimed = deques[victim].lock().expect("deque poisoned").pop_front();
+                    if claimed.is_some() {
+                        break;
+                    }
+                }
+            }
+            let Some(idx) = claimed else {
+                // Every deque was empty; nothing is ever re-enqueued.
+                return;
+            };
+            let item = tasks[idx]
+                .lock()
+                .expect("task slot poisoned")
+                .take()
+                .expect("task index claimed twice");
+            let out = f(idx, item);
+            *results[idx].lock().expect("result slot poisoned") = Some(out);
+        };
+
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                let worker = &worker;
+                s.spawn(move || worker(w));
+            }
+            worker(0);
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited without storing a result")
+            })
+            .collect()
+    }
+
+    /// Runs a batch of independent closures, returning their results in
+    /// input order. Convenience wrapper over [`Pool::map`].
+    pub fn run<T, F>(&self, thunks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let cell: Vec<Mutex<Option<F>>> = thunks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        self.map(cell, |_, f| {
+            let f = f
+                .into_inner()
+                .expect("thunk poisoned")
+                .expect("thunk taken");
+            f()
+        })
+    }
+}
+
+impl Default for Pool {
+    /// Equivalent to [`Pool::from_env`].
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal MPSC channel (Mutex + Condvar) for streaming results out of an
+// in-flight `Pool::map` — e.g. the bench harness prints each experiment's
+// report the moment it completes while the pool keeps working.
+// ---------------------------------------------------------------------------
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+}
+
+struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    ready: Condvar,
+}
+
+/// The sending half of [`channel`]. Cloneable; the channel closes when the
+/// last sender is dropped.
+pub struct Sender<T>(Arc<Channel<T>>);
+
+/// The receiving half of [`channel`].
+pub struct Receiver<T>(Arc<Channel<T>>);
+
+/// Creates an unbounded multi-producer single-consumer channel built on a
+/// `Mutex`-guarded deque and a `Condvar`.
+///
+/// Unlike [`std::sync::mpsc`], both halves are plain structs in this crate,
+/// so the workspace keeps a single, auditable concurrency toolbox.
+#[must_use]
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let ch = Arc::new(Channel {
+        state: Mutex::new(ChannelState {
+            queue: VecDeque::new(),
+            senders: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (Sender(Arc::clone(&ch)), Receiver(ch))
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value and wakes the receiver.
+    pub fn send(&self, value: T) {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        st.queue.push_back(value);
+        drop(st);
+        self.0.ready.notify_one();
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().expect("channel poisoned").senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives, returning `None` once every sender has
+    /// been dropped and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Some(v);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = self.0.ready.wait(st).expect("channel poisoned");
+        }
+    }
+
+    /// Drains the channel into an iterator (blocking between items).
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_task_order() {
+        let pool = Pool::new(4);
+        let out = pool.map((0..1000u64).collect(), |i, x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn jobs_one_equals_jobs_many() {
+        let work = |_: usize, x: u64| {
+            // A tiny uneven workload so stealing actually happens.
+            (0..(x % 37)).fold(x, |a, b| a.wrapping_mul(31).wrapping_add(b))
+        };
+        let seq = Pool::new(1).map((0..512u64).collect(), work);
+        let par = Pool::new(8).map((0..512u64).collect(), work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let pool = Pool::new(6);
+        let out = pool.map((0..257usize).collect(), |_, x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_actually_steal_unbalanced_work() {
+        // Front-loaded cost: worker 0's chunk is far heavier, so the other
+        // workers must steal to finish. We only assert correctness (the
+        // pool can't deadlock or drop tasks under imbalance).
+        let pool = Pool::new(4);
+        let out = pool.map((0..64u64).collect(), |i, x| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_runs_in_parallel() {
+        // 8 tasks × 30 ms each: sequential would need ≥ 240 ms. Allow a
+        // generous margin for a loaded CI host — just require clear overlap.
+        let pool = Pool::new(8);
+        let t0 = std::time::Instant::now();
+        pool.map((0..8u32).collect(), |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        });
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(200),
+            "8 sleeps did not overlap: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn run_executes_closures_in_order() {
+        let pool = Pool::new(3);
+        let out = pool.run((0..20).map(|i| move || i * i).collect::<Vec<_>>());
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        let empty: Vec<u8> = pool.map(Vec::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.map(vec![9u8], |_, x| x), vec![9]);
+    }
+
+    #[test]
+    fn pool_zero_means_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn channel_streams_and_closes() {
+        let (tx, rx) = channel::<usize>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..50 {
+                    tx.send(i);
+                }
+            });
+            s.spawn(move || {
+                for i in 50..100 {
+                    tx2.send(i);
+                }
+            });
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn channel_recv_after_close_returns_none() {
+        let (tx, rx) = channel::<u8>();
+        tx.send(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+}

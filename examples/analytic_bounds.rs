@@ -7,11 +7,7 @@
 //! cargo run --release --example analytic_bounds
 //! ```
 
-use compile_time_dvs::compiler::{analyze_params, DeadlineScheme, DvsCompiler};
-use compile_time_dvs::model::{ContinuousModel, DiscreteModel};
-use compile_time_dvs::sim::Machine;
-use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
-use compile_time_dvs::workloads::Benchmark;
+use compile_time_dvs::prelude::*;
 
 fn main() {
     let law = AlphaPower::paper();
@@ -25,11 +21,13 @@ fn main() {
     // Program parameters from cycle-level simulation (paper Table 7).
     let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
     let ladder3 = VoltageLadder::xscale3(&law);
-    let compiler = DvsCompiler::new(
+    let compiler = DvsCompiler::builder(
         machine.clone(),
         ladder3.clone(),
         TransitionModel::with_capacitance_uf(0.2),
-    );
+    )
+    .build()
+    .expect("valid compiler settings");
     let (profile, runs) = compiler.profile(&cfg, &trace);
     let params = analyze_params(&runs);
     println!(

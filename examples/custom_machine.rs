@@ -10,11 +10,8 @@
 //! cargo run --release --example custom_machine
 //! ```
 
-use compile_time_dvs::compiler::{analyze_params, DeadlineScheme};
-use compile_time_dvs::model::DiscreteModel;
-use compile_time_dvs::sim::{EnergyModel, Machine, ModeProfiler, SimConfig};
-use compile_time_dvs::vf::{AlphaPower, VoltageLadder};
-use compile_time_dvs::workloads::Benchmark;
+use compile_time_dvs::prelude::*;
+use compile_time_dvs::sim::{EnergyModel, SimConfig};
 
 fn main() {
     let b = Benchmark::MpegDecode;

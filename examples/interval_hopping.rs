@@ -11,10 +11,7 @@
 //! cargo run --release --example interval_hopping
 //! ```
 
-use compile_time_dvs::compiler::{baseline, DeadlineScheme, DvsCompiler};
-use compile_time_dvs::sim::Machine;
-use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
-use compile_time_dvs::workloads::Benchmark;
+use compile_time_dvs::prelude::*;
 
 fn main() {
     // A custom ladder defined by frequency steps (e.g. a part documented
@@ -38,7 +35,9 @@ fn main() {
         let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
         // A deadline between the ladder's fast and slow runtimes.
         let tm = TransitionModel::with_capacitance_uf(0.02);
-        let compiler = DvsCompiler::new(machine.clone(), ladder.clone(), tm);
+        let compiler = DvsCompiler::builder(machine.clone(), ladder.clone(), tm)
+            .build()
+            .expect("valid compiler settings");
         let (profile, runs) = compiler.profile(&cfg, &trace);
         let t_fast = runs.last().expect("runs").total_time_us;
         let t_slow = runs[0].total_time_us;

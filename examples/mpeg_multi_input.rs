@@ -11,10 +11,9 @@
 //! cargo run --release --example mpeg_multi_input
 //! ```
 
-use compile_time_dvs::compiler::{CategoryProfile, DeadlineScheme, MilpFormulation, MultiCategory};
-use compile_time_dvs::sim::{Machine, ModeProfiler};
-use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
-use compile_time_dvs::workloads::{mpeg_input, Benchmark, MpegInput, MPEG_INPUTS};
+use compile_time_dvs::compiler::{CategoryProfile, MultiCategory};
+use compile_time_dvs::prelude::*;
+use compile_time_dvs::workloads::{mpeg_input, MpegInput, MPEG_INPUTS};
 
 fn main() {
     let b = Benchmark::MpegDecode;

@@ -8,10 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use compile_time_dvs::compiler::DvsCompiler;
-use compile_time_dvs::ir::{CfgBuilder, Inst, MemWidth, Opcode, Reg};
-use compile_time_dvs::sim::{Machine, TraceBuilder};
-use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
+use compile_time_dvs::prelude::*;
 
 fn main() {
     // --- 1. Build a program: stream loads, then crunch numbers. ---------
@@ -48,11 +45,13 @@ fn main() {
 
     // --- 3. The compile-time DVS pass. -----------------------------------
     let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
-    let compiler = DvsCompiler::new(
+    let compiler = DvsCompiler::builder(
         Machine::paper_default(),
         ladder.clone(),
         TransitionModel::with_capacitance_uf(0.05),
-    );
+    )
+    .build()
+    .expect("valid compiler settings");
     let (profile, runs) = compiler.profile(&cfg, &trace);
 
     let t_fast = runs.last().expect("runs").total_time_us;

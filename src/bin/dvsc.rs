@@ -4,7 +4,7 @@
 //! dvsc list
 //! dvsc compile --benchmark gsm --deadline 3 [--levels 3] [--capacitance 0.05]
 //!              [--emit listing.s] [--no-validate] [--metrics]
-//!              [--trace-out trace.json]
+//!              [--trace-out trace.json] [--jobs N]
 //! dvsc analyze --benchmark epic [--levels 7]
 //! ```
 //!
@@ -35,13 +35,14 @@ struct Args {
     validate: bool,
     metrics: bool,
     trace_out: Option<String>,
+    jobs: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dvsc list\n  dvsc [compile] --benchmark <name> [--deadline 1..5] \
          [--levels N] [--capacitance µF] [--emit FILE] [--no-validate]\n  \
-         \x20              [--metrics] [--trace-out FILE]\n  \
+         \x20              [--metrics] [--trace-out FILE] [--jobs N]\n  \
          dvsc analyze --benchmark <name> [--levels N]\n  \
          dvsc --version"
     );
@@ -67,6 +68,7 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         validate: true,
         metrics: false,
         trace_out: None,
+        jobs: 1,
     };
     fn value<'a>(
         flag: &str,
@@ -92,6 +94,12 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
             "--no-validate" => args.validate = false,
             "--metrics" | "-m" => args.metrics = true,
             "--trace-out" | "-t" => args.trace_out = Some(value(flag, &mut it)?.clone()),
+            "--jobs" | "-j" => {
+                args.jobs = number(flag, value(flag, &mut it)?)?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -205,18 +213,26 @@ fn run_compile(args: &Args) -> u8 {
         deadline
     );
 
-    let compiler = DvsCompiler::new(
+    // `--jobs` feeds both knobs: grid fan-out (for compile_grid users) and
+    // the MILP's parallel root split (capped at the 2 root children).
+    let compiler = match DvsCompiler::builder(
         machine,
         ladder,
         TransitionModel::with_capacitance_uf(args.capacitance_uf),
-    );
-    let (profile, _) = compiler.profile(&cfg, &trace);
-    let result = if args.validate {
-        compiler.compile_and_validate(&cfg, &trace, &profile, deadline)
-    } else {
-        compiler.compile(&cfg, &profile, deadline)
+    )
+    .validation(args.validate)
+    .jobs(args.jobs)
+    .solver_jobs(args.jobs.min(2))
+    .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad compiler settings: {e}");
+            return 2;
+        }
     };
-    let result = match result {
+    let (profile, _) = compiler.profile(&cfg, &trace);
+    let result = match compiler.compile_and_validate(&cfg, &trace, &profile, deadline) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compile failed: {e}");
@@ -288,7 +304,16 @@ fn run_analyze(args: &Args) -> u8 {
     let trace = b.trace(&cfg, &b.default_input());
     let machine = Machine::paper_default();
     let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
-    let compiler = DvsCompiler::new(machine, ladder.clone(), TransitionModel::free());
+    let compiler = match DvsCompiler::builder(machine, ladder.clone(), TransitionModel::free())
+        .jobs(args.jobs)
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad compiler settings: {e}");
+            return 2;
+        }
+    };
     let (_, runs) = compiler.profile(&cfg, &trace);
     let params = analyze_params(&runs);
     println!(

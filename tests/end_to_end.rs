@@ -1,11 +1,7 @@
 //! End-to-end integration tests: the full profile → filter → MILP →
 //! schedule → re-simulate pipeline over the synthetic MediaBench suite.
 
-use compile_time_dvs::compiler::{analyze_params, DeadlineScheme, DvsCompiler};
-use compile_time_dvs::model::DiscreteModel;
-use compile_time_dvs::sim::Machine;
-use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
-use compile_time_dvs::workloads::Benchmark;
+use compile_time_dvs::prelude::*;
 
 fn ladder() -> VoltageLadder {
     VoltageLadder::xscale3(&AlphaPower::paper())
@@ -25,11 +21,13 @@ fn pipeline_meets_deadlines_and_beats_single_mode() {
         let cfg = b.build_cfg();
         let trace = b.trace(&cfg, &b.default_input());
         let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
-        let compiler = DvsCompiler::new(
+        let compiler = DvsCompiler::builder(
             machine.clone(),
             ladder(),
             TransitionModel::with_capacitance_uf(0.05),
-        );
+        )
+        .build()
+        .expect("valid compiler settings");
         let (profile, _) = compiler.profile(&cfg, &trace);
         for i in 1..=5usize {
             let deadline = scheme.deadline_us(i);
@@ -74,11 +72,13 @@ fn milp_predictions_track_resimulation() {
     let cfg = b.build_cfg();
     let trace = b.trace(&cfg, &b.default_input());
     let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
-    let compiler = DvsCompiler::new(
+    let compiler = DvsCompiler::builder(
         machine.clone(),
         ladder(),
         TransitionModel::with_capacitance_uf(0.05),
-    );
+    )
+    .build()
+    .expect("valid compiler settings");
     let (profile, _) = compiler.profile(&cfg, &trace);
     for i in 2..=5usize {
         let res = compiler
@@ -107,11 +107,13 @@ fn analytical_bound_dominates_milp_savings() {
         let cfg = b.build_cfg();
         let trace = b.trace(&cfg, &b.default_input());
         let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
-        let compiler = DvsCompiler::new(
+        let compiler = DvsCompiler::builder(
             machine.clone(),
             ladder(),
             TransitionModel::with_capacitance_uf(0.05),
-        );
+        )
+        .build()
+        .expect("valid compiler settings");
         let (profile, runs) = compiler.profile(&cfg, &trace);
         let params = analyze_params(&runs);
         let model = DiscreteModel::new(ladder());
@@ -142,11 +144,13 @@ fn predicted_transitions_match_measured() {
     let cfg = b.build_cfg();
     let trace = b.trace(&cfg, &b.default_input());
     let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
-    let compiler = DvsCompiler::new(
+    let compiler = DvsCompiler::builder(
         machine.clone(),
         ladder(),
         TransitionModel::with_capacitance_uf(0.01),
-    );
+    )
+    .build()
+    .expect("valid compiler settings");
     let (profile, _) = compiler.profile(&cfg, &trace);
     for i in [4usize, 5] {
         let res = compiler
@@ -165,7 +169,7 @@ fn predicted_transitions_match_measured() {
 /// than a fraction of a percent (the paper's Table 3).
 #[test]
 fn filtering_preserves_quality() {
-    use compile_time_dvs::compiler::{EdgeFilter, MilpFormulation};
+    use compile_time_dvs::compiler::EdgeFilter;
     let machine = Machine::paper_default();
     let b = Benchmark::GsmEncode;
     let cfg = b.build_cfg();
@@ -173,7 +177,9 @@ fn filtering_preserves_quality() {
     let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
     let l = ladder();
     let tm = TransitionModel::with_capacitance_uf(0.05);
-    let compiler = DvsCompiler::new(machine, l.clone(), tm);
+    let compiler = DvsCompiler::builder(machine, l.clone(), tm)
+        .build()
+        .expect("valid compiler settings");
     let (profile, _) = compiler.profile(&cfg, &trace);
     let d = scheme.deadline_us(2);
     let tm = TransitionModel::with_capacitance_uf(0.05);

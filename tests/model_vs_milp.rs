@@ -1,10 +1,7 @@
 //! Cross-crate consistency between the analytical model, the MILP, and the
 //! simulator on hand-built programs with known structure.
 
-use compile_time_dvs::compiler::DvsCompiler;
-use compile_time_dvs::ir::{Cfg, CfgBuilder, Inst, MemWidth, Opcode, Reg};
-use compile_time_dvs::sim::{Machine, Trace, TraceBuilder};
-use compile_time_dvs::vf::{AlphaPower, ModeId, TransitionModel, VoltageLadder};
+use compile_time_dvs::prelude::*;
 
 fn two_phase(mem_iters: u64, comp_iters: u64) -> (Cfg, Trace) {
     let mut b = CfgBuilder::new("two-phase");
@@ -51,11 +48,13 @@ fn two_phase(mem_iters: u64, comp_iters: u64) -> (Cfg, Trace) {
 }
 
 fn compiler(cap_uf: f64) -> DvsCompiler {
-    DvsCompiler::new(
+    DvsCompiler::builder(
         Machine::paper_default(),
         VoltageLadder::xscale3(&AlphaPower::paper()),
         TransitionModel::with_capacitance_uf(cap_uf),
     )
+    .build()
+    .expect("valid compiler settings")
 }
 
 /// With free transitions and a deadline between the all-fast and all-slow
@@ -76,11 +75,13 @@ fn memory_phase_runs_slower_than_compute_phase() {
         },
         EnergyModel::default(),
     );
-    let c = DvsCompiler::new(
+    let c = DvsCompiler::builder(
         machine,
         VoltageLadder::xscale3(&AlphaPower::paper()),
         TransitionModel::with_capacitance_uf(0.001),
-    );
+    )
+    .build()
+    .expect("valid compiler settings");
     let (profile, runs) = c.profile(&cfg, &trace);
     let t_fast = runs.last().expect("runs").total_time_us;
     let t_slow = runs[0].total_time_us;
