@@ -1,0 +1,191 @@
+//! Seeded, tape-recording choice source.
+//!
+//! [`Gen`] is the single source of randomness for every generator in this
+//! crate. It operates in one of two modes:
+//!
+//! * **fresh** ([`Gen::from_seed`]): choices come from a splitmix64 stream,
+//!   so a `u64` seed fully determines the generated case;
+//! * **replay** ([`Gen::replay`]): choices come from a recorded *tape* of
+//!   previous draws. When the tape runs out, every further draw yields `0`.
+//!
+//! Either way, every choice made is re-recorded onto a fresh tape
+//! ([`Gen::tape`]). The shrinker mutates tapes (deleting, zeroing and
+//! minimizing entries) and replays them; because each combinator maps the
+//! value `0` to its structurally simplest choice, *any* tape — including a
+//! truncated or mutated one — regenerates a valid case. This is the
+//! Hypothesis-style "shrink the choice sequence, not the value" design: the
+//! shrinker never needs to know how to shrink a CFG, only how to shrink a
+//! `Vec<u64>`.
+
+/// One splitmix64 step (public-domain constants).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic choice source that records every draw.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+    replay: Option<Vec<u64>>,
+    pos: usize,
+    tape: Vec<u64>,
+}
+
+impl Gen {
+    /// A fresh source whose choices are fully determined by `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            state: seed,
+            replay: None,
+            pos: 0,
+            tape: Vec::new(),
+        }
+    }
+
+    /// A source that replays `tape`; draws past the end yield `0`.
+    #[must_use]
+    pub fn replay(tape: Vec<u64>) -> Self {
+        Gen {
+            state: 0,
+            replay: Some(tape),
+            pos: 0,
+            tape: Vec::new(),
+        }
+    }
+
+    /// The choices made so far (already reduced modulo each draw's range).
+    #[must_use]
+    pub fn tape(&self) -> &[u64] {
+        &self.tape
+    }
+
+    /// Consumes the source and returns its recorded tape.
+    #[must_use]
+    pub fn into_tape(self) -> Vec<u64> {
+        self.tape
+    }
+
+    fn draw(&mut self) -> u64 {
+        let v = match &self.replay {
+            Some(t) => t.get(self.pos).copied().unwrap_or(0),
+            None => splitmix64(&mut self.state),
+        };
+        self.pos += 1;
+        v
+    }
+
+    /// A uniform value in `[0, n)`. The recorded tape entry equals the
+    /// returned value, so a zeroed entry replays as the first choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Gen::below(0)");
+        let v = self.draw() % n;
+        self.tape.push(v);
+        v
+    }
+
+    /// A uniform value in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Gen::range({lo}, {hi})");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A uniform `f64` in `[0, 1)`; a zeroed tape entry replays as `0.0`.
+    pub fn unit(&mut self) -> f64 {
+        const BITS: u64 = 1 << 53;
+        let v = self.draw() % BITS;
+        self.tape.push(v);
+        v as f64 / BITS as f64
+    }
+
+    /// `true` with probability `p`; a zeroed tape entry replays as `true`
+    /// whenever `p > 0`, so call sites should put the structurally simpler
+    /// alternative on the `true` branch.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Picks one element of `xs` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Gen::from_seed(7);
+        let mut b = Gen::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+            assert_eq!(a.unit(), b.unit());
+        }
+        let mut c = Gen::from_seed(8);
+        let diverged = (0..100).any(|_| a.below(1000) != c.below(1000));
+        assert!(diverged, "different seeds should diverge");
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_tape() {
+        let mut g = Gen::from_seed(42);
+        let vals: Vec<u64> = (0..50).map(|_| g.below(97)).collect();
+        let tape = g.into_tape();
+        let mut r = Gen::replay(tape.clone());
+        let replayed: Vec<u64> = (0..50).map(|_| r.below(97)).collect();
+        assert_eq!(vals, replayed);
+        assert_eq!(r.tape(), &tape[..]);
+    }
+
+    #[test]
+    fn exhausted_replay_yields_zero() {
+        let mut r = Gen::replay(vec![5, 6]);
+        assert_eq!(r.below(10), 5);
+        assert_eq!(r.below(10), 6);
+        assert_eq!(r.below(10), 0);
+        assert_eq!(r.unit(), 0.0);
+        assert!(r.chance(0.5), "zero draw maps to the true branch");
+    }
+
+    #[test]
+    fn below_stays_in_range_and_records_reduced_values() {
+        let mut g = Gen::from_seed(3);
+        for _ in 0..1000 {
+            assert!(g.below(7) < 7);
+        }
+        assert!(g.tape().iter().all(|&v| v < 7));
+    }
+
+    #[test]
+    fn mutated_tape_still_replays() {
+        let mut g = Gen::from_seed(9);
+        for _ in 0..20 {
+            g.below(50);
+        }
+        let mut tape = g.into_tape();
+        tape.truncate(5);
+        tape[2] = u64::MAX; // out-of-range entries are reduced modulo n
+        let mut r = Gen::replay(tape);
+        for _ in 0..20 {
+            assert!(r.below(50) < 50);
+        }
+    }
+}

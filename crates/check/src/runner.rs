@@ -1,0 +1,253 @@
+//! The check runner: fans seeded cases over a worker pool, aggregates
+//! outcomes, and shrinks any failures to minimal counterexamples.
+//!
+//! The rendered report is **byte-identical across worker counts**: the pool
+//! returns outcomes in seed order, and the report deliberately contains no
+//! timings or job counts. `dvsc check --jobs 1` and `--jobs 8` therefore
+//! produce the same bytes for the same seed range — itself a regression
+//! test of the runtime's ordered `map`.
+
+use crate::cases::CaseSpec;
+use crate::oracle::{run_case, run_tape, CaseOutcome, OracleKind, Tolerances};
+use crate::shrink::shrink_tape;
+use dvs_runtime::Pool;
+use std::fmt::Write as _;
+
+/// Configuration for one check run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Number of seeded cases.
+    pub seeds: u64,
+    /// First seed; case `i` uses seed `seed_base + i`.
+    pub seed_base: u64,
+    /// Maximum blocks per generated CFG.
+    pub max_blocks: usize,
+    /// Worker threads for case checking (shrinking is sequential).
+    pub jobs: usize,
+    /// Evaluation budget per shrink.
+    pub shrink_evals: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            seeds: 100,
+            seed_base: 42,
+            max_blocks: 6,
+            jobs: 1,
+            shrink_evals: 400,
+        }
+    }
+}
+
+/// A shrunken failing case.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The seed that found it.
+    pub seed: u64,
+    /// The first oracle that fired on the original case.
+    pub oracle: OracleKind,
+    /// Disagreement detail from the original case.
+    pub detail: String,
+    /// Tape length before shrinking.
+    pub original_tape_len: usize,
+    /// Tape length after shrinking.
+    pub shrunk_tape_len: usize,
+    /// Blocks in the shrunken CFG.
+    pub shrunk_blocks: usize,
+    /// Edges in the shrunken CFG.
+    pub shrunk_edges: usize,
+    /// Disagreement detail after shrinking.
+    pub shrunk_detail: String,
+    /// The minimal failing tape (replayable via [`run_tape`]).
+    pub shrunk_tape: Vec<u64>,
+}
+
+impl Counterexample {
+    /// A shell command that reproduces the failure from its seed.
+    #[must_use]
+    pub fn repro(&self, max_blocks: usize) -> String {
+        format!(
+            "dvsc check --seeds 1 --seed-base {} --max-blocks {}",
+            self.seed, max_blocks
+        )
+    }
+}
+
+/// Aggregated result of a check run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The configuration that produced this report (jobs excluded from
+    /// rendering).
+    pub config: CheckConfig,
+    /// Cases whose MILP was feasible.
+    pub feasible: usize,
+    /// Cases whose MILP was infeasible.
+    pub infeasible: usize,
+    /// Cases where brute force was skipped for size.
+    pub brute_force_skipped: usize,
+    /// Shrunken failures, in seed order.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl CheckReport {
+    /// `true` when every oracle agreed on every case.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+
+    /// Reproduction command lines, one per counterexample.
+    #[must_use]
+    pub fn repro_lines(&self) -> Vec<String> {
+        self.counterexamples
+            .iter()
+            .map(|c| c.repro(self.config.max_blocks))
+            .collect()
+    }
+
+    /// Deterministic human-readable summary (no timings, no job counts).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "dvs-check: {} cases, max-blocks {}, seed base {}",
+            self.config.seeds, self.config.max_blocks, self.config.seed_base
+        );
+        let _ = writeln!(
+            s,
+            "  feasible {}, infeasible {}, brute-force skipped {}",
+            self.feasible, self.infeasible, self.brute_force_skipped
+        );
+        let _ = writeln!(s, "  oracle disagreements: {}", self.counterexamples.len());
+        for c in &self.counterexamples {
+            let _ = writeln!(s, "FAIL seed {} [{}] {}", c.seed, c.oracle, c.detail);
+            let _ = writeln!(
+                s,
+                "  shrunk: {} blocks, {} edges, tape {} -> {} [{}]",
+                c.shrunk_blocks,
+                c.shrunk_edges,
+                c.original_tape_len,
+                c.shrunk_tape_len,
+                c.shrunk_detail
+            );
+            let _ = writeln!(s, "  repro: {}", c.repro(self.config.max_blocks));
+        }
+        let _ = writeln!(s, "{}", if self.ok() { "OK" } else { "FAILED" });
+        s
+    }
+}
+
+/// Runs `config.seeds` cases, in parallel when `config.jobs > 1`, and
+/// shrinks every failure sequentially (so the report is deterministic).
+#[must_use]
+pub fn run_check(config: &CheckConfig, tol: &Tolerances) -> CheckReport {
+    let spec = CaseSpec {
+        max_blocks: config.max_blocks,
+    };
+    let pool = Pool::new(config.jobs);
+    let seeds: Vec<u64> = (0..config.seeds).map(|i| config.seed_base + i).collect();
+    let outcomes: Vec<(u64, CaseOutcome)> =
+        pool.map(seeds, |_, seed| (seed, run_case(seed, &spec, tol)));
+
+    let mut report = CheckReport {
+        config: config.clone(),
+        feasible: 0,
+        infeasible: 0,
+        brute_force_skipped: 0,
+        counterexamples: Vec::new(),
+    };
+    for (seed, out) in outcomes {
+        if out.feasible {
+            report.feasible += 1;
+        } else {
+            report.infeasible += 1;
+        }
+        if out.brute_force_skipped {
+            report.brute_force_skipped += 1;
+        }
+        if !out.passed() {
+            report
+                .counterexamples
+                .push(shrink_failure(seed, out, &spec, tol, config.shrink_evals));
+        }
+    }
+    report
+}
+
+fn shrink_failure(
+    seed: u64,
+    out: CaseOutcome,
+    spec: &CaseSpec,
+    tol: &Tolerances,
+    budget: usize,
+) -> Counterexample {
+    let first = &out.disagreements[0];
+    let shrunk = shrink_tape(
+        &out.tape,
+        |tape| !run_tape(tape, spec, tol).passed(),
+        budget,
+    );
+    let replayed = run_tape(&shrunk.tape, spec, tol);
+    let shrunk_detail = replayed
+        .disagreements
+        .first()
+        .map_or_else(|| "(no longer fails?)".to_string(), |d| d.detail.clone());
+    Counterexample {
+        seed,
+        oracle: first.oracle,
+        detail: first.detail.clone(),
+        original_tape_len: out.tape.len(),
+        shrunk_tape_len: shrunk.tape.len(),
+        shrunk_blocks: replayed.blocks,
+        shrunk_edges: replayed.edges,
+        shrunk_detail,
+        shrunk_tape: shrunk.tape,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_clean_and_deterministic_across_jobs() {
+        let tol = Tolerances::default();
+        let base = CheckConfig {
+            seeds: 12,
+            seed_base: 1000,
+            max_blocks: 5,
+            jobs: 1,
+            shrink_evals: 100,
+        };
+        let a = run_check(&base, &tol);
+        assert!(a.ok(), "{}", a.render());
+        let b = run_check(
+            &CheckConfig {
+                jobs: 3,
+                ..base.clone()
+            },
+            &tol,
+        );
+        assert_eq!(a.render(), b.render(), "reports must not depend on jobs");
+    }
+
+    #[test]
+    fn render_shape_is_stable() {
+        let tol = Tolerances::default();
+        let r = run_check(
+            &CheckConfig {
+                seeds: 3,
+                seed_base: 7,
+                max_blocks: 4,
+                jobs: 1,
+                shrink_evals: 50,
+            },
+            &tol,
+        );
+        let text = r.render();
+        assert!(text.starts_with("dvs-check: 3 cases, max-blocks 4, seed base 7\n"));
+        assert!(text.ends_with("OK\n") || text.ends_with("FAILED\n"));
+    }
+}

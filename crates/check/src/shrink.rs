@@ -1,0 +1,151 @@
+//! Tape shrinking: reduce a failing choice sequence to a minimal one.
+//!
+//! The shrinker knows nothing about CFGs or ladders — it mutates the `u64`
+//! tape and asks the caller whether the regenerated case still fails. Three
+//! greedy passes run to a fixpoint (or an evaluation budget):
+//!
+//! 1. **chunk deletion** in decreasing sizes (32, 16, 8, 4, 2, 1) — removes
+//!    whole generated sub-structures at once;
+//! 2. **chunk zeroing** — replays the simplest choice for a region without
+//!    changing tape length;
+//! 3. **per-entry binary-search minimization** toward zero.
+//!
+//! Because the generators map the zero (or missing) choice to their
+//! simplest alternative, every candidate tape is a valid case, and the
+//! final tape regenerates the *minimal* failing case deterministically.
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The smallest failing tape found.
+    pub tape: Vec<u64>,
+    /// Number of candidate evaluations spent.
+    pub evals: usize,
+}
+
+/// Shrinks `tape` while `fails` keeps returning `true` for the candidate.
+/// `tape` itself must already fail; `max_evals` bounds the total number of
+/// `fails` calls. Fully deterministic.
+pub fn shrink_tape<F>(tape: &[u64], mut fails: F, max_evals: usize) -> ShrinkResult
+where
+    F: FnMut(&[u64]) -> bool,
+{
+    let mut cur = tape.to_vec();
+    let mut evals = 0usize;
+    let mut try_candidate = |cand: &[u64], evals: &mut usize| -> bool {
+        if *evals >= max_evals {
+            return false;
+        }
+        *evals += 1;
+        fails(cand)
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete chunks, largest first.
+        for &size in &[32usize, 16, 8, 4, 2, 1] {
+            let mut i = 0;
+            while i + size <= cur.len() {
+                let mut cand = Vec::with_capacity(cur.len() - size);
+                cand.extend_from_slice(&cur[..i]);
+                cand.extend_from_slice(&cur[i + size..]);
+                if try_candidate(&cand, &mut evals) {
+                    cur = cand;
+                    improved = true;
+                    // stay at i: the next chunk has shifted into place
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Pass 2: zero chunks.
+        for &size in &[8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + size <= cur.len() {
+                if cur[i..i + size].iter().any(|&v| v != 0) {
+                    let mut cand = cur.clone();
+                    cand[i..i + size].iter_mut().for_each(|v| *v = 0);
+                    if try_candidate(&cand, &mut evals) {
+                        cur = cand;
+                        improved = true;
+                    }
+                }
+                i += size;
+            }
+        }
+
+        // Pass 3: minimize each entry by binary search toward zero.
+        for i in 0..cur.len() {
+            if cur[i] == 0 {
+                continue;
+            }
+            let (mut lo, mut hi) = (0u64, cur[i]);
+            // invariant: hi fails (cur does); find the smallest failing value
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = cur.clone();
+                cand[i] = mid;
+                if try_candidate(&cand, &mut evals) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if hi < cur[i] {
+                cur[i] = hi;
+                improved = true;
+            }
+        }
+
+        if !improved || evals >= max_evals {
+            break;
+        }
+    }
+    ShrinkResult { tape: cur, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_empty_tape_when_anything_fails() {
+        let r = shrink_tape(&[9, 8, 7, 6, 5], |_| true, 10_000);
+        assert!(r.tape.is_empty());
+    }
+
+    #[test]
+    fn preserves_a_load_bearing_entry() {
+        // Failure requires some entry >= 10; minimal failing tape is [10].
+        let tape = vec![3, 57, 4, 12, 99];
+        let r = shrink_tape(&tape, |t| t.iter().any(|&v| v >= 10), 10_000);
+        assert_eq!(r.tape, vec![10]);
+    }
+
+    #[test]
+    fn respects_the_evaluation_budget() {
+        let mut calls = 0usize;
+        let _ = shrink_tape(
+            &[1; 64],
+            |_| {
+                calls += 1;
+                true
+            },
+            7,
+        );
+        assert!(calls <= 7);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let tape: Vec<u64> = (0..40).map(|i| (i * 37 + 11) % 100).collect();
+        let pred = |t: &[u64]| t.iter().sum::<u64>() >= 50;
+        let a = shrink_tape(&tape, pred, 5_000);
+        let b = shrink_tape(&tape, pred, 5_000);
+        assert_eq!(a.tape, b.tape);
+        assert_eq!(a.evals, b.evals);
+        assert!(pred(&a.tape), "result must still fail");
+    }
+}

@@ -1,0 +1,119 @@
+//! Shrinker regression: inject a known off-by-one bug into a test-local
+//! cost oracle and prove the shrinker drives any failing case down to the
+//! minimal 3-block CFG, deterministically, with the shrunken tape still
+//! reproducing the failure.
+
+use dvs_check::{gen_case, schedule_cost, CaseSpec, CheckCase, Gen};
+use dvs_ir::{BlockModeCost, Profile, ProfileBuilder};
+use dvs_vf::ModeId;
+
+/// A synthetic profile that needs no simulator: block time is
+/// `insts / f` and block energy `insts · V²`, which is enough structure
+/// for cost evaluation to be nontrivial on every mode.
+fn synthetic_profile(case: &CheckCase) -> Profile {
+    let mut pb = ProfileBuilder::new(&case.cfg, case.ladder.len());
+    pb.try_record_walk(&case.cfg, &case.trace.walk())
+        .expect("generated traces are valid walks");
+    for block in case.cfg.blocks() {
+        let insts = block.len() as f64;
+        for (mode, point) in case.ladder.iter() {
+            pb.set_block_cost(
+                block.id,
+                mode.index(),
+                BlockModeCost {
+                    time_us: insts / point.frequency_mhz,
+                    energy_uj: insts * point.energy_scale(),
+                },
+            );
+        }
+    }
+    pb.finish()
+}
+
+/// The injected bug: a re-implementation of the block-cost sum whose edge
+/// loop stops one short (`..num_edges() - 1`), silently dropping the final
+/// edge — on these CFGs always the edge into the exit block.
+fn buggy_energy(case: &CheckCase, profile: &Profile, modes: &[ModeId]) -> f64 {
+    let cfg = &case.cfg;
+    let mut energy = 0.0;
+    for e in cfg.edges().take(cfg.num_edges() - 1) {
+        let g = profile.edge_count(e.id) as f64;
+        energy += g * profile
+            .block_cost(e.dst, modes[e.id.index()].index())
+            .energy_uj;
+    }
+    let entry_runs = profile.block_count(cfg.entry()) as f64;
+    energy += entry_runs * profile.block_cost(cfg.entry(), 0).energy_uj;
+    energy
+}
+
+/// `true` when the buggy oracle disagrees with the reference evaluator on
+/// the uniform slowest-mode schedule.
+fn exposes_the_bug(tape: &[u64]) -> bool {
+    let mut g = Gen::replay(tape.to_vec());
+    let case = gen_case(&mut g, &CaseSpec { max_blocks: 8 });
+    let profile = synthetic_profile(&case);
+    let modes = vec![ModeId(0); case.cfg.num_edges()];
+    let (reference, _) = schedule_cost(
+        &case.cfg,
+        &profile,
+        &case.ladder,
+        &dvs_vf::TransitionModel::free(),
+        ModeId(0),
+        &modes,
+    );
+    let buggy = buggy_energy(&case, &profile, &modes);
+    (reference - buggy).abs() > 1e-12
+}
+
+#[test]
+fn shrinker_reduces_the_injected_bug_to_a_minimal_cfg() {
+    // Any seeded case exposes the bug (the dropped edge always carries
+    // count >= 1 and nonzero energy), so the shrinker should walk all the
+    // way down to the smallest CFG the generator can express.
+    let seed = 2026;
+    let mut g = Gen::from_seed(seed);
+    let case = gen_case(&mut g, &CaseSpec { max_blocks: 8 });
+    assert!(
+        case.cfg.num_blocks() > 3,
+        "pick a seed with a non-minimal CFG"
+    );
+    let tape = g.into_tape();
+    assert!(exposes_the_bug(&tape), "original case must fail");
+
+    let shrunk = dvs_check::shrink_tape(&tape, exposes_the_bug, 2000);
+    assert!(
+        exposes_the_bug(&shrunk.tape),
+        "shrinking must preserve the failure"
+    );
+
+    let shrunken_case = gen_case(
+        &mut Gen::replay(shrunk.tape.clone()),
+        &CaseSpec { max_blocks: 8 },
+    );
+    assert!(
+        shrunken_case.cfg.num_blocks() <= 3,
+        "minimal counterexample must be the 3-block CFG, got {} blocks",
+        shrunken_case.cfg.num_blocks()
+    );
+    assert_eq!(shrunken_case.cfg.num_edges(), 2);
+    assert!(
+        shrunk.tape.len() < tape.len(),
+        "tape must actually shrink ({} -> {})",
+        tape.len(),
+        shrunk.tape.len()
+    );
+}
+
+#[test]
+fn shrinking_is_deterministic_for_a_fixed_seed() {
+    let seed = 2026;
+    let mut g = Gen::from_seed(seed);
+    let _ = gen_case(&mut g, &CaseSpec { max_blocks: 8 });
+    let tape = g.into_tape();
+
+    let a = dvs_check::shrink_tape(&tape, exposes_the_bug, 2000);
+    let b = dvs_check::shrink_tape(&tape, exposes_the_bug, 2000);
+    assert_eq!(a.tape, b.tape, "same seed, same minimal tape");
+    assert_eq!(a.evals, b.evals, "same seed, same shrink trajectory");
+}

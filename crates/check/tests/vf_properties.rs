@@ -1,0 +1,112 @@
+//! Property tests for `dvs-vf` over generated ladders: monotonicity of the
+//! voltage/frequency/energy axes, and the algebraic identities of the
+//! Burd–Brodersen transition-cost model (symmetry, zero diagonal,
+//! telescoping along the monotone ladder, round-trip cost).
+
+use dvs_check::{gen_ladder, gen_transition, Gen};
+use dvs_vf::{ModeId, TransitionModel};
+
+const SEEDS: u64 = 200;
+
+#[test]
+fn higher_frequency_means_higher_voltage_and_energy_per_cycle() {
+    for seed in 0..SEEDS {
+        let ladder = gen_ladder(&mut Gen::from_seed(seed));
+        let pts: Vec<_> = ladder.iter().map(|(_, p)| p).collect();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].frequency_mhz > w[0].frequency_mhz,
+                "seed {seed}: ladder frequencies must ascend"
+            );
+            assert!(
+                w[1].voltage > w[0].voltage,
+                "seed {seed}: alpha-power law must map higher f to higher V"
+            );
+            assert!(
+                w[1].energy_scale() > w[0].energy_scale(),
+                "seed {seed}: energy per cycle (V²) must rise with f"
+            );
+        }
+        assert_eq!(ladder.slowest(), pts[0]);
+        assert_eq!(ladder.fastest(), pts[pts.len() - 1]);
+    }
+}
+
+#[test]
+fn transition_costs_are_symmetric_with_zero_diagonal() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::from_seed(seed);
+        let ladder = gen_ladder(&mut g);
+        let tm = gen_transition(&mut g);
+        for (a, _) in ladder.iter() {
+            for (b, _) in ladder.iter() {
+                let se_ab = tm.mode_energy_uj(&ladder, a, b);
+                let se_ba = tm.mode_energy_uj(&ladder, b, a);
+                let st_ab = tm.mode_time_us(&ladder, a, b);
+                let st_ba = tm.mode_time_us(&ladder, b, a);
+                assert_eq!(se_ab, se_ba, "seed {seed}: SE({a:?},{b:?}) asymmetric");
+                assert_eq!(st_ab, st_ba, "seed {seed}: ST({a:?},{b:?}) asymmetric");
+                assert!(se_ab >= 0.0 && st_ab >= 0.0, "seed {seed}: negative cost");
+                if a == b {
+                    assert_eq!(se_ab, 0.0, "seed {seed}: SE({a:?},{a:?}) must be 0");
+                    assert_eq!(st_ab, 0.0, "seed {seed}: ST({a:?},{a:?}) must be 0");
+                }
+            }
+        }
+    }
+}
+
+/// A round trip `a -> b -> a` costs exactly twice the one-way transition,
+/// in both energy and time — the regulator model has no hysteresis.
+#[test]
+fn round_trip_costs_twice_the_one_way_transition() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::from_seed(seed);
+        let ladder = gen_ladder(&mut g);
+        let tm = TransitionModel::with_capacitance_uf(0.001 + g.unit());
+        for (a, _) in ladder.iter() {
+            for (b, _) in ladder.iter() {
+                let one_way_e = tm.mode_energy_uj(&ladder, a, b);
+                let one_way_t = tm.mode_time_us(&ladder, a, b);
+                let round_e = one_way_e + tm.mode_energy_uj(&ladder, b, a);
+                let round_t = one_way_t + tm.mode_time_us(&ladder, b, a);
+                assert_eq!(round_e, 2.0 * one_way_e, "seed {seed}");
+                assert_eq!(round_t, 2.0 * one_way_t, "seed {seed}");
+            }
+        }
+    }
+}
+
+/// Because ladder voltages ascend, `|v(a)² − v(c)²|` telescopes through any
+/// middle mode: stepping `a -> b -> c` monotonically costs exactly the same
+/// energy and time as jumping `a -> c` directly. (This is why the MILP can
+/// charge transitions pairwise without modeling multi-step paths.)
+#[test]
+fn monotone_steps_telescope_to_the_direct_jump() {
+    for seed in 0..SEEDS {
+        let mut g = Gen::from_seed(seed);
+        let ladder = gen_ladder(&mut g);
+        let tm = gen_transition(&mut g);
+        let n = ladder.len();
+        for a in 0..n {
+            for b in a..n {
+                for c in b..n {
+                    let (a, b, c) = (ModeId(a), ModeId(b), ModeId(c));
+                    let stepped_e =
+                        tm.mode_energy_uj(&ladder, a, b) + tm.mode_energy_uj(&ladder, b, c);
+                    let direct_e = tm.mode_energy_uj(&ladder, a, c);
+                    assert!(
+                        (stepped_e - direct_e).abs() <= 1e-12 * direct_e.abs().max(1.0),
+                        "seed {seed}: SE must telescope over {a:?}<{b:?}<{c:?}"
+                    );
+                    let stepped_t = tm.mode_time_us(&ladder, a, b) + tm.mode_time_us(&ladder, b, c);
+                    let direct_t = tm.mode_time_us(&ladder, a, c);
+                    assert!(
+                        (stepped_t - direct_t).abs() <= 1e-12 * direct_t.abs().max(1.0),
+                        "seed {seed}: ST must telescope over {a:?}<{b:?}<{c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

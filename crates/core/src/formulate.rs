@@ -59,6 +59,32 @@ pub(crate) struct GroupVars {
     pub k: Vec<Var>,
 }
 
+/// A fully assembled model plus the handles needed to warm-start it and to
+/// read the solution back out. Shared between the integral solve and the
+/// continuous relaxation.
+struct BuiltMilp {
+    model: Model,
+    groups: Vec<Option<GroupVars>>,
+    start: Vec<Var>,
+    time: LinExpr,
+    transition_energy: LinExpr,
+}
+
+impl BuiltMilp {
+    /// The `k` variables of the group owning `slot` (`None` = start mode).
+    fn kvars(&self, rep: Option<EdgeId>) -> &[Var] {
+        match rep {
+            Some(r) => {
+                &self.groups[r.index()]
+                    .as_ref()
+                    .expect("group created for every rep")
+                    .k
+            }
+            None => &self.start,
+        }
+    }
+}
+
 impl<'a> MilpFormulation<'a> {
     /// Starts a formulation with no filtering at edge granularity.
     #[must_use]
@@ -129,13 +155,10 @@ impl<'a> MilpFormulation<'a> {
         }
     }
 
-    /// Builds and solves the MILP.
-    ///
-    /// # Errors
-    ///
-    /// [`MilpError::Infeasible`] when no assignment meets the deadline, or
-    /// solver resource errors.
-    pub fn solve(&self) -> Result<MilpOutcome, MilpError> {
+    /// Assembles the §4.2 model: one binary group per representative edge
+    /// plus the start group, block costs attributed per incoming edge,
+    /// transition costs per local path, and the deadline row.
+    fn build_model(&self) -> BuiltMilp {
         let formulate_span = dvs_obs::span!("pass.formulate");
         let build_start = Instant::now();
         let n_modes = self.ladder.len();
@@ -250,8 +273,36 @@ impl<'a> MilpFormulation<'a> {
         model.set_objective(objective);
         model.add_le(time.clone(), self.deadline_us);
 
-        let binary_vars = model.num_int_vars();
-        let constraints = model.num_constraints();
+        if dvs_obs::enabled() {
+            dvs_obs::gauge("milp.num_vars", model.num_vars() as f64);
+            dvs_obs::gauge("milp.num_binary_vars", model.num_int_vars() as f64);
+            dvs_obs::gauge("milp.num_constraints", model.num_constraints() as f64);
+            dvs_obs::gauge(
+                "pass.formulate.wall_us",
+                build_start.elapsed().as_secs_f64() * 1e6,
+            );
+        }
+        drop(formulate_span);
+
+        BuiltMilp {
+            model,
+            groups,
+            start,
+            time,
+            transition_energy,
+        }
+    }
+
+    /// Builds and solves the MILP.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::Infeasible`] when no assignment meets the deadline, or
+    /// solver resource errors.
+    pub fn solve(&self) -> Result<MilpOutcome, MilpError> {
+        let built = self.build_model();
+        let binary_vars = built.model.num_int_vars();
+        let constraints = built.model.num_constraints();
 
         // Warm start: the slowest single mode that meets the deadline is
         // always feasible (all groups at that mode, zero transition vars)
@@ -261,24 +312,13 @@ impl<'a> MilpFormulation<'a> {
             .modes()
             .find(|m| self.profile.total_time_at(m.index()) <= self.deadline_us)
             .map(|m| {
-                let mut x = vec![0.0; model.num_vars()];
-                for g in groups.iter().flatten() {
+                let mut x = vec![0.0; built.model.num_vars()];
+                for g in built.groups.iter().flatten() {
                     x[g.k[m.index()].index()] = 1.0;
                 }
-                x[start[m.index()].index()] = 1.0;
+                x[built.start[m.index()].index()] = 1.0;
                 x
             });
-
-        if dvs_obs::enabled() {
-            dvs_obs::gauge("milp.num_vars", model.num_vars() as f64);
-            dvs_obs::gauge("milp.num_binary_vars", binary_vars as f64);
-            dvs_obs::gauge("milp.num_constraints", constraints as f64);
-            dvs_obs::gauge(
-                "pass.formulate.wall_us",
-                build_start.elapsed().as_secs_f64() * 1e6,
-            );
-        }
-        drop(formulate_span);
 
         let t0 = Instant::now();
         let sol = {
@@ -287,7 +327,7 @@ impl<'a> MilpFormulation<'a> {
                 jobs: self.solver_jobs,
                 ..BranchConfig::default()
             };
-            solve_seeded(&model, &config, warm.as_deref())?
+            solve_seeded(&built.model, &config, warm.as_deref())?
         };
         let solve_time = t0.elapsed();
         dvs_obs::gauge("pass.solve.wall_us", solve_time.as_secs_f64() * 1e6);
@@ -305,22 +345,48 @@ impl<'a> MilpFormulation<'a> {
             }
             ModeId(best)
         };
-        let edge_modes: Vec<ModeId> = self.cfg.edges().map(|e| pick(kvars(Some(e.id)))).collect();
+        let edge_modes: Vec<ModeId> = self
+            .cfg
+            .edges()
+            .map(|e| pick(built.kvars(Some(self.rep(e.id)))))
+            .collect();
         let schedule = EdgeSchedule {
-            initial: pick(&start),
+            initial: pick(&built.start),
             edge_modes,
         };
 
         Ok(MilpOutcome {
             schedule,
             predicted_energy_uj: sol.objective,
-            predicted_time_us: time.eval(&sol.values),
-            predicted_transition_energy_uj: transition_energy.eval(&sol.values),
+            predicted_time_us: built.time.eval(&sol.values),
+            predicted_transition_energy_uj: built.transition_energy.eval(&sol.values),
             solve_stats: sol.stats,
             solve_time,
             binary_vars,
             constraints,
         })
+    }
+
+    /// Solves the *continuous relaxation* of the same model — every mode
+    /// binary becomes a fractional weight in `[0, 1]` — and returns its
+    /// objective (µJ). The relaxation admits every integral assignment, so
+    /// its objective is a guaranteed lower bound on
+    /// [`MilpOutcome::predicted_energy_uj`]; the §3 continuous-setting
+    /// analysis bounds the discrete schedule the same way, and the
+    /// `dvs-check` `ContinuousLower` oracle asserts the dominance on every
+    /// generated case.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::Infeasible`] exactly when the integral model is
+    /// infeasible (the fractional and integral feasibility thresholds
+    /// coincide: both are "the all-fastest assignment meets the deadline").
+    pub fn relaxation_bound(&self) -> Result<f64, MilpError> {
+        let built = self.build_model();
+        let relaxed = built.model.relax();
+        let config = BranchConfig::default();
+        let sol = solve_seeded(&relaxed, &config, None)?;
+        Ok(sol.objective)
     }
 
     /// The filter in use (for reporting).

@@ -201,6 +201,87 @@ mod tests {
     }
 
     #[test]
+    fn relaxation_lower_bounds_the_integral_objective() {
+        let (cfg, profile) = setup();
+        let ladder = two_level_ladder();
+        let free = TransitionModel::free();
+        for deadline in [15.0, 20.0, 25.0, 30.0] {
+            let f = MilpFormulation::new(&cfg, &profile, &ladder, &free, deadline);
+            let integral = f.solve().expect("feasible").predicted_energy_uj;
+            let bound = f.relaxation_bound().expect("relaxation feasible");
+            assert!(
+                bound <= integral + 1e-6,
+                "D={deadline}: relaxation {bound} must lower-bound MILP {integral}"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxation_gap_is_strict_off_the_frontier() {
+        // One hot block, slow 10 µs / 1 µJ vs fast 5 µs / 10 µJ, deadline
+        // 7.5 µs: the integral model must run it fast (10 µJ) while the
+        // fractional mixture splits 50/50 (5.5 µJ) — a strict gap.
+        let mut bld = CfgBuilder::new("gap");
+        let e = bld.block("entry");
+        let a = bld.block("a");
+        let x = bld.block("exit");
+        bld.edge(e, a);
+        bld.edge(a, x);
+        let cfg = bld.finish(e, x).expect("valid");
+        let mut pb = ProfileBuilder::new(&cfg, 2);
+        assert!(pb.record_walk(&cfg, &[e, a, x]));
+        pb.set_block_cost(
+            a,
+            0,
+            BlockModeCost {
+                time_us: 10.0,
+                energy_uj: 1.0,
+            },
+        );
+        pb.set_block_cost(
+            a,
+            1,
+            BlockModeCost {
+                time_us: 5.0,
+                energy_uj: 10.0,
+            },
+        );
+        for blk in [e, x] {
+            for m in 0..2 {
+                pb.set_block_cost(
+                    blk,
+                    m,
+                    BlockModeCost {
+                        time_us: 0.0,
+                        energy_uj: 0.0,
+                    },
+                );
+            }
+        }
+        let profile = pb.finish();
+        let ladder = two_level_ladder();
+        let free = TransitionModel::free();
+        let f = MilpFormulation::new(&cfg, &profile, &ladder, &free, 7.5);
+        let integral = f.solve().expect("feasible").predicted_energy_uj;
+        assert!((integral - 10.0).abs() < 1e-6, "integral = {integral}");
+        let bound = f.relaxation_bound().expect("feasible");
+        assert!((bound - 5.5).abs() < 1e-6, "bound = {bound}");
+    }
+
+    #[test]
+    fn relaxation_matches_integral_infeasibility() {
+        let (cfg, profile) = setup();
+        let ladder = two_level_ladder();
+        let free = TransitionModel::free();
+        let f = MilpFormulation::new(&cfg, &profile, &ladder, &free, 10.0);
+        assert!(matches!(f.solve(), Err(dvs_milp::MilpError::Infeasible)));
+        assert!(matches!(
+            f.relaxation_bound(),
+            Err(dvs_milp::MilpError::Infeasible)
+        ));
+    }
+
+    #[test]
     fn infeasible_deadline_errors() {
         let (cfg, profile) = setup();
         let ladder = two_level_ladder();

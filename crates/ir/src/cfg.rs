@@ -356,6 +356,71 @@ impl Cfg {
         self.blocks.iter().map(BasicBlock::len).sum()
     }
 
+    /// Verifies that the graph is reducible: removing every back edge
+    /// (an edge whose destination dominates its source) must leave the
+    /// graph acyclic. Loop-aware passes (hoisting, the natural-loop
+    /// forest, the property-test generators) assume this.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Irreducible`] naming one retreating edge of the residual
+    /// cycle (the lowest-id such edge, so the report is deterministic).
+    pub fn check_reducible(&self) -> Result<(), IrError> {
+        let dom = crate::Dominators::compute(self);
+        // Kahn's algorithm on the forward (non-back) edges.
+        let forward: Vec<Edge> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| !dom.dominates(e.dst, e.src))
+            .collect();
+        let mut indegree = vec![0usize; self.blocks.len()];
+        for e in &forward {
+            indegree[e.dst.0] += 1;
+        }
+        let mut queue: Vec<BlockId> = (0..self.blocks.len())
+            .map(BlockId)
+            .filter(|b| indegree[b.0] == 0)
+            .collect();
+        let mut removed = 0usize;
+        while let Some(b) = queue.pop() {
+            removed += 1;
+            for e in &forward {
+                if e.src == b {
+                    indegree[e.dst.0] -= 1;
+                    if indegree[e.dst.0] == 0 {
+                        queue.push(e.dst);
+                    }
+                }
+            }
+        }
+        if removed == self.blocks.len() {
+            return Ok(());
+        }
+        // A cycle of non-back edges remains among the blocks with positive
+        // residual in-degree. Prune residual blocks that cannot be on a
+        // cycle (no residual successors) the same way, then report the
+        // lowest-id surviving edge.
+        let mut residual: Vec<bool> = indegree.iter().map(|&d| d > 0).collect();
+        loop {
+            let mut changed = false;
+            for b in 0..residual.len() {
+                if residual[b] && !forward.iter().any(|e| e.src.0 == b && residual[e.dst.0]) {
+                    residual[b] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let offending = forward
+            .iter()
+            .find(|e| residual[e.src.0] && residual[e.dst.0])
+            .expect("residual cycle has at least one internal edge");
+        Err(IrError::Irreducible(offending.src, offending.dst))
+    }
+
     /// Serializes the definitional data (blocks, edges, entry, exit) to a
     /// JSON value. Adjacency and lookup tables are *not* stored; they are
     /// rebuilt — and the graph invariants revalidated — by [`Cfg::from_json`].

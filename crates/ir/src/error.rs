@@ -23,6 +23,19 @@ pub enum IrError {
     Empty,
     /// Serialized form could not be parsed or is missing fields.
     Malformed(String),
+    /// A retreating edge whose target does not dominate its source: the
+    /// graph is not reducible, so natural-loop-based passes (hoisting, the
+    /// loop-aware generators) cannot reason about it.
+    Irreducible(BlockId, BlockId),
+    /// A profile records no executions of the entry block — every derived
+    /// count (and the MILP built on them) would be vacuous.
+    ZeroFrequencyEntry(BlockId),
+    /// A block's invocation count disagrees with the traversal counts of
+    /// its incident edges (flow conservation is violated).
+    InconsistentFlow(BlockId),
+    /// A dynamic walk handed to the profiler is not a valid entry-to-exit
+    /// path of the CFG.
+    InvalidWalk(String),
 }
 
 impl fmt::Display for IrError {
@@ -39,6 +52,16 @@ impl fmt::Display for IrError {
             IrError::ExitHasSuccessors(b) => write!(f, "exit block {b} has outgoing edges"),
             IrError::Empty => write!(f, "control-flow graph has no blocks"),
             IrError::Malformed(m) => write!(f, "malformed CFG serialization: {m}"),
+            IrError::Irreducible(src, dst) => {
+                write!(f, "irreducible control flow: retreating edge {src} -> {dst} whose target does not dominate its source")
+            }
+            IrError::ZeroFrequencyEntry(b) => {
+                write!(f, "profile records zero executions of entry block {b}")
+            }
+            IrError::InconsistentFlow(b) => {
+                write!(f, "profile violates flow conservation at block {b}")
+            }
+            IrError::InvalidWalk(m) => write!(f, "invalid dynamic walk: {m}"),
         }
     }
 }

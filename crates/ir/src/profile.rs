@@ -1,4 +1,4 @@
-use crate::{BlockId, Cfg, EdgeId, LocalPath};
+use crate::{BlockId, Cfg, EdgeId, IrError, LocalPath};
 use std::collections::BTreeMap;
 
 /// Per-invocation cost of one basic block under one DVS mode, measured by
@@ -109,6 +109,57 @@ impl Profile {
     #[must_use]
     pub fn block_total_energy(&self, block: BlockId, mode: usize) -> f64 {
         self.block_costs[block.0][mode].energy_uj * self.block_counts[block.0] as f64
+    }
+
+    /// Checks the profile's counting half against `cfg`: dimensions must
+    /// match, the entry must have executed at least once, and every block's
+    /// invocation count must conserve flow (equal the traversal counts of
+    /// its incoming edges, and of its outgoing edges for non-exit blocks).
+    ///
+    /// Profiles built by [`ProfileBuilder::record_walk`] satisfy this by
+    /// construction; hand-assembled or merged profiles may not, and feeding
+    /// an inconsistent profile to the MILP silently skews the objective —
+    /// hence a typed check instead of a debug assertion.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Malformed`] on dimension mismatch,
+    /// [`IrError::ZeroFrequencyEntry`] when the entry never executed, and
+    /// [`IrError::InconsistentFlow`] naming the first block (lowest id)
+    /// whose counts disagree.
+    pub fn validate(&self, cfg: &Cfg) -> Result<(), IrError> {
+        if self.block_counts.len() != cfg.num_blocks()
+            || self.block_costs.len() != cfg.num_blocks()
+            || self.edge_counts.len() != cfg.num_edges()
+        {
+            return Err(IrError::Malformed(format!(
+                "profile dimensions ({} blocks, {} edges) do not match CFG ({} blocks, {} edges)",
+                self.block_counts.len(),
+                self.edge_counts.len(),
+                cfg.num_blocks(),
+                cfg.num_edges()
+            )));
+        }
+        let runs = self.block_count(cfg.entry());
+        if runs == 0 {
+            return Err(IrError::ZeroFrequencyEntry(cfg.entry()));
+        }
+        for b in (0..cfg.num_blocks()).map(BlockId) {
+            let count = self.block_count(b);
+            if b != cfg.entry() {
+                let inflow: u64 = cfg.in_edges(b).map(|e| self.edge_count(e)).sum();
+                if inflow != count {
+                    return Err(IrError::InconsistentFlow(b));
+                }
+            }
+            if b != cfg.exit() {
+                let outflow: u64 = cfg.out_edges(b).map(|e| self.edge_count(e)).sum();
+                if outflow != count {
+                    return Err(IrError::InconsistentFlow(b));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Combines profiles of the *same program* on different inputs into a
@@ -239,16 +290,50 @@ impl ProfileBuilder {
     /// all counts.
     ///
     /// Returns `false` without recording anything if the sequence is not a
-    /// valid entry-to-exit path.
+    /// valid entry-to-exit path. See [`ProfileBuilder::try_record_walk`]
+    /// for the variant that reports *why* the walk was rejected.
     pub fn record_walk(&mut self, cfg: &Cfg, walk: &[BlockId]) -> bool {
-        if walk.first() != Some(&cfg.entry()) || walk.last() != Some(&cfg.exit()) {
-            return false;
+        self.try_record_walk(cfg, walk).is_ok()
+    }
+
+    /// Like [`ProfileBuilder::record_walk`], but reports the rejection
+    /// reason as a typed error instead of a bare `false`.
+    ///
+    /// # Errors
+    ///
+    /// * [`IrError::InvalidWalk`] — empty walk, walk not starting at the
+    ///   entry, or not ending at the exit;
+    /// * [`IrError::UnknownBlock`] — a step names a block outside the CFG;
+    /// * [`IrError::Malformed`] — consecutive blocks with no connecting
+    ///   edge (reported with both endpoints).
+    ///
+    /// Nothing is recorded when an error is returned.
+    pub fn try_record_walk(&mut self, cfg: &Cfg, walk: &[BlockId]) -> Result<(), IrError> {
+        if let Some(&b) = walk.iter().find(|b| b.0 >= cfg.num_blocks()) {
+            return Err(IrError::UnknownBlock(b));
+        }
+        if walk.first() != Some(&cfg.entry()) {
+            return Err(IrError::InvalidWalk(format!(
+                "walk must start at entry {}",
+                cfg.entry()
+            )));
+        }
+        if walk.last() != Some(&cfg.exit()) {
+            return Err(IrError::InvalidWalk(format!(
+                "walk must end at exit {}",
+                cfg.exit()
+            )));
         }
         let mut edges = Vec::with_capacity(walk.len().saturating_sub(1));
         for w in walk.windows(2) {
             match cfg.edge_between(w[0], w[1]) {
                 Some(e) => edges.push(e),
-                None => return false,
+                None => {
+                    return Err(IrError::Malformed(format!(
+                        "walk step {} -> {} follows no CFG edge",
+                        w[0], w[1]
+                    )))
+                }
             }
         }
         for &b in walk {
@@ -262,7 +347,7 @@ impl ProfileBuilder {
                 .path_counts
                 .entry(LocalPath::whole(cfg.entry()))
                 .or_insert(0) += 1;
-            return true;
+            return Ok(());
         }
         *self
             .path_counts
@@ -277,7 +362,7 @@ impl ProfileBuilder {
             .path_counts
             .entry(LocalPath::to_end(cfg, *edges.last().expect("non-empty")))
             .or_insert(0) += 1;
-        true
+        Ok(())
     }
 
     /// Finalizes the profile.

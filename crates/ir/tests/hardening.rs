@@ -1,0 +1,190 @@
+//! Rejection-path tests: every malformed input must produce a typed
+//! [`IrError`], never a panic.
+
+use dvs_ir::{BlockId, CfgBuilder, IrError, ProfileBuilder};
+
+fn diamond() -> dvs_ir::Cfg {
+    let mut b = CfgBuilder::new("diamond");
+    let e = b.block("entry");
+    let t = b.block("then");
+    let f = b.block("else");
+    let x = b.block("exit");
+    b.edge(e, t);
+    b.edge(e, f);
+    b.edge(t, x);
+    b.edge(f, x);
+    b.finish(e, x).unwrap()
+}
+
+#[test]
+fn edge_to_unknown_block_is_typed() {
+    let mut b = CfgBuilder::new("bad");
+    let e = b.block("entry");
+    let x = b.block("exit");
+    b.edge(e, x);
+    b.edge(e, BlockId(99));
+    assert_eq!(b.finish(e, x), Err(IrError::UnknownBlock(BlockId(99))));
+}
+
+#[test]
+fn edge_from_unknown_block_is_typed() {
+    let mut b = CfgBuilder::new("bad");
+    let e = b.block("entry");
+    let x = b.block("exit");
+    b.edge(e, x);
+    b.edge(BlockId(7), x);
+    assert_eq!(b.finish(e, x), Err(IrError::UnknownBlock(BlockId(7))));
+}
+
+#[test]
+fn reducible_graphs_pass_the_check() {
+    assert_eq!(diamond().check_reducible(), Ok(()));
+
+    // Nested natural loops are reducible.
+    let mut b = CfgBuilder::new("nest");
+    let e = b.block("entry");
+    let h1 = b.block("outer");
+    let h2 = b.block("inner");
+    let body = b.block("body");
+    let x = b.block("exit");
+    b.edge(e, h1);
+    b.edge(h1, h2);
+    b.edge(h2, body);
+    b.edge(body, h2);
+    b.edge(h2, h1);
+    b.edge(h1, x);
+    let g = b.finish(e, x).unwrap();
+    assert_eq!(g.check_reducible(), Ok(()));
+}
+
+#[test]
+fn irreducible_two_headed_loop_is_typed() {
+    // The classic irreducible shape: a cycle a <-> b entered at both ends,
+    // so neither block dominates the other and neither a->b nor b->a is a
+    // back edge.
+    let mut bld = CfgBuilder::new("irred");
+    let e = bld.block("entry");
+    let a = bld.block("a");
+    let b = bld.block("b");
+    let x = bld.block("exit");
+    bld.edge(e, a);
+    bld.edge(e, b);
+    bld.edge(a, b);
+    bld.edge(b, a);
+    bld.edge(a, x);
+    let g = bld.finish(e, x).unwrap();
+    match g.check_reducible() {
+        Err(IrError::Irreducible(s, d)) => {
+            assert!(
+                (s, d) == (a, b) || (s, d) == (b, a),
+                "offending edge must lie on the a<->b cycle, got {s} -> {d}"
+            );
+        }
+        other => panic!("expected Irreducible, got {other:?}"),
+    }
+    // The report is deterministic: repeated checks name the same edge.
+    assert_eq!(g.check_reducible(), g.check_reducible());
+}
+
+#[test]
+fn walk_not_starting_at_entry_is_typed() {
+    let g = diamond();
+    let t = g.block_by_label("then").unwrap();
+    let x = g.exit();
+    let mut pb = ProfileBuilder::new(&g, 1);
+    assert!(matches!(
+        pb.try_record_walk(&g, &[t, x]),
+        Err(IrError::InvalidWalk(_))
+    ));
+    // Nothing was recorded.
+    assert_eq!(pb.finish().block_count(t), 0);
+}
+
+#[test]
+fn walk_not_ending_at_exit_is_typed() {
+    let g = diamond();
+    let e = g.entry();
+    let t = g.block_by_label("then").unwrap();
+    let mut pb = ProfileBuilder::new(&g, 1);
+    assert!(matches!(
+        pb.try_record_walk(&g, &[e, t]),
+        Err(IrError::InvalidWalk(_))
+    ));
+}
+
+#[test]
+fn walk_with_missing_edge_is_typed() {
+    let g = diamond();
+    let e = g.entry();
+    let t = g.block_by_label("then").unwrap();
+    let f = g.block_by_label("else").unwrap();
+    let x = g.exit();
+    let mut pb = ProfileBuilder::new(&g, 1);
+    // then -> else is not an edge.
+    assert!(matches!(
+        pb.try_record_walk(&g, &[e, t, f, x]),
+        Err(IrError::Malformed(_))
+    ));
+}
+
+#[test]
+fn walk_through_unknown_block_is_typed() {
+    let g = diamond();
+    let e = g.entry();
+    let x = g.exit();
+    let mut pb = ProfileBuilder::new(&g, 1);
+    assert_eq!(
+        pb.try_record_walk(&g, &[e, BlockId(42), x]),
+        Err(IrError::UnknownBlock(BlockId(42)))
+    );
+}
+
+#[test]
+fn zero_frequency_entry_is_typed() {
+    let g = diamond();
+    let pb = ProfileBuilder::new(&g, 1);
+    let p = pb.finish();
+    assert_eq!(p.validate(&g), Err(IrError::ZeroFrequencyEntry(g.entry())));
+}
+
+#[test]
+fn inconsistent_flow_is_typed() {
+    let g = diamond();
+    let e = g.entry();
+    let t = g.block_by_label("then").unwrap();
+    let x = g.exit();
+    let mut pb = ProfileBuilder::new(&g, 1);
+    assert!(pb.record_walk(&g, &[e, t, x]));
+    // Forge an extra invocation of `then` without the matching edge
+    // traversals: flow conservation now fails there.
+    pb.add_block_count(t, 1);
+    let p = pb.finish();
+    assert_eq!(p.validate(&g), Err(IrError::InconsistentFlow(t)));
+}
+
+#[test]
+fn profile_dimension_mismatch_is_typed() {
+    let g = diamond();
+    let mut small = CfgBuilder::new("small");
+    let e = small.block("entry");
+    let x = small.block("exit");
+    small.edge(e, x);
+    let small = small.finish(e, x).unwrap();
+    let mut pb = ProfileBuilder::new(&small, 1);
+    assert!(pb.record_walk(&small, &[e, x]));
+    let p = pb.finish();
+    assert!(matches!(p.validate(&g), Err(IrError::Malformed(_))));
+}
+
+#[test]
+fn valid_profiles_validate() {
+    let g = diamond();
+    let e = g.entry();
+    let t = g.block_by_label("then").unwrap();
+    let f = g.block_by_label("else").unwrap();
+    let x = g.exit();
+    let mut pb = ProfileBuilder::new(&g, 2);
+    assert!(pb.record_walk(&g, &[e, t, x]));
+    assert!(pb.record_walk(&g, &[e, f, x]));
+    assert_eq!(pb.finish().validate(&g), Ok(()));
+}

@@ -173,6 +173,22 @@ impl Model {
         }
     }
 
+    /// The continuous (LP) relaxation of this model: every integer
+    /// variable becomes continuous over the same bounds and all SOS1
+    /// branching groups are dropped. Solving the relaxation yields a valid
+    /// lower bound on the MILP objective (for minimization) — the
+    /// differential-testing oracle uses this to cross-check the
+    /// branch-and-bound result.
+    #[must_use]
+    pub fn relax(&self) -> Model {
+        let mut relaxed = self.clone();
+        for v in &mut relaxed.vars {
+            v.kind = VarKind::Continuous;
+        }
+        relaxed.sos1_groups.clear();
+        relaxed
+    }
+
     /// Number of variables.
     #[must_use]
     pub fn num_vars(&self) -> usize {
@@ -309,6 +325,35 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.num_var("x", 0.0, 1.0);
         m.add_range(LinExpr::from(x), 2.0, 1.0);
+    }
+
+    #[test]
+    fn relaxation_lower_bounds_the_milp() {
+        // min x + y s.t. 4x + 3y >= 6 with binaries: integral optimum picks
+        // x = y = 1 (cost 2); the relaxation sits on the constraint at
+        // x = 1, y = 2/3 (cost 5/3).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bool_var("x");
+        let y = m.bool_var("y");
+        m.set_objective(x + y);
+        m.add_ge(4.0 * x + 3.0 * y, 6.0);
+        // An unrelated exactly-one pair exercises SOS1 clearing.
+        let u = m.bool_var("u");
+        let v = m.bool_var("v");
+        m.add_eq(u + v, 1.0);
+        m.add_sos1(vec![u, v]);
+        let integral = crate::solve(&m).unwrap();
+        assert!((integral.objective - 2.0).abs() < 1e-6);
+
+        let r = m.relax();
+        assert_eq!(r.num_int_vars(), 0);
+        assert_eq!(r.num_vars(), m.num_vars());
+        assert!(r.sos1_groups.is_empty());
+        let relaxed = crate::solve(&r).unwrap();
+        assert!((relaxed.objective - 5.0 / 3.0).abs() < 1e-6);
+        assert!(relaxed.objective <= integral.objective + 1e-9);
+        // Bounds survive the relaxation.
+        assert_eq!(r.bounds(x), (0.0, 1.0));
     }
 
     #[test]

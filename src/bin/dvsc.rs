@@ -6,18 +6,25 @@
 //!              [--emit listing.s] [--no-validate] [--metrics]
 //!              [--trace-out trace.json] [--jobs N]
 //! dvsc analyze --benchmark epic [--levels 7]
+//! dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J]
+//!            [--repro-out FILE]
 //! ```
 //!
 //! `compile` runs profile → filter → MILP → schedule on a built-in
 //! workload, re-simulates the schedule and prints predicted vs measured
 //! numbers. `analyze` prints the §3 analytical parameters and the
-//! savings bound per deadline. Invoking `dvsc` with flags but no
-//! subcommand implies `compile`.
+//! savings bound per deadline. `check` fuzzes the whole pipeline with
+//! seeded random programs and cross-checks the MILP against brute-force
+//! enumeration, analytical lower bounds and simulator replay, shrinking
+//! any failure to a minimal counterexample (exit 1 on disagreement;
+//! `--repro-out` saves the repro command lines). Invoking `dvsc` with
+//! flags but no subcommand implies `compile`.
 //!
 //! `--metrics` prints a pipeline metrics summary (counters, gauges,
 //! histograms) after the run; `--trace-out FILE` writes a Chrome
 //! trace-event JSON file loadable in `chrome://tracing` or Perfetto.
 
+use compile_time_dvs::check::{run_check, CheckConfig, Tolerances};
 use compile_time_dvs::compiler::{analyze_params, emit_instrumented, DeadlineScheme, DvsCompiler};
 use compile_time_dvs::model::DiscreteModel;
 use compile_time_dvs::obs;
@@ -36,6 +43,10 @@ struct Args {
     metrics: bool,
     trace_out: Option<String>,
     jobs: usize,
+    seeds: u64,
+    seed_base: u64,
+    max_blocks: usize,
+    repro_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -44,6 +55,8 @@ fn usage() -> ExitCode {
          [--levels N] [--capacitance µF] [--emit FILE] [--no-validate]\n  \
          \x20              [--metrics] [--trace-out FILE] [--jobs N]\n  \
          dvsc analyze --benchmark <name> [--levels N]\n  \
+         dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J] \
+         [--repro-out FILE]\n  \
          dvsc --version"
     );
     ExitCode::from(2)
@@ -69,6 +82,10 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         metrics: false,
         trace_out: None,
         jobs: 1,
+        seeds: 100,
+        seed_base: 42,
+        max_blocks: 6,
+        repro_out: None,
     };
     fn value<'a>(
         flag: &str,
@@ -100,6 +117,20 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--seeds" => {
+                args.seeds = number(flag, value(flag, &mut it)?)?;
+                if args.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--seed-base" => args.seed_base = number(flag, value(flag, &mut it)?)?,
+            "--max-blocks" => {
+                args.max_blocks = number(flag, value(flag, &mut it)?)?;
+                if args.max_blocks < 3 {
+                    return Err("--max-blocks must be at least 3 (entry, body, exit)".into());
+                }
+            }
+            "--repro-out" => args.repro_out = Some(value(flag, &mut it)?.clone()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -165,6 +196,7 @@ fn main() -> ExitCode {
         }
         "compile" => run_compile(&args),
         "analyze" => run_analyze(&args),
+        "check" => run_checker(&args),
         other => {
             eprintln!("error: unknown subcommand `{other}`");
             return usage();
@@ -285,6 +317,35 @@ fn run_compile(args: &Args) -> u8 {
         );
     }
     0
+}
+
+/// `dvsc check`: differential fuzzing of the compiler pipeline. The report
+/// is byte-identical for any `--jobs` value; exit code 1 signals at least
+/// one oracle disagreement.
+fn run_checker(args: &Args) -> u8 {
+    let config = CheckConfig {
+        seeds: args.seeds,
+        seed_base: args.seed_base,
+        max_blocks: args.max_blocks,
+        jobs: args.jobs,
+        ..CheckConfig::default()
+    };
+    let report = run_check(&config, &Tolerances::default());
+    print!("{}", report.render());
+    if let Some(path) = &args.repro_out {
+        let lines = report.repro_lines().join("\n");
+        if let Err(e) = std::fs::write(path, lines + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        if !report.ok() {
+            eprintln!(
+                "wrote {} repro line(s) to {path}",
+                report.repro_lines().len()
+            );
+        }
+    }
+    u8::from(!report.ok())
 }
 
 fn run_analyze(args: &Args) -> u8 {

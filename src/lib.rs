@@ -3,6 +3,7 @@
 //! Each subsystem is reachable as a module (`compiler`, `sim`, ...); the
 //! [`prelude`] flattens the handful of cross-crate types almost every user
 //! touches into one import.
+pub use dvs_check as check;
 pub use dvs_compiler as compiler;
 pub use dvs_ir as ir;
 pub use dvs_milp as milp;
@@ -28,6 +29,7 @@ pub use dvs_workloads as workloads;
 /// let _ = compiler.ladder();
 /// ```
 pub mod prelude {
+    pub use dvs_check::{run_check, CheckConfig, CheckReport, Tolerances};
     pub use dvs_compiler::{
         analyze_params, baseline, CompileResult, CompilerBuilder, DeadlineScheme, DvsCompiler,
         MilpFormulation, PassError,
