@@ -153,6 +153,65 @@ pub fn hoisting(ctx: &Context) -> Report {
     r
 }
 
+/// Static verification of every benchmark's emitted schedule at deadline
+/// D2: diagnostic counts, modeled time and the loop-collapsed WCET bound,
+/// with the deadline margin each bound leaves.
+#[must_use]
+pub fn verify(ctx: &Context) -> Report {
+    let mut r = Report::new(
+        "verify",
+        "dvs-verify static pass over the emitted schedules (deadline D2)",
+    );
+    r.note("modeled = profile-weighted time of the emitted schedule;");
+    r.note("wcet = longest path over the loop-collapsed DAG with profile trip bounds —");
+    r.note("conservative by construction, so wcet >= modeled always holds");
+    r.columns([
+        "benchmark",
+        "errors",
+        "warnings",
+        "infos",
+        "modeled (µs)",
+        "wcet (µs)",
+        "deadline (µs)",
+    ]);
+    for b in Benchmark::all() {
+        let (profile, _) = ctx.profile_of(b, 3);
+        let machine = ctx.machine.clone();
+        let bd = ctx.bench(b);
+        let transition =
+            TransitionModel::with_capacitance_uf(scaled_capacitance_uf(b, bd.scheme.t_slow_us));
+        let comp = DvsCompiler::builder(machine, ladder_of(3), transition)
+            .build()
+            .expect("experiment compiler settings are valid");
+        let deadline = bd.scheme.deadline_us(2);
+        match comp.compile(&bd.cfg, &profile, deadline) {
+            Ok(res) => {
+                let mask = res.analysis.emitted_mask();
+                let report = dvs_verify::verify(&dvs_verify::VerifyInput {
+                    cfg: &bd.cfg,
+                    profile: &profile,
+                    ladder: comp.ladder(),
+                    transition: &transition,
+                    schedule: &res.milp.schedule,
+                    emitted: Some(&mask),
+                    deadline_us: Some(deadline),
+                });
+                r.row([
+                    b.name().to_string(),
+                    report.count(dvs_verify::Severity::Error).to_string(),
+                    report.count(dvs_verify::Severity::Warning).to_string(),
+                    report.count(dvs_verify::Severity::Info).to_string(),
+                    format!("{:.1}", report.modeled_time_us),
+                    format!("{:.1}", report.wcet.bound_us),
+                    format!("{deadline:.1}"),
+                ]);
+            }
+            Err(_) => r.row([b.name().to_string(), "infeasible".to_string()]),
+        }
+    }
+    r
+}
+
 /// Lee–Sakurai interval hopping vs the MILP, at the lax deadline where
 /// hopping is most natural.
 #[must_use]

@@ -31,7 +31,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1",
     "table2", "fig14", "table3", "fig15", "table4", "fig17", "fig18", "table5", "fig19", "table6",
     "table7", "ablation", "paths", "gating", "hoisting", "hopping", "inputs", "simstats",
-    "prefetch",
+    "prefetch", "verify",
 ];
 
 /// Runs one experiment by id.
@@ -76,6 +76,7 @@ pub fn run_experiment(ctx: &Context, id: &str) -> Result<Report, String> {
         "inputs" => Ok(experiments::extensions::inputs(ctx)),
         "simstats" => Ok(experiments::extensions::stats(ctx)),
         "prefetch" => Ok(experiments::extensions::prefetch(ctx)),
+        "verify" => Ok(experiments::extensions::verify(ctx)),
         other => Err(format!("unknown experiment id `{other}`")),
     }
 }

@@ -7,6 +7,7 @@
 //! | [`OracleKind::BruteForce`] | on small cases the MILP optimum equals exhaustive enumeration of every mode assignment, and feasibility verdicts agree |
 //! | [`OracleKind::ContinuousLower`] | the LP relaxation lower-bounds the integral objective, and the §3 continuous analytical bound dominates the discrete one for compute-bound programs |
 //! | [`OracleKind::SimReplay`] | the emitted schedule, replayed cycle-by-cycle in the simulator, meets the deadline and lands near the predicted energy |
+//! | [`OracleKind::StaticVerify`] | the `dvs-verify` static pass accepts every schedule the other oracles accept (no error diagnostics, modeled time matching the shared evaluator, WCET above modeled time) and rejects a deliberately infeasible mutant |
 //!
 //! The brute-force comparison and the MILP share one cost evaluator,
 //! [`schedule_cost`], which replicates the §4.2 objective exactly: block
@@ -75,6 +76,8 @@ pub enum OracleKind {
     ContinuousLower,
     /// Schedule replay on the cycle-level simulator.
     SimReplay,
+    /// The `dvs-verify` static pass vs the shared cost evaluator.
+    StaticVerify,
 }
 
 impl std::fmt::Display for OracleKind {
@@ -84,6 +87,7 @@ impl std::fmt::Display for OracleKind {
             OracleKind::BruteForce => "brute-force",
             OracleKind::ContinuousLower => "continuous-lower",
             OracleKind::SimReplay => "sim-replay",
+            OracleKind::StaticVerify => "static-verify",
         })
     }
 }
@@ -512,6 +516,111 @@ fn check_oracles(case: &CheckCase, tol: &Tolerances, out: &mut CaseOutcome) {
                     o.predicted_energy_uj
                 ),
             });
+        }
+    }
+
+    // --- static verification vs the shared evaluator ---
+    if let Some(o) = &milp {
+        let verify_with = |emitted: Option<&[bool]>| {
+            dvs_verify::verify(&dvs_verify::VerifyInput {
+                cfg,
+                profile: &profile,
+                ladder,
+                transition,
+                schedule: &o.schedule,
+                emitted,
+                deadline_us: Some(deadline_us),
+            })
+        };
+        let (_, t_re) = schedule_cost(
+            cfg,
+            &profile,
+            ladder,
+            transition,
+            o.schedule.initial,
+            &o.schedule.edge_modes,
+        );
+        // Naive emission (every mode-set present) and hoisted emission
+        // (silent sets elided) must both be accepted: the hoisting analysis
+        // only removes sets the executed-path dataflow can prove redundant.
+        let analysis = dvs_compiler::ScheduleAnalysis::new(cfg, &profile, &o.schedule);
+        let mask = analysis.emitted_mask();
+        for (label, report) in [
+            ("naive", verify_with(None)),
+            ("hoisted", verify_with(Some(&mask))),
+        ] {
+            for d in report.errors() {
+                // A deadline error is only a lie if the shared evaluator
+                // says the schedule is feasible; razor-edge cases where
+                // both sit within float noise of the deadline are skipped.
+                if d.code == dvs_verify::DiagCode::DeadlineModeled && t_re > deadline_us {
+                    continue;
+                }
+                out.disagreements.push(Disagreement {
+                    oracle: OracleKind::StaticVerify,
+                    detail: format!(
+                        "verifier rejects the accepted {label} schedule: {}",
+                        d.render()
+                    ),
+                });
+            }
+            // The verifier's modeled time implements the same §4.2 sum as
+            // schedule_cost; on a fully determined schedule they must agree.
+            let slack = 1e-6 * t_re.abs().max(1.0);
+            if (report.modeled_time_us - t_re).abs() > slack {
+                out.disagreements.push(Disagreement {
+                    oracle: OracleKind::StaticVerify,
+                    detail: format!(
+                        "{label} modeled time {:.9} µs vs shared evaluator {t_re:.9} µs",
+                        report.modeled_time_us
+                    ),
+                });
+            }
+            // WCET is a worst case over all paths: it can never undercut
+            // the profiled execution it also bounds.
+            if report.wcet.bound_us < report.modeled_time_us - slack {
+                out.disagreements.push(Disagreement {
+                    oracle: OracleKind::StaticVerify,
+                    detail: format!(
+                        "{label} WCET bound {:.9} µs below modeled time {:.9} µs",
+                        report.wcet.bound_us, report.modeled_time_us
+                    ),
+                });
+            }
+        }
+
+        // Mutant: the all-slow schedule, when it clearly misses the
+        // deadline, must draw an error-severity diagnostic. This is the
+        // cheap per-case half of the rejection contract (the ≥100-mutant
+        // sweep lives in the integration tests).
+        let slow = dvs_sim::EdgeSchedule::uniform(cfg, ModeId(0));
+        let (_, t_slow_re) = schedule_cost(
+            cfg,
+            &profile,
+            ladder,
+            transition,
+            slow.initial,
+            &slow.edge_modes,
+        );
+        if t_slow_re > deadline_us * (1.0 + 1e-6) + 1e-3 {
+            let report = dvs_verify::verify(&dvs_verify::VerifyInput {
+                cfg,
+                profile: &profile,
+                ladder,
+                transition,
+                schedule: &slow,
+                emitted: None,
+                deadline_us: Some(deadline_us),
+            });
+            if report.ok() {
+                out.disagreements.push(Disagreement {
+                    oracle: OracleKind::StaticVerify,
+                    detail: format!(
+                        "verifier accepted an all-slow mutant taking {t_slow_re:.6} µs \
+                         against deadline {deadline_us:.6} µs"
+                    ),
+                });
+            }
         }
     }
 }

@@ -301,3 +301,133 @@ mod critical_edge_tests {
         assert!(listing.contains("critical edge"));
     }
 }
+
+#[cfg(test)]
+mod loop_edge_tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, ProfileBuilder};
+    use dvs_vf::{AlphaPower, ModeId};
+
+    fn costs(pb: &mut ProfileBuilder, blocks: &[dvs_ir::BlockId], modes: usize) {
+        for &blk in blocks {
+            for m in 0..modes {
+                pb.set_block_cost(
+                    blk,
+                    m,
+                    BlockModeCost {
+                        time_us: 1.0,
+                        energy_uj: 1.0,
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_back_edge_mode_set_is_placed_on_the_latch() {
+        // entry -> head -> body -> head, head -> exit. Body runs fast
+        // (mode-set on head->body), the back edge restores slow — a
+        // genuinely live back-edge set: the listing must carry it under
+        // the latch block, not elide it.
+        let mut bld = CfgBuilder::new("live-back");
+        let e = bld.block("entry");
+        let h = bld.block("head");
+        let body = bld.block("body");
+        let x = bld.block("exit");
+        bld.edge(e, h);
+        bld.edge(h, body);
+        bld.edge(body, h);
+        bld.edge(h, x);
+        let cfg = bld.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 3);
+        let mut walk = vec![e];
+        for _ in 0..4 {
+            walk.push(h);
+            walk.push(body);
+        }
+        walk.push(h);
+        walk.push(x);
+        assert!(pb.record_walk(&cfg, &walk));
+        costs(&mut pb, &[e, h, body, x], 3);
+        let profile = pb.finish();
+
+        let mut schedule = dvs_sim::EdgeSchedule::uniform(&cfg, ModeId(0));
+        schedule.edge_modes[cfg.edge_between(h, body).unwrap().index()] = ModeId(2);
+        let analysis = ScheduleAnalysis::new(&cfg, &profile, &schedule);
+        let back = cfg.edge_between(body, h).unwrap();
+        assert!(
+            !analysis.is_silent(back),
+            "back edge switches m2 -> m0 every iteration"
+        );
+        let ladder = dvs_vf::VoltageLadder::xscale3(&AlphaPower::paper());
+        let (listing, stats) = emit_instrumented(&cfg, &ladder, &schedule, &analysis);
+        // The latch block section must emit the restore to 200 MHz (mode
+        // 0) on its edge back to the head.
+        let body_section = listing
+            .split("\nbody:")
+            .nth(1)
+            .expect("body section present");
+        let body_section = body_section.split("\n\n").next().unwrap();
+        assert!(
+            body_section.contains("-> head: set_mode 200 MHz"),
+            "live back-edge set placed in the latch:\n{body_section}"
+        );
+        // initial + head->body + body->head are live; entry->head and
+        // head->exit stay at the initial mode and elide.
+        assert_eq!(stats.naive_mode_sets, 5);
+        assert_eq!(stats.emitted_mode_sets, 3);
+    }
+
+    #[test]
+    fn self_loop_mode_set_placement_follows_silence() {
+        // A self-loop body: entry -> loop, loop -> loop, loop -> exit.
+        // With the self-loop edge at the same mode as loop entry, its set
+        // is silent and elided; retargeting the self-loop to a different
+        // mode makes it live — and critical (loop has 2 succs and 2
+        // preds), so the listing flags the needed split block.
+        let mut bld = CfgBuilder::new("self");
+        let e = bld.block("entry");
+        let l = bld.block("loop");
+        let x = bld.block("exit");
+        bld.edge(e, l);
+        bld.edge(l, l);
+        bld.edge(l, x);
+        let cfg = bld.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 3);
+        assert!(pb.record_walk(&cfg, &[e, l, l, l, l, x]));
+        costs(&mut pb, &[e, l, x], 3);
+        let profile = pb.finish();
+        let ladder = dvs_vf::VoltageLadder::xscale3(&AlphaPower::paper());
+        let self_edge = cfg.edge_between(l, l).unwrap();
+
+        // Same mode around the loop: the self-loop set is silent.
+        let quiet = dvs_sim::EdgeSchedule::uniform(&cfg, ModeId(1));
+        let analysis = ScheduleAnalysis::new(&cfg, &profile, &quiet);
+        assert!(analysis.is_silent(self_edge));
+        let (listing, stats) = emit_instrumented(&cfg, &ladder, &quiet, &analysis);
+        assert!(
+            listing.contains("; -> loop (mode-set elided: always silent)"),
+            "silent self-loop is elided:\n{listing}"
+        );
+        assert_eq!(stats.emitted_mode_sets, 1, "only the initial set");
+        assert_eq!(stats.critical_edge_sets, 0);
+
+        // Self-loop at a different mode: fires every iteration after the
+        // first, must be emitted, and sits on a critical edge.
+        let mut churn = dvs_sim::EdgeSchedule::uniform(&cfg, ModeId(1));
+        churn.edge_modes[self_edge.index()] = ModeId(2);
+        let analysis = ScheduleAnalysis::new(&cfg, &profile, &churn);
+        assert!(!analysis.is_silent(self_edge));
+        let (listing, stats) = emit_instrumented(&cfg, &ladder, &churn, &analysis);
+        let self_line = listing
+            .lines()
+            .find(|l| l.contains("-> loop: set_mode 800 MHz"))
+            .unwrap_or_else(|| panic!("live self-loop set is emitted:\n{listing}"));
+        assert!(
+            self_line.contains("critical edge: needs a split block"),
+            "self-loop edge needs a split block: {self_line}"
+        );
+        assert!(stats.emitted_mode_sets >= 2);
+        assert_eq!(stats.critical_edge_sets, 1);
+    }
+}

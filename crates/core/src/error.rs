@@ -26,6 +26,9 @@ pub enum PassError {
     Solve(MilpError),
     /// Post-solve validation could not run (e.g. schedule/ladder mismatch).
     Validate(String),
+    /// The post-emit static verifier rejected the schedule (only reachable
+    /// with `CompilerBuilder::verify_emitted(true)`).
+    Verify(String),
 }
 
 impl PassError {
@@ -45,6 +48,7 @@ impl fmt::Display for PassError {
             PassError::Formulate(msg) => write!(f, "formulate stage: {msg}"),
             PassError::Solve(e) => write!(f, "solve stage: {e}"),
             PassError::Validate(msg) => write!(f, "validate stage: {msg}"),
+            PassError::Verify(msg) => write!(f, "verify stage: {msg}"),
         }
     }
 }
@@ -77,6 +81,10 @@ mod tests {
         assert!(PassError::from(MilpError::Infeasible)
             .to_string()
             .starts_with("solve stage:"));
+        assert_eq!(
+            PassError::Verify("2 errors".into()).to_string(),
+            "verify stage: 2 errors"
+        );
     }
 
     #[test]

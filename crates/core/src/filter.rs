@@ -15,6 +15,11 @@ pub struct EdgeFilter {
     /// `rep[e]` is the representative edge whose mode variable edge `e`
     /// shares. Unfiltered edges are their own representative.
     rep: Vec<EdgeId>,
+    /// `tie[e]` is the edge `e` was *immediately* tied to by the tail
+    /// rule, before chains were resolved to fixed points — the provenance
+    /// diagnostics need to point at original edges. `None` for edges that
+    /// kept their own variable.
+    tie: Vec<Option<EdgeId>>,
     /// Number of edges that kept their own variable.
     independent: usize,
 }
@@ -25,6 +30,7 @@ impl EdgeFilter {
     pub fn identity(cfg: &Cfg) -> Self {
         EdgeFilter {
             rep: cfg.edges().map(|e| e.id).collect(),
+            tie: vec![None; cfg.num_edges()],
             independent: cfg.num_edges(),
         }
     }
@@ -59,6 +65,7 @@ impl EdgeFilter {
         // source block i. Edges from the CFG entry have no incoming edge
         // and stay independent.
         let mut rep: Vec<EdgeId> = cfg.edges().map(|e| e.id).collect();
+        let mut tie: Vec<Option<EdgeId>> = vec![None; cfg.num_edges()];
         for e in cfg.edges() {
             if !filtered[e.id.index()] {
                 continue;
@@ -66,6 +73,7 @@ impl EdgeFilter {
             let hottest = cfg.in_edges(e.src).max_by_key(|&ie| profile.edge_count(ie));
             if let Some(h) = hottest {
                 rep[e.id.index()] = h;
+                tie[e.id.index()] = Some(h);
             }
         }
         // Resolve chains (a filtered edge tied to another filtered edge),
@@ -87,13 +95,34 @@ impl EdgeFilter {
             dvs_obs::counter("filter.edges_tied", (n - independent) as u64);
             dvs_obs::gauge("filter.independent_edges", independent as f64);
         }
-        EdgeFilter { rep, independent }
+        EdgeFilter {
+            rep,
+            tie,
+            independent,
+        }
     }
 
     /// The representative edge carrying `e`'s mode variable.
     #[must_use]
     pub fn rep(&self, e: EdgeId) -> EdgeId {
         self.rep[e.index()]
+    }
+
+    /// The edge `e` was *directly* tied to by the tail rule, before chain
+    /// resolution — `rep(e)` may sit several hops away, but diagnostics
+    /// about `e` should name this immediate dominant predecessor.
+    /// `None` when `e` kept its own variable.
+    #[must_use]
+    pub fn tie_source(&self, e: EdgeId) -> Option<EdgeId> {
+        self.tie[e.index()]
+    }
+
+    /// All `(filtered edge, immediate tie)` pairs, in edge-id order.
+    pub fn ties(&self) -> impl Iterator<Item = (EdgeId, EdgeId)> + '_ {
+        self.tie
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|h| (EdgeId(i), h)))
     }
 
     /// Whether `e` kept its own variable.
@@ -179,6 +208,59 @@ mod tests {
         assert!(!f.is_independent(cold_x));
         assert_eq!(f.rep(cold_x), e_cold);
         assert_eq!(f.num_independent(), cfg.num_edges() - 1);
+        // Provenance: the immediate tie is recorded and enumerable.
+        assert_eq!(f.tie_source(cold_x), Some(e_cold));
+        assert_eq!(f.tie_source(e_cold), None);
+        assert_eq!(f.ties().collect::<Vec<_>>(), vec![(cold_x, e_cold)]);
+    }
+
+    #[test]
+    fn tie_provenance_survives_chain_resolution() {
+        // A three-hop chain entry -> a -> b -> c -> exit where the last
+        // two edges are filtered: c->exit ties immediately to b->c, which
+        // itself ties to a->b. After chain resolution rep(c->exit) jumps
+        // to a->b, but tie_source must still name b->c.
+        let mut builder = CfgBuilder::new("chain");
+        let e = builder.block("entry");
+        let a = builder.block("a");
+        let bb = builder.block("b");
+        let c = builder.block("c");
+        let x = builder.block("exit");
+        builder.edge(e, a);
+        builder.edge(a, bb);
+        builder.edge(bb, c);
+        builder.edge(c, x);
+        let cfg = builder.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 1);
+        pb.record_walk(&cfg, &[e, a, bb, c, x]);
+        // Give the tail blocks tiny energies so the last two edges fall
+        // in the cumulative tail.
+        for (blk, uj) in [(e, 100.0), (a, 100.0), (bb, 100.0), (c, 0.1), (x, 0.1)] {
+            pb.set_block_cost(
+                blk,
+                0,
+                BlockModeCost {
+                    time_us: 1.0,
+                    energy_uj: uj,
+                },
+            );
+        }
+        let p = pb.finish();
+        let f = EdgeFilter::tail_rule(&cfg, &p, 0, 0.01);
+        let b_c = cfg.edge_between(bb, c).unwrap();
+        let c_x = cfg.edge_between(c, x).unwrap();
+        let a_b = cfg.edge_between(a, bb).unwrap();
+        assert!(!f.is_independent(b_c));
+        assert!(!f.is_independent(c_x));
+        // Fixed-point representative vs immediate provenance.
+        assert_eq!(f.rep(c_x), a_b);
+        assert_eq!(f.tie_source(c_x), Some(b_c));
+        assert_eq!(f.tie_source(b_c), Some(a_b));
+        // Every tie source is a real CFG edge into the filtered edge's
+        // source block.
+        for (edge, tied_to) in f.ties() {
+            assert_eq!(cfg.edge(tied_to).dst, cfg.edge(edge).src);
+        }
     }
 
     #[test]

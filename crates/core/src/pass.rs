@@ -31,6 +31,12 @@ pub struct CompileResult {
     /// Simulator validation of the schedule (measured, not predicted), when
     /// requested.
     pub validated: Option<ScheduledRun>,
+    /// The edge filter the MILP was solved with, including tie provenance
+    /// so downstream diagnostics can name original edges.
+    pub filter: EdgeFilter,
+    /// Static verification of the emitted schedule, when requested via
+    /// [`CompilerBuilder::verify_emitted`].
+    pub verify: Option<dvs_verify::VerifyReport>,
 }
 
 impl CompileResult {
@@ -75,6 +81,7 @@ pub struct CompilerBuilder {
     tail_fraction: f64,
     hoisting: bool,
     validation: bool,
+    verify_emitted: bool,
     jobs: usize,
     solver_jobs: usize,
 }
@@ -91,6 +98,7 @@ impl CompilerBuilder {
             tail_fraction: 0.02,
             hoisting: true,
             validation: true,
+            verify_emitted: false,
             jobs: 1,
             solver_jobs: 1,
         }
@@ -119,6 +127,17 @@ impl CompilerBuilder {
     #[must_use]
     pub fn validation(mut self, on: bool) -> Self {
         self.validation = on;
+        self
+    }
+
+    /// Enables the post-emit static verification gate: after scheduling
+    /// and hoisting, every compile runs the `dvs-verify` pass over the
+    /// emitted schedule (mode confluence, deadline, lints) and fails with
+    /// [`PassError::Verify`] if any error-severity diagnostic fires. The
+    /// report is stored in [`CompileResult::verify`] either way.
+    #[must_use]
+    pub fn verify_emitted(mut self, on: bool) -> Self {
+        self.verify_emitted = on;
         self
     }
 
@@ -165,6 +184,7 @@ impl CompilerBuilder {
             tail_fraction: self.tail_fraction,
             hoisting: self.hoisting,
             validation: self.validation,
+            verify_emitted: self.verify_emitted,
             jobs: self.jobs.max(1),
             solver_jobs: self.solver_jobs.max(1),
         })
@@ -185,6 +205,7 @@ pub struct DvsCompiler {
     tail_fraction: f64,
     hoisting: bool,
     validation: bool,
+    verify_emitted: bool,
     jobs: usize,
     solver_jobs: usize,
 }
@@ -309,7 +330,7 @@ impl DvsCompiler {
             }
         });
         let milp = MilpFormulation::new(cfg, profile, &self.ladder, &self.transition, deadline_us)
-            .with_filter(filter)
+            .with_filter(filter.clone())
             .with_solver_jobs(solver_jobs)
             .solve()?;
         let analysis = timed("pass.schedule", "pass.schedule.wall_us", || {
@@ -320,12 +341,42 @@ impl DvsCompiler {
                 a.without_hoisting()
             }
         });
+        let verify = if self.verify_emitted {
+            let report = timed("pass.verify", "pass.verify.wall_us", || {
+                let emitted = analysis.emitted_mask();
+                dvs_verify::verify(&dvs_verify::VerifyInput {
+                    cfg,
+                    profile,
+                    ladder: &self.ladder,
+                    transition: &self.transition,
+                    schedule: &milp.schedule,
+                    emitted: Some(&emitted),
+                    deadline_us: Some(deadline_us),
+                })
+            });
+            if !report.ok() {
+                let first = report
+                    .errors()
+                    .next()
+                    .map(dvs_verify::Diagnostic::render)
+                    .unwrap_or_default();
+                return Err(PassError::Verify(format!(
+                    "{} error(s) in emitted schedule; first: {first}",
+                    report.count(dvs_verify::Severity::Error)
+                )));
+            }
+            Some(report)
+        } else {
+            None
+        };
         let single_mode = baseline::best_single_mode(profile, &self.ladder, deadline_us);
         Ok(CompileResult {
             milp,
             analysis,
             single_mode,
             validated: None,
+            filter,
+            verify,
         })
     }
 
@@ -677,6 +728,45 @@ mod tests {
             r_on.analysis.predicted_dynamic_transitions(),
             r_off.analysis.predicted_dynamic_transitions()
         );
+    }
+
+    #[test]
+    fn verify_gate_accepts_emitted_schedules_and_stores_the_report() {
+        let (cfg, trace) = two_phase_program();
+        let c = DvsCompiler::builder(
+            Machine::paper_default(),
+            VoltageLadder::xscale3(&AlphaPower::paper()),
+            TransitionModel::with_capacitance_uf(10.0),
+        )
+        .verify_emitted(true)
+        .build()
+        .unwrap();
+        let (profile, runs) = c.profile(&cfg, &trace);
+        let t_fast = runs.last().unwrap().total_time_us;
+        let t_slow = runs[0].total_time_us;
+        let deadline = t_fast + 0.5 * (t_slow - t_fast);
+        let r = c.compile(&cfg, &profile, deadline).unwrap();
+        let report = r.verify.as_ref().expect("verify requested");
+        assert!(
+            report.ok(),
+            "emitted schedule must verify:\n{}",
+            report.render()
+        );
+        // The verifier's modeled time agrees with the MILP's prediction
+        // under the same profile (both sum executed edges + transitions).
+        assert!(
+            (report.modeled_time_us - r.milp.predicted_time_us).abs()
+                <= 1e-6 * r.milp.predicted_time_us.max(1.0),
+            "modeled {} vs predicted {}",
+            report.modeled_time_us,
+            r.milp.predicted_time_us
+        );
+        // Without the flag, no report is produced.
+        let off = compiler();
+        let r_off = off.compile(&cfg, &profile, deadline).unwrap();
+        assert!(r_off.verify.is_none());
+        // Tie provenance rides along for downstream diagnostics.
+        assert_eq!(r.filter.num_edges(), cfg.num_edges());
     }
 
     #[test]

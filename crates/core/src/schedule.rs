@@ -86,6 +86,14 @@ impl ScheduleAnalysis {
         self.silent.len() - self.num_silent()
     }
 
+    /// Per-edge emission mask: `true` where the mode-set instruction is
+    /// actually emitted (i.e. not elided as silent). This is the shape the
+    /// static verifier consumes.
+    #[must_use]
+    pub fn emitted_mask(&self) -> Vec<bool> {
+        self.silent.iter().map(|&s| !s).collect()
+    }
+
     /// Dynamic mode transitions predicted from the profile (should match
     /// the simulator's measured count when the profile input is replayed).
     #[must_use]

@@ -85,6 +85,124 @@ impl Dominators {
     }
 }
 
+/// Postdominator tree of a [`Cfg`] — the dominator tree of the reversed
+/// graph rooted at the exit.
+///
+/// Block `a` *postdominates* `b` if every path from `b` to the exit passes
+/// through `a`. The verifier's loop-churn lint uses postdominance to tell
+/// mandatory switches (on the spine every iteration must cross) from
+/// conditional ones.
+///
+/// Well-defined on every validated [`Cfg`] because construction guarantees
+/// every block reaches the exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostDominators {
+    /// `ipdom[b]` is the immediate postdominator of block `b`; the exit is
+    /// its own immediate postdominator.
+    ipdom: Vec<BlockId>,
+    exit: BlockId,
+}
+
+impl PostDominators {
+    /// Computes the postdominator tree for `cfg` by running the same
+    /// Cooper–Harvey–Kennedy iteration as [`Dominators::compute`] on the
+    /// reversed graph: root = exit, predecessors = successors, order =
+    /// reverse post-order of the reversed DFS.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Self {
+        let rpo = reverse_post_order_backward(cfg);
+        let n = cfg.num_blocks();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = i;
+        }
+        let exit = cfg.exit();
+        let mut ipdom: Vec<Option<BlockId>> = vec![None; n];
+        ipdom[exit.0] = Some(exit);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // Predecessors in the reversed graph are the successors.
+                let mut new_ipdom: Option<BlockId> = None;
+                for p in cfg.successors(b) {
+                    if ipdom[p.0].is_some() {
+                        new_ipdom = Some(match new_ipdom {
+                            None => p,
+                            Some(cur) => intersect(&ipdom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                let new_ipdom = new_ipdom.expect("every block reaches the exit");
+                if ipdom[b.0] != Some(new_ipdom) {
+                    ipdom[b.0] = Some(new_ipdom);
+                    changed = true;
+                }
+            }
+        }
+        PostDominators {
+            ipdom: ipdom
+                .into_iter()
+                .map(|d| d.expect("all blocks reach the exit in a validated CFG"))
+                .collect(),
+            exit,
+        }
+    }
+
+    /// Immediate postdominator of `b` (the exit returns itself).
+    #[must_use]
+    pub fn ipdom(&self, b: BlockId) -> BlockId {
+        self.ipdom[b.0]
+    }
+
+    /// Whether `a` postdominates `b` (reflexive).
+    #[must_use]
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.exit {
+                return false;
+            }
+            cur = self.ipdom[cur.0];
+        }
+    }
+
+    /// Whether `a` strictly postdominates `b`.
+    #[must_use]
+    pub fn strictly_postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.postdominates(a, b)
+    }
+}
+
+/// Reverse post-order of a DFS over the *reversed* graph, starting at the
+/// exit — the canonical iteration order for backward dataflow.
+fn reverse_post_order_backward(cfg: &Cfg) -> Vec<BlockId> {
+    let mut state = vec![0u8; cfg.num_blocks()]; // 0=unseen 1=open 2=done
+    let mut post = Vec::with_capacity(cfg.num_blocks());
+    let mut stack: Vec<(BlockId, usize)> = vec![(cfg.exit(), 0)];
+    state[cfg.exit().0] = 1;
+    while let Some(&mut (b, ref mut ix)) = stack.last_mut() {
+        let preds: Vec<BlockId> = cfg.predecessors(b).collect();
+        if *ix < preds.len() {
+            let nxt = preds[*ix];
+            *ix += 1;
+            if state[nxt.0] == 0 {
+                state[nxt.0] = 1;
+                stack.push((nxt, 0));
+            }
+        } else {
+            state[b.0] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
 fn intersect(
     idom: &[Option<BlockId>],
     rpo_index: &[usize],
@@ -171,6 +289,111 @@ mod tests {
         assert!(dom.dominates(h1, body));
         assert!(!dom.dominates(h2, x));
         assert_eq!(dom.idom(x), h1);
+    }
+
+    /// The Fig. 5-style shape used throughout the paper's examples: a
+    /// counted loop whose body branches (if/else) before the latch.
+    fn fig5_cfg() -> (Cfg, Vec<BlockId>) {
+        let mut b = CfgBuilder::new("fig5");
+        let entry = b.block("entry");
+        let head = b.block("head");
+        let then_ = b.block("then");
+        let else_ = b.block("else");
+        let latch = b.block("latch");
+        let exit = b.block("exit");
+        b.edge(entry, head);
+        b.edge(head, then_);
+        b.edge(head, else_);
+        b.edge(then_, latch);
+        b.edge(else_, latch);
+        b.edge(latch, head); // back edge
+        b.edge(head, exit);
+        let g = b.finish(entry, exit).unwrap();
+        (g, vec![entry, head, then_, else_, latch, exit])
+    }
+
+    #[test]
+    fn fig5_postdominators() {
+        let (g, ids) = fig5_cfg();
+        let (entry, head, then_, else_, latch, exit) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let pdom = PostDominators::compute(&g);
+        // The loop head is the only way out: it postdominates everything.
+        for &b in &ids {
+            assert!(pdom.postdominates(exit, b), "exit postdominates all");
+        }
+        assert!(pdom.postdominates(head, entry));
+        assert!(pdom.postdominates(head, then_));
+        assert!(pdom.postdominates(head, else_));
+        assert!(pdom.postdominates(head, latch));
+        // The branch arms postdominate nothing but themselves.
+        assert!(!pdom.postdominates(then_, head));
+        assert!(!pdom.postdominates(else_, head));
+        // The latch is the join of both arms.
+        assert_eq!(pdom.ipdom(then_), latch);
+        assert_eq!(pdom.ipdom(else_), latch);
+        assert_eq!(pdom.ipdom(latch), head);
+        assert_eq!(pdom.ipdom(head), exit);
+        assert_eq!(pdom.ipdom(exit), exit);
+        assert!(pdom.strictly_postdominates(latch, then_));
+        assert!(!pdom.strictly_postdominates(latch, latch));
+    }
+
+    #[test]
+    fn fig5_dominator_postdominator_duality() {
+        let (g, ids) = fig5_cfg();
+        let dom = Dominators::compute(&g);
+        let pdom = PostDominators::compute(&g);
+        // head dominates the body and postdominates it too (single
+        // entry/exit of the loop).
+        let head = ids[1];
+        for &b in &[ids[2], ids[3], ids[4]] {
+            assert!(dom.dominates(head, b));
+            assert!(pdom.postdominates(head, b));
+        }
+        // entry dominates everything; nothing but entry/exit chains
+        // postdominate the entry besides head and exit.
+        for &b in &ids {
+            assert!(dom.dominates(ids[0], b));
+        }
+        assert!(!pdom.postdominates(ids[4], ids[0]));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let mut b = CfgBuilder::new("d");
+        let e = b.block("entry");
+        let t = b.block("t");
+        let f = b.block("f");
+        let x = b.block("exit");
+        b.edge(e, t);
+        b.edge(e, f);
+        b.edge(t, x);
+        b.edge(f, x);
+        let g = b.finish(e, x).unwrap();
+        let pdom = PostDominators::compute(&g);
+        assert_eq!(pdom.ipdom(t), x);
+        assert_eq!(pdom.ipdom(f), x);
+        assert_eq!(pdom.ipdom(e), x); // branch point joins only at exit
+        assert!(!pdom.postdominates(t, e));
+        assert!(pdom.postdominates(x, e));
+    }
+
+    #[test]
+    fn chain_postdominators_mirror_dominators() {
+        let mut b = CfgBuilder::new("chain");
+        let ids: Vec<_> = (0..5).map(|i| b.block(format!("b{i}"))).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        let g = b.finish(ids[0], ids[4]).unwrap();
+        let pdom = PostDominators::compute(&g);
+        for i in 0..4 {
+            assert_eq!(pdom.ipdom(ids[i]), ids[i + 1]);
+            for j in i + 1..5 {
+                assert!(pdom.postdominates(ids[j], ids[i]));
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,154 @@
-use crate::{Cfg, Profile};
+use crate::{BlockId, Cfg, EdgeId, Profile};
 use std::fmt::Write as _;
+
+/// Fill colors cycled by mode index: slow modes cool, fast modes warm.
+const MODE_COLORS: [&str; 6] = [
+    "#c6dbef", "#9ecae1", "#fdd0a2", "#fdae6b", "#fb6a4a", "#de2d26",
+];
+
+fn mode_color(mode: usize) -> &'static str {
+    MODE_COLORS[mode % MODE_COLORS.len()]
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Schedule and diagnostic annotations layered onto a [`Cfg`] rendering by
+/// [`cfg_to_dot_overlay`]. All fields are optional: empty vectors mean "no
+/// annotation of that kind", so callers only fill in what they know. Plain
+/// data — no dependency on the verifier — so any crate can produce one.
+#[derive(Debug, Clone, Default)]
+pub struct DotOverlay {
+    /// Assigned mode per edge, indexed by [`EdgeId`]; `None` = unknown.
+    pub edge_modes: Vec<Option<usize>>,
+    /// Per-edge flag: `true` when the edge carries an actual (non-elided)
+    /// mode-set instruction, rendered solid; elided edges render dashed.
+    pub emitted: Vec<bool>,
+    /// Settled mode per block, indexed by [`BlockId`]; `None` = mixed or
+    /// unknown, rendered uncolored.
+    pub block_modes: Vec<Option<usize>>,
+    /// Diagnostic notes attached to blocks, e.g. `"[V004] cold code"`.
+    pub block_notes: Vec<(BlockId, String)>,
+    /// Diagnostic notes attached to edges.
+    pub edge_notes: Vec<(EdgeId, String)>,
+}
+
+impl DotOverlay {
+    fn edge_mode(&self, e: EdgeId) -> Option<usize> {
+        self.edge_modes.get(e.index()).copied().flatten()
+    }
+
+    fn block_mode(&self, b: BlockId) -> Option<usize> {
+        self.block_modes.get(b.index()).copied().flatten()
+    }
+
+    fn is_emitted(&self, e: EdgeId) -> bool {
+        self.emitted.get(e.index()).copied().unwrap_or(false)
+    }
+
+    fn notes_for_block(&self, b: BlockId) -> impl Iterator<Item = &str> {
+        self.block_notes
+            .iter()
+            .filter(move |(id, _)| *id == b)
+            .map(|(_, n)| n.as_str())
+    }
+
+    fn notes_for_edge(&self, e: EdgeId) -> impl Iterator<Item = &str> {
+        self.edge_notes
+            .iter()
+            .filter(move |(id, _)| *id == e)
+            .map(|(_, n)| n.as_str())
+    }
+}
+
+/// Renders a [`Cfg`] with mode colors and verifier diagnostics overlaid —
+/// the engine behind `dvsc verify --dot`.
+///
+/// Blocks with a settled mode are filled with that mode's color; blocks
+/// carrying diagnostic notes get a red border and the note text under the
+/// label. Edges with an emitted mode-set are solid and colored by target
+/// mode, labelled `set mN`; elided edges are dashed gray. Profile counts,
+/// when given, append `×count` to edge labels.
+#[must_use]
+pub fn cfg_to_dot_overlay(cfg: &Cfg, profile: Option<&Profile>, overlay: &DotOverlay) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(cfg.name()));
+    let _ = writeln!(s, "  node [shape=box fontname=\"monospace\"];");
+    for b in cfg.blocks() {
+        let mut label = format!("{}\\n{} insts", escape(&b.label), b.len());
+        let notes: Vec<&str> = overlay.notes_for_block(b.id).collect();
+        for n in &notes {
+            let _ = write!(label, "\\n{}", escape(n));
+        }
+        let mut attrs = format!("label=\"{label}\"");
+        if b.id == cfg.entry() || b.id == cfg.exit() {
+            attrs.push_str(" peripheries=2");
+        }
+        if let Some(m) = overlay.block_mode(b.id) {
+            let _ = write!(attrs, " style=filled fillcolor=\"{}\"", mode_color(m));
+        }
+        if !notes.is_empty() {
+            attrs.push_str(" color=red penwidth=2");
+        }
+        let _ = writeln!(s, "  {} [{attrs}];", b.id.index());
+    }
+    for e in cfg.edges() {
+        let mut label = String::new();
+        if let Some(m) = overlay.edge_mode(e.id) {
+            if overlay.is_emitted(e.id) {
+                let _ = write!(label, "set m{m}");
+            } else {
+                let _ = write!(label, "m{m}");
+            }
+        }
+        if let Some(p) = profile {
+            if !label.is_empty() {
+                label.push_str("\\n");
+            }
+            let _ = write!(label, "\u{d7}{}", p.edge_count(e.id));
+        }
+        let notes: Vec<&str> = overlay.notes_for_edge(e.id).collect();
+        for n in &notes {
+            if !label.is_empty() {
+                label.push_str("\\n");
+            }
+            label.push_str(&escape(n));
+        }
+        let mut attrs = String::new();
+        if !label.is_empty() {
+            let _ = write!(attrs, "label=\"{label}\"");
+        }
+        if overlay.is_emitted(e.id) {
+            let color = overlay.edge_mode(e.id).map_or("black", mode_color);
+            let _ = write!(
+                attrs,
+                "{}color=\"{color}\" penwidth=2",
+                if attrs.is_empty() { "" } else { " " }
+            );
+        } else if overlay.edge_mode(e.id).is_some() {
+            let _ = write!(
+                attrs,
+                "{}style=dashed color=gray50",
+                if attrs.is_empty() { "" } else { " " }
+            );
+        }
+        if !notes.is_empty() {
+            let _ = write!(
+                attrs,
+                "{}fontcolor=red",
+                if attrs.is_empty() { "" } else { " " }
+            );
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(s, "  {} -> {};", e.src.index(), e.dst.index());
+        } else {
+            let _ = writeln!(s, "  {} -> {} [{attrs}];", e.src.index(), e.dst.index());
+        }
+    }
+    s.push_str("}\n");
+    s
+}
 
 /// Renders a [`Cfg`] in Graphviz DOT syntax, optionally annotating edges
 /// with traversal counts from a [`Profile`].
@@ -92,5 +241,76 @@ mod tests {
         let p = pb.finish();
         let dot = cfg_to_dot(&g, Some(&p));
         assert!(dot.contains("label=\"2\""));
+    }
+
+    #[test]
+    fn overlay_colors_modes_and_marks_diagnostics() {
+        let mut b = CfgBuilder::new("ov");
+        let e = b.block("entry");
+        let m = b.block("mid");
+        let x = b.block("exit");
+        b.edge(e, m);
+        b.edge(m, x);
+        let g = b.finish(e, x).unwrap();
+        let e_m = g.edge_between(e, m).unwrap();
+        let m_x = g.edge_between(m, x).unwrap();
+        let overlay = DotOverlay {
+            edge_modes: vec![Some(2), Some(0)],
+            emitted: vec![true, false],
+            block_modes: vec![None, Some(2), Some(0)],
+            block_notes: vec![(m, "[V004] cold code".into())],
+            edge_notes: vec![(m_x, "[V002] redundant set".into())],
+        };
+        let dot = cfg_to_dot_overlay(&g, None, &overlay);
+        // Emitted edge: solid, colored, labelled with the set.
+        assert!(dot.contains("set m2"), "{dot}");
+        assert!(dot.contains("penwidth=2"), "{dot}");
+        // Elided edge: dashed with its flowing mode.
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("m0"), "{dot}");
+        // Colored blocks and red-bordered diagnostics.
+        assert!(dot.contains("style=filled"), "{dot}");
+        assert!(dot.contains("[V004] cold code"), "{dot}");
+        assert!(dot.contains("color=red"), "{dot}");
+        assert!(dot.contains("[V002] redundant set"), "{dot}");
+        // Both annotated edges resolved by id, not order.
+        assert_eq!(overlay.edge_mode(e_m), Some(2));
+        assert_eq!(overlay.edge_mode(m_x), Some(0));
+    }
+
+    #[test]
+    fn overlay_default_matches_plain_rendering_shape() {
+        let mut b = CfgBuilder::new("plain");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        let g = b.finish(e, x).unwrap();
+        let dot = cfg_to_dot_overlay(&g, None, &DotOverlay::default());
+        assert!(dot.starts_with("digraph \"plain\""));
+        assert_eq!(dot.matches(" -> ").count(), 1);
+        assert!(!dot.contains("style=filled"));
+        assert!(!dot.contains("dashed"));
+    }
+
+    #[test]
+    fn overlay_with_profile_appends_counts() {
+        let mut b = CfgBuilder::new("ovp");
+        let e = b.block("entry");
+        let x = b.block("exit");
+        b.edge(e, x);
+        let g = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&g, 1);
+        pb.record_walk(&g, &[e, x]);
+        pb.record_walk(&g, &[e, x]);
+        pb.record_walk(&g, &[e, x]);
+        let p = pb.finish();
+        let overlay = DotOverlay {
+            edge_modes: vec![Some(1)],
+            emitted: vec![true],
+            ..DotOverlay::default()
+        };
+        let dot = cfg_to_dot_overlay(&g, Some(&p), &overlay);
+        assert!(dot.contains("set m1"), "{dot}");
+        assert!(dot.contains("\u{d7}3"), "{dot}");
     }
 }

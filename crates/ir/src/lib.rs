@@ -56,8 +56,8 @@ pub use ball_larus::{decode_path, path_start_blocks, BallLarus, PathKey, PathPro
 pub use block::{BasicBlock, BlockId};
 pub use builder::CfgBuilder;
 pub use cfg::{Cfg, Edge, EdgeId};
-pub use dominators::Dominators;
-pub use dot::cfg_to_dot;
+pub use dominators::{Dominators, PostDominators};
+pub use dot::{cfg_to_dot, cfg_to_dot_overlay, DotOverlay};
 pub use error::IrError;
 pub use inst::{Inst, MemWidth, Opcode, Reg};
 pub use loops::{LoopForest, NaturalLoop};

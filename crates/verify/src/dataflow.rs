@@ -1,0 +1,262 @@
+//! Forward mode-state dataflow over `(Cfg, Schedule)`.
+//!
+//! Two parallel meet-over-all-paths fixpoints, both over the powerset
+//! lattice of mode indices (∅ = unreachable/⊥, singleton = settled mode,
+//! larger sets = ambiguous/⊤-ward):
+//!
+//! * **All-paths** states `V(e)`/`AS(b)`: which modes can be live along
+//!   edge `e` / on entry to block `b` considering *every* CFG path. An
+//!   emitted mode-set on `e` forces `V(e)` to a singleton; an elided edge
+//!   transmits its source block's entry state unchanged.
+//! * **Executed-paths** states `S(e)`/`ES(b)`: the same question restricted
+//!   to paths the profile actually executed, propagated at *local-path*
+//!   granularity — `S(e)` unions `S(h)` only over entering edges `h` whose
+//!   local-path count `D(h, src(e), e)` is positive. This is what makes
+//!   silent-set elision verifiable: an elided edge is silent precisely
+//!   when all its executed entering paths agree on the mode.
+//!
+//! Both fixpoints are monotone over a finite lattice and terminate.
+
+use dvs_ir::{Cfg, EdgeId, Profile};
+use dvs_sim::EdgeSchedule;
+use std::collections::BTreeSet;
+
+/// The computed mode states. All vectors are dense, indexed by
+/// [`EdgeId`]/[`dvs_ir::BlockId`] raw indices.
+#[derive(Debug, Clone)]
+pub struct ModeFlow {
+    /// `V(e)`: modes possibly live along edge `e` on any CFG path.
+    pub all_edge: Vec<BTreeSet<usize>>,
+    /// `AS(b)`: modes under which block `b` can execute on any CFG path.
+    pub all_block: Vec<BTreeSet<usize>>,
+    /// `S(e)`: modes live along `e` on executed paths; empty when the
+    /// profile never traverses `e`.
+    pub exec_edge: Vec<BTreeSet<usize>>,
+    /// `ES(b)`: modes under which `b` executed according to the profile.
+    pub exec_block: Vec<BTreeSet<usize>>,
+}
+
+impl ModeFlow {
+    /// Runs both fixpoints. `emitted` masks which edges carry an actual
+    /// mode-set instruction (`None` = every edge does, the naive
+    /// pre-hoisting placement).
+    #[must_use]
+    pub fn compute(
+        cfg: &Cfg,
+        profile: &Profile,
+        schedule: &EdgeSchedule,
+        emitted: Option<&[bool]>,
+    ) -> Self {
+        let emit = |e: EdgeId| emitted.is_none_or(|m| m.get(e.index()).copied().unwrap_or(true));
+        let initial = schedule.initial.index();
+        let rpo = cfg.reverse_post_order();
+
+        // All-paths fixpoint.
+        let mut all_edge: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); cfg.num_edges()];
+        let mut all_block: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); cfg.num_blocks()];
+        all_block[cfg.entry().0].insert(initial);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b != cfg.entry() {
+                    let mut state = BTreeSet::new();
+                    for e in cfg.in_edges(b) {
+                        state.extend(all_edge[e.index()].iter().copied());
+                    }
+                    if state != all_block[b.0] {
+                        all_block[b.0] = state;
+                        changed = true;
+                    }
+                }
+                for e in cfg.out_edges(b) {
+                    let v: BTreeSet<usize> = if emit(e) {
+                        std::iter::once(schedule.edge_modes[e.index()].index()).collect()
+                    } else {
+                        all_block[b.0].clone()
+                    };
+                    if v != all_edge[e.index()] {
+                        all_edge[e.index()] = v;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Executed-paths fixpoint at local-path granularity. For each edge
+        // `e`, collect the entering edges `h` (or the trace start) whose
+        // local path `(h, src(e), e)` has positive count.
+        let mut feeders: Vec<Vec<Option<EdgeId>>> = vec![Vec::new(); cfg.num_edges()];
+        for (path, d) in profile.local_paths() {
+            if d == 0 {
+                continue;
+            }
+            if let Some(exit) = path.exit {
+                feeders[exit.index()].push(path.enter);
+            }
+        }
+        let mut exec_edge: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); cfg.num_edges()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                for e in cfg.out_edges(b) {
+                    if profile.edge_count(e) == 0 {
+                        continue;
+                    }
+                    let s: BTreeSet<usize> = if emit(e) {
+                        std::iter::once(schedule.edge_modes[e.index()].index()).collect()
+                    } else {
+                        let mut s = BTreeSet::new();
+                        for h in &feeders[e.index()] {
+                            match h {
+                                Some(h) => s.extend(exec_edge[h.index()].iter().copied()),
+                                None => {
+                                    s.insert(initial);
+                                }
+                            }
+                        }
+                        s
+                    };
+                    if s != exec_edge[e.index()] {
+                        exec_edge[e.index()] = s;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut exec_block: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); cfg.num_blocks()];
+        for b in cfg.blocks() {
+            let mut s = BTreeSet::new();
+            for e in cfg.in_edges(b.id) {
+                s.extend(exec_edge[e.index()].iter().copied());
+            }
+            if b.id == cfg.entry() && profile.block_count(b.id) > 0 {
+                s.insert(initial);
+            }
+            exec_block[b.id.0] = s;
+        }
+
+        ModeFlow {
+            all_edge,
+            all_block,
+            exec_edge,
+            exec_block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, ProfileBuilder};
+    use dvs_vf::ModeId;
+
+    fn costs(pb: &mut ProfileBuilder, cfg: &Cfg, modes: usize) {
+        for b in cfg.blocks() {
+            for m in 0..modes {
+                pb.set_block_cost(
+                    b.id,
+                    m,
+                    BlockModeCost {
+                        time_us: 1.0,
+                        energy_uj: 1.0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Diamond where both arms set different modes but re-join with an
+    /// explicit set on one join edge only.
+    #[test]
+    fn all_paths_join_unions_modes() {
+        let mut b = CfgBuilder::new("d");
+        let e = b.block("entry");
+        let t = b.block("t");
+        let f = b.block("f");
+        let x = b.block("exit");
+        b.edge(e, t);
+        b.edge(e, f);
+        b.edge(t, x);
+        b.edge(f, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 2);
+        costs(&mut pb, &cfg, 2);
+        pb.record_walk(&cfg, &[e, t, x]);
+        let profile = pb.finish();
+        let e_t = cfg.edge_between(e, t).unwrap();
+        let e_f = cfg.edge_between(e, f).unwrap();
+        let t_x = cfg.edge_between(t, x).unwrap();
+        let f_x = cfg.edge_between(f, x).unwrap();
+        let mut schedule = EdgeSchedule::uniform(&cfg, ModeId(0));
+        schedule.edge_modes[e_t.index()] = ModeId(1);
+        schedule.edge_modes[e_f.index()] = ModeId(0);
+        // Arms emitted, join edges elided: the exit sees {0, 1} on all
+        // paths but only {1} on executed paths (only the t arm ran).
+        let emitted: Vec<bool> = cfg
+            .edges()
+            .map(|edge| edge.id == e_t || edge.id == e_f)
+            .collect();
+        let flow = ModeFlow::compute(&cfg, &profile, &schedule, Some(&emitted));
+        assert_eq!(flow.all_edge[e_t.index()], BTreeSet::from([1]));
+        assert_eq!(flow.all_edge[t_x.index()], BTreeSet::from([1]));
+        assert_eq!(flow.all_edge[f_x.index()], BTreeSet::from([0]));
+        assert_eq!(flow.all_block[x.0], BTreeSet::from([0, 1]));
+        assert_eq!(flow.exec_block[x.0], BTreeSet::from([1]));
+        assert!(flow.exec_edge[f_x.index()].is_empty(), "cold edge stays ⊥");
+    }
+
+    /// A loop whose back edge is elided keeps the loop-entry mode stable.
+    #[test]
+    fn loop_fixpoint_converges() {
+        let mut b = CfgBuilder::new("l");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h);
+        b.edge(h, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 3);
+        costs(&mut pb, &cfg, 3);
+        pb.record_walk(&cfg, &[e, h, body, h, body, h, x]);
+        let profile = pb.finish();
+        let e_h = cfg.edge_between(e, h).unwrap();
+        let mut schedule = EdgeSchedule::uniform(&cfg, ModeId(2));
+        schedule.edge_modes[e_h.index()] = ModeId(1);
+        // Only the loop-entry edge is emitted; everything else flows.
+        let emitted: Vec<bool> = cfg.edges().map(|edge| edge.id == e_h).collect();
+        let flow = ModeFlow::compute(&cfg, &profile, &schedule, Some(&emitted));
+        assert_eq!(flow.all_block[h.0], BTreeSet::from([1]));
+        assert_eq!(flow.all_block[body.0], BTreeSet::from([1]));
+        assert_eq!(flow.all_block[x.0], BTreeSet::from([1]));
+        assert_eq!(flow.exec_block[body.0], BTreeSet::from([1]));
+    }
+
+    /// With every edge emitted (naive placement) the states are exactly
+    /// the nominal schedule modes.
+    #[test]
+    fn fully_emitted_matches_nominal() {
+        let mut b = CfgBuilder::new("c");
+        let e = b.block("entry");
+        let m = b.block("mid");
+        let x = b.block("exit");
+        b.edge(e, m);
+        b.edge(m, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 2);
+        costs(&mut pb, &cfg, 2);
+        pb.record_walk(&cfg, &[e, m, x]);
+        let profile = pb.finish();
+        let mut schedule = EdgeSchedule::uniform(&cfg, ModeId(0));
+        let e_m = cfg.edge_between(e, m).unwrap();
+        schedule.edge_modes[e_m.index()] = ModeId(1);
+        let flow = ModeFlow::compute(&cfg, &profile, &schedule, None);
+        assert_eq!(flow.all_edge[e_m.index()], BTreeSet::from([1]));
+        assert_eq!(flow.exec_edge[e_m.index()], BTreeSet::from([1]));
+        assert_eq!(flow.all_block[m.0], BTreeSet::from([1]));
+    }
+}

@@ -1,0 +1,213 @@
+//! Diagnostics with stable codes, severities, and renderers.
+//!
+//! Codes are append-only: a code, once published, keeps its meaning forever
+//! so CI greps and suppression lists stay valid across releases.
+
+use dvs_ir::{BlockId, EdgeId};
+use dvs_obs::json::Json;
+use std::fmt;
+
+/// How bad a finding is. Ordering is `Info < Warning < Error`, so reports
+/// can sort most-severe-first with a plain `sort_by_key(Reverse(..))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth seeing, never a defect by itself.
+    Info,
+    /// Suspicious but not provably wrong; `--deny` does not gate on these.
+    Warning,
+    /// A schedule defect: mode inconsistency, flow corruption, or a missed
+    /// deadline. `dvsc verify --deny` exits nonzero iff any of these exist.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes produced by the verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// V001: an elided mode-set is reachable in a mode other than its
+    /// scheduled one, so the block behind it runs off-schedule.
+    ModeConflict,
+    /// V002: an emitted mode-set re-sets the mode already live on every
+    /// path into its source block.
+    RedundantSet,
+    /// V003: an emitted mode-set whose target block executes no
+    /// instructions before every outgoing edge re-sets the mode again.
+    DeadSet,
+    /// V004: a block the profile never executes (cold code).
+    ColdCode,
+    /// V005: profile edge counts violate Kirchhoff flow conservation.
+    FlowViolation,
+    /// V006: a mode-set on an unsplit critical edge (multi-successor
+    /// source into multi-predecessor destination).
+    CriticalEdgeSet,
+    /// V007: mode churn in a hot loop where amortized switch energy
+    /// exceeds the modeled savings over the best single in-loop mode.
+    LoopChurn,
+    /// V008: the profile-weighted modeled execution time exceeds the
+    /// deadline.
+    DeadlineModeled,
+    /// V009: the all-paths worst-case execution time bound exceeds the
+    /// deadline (the profiled paths themselves still fit).
+    DeadlineWcet,
+}
+
+impl DiagCode {
+    /// The stable `Vnnn` code string.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::ModeConflict => "V001",
+            DiagCode::RedundantSet => "V002",
+            DiagCode::DeadSet => "V003",
+            DiagCode::ColdCode => "V004",
+            DiagCode::FlowViolation => "V005",
+            DiagCode::CriticalEdgeSet => "V006",
+            DiagCode::LoopChurn => "V007",
+            DiagCode::DeadlineModeled => "V008",
+            DiagCode::DeadlineWcet => "V009",
+        }
+    }
+
+    /// Short human title for the code.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            DiagCode::ModeConflict => "mode conflict",
+            DiagCode::RedundantSet => "redundant mode-set",
+            DiagCode::DeadSet => "dead mode-set",
+            DiagCode::ColdCode => "cold code",
+            DiagCode::FlowViolation => "profile flow violation",
+            DiagCode::CriticalEdgeSet => "mode-set on unsplit critical edge",
+            DiagCode::LoopChurn => "loop mode churn",
+            DiagCode::DeadlineModeled => "modeled time exceeds deadline",
+            DiagCode::DeadlineWcet => "worst-case bound exceeds deadline",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One verifier finding, anchored to a block and/or edge where applicable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Severity; `--deny` gates on [`Severity::Error`] only.
+    pub severity: Severity,
+    /// Full human-readable message, location text included.
+    pub message: String,
+    /// The block this finding anchors to, if any.
+    pub block: Option<BlockId>,
+    /// The edge this finding anchors to, if any.
+    pub edge: Option<EdgeId>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with no location anchor.
+    #[must_use]
+    pub fn new(code: DiagCode, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            block: None,
+            edge: None,
+        }
+    }
+
+    /// Anchors the diagnostic to a block.
+    #[must_use]
+    pub fn at_block(mut self, b: BlockId) -> Self {
+        self.block = Some(b);
+        self
+    }
+
+    /// Anchors the diagnostic to an edge.
+    #[must_use]
+    pub fn at_edge(mut self, e: EdgeId) -> Self {
+        self.edge = Some(e);
+        self
+    }
+
+    /// One-line rendering: `error[V001] message`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}[{}] {}", self.severity, self.code, self.message)
+    }
+
+    /// JSON object with code, severity, message, and anchors.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("code", Json::from(self.code.code())),
+            ("title", Json::from(self.code.title())),
+            ("severity", Json::from(self.severity.to_string())),
+            ("message", Json::from(self.message.as_str())),
+        ];
+        if let Some(b) = self.block {
+            fields.push(("block", Json::from(b.0 as u64)));
+        }
+        if let Some(e) = self.edge {
+            fields.push(("edge", Json::from(e.0 as u64)));
+        }
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_most_severe_last() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            DiagCode::ModeConflict,
+            DiagCode::RedundantSet,
+            DiagCode::DeadSet,
+            DiagCode::ColdCode,
+            DiagCode::FlowViolation,
+            DiagCode::CriticalEdgeSet,
+            DiagCode::LoopChurn,
+            DiagCode::DeadlineModeled,
+            DiagCode::DeadlineWcet,
+        ];
+        let codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        assert_eq!(codes[0], "V001");
+        assert_eq!(codes[8], "V009");
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn render_and_json_round_out() {
+        let d = Diagnostic::new(DiagCode::ModeConflict, Severity::Error, "boom")
+            .at_block(BlockId(3))
+            .at_edge(EdgeId(7));
+        assert_eq!(d.render(), "error[V001] boom");
+        let j = d.to_json();
+        assert_eq!(j.get("code").and_then(Json::as_str), Some("V001"));
+        assert_eq!(j.get("block").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("edge").and_then(Json::as_u64), Some(7));
+    }
+}

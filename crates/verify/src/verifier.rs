@@ -1,0 +1,750 @@
+//! The verification pass: runs the dataflow, the WCET bound, and the lint
+//! set over one `(Cfg, Profile, Schedule)` triple and assembles a report.
+
+use crate::dataflow::ModeFlow;
+use crate::diag::{DiagCode, Diagnostic, Severity};
+use crate::wcet::{compute_wcet, WcetReport};
+use dvs_ir::{BlockId, Cfg, Dominators, EdgeId, LoopForest, PostDominators, Profile};
+use dvs_obs::json::Json;
+use dvs_sim::EdgeSchedule;
+use dvs_vf::{ModeId, TransitionModel, VoltageLadder};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything the verifier looks at. Borrowed, cheap to construct.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyInput<'a> {
+    /// The control-flow graph.
+    pub cfg: &'a Cfg,
+    /// Profile weights and per-block mode cost tables.
+    pub profile: &'a Profile,
+    /// The voltage/frequency ladder the schedule indexes into.
+    pub ladder: &'a VoltageLadder,
+    /// Regulator transition cost model (`SE`/`ST`).
+    pub transition: &'a TransitionModel,
+    /// The per-edge mode schedule under verification.
+    pub schedule: &'a EdgeSchedule,
+    /// Which edges carry an actual mode-set instruction after silent-set
+    /// elision; `None` means every edge does (naive placement).
+    pub emitted: Option<&'a [bool]>,
+    /// Deadline to prove, in µs; `None` skips the deadline checks.
+    pub deadline_us: Option<f64>,
+}
+
+/// The verifier's findings plus the analyses behind them.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// All findings, most severe first (then by code, then by location).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The static worst-case bound and its critical path.
+    pub wcet: WcetReport,
+    /// Profile-weighted execution time of the *effective* schedule (what
+    /// the emitted binary actually runs, mode states from the executed-
+    /// paths dataflow), in µs.
+    pub modeled_time_us: f64,
+    /// The deadline the report was checked against, if any.
+    pub deadline_us: Option<f64>,
+    /// The mode dataflow, exposed for rendering overlays.
+    pub flow: ModeFlow,
+}
+
+impl VerifyReport {
+    /// `true` when no [`Severity::Error`] diagnostics exist — the gate
+    /// `dvsc verify --deny` and `CompilerBuilder::verify_emitted` use.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Number of diagnostics at `sev`.
+    #[must_use]
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Diagnostics at [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Deterministic human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.render());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "modeled time {:.3} us; wcet bound {:.3} us",
+            self.modeled_time_us, self.wcet.bound_us
+        ));
+        if let Some(d) = self.deadline_us {
+            s.push_str(&format!("; deadline {d:.3} us"));
+        }
+        s.push('\n');
+        s.push_str(&format!(
+            "{} errors, {} warnings, {} infos\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        s
+    }
+
+    /// Machine-readable JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+            ("errors", Json::from(self.count(Severity::Error) as u64)),
+            ("warnings", Json::from(self.count(Severity::Warning) as u64)),
+            ("infos", Json::from(self.count(Severity::Info) as u64)),
+            ("modeled_time_us", Json::from(self.modeled_time_us)),
+            (
+                "wcet",
+                Json::obj([
+                    ("bound_us", Json::from(self.wcet.bound_us)),
+                    (
+                        "critical_path",
+                        Json::Arr(
+                            self.wcet
+                                .critical_path
+                                .iter()
+                                .map(|l| Json::from(l.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "loop_bounds",
+                        Json::Arr(
+                            self.wcet
+                                .loop_bounds
+                                .iter()
+                                .map(|(h, n)| {
+                                    Json::obj([
+                                        ("header", Json::from(h.0 as u64)),
+                                        ("bound", Json::from(*n)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ];
+        if let Some(d) = self.deadline_us {
+            fields.push(("deadline_us", Json::from(d)));
+        }
+        Json::obj(fields)
+    }
+}
+
+fn set_text(s: &BTreeSet<usize>) -> String {
+    let inner: Vec<String> = s.iter().map(|m| format!("m{m}")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Runs the full verification pass.
+#[must_use]
+pub fn verify(input: &VerifyInput<'_>) -> VerifyReport {
+    let _span = dvs_obs::span("verify.run");
+    let cfg = input.cfg;
+    let profile = input.profile;
+    let schedule = input.schedule;
+    let emit = |e: EdgeId| {
+        input
+            .emitted
+            .is_none_or(|m| m.get(e.index()).copied().unwrap_or(true))
+    };
+    let edge_text = |e: EdgeId| {
+        let edge = cfg.edge(e);
+        format!(
+            "{} ({} -> {})",
+            e,
+            cfg.block(edge.src).label,
+            cfg.block(edge.dst).label
+        )
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    // Malformed-input guard: a schedule that does not match the CFG or
+    // ladder cannot be analysed further.
+    if schedule.edge_modes.len() != cfg.num_edges()
+        || input.emitted.is_some_and(|m| m.len() != cfg.num_edges())
+        || schedule
+            .edge_modes
+            .iter()
+            .chain(std::iter::once(&schedule.initial))
+            .any(|m| m.index() >= input.ladder.len() || m.index() >= profile.num_modes())
+    {
+        let d = Diagnostic::new(
+            DiagCode::FlowViolation,
+            Severity::Error,
+            format!(
+                "malformed input: schedule covers {} edges with {} ladder levels, \
+                 CFG has {} edges and the profile {} modes",
+                schedule.edge_modes.len(),
+                input.ladder.len(),
+                cfg.num_edges(),
+                profile.num_modes()
+            ),
+        );
+        return VerifyReport {
+            diagnostics: vec![d],
+            wcet: WcetReport {
+                bound_us: f64::INFINITY,
+                critical_path: Vec::new(),
+                loop_bounds: Vec::new(),
+            },
+            modeled_time_us: f64::INFINITY,
+            deadline_us: input.deadline_us,
+            flow: ModeFlow {
+                all_edge: Vec::new(),
+                all_block: Vec::new(),
+                exec_edge: Vec::new(),
+                exec_block: Vec::new(),
+            },
+        };
+    }
+
+    // V005: Kirchhoff flow conservation.
+    if let Err(e) = profile.validate(cfg) {
+        diags.push(Diagnostic::new(
+            DiagCode::FlowViolation,
+            Severity::Error,
+            format!("profile violates flow conservation: {e}"),
+        ));
+    }
+
+    let flow = ModeFlow::compute(cfg, profile, schedule, input.emitted);
+    let initial = schedule.initial.index();
+
+    // V001: mode confluence. A block entered through different *emitted*
+    // mode-sets legitimately runs under each edge's mode — that is the
+    // schedule. The invariant is on *elided* sets: every path reaching an
+    // elided edge must already be in the scheduled mode, otherwise the
+    // binary diverges from the schedule the costs were proven against.
+    // Executed-path divergence is a defect; divergence confined to
+    // unprofiled paths (where elision is vacuously silent) is
+    // informational.
+    for e in cfg.edges() {
+        if emit(e.id) {
+            continue;
+        }
+        let m = schedule.edge_modes[e.id.index()].index();
+        let exec = &flow.exec_edge[e.id.index()];
+        let all = &flow.all_edge[e.id.index()];
+        if exec.iter().any(|&s| s != m) {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::ModeConflict,
+                    Severity::Error,
+                    format!(
+                        "elided mode-set m{m} on {} is not silent: executed paths \
+                         arrive at modes {}, so `{}` runs off-schedule",
+                        edge_text(e.id),
+                        set_text(exec),
+                        cfg.block(e.dst).label
+                    ),
+                )
+                .at_edge(e.id),
+            );
+        } else if all.iter().any(|&s| s != m) {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::ModeConflict,
+                    Severity::Info,
+                    format!(
+                        "elided mode-set m{m} on {} diverges only on unprofiled \
+                         paths (reachable modes {})",
+                        edge_text(e.id),
+                        set_text(all)
+                    ),
+                )
+                .at_edge(e.id),
+            );
+        }
+    }
+
+    // V002/V003/V006: per emitted mode-set lints.
+    for e in cfg.edges() {
+        if !emit(e.id) {
+            continue;
+        }
+        let m = schedule.edge_modes[e.id.index()].index();
+        let src_state = &flow.all_block[e.src.0];
+        if src_state.len() == 1 && src_state.contains(&m) {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::RedundantSet,
+                    Severity::Warning,
+                    format!(
+                        "mode-set m{m} on {} re-sets the mode already live on every path",
+                        edge_text(e.id)
+                    ),
+                )
+                .at_edge(e.id),
+            );
+        }
+        let dst = cfg.block(e.dst);
+        let overwritten = dst.is_empty() && e.dst != cfg.exit() && cfg.out_edges(e.dst).all(&emit);
+        if overwritten {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::DeadSet,
+                    Severity::Warning,
+                    format!(
+                        "mode-set m{m} on {} is dead: `{}` executes nothing and every \
+                         outgoing edge re-sets the mode",
+                        edge_text(e.id),
+                        dst.label
+                    ),
+                )
+                .at_edge(e.id),
+            );
+        }
+        if cfg.out_edges(e.src).count() > 1 && cfg.in_edges(e.dst).count() > 1 {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::CriticalEdgeSet,
+                    Severity::Warning,
+                    format!(
+                        "mode-set m{m} on unsplit critical edge {}: needs a split block \
+                         to be addressable in a binary",
+                        edge_text(e.id)
+                    ),
+                )
+                .at_edge(e.id),
+            );
+        }
+    }
+
+    // V004: cold code.
+    for b in cfg.blocks() {
+        if profile.block_count(b.id) == 0 {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::ColdCode,
+                    Severity::Info,
+                    format!("block `{}` is never executed in the profile", b.label),
+                )
+                .at_block(b.id),
+            );
+        }
+    }
+
+    // V007: loop churn. For each executed merged loop, compare the
+    // scheduled body energy plus amortized switch energy against running
+    // the whole body at the best single in-loop mode.
+    let dom = Dominators::compute(cfg);
+    let pdom = PostDominators::compute(cfg);
+    let forest = LoopForest::compute(cfg, &dom);
+    let mut merged: BTreeMap<BlockId, (BTreeSet<BlockId>, Vec<BlockId>)> = BTreeMap::new();
+    for l in forest.loops() {
+        let slot = merged.entry(l.header).or_default();
+        slot.0.extend(l.body.iter().copied());
+        slot.1.push(l.latch);
+    }
+    for (h, (body, latches)) in &merged {
+        let back: u64 = cfg
+            .in_edges(*h)
+            .filter(|&e| body.contains(&cfg.edge(e).src))
+            .map(|e| profile.edge_count(e))
+            .sum();
+        if back == 0 {
+            continue; // cold or single-shot loop: nothing to amortize
+        }
+        let mut switch_energy = 0.0;
+        let mut mandatory = 0usize;
+        let mut conditional = 0usize;
+        for e in cfg.edges() {
+            if !emit(e.id) || !body.contains(&e.src) || !body.contains(&e.dst) {
+                continue;
+            }
+            let m = schedule.edge_modes[e.id.index()];
+            let worst = flow.exec_block[e.src.0]
+                .iter()
+                .filter(|&&s| s != m.index())
+                .map(|&s| input.transition.mode_energy_uj(input.ladder, ModeId(s), m))
+                .fold(0.0_f64, f64::max);
+            if worst > 0.0 {
+                switch_energy += profile.edge_count(e.id) as f64 * worst;
+                let on_spine = latches.iter().all(|&l| dom.dominates(e.src, l))
+                    && pdom.postdominates(e.dst, e.src);
+                if on_spine {
+                    mandatory += 1;
+                } else {
+                    conditional += 1;
+                }
+            }
+        }
+        if switch_energy <= 0.0 {
+            continue;
+        }
+        let scheduled: f64 = body
+            .iter()
+            .map(|&b| {
+                cfg.in_edges(b)
+                    .map(|e| {
+                        profile.edge_count(e) as f64
+                            * profile
+                                .block_cost(b, schedule.edge_modes[e.index()].index())
+                                .energy_uj
+                    })
+                    .sum::<f64>()
+            })
+            .sum();
+        let modes_used: BTreeSet<usize> = cfg
+            .edges()
+            .filter(|e| body.contains(&e.dst) && profile.edge_count(e.id) > 0)
+            .map(|e| schedule.edge_modes[e.id.index()].index())
+            .collect();
+        let best_single = modes_used
+            .iter()
+            .map(|&m| {
+                body.iter()
+                    .map(|&b| profile.block_count(b) as f64 * profile.block_cost(b, m).energy_uj)
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        if scheduled + switch_energy > best_single + 1e-9 {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::LoopChurn,
+                    Severity::Warning,
+                    format!(
+                        "loop at `{}` churns modes: scheduled {:.3} uJ + {:.3} uJ switches \
+                         exceeds {:.3} uJ at the best single mode \
+                         ({mandatory} mandatory, {conditional} conditional switches)",
+                        cfg.block(*h).label,
+                        scheduled,
+                        switch_energy,
+                        best_single
+                    ),
+                )
+                .at_block(*h),
+            );
+        }
+    }
+
+    // Effective modeled time: per-edge block times at the executed-paths
+    // mode states plus switch time per executed local path into an
+    // emitted edge. On a clean hoisted schedule every `S(e)` is the
+    // nominal singleton, making this identical to the dynamic cost model.
+    let mut modeled =
+        profile.block_count(cfg.entry()) as f64 * profile.block_cost(cfg.entry(), initial).time_us;
+    for e in cfg.edges() {
+        let g = profile.edge_count(e.id);
+        if g == 0 {
+            continue;
+        }
+        let states = &flow.exec_edge[e.id.index()];
+        let worst = if states.is_empty() {
+            profile
+                .block_cost(e.dst, schedule.edge_modes[e.id.index()].index())
+                .time_us
+        } else {
+            states
+                .iter()
+                .map(|&m| profile.block_cost(e.dst, m).time_us)
+                .fold(0.0_f64, f64::max)
+        };
+        modeled += g as f64 * worst;
+    }
+    for (path, d) in profile.local_paths() {
+        if d == 0 {
+            continue;
+        }
+        let Some(exit) = path.exit else { continue };
+        if !emit(exit) {
+            continue;
+        }
+        let target = schedule.edge_modes[exit.index()];
+        let in_states: BTreeSet<usize> = match path.enter {
+            Some(h) => flow.exec_edge[h.index()].clone(),
+            None => std::iter::once(initial).collect(),
+        };
+        let worst = in_states
+            .iter()
+            .filter(|&&m| m != target.index())
+            .map(|&m| {
+                input
+                    .transition
+                    .mode_time_us(input.ladder, ModeId(m), target)
+            })
+            .fold(0.0_f64, f64::max);
+        modeled += d as f64 * worst;
+    }
+
+    // V008/V009: deadline checks against modeled time and the all-paths
+    // WCET bound.
+    let wcet = compute_wcet(
+        cfg,
+        profile,
+        input.ladder,
+        input.transition,
+        schedule,
+        input.emitted,
+        &flow,
+    );
+    if let Some(deadline) = input.deadline_us {
+        let slack = 1e-6 + deadline * 1e-9;
+        if modeled > deadline + slack {
+            diags.push(Diagnostic::new(
+                DiagCode::DeadlineModeled,
+                Severity::Error,
+                format!(
+                    "modeled execution time {modeled:.3} us exceeds the deadline \
+                     {deadline:.3} us on profiled paths"
+                ),
+            ));
+        } else if wcet.bound_us > deadline + slack {
+            diags.push(Diagnostic::new(
+                DiagCode::DeadlineWcet,
+                Severity::Warning,
+                format!(
+                    "worst-case bound {:.3} us exceeds the deadline {deadline:.3} us \
+                     (critical path: {})",
+                    wcet.bound_us,
+                    wcet.critical_path.join(" -> ")
+                ),
+            ));
+        }
+    }
+
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.code.cmp(&b.code))
+            .then(a.edge.cmp(&b.edge))
+            .then(a.block.cmp(&b.block))
+    });
+    let report = VerifyReport {
+        diagnostics: diags,
+        wcet,
+        modeled_time_us: modeled,
+        deadline_us: input.deadline_us,
+        flow,
+    };
+    if dvs_obs::enabled() {
+        dvs_obs::counter("verify.errors", report.count(Severity::Error) as u64);
+        dvs_obs::counter("verify.warnings", report.count(Severity::Warning) as u64);
+        dvs_obs::counter("verify.infos", report.count(Severity::Info) as u64);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, Inst, Opcode, ProfileBuilder, Reg};
+    use dvs_vf::AlphaPower;
+
+    fn ladder() -> VoltageLadder {
+        VoltageLadder::from_frequencies(&AlphaPower::paper(), &[100.0, 200.0]).unwrap()
+    }
+
+    /// Diamond with arms at different modes and no re-set at the join.
+    fn conflicted() -> (Cfg, Profile, EdgeSchedule, Vec<bool>) {
+        let mut b = CfgBuilder::new("d");
+        let e = b.block("entry");
+        let t = b.block("t");
+        let f = b.block("f");
+        let x = b.block("exit");
+        for blk in [e, t, f, x] {
+            b.push(blk, Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(0)]));
+        }
+        b.edge(e, t);
+        b.edge(e, f);
+        b.edge(t, x);
+        b.edge(f, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 2);
+        for blk in cfg.blocks() {
+            for m in 0..2 {
+                pb.set_block_cost(
+                    blk.id,
+                    m,
+                    BlockModeCost {
+                        time_us: if m == 0 { 2.0 } else { 1.0 },
+                        energy_uj: 1.0,
+                    },
+                );
+            }
+        }
+        pb.record_walk(&cfg, &[e, t, x]);
+        pb.record_walk(&cfg, &[e, f, x]);
+        let profile = pb.finish();
+        let e_t = cfg.edge_between(e, t).unwrap();
+        let e_f = cfg.edge_between(e, f).unwrap();
+        let mut schedule = EdgeSchedule::uniform(&cfg, ModeId(0));
+        schedule.edge_modes[e_t.index()] = ModeId(1);
+        schedule.edge_modes[e_f.index()] = ModeId(0);
+        let emitted: Vec<bool> = cfg.edges().map(|ed| ed.id == e_t || ed.id == e_f).collect();
+        (cfg, profile, schedule, emitted)
+    }
+
+    #[test]
+    fn executed_mode_conflict_is_an_error() {
+        let (cfg, profile, schedule, emitted) = conflicted();
+        let report = verify(&VerifyInput {
+            cfg: &cfg,
+            profile: &profile,
+            ladder: &ladder(),
+            transition: &TransitionModel::free(),
+            schedule: &schedule,
+            emitted: Some(&emitted),
+            deadline_us: None,
+        });
+        assert!(!report.ok());
+        let err = report.errors().next().unwrap();
+        assert_eq!(err.code, DiagCode::ModeConflict);
+        assert!(err.message.contains("m0"), "{}", err.message);
+        assert!(err.message.contains("m1"), "{}", err.message);
+    }
+
+    #[test]
+    fn uniform_schedule_is_clean() {
+        let (cfg, profile, _, _) = conflicted();
+        let schedule = EdgeSchedule::uniform(&cfg, ModeId(1));
+        // Naive placement: every edge emitted. The only findings should be
+        // redundant-set warnings, never errors.
+        let report = verify(&VerifyInput {
+            cfg: &cfg,
+            profile: &profile,
+            ladder: &ladder(),
+            transition: &TransitionModel::free(),
+            schedule: &schedule,
+            emitted: None,
+            deadline_us: Some(100.0),
+        });
+        assert!(report.ok(), "{}", report.render());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::RedundantSet));
+        // 4 executed block visits at 1 µs each... entry + one arm + exit
+        // per walk, two walks = 6 µs at mode 1.
+        assert!(
+            (report.modeled_time_us - 6.0).abs() < 1e-9,
+            "{}",
+            report.modeled_time_us
+        );
+    }
+
+    #[test]
+    fn modeled_deadline_violation_is_an_error() {
+        let (cfg, profile, _, _) = conflicted();
+        let schedule = EdgeSchedule::uniform(&cfg, ModeId(0)); // slow mode
+        let report = verify(&VerifyInput {
+            cfg: &cfg,
+            profile: &profile,
+            ladder: &ladder(),
+            transition: &TransitionModel::free(),
+            schedule: &schedule,
+            emitted: None,
+            deadline_us: Some(10.0), // 12 µs at mode 0 over two walks
+        });
+        assert!(!report.ok());
+        assert!(report.errors().any(|d| d.code == DiagCode::DeadlineModeled));
+    }
+
+    #[test]
+    fn wcet_only_violation_is_a_warning() {
+        // Profile takes the short arm, the long arm busts the deadline
+        // only in the all-paths bound.
+        let mut b = CfgBuilder::new("d");
+        let e = b.block("entry");
+        let long = b.block("long");
+        let short = b.block("short");
+        let x = b.block("exit");
+        b.edge(e, long);
+        b.edge(e, short);
+        b.edge(long, x);
+        b.edge(short, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 1);
+        for (blk, t) in [(e, 1.0), (long, 50.0), (short, 1.0), (x, 1.0)] {
+            pb.set_block_cost(
+                blk,
+                0,
+                BlockModeCost {
+                    time_us: t,
+                    energy_uj: 1.0,
+                },
+            );
+        }
+        pb.record_walk(&cfg, &[e, short, x]);
+        let profile = pb.finish();
+        let schedule = EdgeSchedule::uniform(&cfg, ModeId(0));
+        let report = verify(&VerifyInput {
+            cfg: &cfg,
+            profile: &profile,
+            ladder: &ladder(),
+            transition: &TransitionModel::free(),
+            schedule: &schedule,
+            emitted: None,
+            deadline_us: Some(10.0),
+        });
+        assert!(
+            report.ok(),
+            "wcet violations do not gate: {}",
+            report.render()
+        );
+        let w: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == DiagCode::DeadlineWcet)
+            .collect();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].message.contains("long"), "{}", w[0].message);
+        // V004 fired for the cold arm as info.
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::ColdCode));
+    }
+
+    #[test]
+    fn malformed_schedule_is_rejected() {
+        let (cfg, profile, mut schedule, _) = conflicted();
+        schedule.edge_modes.pop();
+        let report = verify(&VerifyInput {
+            cfg: &cfg,
+            profile: &profile,
+            ladder: &ladder(),
+            transition: &TransitionModel::free(),
+            schedule: &schedule,
+            emitted: None,
+            deadline_us: None,
+        });
+        assert!(!report.ok());
+        assert!(report.render().contains("malformed input"));
+    }
+
+    #[test]
+    fn json_report_is_parseable() {
+        let (cfg, profile, schedule, emitted) = conflicted();
+        let report = verify(&VerifyInput {
+            cfg: &cfg,
+            profile: &profile,
+            ladder: &ladder(),
+            transition: &TransitionModel::free(),
+            schedule: &schedule,
+            emitted: Some(&emitted),
+            deadline_us: Some(10.0),
+        });
+        let j = Json::parse(&report.to_json().dump()).unwrap();
+        assert!(j.get("errors").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(j.get("wcet").and_then(|w| w.get("bound_us")).is_some());
+    }
+}

@@ -1,0 +1,392 @@
+//! Static worst-case execution-time bound over the loop-collapsed DAG.
+//!
+//! Natural loops (merged per header) are collapsed innermost-first into
+//! supernodes charged `N ×` their worst single-iteration cost, where the
+//! trip bound `N = ⌈(X + K) / X⌉` comes from profile counts (`X` =
+//! loop-entry traversals, `K` = back-edge traversals). The residual graph
+//! is a DAG; the bound is its longest entry→exit path with per-block times
+//! taken at the *worst mode that can be live* on any CFG path (from the
+//! all-paths dataflow) and `ST` switch time charged on emitted edges.
+//!
+//! The bound is deliberately conservative, never exact:
+//!
+//! * block time is maxed over every mode the dataflow admits;
+//! * each loop is charged `N` full iterations including the back-edge
+//!   switch, though a real run pays the back edge at most `N − 1` times
+//!   and exits partway through the last iteration;
+//! * cold loops (never profiled) get `N = 1` — the bound only covers
+//!   executions consistent with the profile's loop behaviour;
+//! * profiles aggregating `R` runs multiply the whole bound by `R`, since
+//!   deadlines in this system are checked against profile-total time.
+
+use crate::dataflow::ModeFlow;
+use dvs_ir::{BlockId, Cfg, Dominators, EdgeId, LoopForest, Profile};
+use dvs_sim::EdgeSchedule;
+use dvs_vf::{ModeId, TransitionModel, VoltageLadder};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The computed bound plus the evidence behind it.
+#[derive(Debug, Clone)]
+pub struct WcetReport {
+    /// The worst-case bound in microseconds (`f64::INFINITY` when the
+    /// residual graph is not acyclic, i.e. the CFG is irreducible).
+    pub bound_us: f64,
+    /// The critical path, entry to exit, as block labels; collapsed loops
+    /// appear as `label×N`.
+    pub critical_path: Vec<String>,
+    /// Profile-derived trip bound per (merged) loop header.
+    pub loop_bounds: Vec<(BlockId, u64)>,
+}
+
+struct WEdge {
+    src: BlockId,
+    dst: BlockId,
+    st: f64,
+}
+
+/// Computes the loop-collapsed longest-path bound. `flow` must come from
+/// [`ModeFlow::compute`] on the same `(cfg, schedule, emitted)` triple.
+#[must_use]
+pub fn compute_wcet(
+    cfg: &Cfg,
+    profile: &Profile,
+    ladder: &VoltageLadder,
+    transition: &TransitionModel,
+    schedule: &EdgeSchedule,
+    emitted: Option<&[bool]>,
+    flow: &ModeFlow,
+) -> WcetReport {
+    let emit = |e: EdgeId| emitted.is_none_or(|m| m.get(e.index()).copied().unwrap_or(true));
+    let initial = schedule.initial.index();
+
+    // Node weight: worst time of the block over every mode the all-paths
+    // dataflow admits on any in-edge. The entry runs at the initial mode.
+    let mut weight: Vec<f64> = cfg
+        .blocks()
+        .map(|b| {
+            if b.id == cfg.entry() {
+                profile.block_cost(b.id, initial).time_us
+            } else {
+                cfg.in_edges(b.id)
+                    .flat_map(|e| flow.all_edge[e.index()].iter().copied())
+                    .map(|m| profile.block_cost(b.id, m).time_us)
+                    .fold(0.0_f64, f64::max)
+            }
+        })
+        .collect();
+
+    // Edge weight: switch time on emitted edges, maxed over the modes that
+    // can be live at the source.
+    let st_of = |e: EdgeId| -> f64 {
+        if !emit(e) {
+            return 0.0;
+        }
+        let target = schedule.edge_modes[e.index()];
+        flow.all_block[cfg.edge(e).src.0]
+            .iter()
+            .filter(|&&m| m != target.index())
+            .map(|&m| transition.mode_time_us(ladder, ModeId(m), target))
+            .fold(0.0_f64, f64::max)
+    };
+
+    // Merge natural loops sharing a header, then collapse innermost-first
+    // (body-size ascending: nested inner bodies are strict subsets).
+    let dom = Dominators::compute(cfg);
+    let forest = LoopForest::compute(cfg, &dom);
+    let mut merged: BTreeMap<BlockId, BTreeSet<BlockId>> = BTreeMap::new();
+    for l in forest.loops() {
+        merged
+            .entry(l.header)
+            .or_default()
+            .extend(l.body.iter().copied());
+    }
+    let mut loops: Vec<(BlockId, BTreeSet<BlockId>)> = merged.into_iter().collect();
+    loops.sort_by_key(|(h, body)| (body.len(), h.0));
+
+    // Working graph: representative mapping + edge list with switch costs.
+    let mut rep: Vec<BlockId> = (0..cfg.num_blocks()).map(BlockId).collect();
+    let find = |rep: &[BlockId], mut b: BlockId| -> BlockId {
+        while rep[b.0] != b {
+            b = rep[b.0];
+        }
+        b
+    };
+    let mut edges: Vec<WEdge> = cfg
+        .edges()
+        .map(|e| WEdge {
+            src: e.src,
+            dst: e.dst,
+            st: st_of(e.id),
+        })
+        .collect();
+    let mut loop_bounds: Vec<(BlockId, u64)> = Vec::new();
+    let mut display: Vec<String> = cfg.blocks().map(|b| b.label.clone()).collect();
+
+    for (h, body) in loops {
+        let members: BTreeSet<BlockId> = body.iter().map(|&b| find(&rep, b)).collect();
+        // Trip bound from profile counts: X entries from outside, K
+        // back-edge traversals.
+        let mut entries = 0u64;
+        let mut back = 0u64;
+        for e in cfg.in_edges(h) {
+            if body.contains(&cfg.edge(e).src) {
+                back += profile.edge_count(e);
+            } else {
+                entries += profile.edge_count(e);
+            }
+        }
+        let n = if entries == 0 {
+            1
+        } else {
+            (entries + back).div_ceil(entries)
+        };
+        loop_bounds.push((h, n));
+
+        // Worst single iteration: longest path from the header to any
+        // member over internal forward edges (relaxation over an acyclic
+        // subgraph needs at most |members| rounds), plus the costliest
+        // back-edge switch.
+        let mut dist: BTreeMap<BlockId, f64> = BTreeMap::new();
+        dist.insert(h, weight[h.0]);
+        for _ in 0..members.len() {
+            let mut changed = false;
+            for e in &edges {
+                let (s, d) = (find(&rep, e.src), find(&rep, e.dst));
+                if d == h || !members.contains(&s) || !members.contains(&d) {
+                    continue; // back edge or external
+                }
+                if let Some(&ds) = dist.get(&s) {
+                    let cand = ds + e.st + weight[d.0];
+                    if dist.get(&d).is_none_or(|&cur| cand > cur) {
+                        dist.insert(d, cand);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let body_worst = dist.values().copied().fold(weight[h.0], f64::max);
+        let back_st = edges
+            .iter()
+            .filter(|e| find(&rep, e.dst) == h && members.contains(&find(&rep, e.src)))
+            .map(|e| e.st)
+            .fold(0.0_f64, f64::max);
+        weight[h.0] = (n as f64) * (body_worst + back_st);
+        display[h.0] = format!("{}\u{d7}{n}", cfg.block(h).label);
+
+        // Absorb members into the header and rebuild the edge list:
+        // internal edges vanish, exits re-source to the header.
+        for &m in &members {
+            if m != h {
+                rep[m.0] = h;
+            }
+        }
+        edges.retain(|e| find(&rep, e.src) != find(&rep, e.dst));
+    }
+
+    // Longest entry→exit path over the residual DAG (Kahn order), with
+    // parent pointers for the critical path.
+    let entry = find(&rep, cfg.entry());
+    let exit = find(&rep, cfg.exit());
+    let alive: BTreeSet<BlockId> = (0..cfg.num_blocks())
+        .map(BlockId)
+        .filter(|&b| find(&rep, b) == b)
+        .collect();
+    let resolved: Vec<(BlockId, BlockId, f64)> = edges
+        .iter()
+        .map(|e| (find(&rep, e.src), find(&rep, e.dst), e.st))
+        .filter(|(s, d, _)| s != d)
+        .collect();
+    let mut indegree: BTreeMap<BlockId, usize> = alive.iter().map(|&b| (b, 0)).collect();
+    for &(_, d, _) in &resolved {
+        *indegree.get_mut(&d).expect("alive") += 1;
+    }
+    let mut queue: Vec<BlockId> = alive.iter().copied().filter(|b| indegree[b] == 0).collect();
+    let mut order = Vec::with_capacity(alive.len());
+    let mut indeg = indegree;
+    while let Some(b) = queue.pop() {
+        order.push(b);
+        for &(s, d, _) in &resolved {
+            if s == b {
+                let c = indeg.get_mut(&d).expect("alive");
+                *c -= 1;
+                if *c == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+    }
+    if order.len() != alive.len() {
+        // Residual cycle: irreducible CFG. No finite bound.
+        return WcetReport {
+            bound_us: f64::INFINITY,
+            critical_path: Vec::new(),
+            loop_bounds,
+        };
+    }
+    let mut dist: BTreeMap<BlockId, f64> = BTreeMap::new();
+    let mut parent: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    dist.insert(entry, weight[entry.0]);
+    for &b in &order {
+        let Some(&db) = dist.get(&b) else { continue };
+        for &(s, d, st) in &resolved {
+            if s == b {
+                let cand = db + st + weight[d.0];
+                if dist.get(&d).is_none_or(|&cur| cand > cur) {
+                    dist.insert(d, cand);
+                    parent.insert(d, b);
+                }
+            }
+        }
+    }
+    let runs = profile.block_count(cfg.entry()).max(1);
+    let bound = dist.get(&exit).copied().unwrap_or(0.0) * runs as f64;
+    let mut path = vec![exit];
+    while let Some(&p) = parent.get(path.last().expect("nonempty")) {
+        path.push(p);
+    }
+    path.reverse();
+    WcetReport {
+        bound_us: bound,
+        critical_path: path.into_iter().map(|b| display[b.0].clone()).collect(),
+        loop_bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_ir::{BlockModeCost, CfgBuilder, ProfileBuilder};
+
+    fn ladder2() -> VoltageLadder {
+        VoltageLadder::from_frequencies(&dvs_vf::AlphaPower::paper(), &[100.0, 200.0]).unwrap()
+    }
+
+    #[test]
+    fn straight_line_bound_is_sum_of_block_times() {
+        let mut b = CfgBuilder::new("s");
+        let e = b.block("entry");
+        let m = b.block("mid");
+        let x = b.block("exit");
+        b.edge(e, m);
+        b.edge(m, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 2);
+        for blk in cfg.blocks() {
+            for mode in 0..2 {
+                pb.set_block_cost(
+                    blk.id,
+                    mode,
+                    BlockModeCost {
+                        time_us: if mode == 0 { 4.0 } else { 2.0 },
+                        energy_uj: 1.0,
+                    },
+                );
+            }
+        }
+        pb.record_walk(&cfg, &[e, m, x]);
+        let profile = pb.finish();
+        let schedule = EdgeSchedule::uniform(&cfg, ModeId(1));
+        let flow = ModeFlow::compute(&cfg, &profile, &schedule, None);
+        let r = compute_wcet(
+            &cfg,
+            &profile,
+            &ladder2(),
+            &TransitionModel::free(),
+            &schedule,
+            None,
+            &flow,
+        );
+        assert!((r.bound_us - 6.0).abs() < 1e-9, "{}", r.bound_us);
+        assert_eq!(r.critical_path, vec!["entry", "mid", "exit"]);
+        assert!(r.loop_bounds.is_empty());
+    }
+
+    #[test]
+    fn loop_charged_n_iterations() {
+        let mut b = CfgBuilder::new("l");
+        let e = b.block("entry");
+        let h = b.block("head");
+        let body = b.block("body");
+        let x = b.block("exit");
+        b.edge(e, h);
+        b.edge(h, body);
+        b.edge(body, h);
+        b.edge(h, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 1);
+        for blk in cfg.blocks() {
+            pb.set_block_cost(
+                blk.id,
+                0,
+                BlockModeCost {
+                    time_us: 1.0,
+                    energy_uj: 1.0,
+                },
+            );
+        }
+        // Three iterations: X = 1 entry, K = 3 back edges, N = 4.
+        pb.record_walk(&cfg, &[e, h, body, h, body, h, body, h, x]);
+        let profile = pb.finish();
+        let schedule = EdgeSchedule::uniform(&cfg, ModeId(0));
+        let flow = ModeFlow::compute(&cfg, &profile, &schedule, None);
+        let r = compute_wcet(
+            &cfg,
+            &profile,
+            &ladder2(),
+            &TransitionModel::free(),
+            &schedule,
+            None,
+            &flow,
+        );
+        assert_eq!(r.loop_bounds, vec![(h, 4)]);
+        // entry(1) + 4 × (head+body = 2) + exit(1) = 10.
+        assert!((r.bound_us - 10.0).abs() < 1e-9, "{}", r.bound_us);
+        assert!(r.critical_path.contains(&"head\u{d7}4".to_string()));
+    }
+
+    #[test]
+    fn bound_dominates_profiled_time() {
+        // Diamond with unequal arms: profile takes the short arm, the
+        // bound must still charge the long one.
+        let mut b = CfgBuilder::new("d");
+        let e = b.block("entry");
+        let long = b.block("long");
+        let short = b.block("short");
+        let x = b.block("exit");
+        b.edge(e, long);
+        b.edge(e, short);
+        b.edge(long, x);
+        b.edge(short, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut pb = ProfileBuilder::new(&cfg, 1);
+        for (blk, t) in [(e, 1.0), (long, 50.0), (short, 2.0), (x, 1.0)] {
+            pb.set_block_cost(
+                blk,
+                0,
+                BlockModeCost {
+                    time_us: t,
+                    energy_uj: 1.0,
+                },
+            );
+        }
+        pb.record_walk(&cfg, &[e, short, x]);
+        let profile = pb.finish();
+        let schedule = EdgeSchedule::uniform(&cfg, ModeId(0));
+        let flow = ModeFlow::compute(&cfg, &profile, &schedule, None);
+        let r = compute_wcet(
+            &cfg,
+            &profile,
+            &ladder2(),
+            &TransitionModel::free(),
+            &schedule,
+            None,
+            &flow,
+        );
+        assert!((r.bound_us - 52.0).abs() < 1e-9, "{}", r.bound_us);
+        assert!(r.bound_us >= profile.total_time_at(0));
+        assert_eq!(r.critical_path, vec!["entry", "long", "exit"]);
+    }
+}

@@ -8,6 +8,9 @@
 //! dvsc analyze --benchmark epic [--levels 7]
 //! dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J]
 //!            [--repro-out FILE]
+//! dvsc verify [--benchmark gsm] [--deadline 1..5] [--deny] [--json]
+//!             [--dot out.dot] [--mutate SEED] [--levels N]
+//!             [--capacitance µF] [--jobs N]
 //! ```
 //!
 //! `compile` runs profile → filter → MILP → schedule on a built-in
@@ -17,8 +20,15 @@
 //! seeded random programs and cross-checks the MILP against brute-force
 //! enumeration, analytical lower bounds and simulator replay, shrinking
 //! any failure to a minimal counterexample (exit 1 on disagreement;
-//! `--repro-out` saves the repro command lines). Invoking `dvsc` with
-//! flags but no subcommand implies `compile`.
+//! `--repro-out` saves the repro command lines). `verify` compiles each
+//! benchmark (all of them by default, fanned out over a worker pool) and
+//! runs the `dvs-verify` static pass over the emitted schedule: mode
+//! confluence, WCET deadline bound and the V001–V009 lints. `--deny`
+//! exits 1 if any error-severity diagnostic fires, `--json` switches to
+//! machine-readable output, `--dot` writes a mode-colored CFG overlay,
+//! and `--mutate SEED` deliberately corrupts one hot mode-set first (for
+//! testing that the verifier catches it). Invoking `dvsc` with flags but
+//! no subcommand implies `compile`.
 //!
 //! `--metrics` prints a pipeline metrics summary (counters, gauges,
 //! histograms) after the run; `--trace-out FILE` writes a Chrome
@@ -26,9 +36,12 @@
 
 use compile_time_dvs::check::{run_check, CheckConfig, Tolerances};
 use compile_time_dvs::compiler::{analyze_params, emit_instrumented, DeadlineScheme, DvsCompiler};
+use compile_time_dvs::ir;
 use compile_time_dvs::model::DiscreteModel;
 use compile_time_dvs::obs;
+use compile_time_dvs::runtime::Pool;
 use compile_time_dvs::sim::Machine;
+use compile_time_dvs::verify;
 use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
 use compile_time_dvs::workloads::Benchmark;
 use std::process::ExitCode;
@@ -47,6 +60,10 @@ struct Args {
     seed_base: u64,
     max_blocks: usize,
     repro_out: Option<String>,
+    json: bool,
+    deny: bool,
+    dot: Option<String>,
+    mutate: Option<u64>,
 }
 
 fn usage() -> ExitCode {
@@ -57,6 +74,9 @@ fn usage() -> ExitCode {
          dvsc analyze --benchmark <name> [--levels N]\n  \
          dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J] \
          [--repro-out FILE]\n  \
+         dvsc verify [--benchmark <name>] [--deadline 1..5] [--deny] [--json] \
+         [--dot FILE]\n  \
+         \x20              [--mutate SEED] [--levels N] [--capacitance µF] [--jobs N]\n  \
          dvsc --version"
     );
     ExitCode::from(2)
@@ -86,6 +106,10 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         seed_base: 42,
         max_blocks: 6,
         repro_out: None,
+        json: false,
+        deny: false,
+        dot: None,
+        mutate: None,
     };
     fn value<'a>(
         flag: &str,
@@ -131,6 +155,10 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 }
             }
             "--repro-out" => args.repro_out = Some(value(flag, &mut it)?.clone()),
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--dot" => args.dot = Some(value(flag, &mut it)?.clone()),
+            "--mutate" => args.mutate = Some(number(flag, value(flag, &mut it)?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -197,6 +225,7 @@ fn main() -> ExitCode {
         "compile" => run_compile(&args),
         "analyze" => run_analyze(&args),
         "check" => run_checker(&args),
+        "verify" => run_verify(&args),
         other => {
             eprintln!("error: unknown subcommand `{other}`");
             return usage();
@@ -346,6 +375,216 @@ fn run_checker(args: &Args) -> u8 {
         }
     }
     u8::from(!report.ok())
+}
+
+/// What `verify` learned about one benchmark: either a report (plus the
+/// resolved deadline, an optional mutation note and an optional rendered
+/// DOT overlay) or the reason the compile could not produce a schedule.
+struct VerifyOut {
+    name: &'static str,
+    outcome: Result<(verify::VerifyReport, f64, Option<String>, Option<String>), String>,
+}
+
+#[allow(clippy::too_many_lines)]
+fn verify_one(b: Benchmark, ladder: &VoltageLadder, args: &Args, want_dot: bool) -> VerifyOut {
+    let name = b.name();
+    let run = || -> Result<(verify::VerifyReport, f64, Option<String>, Option<String>), String> {
+        let cfg = b.build_cfg();
+        let trace = b.trace(&cfg, &b.default_input());
+        let machine = Machine::paper_default();
+        let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
+        let deadline = scheme.deadline_us(args.deadline_index);
+        let transition = TransitionModel::with_capacitance_uf(args.capacitance_uf);
+        let compiler = DvsCompiler::builder(machine, ladder.clone(), transition)
+            .validation(false)
+            .solver_jobs(1)
+            .build()
+            .map_err(|e| format!("bad compiler settings: {e}"))?;
+        let (profile, _) = compiler.profile(&cfg, &trace);
+        let result = compiler
+            .compile(&cfg, &profile, deadline)
+            .map_err(|e| format!("compile failed: {e}"))?;
+        let mut schedule = result.milp.schedule.clone();
+        let mut mask: Option<Vec<bool>> = Some(result.analysis.emitted_mask());
+        let mut mutation = None;
+        if let Some(seed) = args.mutate {
+            // Corrupt one hot mode-set: drop it a level. The hoisting mask
+            // was proven for the original schedule, so the mutant is
+            // verified under naive emission.
+            let mut eligible: Vec<_> = cfg
+                .edges()
+                .filter(|e| {
+                    profile.edge_count(e.id) > 0 && schedule.edge_modes[e.id.index()].index() > 0
+                })
+                .map(|e| e.id)
+                .collect();
+            eligible.sort_by_key(|&e| std::cmp::Reverse(profile.edge_count(e)));
+            if eligible.is_empty() {
+                return Err("no executed edge above the slowest mode to mutate".into());
+            }
+            let pick = eligible[(seed as usize) % eligible.len()];
+            let old = schedule.edge_modes[pick.index()];
+            let new = compile_time_dvs::vf::ModeId(old.index() - 1);
+            schedule.edge_modes[pick.index()] = new;
+            mask = None;
+            mutation = Some(format!(
+                "mutated edge {pick} ({} -> {}): m{} -> m{}",
+                cfg.block(cfg.edge(pick).src).label,
+                cfg.block(cfg.edge(pick).dst).label,
+                old.index(),
+                new.index()
+            ));
+        }
+        let report = verify::verify(&verify::VerifyInput {
+            cfg: &cfg,
+            profile: &profile,
+            ladder,
+            transition: &transition,
+            schedule: &schedule,
+            emitted: mask.as_deref(),
+            deadline_us: Some(deadline),
+        });
+        let dot = want_dot.then(|| {
+            let overlay = ir::DotOverlay {
+                edge_modes: schedule
+                    .edge_modes
+                    .iter()
+                    .map(|m| Some(m.index()))
+                    .collect(),
+                emitted: mask.clone().unwrap_or_else(|| vec![true; cfg.num_edges()]),
+                block_modes: report
+                    .flow
+                    .exec_block
+                    .iter()
+                    .map(|s| (s.len() == 1).then(|| *s.iter().next().expect("len 1")))
+                    .collect(),
+                block_notes: report
+                    .diagnostics
+                    .iter()
+                    .filter_map(|d| d.block.map(|b| (b, d.code.code().to_string())))
+                    .collect(),
+                edge_notes: report
+                    .diagnostics
+                    .iter()
+                    .filter_map(|d| d.edge.map(|e| (e, d.code.code().to_string())))
+                    .collect(),
+            };
+            ir::cfg_to_dot_overlay(&cfg, Some(&profile), &overlay)
+        });
+        Ok((report, deadline, mutation, dot))
+    };
+    VerifyOut {
+        name,
+        outcome: run(),
+    }
+}
+
+/// `dvsc verify`: static schedule verification over built-in benchmarks.
+/// Exit code 1 under `--deny` if any benchmark draws an error-severity
+/// diagnostic (or fails to compile at all).
+fn run_verify(args: &Args) -> u8 {
+    let benches: Vec<Benchmark> = match &args.benchmark {
+        Some(name) => match find_benchmark(name) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown benchmark `{name}` (try `dvsc list`)");
+                return 2;
+            }
+        },
+        None => Benchmark::all().to_vec(),
+    };
+    if !(1..=5).contains(&args.deadline_index) {
+        eprintln!("--deadline must be 1..5");
+        return 2;
+    }
+    if args.dot.is_some() && benches.len() != 1 {
+        eprintln!("--dot requires --benchmark (one CFG per overlay)");
+        return 2;
+    }
+    let Some(ladder) = ladder(args.levels) else {
+        eprintln!("bad --levels");
+        return 2;
+    };
+
+    let want_dot = args.dot.is_some();
+    let pool = Pool::new(args.jobs);
+    let results = pool.map(benches, |_, b| verify_one(b, &ladder, args, want_dot));
+
+    let mut denied = false;
+    let mut json_rows = Vec::new();
+    for r in &results {
+        match &r.outcome {
+            Ok((report, deadline, mutation, dot)) => {
+                let failed = !report.ok();
+                denied |= failed;
+                if args.json {
+                    let mut row = vec![
+                        ("benchmark", obs::json::Json::from(r.name)),
+                        (
+                            "deadline_index",
+                            obs::json::Json::from(args.deadline_index as u64),
+                        ),
+                        ("report", report.to_json()),
+                    ];
+                    if let Some(m) = mutation {
+                        row.push(("mutation", obs::json::Json::from(m.as_str())));
+                    }
+                    json_rows.push(obs::json::Json::obj(row));
+                } else {
+                    println!(
+                        "{}: {} — {} errors, {} warnings, {} infos; modeled {:.1} µs, \
+                         wcet {:.1} µs, deadline D{} = {:.1} µs",
+                        r.name,
+                        if failed { "FAIL" } else { "ok" },
+                        report.count(verify::Severity::Error),
+                        report.count(verify::Severity::Warning),
+                        report.count(verify::Severity::Info),
+                        report.modeled_time_us,
+                        report.wcet.bound_us,
+                        args.deadline_index,
+                        deadline
+                    );
+                    if let Some(m) = mutation {
+                        println!("  {m}");
+                    }
+                    for d in &report.diagnostics {
+                        println!("  {}", d.render());
+                    }
+                }
+                if let (Some(path), Some(dot)) = (&args.dot, dot) {
+                    if let Err(e) = std::fs::write(path, dot) {
+                        eprintln!("cannot write {path}: {e}");
+                        return 1;
+                    }
+                    if !args.json {
+                        println!("  wrote mode overlay to {path}");
+                    }
+                }
+            }
+            Err(msg) => {
+                denied = true;
+                if args.json {
+                    json_rows.push(obs::json::Json::obj(vec![
+                        ("benchmark", obs::json::Json::from(r.name)),
+                        ("error", obs::json::Json::from(msg.as_str())),
+                    ]));
+                } else {
+                    println!("{}: FAIL — {msg}", r.name);
+                }
+            }
+        }
+    }
+    if args.json {
+        println!(
+            "{}",
+            obs::json::Json::obj(vec![
+                ("denied", obs::json::Json::from(denied && args.deny)),
+                ("benchmarks", obs::json::Json::Arr(json_rows)),
+            ])
+            .dump()
+        );
+    }
+    u8::from(args.deny && denied)
 }
 
 fn run_analyze(args: &Args) -> u8 {

@@ -11,6 +11,7 @@ pub use dvs_model as model;
 pub use dvs_obs as obs;
 pub use dvs_runtime as runtime;
 pub use dvs_sim as sim;
+pub use dvs_verify as verify;
 pub use dvs_vf as vf;
 pub use dvs_workloads as workloads;
 
@@ -37,6 +38,7 @@ pub mod prelude {
     pub use dvs_ir::{Cfg, CfgBuilder, Inst, MemWidth, Opcode, Profile, Reg};
     pub use dvs_model::{ContinuousModel, DiscreteModel, ProgramParams};
     pub use dvs_sim::{EdgeSchedule, Machine, ModeProfiler, Trace, TraceBuilder};
+    pub use dvs_verify::{verify, VerifyInput, VerifyReport};
     pub use dvs_vf::{AlphaPower, ModeId, OperatingPoint, TransitionModel, VoltageLadder};
     pub use dvs_workloads::Benchmark;
 }

@@ -184,3 +184,123 @@ fn metrics_and_trace_out_capture_the_pipeline() {
     }
     let _ = std::fs::remove_file(&tmp);
 }
+
+/// `verify` over a single benchmark prints an ok row and exits 0 even
+/// under `--deny`; `--json` emits a machine-readable report and `--dot`
+/// writes a mode-colored overlay.
+#[test]
+fn verify_subcommand_reports_clean_schedules() {
+    use compile_time_dvs::obs::json::Json;
+
+    let tmp = std::env::temp_dir().join("dvsc_cli_test_verify.dot");
+    let _ = std::fs::remove_file(&tmp);
+    let out = dvsc()
+        .args([
+            "verify",
+            "--benchmark",
+            "ghostscript",
+            "--deny",
+            "--json",
+            "--dot",
+        ])
+        .arg(&tmp)
+        .output()
+        .expect("dvsc runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let root = Json::parse(&text).expect("verify --json output parses");
+    assert_eq!(root.get("denied").and_then(Json::as_bool), Some(false));
+    let rows = root.get("benchmarks").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 1);
+    let report = rows[0].get("report").expect("report object");
+    assert_eq!(report.get("errors").and_then(Json::as_f64), Some(0.0));
+    assert!(
+        report
+            .get("modeled_time_us")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    let wcet = report
+        .get("wcet")
+        .and_then(|w| w.get("bound_us"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(
+        wcet >= report
+            .get("modeled_time_us")
+            .and_then(Json::as_f64)
+            .unwrap()
+    );
+
+    let dot = std::fs::read_to_string(&tmp).expect("dot overlay written");
+    assert!(dot.starts_with("digraph"), "not a dot file: {dot}");
+    // Every edge carries its scheduled mode and profile count.
+    assert!(
+        dot.contains("label=\"m"),
+        "overlay lacks mode labels:\n{dot}"
+    );
+    assert!(
+        dot.contains("\u{d7}"),
+        "overlay lacks profile counts:\n{dot}"
+    );
+    assert!(
+        dot.contains("fillcolor"),
+        "overlay lacks mode coloring:\n{dot}"
+    );
+    let _ = std::fs::remove_file(&tmp);
+}
+
+/// A seeded slow-down mutation at the tightest deadline must be flagged,
+/// and `--deny` must turn that into a nonzero exit.
+#[test]
+fn verify_mutation_is_denied() {
+    let out = dvsc()
+        .args([
+            "verify",
+            "--benchmark",
+            "adpcm",
+            "--deadline",
+            "1",
+            "--mutate",
+            "1",
+            "--deny",
+        ])
+        .output()
+        .expect("dvsc runs");
+    assert!(
+        !out.status.success(),
+        "mutated schedule must be denied; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "no FAIL row in:\n{text}");
+    assert!(
+        text.contains("mutated edge"),
+        "mutation note missing:\n{text}"
+    );
+    assert!(text.contains("error[V"), "no V-coded error in:\n{text}");
+}
+
+/// Without a benchmark filter, `verify` fans out over every bundled
+/// workload and prints one row each.
+#[test]
+fn verify_covers_all_benchmarks() {
+    let out = dvsc().args(["verify"]).output().expect("dvsc runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["adpcm", "mpeg", "gsm", "epic", "ghostscript", "mpg123"] {
+        assert!(
+            text.lines().any(|l| l.contains(name) && l.contains("ok")),
+            "no ok row for {name} in:\n{text}"
+        );
+    }
+}

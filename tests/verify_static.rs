@@ -1,0 +1,412 @@
+//! Acceptance tests for the `dvs-verify` static schedule verifier:
+//!
+//! * a seeded mutation sweep (well over 100 cases) proving that schedules
+//!   the shared cost evaluator rejects are flagged by the verifier;
+//! * deletion mutants proving that eliding any live mode-set draws a
+//!   mode-confluence error;
+//! * WCET conservativeness against both the in-model profiled time and
+//!   the cycle-level simulator replay on every bundled benchmark;
+//! * deadline-verdict agreement with MILP feasibility on small CFGs under
+//!   free transitions, where the all-fast schedule is provably
+//!   time-optimal.
+
+use compile_time_dvs::check::schedule_cost;
+use compile_time_dvs::compiler::{DvsCompiler, MilpFormulation, ScheduleAnalysis};
+use compile_time_dvs::ir::{BlockModeCost, Cfg, CfgBuilder, EdgeId, Profile, ProfileBuilder};
+use compile_time_dvs::milp::MilpError;
+use compile_time_dvs::sim::{EdgeSchedule, Machine, Trace};
+use compile_time_dvs::verify::{verify, DiagCode, Severity, VerifyInput};
+use compile_time_dvs::vf::{AlphaPower, ModeId, TransitionModel, VoltageLadder};
+use compile_time_dvs::workloads::Benchmark;
+
+/// One compiled benchmark cell, ready for verification experiments.
+struct Cell {
+    cfg: Cfg,
+    trace: Trace,
+    profile: Profile,
+    ladder: VoltageLadder,
+    transition: TransitionModel,
+    deadline_us: f64,
+    schedule: EdgeSchedule,
+    analysis: ScheduleAnalysis,
+}
+
+fn compile_cell(b: Benchmark, deadline_index: usize) -> Cell {
+    let cfg = b.build_cfg();
+    let trace = b.trace(&cfg, &b.default_input());
+    let machine = Machine::paper_default();
+    let scheme = compile_time_dvs::compiler::DeadlineScheme::measure(&machine, &cfg, &trace);
+    let deadline_us = scheme.deadline_us(deadline_index);
+    let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+    let transition = TransitionModel::with_capacitance_uf(0.05);
+    let compiler = DvsCompiler::builder(machine, ladder.clone(), transition)
+        .validation(false)
+        .build()
+        .expect("valid settings");
+    let (profile, _) = compiler.profile(&cfg, &trace);
+    let result = compiler
+        .compile(&cfg, &profile, deadline_us)
+        .unwrap_or_else(|e| panic!("{}: D{deadline_index} compile failed: {e}", b.name()));
+    let analysis = ScheduleAnalysis::new(&cfg, &profile, &result.milp.schedule);
+    Cell {
+        cfg,
+        trace,
+        profile,
+        ladder,
+        transition,
+        deadline_us,
+        schedule: result.milp.schedule,
+        analysis,
+    }
+}
+
+fn verify_cell(cell: &Cell, schedule: &EdgeSchedule, emitted: Option<&[bool]>) -> bool {
+    verify(&VerifyInput {
+        cfg: &cell.cfg,
+        profile: &cell.profile,
+        ladder: &cell.ladder,
+        transition: &cell.transition,
+        schedule,
+        emitted,
+        deadline_us: Some(cell.deadline_us),
+    })
+    .ok()
+}
+
+/// ≥100 seeded perturbation mutants across three benchmarks at the tight
+/// D1 deadline: every mutant the shared §4.2 cost evaluator clearly
+/// rejects must be flagged by the verifier (the ISSUE's 99% bar, met at
+/// 100% because the verifier's modeled time *is* the evaluator's time).
+#[test]
+fn seeded_mode_perturbation_mutants_are_caught() {
+    let benches = ["adpcm", "gsm", "ghostscript"];
+    let mut total = 0u32;
+    let mut rejected = 0u32;
+    let mut caught = 0u32;
+    let mut accepted_clean = 0u32;
+    for name in benches {
+        let b = Benchmark::all()
+            .into_iter()
+            .find(|b| b.name().starts_with(name))
+            .expect("benchmark exists");
+        let cell = compile_cell(b, 1);
+        let executed: Vec<EdgeId> = cell
+            .cfg
+            .edges()
+            .filter(|e| cell.profile.edge_count(e.id) > 0)
+            .map(|e| e.id)
+            .collect();
+        for seed in 0..40u64 {
+            let pick = executed[(seed as usize) % executed.len()];
+            let old = cell.schedule.edge_modes[pick.index()].index();
+            // Alternate slow-down/speed-up, bouncing off the ladder ends
+            // so every seed yields a genuine mutant.
+            let new = if seed % 2 == 0 {
+                if old > 0 {
+                    old - 1
+                } else {
+                    old + 1
+                }
+            } else if old + 1 < cell.ladder.len() {
+                old + 1
+            } else {
+                old - 1
+            };
+            assert_ne!(new, old);
+            let mut mutant = cell.schedule.clone();
+            mutant.edge_modes[pick.index()] = ModeId(new);
+            let (_, t_mut) = schedule_cost(
+                &cell.cfg,
+                &cell.profile,
+                &cell.ladder,
+                &cell.transition,
+                mutant.initial,
+                &mutant.edge_modes,
+            );
+            total += 1;
+            // Clear rejection: the mutant overshoots the deadline by more
+            // than every float tolerance in play.
+            if t_mut > cell.deadline_us + 1e-3 {
+                rejected += 1;
+                if !verify_cell(&cell, &mutant, None) {
+                    caught += 1;
+                }
+            } else if verify_cell(&cell, &mutant, None) {
+                accepted_clean += 1;
+            }
+        }
+    }
+    assert!(total >= 100, "sweep must cover 100+ mutants, got {total}");
+    assert!(
+        rejected >= 20,
+        "sweep must exercise real deadline misses, got {rejected}/{total}"
+    );
+    assert!(
+        f64::from(caught) >= 0.99 * f64::from(rejected),
+        "verifier caught {caught} of {rejected} rejected mutants"
+    );
+    // Sanity: the sweep is not vacuous in the other direction either —
+    // some mutants (e.g. speed-ups) stay feasible and verify clean.
+    assert!(accepted_clean > 0, "no mutant survived at all");
+}
+
+/// Deleting (eliding) any live mode-set must draw a V001 mode-confluence
+/// error: by definition of liveness some executed path reaches the edge
+/// in a different mode than it sets.
+#[test]
+fn deleting_a_live_mode_set_is_caught() {
+    let mut live_total = 0u32;
+    for b in Benchmark::all() {
+        let cell = compile_cell(b, 2);
+        let mask = cell.analysis.emitted_mask();
+        // The hoisted emission itself is clean.
+        assert!(
+            verify_cell(&cell, &cell.schedule, Some(&mask)),
+            "{}: hoisted schedule must verify",
+            b.name()
+        );
+        for e in cell.cfg.edges() {
+            if !mask[e.id.index()] || cell.profile.edge_count(e.id) == 0 {
+                continue;
+            }
+            live_total += 1;
+            let mut mutant_mask = mask.clone();
+            mutant_mask[e.id.index()] = false;
+            let report = verify(&VerifyInput {
+                cfg: &cell.cfg,
+                profile: &cell.profile,
+                ladder: &cell.ladder,
+                transition: &cell.transition,
+                schedule: &cell.schedule,
+                emitted: Some(&mutant_mask),
+                deadline_us: None,
+            });
+            assert!(
+                report
+                    .errors()
+                    .any(|d| d.code == DiagCode::ModeConflict && d.edge == Some(e.id)),
+                "{}: eliding live mode-set on {} must be a V001 error, got:\n{}",
+                b.name(),
+                e.id,
+                report.render()
+            );
+        }
+    }
+    assert!(
+        live_total >= 10,
+        "too few live sets exercised: {live_total}"
+    );
+}
+
+/// The WCET bound dominates the in-model profiled time exactly, and the
+/// cycle-level replay within the simulator's cross-block overlap
+/// tolerance (the same 15% + 1 µs the differential checker grants).
+#[test]
+fn wcet_bound_dominates_modeled_and_replayed_time() {
+    let machine = Machine::paper_default();
+    for b in Benchmark::all() {
+        let cell = compile_cell(b, 3);
+        let mask = cell.analysis.emitted_mask();
+        let report = verify(&VerifyInput {
+            cfg: &cell.cfg,
+            profile: &cell.profile,
+            ladder: &cell.ladder,
+            transition: &cell.transition,
+            schedule: &cell.schedule,
+            emitted: Some(&mask),
+            deadline_us: Some(cell.deadline_us),
+        });
+        assert!(report.ok(), "{}: {}", b.name(), report.render());
+        let slack = 1e-6 * report.modeled_time_us.max(1.0);
+        assert!(
+            report.wcet.bound_us >= report.modeled_time_us - slack,
+            "{}: wcet {} < modeled {}",
+            b.name(),
+            report.wcet.bound_us,
+            report.modeled_time_us
+        );
+        let run = machine.run_scheduled(
+            &cell.cfg,
+            &cell.trace,
+            &cell.ladder,
+            &cell.schedule,
+            &cell.transition,
+        );
+        assert!(
+            run.time_us <= report.wcet.bound_us * 1.15 + 1.0,
+            "{}: replayed {} µs above wcet bound {} µs",
+            b.name(),
+            run.time_us,
+            report.wcet.bound_us
+        );
+    }
+}
+
+/// Small-CFG family with hand-set mode costs for the feasibility
+/// agreement test: returns `(cfg, profile)` pairs. Costs are monotone in
+/// the mode index (faster mode, less time), so under free transitions the
+/// all-fast uniform schedule is time-optimal and MILP feasibility is
+/// decided by its modeled time alone.
+fn small_cases() -> Vec<(Cfg, Profile)> {
+    let costs = |pb: &mut ProfileBuilder, blocks: &[compile_time_dvs::ir::BlockId]| {
+        for (i, &blk) in blocks.iter().enumerate() {
+            for m in 0..3 {
+                let scale = [4.0, 2.0, 1.0][m];
+                pb.set_block_cost(
+                    blk,
+                    m,
+                    BlockModeCost {
+                        time_us: (1.0 + i as f64) * scale,
+                        energy_uj: (1.0 + i as f64) * [1.0, 2.0, 4.5][m],
+                    },
+                );
+            }
+        }
+    };
+    let mut cases = Vec::new();
+
+    // Straight line.
+    let mut b = CfgBuilder::new("line");
+    let e = b.block("entry");
+    let m = b.block("mid");
+    let x = b.block("exit");
+    b.edge(e, m);
+    b.edge(m, x);
+    let cfg = b.finish(e, x).unwrap();
+    let mut pb = ProfileBuilder::new(&cfg, 3);
+    assert!(pb.record_walk(&cfg, &[e, m, x]));
+    costs(&mut pb, &[e, m, x]);
+    cases.push((cfg, pb.finish()));
+
+    // Diamond with an uneven split.
+    let mut b = CfgBuilder::new("diamond");
+    let e = b.block("entry");
+    let t = b.block("t");
+    let f = b.block("f");
+    let x = b.block("exit");
+    b.edge(e, t);
+    b.edge(e, f);
+    b.edge(t, x);
+    b.edge(f, x);
+    let cfg = b.finish(e, x).unwrap();
+    let mut pb = ProfileBuilder::new(&cfg, 3);
+    for _ in 0..3 {
+        assert!(pb.record_walk(&cfg, &[e, t, x]));
+    }
+    assert!(pb.record_walk(&cfg, &[e, f, x]));
+    costs(&mut pb, &[e, t, f, x]);
+    cases.push((cfg, pb.finish()));
+
+    // A counted loop.
+    let mut b = CfgBuilder::new("loop");
+    let e = b.block("entry");
+    let h = b.block("head");
+    let body = b.block("body");
+    let x = b.block("exit");
+    b.edge(e, h);
+    b.edge(h, body);
+    b.edge(body, h);
+    b.edge(h, x);
+    let cfg = b.finish(e, x).unwrap();
+    let mut pb = ProfileBuilder::new(&cfg, 3);
+    let mut walk = vec![e];
+    for _ in 0..5 {
+        walk.push(h);
+        walk.push(body);
+    }
+    walk.push(h);
+    walk.push(x);
+    assert!(pb.record_walk(&cfg, &walk));
+    costs(&mut pb, &[e, h, body, x]);
+    cases.push((cfg, pb.finish()));
+
+    cases
+}
+
+/// On every small CFG, for deadlines swept well clear of the feasibility
+/// boundary, the verifier's verdict on the all-fast schedule agrees with
+/// MILP feasibility — and every MILP-produced schedule verifies without a
+/// modeled-deadline error.
+#[test]
+fn deadline_verdicts_agree_with_milp_feasibility_on_small_cfgs() {
+    let ladder = VoltageLadder::xscale3(&AlphaPower::paper());
+    let free = TransitionModel::free();
+    let mut checked = 0u32;
+    for (cfg, profile) in small_cases() {
+        let fast = EdgeSchedule::uniform(&cfg, ModeId(2));
+        let (_, t_fast) = schedule_cost(
+            &cfg,
+            &profile,
+            &ladder,
+            &free,
+            fast.initial,
+            &fast.edge_modes,
+        );
+        for mult in [0.4, 0.8, 0.98, 1.02, 1.5, 4.0, 10.0] {
+            let deadline = t_fast * mult;
+            let report = verify(&VerifyInput {
+                cfg: &cfg,
+                profile: &profile,
+                ladder: &ladder,
+                transition: &free,
+                schedule: &fast,
+                emitted: None,
+                deadline_us: Some(deadline),
+            });
+            let verifier_feasible = !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == DiagCode::DeadlineModeled);
+            let milp = MilpFormulation::new(&cfg, &profile, &ladder, &free, deadline).solve();
+            match &milp {
+                Ok(outcome) => {
+                    assert!(
+                        verifier_feasible,
+                        "{}: verifier rejects the time-optimal schedule at a \
+                         MILP-feasible deadline {deadline}",
+                        cfg.name()
+                    );
+                    // The solved schedule itself must carry no modeled-
+                    // deadline error.
+                    let r = verify(&VerifyInput {
+                        cfg: &cfg,
+                        profile: &profile,
+                        ladder: &ladder,
+                        transition: &free,
+                        schedule: &outcome.schedule,
+                        emitted: None,
+                        deadline_us: Some(deadline),
+                    });
+                    assert!(
+                        !r.errors().any(|d| d.code == DiagCode::DeadlineModeled),
+                        "{}: MILP schedule flagged infeasible at {deadline}:\n{}",
+                        cfg.name(),
+                        r.render()
+                    );
+                }
+                Err(MilpError::Infeasible) => {
+                    assert!(
+                        !verifier_feasible,
+                        "{}: MILP infeasible at {deadline} but the all-fast \
+                         schedule verifies in {} µs",
+                        cfg.name(),
+                        report.modeled_time_us
+                    );
+                }
+                Err(e) => panic!("{}: solver error {e}", cfg.name()),
+            }
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 21);
+}
+
+/// Every error-severity code the verifier can emit carries a stable
+/// `Vnnn` identifier — the CI contract for `--deny` greps.
+#[test]
+fn diagnostic_codes_are_stable() {
+    assert_eq!(DiagCode::ModeConflict.code(), "V001");
+    assert_eq!(DiagCode::FlowViolation.code(), "V005");
+    assert_eq!(DiagCode::DeadlineModeled.code(), "V008");
+    assert_eq!(format!("{}", Severity::Error), "error");
+}
