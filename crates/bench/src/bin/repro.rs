@@ -120,11 +120,14 @@ fn main() {
                 }
             }
         });
-        let results = pool.map(ids.clone(), |idx, id| {
-            // Domain 0 is the harness itself; experiments get 1-based
-            // domains so concurrent runs don't bleed metrics into each
-            // other's stats.csv rows.
-            let domain = u32::try_from(idx).unwrap_or(u32::MAX - 1) + 1;
+        let results = pool.map(ids.clone(), |_idx, id| {
+            // Domain 0 is the harness itself; each experiment runs under
+            // its own registered, named domain so concurrent runs don't
+            // bleed metrics into each other's stats.csv rows, and so the
+            // domain column in stats.csv distinguishes bench rows from
+            // other subsystems' exports (e.g. serve.loadtest).
+            let domain_name = format!("bench.{id}");
+            let domain = dvs_obs::register_domain(&domain_name);
             let _dg = dvs_obs::enter_domain(domain);
             let t0 = Instant::now();
             match run_experiment(&ctx, id) {
@@ -138,6 +141,7 @@ fn main() {
                     let _ = fs::write(out_dir.join(format!("{id}.csv")), report.to_csv());
                     Some(ExperimentStats {
                         id: id.to_string(),
+                        domain: domain_name,
                         wall_s,
                         metrics: MetricsSnapshot::capture_domain(domain),
                     })

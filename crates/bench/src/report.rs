@@ -7,6 +7,11 @@ use std::fmt::Write as _;
 pub struct ExperimentStats {
     /// Experiment id (`"table6"`, `"fig15"`, ...).
     pub id: String,
+    /// Registered obs domain name the experiment ran under
+    /// (`"bench.table6"`, ...). Carried into `stats.csv` so rows from
+    /// concurrent bench runs never alias rows produced by other
+    /// subsystems (e.g. `serve.loadtest`).
+    pub domain: String,
     /// Wall-clock seconds the experiment took.
     pub wall_s: f64,
     /// Metrics accumulated while the experiment ran (the harness resets
@@ -126,12 +131,16 @@ impl Report {
             "Per-experiment wall-clock and pipeline metrics (repro harness)",
         );
         r.note("counters are per-experiment deltas; wall_s is harness wall-clock");
-        let mut cols = vec!["experiment".to_string(), "wall_s".to_string()];
+        let mut cols = vec![
+            "experiment".to_string(),
+            "domain".to_string(),
+            "wall_s".to_string(),
+        ];
         cols.extend(STAT_COUNTERS.iter().map(|c| (*c).to_string()));
         cols.push("milp.wall_us".to_string());
         r.columns(cols);
         for e in rows {
-            let mut cells = vec![e.id.clone(), format!("{:.3}", e.wall_s)];
+            let mut cells = vec![e.id.clone(), e.domain.clone(), format!("{:.3}", e.wall_s)];
             cells.extend(
                 STAT_COUNTERS
                     .iter()
@@ -202,11 +211,13 @@ mod tests {
         let rows = vec![
             ExperimentStats {
                 id: "table6".into(),
+                domain: "bench.table6".into(),
                 wall_s: 1.25,
                 metrics: MetricsSnapshot::default(),
             },
             ExperimentStats {
                 id: "fig15".into(),
+                domain: "bench.fig15".into(),
                 wall_s: 0.5,
                 metrics: MetricsSnapshot::default(),
             },
@@ -214,11 +225,12 @@ mod tests {
         let r = Report::harness_stats(&rows);
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.columns[0], "experiment");
+        assert_eq!(r.columns[1], "domain");
         assert!(r.columns.iter().any(|c| c == "sim.cycles"));
         assert!(r.columns.iter().any(|c| c == "milp.pivots"));
         let csv = r.to_csv();
-        assert!(csv.contains("table6,1.250"));
-        assert!(csv.contains("fig15,0.500"));
+        assert!(csv.contains("table6,bench.table6,1.250"));
+        assert!(csv.contains("fig15,bench.fig15,0.500"));
     }
 
     #[test]

@@ -75,6 +75,7 @@ mod deadline;
 mod emit;
 mod error;
 mod filter;
+pub mod fingerprint;
 mod formulate;
 #[cfg(test)]
 mod formulate_tests;

@@ -50,6 +50,103 @@ impl CompileResult {
         }
         Some(((single_e - self.milp.predicted_energy_uj) / single_e).max(0.0))
     }
+
+    /// Canonical JSON rendering of the result: every *deterministic* output
+    /// of the pass, and nothing that varies run-to-run.
+    ///
+    /// Wall-clock fields ([`dvs_milp`]'s solve time) are deliberately
+    /// excluded so two compiles of identical inputs serialize to identical
+    /// bytes — that byte-stability is what lets the serve daemon's
+    /// content-addressed cache return a stored result that is
+    /// indistinguishable from a fresh solve.
+    #[must_use]
+    pub fn to_json(&self) -> dvs_obs::json::Json {
+        use dvs_obs::json::Json;
+        let schedule = Json::obj([
+            (
+                "initial",
+                Json::from(self.milp.schedule.initial.index() as u64),
+            ),
+            (
+                "edge_modes",
+                Json::Arr(
+                    self.milp
+                        .schedule
+                        .edge_modes
+                        .iter()
+                        .map(|m| Json::from(m.index() as u64))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let milp = Json::obj([
+            ("predicted_time_us", Json::from(self.milp.predicted_time_us)),
+            (
+                "predicted_energy_uj",
+                Json::from(self.milp.predicted_energy_uj),
+            ),
+            (
+                "predicted_transition_energy_uj",
+                Json::from(self.milp.predicted_transition_energy_uj),
+            ),
+            ("bnb_nodes", Json::from(self.milp.solve_stats.nodes as u64)),
+            (
+                "lp_iterations",
+                Json::from(self.milp.solve_stats.lp_iterations as u64),
+            ),
+            ("best_bound", Json::from(self.milp.solve_stats.best_bound)),
+            ("binary_vars", Json::from(self.milp.binary_vars as u64)),
+            ("constraints", Json::from(self.milp.constraints as u64)),
+        ]);
+        let analysis = Json::obj([
+            ("num_live", Json::from(self.analysis.num_live() as u64)),
+            ("num_silent", Json::from(self.analysis.num_silent() as u64)),
+            (
+                "predicted_dynamic_transitions",
+                Json::from(self.analysis.predicted_dynamic_transitions()),
+            ),
+            (
+                "emitted",
+                Json::Arr(
+                    self.analysis
+                        .emitted_mask()
+                        .into_iter()
+                        .map(Json::from)
+                        .collect(),
+                ),
+            ),
+        ]);
+        let single = self.single_mode.map_or(Json::Null, |(m, t, e)| {
+            Json::obj([
+                ("mode", Json::from(m.index() as u64)),
+                ("time_us", Json::from(t)),
+                ("energy_uj", Json::from(e)),
+            ])
+        });
+        let validated = self.validated.as_ref().map_or(Json::Null, |v| {
+            Json::obj([
+                ("time_us", Json::from(v.time_us)),
+                ("processor_energy_uj", Json::from(v.processor_energy_uj)),
+                ("transitions", Json::from(v.transitions)),
+            ])
+        });
+        let verify = self
+            .verify
+            .as_ref()
+            .map_or(Json::Null, dvs_verify::VerifyReport::to_json);
+        Json::Obj(vec![
+            ("schedule".to_string(), schedule),
+            ("milp".to_string(), milp),
+            ("analysis".to_string(), analysis),
+            ("single_mode".to_string(), single),
+            (
+                "savings_vs_single".to_string(),
+                self.savings_vs_single().map_or(Json::Null, Json::from),
+            ),
+            ("validated".to_string(), validated),
+            ("verify".to_string(), verify),
+        ])
+    }
 }
 
 /// Configures and builds a [`DvsCompiler`] with named settings instead of
@@ -262,6 +359,35 @@ impl DvsCompiler {
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// A canonical 64-bit digest of every setting that can change what
+    /// [`DvsCompiler::compile`] produces: the voltage ladder's operating
+    /// points, the regulator transition model, the filter tail fraction and
+    /// the hoisting/verify toggles.
+    ///
+    /// Parallelism knobs (`jobs`) and the validation toggle are excluded —
+    /// `jobs` only trades wall-clock, and callers that cache validated
+    /// results should fold `solver_jobs`/validation into their own request
+    /// key the way `dvs-serve` does. Two compilers with equal digests given
+    /// byte-equal inputs produce byte-equal [`CompileResult::to_json`]
+    /// output (for a sequential solver).
+    #[must_use]
+    pub fn config_digest(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv64::new();
+        h.write_str("dvs-compiler.config.v1");
+        h.write_usize(self.ladder.len());
+        for (_, point) in self.ladder.iter() {
+            h.write_f64(point.voltage);
+            h.write_f64(point.frequency_mhz);
+        }
+        h.write_f64(self.transition.capacitance_uf);
+        h.write_f64(self.transition.efficiency);
+        h.write_f64(self.transition.i_max_a);
+        h.write_f64(self.tail_fraction);
+        h.write_bool(self.hoisting);
+        h.write_bool(self.verify_emitted);
+        h.finish()
     }
 
     /// Profiles `trace` at every ladder mode. Profiles are reusable across
@@ -828,6 +954,71 @@ mod tests {
             measured[1].time_us <= db * 1.05,
             "cat B measured over deadline"
         );
+    }
+
+    #[test]
+    fn config_digest_separates_semantic_settings_only() {
+        let mk = || {
+            DvsCompiler::builder(
+                Machine::paper_default(),
+                VoltageLadder::xscale3(&AlphaPower::paper()),
+                TransitionModel::with_capacitance_uf(10.0),
+            )
+        };
+        let base = mk().build().unwrap().config_digest();
+        assert_eq!(base, mk().build().unwrap().config_digest(), "stable");
+        // Parallelism and validation knobs don't change results → same key.
+        assert_eq!(
+            base,
+            mk().jobs(4)
+                .validation(false)
+                .build()
+                .unwrap()
+                .config_digest()
+        );
+        // Semantic knobs do.
+        for other in [
+            mk().tail_fraction(0.05).build().unwrap().config_digest(),
+            mk().hoisting(false).build().unwrap().config_digest(),
+            mk().verify_emitted(true).build().unwrap().config_digest(),
+            DvsCompiler::builder(
+                Machine::paper_default(),
+                VoltageLadder::interpolated(&AlphaPower::paper(), 5).unwrap(),
+                TransitionModel::with_capacitance_uf(10.0),
+            )
+            .build()
+            .unwrap()
+            .config_digest(),
+            DvsCompiler::builder(
+                Machine::paper_default(),
+                VoltageLadder::xscale3(&AlphaPower::paper()),
+                TransitionModel::with_capacitance_uf(0.05),
+            )
+            .build()
+            .unwrap()
+            .config_digest(),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn result_json_is_byte_stable_across_recompiles() {
+        let (cfg, trace) = two_phase_program();
+        let c = compiler();
+        let (profile, runs) = c.profile(&cfg, &trace);
+        let t_fast = runs.last().unwrap().total_time_us;
+        let t_slow = runs[0].total_time_us;
+        let deadline = t_fast + 0.5 * (t_slow - t_fast);
+        let a = c
+            .compile_and_validate(&cfg, &trace, &profile, deadline)
+            .unwrap();
+        let b = c
+            .compile_and_validate(&cfg, &trace, &profile, deadline)
+            .unwrap();
+        assert_eq!(a.to_json().dump(), b.to_json().dump());
+        // Wall-clock never leaks into the canonical form.
+        assert!(!a.to_json().dump().contains("solve_time"));
     }
 
     #[test]

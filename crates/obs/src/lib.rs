@@ -46,9 +46,9 @@ pub mod json;
 mod metrics;
 
 pub use metrics::{
-    chrome_trace, chrome_trace_string, counter, current_domain, disable, enable, enabled,
-    enter_domain, gauge, histogram, record_span, reset, thread_id, DomainGuard, HistogramSummary,
-    MetricsSnapshot, SpanEvent, SpanSummary,
+    chrome_trace, chrome_trace_string, counter, current_domain, disable, domain_name, enable,
+    enabled, enter_domain, gauge, histogram, record_span, register_domain, reset, thread_id,
+    DomainGuard, HistogramSummary, MetricsSnapshot, SpanEvent, SpanSummary,
 };
 
 use std::time::Instant;
@@ -210,6 +210,18 @@ mod tests {
         assert_eq!(d7.spans.len(), 1);
         assert_eq!(d9.spans.len(), 0);
         assert_eq!(all.spans[0].count, 1);
+    }
+
+    #[test]
+    fn registered_domains_have_stable_names() {
+        let a = register_domain("bench.table1");
+        let b = register_domain("serve.loadtest");
+        assert_ne!(a, b);
+        assert!(a >= 1 && b >= 1, "domain 0 stays anonymous");
+        assert_eq!(domain_name(a).as_deref(), Some("bench.table1"));
+        assert_eq!(domain_name(b).as_deref(), Some("serve.loadtest"));
+        assert_eq!(domain_name(0), None);
+        assert_eq!(domain_name(u32::MAX), None);
     }
 
     // Worker threads must start in domain 0 even when spawned from a thread

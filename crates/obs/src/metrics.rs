@@ -73,6 +73,41 @@ pub fn enter_domain(domain: u32) -> DomainGuard {
     }
 }
 
+/// Registry of human-readable domain names. Registration is cheap and works
+/// whether or not collection is enabled, so attribution survives
+/// enable/disable cycles; [`reset`] does not clear it (names are identity,
+/// not data).
+static DOMAIN_NAMES: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+
+fn domain_names() -> &'static Mutex<Vec<String>> {
+    DOMAIN_NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Allocates a fresh metric domain id and associates `name` with it.
+///
+/// Ids start at 1 (domain 0 is the anonymous default) and are unique for
+/// the life of the process, so two units of work — say a bench experiment
+/// and a serve request batch — can never alias each other's metrics even
+/// when they run concurrently. Use the returned id with [`enter_domain`]
+/// and [`MetricsSnapshot::capture_domain`].
+#[must_use]
+pub fn register_domain(name: &str) -> u32 {
+    let mut names = domain_names().lock().expect("domain registry poisoned");
+    names.push(name.to_string());
+    u32::try_from(names.len()).expect("fewer than 2^32 domains")
+}
+
+/// The name a domain was registered under, if any. Domain 0 and ids that
+/// were claimed via [`enter_domain`] without registration have no name.
+#[must_use]
+pub fn domain_name(domain: u32) -> Option<String> {
+    if domain == 0 {
+        return None;
+    }
+    let names = domain_names().lock().expect("domain registry poisoned");
+    names.get(domain as usize - 1).cloned()
+}
+
 /// A finished span occurrence, timestamped against the sink epoch.
 #[derive(Debug, Clone)]
 pub struct SpanEvent {

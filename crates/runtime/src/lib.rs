@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Environment variable consulted by [`Pool::from_env`] (and the CLIs'
@@ -42,20 +43,28 @@ pub const JOBS_ENV: &str = "DVS_JOBS";
 
 /// A fixed-width scoped thread pool.
 ///
-/// `Pool` is trivially cheap to construct — it holds only the worker count.
-/// Threads are spawned per [`Pool::map`] call inside a [`std::thread::scope`],
-/// so borrowed data may flow into tasks freely and no thread outlives the
-/// call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Pool` is cheap to construct — it holds the worker count plus one shared
+/// counter of not-yet-finished tasks ([`Pool::queued`]). Threads are
+/// spawned per [`Pool::map`] call inside a [`std::thread::scope`], so
+/// borrowed data may flow into tasks freely and no thread outlives the
+/// call. Clones share the queue-depth counter, so a supervisor holding a
+/// clone can observe saturation of maps running on other threads.
+#[derive(Debug, Clone)]
 pub struct Pool {
     jobs: usize,
+    /// Tasks submitted to a `map`/`run` on this pool (or a clone) that have
+    /// not finished yet. Exported as the `runtime.pool.queued` gauge.
+    queued: Arc<AtomicUsize>,
 }
 
 impl Pool {
     /// A pool that runs `jobs` tasks concurrently. `0` is treated as `1`.
     #[must_use]
     pub fn new(jobs: usize) -> Self {
-        Pool { jobs: jobs.max(1) }
+        Pool {
+            jobs: jobs.max(1),
+            queued: Arc::new(AtomicUsize::new(0)),
+        }
     }
 
     /// A pool sized from the environment: the `DVS_JOBS` variable when set
@@ -79,6 +88,31 @@ impl Pool {
         self.jobs
     }
 
+    /// How many tasks submitted to this pool (or a clone of it) have not
+    /// finished yet. `0` whenever no `map`/`run` is in flight.
+    ///
+    /// This is the pool's saturation signal: an admission controller that
+    /// sees `queued()` grow past the worker count knows new work will wait.
+    /// The same value is published as the `runtime.pool.queued` dvs-obs
+    /// gauge every time it changes (when collection is enabled).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the queued-task counter and republishes the gauge.
+    fn track_queued(&self, add: usize, sub: usize) {
+        let before = if add > 0 {
+            self.queued.fetch_add(add, Ordering::Relaxed) + add
+        } else {
+            self.queued.fetch_sub(sub, Ordering::Relaxed) - sub
+        };
+        if dvs_obs::enabled() {
+            #[allow(clippy::cast_precision_loss)]
+            dvs_obs::gauge("runtime.pool.queued", before as f64);
+        }
+    }
+
     /// Applies `f` to every item, in parallel, returning results **in task
     /// order** (`out[i]` is `f(i, items[i])`).
     ///
@@ -97,12 +131,20 @@ impl Pool {
         F: Fn(usize, I) -> T + Sync,
     {
         let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let workers = self.jobs.min(n);
+        self.track_queued(n, 0);
         if workers <= 1 {
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| {
+                    let out = f(i, item);
+                    self.track_queued(0, 1);
+                    out
+                })
                 .collect();
         }
 
@@ -148,6 +190,7 @@ impl Pool {
                 .expect("task index claimed twice");
             let out = f(idx, item);
             *results[idx].lock().expect("result slot poisoned") = Some(out);
+            self.track_queued(0, 1);
         };
 
         std::thread::scope(|s| {
@@ -374,6 +417,34 @@ mod tests {
     #[test]
     fn pool_zero_means_one() {
         assert_eq!(Pool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn queued_tracks_outstanding_tasks_and_drains_to_zero() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.queued(), 0);
+        // A clone observes the same counter from another thread while the
+        // original is blocked inside `map` — the serve daemon's admission
+        // control does exactly this.
+        let observer = pool.clone();
+        let saw_depth = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..200 {
+                    saw_depth.fetch_max(observer.queued(), Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            });
+            pool.map((0..16u64).collect(), |_, x| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                x
+            });
+        });
+        assert_eq!(pool.queued(), 0, "all tasks finished");
+        assert!(
+            saw_depth.load(Ordering::Relaxed) > 0,
+            "observer never saw a nonzero queue depth"
+        );
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! A blocking client for the serve protocol.
+
+use crate::protocol::{read_frame, write_frame, Request};
+use dvs_obs::json::Json;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response envelope.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// The op this replies to.
+    pub op: String,
+    /// For solve replies: whether the body came from the cache.
+    pub cached: bool,
+    /// Server-side handling time in microseconds (queue wait + solve for
+    /// cold requests, lookup only for hits).
+    pub server_us: f64,
+    /// Machine-readable failure kind (`busy`, `timeout`, ...), when not ok.
+    pub kind: Option<String>,
+    /// Human-readable failure message, when not ok.
+    pub error: Option<String>,
+    /// The result payload, when ok.
+    pub result: Option<Json>,
+}
+
+impl Reply {
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// A message describing why the frame is not a valid envelope.
+    pub fn parse(frame: &str) -> Result<Reply, String> {
+        let v = Json::parse(frame).map_err(|e| format!("invalid response JSON: {e}"))?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("response missing `ok`")?;
+        Ok(Reply {
+            ok,
+            op: v
+                .get("op")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            server_us: v.get("server_us").and_then(Json::as_f64).unwrap_or(0.0),
+            kind: v
+                .get("kind")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
+            error: v
+                .get("error")
+                .and_then(Json::as_str)
+                .map(ToString::to_string),
+            result: v.get("result").cloned(),
+        })
+    }
+}
+
+/// One connection to a serve daemon. Requests are pipelinable in
+/// principle but this client is strictly request/reply.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (host:port). With a timeout, both the connect
+    /// and every subsequent read/write are bounded by it; client code
+    /// waiting on a cold solve should add slack on top of the server-side
+    /// request timeout or pass `None`.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution and connection errors.
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> io::Result<Client> {
+        let stream = match timeout {
+            None => TcpStream::connect(addr)?,
+            Some(t) => {
+                let mut last = io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("`{addr}` resolved to no addresses"),
+                );
+                let mut connected = None;
+                for sockaddr in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sockaddr, t) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = e,
+                    }
+                }
+                connected.ok_or(last)?
+            }
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads the matching reply.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a connection closed before the reply, or an
+    /// unparsable envelope.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        let frame = self.request_raw(&req.to_json().dump())?;
+        Reply::parse(&frame).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+
+    /// Sends a raw request frame and returns the raw reply frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a connection closed before the reply arrived.
+    pub fn request_raw(&mut self, body: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, body)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )
+        })
+    }
+}

@@ -11,6 +11,12 @@
 //! dvsc verify [--benchmark gsm] [--deadline 1..5] [--deny] [--json]
 //!             [--dot out.dot] [--mutate SEED] [--levels N]
 //!             [--capacitance µF] [--jobs N]
+//! dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B]
+//!            [--queue-depth D]
+//! dvsc client <compile|verify|ping|stats|shutdown> [--addr HOST:PORT]
+//!             [--benchmark NAME] [--deadline 1..5] [--json]
+//! dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M]
+//!               [--benchmark NAME]
 //! ```
 //!
 //! `compile` runs profile → filter → MILP → schedule on a built-in
@@ -30,6 +36,15 @@
 //! testing that the verifier catches it). Invoking `dvsc` with flags but
 //! no subcommand implies `compile`.
 //!
+//! `serve` runs the compilation-as-a-service daemon (content-addressed
+//! solve cache, request coalescing, bounded admission queue); `client`
+//! sends one request to a running daemon; `loadtest` hammers a daemon
+//! from N concurrent connections and writes throughput/latency
+//! percentiles to `results/serve.csv`. The global `--timeout <secs>`
+//! flag bounds `compile`/`verify`/`check` wall-clock (exit code 3 on
+//! expiry) and doubles as the server-side request deadline for `client`
+//! and `loadtest`.
+//!
 //! `--metrics` prints a pipeline metrics summary (counters, gauges,
 //! histograms) after the run; `--trace-out FILE` writes a Chrome
 //! trace-event JSON file loadable in `chrome://tracing` or Perfetto.
@@ -40,12 +55,14 @@ use compile_time_dvs::ir;
 use compile_time_dvs::model::DiscreteModel;
 use compile_time_dvs::obs;
 use compile_time_dvs::runtime::Pool;
+use compile_time_dvs::serve;
 use compile_time_dvs::sim::Machine;
 use compile_time_dvs::verify;
 use compile_time_dvs::vf::{AlphaPower, TransitionModel, VoltageLadder};
 use compile_time_dvs::workloads::Benchmark;
 use std::process::ExitCode;
 
+#[derive(Clone)]
 struct Args {
     benchmark: Option<String>,
     deadline_index: usize,
@@ -64,6 +81,13 @@ struct Args {
     deny: bool,
     dot: Option<String>,
     mutate: Option<u64>,
+    addr: String,
+    cache_bytes: usize,
+    queue_depth: usize,
+    clients: usize,
+    requests: usize,
+    timeout_secs: Option<f64>,
+    client_op: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -77,6 +101,14 @@ fn usage() -> ExitCode {
          dvsc verify [--benchmark <name>] [--deadline 1..5] [--deny] [--json] \
          [--dot FILE]\n  \
          \x20              [--mutate SEED] [--levels N] [--capacitance µF] [--jobs N]\n  \
+         dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B] [--queue-depth D]\n  \
+         dvsc client <compile|verify|ping|stats|shutdown> [--addr HOST:PORT] \
+         [--benchmark <name>]\n  \
+         \x20              [--deadline 1..5] [--levels N] [--capacitance µF] [--json]\n  \
+         dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M] \
+         [--benchmark <name>]\n  \
+         dvsc --timeout <secs> ...   (bounds compile/verify/check; request \
+         deadline for client/loadtest)\n  \
          dvsc --version"
     );
     ExitCode::from(2)
@@ -110,7 +142,22 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         deny: false,
         dot: None,
         mutate: None,
+        addr: "127.0.0.1:7411".to_string(),
+        cache_bytes: 64 << 20,
+        queue_depth: 64,
+        clients: 4,
+        requests: 100,
+        timeout_secs: None,
+        client_op: None,
     };
+    // `client` takes a positional operation before any flags.
+    if cmd == "client" {
+        if let Some(tok) = it.peek() {
+            if !tok.starts_with('-') {
+                args.client_op = Some(it.next().expect("peeked").clone());
+            }
+        }
+    }
     fn value<'a>(
         flag: &str,
         it: &mut impl Iterator<Item = &'a String>,
@@ -155,6 +202,28 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                 }
             }
             "--repro-out" => args.repro_out = Some(value(flag, &mut it)?.clone()),
+            "--addr" | "-a" => args.addr = value(flag, &mut it)?.clone(),
+            "--cache-bytes" => args.cache_bytes = number(flag, value(flag, &mut it)?)?,
+            "--queue-depth" => args.queue_depth = number(flag, value(flag, &mut it)?)?,
+            "--clients" => {
+                args.clients = number(flag, value(flag, &mut it)?)?;
+                if args.clients == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+            }
+            "--requests" => {
+                args.requests = number(flag, value(flag, &mut it)?)?;
+                if args.requests == 0 {
+                    return Err("--requests must be at least 1".into());
+                }
+            }
+            "--timeout" => {
+                let secs: f64 = number(flag, value(flag, &mut it)?)?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--timeout must be positive".into());
+                }
+                args.timeout_secs = Some(secs);
+            }
             "--json" => args.json = true,
             "--deny" => args.deny = true,
             "--dot" => args.dot = Some(value(flag, &mut it)?.clone()),
@@ -222,10 +291,13 @@ fn main() -> ExitCode {
             }
             0
         }
-        "compile" => run_compile(&args),
+        "compile" => with_timeout(&args, "compile", run_compile),
         "analyze" => run_analyze(&args),
-        "check" => run_checker(&args),
-        "verify" => run_verify(&args),
+        "check" => with_timeout(&args, "check", run_checker),
+        "verify" => with_timeout(&args, "verify", run_verify),
+        "serve" => run_serve(&args),
+        "client" => run_client(&args),
+        "loadtest" => run_loadtest(&args),
         other => {
             eprintln!("error: unknown subcommand `{other}`");
             return usage();
@@ -239,6 +311,243 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::from(code)
+}
+
+/// Runs `work` under the global `--timeout` watchdog: the command's exit
+/// code if it finishes in time, exit code 3 (and an error message) if the
+/// deadline expires. Without `--timeout`, runs inline.
+fn with_timeout(args: &Args, label: &str, work: fn(&Args) -> u8) -> u8 {
+    let Some(secs) = args.timeout_secs else {
+        return work(args);
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let owned = args.clone();
+    std::thread::spawn(move || {
+        let _ = tx.send(work(&owned));
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs_f64(secs)) {
+        Ok(code) => code,
+        Err(_) => {
+            eprintln!("error: {label} timed out after {secs}s");
+            3
+        }
+    }
+}
+
+/// The server-side request deadline derived from `--timeout`.
+fn timeout_ms(args: &Args) -> Option<u64> {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    args.timeout_secs.map(|s| (s * 1e3).ceil() as u64)
+}
+
+/// `dvsc serve`: run the compilation daemon until a client sends
+/// `shutdown`.
+fn run_serve(args: &Args) -> u8 {
+    let config = serve::ServeConfig {
+        addr: args.addr.clone(),
+        jobs: args.jobs,
+        cache_bytes: args.cache_bytes,
+        queue_depth: args.queue_depth,
+    };
+    let server = match serve::Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            return 1;
+        }
+    };
+    let addr = server
+        .local_addr()
+        .map_or_else(|_| args.addr.clone(), |a| a.to_string());
+    println!(
+        "dvs-serve listening on {addr} (jobs {}, cache {} KiB, queue depth {})",
+        args.jobs,
+        args.cache_bytes >> 10,
+        args.queue_depth
+    );
+    println!("stop with: dvsc client shutdown --addr {addr}");
+    match server.run() {
+        Ok(s) => {
+            println!(
+                "drained: {} requests, {} solves, {} coalesced, {} shed, {} timeouts; \
+                 cache {} hits / {} misses / {} evictions",
+                s.requests,
+                s.solves,
+                s.coalesced,
+                s.shed,
+                s.timeouts,
+                s.cache.hits,
+                s.cache.misses,
+                s.cache.evictions
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            1
+        }
+    }
+}
+
+/// `dvsc client <op>`: one request against a running daemon.
+fn run_client(args: &Args) -> u8 {
+    let Some(op) = args.client_op.as_deref() else {
+        eprintln!("client requires an operation: compile|verify|ping|stats|shutdown");
+        return 2;
+    };
+    let request = match op {
+        "ping" => serve::Request::Ping,
+        "stats" => serve::Request::Stats,
+        "shutdown" => serve::Request::Shutdown,
+        "compile" | "verify" => {
+            let Some(name) = &args.benchmark else {
+                eprintln!("client {op} requires --benchmark");
+                return 2;
+            };
+            serve::Request::Solve(serve::SolveRequest {
+                op: if op == "compile" {
+                    serve::SolveOp::Compile
+                } else {
+                    serve::SolveOp::Verify
+                },
+                benchmark: name.clone(),
+                deadline_index: args.deadline_index,
+                levels: args.levels,
+                capacitance_uf: args.capacitance_uf,
+                timeout_ms: timeout_ms(args),
+            })
+        }
+        other => {
+            eprintln!("unknown client operation `{other}` (compile|verify|ping|stats|shutdown)");
+            return 2;
+        }
+    };
+    // The server enforces the request deadline itself, so the socket
+    // timeout only guards against a dead daemon — give it slack.
+    let socket_timeout = args
+        .timeout_secs
+        .map(|s| std::time::Duration::from_secs_f64(s + 5.0));
+    let mut client = match serve::Client::connect(&args.addr, socket_timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", args.addr);
+            return 1;
+        }
+    };
+    let reply = match client.request(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return 1;
+        }
+    };
+    if !reply.ok {
+        eprintln!(
+            "error: {}: {}",
+            reply.kind.as_deref().unwrap_or("error"),
+            reply.error.as_deref().unwrap_or("unknown failure")
+        );
+        return 1;
+    }
+    let body = reply.result.unwrap_or(obs::json::Json::Null);
+    match op {
+        "ping" => println!("pong (server {:.0} µs)", reply.server_us),
+        "stats" | "shutdown" => {
+            println!(
+                "{}",
+                if args.json {
+                    body.dump()
+                } else {
+                    body.pretty()
+                }
+            );
+            if op == "shutdown" && !args.json {
+                println!("server drained and stopped");
+            }
+        }
+        _ => {
+            if args.json {
+                println!("{}", body.dump());
+            } else {
+                println!(
+                    "{op}: cached={} server={:.1} ms",
+                    reply.cached,
+                    reply.server_us / 1e3
+                );
+                println!("{}", body.pretty());
+            }
+        }
+    }
+    0
+}
+
+/// `dvsc loadtest`: hammer a daemon and write `results/serve.csv`.
+fn run_loadtest(args: &Args) -> u8 {
+    // Latency histograms land in dvs-obs (under the `serve.loadtest`
+    // domain) regardless of `--metrics`.
+    obs::enable();
+    let config = serve::LoadtestConfig {
+        addr: args.addr.clone(),
+        clients: args.clients,
+        requests: args.requests,
+        benchmark: args.benchmark.clone(),
+        levels: args.levels,
+        capacitance_uf: args.capacitance_uf,
+        timeout_ms: timeout_ms(args),
+    };
+    let report = match serve::run_loadtest(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadtest failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "{} requests over {} clients in {:.2} s: {:.1} req/s",
+        args.requests, args.clients, report.wall_s, report.throughput_rps
+    );
+    println!(
+        "latency p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+        report.latency.p50_us / 1e3,
+        report.latency.p90_us / 1e3,
+        report.latency.p99_us / 1e3,
+        report.latency.max_us / 1e3
+    );
+    println!(
+        "cache-hit rate {:.1}% ({} completed, {} shed, {} errors)",
+        100.0 * report.cache_hit_rate,
+        report.completed,
+        report.shed,
+        report.errors
+    );
+    let csv = format!(
+        "# dvsc loadtest against {}\n\
+         domain,clients,requests,completed,shed,errors,wall_s,throughput_rps,\
+         p50_us,p90_us,p99_us,max_us,mean_us,cache_hit_rate\n\
+         serve.loadtest,{},{},{},{},{},{:.6},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.4}\n",
+        args.addr,
+        args.clients,
+        args.requests,
+        report.completed,
+        report.shed,
+        report.errors,
+        report.wall_s,
+        report.throughput_rps,
+        report.latency.p50_us,
+        report.latency.p90_us,
+        report.latency.p99_us,
+        report.latency.max_us,
+        report.latency.mean_us,
+        report.cache_hit_rate
+    );
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write("results/serve.csv", csv))
+    {
+        eprintln!("cannot write results/serve.csv: {e}");
+        return 1;
+    }
+    println!("wrote results/serve.csv");
+    u8::from(report.errors > 0)
 }
 
 fn run_compile(args: &Args) -> u8 {

@@ -10,6 +10,7 @@ pub use dvs_milp as milp;
 pub use dvs_model as model;
 pub use dvs_obs as obs;
 pub use dvs_runtime as runtime;
+pub use dvs_serve as serve;
 pub use dvs_sim as sim;
 pub use dvs_verify as verify;
 pub use dvs_vf as vf;

@@ -286,6 +286,89 @@ fn verify_mutation_is_denied() {
     assert!(text.contains("error[V"), "no V-coded error in:\n{text}");
 }
 
+/// The global `--timeout` flag: bad values fail with a precise message
+/// and the usual exit code 2, an expired watchdog exits 3 with a named
+/// label, and a generous budget leaves the run untouched.
+#[test]
+fn global_timeout_flag_is_validated_and_enforced() {
+    // Missing value.
+    let out = dvsc()
+        .args(["compile", "--timeout"])
+        .output()
+        .expect("dvsc runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--timeout requires a value"), "stderr: {err}");
+
+    // Unparseable value.
+    let out = dvsc()
+        .args(["compile", "--timeout", "soon"])
+        .output()
+        .expect("dvsc runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--timeout") && err.contains("`soon`"),
+        "stderr: {err}"
+    );
+
+    // Non-positive values.
+    for bad in ["0", "-1.5"] {
+        let out = dvsc()
+            .args(["compile", "--timeout", bad])
+            .output()
+            .expect("dvsc runs");
+        assert_eq!(out.status.code(), Some(2), "--timeout {bad} accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--timeout must be positive"), "stderr: {err}");
+    }
+
+    // An expired budget aborts with exit 3 and names the command.
+    let out = dvsc()
+        .args(["compile", "--benchmark", "epic", "--timeout", "0.001"])
+        .output()
+        .expect("dvsc runs");
+    assert_eq!(out.status.code(), Some(3), "watchdog must exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("compile timed out after"), "stderr: {err}");
+
+    // A generous budget is invisible.
+    let out = dvsc()
+        .args(["compile", "--benchmark", "ghostscript", "--timeout", "300"])
+        .output()
+        .expect("dvsc runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The serve-side flags reject nonsensical values before any socket work.
+#[test]
+fn serve_flags_are_validated() {
+    for (args, needle) in [
+        (
+            vec!["loadtest", "--clients", "0"],
+            "--clients must be at least 1",
+        ),
+        (
+            vec!["loadtest", "--requests", "0"],
+            "--requests must be at least 1",
+        ),
+        (vec!["client"], "client requires an operation"),
+        (
+            vec!["serve", "--queue-depth"],
+            "--queue-depth requires a value",
+        ),
+    ] {
+        let out = dvsc().args(&args).output().expect("dvsc runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "args {args:?} stderr: {err}");
+    }
+}
+
 /// Without a benchmark filter, `verify` fans out over every bundled
 /// workload and prints one row each.
 #[test]
