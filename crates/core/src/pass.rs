@@ -91,10 +91,65 @@ impl CompileResult {
             ),
             ("bnb_nodes", Json::from(self.milp.solve_stats.nodes as u64)),
             (
+                "bnb_nodes_pruned",
+                Json::from(self.milp.solve_stats.nodes_pruned as u64),
+            ),
+            (
                 "lp_iterations",
                 Json::from(self.milp.solve_stats.lp_iterations as u64),
             ),
+            (
+                "simplex_pivots",
+                Json::from(self.milp.solve_stats.pivots as u64),
+            ),
+            (
+                "degenerate_pivots",
+                Json::from(self.milp.solve_stats.degenerate_pivots as u64),
+            ),
+            (
+                "bound_flips",
+                Json::from(self.milp.solve_stats.bound_flips as u64),
+            ),
+            (
+                "refactorizations",
+                Json::from(self.milp.solve_stats.refactorizations as u64),
+            ),
+            (
+                "presolve_rows_removed",
+                Json::from(self.milp.solve_stats.presolve_rows_removed as u64),
+            ),
+            (
+                "presolve_bounds_tightened",
+                Json::from(self.milp.solve_stats.presolve_bounds_tightened as u64),
+            ),
             ("best_bound", Json::from(self.milp.solve_stats.best_bound)),
+            (
+                "mip_gap",
+                Json::from(if self.milp.solve_stats.mip_gap.is_finite() {
+                    self.milp.solve_stats.mip_gap
+                } else {
+                    -1.0
+                }),
+            ),
+            // Incumbent objectives and the node at which each was found are
+            // deterministic; their wall-clock stamps (`at_us`) are not and
+            // must stay out of this canonical form.
+            (
+                "incumbents",
+                Json::Arr(
+                    self.milp
+                        .solve_stats
+                        .incumbents
+                        .iter()
+                        .map(|i| {
+                            Json::obj([
+                                ("node", Json::from(i.node as u64)),
+                                ("objective", Json::from(i.objective)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("binary_vars", Json::from(self.milp.binary_vars as u64)),
             ("constraints", Json::from(self.milp.constraints as u64)),
         ]);

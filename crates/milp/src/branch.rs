@@ -1,8 +1,9 @@
 //! Branch-and-bound driver on top of the LP relaxation.
 
 use crate::presolve::{presolve, Presolved};
-use crate::simplex::{solve_lp, LpProblem, LpStatus, RowKind};
-use crate::{Cmp, MilpError, Model, Sense, Solution, SolveStats, Status, VarKind};
+use crate::simplex::{solve_lp, LpProblem, LpSolution, LpStatus, RowKind};
+use crate::{Cmp, Incumbent, MilpError, Model, Sense, Solution, SolveStats, Status, VarKind};
+use std::time::Instant;
 
 const INT_TOL: f64 = 1e-6;
 const OBJ_TOL: f64 = 1e-7;
@@ -102,10 +103,44 @@ pub fn solve_seeded(
         dvs_obs::counter("milp.solves", 1);
         if let Ok(sol) = &result {
             dvs_obs::counter("milp.bnb_nodes", sol.stats.nodes as u64);
+            dvs_obs::counter("milp.bnb_nodes_pruned", sol.stats.nodes_pruned as u64);
+            dvs_obs::counter("milp.incumbents", sol.stats.incumbents.len() as u64);
             dvs_obs::histogram("milp.bnb_nodes_per_solve", sol.stats.nodes as f64);
+            dvs_obs::histogram("milp.simplex_pivots_per_solve", sol.stats.pivots as f64);
+            if sol.stats.mip_gap.is_finite() {
+                dvs_obs::histogram("milp.final_mip_gap", sol.stats.mip_gap);
+            }
         }
     }
     result
+}
+
+/// Folds one LP solve's work counters into the running search statistics.
+fn absorb_lp(stats: &mut SolveStats, sol: &LpSolution) {
+    stats.lp_iterations += sol.iterations;
+    stats.pivots += sol.pivots;
+    stats.degenerate_pivots += sol.degenerate_pivots;
+    stats.bound_flips += sol.bound_flips;
+    stats.refactorizations += sol.refactorizations;
+}
+
+/// Appends an incumbent-improvement record (minimization-form objective).
+fn record_incumbent(stats: &mut SolveStats, objective: f64, t0: Instant) {
+    stats.incumbents.push(Incumbent {
+        objective,
+        node: stats.nodes,
+        at_us: t0.elapsed().as_secs_f64() * 1e6,
+    });
+}
+
+/// Relative optimality gap of incumbent `obj` against `best_bound`, both
+/// in minimization form.
+fn relative_gap(obj: f64, best_bound: f64) -> f64 {
+    if best_bound.is_finite() {
+        ((obj - best_bound) / obj.abs().max(1.0)).max(0.0)
+    } else {
+        f64::INFINITY
+    }
 }
 
 fn solve_seeded_impl(
@@ -113,6 +148,7 @@ fn solve_seeded_impl(
     config: &BranchConfig,
     start: Option<&[f64]>,
 ) -> Result<Solution, MilpError> {
+    let t0 = Instant::now();
     model.validate()?;
     let base = lower_to_lp(model);
     let int_vars: Vec<usize> = model
@@ -136,34 +172,39 @@ fn solve_seeded_impl(
         bounds: Vec::new(),
         parent_bound: f64::NEG_INFINITY,
     }];
-    let mut incumbent: Option<(f64, Vec<f64>)> = None;
-    if let Some(x0) = start {
-        if x0.len() == model.num_vars() && start_is_feasible(model, &base, &int_vars, x0) {
-            let obj = recompute_objective(&base, x0);
-            incumbent = Some((obj, x0.to_vec()));
-        }
-    }
     let mut stats = SolveStats {
         best_bound: f64::INFINITY,
         ..SolveStats::default()
     };
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some(x0) = start {
+        if x0.len() == model.num_vars() && start_is_feasible(model, &base, &int_vars, x0) {
+            let obj = recompute_objective(&base, x0);
+            record_incumbent(&mut stats, obj, t0);
+            incumbent = Some((obj, x0.to_vec()));
+        }
+    }
     let mut root_bound: Option<f64> = None;
 
     while let Some(node) = stack.pop() {
         if stats.nodes >= config.max_nodes {
             return match incumbent {
-                Some((obj, values)) => Ok(Solution {
-                    status: Status::Feasible,
-                    objective: flip * obj,
-                    values,
-                    stats,
-                }),
+                Some((obj, values)) => {
+                    stats.mip_gap = relative_gap(obj, stats.best_bound);
+                    Ok(Solution {
+                        status: Status::Feasible,
+                        objective: flip * obj,
+                        values,
+                        stats,
+                    })
+                }
                 None => Err(MilpError::LimitReached { incumbent: None }),
             };
         }
         // Prune on the parent's bound before paying for an LP solve.
         if let Some((inc, _)) = &incumbent {
             if node.parent_bound >= inc - config.gap {
+                stats.nodes_pruned += 1;
                 continue;
             }
         }
@@ -176,12 +217,23 @@ fn solve_seeded_impl(
         }
         if config.presolve {
             match presolve(&lp) {
-                Presolved::Reduced { problem, .. } => lp = problem,
-                Presolved::Infeasible => continue,
+                Presolved::Reduced {
+                    problem,
+                    rows_removed,
+                    bounds_tightened,
+                } => {
+                    stats.presolve_rows_removed += rows_removed;
+                    stats.presolve_bounds_tightened += bounds_tightened;
+                    lp = problem;
+                }
+                Presolved::Infeasible => {
+                    stats.nodes_pruned += 1;
+                    continue;
+                }
             }
         }
         let sol = solve_lp(&lp)?;
-        stats.lp_iterations += sol.iterations;
+        absorb_lp(&mut stats, &sol);
         match sol.status {
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
@@ -202,6 +254,7 @@ fn solve_seeded_impl(
         }
         if let Some((inc, _)) = &incumbent {
             if sol.objective >= inc - config.gap {
+                stats.nodes_pruned += 1;
                 continue;
             }
         }
@@ -223,6 +276,7 @@ fn solve_seeded_impl(
                 .as_ref()
                 .is_none_or(|(inc, _)| obj < inc - OBJ_TOL)
             {
+                record_incumbent(&mut stats, obj, t0);
                 incumbent = Some((obj, x));
             }
             continue;
@@ -241,6 +295,7 @@ fn solve_seeded_impl(
     match incumbent {
         Some((obj, values)) => {
             stats.best_bound = obj;
+            stats.mip_gap = 0.0;
             Ok(Solution {
                 status: Status::Optimal,
                 objective: flip * obj,
@@ -269,6 +324,7 @@ fn solve_root_parallel(
     config: &BranchConfig,
     start: Option<&[f64]>,
 ) -> Result<Solution, MilpError> {
+    let t0 = Instant::now();
     model.validate()?;
     let base = lower_to_lp(model);
     let int_vars: Vec<usize> = model
@@ -283,10 +339,16 @@ fn solve_root_parallel(
         Sense::Maximize => -1.0,
     };
 
+    let mut stats = SolveStats {
+        best_bound: f64::INFINITY,
+        ..SolveStats::default()
+    };
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     if let Some(x0) = start {
         if x0.len() == model.num_vars() && start_is_feasible(model, &base, &int_vars, x0) {
-            incumbent = Some((recompute_objective(&base, x0), x0.to_vec()));
+            let obj = recompute_objective(&base, x0);
+            record_incumbent(&mut stats, obj, t0);
+            incumbent = Some((obj, x0.to_vec()));
         }
     }
     let done = |status: Status, obj: f64, values: Vec<f64>, stats: SolveStats| {
@@ -299,22 +361,29 @@ fn solve_root_parallel(
     };
     if config.max_nodes == 0 {
         return match incumbent {
-            Some((obj, values)) => done(Status::Feasible, obj, values, SolveStats::default()),
+            Some((obj, values)) => {
+                stats.mip_gap = relative_gap(obj, stats.best_bound);
+                done(Status::Feasible, obj, values, stats)
+            }
             None => Err(MilpError::LimitReached { incumbent: None }),
         };
     }
 
     // Root relaxation (node 1).
-    let mut stats = SolveStats {
-        nodes: 1,
-        best_bound: f64::INFINITY,
-        ..SolveStats::default()
-    };
+    stats.nodes = 1;
     let mut lp = base.clone();
     let mut root_infeasible = false;
     if config.presolve {
         match presolve(&lp) {
-            Presolved::Reduced { problem, .. } => lp = problem,
+            Presolved::Reduced {
+                problem,
+                rows_removed,
+                bounds_tightened,
+            } => {
+                stats.presolve_rows_removed += rows_removed;
+                stats.presolve_bounds_tightened += bounds_tightened;
+                lp = problem;
+            }
             Presolved::Infeasible => root_infeasible = true,
         }
     }
@@ -322,7 +391,7 @@ fn solve_root_parallel(
         None
     } else {
         let s = solve_lp(&lp)?;
-        stats.lp_iterations += s.iterations;
+        absorb_lp(&mut stats, &s);
         match s.status {
             LpStatus::Infeasible => None,
             LpStatus::Unbounded => return Err(MilpError::Unbounded),
@@ -362,12 +431,14 @@ fn solve_root_parallel(
                 .as_ref()
                 .is_none_or(|(inc, _)| obj < inc - OBJ_TOL)
             {
+                record_incumbent(&mut stats, obj, t0);
                 incumbent = Some((obj, x));
             }
         }
         return match incumbent {
             Some((obj, values)) => {
                 stats.best_bound = obj;
+                stats.mip_gap = 0.0;
                 done(Status::Optimal, obj, values, stats)
             }
             None => Err(MilpError::Infeasible),
@@ -406,8 +477,7 @@ fn solve_root_parallel(
                     hit_limit = true;
                 }
                 let obj = flip * s.objective;
-                stats.nodes += s.stats.nodes;
-                stats.lp_iterations += s.stats.lp_iterations;
+                stats.absorb(&s.stats);
                 if incumbent
                     .as_ref()
                     .is_none_or(|(inc, _)| obj < inc - OBJ_TOL)
@@ -426,9 +496,11 @@ fn solve_root_parallel(
     match incumbent {
         Some((obj, values)) => {
             let status = if hit_limit {
+                stats.mip_gap = relative_gap(obj, stats.best_bound);
                 Status::Feasible
             } else {
                 stats.best_bound = obj;
+                stats.mip_gap = 0.0;
                 Status::Optimal
             };
             done(status, obj, values, stats)
@@ -983,5 +1055,61 @@ mod tests {
         m.add_le(3.0 * x + 7.0 * y, 21.5);
         let s = solve(&m).unwrap();
         assert!(s.stats.nodes >= 1);
+        assert!(
+            !s.stats.incumbents.is_empty(),
+            "optimum implies an incumbent"
+        );
+        assert_eq!(s.stats.mip_gap, 0.0, "proven optimal means zero gap");
+    }
+
+    #[test]
+    fn incumbent_trajectory_is_monotone_and_deterministic() {
+        for seed in 0..4u64 {
+            let m = knapsack_instance(seed, 14);
+            let a = solve(&m).unwrap();
+            let b = solve(&m).unwrap();
+            // Minimization-form objectives strictly improve along the run.
+            for w in a.stats.incumbents.windows(2) {
+                assert!(
+                    w[1].objective < w[0].objective,
+                    "seed {seed}: trajectory not strictly improving"
+                );
+            }
+            // Everything except the wall-clock stamps is deterministic.
+            let key = |s: &Solution| {
+                (
+                    s.stats.nodes,
+                    s.stats.nodes_pruned,
+                    s.stats.lp_iterations,
+                    s.stats.pivots,
+                    s.stats.bound_flips,
+                    s.stats.refactorizations,
+                    s.stats.presolve_rows_removed,
+                    s.stats.presolve_bounds_tightened,
+                    s.stats
+                        .incumbents
+                        .iter()
+                        .map(|i| (i.node, i.objective.to_bits()))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            assert_eq!(key(&a), key(&b), "seed {seed}: counters not deterministic");
+        }
+    }
+
+    #[test]
+    fn search_work_counters_are_consistent() {
+        let m = knapsack_instance(1, 16);
+        let s = solve(&m).unwrap();
+        let st = &s.stats;
+        assert!(
+            st.pivots + st.bound_flips <= st.lp_iterations,
+            "pivots and bound flips are each one simplex iteration"
+        );
+        assert!(
+            st.refactorizations >= 1,
+            "a nontrivial LP solve starts with a factorization"
+        );
+        assert!(st.degenerate_pivots <= st.pivots);
     }
 }

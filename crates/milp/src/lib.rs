@@ -47,4 +47,4 @@ pub use error::MilpError;
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Constraint, Model, Sense, VarKind};
 pub use presolve::{presolve, Presolved};
-pub use solution::{Solution, SolveStats, Status};
+pub use solution::{Incumbent, Solution, SolveStats, Status};

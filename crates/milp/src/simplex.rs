@@ -110,6 +110,15 @@ pub struct LpSolution {
     pub duals: Vec<f64>,
     /// Simplex iterations used (both phases).
     pub iterations: usize,
+    /// Basis-change pivots (iterations that replaced a basic variable).
+    pub pivots: usize,
+    /// Pivots with a zero step length (degenerate).
+    pub degenerate_pivots: usize,
+    /// Nonbasic bound-to-bound flips (iterations without a basis change).
+    pub bound_flips: usize,
+    /// Basis-inverse rebuilds (initial factorization, periodic refresh,
+    /// and post-repair rebuilds).
+    pub refactorizations: usize,
 }
 
 const TOL: f64 = 1e-9;
@@ -138,9 +147,11 @@ struct Tableau {
     basis: Vec<usize>,
     binv: Vec<f64>, // row-major m x m
     iterations: usize,
+    pivots: usize,
     pivots_since_refactor: usize,
     degenerate_pivots: usize,
     bound_flips: usize,
+    refactorizations: usize,
 }
 
 impl Tableau {
@@ -261,6 +272,7 @@ impl Tableau {
         }
         self.binv = inv;
         self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
         true
     }
 
@@ -366,6 +378,7 @@ impl Tableau {
                 }
             }
         }
+        self.pivots += 1;
         self.pivots_since_refactor += 1;
     }
 }
@@ -406,6 +419,10 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
                     x,
                     duals: Vec::new(),
                     iterations: 0,
+                    pivots: 0,
+                    degenerate_pivots: 0,
+                    bound_flips: 0,
+                    refactorizations: 0,
                 });
             }
             let c = p.obj[j];
@@ -427,6 +444,10 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
                     x,
                     duals: Vec::new(),
                     iterations: 0,
+                    pivots: 0,
+                    degenerate_pivots: 0,
+                    bound_flips: 0,
+                    refactorizations: 0,
                 });
             }
             x[j] = if v.is_finite() { v } else { 0.0 };
@@ -438,6 +459,10 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
             x,
             duals: Vec::new(),
             iterations: 0,
+            pivots: 0,
+            degenerate_pivots: 0,
+            bound_flips: 0,
+            refactorizations: 0,
         });
     }
 
@@ -450,6 +475,10 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
                 x: vec![0.0; n],
                 duals: Vec::new(),
                 iterations: 0,
+                pivots: 0,
+                degenerate_pivots: 0,
+                bound_flips: 0,
+                refactorizations: 0,
             });
         }
     }
@@ -552,9 +581,11 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
             id
         },
         iterations: 0,
+        pivots: 0,
         pivots_since_refactor: 0,
         degenerate_pivots: 0,
         bound_flips: 0,
+        refactorizations: 0,
     };
     if !t.refactorize() {
         if std::env::var_os("DVS_MILP_DEBUG").is_some() {
@@ -587,6 +618,10 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
                 x: t.x[..n].to_vec(),
                 duals: Vec::new(),
                 iterations: t.iterations,
+                pivots: t.pivots,
+                degenerate_pivots: t.degenerate_pivots,
+                bound_flips: t.bound_flips,
+                refactorizations: t.refactorizations,
             });
         }
         // Freeze artificials.
@@ -624,6 +659,7 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
     if dvs_obs::enabled() {
         dvs_obs::counter("milp.degenerate_pivots", t.degenerate_pivots as u64);
         dvs_obs::counter("milp.bound_flips", t.bound_flips as u64);
+        dvs_obs::counter("milp.refactorizations", t.refactorizations as u64);
     }
     Ok(LpSolution {
         status,
@@ -631,6 +667,10 @@ fn solve_lp_impl(p: &LpProblem) -> Result<LpSolution, MilpError> {
         x: t.x[..n].to_vec(),
         duals,
         iterations: t.iterations,
+        pivots: t.pivots,
+        degenerate_pivots: t.degenerate_pivots,
+        bound_flips: t.bound_flips,
+        refactorizations: t.refactorizations,
     })
 }
 

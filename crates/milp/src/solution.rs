@@ -9,15 +9,88 @@ pub enum Status {
     Feasible,
 }
 
+/// One improvement of the best known feasible solution during the search.
+///
+/// The `(node, objective)` pair is a deterministic function of the model
+/// and solver configuration; `at_us` is wall clock and is **not** — it
+/// exists for profiling output only and must never flow into canonical
+/// (byte-stable) serializations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incumbent {
+    /// Objective value of the new incumbent in **minimization form** (the
+    /// sign flip for maximization models is *not* applied), so a
+    /// sequential search's trajectory is always monotone nonincreasing.
+    pub objective: f64,
+    /// Branch-and-bound nodes explored when this incumbent was found
+    /// (0 = warm-start seed accepted before the search began).
+    pub node: usize,
+    /// Microseconds since the solve started (wall clock, nondeterministic).
+    pub at_us: f64,
+}
+
 /// Search statistics from a branch-and-bound run.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Every field except `at_us` inside [`SolveStats::incumbents`] is
+/// deterministic for a fixed model and sequential configuration, which is
+/// what lets `dvsc bench-solver` pin them in `BENCH_solver.json` across
+/// PRs and job counts.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SolveStats {
-    /// Branch-and-bound nodes explored.
+    /// Branch-and-bound nodes explored (an LP was solved for each).
     pub nodes: usize,
-    /// Total simplex iterations across all LP solves.
+    /// Nodes discarded without an LP solve or whose relaxation could not
+    /// beat the incumbent: parent-bound prunes, presolve-infeasible
+    /// nodes, and LP-bound prunes.
+    pub nodes_pruned: usize,
+    /// Total simplex iterations across all LP solves (pivots plus bound
+    /// flips).
     pub lp_iterations: usize,
+    /// Simplex basis-change pivots across all LP solves.
+    pub pivots: usize,
+    /// Pivots with a zero step length (degenerate).
+    pub degenerate_pivots: usize,
+    /// Nonbasic bound-to-bound flips (iterations without a basis change).
+    pub bound_flips: usize,
+    /// Basis-inverse rebuilds across all LP solves (initial factorization,
+    /// periodic refresh, and repair paths).
+    pub refactorizations: usize,
+    /// Rows eliminated by presolve, summed over every node it ran on.
+    pub presolve_rows_removed: usize,
+    /// Variable bounds tightened by presolve, summed over every node.
+    pub presolve_bounds_tightened: usize,
     /// Best proven lower bound on the (minimization-form) objective.
     pub best_bound: f64,
+    /// Relative gap `(incumbent − best_bound) / max(1, |incumbent|)` in
+    /// minimization form at the end of the search; 0 when optimality was
+    /// proven.
+    pub mip_gap: f64,
+    /// Every improvement of the incumbent, in the order found. Objectives
+    /// are recorded in minimization form, so a sequential search yields a
+    /// monotone nonincreasing trajectory; a parallel root split
+    /// concatenates per-child trajectories, which need not interleave
+    /// monotonically.
+    pub incumbents: Vec<Incumbent>,
+}
+
+impl SolveStats {
+    /// Folds another run's statistics into this one (used when merging
+    /// the results of a parallel root split). Counter fields add;
+    /// `best_bound` takes the minimum; incumbent trajectories
+    /// concatenate; `mip_gap` is left for the caller to recompute once
+    /// the merged incumbent is known.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.nodes += other.nodes;
+        self.nodes_pruned += other.nodes_pruned;
+        self.lp_iterations += other.lp_iterations;
+        self.pivots += other.pivots;
+        self.degenerate_pivots += other.degenerate_pivots;
+        self.bound_flips += other.bound_flips;
+        self.refactorizations += other.refactorizations;
+        self.presolve_rows_removed += other.presolve_rows_removed;
+        self.presolve_bounds_tightened += other.presolve_bounds_tightened;
+        self.best_bound = self.best_bound.min(other.best_bound);
+        self.incumbents.extend(other.incumbents.iter().cloned());
+    }
 }
 
 /// A feasible (and usually optimal) solution to a [`crate::Model`].

@@ -47,8 +47,8 @@ mod metrics;
 
 pub use metrics::{
     chrome_trace, chrome_trace_string, counter, current_domain, disable, domain_name, enable,
-    enabled, enter_domain, gauge, histogram, record_span, register_domain, reset, thread_id,
-    DomainGuard, HistogramSummary, MetricsSnapshot, SpanEvent, SpanSummary,
+    enabled, enter_domain, format_us, gauge, histogram, record_span, register_domain, reset,
+    thread_id, DomainGuard, HistogramSummary, MetricsSnapshot, SpanEvent, SpanSummary,
 };
 
 use std::time::Instant;
@@ -222,6 +222,41 @@ mod tests {
         assert_eq!(domain_name(b).as_deref(), Some("serve.loadtest"));
         assert_eq!(domain_name(0), None);
         assert_eq!(domain_name(u32::MAX), None);
+    }
+
+    #[test]
+    fn adaptive_units_keep_sub_microsecond_values_legible() {
+        assert_eq!(format_us(0.25), "250.0 ns");
+        assert_eq!(format_us(0.0), "0.00 µs");
+        assert_eq!(format_us(42.5), "42.50 µs");
+        assert_eq!(format_us(1_500.0), "1.50 ms");
+        assert_eq!(format_us(2_000_000.0), "2.000 s");
+    }
+
+    #[test]
+    fn summary_table_renders_sub_microsecond_histograms_with_units() {
+        let _l = TEST_LOCK.lock().unwrap();
+        enable();
+        reset();
+        // A time histogram whose mean is well under a microsecond: the old
+        // fixed `{:.3}` rendering collapsed these rows to `0.000`.
+        for _ in 0..4 {
+            histogram("t.tiny_us", 0.1);
+        }
+        histogram("t.unitless", 0.5);
+        let snap = MetricsSnapshot::capture();
+        disable();
+        let table = snap.summary_table();
+        assert!(
+            table.contains("t.tiny_us") && table.contains("ns"),
+            "sub-µs histogram must render in nanoseconds:\n{table}"
+        );
+        assert!(
+            !table.contains("mean=0.00 µs"),
+            "sub-µs mean flattened to zero:\n{table}"
+        );
+        // Unitless histograms keep the plain numeric form.
+        assert!(table.contains("t.unitless  n=1 sum=0.500"), "{table}");
     }
 
     // Worker threads must start in domain 0 even when spawned from a thread

@@ -606,11 +606,36 @@ impl MetricsSnapshot {
         if !self.histograms.is_empty() {
             let _ = writeln!(out, "-- histograms --");
             for h in &self.histograms {
-                let _ = writeln!(
-                    out,
-                    "  {}  n={} sum={:.3} min={:.3} p50≈{:.3} max={:.3}",
-                    h.name, h.count, h.sum, h.min, h.p50_est, h.max
-                );
+                let mean = if h.count == 0 {
+                    0.0
+                } else {
+                    #[allow(clippy::cast_precision_loss)]
+                    let c = h.count as f64;
+                    h.sum / c
+                };
+                // Histograms named `*_us` hold microsecond quantities and
+                // get adaptive ns/µs/ms units so sub-microsecond means no
+                // longer flatten to `0.000`; unitless histograms keep a
+                // plain numeric rendering.
+                if h.name.ends_with("_us") {
+                    let _ = writeln!(
+                        out,
+                        "  {}  n={} sum={} mean={} min={} p50≈{} max={}",
+                        h.name,
+                        h.count,
+                        format_us(h.sum),
+                        format_us(mean),
+                        format_us(h.min),
+                        format_us(h.p50_est),
+                        format_us(h.max)
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  {}  n={} sum={:.3} mean={:.3} min={:.3} p50≈{:.3} max={:.3}",
+                        h.name, h.count, h.sum, mean, h.min, h.p50_est, h.max
+                    );
+                }
             }
         }
         if !self.spans.is_empty() {
@@ -619,8 +644,11 @@ impl MetricsSnapshot {
             for s in &self.spans {
                 let _ = writeln!(
                     out,
-                    "  {:<w$}  n={:<6} total={:>12.1} µs  max={:>10.1} µs",
-                    s.name, s.count, s.total_us, s.max_us
+                    "  {:<w$}  n={:<6} total={:>12} max={:>10}",
+                    s.name,
+                    s.count,
+                    format_us(s.total_us),
+                    format_us(s.max_us)
                 );
             }
         }
@@ -632,6 +660,23 @@ impl MetricsSnapshot {
             );
         }
         out
+    }
+}
+
+/// Formats a microsecond quantity with an adaptive unit — ns below 1 µs,
+/// µs below 1 ms, ms below 1 s, seconds above — so sub-microsecond values
+/// stay legible instead of rounding to `0.000`.
+#[must_use]
+pub fn format_us(us: f64) -> String {
+    let a = us.abs();
+    if a > 0.0 && a < 1.0 {
+        format!("{:.1} ns", us * 1e3)
+    } else if a < 1e3 {
+        format!("{us:.2} µs")
+    } else if a < 1e6 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{:.3} s", us / 1e6)
     }
 }
 

@@ -22,6 +22,9 @@ pub struct Reply {
     pub kind: Option<String>,
     /// Human-readable failure message, when not ok.
     pub error: Option<String>,
+    /// The per-request trace tree (`{"trace_id", "spans": [...]}`), when
+    /// the server traced this request.
+    pub trace: Option<Json>,
     /// The result payload, when ok.
     pub result: Option<Json>,
 }
@@ -55,6 +58,7 @@ impl Reply {
                 .get("error")
                 .and_then(Json::as_str)
                 .map(ToString::to_string),
+            trace: v.get("trace").cloned(),
             result: v.get("result").cloned(),
         })
     }

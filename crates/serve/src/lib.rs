@@ -20,6 +20,11 @@
 //!   an explicit `busy` reply, per-request deadlines abandon waits (the
 //!   solve still completes and populates the cache), and a `shutdown`
 //!   request drains the daemon gracefully.
+//! * **Request tracing** ([`trace`]) — every completed solve reply
+//!   carries a per-request trace tree (queue wait, cache lookup,
+//!   coalesce join, solve, emit spans) in its **envelope** — never the
+//!   cached body — and the `traces` op replays the last 64 trees as
+//!   Chrome trace events.
 //! * **Clients** ([`client`], [`loadtest`]) — a blocking request/reply
 //!   client and a multi-connection load generator whose request mix is a
 //!   pure function of the global request index, making results
@@ -54,9 +59,11 @@ pub mod client;
 pub mod loadtest;
 pub mod protocol;
 pub mod server;
+pub mod trace;
 
 pub use cache::{CacheStats, SolveCache};
 pub use client::{Client, Reply};
 pub use loadtest::{run_loadtest, LatencyStats, LoadtestConfig, LoadtestReport};
 pub use protocol::{Request, SolveOp, SolveRequest};
 pub use server::{ServeConfig, ServeSummary, Server};
+pub use trace::{TraceCtx, TraceSpan};

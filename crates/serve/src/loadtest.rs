@@ -10,6 +10,7 @@
 
 use crate::client::Client;
 use crate::protocol::{Request, SolveOp, SolveRequest};
+use crate::trace::span_dur_us;
 use dvs_obs::json::Json;
 use dvs_workloads::Benchmark;
 use std::io;
@@ -87,6 +88,13 @@ pub struct LoadtestReport {
     pub digests: Vec<Option<u64>>,
     /// Per-global-index flag: served from cache?
     pub cached: Vec<bool>,
+    /// Mean `queue-wait` span duration over completed requests whose
+    /// reply trace carried one (cold solves only — hits and coalesced
+    /// joins never queue), from the server's own per-request traces.
+    pub mean_queue_wait_us: f64,
+    /// Mean `cache-lookup` span duration over completed requests, from
+    /// the server's per-request traces.
+    pub mean_cache_lookup_us: f64,
 }
 
 /// The deterministic request mix: global index `i` maps to benchmark
@@ -107,6 +115,7 @@ pub fn mix_request(config: &LoadtestConfig, index: usize) -> SolveRequest {
         levels: config.levels,
         capacitance_uf: config.capacitance_uf,
         timeout_ms: config.timeout_ms,
+        trace_id: None,
     }
 }
 
@@ -116,7 +125,12 @@ struct Sample {
 }
 
 enum Outcome {
-    Ok { digest: u64, cached: bool },
+    Ok {
+        digest: u64,
+        cached: bool,
+        queue_wait_us: Option<f64>,
+        cache_lookup_us: Option<f64>,
+    },
     Shed,
     Error,
 }
@@ -197,9 +211,13 @@ pub fn run_loadtest(config: &LoadtestConfig) -> io::Result<LoadtestReport> {
                                     reply.result.as_ref().map(Json::dump).unwrap_or_default();
                                 let mut h = dvs_compiler::fingerprint::Fnv64::new();
                                 h.write_str(&body);
+                                let tr = reply.trace.as_ref();
                                 Outcome::Ok {
                                     digest: h.finish(),
                                     cached: reply.cached,
+                                    queue_wait_us: tr.and_then(|t| span_dur_us(t, "queue-wait")),
+                                    cache_lookup_us: tr
+                                        .and_then(|t| span_dur_us(t, "cache-lookup")),
                                 }
                             }
                             Some(Ok(reply)) if reply.kind.as_deref() == Some("busy") => {
@@ -237,15 +255,24 @@ pub fn run_loadtest(config: &LoadtestConfig) -> io::Result<LoadtestReport> {
     let mut digests = Vec::with_capacity(total);
     let mut cached = Vec::with_capacity(total);
     let mut latencies = Vec::new();
+    let mut queue_waits = Vec::new();
+    let mut cache_lookups = Vec::new();
     let (mut completed, mut shed, mut errors) = (0usize, 0usize, 0usize);
     for sample in samples {
         let sample = sample.expect("every index was visited by exactly one client");
         match sample.outcome {
-            Outcome::Ok { digest, cached: c } => {
+            Outcome::Ok {
+                digest,
+                cached: c,
+                queue_wait_us,
+                cache_lookup_us,
+            } => {
                 completed += 1;
                 digests.push(Some(digest));
                 cached.push(c);
                 latencies.push(sample.latency_us);
+                queue_waits.extend(queue_wait_us);
+                cache_lookups.extend(cache_lookup_us);
             }
             Outcome::Shed => {
                 shed += 1;
@@ -270,6 +297,12 @@ pub fn run_loadtest(config: &LoadtestConfig) -> io::Result<LoadtestReport> {
         let _d = dvs_obs::enter_domain(domain);
         for &l in &latencies {
             dvs_obs::histogram("serve.loadtest.latency_us", l);
+        }
+        for &w in &queue_waits {
+            dvs_obs::histogram("serve.loadtest.queue_wait_us", w);
+        }
+        for &l in &cache_lookups {
+            dvs_obs::histogram("serve.loadtest.cache_lookup_us", l);
         }
         dvs_obs::counter("serve.loadtest.completed", completed as u64);
         dvs_obs::counter("serve.loadtest.shed", shed as u64);
@@ -298,6 +331,13 @@ pub fn run_loadtest(config: &LoadtestConfig) -> io::Result<LoadtestReport> {
         after.2.saturating_sub(before.2),
     );
     let served = d_hits + d_coal + d_solves;
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
     Ok(LoadtestReport {
         completed,
         shed,
@@ -312,5 +352,7 @@ pub fn run_loadtest(config: &LoadtestConfig) -> io::Result<LoadtestReport> {
         },
         digests,
         cached,
+        mean_queue_wait_us: mean(&queue_waits),
+        mean_cache_lookup_us: mean(&cache_lookups),
     })
 }

@@ -157,6 +157,10 @@ pub struct SolveRequest {
     /// server stops waiting (and replies `timeout`) after this; the solve
     /// itself keeps running and still populates the cache.
     pub timeout_ms: Option<u64>,
+    /// Client-chosen trace id echoed in the reply's trace tree; the
+    /// server assigns one when absent. Like `timeout_ms`, never part of
+    /// the cache key.
+    pub trace_id: Option<u64>,
 }
 
 impl SolveRequest {
@@ -190,6 +194,10 @@ impl SolveRequest {
             .get("timeout_ms")
             .map(|d| d.as_u64().ok_or("`timeout_ms` must be an integer"))
             .transpose()?;
+        let trace_id = v
+            .get("trace_id")
+            .map(|d| d.as_u64().ok_or("`trace_id` must be an integer"))
+            .transpose()?;
         Ok(SolveRequest {
             op,
             benchmark,
@@ -197,6 +205,7 @@ impl SolveRequest {
             levels,
             capacitance_uf,
             timeout_ms,
+            trace_id,
         })
     }
 
@@ -219,6 +228,9 @@ impl SolveRequest {
         if let Some(t) = self.timeout_ms {
             members.push(("timeout_ms".to_string(), Json::from(t)));
         }
+        if let Some(t) = self.trace_id {
+            members.push(("trace_id".to_string(), Json::from(t)));
+        }
         Json::Obj(members)
     }
 }
@@ -232,6 +244,8 @@ pub enum Request {
     Stats,
     /// Graceful drain: finish queued work, then stop the server.
     Shutdown,
+    /// The last completed request trace trees, as Chrome trace events.
+    Traces,
     /// A compile or verify solve.
     Solve(SolveRequest),
 }
@@ -253,6 +267,7 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "traces" => Ok(Request::Traces),
             "compile" => Ok(Request::Solve(SolveRequest::from_json(
                 SolveOp::Compile,
                 &v,
@@ -272,6 +287,7 @@ impl Request {
             Request::Ping => Json::obj([("op", "ping")]),
             Request::Stats => Json::obj([("op", "stats")]),
             Request::Shutdown => Json::obj([("op", "shutdown")]),
+            Request::Traces => Json::obj([("op", "traces")]),
             Request::Solve(s) => s.to_json(),
         }
     }
@@ -297,8 +313,24 @@ pub fn error_envelope(op: &str, kind: &str, msg: &str) -> String {
 /// envelope fields (`cached`, `server_us`) differ between cold and warm.
 #[must_use]
 pub fn ok_envelope(op: &str, cached: bool, server_us: f64, result_body: &str) -> String {
+    ok_envelope_traced(op, cached, server_us, result_body, None)
+}
+
+/// [`ok_envelope`] with an optional `trace` field carrying the request's
+/// finished trace tree (an already-serialized JSON object). The trace
+/// rides in the **envelope**, never the result body, so the byte-identity
+/// contract between cold and warm results is untouched.
+#[must_use]
+pub fn ok_envelope_traced(
+    op: &str,
+    cached: bool,
+    server_us: f64,
+    result_body: &str,
+    trace_body: Option<&str>,
+) -> String {
+    let trace = trace_body.map_or(String::new(), |t| format!("\"trace\":{t},"));
     format!(
-        "{{\"ok\":true,\"op\":\"{op}\",\"cached\":{cached},\"server_us\":{},\"result\":{result_body}}}",
+        "{{\"ok\":true,\"op\":\"{op}\",\"cached\":{cached},\"server_us\":{},{trace}\"result\":{result_body}}}",
         Json::from(server_us).dump()
     )
 }
@@ -350,6 +382,7 @@ mod tests {
             ("{\"op\":\"ping\"}", Request::Ping),
             ("{\"op\":\"stats\"}", Request::Stats),
             ("{\"op\":\"shutdown\"}", Request::Shutdown),
+            ("{\"op\":\"traces\"}", Request::Traces),
         ] {
             assert_eq!(Request::parse(body).unwrap(), want);
         }
@@ -360,6 +393,7 @@ mod tests {
             levels: 3,
             capacitance_uf: 0.05,
             timeout_ms: Some(500),
+            trace_id: Some(99),
         });
         let round = Request::parse(&req.to_json().dump()).unwrap();
         assert_eq!(round, req);
@@ -370,6 +404,7 @@ mod tests {
                 assert_eq!(s.op, SolveOp::Verify);
                 assert_eq!((s.deadline_index, s.levels), (3, 3));
                 assert!(s.timeout_ms.is_none());
+                assert!(s.trace_id.is_none());
             }
             other => panic!("got {other:?}"),
         }
@@ -398,11 +433,26 @@ mod tests {
         let o = ok_envelope("compile", true, 12.5, "{\"x\":1}");
         let v = Json::parse(&o).unwrap();
         assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+        assert!(v.get("trace").is_none());
         assert_eq!(
             v.get("result")
                 .and_then(|r| r.get("x"))
                 .and_then(Json::as_u64),
             Some(1)
+        );
+        // The trace variant splices both bodies verbatim: the result
+        // bytes are identical with and without a trace attached.
+        let t = ok_envelope_traced("compile", true, 12.5, "{\"x\":1}", Some("{\"trace_id\":3}"));
+        let v = Json::parse(&t).unwrap();
+        assert_eq!(
+            v.get("trace")
+                .and_then(|tr| tr.get("trace_id"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("result").map(Json::dump),
+            Json::parse(&o).unwrap().get("result").map(Json::dump)
         );
     }
 }

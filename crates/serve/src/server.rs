@@ -20,8 +20,10 @@
 
 use crate::cache::{CacheStats, SolveCache};
 use crate::protocol::{
-    error_envelope, ok_envelope, read_frame, write_frame, Request, SolveOp, SolveRequest,
+    error_envelope, ok_envelope, ok_envelope_traced, read_frame, write_frame, Request, SolveOp,
+    SolveRequest,
 };
+use crate::trace::{self, TraceCtx, ROOT_SPAN};
 use dvs_compiler::{DeadlineScheme, DvsCompiler};
 use dvs_obs::json::Json;
 use dvs_sim::Machine;
@@ -63,18 +65,35 @@ impl Default for ServeConfig {
     }
 }
 
+/// How many completed request traces the daemon retains for the
+/// `traces` op.
+const TRACE_RING: usize = 64;
+
 /// One admitted solve waiting for (or being) executed.
 struct Job {
     key: u64,
     canonical: String,
     request: SolveRequest,
+    /// When the job entered the pending queue — the dispatcher derives
+    /// the `queue-wait` span from this.
+    enqueued: Instant,
+}
+
+/// What one executed solve produced: the result body plus the timings
+/// the worker side measured, which the connection thread turns into
+/// `queue-wait` and `solve` trace spans.
+#[derive(Clone)]
+struct SolveOutcome {
+    body: Result<String, String>,
+    queue_wait_us: f64,
+    solve_us: f64,
 }
 
 /// The rendezvous between one in-flight solve and its waiters. The slot
 /// stays filled after completion so late joiners (admitted before the
 /// coordination lock observed the removal) still read the result.
 struct Inflight {
-    slot: Mutex<Option<Result<String, String>>>,
+    slot: Mutex<Option<SolveOutcome>>,
     done: Condvar,
 }
 
@@ -106,6 +125,10 @@ struct State {
     pool: dvs_runtime::Pool,
     domain: u32,
     started: Instant,
+    /// Last [`TRACE_RING`] completed solve trace trees, oldest first.
+    traces: Mutex<VecDeque<Json>>,
+    /// Server-assigned trace ids for requests that did not bring one.
+    next_trace: AtomicU64,
 }
 
 /// Counter totals reported by [`Server::run`] after shutdown.
@@ -167,6 +190,8 @@ impl Server {
                 pool: dvs_runtime::Pool::new(jobs),
                 domain: dvs_obs::register_domain("serve.worker"),
                 started: Instant::now(),
+                traces: Mutex::new(VecDeque::with_capacity(TRACE_RING)),
+                next_trace: AtomicU64::new(1),
             },
         })
     }
@@ -271,6 +296,10 @@ fn handle_request(state: &State, frame: &str) -> String {
             ok_envelope("stats", false, us_since(started), &body)
         }
         Ok(Request::Shutdown) => handle_shutdown(state, started),
+        Ok(Request::Traces) => {
+            let body = traces_json(state).dump();
+            ok_envelope("traces", false, us_since(started), &body)
+        }
         Ok(Request::Solve(req)) => handle_solve(state, &req, started),
         Err(msg) => {
             state.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -283,9 +312,22 @@ fn us_since(t: Instant) -> f64 {
     t.elapsed().as_secs_f64() * 1e6
 }
 
+/// How one solve request cleared admission; each variant leaves a
+/// different shape behind in the request's trace tree.
+enum Admission {
+    /// Content-addressed cache hit: the stored body, answered in place.
+    Hit(String),
+    /// Joined an identical in-flight solve.
+    Join(Arc<Inflight>),
+    /// Admitted to the pending queue as a fresh solve.
+    Fresh(Arc<Inflight>),
+}
+
 /// The admission path described in the module docs: cache → coalesce →
 /// admit/shed, then wait for the solve (bounded by the request's own
-/// deadline when it has one).
+/// deadline when it has one). Every completed solve records a trace
+/// tree — queue wait, cache lookup, coalesce join, solve, emit — that
+/// rides the reply envelope and lands in the `traces` ring.
 fn handle_solve(state: &State, req: &SolveRequest, started: Instant) -> String {
     let op = req.op.name();
     let (key, canonical) = match request_key(req) {
@@ -295,7 +337,12 @@ fn handle_solve(state: &State, req: &SolveRequest, started: Instant) -> String {
             return error_envelope(op, "bad_request", &msg);
         }
     };
-    let inflight = {
+    let trace_id = req
+        .trace_id
+        .unwrap_or_else(|| state.next_trace.fetch_add(1, Ordering::Relaxed));
+    let mut tr = TraceCtx::new(trace_id, started);
+    let lookup = tr.begin(ROOT_SPAN, "cache-lookup");
+    let admission = {
         let mut coord = state.coord.lock().expect("coord poisoned");
         // Checked under the coordination lock: `handle_shutdown` sets the
         // flag while holding it, so no job can slip into the queue after
@@ -304,15 +351,13 @@ fn handle_solve(state: &State, req: &SolveRequest, started: Instant) -> String {
             return error_envelope(op, "shutting_down", "server is draining");
         }
         if let Some(body) = coord.cache.get(key, &canonical) {
-            drop(coord);
-            return ok_envelope(op, true, us_since(started), &body);
-        }
-        if let Some(inf) = coord.inflight.get(&key) {
+            Admission::Hit(body)
+        } else if let Some(inf) = coord.inflight.get(&key) {
             state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
             if dvs_obs::enabled() {
                 dvs_obs::counter("serve.coalesced", 1);
             }
-            Arc::clone(inf)
+            Admission::Join(Arc::clone(inf))
         } else {
             if coord.queue.len() >= state.queue_depth {
                 state.counters.shed.fetch_add(1, Ordering::Relaxed);
@@ -334,19 +379,61 @@ fn handle_solve(state: &State, req: &SolveRequest, started: Instant) -> String {
                 key,
                 canonical,
                 request: req.clone(),
+                enqueued: Instant::now(),
             });
             state.counters.solves.fetch_add(1, Ordering::Relaxed);
             drop(coord);
             state.work_ready.notify_all();
-            inf
+            Admission::Fresh(inf)
         }
     };
+    tr.end(lookup);
+    if dvs_obs::enabled() {
+        dvs_obs::histogram("serve.cache_lookup_us", tr.now_us());
+    }
     let timeout = req.timeout_ms.map(Duration::from_millis);
+    let (inflight, join_span) = match admission {
+        Admission::Hit(body) => {
+            let hit = tr.begin(ROOT_SPAN, "cache-hit");
+            tr.end(hit);
+            return finish_traced(state, tr, op, true, started, &body);
+        }
+        Admission::Join(inf) => {
+            let join = tr.begin(ROOT_SPAN, "coalesce-join");
+            (inf, Some(join))
+        }
+        Admission::Fresh(inf) => (inf, None),
+    };
     match wait_inflight(&inflight, timeout) {
-        Some(Ok(body)) => ok_envelope(op, false, us_since(started), &body),
-        Some(Err(msg)) => {
-            state.counters.errors.fetch_add(1, Ordering::Relaxed);
-            error_envelope(op, "solve_error", &msg)
+        Some(outcome) => {
+            match join_span {
+                // A coalesced waiter only observed the join; the solve
+                // spans belong to the request that enqueued the job.
+                Some(join) => tr.end(join),
+                None => {
+                    // Place the dispatcher-measured spans on the request
+                    // timeline by working backwards from the wakeup.
+                    let queue_start =
+                        (tr.now_us() - outcome.solve_us - outcome.queue_wait_us).max(0.0);
+                    tr.record(ROOT_SPAN, "queue-wait", queue_start, outcome.queue_wait_us);
+                    tr.record(
+                        ROOT_SPAN,
+                        "solve",
+                        queue_start + outcome.queue_wait_us,
+                        outcome.solve_us,
+                    );
+                    if dvs_obs::enabled() {
+                        dvs_obs::histogram("serve.queue_wait_us", outcome.queue_wait_us);
+                    }
+                }
+            }
+            match outcome.body {
+                Ok(body) => finish_traced(state, tr, op, false, started, &body),
+                Err(msg) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    error_envelope(op, "solve_error", &msg)
+                }
+            }
         }
         None => {
             state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -365,9 +452,51 @@ fn handle_solve(state: &State, req: &SolveRequest, started: Instant) -> String {
     }
 }
 
+/// Records the `emit` span, closes the trace, retains it in the ring and
+/// wraps the result body in a traced success envelope.
+fn finish_traced(
+    state: &State,
+    mut tr: TraceCtx,
+    op: &str,
+    cached: bool,
+    started: Instant,
+    body: &str,
+) -> String {
+    let emit = tr.begin(ROOT_SPAN, "emit");
+    tr.end(emit);
+    let tree = tr.finish();
+    {
+        let mut ring = state.traces.lock().expect("traces poisoned");
+        while ring.len() >= TRACE_RING {
+            ring.pop_front();
+        }
+        ring.push_back(tree.clone());
+    }
+    ok_envelope_traced(op, cached, us_since(started), body, Some(&tree.dump()))
+}
+
+/// The `traces` response body: the retained trace trees (oldest first)
+/// plus a flattened Chrome-trace event array covering all of them, ready
+/// to write to a file and load in Perfetto.
+fn traces_json(state: &State) -> Json {
+    let trees: Vec<Json> = state
+        .traces
+        .lock()
+        .expect("traces poisoned")
+        .iter()
+        .cloned()
+        .collect();
+    let chrome: Vec<Json> = trees.iter().flat_map(trace::chrome_events).collect();
+    Json::obj([
+        ("count", Json::from(trees.len())),
+        ("traces", Json::Arr(trees)),
+        ("chrome", Json::Arr(chrome)),
+    ])
+}
+
 /// Blocks until the in-flight solve completes, or until `timeout`
-/// elapses (`None` result). Multiple waiters each clone the body.
-fn wait_inflight(inf: &Inflight, timeout: Option<Duration>) -> Option<Result<String, String>> {
+/// elapses (`None` result). Multiple waiters each clone the outcome.
+fn wait_inflight(inf: &Inflight, timeout: Option<Duration>) -> Option<SolveOutcome> {
     let deadline = timeout.map(|t| Instant::now() + t);
     let mut slot = inf.slot.lock().expect("inflight poisoned");
     loop {
@@ -438,23 +567,30 @@ fn dispatcher(state: &State) {
         let domain = state.domain;
         let results = state.pool.map(batch, |_, job| {
             let _d = dvs_obs::enter_domain(domain);
+            let queue_wait_us = us_since(job.enqueued);
+            let solve_start = Instant::now();
             let body = execute_solve(&job.request);
-            (job.key, job.canonical, body)
+            let outcome = SolveOutcome {
+                body,
+                queue_wait_us,
+                solve_us: us_since(solve_start),
+            };
+            (job.key, job.canonical, outcome)
         });
         let mut finished = Vec::with_capacity(results.len());
         {
             let mut coord = state.coord.lock().expect("coord poisoned");
-            for (key, canonical, body) in results {
-                if let Ok(b) = &body {
+            for (key, canonical, outcome) in results {
+                if let Ok(b) = &outcome.body {
                     coord.cache.insert(key, &canonical, b.clone());
                 }
                 if let Some(inf) = coord.inflight.remove(&key) {
-                    finished.push((inf, body));
+                    finished.push((inf, outcome));
                 }
             }
         }
-        for (inf, body) in finished {
-            *inf.slot.lock().expect("inflight poisoned") = Some(body);
+        for (inf, outcome) in finished {
+            *inf.slot.lock().expect("inflight poisoned") = Some(outcome);
             inf.done.notify_all();
         }
     }

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a dvsc bench-solver report, optionally against a baseline.
+
+Usage: validate_bench_solver.py REPORT.json [BASELINE.json]
+
+Checks the `dvs-bench-solver.v1` schema: required top-level and per-case
+keys, no failed cells, and a monotone-nonincreasing incumbent trajectory
+per case (objectives are in minimization form, so every new incumbent
+must improve or tie the last). With a BASELINE, additionally diffs the
+deterministic search counters (`stats`, plus the problem shape) of every
+case whose name appears in both reports — wall-clock fields are never
+compared. Exits nonzero on the first class of failure, printing every
+instance of it.
+"""
+
+import json
+import sys
+
+TOP_KEYS = {"schema", "mode", "totals", "cases"}
+TOTALS_KEYS = {"cases", "nodes", "lp_iterations", "pivots"}
+CASE_KEYS = {
+    "name",
+    "seed",
+    "max_blocks",
+    "blocks",
+    "edges",
+    "levels",
+    "deadline_frac",
+    "binary_vars",
+    "constraints",
+    "predicted_energy_uj",
+    "reps",
+    "wall_us",
+    "stats",
+}
+WALL_KEYS = {"mean", "p50", "p90", "max"}
+STATS_KEYS = {
+    "nodes",
+    "nodes_pruned",
+    "lp_iterations",
+    "pivots",
+    "degenerate_pivots",
+    "bound_flips",
+    "refactorizations",
+    "presolve_rows_removed",
+    "presolve_bounds_tightened",
+    "mip_gap",
+    "incumbents",
+}
+# The per-case fields that must match a baseline bit-for-bit. `reps`
+# and `wall_us` are excluded by construction: repetition count and wall
+# clock are the two knobs a quick run is allowed to move.
+DETERMINISTIC_CASE_KEYS = CASE_KEYS - {"reps", "wall_us"}
+
+
+def fail(errors, label):
+    if errors:
+        print(f"{label}:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def check_schema(report, path):
+    errors = []
+    missing = TOP_KEYS - report.keys()
+    if missing:
+        errors.append(f"{path}: missing top-level keys {sorted(missing)}")
+    if report.get("schema") != "dvs-bench-solver.v1":
+        errors.append(f"{path}: schema is {report.get('schema')!r}")
+    totals = report.get("totals", {})
+    missing = TOTALS_KEYS - totals.keys()
+    if missing:
+        errors.append(f"{path}: totals missing {sorted(missing)}")
+    cases = report.get("cases", [])
+    if totals.get("cases") != len(cases):
+        errors.append(
+            f"{path}: totals.cases={totals.get('cases')} but {len(cases)} cases"
+        )
+    for case in cases:
+        name = case.get("name", "<unnamed>")
+        if "error" in case:
+            errors.append(f"{path}: case {name} failed: {case['error']}")
+            continue
+        for keyset, sub in ((CASE_KEYS, None), (WALL_KEYS, "wall_us"), (STATS_KEYS, "stats")):
+            obj = case if sub is None else case.get(sub, {})
+            missing = keyset - obj.keys()
+            if missing:
+                where = f"{name}.{sub}" if sub else name
+                errors.append(f"{path}: case {where} missing {sorted(missing)}")
+        objectives = [i.get("objective") for i in case.get("stats", {}).get("incumbents", [])]
+        if not objectives:
+            errors.append(f"{path}: case {name} has no incumbents")
+        if any(b > a for a, b in zip(objectives, objectives[1:])):
+            errors.append(
+                f"{path}: case {name} incumbent trajectory not monotone "
+                f"nonincreasing: {objectives}"
+            )
+    fail(errors, f"schema validation failed for {path}")
+    print(f"{path}: ok ({report['mode']} mode, {len(cases)} cases)")
+
+
+def diff_against_baseline(report, baseline, report_path, baseline_path):
+    base_by_name = {c["name"]: c for c in baseline["cases"]}
+    errors = []
+    compared = 0
+    for case in report["cases"]:
+        base = base_by_name.get(case["name"])
+        if base is None:
+            errors.append(f"case {case['name']} not present in {baseline_path}")
+            continue
+        compared += 1
+        for key in sorted(DETERMINISTIC_CASE_KEYS):
+            if case.get(key) != base.get(key):
+                errors.append(
+                    f"case {case['name']}.{key} diverged from baseline:\n"
+                    f"    {report_path}: {json.dumps(case.get(key))}\n"
+                    f"    {baseline_path}: {json.dumps(base.get(key))}"
+                )
+    fail(errors, "baseline counter diff failed (solver search changed — "
+         "if intended, regenerate with `dvsc bench-solver`)")
+    print(f"counters match baseline for all {compared} shared cases")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    check_schema(report, sys.argv[1])
+    if len(sys.argv) == 3:
+        with open(sys.argv[2]) as f:
+            baseline = json.load(f)
+        check_schema(baseline, sys.argv[2])
+        diff_against_baseline(report, baseline, sys.argv[1], sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,306 @@
+//! `dvsc bench-solver` — a pinned MILP solver performance baseline.
+//!
+//! Runs a fixed grid of generated solver cases — CFG sizes × ladder
+//! shapes × deadline tightnesses, seeded through the `dvs-check`
+//! generators so every case is reproducible from its cell description —
+//! and renders the result as the `BENCH_solver.json` document kept at
+//! the repo root.
+//!
+//! Two kinds of numbers live side by side in the report and are treated
+//! very differently:
+//!
+//! * **Search-work counters** ([`dvs_milp::SolveStats`]: nodes, pruned
+//!   nodes, simplex pivots, presolve reductions, the incumbent
+//!   trajectory, the final MIP gap) are *deterministic*: every cell pins
+//!   `solver_jobs` to 1, so the same toolchain produces the same values
+//!   whatever `--jobs` fans the cells out over. CI diffs these against
+//!   the committed baseline; a change means the solver's search actually
+//!   changed.
+//! * **Wall-clock percentiles** (`wall_us`) are measured over `reps`
+//!   repeated solves and are machine-dependent noise as far as the
+//!   baseline is concerned. [`deterministic_view`] strips them, and the
+//!   determinism test compares only what survives.
+
+use dvs_check::{gen_cfg, gen_trace, DeadlineSpec, Gen};
+use dvs_compiler::MilpFormulation;
+use dvs_obs::json::Json;
+use dvs_runtime::Pool;
+use dvs_sim::{Machine, ModeProfiler};
+use dvs_vf::{AlphaPower, TransitionModel, VoltageLadder};
+
+/// Configuration for [`run_bench_solver`].
+#[derive(Debug, Clone)]
+pub struct BenchSolverConfig {
+    /// Trim the grid and the repetition count for CI smoke runs.
+    pub quick: bool,
+    /// Worker threads fanning out over grid *cells*. The solver inside
+    /// each cell always runs sequentially (`solver_jobs = 1`), so this
+    /// only affects wall clock, never the counters.
+    pub jobs: usize,
+}
+
+impl Default for BenchSolverConfig {
+    fn default() -> Self {
+        BenchSolverConfig {
+            quick: false,
+            jobs: 1,
+        }
+    }
+}
+
+/// One cell of the benchmark grid.
+#[derive(Debug, Clone)]
+struct Cell {
+    seed: u64,
+    max_blocks: usize,
+    levels: usize,
+    deadline_frac: f64,
+    reps: usize,
+}
+
+impl Cell {
+    fn name(&self) -> String {
+        format!(
+            "blocks{}_levels{}_frac{:02}",
+            self.max_blocks,
+            self.levels,
+            (self.deadline_frac * 100.0).round() as u64
+        )
+    }
+}
+
+/// The fixed grid. Seeds are a pure function of the cell coordinates so
+/// the generated CFG for a cell never silently changes when the grid
+/// gains or loses entries.
+fn grid(quick: bool) -> Vec<Cell> {
+    // The quick grid is a strict subset of the full grid (same seeds, same
+    // coordinates), so a quick CI run can diff its counters cell-by-cell
+    // against the committed full baseline.
+    let (sizes, levels, fracs, reps): (&[usize], &[usize], &[f64], usize) = if quick {
+        (&[10, 18], &[2, 4], &[0.15, 0.9], 3)
+    } else {
+        (&[10, 18, 28], &[2, 3, 4], &[0.15, 0.4, 0.9], 5)
+    };
+    let mut cells = Vec::new();
+    for &max_blocks in sizes {
+        for &lv in levels {
+            for &frac in fracs {
+                cells.push(Cell {
+                    seed: 0x5eed + 31 * max_blocks as u64 + 7 * lv as u64,
+                    max_blocks,
+                    levels: lv,
+                    deadline_frac: frac,
+                    reps,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn ladder(levels: usize) -> VoltageLadder {
+    let law = AlphaPower::paper();
+    if levels == 3 {
+        VoltageLadder::xscale3(&law)
+    } else {
+        VoltageLadder::interpolated(&law, levels).unwrap_or_else(|_| VoltageLadder::xscale3(&law))
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = (((sorted.len() - 1) as f64) * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs one cell: generate → profile → solve `reps` times. Counters come
+/// from the first repetition (they are identical across repetitions —
+/// the solver is deterministic at `solver_jobs = 1`); wall clock is
+/// aggregated over all of them.
+#[allow(clippy::cast_precision_loss)]
+fn run_cell(cell: &Cell) -> Json {
+    let mut g = Gen::from_seed(cell.seed);
+    let cfg = gen_cfg(&mut g, cell.max_blocks);
+    let trace = gen_trace(&mut g, &cfg);
+    let ladder = ladder(cell.levels);
+    let transition = TransitionModel::with_capacitance_uf(0.05);
+    let profiler = ModeProfiler::new(Machine::paper_default());
+    let (profile, _) = profiler.profile(&cfg, &trace, &ladder);
+    let t_fast = profile.total_time_at(ladder.len() - 1);
+    let t_slow = profile.total_time_at(0);
+    let deadline_us = DeadlineSpec::SpanFraction(cell.deadline_frac).resolve(t_fast, t_slow);
+    let formulation = MilpFormulation::new(&cfg, &profile, &ladder, &transition, deadline_us);
+
+    let mut walls = Vec::with_capacity(cell.reps);
+    let mut first = None;
+    for _ in 0..cell.reps {
+        match formulation.solve() {
+            Ok(out) => {
+                walls.push(out.solve_time.as_secs_f64() * 1e6);
+                if first.is_none() {
+                    first = Some(out);
+                }
+            }
+            Err(e) => {
+                return Json::obj([
+                    ("name", Json::from(cell.name())),
+                    ("seed", Json::from(cell.seed)),
+                    ("error", Json::from(format!("{e}"))),
+                ]);
+            }
+        }
+    }
+    let out = first.expect("reps >= 1");
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let s = &out.solve_stats;
+    Json::obj([
+        ("name", Json::from(cell.name())),
+        ("seed", Json::from(cell.seed)),
+        ("max_blocks", Json::from(cell.max_blocks)),
+        ("blocks", Json::from(cfg.num_blocks())),
+        ("edges", Json::from(cfg.num_edges())),
+        ("levels", Json::from(cell.levels)),
+        ("deadline_frac", Json::from(cell.deadline_frac)),
+        ("binary_vars", Json::from(out.binary_vars)),
+        ("constraints", Json::from(out.constraints)),
+        ("predicted_energy_uj", Json::from(out.predicted_energy_uj)),
+        ("reps", Json::from(cell.reps)),
+        (
+            "wall_us",
+            Json::obj([
+                (
+                    "mean",
+                    Json::from(walls.iter().sum::<f64>() / walls.len() as f64),
+                ),
+                ("p50", Json::from(percentile(&walls, 0.50))),
+                ("p90", Json::from(percentile(&walls, 0.90))),
+                ("max", Json::from(*walls.last().expect("reps >= 1"))),
+            ]),
+        ),
+        (
+            "stats",
+            Json::obj([
+                ("nodes", Json::from(s.nodes)),
+                ("nodes_pruned", Json::from(s.nodes_pruned)),
+                ("lp_iterations", Json::from(s.lp_iterations)),
+                ("pivots", Json::from(s.pivots)),
+                ("degenerate_pivots", Json::from(s.degenerate_pivots)),
+                ("bound_flips", Json::from(s.bound_flips)),
+                ("refactorizations", Json::from(s.refactorizations)),
+                ("presolve_rows_removed", Json::from(s.presolve_rows_removed)),
+                (
+                    "presolve_bounds_tightened",
+                    Json::from(s.presolve_bounds_tightened),
+                ),
+                (
+                    "mip_gap",
+                    Json::from(if s.mip_gap.is_finite() {
+                        s.mip_gap
+                    } else {
+                        -1.0
+                    }),
+                ),
+                (
+                    "incumbents",
+                    Json::Arr(
+                        s.incumbents
+                            .iter()
+                            .map(|i| {
+                                Json::obj([
+                                    ("node", Json::from(i.node)),
+                                    ("objective", Json::from(i.objective)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Runs the whole grid (cells fanned out over `config.jobs` workers, in
+/// deterministic order) and returns the `BENCH_solver.json` document.
+#[must_use]
+pub fn run_bench_solver(config: &BenchSolverConfig) -> Json {
+    let cells = grid(config.quick);
+    let pool = Pool::new(config.jobs.max(1));
+    let cases: Vec<Json> = pool.map(cells, |_, cell| run_cell(&cell));
+
+    let total = |key: &str| {
+        cases
+            .iter()
+            .filter_map(|c| {
+                c.get("stats")
+                    .and_then(|s| s.get(key))
+                    .and_then(Json::as_u64)
+            })
+            .sum::<u64>()
+    };
+    Json::obj([
+        ("schema", Json::from("dvs-bench-solver.v1")),
+        (
+            "mode",
+            Json::from(if config.quick { "quick" } else { "full" }),
+        ),
+        (
+            "totals",
+            Json::obj([
+                ("cases", Json::from(cases.len())),
+                ("nodes", Json::from(total("nodes"))),
+                ("lp_iterations", Json::from(total("lp_iterations"))),
+                ("pivots", Json::from(total("pivots"))),
+            ]),
+        ),
+        ("cases", Json::Arr(cases)),
+    ])
+}
+
+/// The report with every machine-dependent field (`wall_us` subtrees)
+/// removed — what must be byte-stable across `--jobs` values and CI
+/// runs on the same toolchain.
+#[must_use]
+pub fn deterministic_view(v: &Json) -> Json {
+    match v {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k != "wall_us")
+                .map(|(k, val)| (k.clone(), deterministic_view(val)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(deterministic_view).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_is_small_and_full_grid_is_larger() {
+        assert_eq!(grid(true).len(), 8);
+        assert_eq!(grid(false).len(), 27);
+    }
+
+    #[test]
+    fn deterministic_view_strips_wall_clock_only() {
+        let j = Json::obj([
+            ("stats", Json::obj([("nodes", Json::from(3usize))])),
+            ("wall_us", Json::obj([("p50", Json::from(1.5))])),
+        ]);
+        let v = deterministic_view(&j);
+        assert!(v.get("wall_us").is_none());
+        assert_eq!(
+            v.get("stats")
+                .and_then(|s| s.get("nodes"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -13,10 +13,12 @@
 //!             [--capacitance µF] [--jobs N]
 //! dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B]
 //!            [--queue-depth D]
-//! dvsc client <compile|verify|ping|stats|shutdown> [--addr HOST:PORT]
+//! dvsc client <compile|verify|ping|stats|traces|shutdown> [--addr HOST:PORT]
 //!             [--benchmark NAME] [--deadline 1..5] [--json]
+//! dvsc client trace <compile|verify> --benchmark NAME [--deadline 1..5]
 //! dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M]
 //!               [--benchmark NAME]
+//! dvsc bench-solver [--quick] [--jobs N] [--out FILE]
 //! ```
 //!
 //! `compile` runs profile → filter → MILP → schedule on a built-in
@@ -40,10 +42,19 @@
 //! solve cache, request coalescing, bounded admission queue); `client`
 //! sends one request to a running daemon; `loadtest` hammers a daemon
 //! from N concurrent connections and writes throughput/latency
-//! percentiles to `results/serve.csv`. The global `--timeout <secs>`
-//! flag bounds `compile`/`verify`/`check` wall-clock (exit code 3 on
-//! expiry) and doubles as the server-side request deadline for `client`
-//! and `loadtest`.
+//! percentiles (plus trace-derived queue-wait and cache-lookup means)
+//! to `results/serve.csv`. `client trace <op>` runs one solve and
+//! prints the server's per-request trace tree (queue wait, cache
+//! lookup, solve, emit spans); `client traces` fetches the daemon's
+//! recent trace ring as Chrome trace events. The global `--timeout
+//! <secs>` flag bounds `compile`/`verify`/`check` wall-clock (exit code
+//! 3 on expiry) and doubles as the server-side request deadline for
+//! `client` and `loadtest`.
+//!
+//! `bench-solver` runs the pinned MILP benchmark grid (CFG sizes ×
+//! ladder shapes × deadline tightnesses) and writes `BENCH_solver.json`:
+//! wall-clock percentiles per cell plus the deterministic solver search
+//! counters CI diffs against the committed baseline.
 //!
 //! `--metrics` prints a pipeline metrics summary (counters, gauges,
 //! histograms) after the run; `--trace-out FILE` writes a Chrome
@@ -88,6 +99,8 @@ struct Args {
     requests: usize,
     timeout_secs: Option<f64>,
     client_op: Option<String>,
+    quick: bool,
+    out: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -102,11 +115,13 @@ fn usage() -> ExitCode {
          [--dot FILE]\n  \
          \x20              [--mutate SEED] [--levels N] [--capacitance µF] [--jobs N]\n  \
          dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B] [--queue-depth D]\n  \
-         dvsc client <compile|verify|ping|stats|shutdown> [--addr HOST:PORT] \
+         dvsc client <compile|verify|ping|stats|traces|shutdown> [--addr HOST:PORT] \
          [--benchmark <name>]\n  \
          \x20              [--deadline 1..5] [--levels N] [--capacitance µF] [--json]\n  \
+         dvsc client trace <compile|verify> --benchmark <name> [--deadline 1..5]\n  \
          dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M] \
          [--benchmark <name>]\n  \
+         dvsc bench-solver [--quick] [--jobs N] [--out FILE]\n  \
          dvsc --timeout <secs> ...   (bounds compile/verify/check; request \
          deadline for client/loadtest)\n  \
          dvsc --version"
@@ -149,13 +164,21 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         requests: 100,
         timeout_secs: None,
         client_op: None,
+        quick: false,
+        out: None,
     };
-    // `client` takes a positional operation before any flags.
+    // `client` takes a positional operation before any flags — two for
+    // `client trace <op>`.
     if cmd == "client" {
-        if let Some(tok) = it.peek() {
-            if !tok.starts_with('-') {
-                args.client_op = Some(it.next().expect("peeked").clone());
+        let mut ops: Vec<String> = Vec::new();
+        while let Some(tok) = it.peek() {
+            if tok.starts_with('-') || ops.len() == 2 {
+                break;
             }
+            ops.push(it.next().expect("peeked").clone());
+        }
+        if !ops.is_empty() {
+            args.client_op = Some(ops.join(" "));
         }
     }
     fn value<'a>(
@@ -226,6 +249,8 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
             }
             "--json" => args.json = true,
             "--deny" => args.deny = true,
+            "--quick" => args.quick = true,
+            "--out" | "-o" => args.out = Some(value(flag, &mut it)?.clone()),
             "--dot" => args.dot = Some(value(flag, &mut it)?.clone()),
             "--mutate" => args.mutate = Some(number(flag, value(flag, &mut it)?)?),
             other => return Err(format!("unknown flag `{other}`")),
@@ -298,6 +323,7 @@ fn main() -> ExitCode {
         "serve" => run_serve(&args),
         "client" => run_client(&args),
         "loadtest" => run_loadtest(&args),
+        "bench-solver" => run_bench_solver(&args),
         other => {
             eprintln!("error: unknown subcommand `{other}`");
             return usage();
@@ -389,15 +415,68 @@ fn run_serve(args: &Args) -> u8 {
     }
 }
 
+/// Renders a per-request trace tree as an indented span listing, children
+/// under their parents in recorded order.
+fn print_trace(tree: &obs::json::Json) {
+    let trace_id = tree.get("trace_id").and_then(obs::json::Json::as_u64);
+    let Some(spans) = tree.get("spans").and_then(obs::json::Json::as_arr) else {
+        return;
+    };
+    println!("trace {}", trace_id.unwrap_or(0));
+    fn walk(spans: &[obs::json::Json], parent: u64, depth: usize) {
+        for s in spans {
+            let get_u64 = |k: &str| s.get(k).and_then(obs::json::Json::as_u64);
+            if get_u64("parent") != Some(parent) {
+                continue;
+            }
+            let name = s
+                .get("name")
+                .and_then(obs::json::Json::as_str)
+                .unwrap_or("?");
+            let ts = s
+                .get("ts_us")
+                .and_then(obs::json::Json::as_f64)
+                .unwrap_or(0.0);
+            let dur = s
+                .get("dur_us")
+                .and_then(obs::json::Json::as_f64)
+                .unwrap_or(0.0);
+            println!(
+                "  {:indent$}{name:<width$} +{:<9} {}",
+                "",
+                obs::format_us(ts),
+                obs::format_us(dur),
+                indent = depth * 2,
+                width = 14usize.saturating_sub(depth * 2),
+            );
+            if let Some(id) = get_u64("id") {
+                walk(spans, id, depth + 1);
+            }
+        }
+    }
+    walk(spans, 0, 0);
+}
+
 /// `dvsc client <op>`: one request against a running daemon.
 fn run_client(args: &Args) -> u8 {
-    let Some(op) = args.client_op.as_deref() else {
-        eprintln!("client requires an operation: compile|verify|ping|stats|shutdown");
+    let Some(full_op) = args.client_op.as_deref() else {
+        eprintln!("client requires an operation: compile|verify|ping|stats|traces|shutdown");
         return 2;
+    };
+    // `client trace compile` is the two-token form: run a solve and print
+    // the server's per-request trace tree instead of the result body.
+    let (want_trace, op) = match full_op.split_once(' ') {
+        Some(("trace", inner)) => (true, inner),
+        Some(_) => {
+            eprintln!("unknown client operation `{full_op}` (did you mean `trace <op>`?)");
+            return 2;
+        }
+        None => (false, full_op),
     };
     let request = match op {
         "ping" => serve::Request::Ping,
         "stats" => serve::Request::Stats,
+        "traces" => serve::Request::Traces,
         "shutdown" => serve::Request::Shutdown,
         "compile" | "verify" => {
             let Some(name) = &args.benchmark else {
@@ -415,13 +494,27 @@ fn run_client(args: &Args) -> u8 {
                 levels: args.levels,
                 capacitance_uf: args.capacitance_uf,
                 timeout_ms: timeout_ms(args),
+                // A stable client-chosen id makes the request easy to find
+                // in the daemon's trace ring later.
+                trace_id: want_trace.then(|| {
+                    let mut h = compile_time_dvs::compiler::fingerprint::Fnv64::new();
+                    h.write_str(name);
+                    h.write_usize(args.deadline_index);
+                    h.finish() % 1_000_000
+                }),
             })
         }
         other => {
-            eprintln!("unknown client operation `{other}` (compile|verify|ping|stats|shutdown)");
+            eprintln!(
+                "unknown client operation `{other}` (compile|verify|ping|stats|traces|shutdown)"
+            );
             return 2;
         }
     };
+    if want_trace && !matches!(request, serve::Request::Solve(_)) {
+        eprintln!("client trace takes a solve operation: compile|verify");
+        return 2;
+    }
     // The server enforces the request deadline itself, so the socket
     // timeout only guards against a dead daemon — give it slack.
     let socket_timeout = args
@@ -450,9 +543,26 @@ fn run_client(args: &Args) -> u8 {
         return 1;
     }
     let body = reply.result.unwrap_or(obs::json::Json::Null);
+    if want_trace {
+        let Some(tree) = &reply.trace else {
+            eprintln!("reply carried no trace (daemon predates tracing?)");
+            return 1;
+        };
+        if args.json {
+            println!("{}", tree.dump());
+        } else {
+            println!(
+                "{op}: cached={} server={:.1} ms",
+                reply.cached,
+                reply.server_us / 1e3
+            );
+            print_trace(tree);
+        }
+        return 0;
+    }
     match op {
         "ping" => println!("pong (server {:.0} µs)", reply.server_us),
-        "stats" | "shutdown" => {
+        "stats" | "traces" | "shutdown" => {
             println!(
                 "{}",
                 if args.json {
@@ -520,11 +630,18 @@ fn run_loadtest(args: &Args) -> u8 {
         report.shed,
         report.errors
     );
+    println!(
+        "server-side (from traces): queue wait {} mean, cache lookup {} mean",
+        obs::format_us(report.mean_queue_wait_us),
+        obs::format_us(report.mean_cache_lookup_us)
+    );
     let csv = format!(
         "# dvsc loadtest against {}\n\
          domain,clients,requests,completed,shed,errors,wall_s,throughput_rps,\
-         p50_us,p90_us,p99_us,max_us,mean_us,cache_hit_rate\n\
-         serve.loadtest,{},{},{},{},{},{:.6},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.4}\n",
+         p50_us,p90_us,p99_us,max_us,mean_us,cache_hit_rate,\
+         queue_wait_us,cache_lookup_us\n\
+         serve.loadtest,{},{},{},{},{},{:.6},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.4},\
+         {:.1},{:.1}\n",
         args.addr,
         args.clients,
         args.requests,
@@ -538,7 +655,9 @@ fn run_loadtest(args: &Args) -> u8 {
         report.latency.p99_us,
         report.latency.max_us,
         report.latency.mean_us,
-        report.cache_hit_rate
+        report.cache_hit_rate,
+        report.mean_queue_wait_us,
+        report.mean_cache_lookup_us
     );
     if let Err(e) =
         std::fs::create_dir_all("results").and_then(|()| std::fs::write("results/serve.csv", csv))
@@ -548,6 +667,52 @@ fn run_loadtest(args: &Args) -> u8 {
     }
     println!("wrote results/serve.csv");
     u8::from(report.errors > 0)
+}
+
+/// `dvsc bench-solver`: run the pinned MILP benchmark grid and write the
+/// `BENCH_solver.json` baseline document.
+fn run_bench_solver(args: &Args) -> u8 {
+    use compile_time_dvs::bench_solver::{run_bench_solver, BenchSolverConfig};
+    let config = BenchSolverConfig {
+        quick: args.quick,
+        jobs: args.jobs,
+    };
+    let report = run_bench_solver(&config);
+    let path = args.out.as_deref().unwrap_or("BENCH_solver.json");
+    if let Err(e) = std::fs::write(path, report.pretty() + "\n") {
+        eprintln!("cannot write {path}: {e}");
+        return 1;
+    }
+    let total = |k: &str| {
+        report
+            .get("totals")
+            .and_then(|t| t.get(k))
+            .and_then(obs::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    let errors = report
+        .get("cases")
+        .and_then(obs::json::Json::as_arr)
+        .map_or(0, |cs| {
+            cs.iter().filter(|c| c.get("error").is_some()).count()
+        });
+    println!(
+        "bench-solver ({} mode): {} cases, {} B&B nodes, {} LP iterations, {} pivots",
+        report
+            .get("mode")
+            .and_then(obs::json::Json::as_str)
+            .unwrap_or("?"),
+        total("cases"),
+        total("nodes"),
+        total("lp_iterations"),
+        total("pivots")
+    );
+    println!("wrote {path}");
+    if errors > 0 {
+        eprintln!("error: {errors} case(s) failed to solve");
+        return 1;
+    }
+    0
 }
 
 fn run_compile(args: &Args) -> u8 {

@@ -3,6 +3,8 @@
 //! Each subsystem is reachable as a module (`compiler`, `sim`, ...); the
 //! [`prelude`] flattens the handful of cross-crate types almost every user
 //! touches into one import.
+pub mod bench_solver;
+
 pub use dvs_check as check;
 pub use dvs_compiler as compiler;
 pub use dvs_ir as ir;

@@ -41,6 +41,7 @@ fn compile_request(benchmark: &str, deadline_index: usize) -> Request {
         levels: 3,
         capacitance_uf: 0.05,
         timeout_ms: None,
+        trace_id: None,
     })
 }
 
@@ -306,5 +307,6 @@ fn solve_request_fields(benchmark: &str, deadline_index: usize) -> SolveRequest 
         levels: 3,
         capacitance_uf: 0.05,
         timeout_ms: None,
+        trace_id: None,
     }
 }
