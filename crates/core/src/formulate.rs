@@ -1,6 +1,9 @@
 use crate::EdgeFilter;
 use dvs_ir::{Cfg, EdgeId, LocalPath, Profile};
-use dvs_milp::{solve_seeded, BranchConfig, LinExpr, MilpError, Model, Sense, SolveStats, Var};
+use dvs_milp::{
+    solve_seeded, solve_with_choice, LinExpr, MilpError, Model, Sense, SolveOptions, SolveStats,
+    SolverChoice, Var,
+};
 use dvs_sim::EdgeSchedule;
 use dvs_vf::{ModeId, TransitionModel, VoltageLadder};
 use std::time::{Duration, Instant};
@@ -51,6 +54,7 @@ pub struct MilpFormulation<'a> {
     deadline_us: f64,
     pinned: Vec<(EdgeId, ModeId)>,
     solver_jobs: usize,
+    solver: SolverChoice,
 }
 
 /// Internal handle: variables of one mode group.
@@ -68,6 +72,11 @@ struct BuiltMilp {
     start: Vec<Var>,
     time: LinExpr,
     transition_energy: LinExpr,
+    /// Auxiliary absolute-value variables and the expressions they bound
+    /// (`aux >= |expr|`): at any candidate point, setting `aux = |expr|`
+    /// makes the four linearization rows tight — used when assembling
+    /// warm-start vectors.
+    aux_abs: Vec<(Var, LinExpr)>,
 }
 
 impl BuiltMilp {
@@ -105,14 +114,26 @@ impl<'a> MilpFormulation<'a> {
             deadline_us,
             pinned: Vec::new(),
             solver_jobs: 1,
+            solver: SolverChoice::Auto,
         }
     }
 
     /// Solver threads for the MILP's root branch split (see
-    /// [`BranchConfig`]'s `jobs`). `1` (the default) is fully sequential.
+    /// [`SolveOptions`]'s `jobs`). `1` (the default) is fully sequential.
     #[must_use]
     pub fn with_solver_jobs(mut self, jobs: usize) -> Self {
         self.solver_jobs = jobs.max(1);
+        self
+    }
+
+    /// Selects the solver backend. [`SolverChoice::Auto`] (the default)
+    /// runs branch-and-bound on the integral model; forcing
+    /// [`SolverChoice::Continuous`] solves the exact continuous-voltage
+    /// relaxation and rounds (only valid for transition-free ladder
+    /// models — anything else returns [`MilpError::Unsupported`]).
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -231,6 +252,7 @@ impl<'a> MilpFormulation<'a> {
         let ce = self.transition.energy_uj(1.0, 0.0); // (1-u)·c
         let ct = self.transition.time_us(1.0, 0.0); // 2c/IMAX
         let mut transition_energy = LinExpr::zero();
+        let mut aux_abs: Vec<(Var, LinExpr)> = Vec::new();
         if ce > 0.0 || ct > 0.0 {
             for (path, d) in self.profile.local_paths() {
                 let Some(exit) = path.exit else { continue };
@@ -254,6 +276,8 @@ impl<'a> MilpFormulation<'a> {
                 }
                 let ep = model.num_var(format!("e_p{}", path.block.index()), 0.0, f64::INFINITY);
                 let tp = model.num_var(format!("t_p{}", path.block.index()), 0.0, f64::INFINITY);
+                aux_abs.push((ep, x.clone()));
+                aux_abs.push((tp, y.clone()));
                 model.add_ge(LinExpr::from(ep) - x.clone(), 0.0);
                 model.add_ge(LinExpr::from(ep) + x, 0.0);
                 model.add_ge(LinExpr::from(tp) - y.clone(), 0.0);
@@ -290,7 +314,59 @@ impl<'a> MilpFormulation<'a> {
             start,
             time,
             transition_energy,
+            aux_abs,
         }
+    }
+
+    /// A warm-start point from the exact continuous-voltage algorithm:
+    /// project the model onto its pure ladder shape (group selection rows
+    /// plus the block-cost part of the deadline row, transitions ignored),
+    /// solve that with the [`dvs_milp::ContinuousYds`] backend, and take
+    /// its rounded incumbent. Transition aux variables are then set to
+    /// their tight values; if the reassembled point misses the real
+    /// deadline (transition time the projection ignored), `None`.
+    fn yds_rounded_start(&self, built: &BuiltMilp) -> Option<Vec<f64>> {
+        let ecoef: std::collections::HashMap<usize, f64> = built
+            .model
+            .objective()
+            .terms()
+            .map(|(v, c)| (v.index(), c))
+            .collect();
+        let tcoef: std::collections::HashMap<usize, f64> =
+            built.time.terms().map(|(v, c)| (v.index(), c)).collect();
+        let mut sub = Model::new(Sense::Minimize);
+        let mut sobj = LinExpr::zero();
+        let mut stime = LinExpr::zero();
+        let mut map: Vec<(usize, Var)> = Vec::new();
+        for ks in built
+            .groups
+            .iter()
+            .flatten()
+            .map(|g| &g.k)
+            .chain(std::iter::once(&built.start))
+        {
+            let mut sum = LinExpr::zero();
+            for &kv in ks {
+                let v = sub.bool_var(format!("s{}", kv.index()));
+                sobj += ecoef.get(&kv.index()).copied().unwrap_or(0.0) * v;
+                stime += tcoef.get(&kv.index()).copied().unwrap_or(0.0) * v;
+                sum += LinExpr::from(v);
+                map.push((kv.index(), v));
+            }
+            sub.add_eq(sum, 1.0);
+        }
+        sub.set_objective(sobj);
+        sub.add_le(stime, self.deadline_us);
+        let sol =
+            solve_with_choice(&sub, SolverChoice::Continuous, &SolveOptions::default()).ok()?;
+        let mut x = vec![0.0; built.model.num_vars()];
+        for &(bi, sv) in &map {
+            x[bi] = sol.value(sv).round();
+        }
+        for (av, expr) in &built.aux_abs {
+            x[av.index()] = expr.eval(&x).abs();
+        }
+        (built.time.eval(&x) <= self.deadline_us).then_some(x)
     }
 
     /// Builds and solves the MILP.
@@ -304,10 +380,13 @@ impl<'a> MilpFormulation<'a> {
         let binary_vars = built.model.num_int_vars();
         let constraints = built.model.num_constraints();
 
-        // Warm start: the slowest single mode that meets the deadline is
-        // always feasible (all groups at that mode, zero transition vars)
-        // and gives branch-and-bound an immediate pruning bound.
-        let warm: Option<Vec<f64>> = self
+        // Warm start, best of two candidates: the slowest single mode that
+        // meets the deadline (always feasible: all groups at one mode,
+        // zero transition cost), and the rounded continuous-voltage (YDS)
+        // point, which mixes modes per group and usually prunes far
+        // harder. Either is rejected by the solver's feasibility check if
+        // a user pin contradicts it, so seeding is always safe.
+        let uniform: Option<Vec<f64>> = self
             .ladder
             .modes()
             .find(|m| self.profile.total_time_at(m.index()) <= self.deadline_us)
@@ -317,17 +396,37 @@ impl<'a> MilpFormulation<'a> {
                     x[g.k[m.index()].index()] = 1.0;
                 }
                 x[built.start[m.index()].index()] = 1.0;
+                for (av, expr) in &built.aux_abs {
+                    x[av.index()] = expr.eval(&x).abs();
+                }
                 x
             });
+        let warm: Option<Vec<f64>> = match (uniform, self.yds_rounded_start(&built)) {
+            (Some(a), Some(b)) => {
+                let obj = built.model.objective();
+                Some(if obj.eval(&b) < obj.eval(&a) { b } else { a })
+            }
+            (a, b) => a.or(b),
+        };
 
         let t0 = Instant::now();
         let sol = {
             let _span = dvs_obs::span!("pass.solve");
-            let config = BranchConfig {
+            let opts = SolveOptions {
                 jobs: self.solver_jobs,
-                ..BranchConfig::default()
+                ..SolveOptions::default()
             };
-            solve_seeded(&built.model, &config, warm.as_deref())?
+            match self.solver {
+                SolverChoice::Continuous => {
+                    solve_with_choice(&built.model, SolverChoice::Continuous, &opts)?
+                }
+                // Auto resolves to branch-and-bound here (the integral DVS
+                // model is never a pure continuous ladder), which is the
+                // only backend that accepts a seed.
+                SolverChoice::Auto | SolverChoice::BranchAndBound => {
+                    solve_seeded(&built.model, &opts, warm.as_deref())?
+                }
+            }
         };
         let solve_time = t0.elapsed();
         dvs_obs::gauge("pass.solve.wall_us", solve_time.as_secs_f64() * 1e6);
@@ -383,10 +482,26 @@ impl<'a> MilpFormulation<'a> {
     /// coincide: both are "the all-fastest assignment meets the deadline").
     pub fn relaxation_bound(&self) -> Result<f64, MilpError> {
         let built = self.build_model();
+        // One shared path with the branch-and-bound root bound
+        // (`dvs_milp::relaxation_bound` relaxes and dispatches through the
+        // backend API), so the check oracle and the solver can never drift.
+        dvs_milp::relaxation_bound(&built.model, &SolveOptions::default())
+    }
+
+    /// [`MilpFormulation::relaxation_bound`] through an explicitly chosen
+    /// backend instead of [`SolverChoice::Auto`] — the solver benchmark
+    /// uses this to pin the exact continuous-voltage algorithm against the
+    /// branch-and-bound LP on the same relaxation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MilpFormulation::relaxation_bound`], plus
+    /// [`MilpError::Unsupported`] if the forced backend cannot represent
+    /// the relaxed model.
+    pub fn relaxation_bound_via(&self, solver: SolverChoice) -> Result<f64, MilpError> {
+        let built = self.build_model();
         let relaxed = built.model.relax();
-        let config = BranchConfig::default();
-        let sol = solve_seeded(&relaxed, &config, None)?;
-        Ok(sol.objective)
+        solve_with_choice(&relaxed, solver, &SolveOptions::default()).map(|s| s.objective)
     }
 
     /// The filter in use (for reporting).

@@ -86,6 +86,7 @@ mod schedule;
 pub use analyze::analyze_params;
 pub use baseline::{lee_sakurai, LeeSakurai};
 pub use deadline::DeadlineScheme;
+pub use dvs_milp::SolverChoice;
 pub use emit::{emit_instrumented, schedule_to_dot, EmitStats};
 pub use error::PassError;
 pub use filter::EdgeFilter;

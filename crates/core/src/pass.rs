@@ -1,5 +1,6 @@
 use crate::{baseline, EdgeFilter, MilpFormulation, MilpOutcome, PassError, ScheduleAnalysis};
 use dvs_ir::{Cfg, Profile};
+use dvs_milp::SolverChoice;
 use dvs_sim::{Machine, ModeProfiler, RunStats, ScheduledRun, Trace};
 use dvs_vf::{TransitionModel, VoltageLadder};
 
@@ -113,6 +114,10 @@ impl CompileResult {
             (
                 "refactorizations",
                 Json::from(self.milp.solve_stats.refactorizations as u64),
+            ),
+            (
+                "dual_pivots",
+                Json::from(self.milp.solve_stats.dual_pivots as u64),
             ),
             (
                 "presolve_rows_removed",
@@ -236,6 +241,7 @@ pub struct CompilerBuilder {
     verify_emitted: bool,
     jobs: usize,
     solver_jobs: usize,
+    solver: SolverChoice,
 }
 
 impl CompilerBuilder {
@@ -253,6 +259,7 @@ impl CompilerBuilder {
             verify_emitted: false,
             jobs: 1,
             solver_jobs: 1,
+            solver: SolverChoice::Auto,
         }
     }
 
@@ -303,13 +310,24 @@ impl CompilerBuilder {
     }
 
     /// Worker threads for the MILP's root branch split (see
-    /// [`dvs_milp::BranchConfig::jobs`]). Unlike [`CompilerBuilder::jobs`]
+    /// [`dvs_milp::SolveOptions`]'s `jobs`). Unlike [`CompilerBuilder::jobs`]
     /// this can perturb which optimal-within-gap solution is returned, so
     /// it is a separate opt-in and [`DvsCompiler::compile_grid`] always
     /// solves its cells sequentially.
     #[must_use]
     pub fn solver_jobs(mut self, jobs: usize) -> Self {
         self.solver_jobs = jobs;
+        self
+    }
+
+    /// Selects the MILP solver backend (see [`dvs_milp::SolverChoice`]).
+    /// [`SolverChoice::Auto`] — the default — runs branch-and-bound on the
+    /// integral model; [`SolverChoice::Continuous`] forces the exact
+    /// continuous-voltage algorithm (transition-free models only) and
+    /// reports its rounded schedule.
+    #[must_use]
+    pub fn solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -339,6 +357,7 @@ impl CompilerBuilder {
             verify_emitted: self.verify_emitted,
             jobs: self.jobs.max(1),
             solver_jobs: self.solver_jobs.max(1),
+            solver: self.solver,
         })
     }
 }
@@ -360,22 +379,10 @@ pub struct DvsCompiler {
     verify_emitted: bool,
     jobs: usize,
     solver_jobs: usize,
+    solver: SolverChoice,
 }
 
 impl DvsCompiler {
-    /// Creates a pass with the given machine, ladder and regulator model,
-    /// filtering at the paper's 2% tail.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `DvsCompiler::builder(..).build()` for named, validated settings"
-    )]
-    #[must_use]
-    pub fn new(machine: Machine, ladder: VoltageLadder, transition: TransitionModel) -> Self {
-        CompilerBuilder::new(machine, ladder, transition)
-            .build()
-            .expect("default compiler configuration is valid")
-    }
-
     /// Starts a [`CompilerBuilder`] with named, validated settings.
     #[must_use]
     pub fn builder(
@@ -442,6 +449,7 @@ impl DvsCompiler {
         h.write_f64(self.tail_fraction);
         h.write_bool(self.hoisting);
         h.write_bool(self.verify_emitted);
+        h.write_str(self.solver.as_str());
         h.finish()
     }
 
@@ -513,6 +521,7 @@ impl DvsCompiler {
         let milp = MilpFormulation::new(cfg, profile, &self.ladder, &self.transition, deadline_us)
             .with_filter(filter.clone())
             .with_solver_jobs(solver_jobs)
+            .with_solver(self.solver)
             .solve()?;
         let analysis = timed("pass.schedule", "pass.schedule.wall_us", || {
             let a = ScheduleAnalysis::new(cfg, profile, &milp.schedule);

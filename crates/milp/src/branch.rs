@@ -1,8 +1,25 @@
 //! Branch-and-bound driver on top of the LP relaxation.
+//!
+//! The search keeps **one** [`SimplexEngine`] for the whole tree: the root
+//! problem is presolved once (with integrality information, unlocking
+//! coefficient reduction), the engine is built on the result, and each node
+//! only rewrites variable bounds before solving. Children carry their
+//! parent's optimal [`Basis`] and restart the **dual simplex** from it —
+//! a bound tightening leaves the parent basis dual feasible, so most node
+//! LPs finish in a handful of dual pivots instead of a full two-phase
+//! primal solve. Any warm start the engine cannot certify falls back to a
+//! fresh solve, so answers never depend on basis reuse being possible.
+//!
+//! Branching defaults to SOS1 group splits where groups are declared,
+//! falling back to **pseudo-cost** variable selection with reliability-1
+//! initialization: a variable is branched most-fractional until both of
+//! its directions have at least one observed LP degradation, after which
+//! the product of its per-direction average gains drives the choice.
 
-use crate::presolve::{presolve, Presolved};
-use crate::simplex::{solve_lp, LpProblem, LpSolution, LpStatus, RowKind};
+use crate::presolve::{presolve_int, Presolved};
+use crate::simplex::{solve_lp, Basis, LpProblem, LpSolution, LpStatus, RowKind, SimplexEngine};
 use crate::{Cmp, Incumbent, MilpError, Model, Sense, Solution, SolveStats, Status, VarKind};
+use std::rc::Rc;
 use std::time::Instant;
 
 const INT_TOL: f64 = 1e-6;
@@ -12,17 +29,22 @@ const OBJ_TOL: f64 = 1e-7;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BranchRule {
     /// Prefer SOS1 group splits where groups are declared, falling back to
-    /// most-fractional single-variable branching. The right default for the
-    /// DVS formulation.
+    /// pseudo-cost single-variable branching (reliability-1 initialized:
+    /// most-fractional until both directions of a variable have been
+    /// observed). The right default for the DVS formulation.
     #[default]
+    Sos1ThenPseudoCost,
+    /// Prefer SOS1 group splits, falling back to most-fractional
+    /// single-variable branching (the pre-pseudo-cost behaviour, kept for
+    /// comparison runs).
     Sos1ThenFractional,
     /// Always branch on the most fractional integer variable.
     MostFractional,
 }
 
-/// Tunables for [`solve_with`].
+/// Tunables for [`solve_with`] and every [`crate::SolverBackend`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct BranchConfig {
+pub struct SolveOptions {
     /// Stop after this many nodes and return the incumbent (as
     /// [`Status::Feasible`]) or [`MilpError::LimitReached`].
     pub max_nodes: usize,
@@ -31,9 +53,20 @@ pub struct BranchConfig {
     /// Absolute optimality gap at which a node is pruned against the
     /// incumbent.
     pub gap: f64,
-    /// Run [`crate::presolve`] at every node before the LP (bound
-    /// tightening, row elimination, early infeasibility).
+    /// Run [`crate::presolve`] on the root problem before the search
+    /// (bound tightening, row elimination, coefficient reduction, early
+    /// infeasibility). Per-node bound propagation also rides on this flag.
     pub presolve: bool,
+    /// Restart each node's LP from its parent's basis with the dual
+    /// simplex instead of solving from scratch. Answers are identical
+    /// either way (the engine falls back to a fresh solve whenever a warm
+    /// start cannot be certified); disabling this exists for regression
+    /// testing and diagnosis.
+    pub reuse_basis: bool,
+    /// Seed the search with the exact continuous-voltage (YDS) relaxation
+    /// bound when the model has the pure ladder-selection shape, letting
+    /// the search stop as soon as the incumbent provably meets it.
+    pub seed_continuous: bool,
     /// With `jobs >= 2`, the two children of the *root* branch-and-bound
     /// split are solved as independent subproblems on a
     /// [`dvs_runtime::Pool`], each under an equal share of the node budget.
@@ -44,17 +77,23 @@ pub struct BranchConfig {
     pub jobs: usize,
 }
 
-impl Default for BranchConfig {
+impl Default for SolveOptions {
     fn default() -> Self {
-        BranchConfig {
+        SolveOptions {
             max_nodes: 500_000,
             rule: BranchRule::default(),
             gap: 1e-6,
             presolve: true,
+            reuse_basis: true,
+            seed_continuous: true,
             jobs: 1,
         }
     }
 }
+
+/// Former name of [`SolveOptions`], kept for one release.
+#[deprecated(note = "renamed to `SolveOptions` in the solver-backend API")]
+pub type BranchConfig = SolveOptions;
 
 /// Solves `model` to proven optimality with default settings.
 ///
@@ -63,7 +102,7 @@ impl Default for BranchConfig {
 /// [`MilpError::Infeasible`], [`MilpError::Unbounded`], or resource errors;
 /// see [`solve_with`].
 pub fn solve(model: &Model) -> Result<Solution, MilpError> {
-    solve_with(model, &BranchConfig::default())
+    solve_with(model, &SolveOptions::default())
 }
 
 /// Solves `model` under explicit branch-and-bound settings.
@@ -75,7 +114,7 @@ pub fn solve(model: &Model) -> Result<Solution, MilpError> {
 /// * [`MilpError::LimitReached`] — node budget exhausted with no incumbent;
 /// * [`MilpError::SimplexStalled`] — numerical failure in the LP layer;
 /// * validation errors from [`Model::validate`].
-pub fn solve_with(model: &Model, config: &BranchConfig) -> Result<Solution, MilpError> {
+pub fn solve_with(model: &Model, config: &SolveOptions) -> Result<Solution, MilpError> {
     solve_seeded(model, config, None)
 }
 
@@ -90,7 +129,7 @@ pub fn solve_with(model: &Model, config: &BranchConfig) -> Result<Solution, Milp
 /// Same as [`solve_with`].
 pub fn solve_seeded(
     model: &Model,
-    config: &BranchConfig,
+    config: &SolveOptions,
     start: Option<&[f64]>,
 ) -> Result<Solution, MilpError> {
     let _span = dvs_obs::span!("milp.solve");
@@ -105,6 +144,8 @@ pub fn solve_seeded(
             dvs_obs::counter("milp.bnb_nodes", sol.stats.nodes as u64);
             dvs_obs::counter("milp.bnb_nodes_pruned", sol.stats.nodes_pruned as u64);
             dvs_obs::counter("milp.incumbents", sol.stats.incumbents.len() as u64);
+            dvs_obs::counter("milp.pivots", sol.stats.pivots as u64);
+            dvs_obs::counter("milp.dual_pivots", sol.stats.dual_pivots as u64);
             dvs_obs::histogram("milp.bnb_nodes_per_solve", sol.stats.nodes as f64);
             dvs_obs::histogram("milp.simplex_pivots_per_solve", sol.stats.pivots as f64);
             if sol.stats.mip_gap.is_finite() {
@@ -122,6 +163,7 @@ fn absorb_lp(stats: &mut SolveStats, sol: &LpSolution) {
     stats.degenerate_pivots += sol.degenerate_pivots;
     stats.bound_flips += sol.bound_flips;
     stats.refactorizations += sol.refactorizations;
+    stats.dual_pivots += sol.dual_pivots;
 }
 
 /// Appends an incumbent-improvement record (minimization-form objective).
@@ -143,14 +185,321 @@ fn relative_gap(obj: f64, best_bound: f64) -> f64 {
     }
 }
 
-fn solve_seeded_impl(
-    model: &Model,
-    config: &BranchConfig,
-    start: Option<&[f64]>,
-) -> Result<Solution, MilpError> {
-    let t0 = Instant::now();
-    model.validate()?;
-    let base = lower_to_lp(model);
+/// Per-variable branching history: average objective degradation per unit
+/// of fractionality, separately for the down (floor) and up (ceil)
+/// directions.
+struct PseudoCosts {
+    dn_sum: Vec<f64>,
+    dn_cnt: Vec<u32>,
+    up_sum: Vec<f64>,
+    up_cnt: Vec<u32>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> Self {
+        PseudoCosts {
+            dn_sum: vec![0.0; n],
+            dn_cnt: vec![0; n],
+            up_sum: vec![0.0; n],
+            up_cnt: vec![0; n],
+        }
+    }
+
+    fn record(&mut self, j: usize, is_up: bool, gain: f64) {
+        if is_up {
+            self.up_sum[j] += gain;
+            self.up_cnt[j] += 1;
+        } else {
+            self.dn_sum[j] += gain;
+            self.dn_cnt[j] += 1;
+        }
+    }
+
+    /// Reliability-1: a variable's estimate is trusted once both
+    /// directions have been observed at least once.
+    fn reliable(&self, j: usize) -> bool {
+        self.dn_cnt[j] > 0 && self.up_cnt[j] > 0
+    }
+
+    fn score(&self, j: usize, f_dn: f64, f_up: f64) -> f64 {
+        const EPS: f64 = 1e-6;
+        let dn = self.dn_sum[j] / f64::from(self.dn_cnt[j].max(1));
+        let up = self.up_sum[j] / f64::from(self.up_cnt[j].max(1));
+        (dn * f_dn).max(EPS) * (up * f_up).max(EPS)
+    }
+}
+
+/// Integer-aware bound tightening applied per node (one activity pass over
+/// the `<=` rows plus integral rounding of the integer variables' bounds).
+/// Returns the number of tightenings, or `None` on proven infeasibility.
+fn propagate_node_bounds(
+    le_rows: &[(Vec<(usize, f64)>, f64)],
+    int_vars: &[usize],
+    lb: &mut [f64],
+    ub: &mut [f64],
+) -> Option<usize> {
+    const PTOL: f64 = 1e-7;
+    let mut tightened = 0usize;
+    let round_ints = |lb: &mut [f64], ub: &mut [f64], tightened: &mut usize| -> bool {
+        for &j in int_vars {
+            if lb[j].is_finite() {
+                let r = (lb[j] - 1e-9).ceil();
+                if r > lb[j] + 1e-9 {
+                    lb[j] = r;
+                    *tightened += 1;
+                }
+            }
+            if ub[j].is_finite() {
+                let r = (ub[j] + 1e-9).floor();
+                if r < ub[j] - 1e-9 {
+                    ub[j] = r;
+                    *tightened += 1;
+                }
+            }
+            if lb[j] > ub[j] + 1e-9 {
+                return false;
+            }
+        }
+        true
+    };
+    if !round_ints(lb, ub, &mut tightened) {
+        return None;
+    }
+    for (terms, rhs) in le_rows {
+        let mut min_act = 0.0f64;
+        for &(j, a) in terms {
+            min_act += if a > 0.0 { a * lb[j] } else { a * ub[j] };
+        }
+        if !min_act.is_finite() {
+            continue;
+        }
+        if min_act > rhs + PTOL.max(1e-7 * rhs.abs()) {
+            return None;
+        }
+        for &(j, a) in terms {
+            let contrib = if a > 0.0 { a * lb[j] } else { a * ub[j] };
+            let rest = min_act - contrib;
+            if a > 0.0 {
+                let new_ub = (rhs - rest) / a;
+                if new_ub < ub[j] - PTOL.max(1e-7 * ub[j].abs()) {
+                    ub[j] = new_ub;
+                    tightened += 1;
+                }
+            } else {
+                let new_lb = (rhs - rest) / a;
+                if new_lb > lb[j] + PTOL.max(1e-7 * lb[j].abs()) {
+                    lb[j] = new_lb;
+                    tightened += 1;
+                }
+            }
+            if lb[j] > ub[j] + PTOL {
+                return None;
+            }
+        }
+    }
+    if !round_ints(lb, ub, &mut tightened) {
+        return None;
+    }
+    Some(tightened)
+}
+
+/// Assignment-group (GUB) structure detected once at the root: rows of
+/// the form `Σ_{j∈G} x_j = 1` over disjoint sets of binary variables —
+/// exactly the per-edge mode-selection rows of the DVS formulation.
+///
+/// `rows` holds every `<=` row, plus the objective as a pseudo-row whose
+/// right-hand side is the incumbent cutoff, split into ungrouped terms
+/// and per-group member coefficients. That split makes activity bounds
+/// group-aware: a group contributes the coefficient of its cheapest
+/// still-available member (instead of zero), which both detects
+/// infeasibility earlier and supports exact dominance fixing — a member
+/// whose selection would push the cheapest completion past the row's
+/// right-hand side can never be chosen in an improving solution.
+struct Gub {
+    /// Group membership (variable indices), disjoint by construction.
+    groups: Vec<Vec<usize>>,
+    rows: Vec<GubRow>,
+}
+
+struct GubRow {
+    /// Terms over variables outside every group.
+    nongroup: Vec<(usize, f64)>,
+    /// Touched groups: the group's full membership with this row's
+    /// coefficients (0.0 for members absent from the row).
+    groups: Vec<Vec<(usize, f64)>>,
+    rhs: f64,
+    /// The objective pseudo-row: `rhs` is replaced by the incumbent
+    /// cutoff at propagation time.
+    is_objective: bool,
+}
+
+fn build_gub(lp: &LpProblem, mask: &[bool]) -> Gub {
+    const GTOL: f64 = 1e-9;
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); lp.num_rows()];
+    for (j, col) in lp.cols.iter().enumerate() {
+        for &(r, a) in col {
+            rows[r].push((j, a));
+        }
+    }
+    let mut group_of = vec![usize::MAX; lp.num_vars];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    'rows: for (r, terms) in rows.iter().enumerate() {
+        if lp.row_kind[r] != RowKind::Eq || (lp.rhs[r] - 1.0).abs() > GTOL || terms.len() < 2 {
+            continue;
+        }
+        for &(j, a) in terms {
+            if (a - 1.0).abs() > GTOL
+                || !mask[j]
+                || lp.lb[j] < -GTOL
+                || lp.ub[j] > 1.0 + GTOL
+                || group_of[j] != usize::MAX
+            {
+                continue 'rows;
+            }
+        }
+        for &(j, _) in terms {
+            group_of[j] = groups.len();
+        }
+        groups.push(terms.iter().map(|&(j, _)| j).collect());
+    }
+    if groups.is_empty() {
+        return Gub {
+            groups,
+            rows: Vec::new(),
+        };
+    }
+
+    let mut coeff = vec![0.0f64; lp.num_vars];
+    let mut build = |terms: &[(usize, f64)], rhs: f64, is_objective: bool| -> GubRow {
+        let mut nongroup = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        for &(j, a) in terms {
+            if group_of[j] == usize::MAX {
+                nongroup.push((j, a));
+            } else {
+                touched.push(group_of[j]);
+                coeff[j] = a;
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let grouped = touched
+            .iter()
+            .map(|&g| groups[g].iter().map(|&j| (j, coeff[j])).collect())
+            .collect();
+        for &(j, _) in terms {
+            coeff[j] = 0.0;
+        }
+        GubRow {
+            nongroup,
+            groups: grouped,
+            rhs,
+            is_objective,
+        }
+    };
+
+    let obj_terms: Vec<(usize, f64)> = lp
+        .obj
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c != 0.0)
+        .map(|(j, &c)| (j, c))
+        .collect();
+    let mut out = vec![build(&obj_terms, f64::INFINITY, true)];
+    for (r, terms) in rows.iter().enumerate() {
+        if lp.row_kind[r] == RowKind::Le {
+            out.push(build(terms, lp.rhs[r], false));
+        }
+    }
+    Gub { groups, rows: out }
+}
+
+/// Group-aware bound tightening against the node bounds. `cutoff` is the
+/// incumbent objective minus the gap (minus the objective offset), or
+/// `+inf` while no incumbent exists. Returns the number of tightenings,
+/// or `None` on proven infeasibility — meaning no *improving integral*
+/// solution survives under these bounds (the node is pruned, which is
+/// exactly how the search treats an LP bound at the cutoff).
+fn propagate_gub(gub: &Gub, cutoff: f64, lb: &mut [f64], ub: &mut [f64]) -> Option<usize> {
+    const PTOL: f64 = 1e-7;
+    if gub.groups.is_empty() {
+        return Some(0);
+    }
+    let mut tightened = 0usize;
+    for row in &gub.rows {
+        let rhs = if row.is_objective { cutoff } else { row.rhs };
+        if !rhs.is_finite() {
+            continue;
+        }
+        let mut min_act = 0.0f64;
+        for &(j, a) in &row.nongroup {
+            min_act += if a > 0.0 { a * lb[j] } else { a * ub[j] };
+        }
+        if !min_act.is_finite() {
+            continue;
+        }
+        let mut gmins = Vec::with_capacity(row.groups.len());
+        for members in &row.groups {
+            let mut m = f64::INFINITY;
+            for &(j, a) in members {
+                if lb[j] >= 0.5 {
+                    // Fixed to one: the group's contribution is exact.
+                    m = a;
+                    break;
+                }
+                if ub[j] >= 0.5 {
+                    m = m.min(a);
+                }
+            }
+            if m == f64::INFINITY {
+                return None; // assignment row has no member left
+            }
+            gmins.push(m);
+            min_act += m;
+        }
+        let tol = PTOL.max(1e-7 * rhs.abs());
+        if min_act > rhs + tol {
+            return None;
+        }
+        // Dominance fixing: choosing member j costs `a` where the bound
+        // assumed the group's cheapest `m`; if the swap alone overshoots
+        // the row, j cannot be the chosen member of its group.
+        for (members, &m) in row.groups.iter().zip(&gmins) {
+            for &(j, a) in members {
+                if ub[j] >= 0.5 && lb[j] < 0.5 && min_act - m + a > rhs + tol {
+                    ub[j] = 0.0;
+                    tightened += 1;
+                }
+            }
+        }
+    }
+    // Assignment-row consequences of the fixing above: a chosen member
+    // zeroes its siblings, and a group down to one candidate must choose
+    // it (bound conflicts surface downstream as lb > ub).
+    for members in &gub.groups {
+        if let Some(&one) = members.iter().find(|&&j| lb[j] >= 0.5) {
+            for &j in members {
+                if j != one && ub[j] >= 0.5 {
+                    ub[j] = 0.0;
+                    tightened += 1;
+                }
+            }
+            continue;
+        }
+        let mut avail = members.iter().filter(|&&j| ub[j] >= 0.5);
+        match (avail.next(), avail.next()) {
+            (None, _) => return None,
+            (Some(&j), None) if lb[j] < 0.5 => {
+                lb[j] = 1.0;
+                tightened += 1;
+            }
+            _ => {}
+        }
+    }
+    Some(tightened)
+}
+
+fn int_mask(model: &Model) -> (Vec<usize>, Vec<bool>) {
     let int_vars: Vec<usize> = model
         .vars
         .iter()
@@ -158,20 +507,27 @@ fn solve_seeded_impl(
         .filter(|(_, v)| v.kind == VarKind::Integer)
         .map(|(i, _)| i)
         .collect();
+    let mut mask = vec![false; model.num_vars()];
+    for &j in &int_vars {
+        mask[j] = true;
+    }
+    (int_vars, mask)
+}
+
+fn solve_seeded_impl(
+    model: &Model,
+    config: &SolveOptions,
+    start: Option<&[f64]>,
+) -> Result<Solution, MilpError> {
+    let t0 = Instant::now();
+    model.validate()?;
+    let base = lower_to_lp(model);
+    let (int_vars, mask) = int_mask(model);
     let flip = match model.sense() {
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
     };
 
-    // Each node records bound overrides for a subset of variables.
-    struct Node {
-        bounds: Vec<(usize, f64, f64)>,
-        parent_bound: f64,
-    }
-    let mut stack = vec![Node {
-        bounds: Vec::new(),
-        parent_bound: f64::NEG_INFINITY,
-    }];
     let mut stats = SolveStats {
         best_bound: f64::INFINITY,
         ..SolveStats::default()
@@ -184,6 +540,83 @@ fn solve_seeded_impl(
             incumbent = Some((obj, x0.to_vec()));
         }
     }
+
+    // Exact continuous-voltage relaxation bound (minimization form) when
+    // the model has the pure ladder shape; -inf otherwise. Lets the search
+    // terminate the moment the incumbent provably meets the bound.
+    let global_lb = if config.seed_continuous && !int_vars.is_empty() {
+        crate::backend::continuous_lower_bound(model).unwrap_or(f64::NEG_INFINITY)
+    } else {
+        f64::NEG_INFINITY
+    };
+
+    // Root presolve, once: node bounds never remove rows, so the engine's
+    // matrix stays valid for the whole search.
+    let mut root_infeasible = false;
+    let root_lp = if config.presolve {
+        match presolve_int(&base, &mask) {
+            Presolved::Reduced {
+                problem,
+                rows_removed,
+                bounds_tightened,
+            } => {
+                stats.presolve_rows_removed += rows_removed;
+                stats.presolve_bounds_tightened += bounds_tightened;
+                problem
+            }
+            Presolved::Infeasible => {
+                root_infeasible = true;
+                base.clone()
+            }
+        }
+    } else {
+        base.clone()
+    };
+
+    // Each node records bound overrides for a subset of variables, the
+    // parent's LP objective (for pruning before its own LP is paid for),
+    // the parent's simplex basis (shared by both children), and which
+    // branch created it (for pseudo-cost updates).
+    struct Node {
+        bounds: Vec<(usize, f64, f64)>,
+        parent_bound: f64,
+        basis: Option<Rc<Basis>>,
+        branch: Option<(usize, bool, f64, f64)>, // (var, is_up, parent_obj, frac_dist)
+    }
+    let mut stack = if root_infeasible {
+        Vec::new()
+    } else {
+        vec![Node {
+            bounds: Vec::new(),
+            parent_bound: f64::NEG_INFINITY,
+            basis: None,
+            branch: None,
+        }]
+    };
+    // A seeded incumbent that already meets the continuous bound ends the
+    // search before the first node.
+    if let Some((inc, _)) = &incumbent {
+        if *inc <= global_lb + config.gap {
+            stack.clear();
+        }
+    }
+
+    let mut engine = SimplexEngine::new(&root_lp);
+    let mut pc = PseudoCosts::new(model.num_vars());
+    let le_rows: Vec<(Vec<(usize, f64)>, f64)> = {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); root_lp.num_rows()];
+        for (j, col) in root_lp.cols.iter().enumerate() {
+            for &(r, a) in col {
+                rows[r].push((j, a));
+            }
+        }
+        rows.into_iter()
+            .zip(root_lp.row_kind.iter().zip(&root_lp.rhs))
+            .filter(|(_, (k, _))| **k == RowKind::Le)
+            .map(|(terms, (_, &rhs))| (terms, rhs))
+            .collect()
+    };
+    let gub = build_gub(&root_lp, &mask);
     let mut root_bound: Option<f64> = None;
 
     while let Some(node) = stack.pop() {
@@ -210,37 +643,66 @@ fn solve_seeded_impl(
         }
         stats.nodes += 1;
 
-        let mut lp = base.clone();
+        // Node bounds = root bounds ∩ overrides, then one propagation pass.
+        let mut nlb = root_lp.lb.clone();
+        let mut nub = root_lp.ub.clone();
         for &(j, lb, ub) in &node.bounds {
-            lp.lb[j] = lp.lb[j].max(lb);
-            lp.ub[j] = lp.ub[j].min(ub);
+            nlb[j] = nlb[j].max(lb);
+            nub[j] = nub[j].min(ub);
         }
         if config.presolve {
-            match presolve(&lp) {
-                Presolved::Reduced {
-                    problem,
-                    rows_removed,
-                    bounds_tightened,
-                } => {
-                    stats.presolve_rows_removed += rows_removed;
-                    stats.presolve_bounds_tightened += bounds_tightened;
-                    lp = problem;
+            // Group-aware pass first: with an incumbent, its objective
+            // cutoff participates as a pseudo-row, so dominance fixing
+            // can delete modes no improving solution selects.
+            let cutoff = incumbent.as_ref().map_or(f64::INFINITY, |(inc, _)| {
+                inc - config.gap - root_lp.obj_offset
+            });
+            // Iterate to a fixpoint (a fixed mode tightens row activity,
+            // which fixes further modes); a handful of rounds suffices.
+            let mut pruned = false;
+            for _ in 0..4 {
+                let mut round = 0usize;
+                match propagate_gub(&gub, cutoff, &mut nlb, &mut nub) {
+                    Some(tightened) => round += tightened,
+                    None => {
+                        pruned = true;
+                        break;
+                    }
                 }
-                Presolved::Infeasible => {
-                    stats.nodes_pruned += 1;
-                    continue;
+                match propagate_node_bounds(&le_rows, &int_vars, &mut nlb, &mut nub) {
+                    Some(tightened) => round += tightened,
+                    None => {
+                        pruned = true;
+                        break;
+                    }
+                }
+                stats.presolve_bounds_tightened += round;
+                if round == 0 {
+                    break;
                 }
             }
+            if pruned {
+                stats.nodes_pruned += 1;
+                continue;
+            }
         }
-        let sol = solve_lp(&lp)?;
+        engine.reset_bounds();
+        for j in 0..root_lp.num_vars {
+            engine.set_bound(j, nlb[j], nub[j]);
+        }
+
+        let sol = match (&node.basis, config.reuse_basis) {
+            (Some(warm), true) => match engine.solve_warm(warm) {
+                Some(s) => s,
+                None => engine.solve_fresh()?,
+            },
+            _ => engine.solve_fresh()?,
+        };
         absorb_lp(&mut stats, &sol);
         match sol.status {
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
                 // Only the root relaxation can prove the MILP unbounded.
-                if node.bounds.is_empty() && int_vars.is_empty() {
-                    return Err(MilpError::Unbounded);
-                }
                 if node.bounds.is_empty() {
                     return Err(MilpError::Unbounded);
                 }
@@ -250,7 +712,11 @@ fn solve_seeded_impl(
         }
         if root_bound.is_none() {
             root_bound = Some(sol.objective);
-            stats.best_bound = sol.objective;
+            stats.best_bound = sol.objective.max(global_lb);
+        }
+        if let Some((j, is_up, pobj, fdist)) = node.branch {
+            let gain = ((sol.objective - pobj) / fdist.max(1e-9)).max(0.0);
+            pc.record(j, is_up, gain);
         }
         if let Some((inc, _)) = &incumbent {
             if sol.objective >= inc - config.gap {
@@ -278,16 +744,23 @@ fn solve_seeded_impl(
             {
                 record_incumbent(&mut stats, obj, t0);
                 incumbent = Some((obj, x));
+                // Incumbent meets the exact continuous bound: optimal.
+                if obj <= global_lb + config.gap {
+                    break;
+                }
             }
             continue;
         }
 
-        // Branch.
-        let children = branch_children(model, config.rule, &sol.x, &violated, &node.bounds);
-        for bounds in children {
+        // Branch. Both children share the parent's optimal basis.
+        let shared = Rc::new(engine.basis());
+        let children = plan_children(model, config.rule, &pc, &sol.x, &violated, &node.bounds);
+        for (bounds, info) in children {
             stack.push(Node {
                 bounds,
                 parent_bound: sol.objective,
+                basis: Some(Rc::clone(&shared)),
+                branch: info.map(|(j, is_up, fdist)| (j, is_up, sol.objective, fdist)),
             });
         }
     }
@@ -321,19 +794,13 @@ fn solve_seeded_impl(
 /// solution that differs inside the `gap` tolerance.
 fn solve_root_parallel(
     model: &Model,
-    config: &BranchConfig,
+    config: &SolveOptions,
     start: Option<&[f64]>,
 ) -> Result<Solution, MilpError> {
     let t0 = Instant::now();
     model.validate()?;
     let base = lower_to_lp(model);
-    let int_vars: Vec<usize> = model
-        .vars
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.kind == VarKind::Integer)
-        .map(|(i, _)| i)
-        .collect();
+    let (int_vars, mask) = int_mask(model);
     let flip = match model.sense() {
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
@@ -374,7 +841,7 @@ fn solve_root_parallel(
     let mut lp = base.clone();
     let mut root_infeasible = false;
     if config.presolve {
-        match presolve(&lp) {
+        match presolve_int(&lp, &mask) {
             Presolved::Reduced {
                 problem,
                 rows_removed,
@@ -450,7 +917,7 @@ fn solve_root_parallel(
     // equal share of the remaining node budget.
     let children = branch_children(model, config.rule, &sol.x, &violated, &[]);
     let child_budget = config.max_nodes.saturating_sub(1) / children.len().max(1);
-    let child_config = BranchConfig {
+    let child_config = SolveOptions {
         jobs: 1,
         max_nodes: child_budget,
         ..*config
@@ -510,9 +977,9 @@ fn solve_root_parallel(
     }
 }
 
-/// Produces child bound sets for a fractional LP solution. Children are
-/// returned in the order they should be *pushed* (the most promising child
-/// last, so depth-first search explores it first).
+/// Bound sets for the children of a fractional LP solution, without
+/// pseudo-cost history (used by the parallel root split, where no history
+/// exists yet). Children are in push order: the most promising last.
 fn branch_children(
     model: &Model,
     rule: BranchRule,
@@ -520,7 +987,28 @@ fn branch_children(
     violated: &[usize],
     parent_bounds: &[(usize, f64, f64)],
 ) -> Vec<Vec<(usize, f64, f64)>> {
-    if rule == BranchRule::Sos1ThenFractional {
+    let pc = PseudoCosts::new(model.num_vars());
+    plan_children(model, rule, &pc, x, violated, parent_bounds)
+        .into_iter()
+        .map(|(bounds, _)| bounds)
+        .collect()
+}
+
+/// Produces child bound sets (plus per-child branch metadata for
+/// pseudo-cost updates: `(var, is_up, frac_dist)`, `None` for SOS1 splits)
+/// for a fractional LP solution. Children are returned in the order they
+/// should be *pushed* (the most promising child last, so depth-first
+/// search explores it first).
+#[allow(clippy::type_complexity)]
+fn plan_children(
+    model: &Model,
+    rule: BranchRule,
+    pc: &PseudoCosts,
+    x: &[f64],
+    violated: &[usize],
+    parent_bounds: &[(usize, f64, f64)],
+) -> Vec<(Vec<(usize, f64, f64)>, Option<(usize, bool, f64)>)> {
+    if rule == BranchRule::Sos1ThenFractional || rule == BranchRule::Sos1ThenPseudoCost {
         // Find an SOS1 group with at least two "active" fractional members.
         let mut best_group: Option<(usize, f64)> = None;
         for (gi, group) in model.sos1_groups.iter().enumerate() {
@@ -568,30 +1056,66 @@ fn branch_children(
                 b
             };
             // half_a holds more LP mass; explore the child keeping it first.
-            return vec![zero(half_a), zero(half_b)];
+            return vec![(zero(half_a), None), (zero(half_b), None)];
         }
     }
 
-    // Most-fractional single variable.
-    let j = *violated
-        .iter()
-        .max_by(|&&a, &&b| {
-            let fa = (x[a] - x[a].round()).abs();
-            let fb = (x[b] - x[b].round()).abs();
-            fa.partial_cmp(&fb).unwrap()
-        })
-        .expect("violated is non-empty");
+    // Single-variable branching.
+    let j = match rule {
+        BranchRule::Sos1ThenPseudoCost => select_pseudocost_var(pc, x, violated),
+        BranchRule::Sos1ThenFractional | BranchRule::MostFractional => *violated
+            .iter()
+            .max_by(|&&a, &&b| {
+                let fa = (x[a] - x[a].round()).abs();
+                let fb = (x[b] - x[b].round()).abs();
+                fa.partial_cmp(&fb).unwrap()
+            })
+            .expect("violated is non-empty"),
+    };
     let floor = x[j].floor();
+    let f_dn = x[j] - floor;
+    let f_up = 1.0 - f_dn;
     let mut down = parent_bounds.to_vec();
     down.push((j, f64::NEG_INFINITY, floor));
     let mut up = parent_bounds.to_vec();
     up.push((j, floor + 1.0, f64::INFINITY));
+    let down = (down, Some((j, false, f_dn)));
+    let up = (up, Some((j, true, f_up)));
     // Explore the side nearer the LP value first.
-    if x[j] - floor > 0.5 {
+    if f_dn > 0.5 {
         vec![down, up]
     } else {
         vec![up, down]
     }
+}
+
+/// Pseudo-cost variable selection with reliability-1 initialization:
+/// while any fractional variable lacks history in either direction, pick
+/// the most fractional of those; once all are reliable, maximize the
+/// product of the per-direction expected degradations. Ties break to the
+/// smallest variable index for determinism.
+fn select_pseudocost_var(pc: &PseudoCosts, x: &[f64], violated: &[usize]) -> usize {
+    let mut best: Option<(usize, f64)> = None;
+    for &j in violated {
+        if !pc.reliable(j) {
+            let f = (x[j] - x[j].round()).abs();
+            if best.is_none_or(|(_, bf)| f > bf + 1e-12) {
+                best = Some((j, f));
+            }
+        }
+    }
+    if let Some((j, _)) = best {
+        return j;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for &j in violated {
+        let f_dn = x[j] - x[j].floor();
+        let score = pc.score(j, f_dn, 1.0 - f_dn);
+        if best.is_none_or(|(_, bs)| score > bs + 1e-15) {
+            best = Some((j, score));
+        }
+    }
+    best.expect("violated is non-empty").0
 }
 
 /// Converts a [`Model`] to minimization computational form.
@@ -808,9 +1332,9 @@ mod tests {
         }
         m.set_objective(obj);
         m.add_le(w, 11.0);
-        let cfg = BranchConfig {
+        let cfg = SolveOptions {
             max_nodes: 1,
-            ..BranchConfig::default()
+            ..SolveOptions::default()
         };
         match solve_with(&m, &cfg) {
             Ok(s) => assert_eq!(s.status, Status::Feasible),
@@ -848,14 +1372,14 @@ mod tests {
         }
         m.set_objective(obj);
         m.add_le(w, 9.0);
-        let cold = solve_with(&m, &BranchConfig::default()).unwrap();
+        let cold = solve_with(&m, &SolveOptions::default()).unwrap();
         // A trivially feasible start: everything zero.
         let start = vec![0.0; 10];
-        let warm = solve_seeded(&m, &BranchConfig::default(), Some(&start)).unwrap();
+        let warm = solve_seeded(&m, &SolveOptions::default(), Some(&start)).unwrap();
         assert!((cold.objective - warm.objective).abs() < 1e-6);
         // An infeasible start must be ignored, not believed.
         let bogus = vec![1.0; 10];
-        let still = solve_seeded(&m, &BranchConfig::default(), Some(&bogus)).unwrap();
+        let still = solve_seeded(&m, &SolveOptions::default(), Some(&bogus)).unwrap();
         assert!((cold.objective - still.objective).abs() < 1e-6);
     }
 
@@ -875,9 +1399,9 @@ mod tests {
         m.add_le(w, 7.0);
         let mut start = vec![0.0; 8];
         start[7] = 1.0; // weight 2 <= 7, objective 8
-        let cfg = BranchConfig {
+        let cfg = SolveOptions {
             max_nodes: 0,
-            ..BranchConfig::default()
+            ..SolveOptions::default()
         };
         let sol = solve_seeded(&m, &cfg, Some(&start)).unwrap();
         assert_eq!(sol.status, Status::Feasible);
@@ -917,9 +1441,9 @@ mod tests {
             let seq = solve(&m).unwrap();
             let par = solve_with(
                 &m,
-                &BranchConfig {
+                &SolveOptions {
                     jobs: 2,
-                    ..BranchConfig::default()
+                    ..SolveOptions::default()
                 },
             )
             .unwrap();
@@ -934,9 +1458,9 @@ mod tests {
             // and repeatable run-to-run.
             let again = solve_with(
                 &m,
-                &BranchConfig {
+                &SolveOptions {
                     jobs: 2,
-                    ..BranchConfig::default()
+                    ..SolveOptions::default()
                 },
             )
             .unwrap();
@@ -972,9 +1496,9 @@ mod tests {
         let seq = solve(&m).unwrap();
         let par = solve_with(
             &m,
-            &BranchConfig {
+            &SolveOptions {
                 jobs: 4,
-                ..BranchConfig::default()
+                ..SolveOptions::default()
             },
         )
         .unwrap();
@@ -984,9 +1508,9 @@ mod tests {
 
     #[test]
     fn parallel_infeasible_and_trivial_cases() {
-        let cfg = BranchConfig {
+        let cfg = SolveOptions {
             jobs: 2,
-            ..BranchConfig::default()
+            ..SolveOptions::default()
         };
         // Infeasible.
         let mut m = Model::new(Sense::Minimize);
@@ -1012,10 +1536,10 @@ mod tests {
     #[test]
     fn parallel_respects_node_budget() {
         let m = knapsack_instance(3, 16);
-        let cfg = BranchConfig {
+        let cfg = SolveOptions {
             jobs: 2,
             max_nodes: 3,
-            ..BranchConfig::default()
+            ..SolveOptions::default()
         };
         match solve_with(&m, &cfg) {
             Ok(s) => assert_eq!(s.status, Status::Feasible),
@@ -1023,10 +1547,10 @@ mod tests {
             Err(e) => panic!("unexpected error {e}"),
         }
         // Zero budget behaves like the sequential search.
-        let zero = BranchConfig {
+        let zero = SolveOptions {
             jobs: 2,
             max_nodes: 0,
-            ..BranchConfig::default()
+            ..SolveOptions::default()
         };
         assert!(matches!(
             solve_with(&m, &zero),
@@ -1038,9 +1562,9 @@ mod tests {
     fn parallel_warm_start_survives_tiny_budget() {
         let m = knapsack_instance(5, 12);
         let seq = solve(&m).unwrap();
-        let cfg = BranchConfig {
+        let cfg = SolveOptions {
             jobs: 2,
-            ..BranchConfig::default()
+            ..SolveOptions::default()
         };
         let warm = solve_seeded(&m, &cfg, Some(&seq.values)).unwrap();
         assert!((warm.objective - seq.objective).abs() < 1e-6);
@@ -1084,6 +1608,7 @@ mod tests {
                     s.stats.pivots,
                     s.stats.bound_flips,
                     s.stats.refactorizations,
+                    s.stats.dual_pivots,
                     s.stats.presolve_rows_removed,
                     s.stats.presolve_bounds_tightened,
                     s.stats
@@ -1111,5 +1636,67 @@ mod tests {
             "a nontrivial LP solve starts with a factorization"
         );
         assert!(st.degenerate_pivots <= st.pivots);
+        assert!(st.dual_pivots <= st.pivots, "dual pivots are pivots too");
+    }
+
+    #[test]
+    fn basis_reuse_matches_from_scratch_objectives() {
+        // Pure-binary knapsacks: the reported objective comes from
+        // `recompute_objective` over rounded integer values, so basis reuse
+        // must reproduce it *bit for bit* while doing less simplex work.
+        for seed in 0..5u64 {
+            let m = knapsack_instance(seed, 14);
+            let reuse = solve_with(
+                &m,
+                &SolveOptions {
+                    reuse_basis: true,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap();
+            let scratch = solve_with(
+                &m,
+                &SolveOptions {
+                    reuse_basis: false,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                reuse.objective.to_bits(),
+                scratch.objective.to_bits(),
+                "seed {seed}: objectives must be bit-identical"
+            );
+            assert_eq!(scratch.stats.dual_pivots, 0);
+        }
+    }
+
+    #[test]
+    fn pseudocost_rule_agrees_with_fractional_rule() {
+        for seed in 0..5u64 {
+            let m = knapsack_instance(seed, 14);
+            let a = solve_with(
+                &m,
+                &SolveOptions {
+                    rule: BranchRule::Sos1ThenPseudoCost,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap();
+            let b = solve_with(
+                &m,
+                &SolveOptions {
+                    rule: BranchRule::Sos1ThenFractional,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "seed {seed}: {} vs {}",
+                a.objective,
+                b.objective
+            );
+        }
     }
 }

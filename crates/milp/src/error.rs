@@ -31,6 +31,13 @@ pub enum MilpError {
     /// The simplex failed to converge within its iteration budget (numerical
     /// trouble).
     SimplexStalled,
+    /// The selected solver backend cannot represent this model (e.g. the
+    /// `ContinuousYds` backend was forced on a model that is not a pure
+    /// voltage-ladder selection problem).
+    Unsupported {
+        /// Human-readable description of the unsupported structure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MilpError {
@@ -49,6 +56,9 @@ impl fmt::Display for MilpError {
                 write!(f, "variable #{index} has inverted bounds [{lb}, {ub}]")
             }
             MilpError::SimplexStalled => write!(f, "simplex iteration limit exceeded"),
+            MilpError::Unsupported { reason } => {
+                write!(f, "solver backend does not support this model: {reason}")
+            }
         }
     }
 }

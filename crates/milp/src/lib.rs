@@ -7,14 +7,20 @@
 //! * a **model-building API** ([`Model`], [`LinExpr`]) for assembling
 //!   objectives and constraints over continuous, integer and binary
 //!   variables;
-//! * a **bounded-variable revised primal simplex** ([`simplex`]) with a
-//!   phase-1 artificial start, Dantzig pricing and a Bland anti-cycling
-//!   fallback — variable bounds are handled natively rather than as extra
-//!   rows, which keeps the DVS formulations small;
+//! * a **bounded-variable revised simplex** ([`simplex`]) with a phase-1
+//!   artificial start, Dantzig pricing, a Bland anti-cycling fallback, and
+//!   a warm-start **dual simplex** that restarts a node LP from its
+//!   parent's basis — variable bounds are handled natively rather than as
+//!   extra rows, which keeps the DVS formulations small;
 //! * a **branch-and-bound** driver ([`solve`]) with depth-first diving for
-//!   fast incumbents, best-bound pruning, reduced-cost-free presolve of
-//!   fixed variables, and SOS1-aware branching for the `Σ_m k_ijm = 1`
-//!   mode-selection groups that dominate the DVS MILP.
+//!   fast incumbents, best-bound pruning, basis reuse across nodes,
+//!   pseudo-cost branching, integrality-aware presolve, and SOS1-aware
+//!   group splits for the `Σ_m k_ijm = 1` mode-selection groups that
+//!   dominate the DVS MILP;
+//! * a **pluggable backend layer** ([`SolverBackend`]) with an exact
+//!   `O(n log n)` continuous-voltage algorithm ([`ContinuousYds`]) next to
+//!   the general search, selected explicitly or by shape via
+//!   [`SolverChoice::Auto`].
 //!
 //! # Example
 //!
@@ -34,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod branch;
 mod error;
 mod expr;
@@ -42,9 +49,15 @@ pub mod presolve;
 pub mod simplex;
 mod solution;
 
-pub use branch::{solve, solve_seeded, solve_with, BranchConfig, BranchRule};
+pub use backend::{
+    backend_for, relaxation_bound, solve_with_choice, BranchAndBound, ContinuousYds, SolverBackend,
+    SolverChoice,
+};
+#[allow(deprecated)]
+pub use branch::BranchConfig;
+pub use branch::{solve, solve_seeded, solve_with, BranchRule, SolveOptions};
 pub use error::MilpError;
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Constraint, Model, Sense, VarKind};
-pub use presolve::{presolve, Presolved};
+pub use presolve::{presolve, presolve_int, Presolved};
 pub use solution::{Incumbent, Solution, SolveStats, Status};

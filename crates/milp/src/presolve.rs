@@ -10,6 +10,12 @@
 //!   rhs are redundant and dropped;
 //! * **bound propagation**: for `≤` rows, each variable's bound is
 //!   tightened against the row's residual activity;
+//! * **coefficient reduction** ([`presolve_int`] only): for a binary
+//!   variable `x_j` with `a_j > 0` in a `≤` row whose maximum activity `M`
+//!   exceeds the rhs but satisfies `M − a_j < b`, the pair `(a_j, b)` is
+//!   replaced by `(M − b, M − a_j)` — the classic Savelsbergh improvement
+//!   that leaves the integer feasible set untouched while cutting the LP
+//!   relaxation;
 //! * iterated to a fixpoint (bounded rounds).
 //!
 //! Inside branch-and-bound this runs at every node (node bounds arrive as
@@ -41,13 +47,25 @@ const TOL: f64 = 1e-9;
 /// Presolve rounds before giving up on reaching a fixpoint.
 const MAX_ROUNDS: usize = 8;
 
-/// Runs presolve. The returned problem has identical optimal solutions
+/// Runs presolve with no integrality information (every variable treated
+/// as continuous). The returned problem has identical optimal solutions
 /// (over the same variable indices) as the input.
 #[must_use]
 pub fn presolve(p: &LpProblem) -> Presolved {
+    presolve_int(p, &[])
+}
+
+/// Runs presolve with an integrality mask: `is_int[j]` marks variable `j`
+/// as integer, unlocking coefficient reduction on binary variables. The
+/// returned problem has the same *integer* feasible set and optimum as the
+/// input (its LP relaxation may be strictly tighter). An empty mask
+/// disables the integer-only reductions.
+#[must_use]
+pub fn presolve_int(p: &LpProblem, is_int: &[bool]) -> Presolved {
     let n = p.num_vars;
     let mut lb = p.lb.clone();
     let mut ub = p.ub.clone();
+    let mut rhs_v = p.rhs.clone();
     let mut live_row = vec![true; p.num_rows()];
     let mut bounds_tightened = 0usize;
 
@@ -66,7 +84,7 @@ pub fn presolve(p: &LpProblem) -> Presolved {
                 continue;
             }
             let terms = &rows[r];
-            let rhs = p.rhs[r];
+            let rhs = rhs_v[r];
             let kind = p.row_kind[r];
 
             // Activity bounds of the row.
@@ -169,6 +187,38 @@ pub fn presolve(p: &LpProblem) -> Presolved {
                     }
                 }
             }
+
+            // Coefficient reduction on binary variables in <= rows.
+            if kind == RowKind::Le && !is_int.is_empty() {
+                let row_len = rows[r].len();
+                for t in 0..row_len {
+                    let (j, a) = rows[r][t];
+                    if a <= TOL
+                        || !is_int.get(j).copied().unwrap_or(false)
+                        || lb[j].abs() > TOL
+                        || (ub[j] - 1.0).abs() > TOL
+                    {
+                        continue;
+                    }
+                    // Max activity with the bounds as tightened so far.
+                    let mut m = 0.0f64;
+                    for &(k, ak) in &rows[r] {
+                        m += if ak > 0.0 { ak * ub[k] } else { ak * lb[k] };
+                    }
+                    if !m.is_finite() {
+                        break;
+                    }
+                    let b = rhs_v[r];
+                    if m > b + TOL && m - a < b - TOL {
+                        // (a, b) -> (m - b, m - a): same binary feasible
+                        // set, strictly tighter LP relaxation.
+                        rows[r][t].1 = m - b;
+                        rhs_v[r] = m - a;
+                        bounds_tightened += 1;
+                        changed = true;
+                    }
+                }
+            }
         }
         if !changed {
             break;
@@ -184,7 +234,7 @@ pub fn presolve(p: &LpProblem) -> Presolved {
     let mut rows_removed = 0;
     for r in 0..rows.len() {
         if live_row[r] {
-            out.add_row(&rows[r], p.row_kind[r], p.rhs[r]);
+            out.add_row(&rows[r], p.row_kind[r], rhs_v[r]);
         } else {
             rows_removed += 1;
         }
@@ -285,6 +335,50 @@ mod tests {
             Presolved::Reduced { problem, .. } => {
                 assert!(problem.ub[0] <= 1.0 + 1e-9, "ub[0] = {}", problem.ub[0]);
                 assert!(problem.ub[1] <= 4.0 + 1e-9, "ub[1] = {}", problem.ub[1]);
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn coefficient_reduction_tightens_binary_relaxation() {
+        // 2x + 3y <= 4 over binaries has integer optimum -1 for
+        // min -x - y, but its LP relaxation reaches -5/3. Coefficient
+        // reduction rewrites the row (to x + y <= 1 after two passes), so
+        // the reduced relaxation already attains the integer optimum.
+        let mut p = LpProblem::new(2);
+        p.obj = vec![-1.0, -1.0];
+        p.ub = vec![1.0, 1.0];
+        p.add_row(&[(0, 2.0), (1, 3.0)], RowKind::Le, 4.0);
+        let direct = optimal_value(&p);
+        assert!((direct - (-5.0 / 3.0)).abs() < 1e-6, "direct {direct}");
+        match presolve_int(&p, &[true, true]) {
+            Presolved::Reduced {
+                problem,
+                bounds_tightened,
+                ..
+            } => {
+                assert!(bounds_tightened >= 1);
+                let reduced = optimal_value(&problem);
+                assert!((reduced - (-1.0)).abs() < 1e-6, "reduced {reduced}");
+            }
+            Presolved::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn continuous_presolve_never_reduces_coefficients() {
+        // Same row, but continuous variables: the relaxation optimum must
+        // be preserved exactly, so no coefficient reduction may fire.
+        let mut p = LpProblem::new(2);
+        p.obj = vec![-1.0, -1.0];
+        p.ub = vec![1.0, 1.0];
+        p.add_row(&[(0, 2.0), (1, 3.0)], RowKind::Le, 4.0);
+        let direct = optimal_value(&p);
+        match presolve(&p) {
+            Presolved::Reduced { problem, .. } => {
+                let reduced = optimal_value(&problem);
+                assert!((direct - reduced).abs() < 1e-9);
             }
             Presolved::Infeasible => panic!("feasible"),
         }

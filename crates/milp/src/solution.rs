@@ -54,6 +54,10 @@ pub struct SolveStats {
     /// Basis-inverse rebuilds across all LP solves (initial factorization,
     /// periodic refresh, and repair paths).
     pub refactorizations: usize,
+    /// Basis changes performed by the warm-start dual simplex when a node
+    /// reuses its parent's basis (a subset of `pivots`; 0 when basis reuse
+    /// is disabled or never applicable).
+    pub dual_pivots: usize,
     /// Rows eliminated by presolve, summed over every node it ran on.
     pub presolve_rows_removed: usize,
     /// Variable bounds tightened by presolve, summed over every node.
@@ -86,6 +90,7 @@ impl SolveStats {
         self.degenerate_pivots += other.degenerate_pivots;
         self.bound_flips += other.bound_flips;
         self.refactorizations += other.refactorizations;
+        self.dual_pivots += other.dual_pivots;
         self.presolve_rows_removed += other.presolve_rows_removed;
         self.presolve_bounds_tightened += other.presolve_bounds_tightened;
         self.best_bound = self.best_bound.min(other.best_bound);

@@ -10,7 +10,7 @@
 //! reproduce exactly; each test sweeps the same instance counts the old
 //! property-testing setup used.
 
-use dvs_milp::{solve, solve_with, BranchConfig, BranchRule, LinExpr, MilpError, Model, Sense};
+use dvs_milp::{solve, solve_with, BranchRule, LinExpr, MilpError, Model, Sense, SolveOptions};
 
 /// SplitMix64: tiny, seedable, and statistically fine for test-case
 /// generation.
@@ -226,16 +226,16 @@ fn branch_rules_agree_on_optimum() {
 
         let sos = solve_with(
             &m,
-            &BranchConfig {
+            &SolveOptions {
                 rule: BranchRule::Sos1ThenFractional,
-                ..BranchConfig::default()
+                ..SolveOptions::default()
             },
         );
         let frac = solve_with(
             &m,
-            &BranchConfig {
+            &SolveOptions {
                 rule: BranchRule::MostFractional,
-                ..BranchConfig::default()
+                ..SolveOptions::default()
             },
         );
         match (sos, frac) {
@@ -275,17 +275,17 @@ fn presolve_preserves_milp_optimum() {
         m.add_le(w, rhs);
         let with = solve_with(
             &m,
-            &BranchConfig {
+            &SolveOptions {
                 presolve: true,
-                ..BranchConfig::default()
+                ..SolveOptions::default()
             },
         )
         .expect("feasible: all-zero works");
         let without = solve_with(
             &m,
-            &BranchConfig {
+            &SolveOptions {
                 presolve: false,
-                ..BranchConfig::default()
+                ..SolveOptions::default()
             },
         )
         .expect("feasible");
@@ -296,4 +296,94 @@ fn presolve_preserves_milp_optimum() {
             without.objective
         );
     }
+}
+
+/// Basis reuse is a pure acceleration: warm-starting every node from its
+/// parent's basis must leave the optimum bit-identical to fresh solves,
+/// and over a batch of assignment-like instances the dual simplex must
+/// actually do the restarting work (dual pivots observed, never more
+/// simplex iterations in total than solving every node from scratch).
+#[test]
+fn basis_reuse_preserves_optimum_and_saves_pivots() {
+    let mut rng = Rng(0xD5_5EED_0005);
+    let mut branched = 0usize;
+    let mut warm_iters = 0u64;
+    let mut cold_iters = 0u64;
+    let mut dual_pivots = 0u64;
+    for case in 0..48 {
+        // Mode selection per group plus a tight "deadline" knapsack over
+        // random per-mode times — the DVS shape, with fractional data so
+        // the LP relaxation usually branches.
+        let mut m = Model::new(Sense::Minimize);
+        let mut obj = LinExpr::zero();
+        let mut time = LinExpr::zero();
+        let mut min_t = 0.0;
+        let mut max_t = 0.0;
+        for g in 0..4 {
+            let mut group = Vec::new();
+            let mut fastest: f64 = f64::INFINITY;
+            let mut slowest: f64 = 0.0;
+            for i in 0..3 {
+                let v = m.bool_var(format!("x{g}{i}"));
+                let energy = rng.unit() * 10.0;
+                let t = rng.unit() * 10.0;
+                obj += energy * v;
+                time += t * v;
+                fastest = fastest.min(t);
+                slowest = slowest.max(t);
+                group.push(v);
+            }
+            min_t += fastest;
+            max_t += slowest;
+            let mut sum = LinExpr::zero();
+            for &v in &group {
+                sum += LinExpr::from(v);
+            }
+            m.add_eq(sum, 1.0);
+        }
+        m.add_le(time, min_t + 0.35 * (max_t - min_t));
+        m.set_objective(obj);
+
+        let warm = solve_with(
+            &m,
+            &SolveOptions {
+                reuse_basis: true,
+                ..SolveOptions::default()
+            },
+        )
+        .expect("all-fastest assignment is feasible");
+        let cold = solve_with(
+            &m,
+            &SolveOptions {
+                reuse_basis: false,
+                ..SolveOptions::default()
+            },
+        )
+        .expect("all-fastest assignment is feasible");
+        assert_eq!(
+            warm.objective.to_bits(),
+            cold.objective.to_bits(),
+            "case {case}: warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        if warm.stats.nodes > 1 {
+            branched += 1;
+        }
+        warm_iters += warm.stats.lp_iterations as u64;
+        cold_iters += cold.stats.lp_iterations as u64;
+        dual_pivots += warm.stats.dual_pivots as u64;
+    }
+    assert!(
+        branched >= 10,
+        "batch too easy to exercise warm starts ({branched} branched)"
+    );
+    assert!(
+        dual_pivots > 0,
+        "warm starts never engaged the dual simplex across the batch"
+    );
+    assert!(
+        warm_iters < cold_iters,
+        "basis reuse must save iterations over the batch: warm {warm_iters} vs cold {cold_iters}"
+    );
 }

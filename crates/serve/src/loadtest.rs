@@ -114,6 +114,7 @@ pub fn mix_request(config: &LoadtestConfig, index: usize) -> SolveRequest {
         deadline_index: 2 + (index / Benchmark::all().len()) % 2,
         levels: config.levels,
         capacitance_uf: config.capacitance_uf,
+        solver: "auto".into(),
         timeout_ms: config.timeout_ms,
         trace_id: None,
     }

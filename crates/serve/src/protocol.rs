@@ -153,6 +153,10 @@ pub struct SolveRequest {
     pub levels: usize,
     /// Regulator capacitance in µF.
     pub capacitance_uf: f64,
+    /// Solver backend: `auto` (default), `bnb`/`branch-and-bound`, or
+    /// `continuous` — part of the cache key, since the backend can change
+    /// the reported schedule and statistics.
+    pub solver: String,
     /// How long the *client* is willing to wait, in milliseconds. The
     /// server stops waiting (and replies `timeout`) after this; the solve
     /// itself keeps running and still populates the cache.
@@ -190,6 +194,17 @@ impl SolveRequest {
             .map(|d| d.as_f64().ok_or("`capacitance_uf` must be a number"))
             .transpose()?
             .unwrap_or(0.05);
+        let solver = v
+            .get("solver")
+            .map(|d| d.as_str().ok_or("`solver` must be a string"))
+            .transpose()?
+            .unwrap_or("auto")
+            .to_string();
+        if dvs_compiler::SolverChoice::parse(&solver).is_none() {
+            return Err(format!(
+                "`solver` must be auto, bnb, branch-and-bound or continuous (got `{solver}`)"
+            ));
+        }
         let timeout_ms = v
             .get("timeout_ms")
             .map(|d| d.as_u64().ok_or("`timeout_ms` must be an integer"))
@@ -204,6 +219,7 @@ impl SolveRequest {
             deadline_index,
             levels,
             capacitance_uf,
+            solver,
             timeout_ms,
             trace_id,
         })
@@ -224,6 +240,7 @@ impl SolveRequest {
                 "capacitance_uf".to_string(),
                 Json::from(self.capacitance_uf),
             ),
+            ("solver".to_string(), Json::from(self.solver.as_str())),
         ];
         if let Some(t) = self.timeout_ms {
             members.push(("timeout_ms".to_string(), Json::from(t)));
@@ -392,6 +409,7 @@ mod tests {
             deadline_index: 2,
             levels: 3,
             capacitance_uf: 0.05,
+            solver: "bnb".into(),
             timeout_ms: Some(500),
             trace_id: Some(99),
         });
@@ -403,6 +421,7 @@ mod tests {
             Request::Solve(s) => {
                 assert_eq!(s.op, SolveOp::Verify);
                 assert_eq!((s.deadline_index, s.levels), (3, 3));
+                assert_eq!(s.solver, "auto");
                 assert!(s.timeout_ms.is_none());
                 assert!(s.trace_id.is_none());
             }

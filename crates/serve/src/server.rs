@@ -616,6 +616,8 @@ fn ladder(levels: usize) -> Option<VoltageLadder> {
 /// simulator; `Verify` skips validation (the static pass runs instead).
 /// Both pin `solver_jobs` to 1 so results are reproducible and cacheable.
 fn build_compiler(req: &SolveRequest, ladder: VoltageLadder) -> Result<DvsCompiler, String> {
+    let solver = dvs_compiler::SolverChoice::parse(&req.solver)
+        .ok_or_else(|| format!("bad solver `{}`", req.solver))?;
     DvsCompiler::builder(
         Machine::paper_default(),
         ladder,
@@ -623,6 +625,7 @@ fn build_compiler(req: &SolveRequest, ladder: VoltageLadder) -> Result<DvsCompil
     )
     .validation(req.op == SolveOp::Compile)
     .solver_jobs(1)
+    .solver(solver)
     .build()
     .map_err(|e| format!("bad compiler settings: {e}"))
 }

@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
 """Validate a dvsc bench-solver report, optionally against a baseline.
 
-Usage: validate_bench_solver.py REPORT.json [BASELINE.json]
+Usage: validate_bench_solver.py REPORT.json [BASELINE.json] [--perf-smoke]
 
 Checks the `dvs-bench-solver.v1` schema: required top-level and per-case
-keys, no failed cells, and a monotone-nonincreasing incumbent trajectory
-per case (objectives are in minimization form, so every new incumbent
-must improve or tie the last). With a BASELINE, additionally diffs the
-deterministic search counters (`stats`, plus the problem shape) of every
-case whose name appears in both reports — wall-clock fields are never
-compared. Exits nonzero on the first class of failure, printing every
-instance of it.
+keys, no failed cells, a monotone-nonincreasing incumbent trajectory per
+case (objectives are in minimization form, so every new incumbent must
+improve or tie the last), and — on `continuous` backend cells — that the
+exact continuous-voltage optimum agrees with the branch-and-bound LP
+relaxation of the same model to 1e-6 relative. With a BASELINE,
+additionally diffs the deterministic search counters (`stats`, plus the
+problem shape) of every case whose name appears in both reports —
+wall-clock fields are never compared. With `--perf-smoke`, the strict
+counter diff is replaced by a regression gate: the report's total
+branch-and-bound nodes over cases shared with the baseline must not
+exceed the baseline's by more than 10%. Exits nonzero on the first class
+of failure, printing every instance of it.
 """
 
 import json
@@ -20,6 +25,7 @@ TOP_KEYS = {"schema", "mode", "totals", "cases"}
 TOTALS_KEYS = {"cases", "nodes", "lp_iterations", "pivots"}
 CASE_KEYS = {
     "name",
+    "backend",
     "seed",
     "max_blocks",
     "blocks",
@@ -33,12 +39,15 @@ CASE_KEYS = {
     "wall_us",
     "stats",
 }
+# Cross-backend agreement fields carried only by continuous cells.
+CONTINUOUS_KEYS = {"continuous_objective", "bnb_relaxation_objective"}
 WALL_KEYS = {"mean", "p50", "p90", "max"}
 STATS_KEYS = {
     "nodes",
     "nodes_pruned",
     "lp_iterations",
     "pivots",
+    "dual_pivots",
     "degenerate_pivots",
     "bound_flips",
     "refactorizations",
@@ -49,8 +58,9 @@ STATS_KEYS = {
 }
 # The per-case fields that must match a baseline bit-for-bit. `reps`
 # and `wall_us` are excluded by construction: repetition count and wall
-# clock are the two knobs a quick run is allowed to move.
-DETERMINISTIC_CASE_KEYS = CASE_KEYS - {"reps", "wall_us"}
+# clock are the two knobs a quick run is allowed to move. The continuous
+# extras compare as None == None on bnb cells.
+DETERMINISTIC_CASE_KEYS = (CASE_KEYS | CONTINUOUS_KEYS) - {"reps", "wall_us"}
 
 
 def fail(errors, label):
@@ -96,6 +106,18 @@ def check_schema(report, path):
                 f"{path}: case {name} incumbent trajectory not monotone "
                 f"nonincreasing: {objectives}"
             )
+        if case.get("backend") == "continuous":
+            missing = CONTINUOUS_KEYS - case.keys()
+            if missing:
+                errors.append(f"{path}: case {name} missing {sorted(missing)}")
+            else:
+                exact = case["continuous_objective"]
+                lp = case["bnb_relaxation_objective"]
+                if abs(exact - lp) > 1e-6 * max(1.0, abs(exact)):
+                    errors.append(
+                        f"{path}: case {name}: continuous backend and B&B LP "
+                        f"disagree on the relaxation: yds={exact} lp={lp}"
+                    )
     fail(errors, f"schema validation failed for {path}")
     print(f"{path}: ok ({report['mode']} mode, {len(cases)} cases)")
 
@@ -122,18 +144,56 @@ def diff_against_baseline(report, baseline, report_path, baseline_path):
     print(f"counters match baseline for all {compared} shared cases")
 
 
+def perf_smoke(report, baseline, report_path, baseline_path):
+    """Node-count regression gate: over the branch-and-bound cells shared
+    with the baseline, total nodes explored may not grow by more than 10%.
+    Unlike the strict counter diff, this tolerates intentional search
+    changes — it only catches the solver getting meaningfully slower."""
+    base_by_name = {c["name"]: c for c in baseline["cases"]}
+    report_nodes = 0
+    baseline_nodes = 0
+    compared = 0
+    errors = []
+    for case in report["cases"]:
+        base = base_by_name.get(case["name"])
+        if base is None or case.get("backend") == "continuous":
+            continue
+        compared += 1
+        report_nodes += case["stats"]["nodes"]
+        baseline_nodes += base["stats"]["nodes"]
+    if compared == 0:
+        errors.append(f"no branch-and-bound cases shared with {baseline_path}")
+    elif report_nodes > 1.10 * baseline_nodes:
+        errors.append(
+            f"nodes explored regressed >10%: {report_path} explores "
+            f"{report_nodes} over {compared} shared B&B cases vs "
+            f"{baseline_nodes} in {baseline_path}"
+        )
+    fail(errors, "perf smoke failed")
+    print(
+        f"perf smoke ok: {report_nodes} nodes vs baseline {baseline_nodes} "
+        f"over {compared} shared B&B cases"
+    )
+
+
 def main():
-    if len(sys.argv) not in (2, 3):
+    argv = sys.argv[1:]
+    smoke = "--perf-smoke" in argv
+    paths = [a for a in argv if a != "--perf-smoke"]
+    if len(paths) not in (1, 2) or (smoke and len(paths) != 2):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    with open(sys.argv[1]) as f:
+    with open(paths[0]) as f:
         report = json.load(f)
-    check_schema(report, sys.argv[1])
-    if len(sys.argv) == 3:
-        with open(sys.argv[2]) as f:
+    check_schema(report, paths[0])
+    if len(paths) == 2:
+        with open(paths[1]) as f:
             baseline = json.load(f)
-        check_schema(baseline, sys.argv[2])
-        diff_against_baseline(report, baseline, sys.argv[1], sys.argv[2])
+        check_schema(baseline, paths[1])
+        if smoke:
+            perf_smoke(report, baseline, paths[0], paths[1])
+        else:
+            diff_against_baseline(report, baseline, paths[0], paths[1])
 
 
 if __name__ == "__main__":

@@ -1,10 +1,18 @@
 //! `dvsc bench-solver` — a pinned MILP solver performance baseline.
 //!
 //! Runs a fixed grid of generated solver cases — CFG sizes × ladder
-//! shapes × deadline tightnesses, seeded through the `dvs-check`
-//! generators so every case is reproducible from its cell description —
-//! and renders the result as the `BENCH_solver.json` document kept at
-//! the repo root.
+//! shapes × deadline tightnesses × solver backends, seeded through the
+//! `dvs-check` generators so every case is reproducible from its cell
+//! description — and renders the result as the `BENCH_solver.json`
+//! document kept at the repo root.
+//!
+//! Every coordinate runs twice: a `bnb` cell (branch-and-bound on the
+//! full transition-cost formulation — these keep the historical cell
+//! names) and a `_continuous` sibling (the exact continuous-voltage
+//! backend on the transition-free formulation). Continuous cells also
+//! record `continuous_objective` next to `bnb_relaxation_objective` so
+//! the validator can assert the two backends agree on continuous-ladder
+//! relaxations to 1e-6.
 //!
 //! Two kinds of numbers live side by side in the report and are treated
 //! very differently:
@@ -22,7 +30,7 @@
 //!   determinism test compares only what survives.
 
 use dvs_check::{gen_cfg, gen_trace, DeadlineSpec, Gen};
-use dvs_compiler::MilpFormulation;
+use dvs_compiler::{MilpFormulation, SolverChoice};
 use dvs_obs::json::Json;
 use dvs_runtime::Pool;
 use dvs_sim::{Machine, ModeProfiler};
@@ -56,16 +64,21 @@ struct Cell {
     levels: usize,
     deadline_frac: f64,
     reps: usize,
+    backend: SolverChoice,
 }
 
 impl Cell {
     fn name(&self) -> String {
-        format!(
+        let base = format!(
             "blocks{}_levels{}_frac{:02}",
             self.max_blocks,
             self.levels,
             (self.deadline_frac * 100.0).round() as u64
-        )
+        );
+        match self.backend {
+            SolverChoice::Continuous => format!("{base}_continuous"),
+            _ => base,
+        }
     }
 }
 
@@ -85,13 +98,22 @@ fn grid(quick: bool) -> Vec<Cell> {
     for &max_blocks in sizes {
         for &lv in levels {
             for &frac in fracs {
-                cells.push(Cell {
-                    seed: 0x5eed + 31 * max_blocks as u64 + 7 * lv as u64,
-                    max_blocks,
-                    levels: lv,
-                    deadline_frac: frac,
-                    reps,
-                });
+                // Each coordinate appears twice: once for the
+                // branch-and-bound backend on the full transition-cost
+                // formulation (these keep the historical cell names, so
+                // they diff against older baselines), and once for the
+                // exact continuous-voltage backend on the transition-free
+                // formulation it can solve in closed form.
+                for backend in [SolverChoice::BranchAndBound, SolverChoice::Continuous] {
+                    cells.push(Cell {
+                        seed: 0x5eed + 31 * max_blocks as u64 + 7 * lv as u64,
+                        max_blocks,
+                        levels: lv,
+                        deadline_frac: frac,
+                        reps,
+                        backend,
+                    });
+                }
             }
         }
     }
@@ -127,13 +149,20 @@ fn run_cell(cell: &Cell) -> Json {
     let cfg = gen_cfg(&mut g, cell.max_blocks);
     let trace = gen_trace(&mut g, &cfg);
     let ladder = ladder(cell.levels);
-    let transition = TransitionModel::with_capacitance_uf(0.05);
+    // Continuous cells drop regulator transition costs: the exact
+    // continuous-voltage backend is defined on pure voltage-ladder models,
+    // and the transition-free formulation is exactly that shape.
+    let transition = match cell.backend {
+        SolverChoice::Continuous => TransitionModel::free(),
+        _ => TransitionModel::with_capacitance_uf(0.05),
+    };
     let profiler = ModeProfiler::new(Machine::paper_default());
     let (profile, _) = profiler.profile(&cfg, &trace, &ladder);
     let t_fast = profile.total_time_at(ladder.len() - 1);
     let t_slow = profile.total_time_at(0);
     let deadline_us = DeadlineSpec::SpanFraction(cell.deadline_frac).resolve(t_fast, t_slow);
-    let formulation = MilpFormulation::new(&cfg, &profile, &ladder, &transition, deadline_us);
+    let formulation = MilpFormulation::new(&cfg, &profile, &ladder, &transition, deadline_us)
+        .with_solver(cell.backend);
 
     let mut walls = Vec::with_capacity(cell.reps);
     let mut first = None;
@@ -156,9 +185,36 @@ fn run_cell(cell: &Cell) -> Json {
     }
     let out = first.expect("reps >= 1");
     walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+
+    // Continuous cells carry a cross-check pair: the exact closed-form
+    // continuous optimum next to the branch-and-bound LP relaxation of the
+    // same model. The baseline validator asserts they agree to 1e-6 —
+    // this is the machine-checked form of the "ContinuousYds matches B&B
+    // on continuous ladders" contract.
+    let extras: Vec<(String, Json)> = if cell.backend == SolverChoice::Continuous {
+        let exact = formulation.relaxation_bound_via(SolverChoice::Continuous);
+        let lp = formulation.relaxation_bound_via(SolverChoice::BranchAndBound);
+        match (exact, lp) {
+            (Ok(exact), Ok(lp)) => vec![
+                ("continuous_objective".to_string(), Json::from(exact)),
+                ("bnb_relaxation_objective".to_string(), Json::from(lp)),
+            ],
+            (Err(e), _) | (_, Err(e)) => {
+                return Json::obj([
+                    ("name", Json::from(cell.name())),
+                    ("seed", Json::from(cell.seed)),
+                    ("error", Json::from(format!("{e}"))),
+                ]);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
     let s = &out.solve_stats;
-    Json::obj([
+    let mut case = Json::obj([
         ("name", Json::from(cell.name())),
+        ("backend", Json::from(cell.backend.as_str())),
         ("seed", Json::from(cell.seed)),
         ("max_blocks", Json::from(cell.max_blocks)),
         ("blocks", Json::from(cfg.num_blocks())),
@@ -188,6 +244,7 @@ fn run_cell(cell: &Cell) -> Json {
                 ("nodes_pruned", Json::from(s.nodes_pruned)),
                 ("lp_iterations", Json::from(s.lp_iterations)),
                 ("pivots", Json::from(s.pivots)),
+                ("dual_pivots", Json::from(s.dual_pivots)),
                 ("degenerate_pivots", Json::from(s.degenerate_pivots)),
                 ("bound_flips", Json::from(s.bound_flips)),
                 ("refactorizations", Json::from(s.refactorizations)),
@@ -220,7 +277,11 @@ fn run_cell(cell: &Cell) -> Json {
                 ),
             ]),
         ),
-    ])
+    ]);
+    if let Json::Obj(members) = &mut case {
+        members.extend(extras);
+    }
+    case
 }
 
 /// Runs the whole grid (cells fanned out over `config.jobs` workers, in
@@ -284,8 +345,39 @@ mod tests {
 
     #[test]
     fn quick_grid_is_small_and_full_grid_is_larger() {
-        assert_eq!(grid(true).len(), 8);
-        assert_eq!(grid(false).len(), 27);
+        assert_eq!(grid(true).len(), 16);
+        assert_eq!(grid(false).len(), 54);
+    }
+
+    #[test]
+    fn every_bnb_cell_has_a_continuous_sibling_with_the_same_seed() {
+        for cells in [grid(true), grid(false)] {
+            let bnb: Vec<_> = cells
+                .iter()
+                .filter(|c| c.backend == SolverChoice::BranchAndBound)
+                .collect();
+            assert_eq!(bnb.len() * 2, cells.len());
+            for b in bnb {
+                let sibling = cells
+                    .iter()
+                    .find(|c| c.name() == format!("{}_continuous", b.name()))
+                    .expect("continuous sibling exists");
+                assert_eq!(sibling.seed, b.seed);
+                assert_eq!(sibling.deadline_frac, b.deadline_frac);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_grid_is_a_subset_of_the_full_grid() {
+        let full: Vec<String> = grid(false).iter().map(Cell::name).collect();
+        for c in grid(true) {
+            assert!(
+                full.contains(&c.name()),
+                "{} missing from full grid",
+                c.name()
+            );
+        }
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! ```text
 //! dvsc list
 //! dvsc compile --benchmark gsm --deadline 3 [--levels 3] [--capacitance 0.05]
-//!              [--emit listing.s] [--no-validate] [--metrics]
-//!              [--trace-out trace.json] [--jobs N]
+//!              [--solver auto|bnb|continuous] [--emit listing.s]
+//!              [--no-validate] [--metrics] [--trace-out trace.json] [--jobs N]
 //! dvsc analyze --benchmark epic [--levels 7]
 //! dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J]
 //!            [--repro-out FILE]
@@ -14,7 +14,7 @@
 //! dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B]
 //!            [--queue-depth D]
 //! dvsc client <compile|verify|ping|stats|traces|shutdown> [--addr HOST:PORT]
-//!             [--benchmark NAME] [--deadline 1..5] [--json]
+//!             [--benchmark NAME] [--deadline 1..5] [--solver NAME] [--json]
 //! dvsc client trace <compile|verify> --benchmark NAME [--deadline 1..5]
 //! dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M]
 //!               [--benchmark NAME]
@@ -23,7 +23,11 @@
 //!
 //! `compile` runs profile → filter → MILP → schedule on a built-in
 //! workload, re-simulates the schedule and prints predicted vs measured
-//! numbers. `analyze` prints the §3 analytical parameters and the
+//! numbers. `--solver` picks the MILP backend: `auto` (the default)
+//! dispatches by model shape, `bnb` forces branch-and-bound, and
+//! `continuous` forces the exact continuous-voltage algorithm (which
+//! rounds integer models to a feasible schedule and reports the
+//! continuous optimum as the bound). `analyze` prints the §3 analytical parameters and the
 //! savings bound per deadline. `check` fuzzes the whole pipeline with
 //! seeded random programs and cross-checks the MILP against brute-force
 //! enumeration, analytical lower bounds and simulator replay, shrinking
@@ -52,7 +56,8 @@
 //! `client` and `loadtest`.
 //!
 //! `bench-solver` runs the pinned MILP benchmark grid (CFG sizes ×
-//! ladder shapes × deadline tightnesses) and writes `BENCH_solver.json`:
+//! ladder shapes × deadline tightnesses × solver backends) and writes
+//! `BENCH_solver.json`:
 //! wall-clock percentiles per cell plus the deterministic solver search
 //! counters CI diffs against the committed baseline.
 //!
@@ -101,13 +106,15 @@ struct Args {
     client_op: Option<String>,
     quick: bool,
     out: Option<String>,
+    solver: String,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dvsc list\n  dvsc [compile] --benchmark <name> [--deadline 1..5] \
          [--levels N] [--capacitance µF] [--emit FILE] [--no-validate]\n  \
-         \x20              [--metrics] [--trace-out FILE] [--jobs N]\n  \
+         \x20              [--solver auto|bnb|continuous] [--metrics] \
+         [--trace-out FILE] [--jobs N]\n  \
          dvsc analyze --benchmark <name> [--levels N]\n  \
          dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J] \
          [--repro-out FILE]\n  \
@@ -117,7 +124,8 @@ fn usage() -> ExitCode {
          dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B] [--queue-depth D]\n  \
          dvsc client <compile|verify|ping|stats|traces|shutdown> [--addr HOST:PORT] \
          [--benchmark <name>]\n  \
-         \x20              [--deadline 1..5] [--levels N] [--capacitance µF] [--json]\n  \
+         \x20              [--deadline 1..5] [--levels N] [--capacitance µF] \
+         [--solver NAME] [--json]\n  \
          dvsc client trace <compile|verify> --benchmark <name> [--deadline 1..5]\n  \
          dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M] \
          [--benchmark <name>]\n  \
@@ -166,6 +174,7 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         client_op: None,
         quick: false,
         out: None,
+        solver: "auto".to_string(),
     };
     // `client` takes a positional operation before any flags — two for
     // `client trace <op>`.
@@ -246,6 +255,16 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
                     return Err("--timeout must be positive".into());
                 }
                 args.timeout_secs = Some(secs);
+            }
+            "--solver" => {
+                let raw = value(flag, &mut it)?;
+                if compile_time_dvs::compiler::SolverChoice::parse(raw).is_none() {
+                    return Err(format!(
+                        "--solver: unknown backend `{raw}` (expected auto, bnb, \
+                         branch-and-bound or continuous)"
+                    ));
+                }
+                args.solver = raw.clone();
             }
             "--json" => args.json = true,
             "--deny" => args.deny = true,
@@ -493,6 +512,7 @@ fn run_client(args: &Args) -> u8 {
                 deadline_index: args.deadline_index,
                 levels: args.levels,
                 capacitance_uf: args.capacitance_uf,
+                solver: args.solver.clone(),
                 timeout_ms: timeout_ms(args),
                 // A stable client-chosen id makes the request easy to find
                 // in the daemon's trace ring later.
@@ -758,6 +778,10 @@ fn run_compile(args: &Args) -> u8 {
     .validation(args.validate)
     .jobs(args.jobs)
     .solver_jobs(args.jobs.min(2))
+    .solver(
+        compile_time_dvs::compiler::SolverChoice::parse(&args.solver)
+            .expect("--solver was validated during argument parsing"),
+    )
     .build()
     {
         Ok(c) => c,

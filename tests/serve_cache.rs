@@ -40,6 +40,7 @@ fn compile_request(benchmark: &str, deadline_index: usize) -> Request {
         deadline_index,
         levels: 3,
         capacitance_uf: 0.05,
+        solver: "auto".to_string(),
         timeout_ms: None,
         trace_id: None,
     })
@@ -306,6 +307,7 @@ fn solve_request_fields(benchmark: &str, deadline_index: usize) -> SolveRequest 
         deadline_index,
         levels: 3,
         capacitance_uf: 0.05,
+        solver: "auto".to_string(),
         timeout_ms: None,
         trace_id: None,
     }

@@ -34,6 +34,7 @@ fn compile_request(trace_id: Option<u64>) -> Request {
         deadline_index: 3,
         levels: 3,
         capacitance_uf: 0.05,
+        solver: "auto".to_string(),
         timeout_ms: None,
         trace_id,
     })
@@ -177,13 +178,40 @@ fn bench_solver_counters_are_independent_of_jobs() {
         .get("cases")
         .and_then(Json::as_arr)
         .expect("report has cases");
-    assert_eq!(cases.len(), 8, "quick grid is 8 cells");
+    assert_eq!(
+        cases.len(),
+        16,
+        "quick grid is 8 coordinates x 2 solver backends"
+    );
+    let backends: Vec<&str> = cases
+        .iter()
+        .map(|c| c.get("backend").and_then(Json::as_str).expect("backend"))
+        .collect();
+    assert_eq!(backends.iter().filter(|b| **b == "bnb").count(), 8);
+    assert_eq!(backends.iter().filter(|b| **b == "continuous").count(), 8);
     for case in cases {
         assert!(
             case.get("error").is_none(),
             "bench cell failed: {}",
             case.dump()
         );
+        // Continuous cells carry the exact continuous optimum next to the
+        // branch-and-bound LP relaxation of the same model; the two
+        // backends must agree on continuous ladders to 1e-6.
+        if case.get("backend").and_then(Json::as_str) == Some("continuous") {
+            let exact = case
+                .get("continuous_objective")
+                .and_then(Json::as_f64)
+                .expect("continuous_objective");
+            let lp = case
+                .get("bnb_relaxation_objective")
+                .and_then(Json::as_f64)
+                .expect("bnb_relaxation_objective");
+            assert!(
+                (exact - lp).abs() <= 1e-6 * exact.abs().max(1.0),
+                "backends disagree on a continuous ladder: yds={exact} lp={lp}"
+            );
+        }
         // Incumbent trajectories are minimization objectives: each new
         // incumbent must improve (or tie) the last.
         let incumbents = case

@@ -1,0 +1,158 @@
+//! Differential tests for the pluggable solver backends: the exact
+//! continuous-voltage backend against brute-force enumeration on tiny
+//! generated CFGs with dense voltage ladders, and against the
+//! branch-and-bound LP relaxation of the same model (the two must agree
+//! to 1e-6 on continuous ladders — this is the cross-backend contract
+//! the bench validator also enforces on the committed baseline).
+
+use compile_time_dvs::check::{gen_cfg, gen_trace, schedule_cost, DeadlineSpec, Gen};
+use compile_time_dvs::compiler::{MilpFormulation, SolverChoice};
+use compile_time_dvs::ir::{Cfg, EdgeId, Profile};
+use compile_time_dvs::sim::{Machine, ModeProfiler};
+use compile_time_dvs::vf::{AlphaPower, ModeId, TransitionModel, VoltageLadder};
+
+/// Exhaustive minimum-energy mode assignment (start group plus every
+/// profile-live edge) under the deadline, evaluated with the shared
+/// §4.2 cost evaluator. Returns `None` if the enumeration would exceed
+/// `limit` assignments; `Some(None)` never occurs because the all-fast
+/// assignment is feasible for every deadline the tests use.
+fn brute_force_best(
+    cfg: &Cfg,
+    profile: &Profile,
+    ladder: &VoltageLadder,
+    transition: &TransitionModel,
+    deadline_us: f64,
+    limit: u64,
+) -> Option<f64> {
+    let live: Vec<EdgeId> = cfg
+        .edges()
+        .filter(|e| profile.edge_count(e.id) > 0)
+        .map(|e| e.id)
+        .collect();
+    let slots = live.len() + 1;
+    let n = ladder.len() as u64;
+    let mut count: u64 = 1;
+    for _ in 0..slots {
+        count = count.saturating_mul(n);
+        if count > limit {
+            return None;
+        }
+    }
+    let mut assign = vec![0usize; slots];
+    let mut edge_modes = vec![ModeId(0); cfg.num_edges()];
+    let mut best = f64::INFINITY;
+    loop {
+        for (i, &e) in live.iter().enumerate() {
+            edge_modes[e.index()] = ModeId(assign[i + 1]);
+        }
+        let (energy, time) = schedule_cost(
+            cfg,
+            profile,
+            ladder,
+            transition,
+            ModeId(assign[0]),
+            &edge_modes,
+        );
+        if time <= deadline_us && energy < best {
+            best = energy;
+        }
+        let mut i = 0;
+        loop {
+            assign[i] += 1;
+            if assign[i] < ladder.len() {
+                break;
+            }
+            assign[i] = 0;
+            i += 1;
+            if i == slots {
+                assert!(best.is_finite(), "all-fast assignment must be feasible");
+                return Some(best);
+            }
+        }
+    }
+}
+
+/// On transition-free models (pure voltage-ladder MILPs) with dense
+/// ladders:
+///
+/// * branch-and-bound matches exhaustive enumeration of every mode
+///   assignment;
+/// * the exact continuous backend and the branch-and-bound LP agree on
+///   the relaxation to 1e-6, and `Auto` routing picks the same answer;
+/// * the continuous optimum lower-bounds the integer optimum, and the
+///   continuous backend's rounded incumbent is deadline-feasible and
+///   sandwiched between the bound and nothing better than B&B.
+#[test]
+fn continuous_backend_agrees_with_brute_force_and_bnb_on_dense_ladders() {
+    let law = AlphaPower::paper();
+    let ladder = VoltageLadder::interpolated(&law, 5).expect("5-level ladder");
+    let transition = TransitionModel::free();
+    let profiler = ModeProfiler::new(Machine::paper_default());
+
+    let mut enumerated = 0usize;
+    for seed in 0..12u64 {
+        let mut g = Gen::from_seed(0xd1ff + seed);
+        let cfg = gen_cfg(&mut g, 6);
+        let trace = gen_trace(&mut g, &cfg);
+        let (profile, _) = profiler.profile(&cfg, &trace, &ladder);
+        let t_fast = profile.total_time_at(ladder.len() - 1);
+        let t_slow = profile.total_time_at(0);
+        let deadline_us = DeadlineSpec::SpanFraction(0.45).resolve(t_fast, t_slow);
+
+        let Some(brute) =
+            brute_force_best(&cfg, &profile, &ladder, &transition, deadline_us, 300_000)
+        else {
+            continue; // too many live edges for exhaustive enumeration
+        };
+        enumerated += 1;
+
+        let formulation = MilpFormulation::new(&cfg, &profile, &ladder, &transition, deadline_us);
+        let bnb = formulation.solve().expect("branch-and-bound solves");
+        assert!(
+            (bnb.predicted_energy_uj - brute).abs() <= 1e-3 + 1e-5 * brute.abs(),
+            "seed {seed}: B&B {} vs brute force {brute}",
+            bnb.predicted_energy_uj
+        );
+
+        let exact = formulation
+            .relaxation_bound_via(SolverChoice::Continuous)
+            .expect("continuous backend handles the relaxed ladder");
+        let lp = formulation
+            .relaxation_bound_via(SolverChoice::BranchAndBound)
+            .expect("LP solves the relaxation");
+        assert!(
+            (exact - lp).abs() <= 1e-6 * exact.abs().max(1.0),
+            "seed {seed}: backends disagree on the relaxation: yds={exact} lp={lp}"
+        );
+        let auto = formulation.relaxation_bound().expect("auto relaxation");
+        assert!(
+            (auto - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+            "seed {seed}: auto routing drifted from the exact backend"
+        );
+        assert!(
+            exact <= brute + 1e-6 + 1e-9 * brute.abs(),
+            "seed {seed}: continuous optimum {exact} must lower-bound brute force {brute}"
+        );
+
+        let rounded = MilpFormulation::new(&cfg, &profile, &ladder, &transition, deadline_us)
+            .with_solver(SolverChoice::Continuous)
+            .solve()
+            .expect("continuous backend rounds to a feasible schedule");
+        assert!(
+            rounded.predicted_time_us <= deadline_us * (1.0 + 1e-9),
+            "seed {seed}: rounded incumbent misses the deadline"
+        );
+        assert!(
+            rounded.predicted_energy_uj >= exact - 1e-6 - 1e-9 * exact.abs(),
+            "seed {seed}: rounded incumbent beats the continuous optimum"
+        );
+        assert!(
+            brute <= rounded.predicted_energy_uj + 1e-3 + 1e-5 * brute.abs(),
+            "seed {seed}: brute-force optimum must not exceed the rounded incumbent"
+        );
+    }
+    assert!(
+        enumerated >= 4,
+        "too few cases were small enough to enumerate ({enumerated})"
+    );
+}
