@@ -7,6 +7,7 @@
 //! | [`OracleKind::BruteForce`] | on small cases the MILP optimum equals exhaustive enumeration of every mode assignment, and feasibility verdicts agree |
 //! | [`OracleKind::ContinuousLower`] | the LP relaxation lower-bounds the integral objective, and the §3 continuous analytical bound dominates the discrete one for compute-bound programs |
 //! | [`OracleKind::SimReplay`] | the emitted schedule, replayed cycle-by-cycle in the simulator, meets the deadline and lands near the predicted energy |
+//! | [`OracleKind::BytecodeReplay`] | the compiled `dvs-replay` bytecode reproduces the simulator's replay of the emitted schedule to 1e-6 relative on every accounting field |
 //! | [`OracleKind::StaticVerify`] | the `dvs-verify` static pass accepts every schedule the other oracles accept (no error diagnostics, modeled time matching the shared evaluator, WCET above modeled time) and rejects a deliberately infeasible mutant |
 //!
 //! The brute-force comparison and the MILP share one cost evaluator,
@@ -46,6 +47,11 @@ pub struct Tolerances {
     pub replay_energy_rel: f64,
     /// Absolute tolerance on replayed vs predicted energy, µJ.
     pub replay_energy_abs_uj: f64,
+    /// Relative tolerance of the bytecode replay vs the cycle-level
+    /// simulator. Tight by design: the interpreter reproduces the
+    /// simulator's float recurrence bit-for-bit on time and reassociates
+    /// only energy sums.
+    pub bytecode_rel: f64,
     /// Brute force enumerates at most this many assignments, else skips.
     pub brute_force_limit: u64,
 }
@@ -60,6 +66,7 @@ impl Default for Tolerances {
             replay_time_abs_us: 1.0,
             replay_energy_rel: 0.15,
             replay_energy_abs_uj: 1.0,
+            bytecode_rel: 1e-6,
             brute_force_limit: 2_000_000,
         }
     }
@@ -76,6 +83,8 @@ pub enum OracleKind {
     ContinuousLower,
     /// Schedule replay on the cycle-level simulator.
     SimReplay,
+    /// Compiled bytecode replay vs the cycle-level simulator.
+    BytecodeReplay,
     /// The `dvs-verify` static pass vs the shared cost evaluator.
     StaticVerify,
 }
@@ -87,6 +96,7 @@ impl std::fmt::Display for OracleKind {
             OracleKind::BruteForce => "brute-force",
             OracleKind::ContinuousLower => "continuous-lower",
             OracleKind::SimReplay => "sim-replay",
+            OracleKind::BytecodeReplay => "bytecode-replay",
             OracleKind::StaticVerify => "static-verify",
         })
     }
@@ -514,6 +524,50 @@ fn check_oracles(case: &CheckCase, tol: &Tolerances, out: &mut CaseOutcome) {
                 detail: format!(
                     "replayed energy {replayed:.3} µJ vs predicted {:.3} µJ",
                     o.predicted_energy_uj
+                ),
+            });
+        }
+
+        // --- bytecode replay vs the cycle-level simulator ---
+        // The schedule-independent bytecode must reproduce the simulator's
+        // run of the very same schedule. Time and transition accounting are
+        // bit-identical by construction; energy reassociates one sum, so
+        // everything sits far inside the 1e-6 gate.
+        let code = dvs_replay::compile(&machine, cfg, trace, ladder, transition);
+        let fast = code.replay(&o.schedule);
+        let fields = [
+            ("time_us", fast.time_us, run.time_us),
+            (
+                "processor_energy_uj",
+                fast.processor_energy_uj,
+                run.processor_energy_uj,
+            ),
+            ("dram_energy_uj", fast.dram_energy_uj, run.dram_energy_uj),
+            (
+                "transition_energy_uj",
+                fast.transition_energy_uj,
+                run.transition_energy_uj,
+            ),
+            (
+                "transition_time_us",
+                fast.transition_time_us,
+                run.transition_time_us,
+            ),
+        ];
+        for (name, got, want) in fields {
+            if (got - want).abs() > tol.bytecode_rel * want.abs().max(1e-9) {
+                out.disagreements.push(Disagreement {
+                    oracle: OracleKind::BytecodeReplay,
+                    detail: format!("bytecode {name} {got:.9} vs simulator {want:.9}"),
+                });
+            }
+        }
+        if fast.transitions != run.transitions {
+            out.disagreements.push(Disagreement {
+                oracle: OracleKind::BytecodeReplay,
+                detail: format!(
+                    "bytecode performed {} transitions vs simulator {}",
+                    fast.transitions, run.transitions
                 ),
             });
         }

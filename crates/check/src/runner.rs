@@ -31,7 +31,9 @@ pub struct CheckConfig {
 impl Default for CheckConfig {
     fn default() -> Self {
         CheckConfig {
-            seeds: 100,
+            // The bytecode-replay fast path dropped the per-case cost enough
+            // to afford an order of magnitude more default fuzzing.
+            seeds: 1000,
             seed_base: 42,
             max_blocks: 6,
             jobs: 1,
@@ -64,12 +66,14 @@ pub struct Counterexample {
 }
 
 impl Counterexample {
-    /// A shell command that reproduces the failure from its seed.
+    /// A shell command that reproduces the failure from its seed, annotated
+    /// with the oracle that fired so a repro artifact alone says *which*
+    /// differential check tripped.
     #[must_use]
     pub fn repro(&self, max_blocks: usize) -> String {
         format!(
-            "dvsc check --seeds 1 --seed-base {} --max-blocks {}",
-            self.seed, max_blocks
+            "dvsc check --seeds 1 --seed-base {} --max-blocks {}  # oracle: {}",
+            self.seed, max_blocks, self.oracle
         )
     }
 }

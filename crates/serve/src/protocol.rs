@@ -125,6 +125,11 @@ pub enum SolveOp {
     /// Compile (validation off) plus the `dvs-verify` static pass,
     /// returning the verify report.
     Verify,
+    /// Compile (validation off) plus a `dvs-replay` bytecode evaluation
+    /// of the emitted schedule, returning measured time/energy and the
+    /// bytecode shape. The compiled bytecode is itself content-addressed
+    /// and shared across requests that differ only in deadline or solver.
+    Evaluate,
 }
 
 impl SolveOp {
@@ -134,6 +139,7 @@ impl SolveOp {
         match self {
             SolveOp::Compile => "compile",
             SolveOp::Verify => "verify",
+            SolveOp::Evaluate => "evaluate",
         }
     }
 }
@@ -263,7 +269,7 @@ pub enum Request {
     Shutdown,
     /// The last completed request trace trees, as Chrome trace events.
     Traces,
-    /// A compile or verify solve.
+    /// A compile, verify or evaluate solve.
     Solve(SolveRequest),
 }
 
@@ -291,6 +297,10 @@ impl Request {
             )?)),
             "verify" => Ok(Request::Solve(SolveRequest::from_json(
                 SolveOp::Verify,
+                &v,
+            )?)),
+            "evaluate" => Ok(Request::Solve(SolveRequest::from_json(
+                SolveOp::Evaluate,
                 &v,
             )?)),
             other => Err(format!("unknown op `{other}`")),
@@ -425,6 +435,25 @@ mod tests {
                 assert!(s.timeout_ms.is_none());
                 assert!(s.trace_id.is_none());
             }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evaluate_requests_parse_and_round_trip() {
+        let req = Request::Solve(SolveRequest {
+            op: SolveOp::Evaluate,
+            benchmark: "adpcm".into(),
+            deadline_index: 4,
+            levels: 5,
+            capacitance_uf: 0.1,
+            solver: "auto".into(),
+            timeout_ms: None,
+            trace_id: None,
+        });
+        assert_eq!(Request::parse(&req.to_json().dump()).unwrap(), req);
+        match Request::parse("{\"op\":\"evaluate\",\"benchmark\":\"gsm\"}").unwrap() {
+            Request::Solve(s) => assert_eq!(s.op, SolveOp::Evaluate),
             other => panic!("got {other:?}"),
         }
     }

@@ -654,6 +654,53 @@ fn request_key(req: &SolveRequest) -> Result<(u64, String), String> {
     Ok((h.finish(), canonical))
 }
 
+/// Process-wide content-addressed store of compiled replay bytecode.
+///
+/// The bytecode depends only on the workload and the machine/ladder/
+/// regulator configuration — never on the deadline index or solver — so
+/// `evaluate` requests that differ only in those fields share one compile.
+/// Keys reuse the solve cache's canonical-string + FNV-1a discipline.
+fn cached_bytecode(
+    b: Benchmark,
+    req: &SolveRequest,
+    compiler: &DvsCompiler,
+    cfg: &dvs_ir::Cfg,
+    trace: &dvs_sim::Trace,
+    ladder: &VoltageLadder,
+) -> Arc<dvs_replay::ReplayBytecode> {
+    static STORE: std::sync::OnceLock<Mutex<HashMap<u64, Arc<dvs_replay::ReplayBytecode>>>> =
+        std::sync::OnceLock::new();
+    let canonical = format!(
+        "dvs-serve.bytecode.v1 benchmark={} levels={} capacitance_uf={} config={:016x}",
+        b.name(),
+        req.levels,
+        req.capacitance_uf,
+        compiler.config_digest()
+    );
+    let mut h = dvs_compiler::fingerprint::Fnv64::new();
+    h.write_str(&canonical);
+    let key = h.finish();
+    let store = STORE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(code) = store.lock().expect("bytecode store poisoned").get(&key) {
+        dvs_obs::counter("serve.bytecode.hits", 1);
+        return Arc::clone(code);
+    }
+    let code = Arc::new(dvs_replay::compile(
+        compiler.machine(),
+        cfg,
+        trace,
+        ladder,
+        compiler.transition(),
+    ));
+    dvs_obs::counter("serve.bytecode.compiles", 1);
+    store
+        .lock()
+        .expect("bytecode store poisoned")
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&code))
+        .clone()
+}
+
 /// Runs one solve to its canonical JSON body. This is the expensive path
 /// (tens to hundreds of milliseconds per workload); everything above it
 /// exists to avoid re-entering it.
@@ -697,6 +744,39 @@ fn execute_solve(req: &SolveRequest) -> Result<String, String> {
                 deadline_us: Some(deadline),
             });
             Ok(header(vec![("report".to_string(), report.to_json())]))
+        }
+        SolveOp::Evaluate => {
+            let result = compiler
+                .compile(&cfg, &profile, deadline)
+                .map_err(|e| format!("compile failed: {e}"))?;
+            let code = cached_bytecode(b, req, &compiler, &cfg, &trace, &ladder);
+            let run = code.replay(&result.milp.schedule);
+            let stats = code.stats();
+            Ok(header(vec![(
+                "evaluate".to_string(),
+                Json::obj([
+                    ("time_us", Json::from(run.time_us)),
+                    ("processor_energy_uj", Json::from(run.processor_energy_uj)),
+                    ("dram_energy_uj", Json::from(run.dram_energy_uj)),
+                    ("transitions", Json::from(run.transitions)),
+                    ("transition_energy_uj", Json::from(run.transition_energy_uj)),
+                    ("transition_time_us", Json::from(run.transition_time_us)),
+                    (
+                        "predicted_energy_uj",
+                        Json::from(result.milp.predicted_energy_uj),
+                    ),
+                    (
+                        "bytecode",
+                        Json::obj([
+                            ("trace_blocks", Json::from(stats.trace_blocks)),
+                            ("trace_insts", Json::from(stats.trace_insts)),
+                            ("block_ops", Json::from(stats.block_ops)),
+                            ("variants", Json::from(stats.variants)),
+                            ("variant_insts", Json::from(stats.variant_insts)),
+                        ]),
+                    ),
+                ]),
+            )]))
         }
     }
 }

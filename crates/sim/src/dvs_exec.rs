@@ -443,6 +443,133 @@ mod tests {
     }
 
     #[test]
+    fn zero_cost_blocks_still_execute_their_mode_switches() {
+        // entry -> mid -> exit where every block is empty: no instructions
+        // commit, but the switch on the edge into `mid` must still be
+        // performed, counted, and charged.
+        let mut b = CfgBuilder::new("empty");
+        let e = b.block("entry");
+        let mid = b.block("mid");
+        let x = b.block("exit");
+        b.edge(e, mid);
+        b.edge(mid, x);
+        let cfg = b.finish(e, x).unwrap();
+        let mut tb = TraceBuilder::new(&cfg);
+        for blk in [cfg.entry(), cfg.block_by_label("mid").unwrap(), cfg.exit()] {
+            tb.step(blk, vec![]);
+        }
+        let t = tb.finish().unwrap();
+        let m = Machine::paper_default();
+        let l = ladder();
+        let tm = TransitionModel::with_capacitance_uf(10.0);
+        let mut sched = EdgeSchedule::uniform(&cfg, ModeId(2));
+        let mid = cfg.block_by_label("mid").unwrap();
+        let e_mid = cfg.edge_between(cfg.entry(), mid).unwrap();
+        let mid_x = cfg.edge_between(mid, cfg.exit()).unwrap();
+        sched.edge_modes[e_mid.index()] = ModeId(0);
+        // Keep the downstream edge at the new mode so the program switches
+        // exactly once.
+        sched.edge_modes[mid_x.index()] = ModeId(0);
+        let r = m.run_scheduled(&cfg, &t, &l, &sched, &tm);
+        assert_eq!(r.transitions, 1);
+        assert!(
+            (r.transition_energy_uj - tm.mode_energy_uj(&l, ModeId(2), ModeId(0))).abs() < 1e-12
+        );
+        assert!((r.transition_time_us - tm.mode_time_us(&l, ModeId(2), ModeId(0))).abs() < 1e-12);
+        // Nothing commits, so the commit-anchored timeline stays at zero —
+        // the switch overhead is carried entirely by the transition fields.
+        assert_eq!(r.time_us, 0.0);
+        assert_eq!(r.processor_energy_uj, r.transition_energy_uj);
+    }
+
+    #[test]
+    fn self_loop_back_edge_switches_exactly_once() {
+        // entry -> loop(self x50) -> exit: the self-loop back edge sets a
+        // different mode than the entry edge, so the *first* arrival over
+        // the back edge switches and the remaining 49 are silent.
+        let mut b = CfgBuilder::new("selfloop");
+        let e = b.block("entry");
+        let lp = b.block("loop");
+        let x = b.block("exit");
+        b.push(lp, Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(1)]));
+        b.push(lp, Inst::branch(Reg(1)));
+        b.edge(e, lp);
+        b.edge(lp, lp);
+        b.edge(lp, x);
+        let cfg = b.finish(e, x).unwrap();
+        let lp = cfg.block_by_label("loop").unwrap();
+        let mut tb = TraceBuilder::new(&cfg);
+        tb.step(cfg.entry(), vec![]);
+        for _ in 0..50 {
+            tb.step(lp, vec![]);
+        }
+        tb.step(cfg.exit(), vec![]);
+        let t = tb.finish().unwrap();
+        let m = Machine::paper_default();
+        let l = ladder();
+        let tm = TransitionModel::with_capacitance_uf(10.0);
+        let mut sched = EdgeSchedule::uniform(&cfg, ModeId(2));
+        let back = cfg.edge_between(lp, lp).unwrap();
+        let exit_edge = cfg.edge_between(lp, cfg.exit()).unwrap();
+        sched.edge_modes[back.index()] = ModeId(0);
+        // The loop-exit edge stays at the loop's final mode so the only
+        // candidate switch point is the back edge itself.
+        sched.edge_modes[exit_edge.index()] = ModeId(0);
+        let r = m.run_scheduled(&cfg, &t, &l, &sched, &tm);
+        assert_eq!(
+            r.transitions, 1,
+            "a static mode-set on a self-loop must fire once, then be silent"
+        );
+        assert!(
+            (r.transition_energy_uj - tm.mode_energy_uj(&l, ModeId(2), ModeId(0))).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn mode_switch_on_a_critical_edge_charges_only_when_taken() {
+        // entry branches to {side, exit} and side falls through to exit, so
+        // entry->exit is a critical edge (multi-successor source,
+        // multi-predecessor target). Its mode-set must fire exactly on the
+        // paths that take it.
+        let mut b = CfgBuilder::new("critical");
+        let e = b.block("entry");
+        let side = b.block("side");
+        let x = b.block("exit");
+        b.push(e, Inst::branch(Reg(1)));
+        b.push(side, Inst::alu(Opcode::IntAlu, Reg(1), &[Reg(1)]));
+        b.edge(e, side);
+        b.edge(e, x);
+        b.edge(side, x);
+        let cfg = b.finish(e, x).unwrap();
+        let side = cfg.block_by_label("side").unwrap();
+        let m = Machine::paper_default();
+        let l = ladder();
+        let tm = TransitionModel::with_capacitance_uf(10.0);
+        let mut sched = EdgeSchedule::uniform(&cfg, ModeId(1));
+        let crit = cfg.edge_between(cfg.entry(), cfg.exit()).unwrap();
+        sched.edge_modes[crit.index()] = ModeId(0);
+
+        let mut around = TraceBuilder::new(&cfg);
+        around.step(cfg.entry(), vec![]);
+        around.step(side, vec![]);
+        around.step(cfg.exit(), vec![]);
+        let around = around.finish().unwrap();
+        let r = m.run_scheduled(&cfg, &around, &l, &sched, &tm);
+        assert_eq!(r.transitions, 0, "the critical edge was not taken");
+        assert_eq!(r.transition_energy_uj, 0.0);
+
+        let mut through = TraceBuilder::new(&cfg);
+        through.step(cfg.entry(), vec![]);
+        through.step(cfg.exit(), vec![]);
+        let through = through.finish().unwrap();
+        let r = m.run_scheduled(&cfg, &through, &l, &sched, &tm);
+        assert_eq!(r.transitions, 1, "the critical edge was taken");
+        assert!(
+            (r.transition_energy_uj - tm.mode_energy_uj(&l, ModeId(1), ModeId(0))).abs() < 1e-12
+        );
+    }
+
+    #[test]
     fn slow_mode_saves_energy_but_costs_time() {
         let (cfg, t) = program();
         let m = Machine::paper_default();

@@ -180,6 +180,34 @@ mod tests {
     }
 
     #[test]
+    fn loads_and_stores_charge_the_agu_class_not_the_caches() {
+        // Cache energy is accounted per access by the hierarchy; the
+        // per-instruction functional-unit charge for memory ops must be the
+        // ALU/AGU class, or cache energy would be double-counted.
+        let m = EnergyModel::default();
+        assert_eq!(m.fu_nf(Opcode::Load), m.fu_nf(Opcode::IntAlu));
+        assert_eq!(m.fu_nf(Opcode::Store), m.fu_nf(Opcode::IntAlu));
+        assert_eq!(m.fu_nf(Opcode::Branch), m.fu_nf(Opcode::IntAlu));
+        assert!(m.fu_nf(Opcode::Load) < m.l1_nf + m.l2_nf);
+    }
+
+    #[test]
+    fn zero_capacitance_and_zero_voltage_cost_nothing() {
+        assert_eq!(EnergyModel::cap_to_uj(0.0, 1.65), 0.0);
+        assert_eq!(EnergyModel::cap_to_uj(10.0, 0.0), 0.0);
+        let empty = EnergyBreakdown::default();
+        assert_eq!(empty.total_nf(), 0.0);
+        assert_eq!(empty.processor_uj(1.65), 0.0);
+    }
+
+    #[test]
+    fn gating_defaults_to_the_papers_perfect_assumption() {
+        assert_eq!(EnergyModel::default().gating, ClockGating::Perfect);
+        assert_eq!(ClockGating::default(), ClockGating::Perfect);
+        assert_ne!(ClockGating::Perfect, ClockGating::Ungated);
+    }
+
+    #[test]
     fn breakdown_totals_and_merge() {
         let mut a = EnergyBreakdown {
             core_nf: 1.0,

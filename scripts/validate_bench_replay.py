@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validate a dvsc bench-replay report, optionally against a baseline.
+
+Usage: validate_bench_replay.py REPORT.json [BASELINE.json] [--speedup-floor X]
+
+Checks the `dvs-bench-replay.v1` schema: required top-level and per-case
+keys, every cell's rep-0 agreement sweep passing (`agreement_ok` true
+with `max_rel_err` within the 1e-6 differential tolerance), totals
+consistent with the case list, and the report's median batched-replay
+speedup at or above a floor. The floor defaults to 10 — the acceptance
+bar the committed baseline pins — and can be lowered for fresh runs on
+noisy CI machines with `--speedup-floor` (the floor always applies at
+10 to a BASELINE, which was produced on a quiet machine and committed
+deliberately). With a BASELINE, additionally diffs the deterministic
+fields of every case whose name appears in both reports — bytecode
+shape, agreement results, workload coordinates — while `wall_us`,
+`speedup` and `reps` (the knobs a quick run is allowed to move) are
+never compared. Exits nonzero on the first class of failure, printing
+every instance of it.
+"""
+
+import json
+import sys
+
+TOP_KEYS = {"schema", "mode", "totals", "speedup", "cases"}
+TOTALS_KEYS = {"cases", "trace_insts", "block_ops", "variants", "agreement_ok"}
+SPEEDUP_KEYS = {"median", "min", "max"}
+CASE_KEYS = {
+    "name",
+    "seed",
+    "max_blocks",
+    "blocks",
+    "edges",
+    "levels",
+    "schedules",
+    "reps",
+    "bytecode",
+    "agreement_ok",
+    "max_rel_err",
+    "wall_us",
+    "speedup",
+}
+BYTECODE_KEYS = {"trace_blocks", "trace_insts", "block_ops", "variants", "variant_insts"}
+CASE_SPEEDUP_KEYS = {"p50", "min", "max"}
+PCTL_KEYS = {"mean", "p50", "p90", "max"}
+# The differential tolerance the replay runtime is fuzzed against
+# (tests/replay_differential.rs and the bytecode-replay check oracle).
+AGREEMENT_REL = 1e-6
+# The per-case fields that must match a baseline bit-for-bit. Wall clock
+# and the speedups derived from it are machine-dependent; `reps` is the
+# one knob a quick run moves.
+DETERMINISTIC_CASE_KEYS = CASE_KEYS - {"reps", "wall_us", "speedup"}
+
+
+def fail(errors, label):
+    if errors:
+        print(f"{label}:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def check_schema(report, path, floor):
+    errors = []
+    missing = TOP_KEYS - report.keys()
+    if missing:
+        errors.append(f"{path}: missing top-level keys {sorted(missing)}")
+    if report.get("schema") != "dvs-bench-replay.v1":
+        errors.append(f"{path}: schema is {report.get('schema')!r}")
+    totals = report.get("totals", {})
+    missing = TOTALS_KEYS - totals.keys()
+    if missing:
+        errors.append(f"{path}: totals missing {sorted(missing)}")
+    cases = report.get("cases", [])
+    if totals.get("cases") != len(cases):
+        errors.append(
+            f"{path}: totals.cases={totals.get('cases')} but {len(cases)} cases"
+        )
+    if not totals.get("agreement_ok", False):
+        errors.append(f"{path}: totals.agreement_ok is false")
+    for key, field in (("trace_insts", "trace_insts"), ("block_ops", "block_ops"),
+                       ("variants", "variants")):
+        summed = sum(c.get("bytecode", {}).get(field, 0) for c in cases)
+        if totals.get(key) != summed:
+            errors.append(
+                f"{path}: totals.{key}={totals.get(key)} but cases sum to {summed}"
+            )
+    for case in cases:
+        name = case.get("name", "<unnamed>")
+        for keyset, sub in (
+            (CASE_KEYS, None),
+            (BYTECODE_KEYS, "bytecode"),
+            (CASE_SPEEDUP_KEYS, "speedup"),
+        ):
+            obj = case if sub is None else case.get(sub, {})
+            missing = keyset - obj.keys()
+            if missing:
+                where = f"{name}.{sub}" if sub else name
+                errors.append(f"{path}: case {where} missing {sorted(missing)}")
+        wall = case.get("wall_us", {})
+        if "compile" not in wall:
+            errors.append(f"{path}: case {name}.wall_us missing ['compile']")
+        for side in ("sim", "replay"):
+            missing = PCTL_KEYS - wall.get(side, {}).keys()
+            if missing:
+                errors.append(
+                    f"{path}: case {name}.wall_us.{side} missing {sorted(missing)}"
+                )
+        if not case.get("agreement_ok", False):
+            errors.append(
+                f"{path}: case {name} disagreed with the simulator "
+                f"(max_rel_err={case.get('max_rel_err')})"
+            )
+        if not case.get("max_rel_err", float("inf")) <= AGREEMENT_REL:
+            errors.append(
+                f"{path}: case {name} max_rel_err={case.get('max_rel_err')} "
+                f"exceeds the {AGREEMENT_REL} differential tolerance"
+            )
+    speedup = report.get("speedup", {})
+    missing = SPEEDUP_KEYS - speedup.keys()
+    if missing:
+        errors.append(f"{path}: speedup missing {sorted(missing)}")
+    elif not speedup["median"] >= floor:
+        errors.append(
+            f"{path}: median batched-replay speedup {speedup['median']:.2f}x "
+            f"is below the {floor}x floor"
+        )
+    fail(errors, f"schema validation failed for {path}")
+    print(
+        f"{path}: ok ({report['mode']} mode, {len(cases)} cases, "
+        f"median speedup {speedup['median']:.2f}x >= {floor}x)"
+    )
+
+
+def diff_against_baseline(report, baseline, report_path, baseline_path):
+    base_by_name = {c["name"]: c for c in baseline["cases"]}
+    errors = []
+    compared = 0
+    for case in report["cases"]:
+        base = base_by_name.get(case["name"])
+        if base is None:
+            errors.append(f"case {case['name']} not present in {baseline_path}")
+            continue
+        compared += 1
+        for key in sorted(DETERMINISTIC_CASE_KEYS):
+            if case.get(key) != base.get(key):
+                errors.append(
+                    f"case {case['name']}.{key} diverged from baseline:\n"
+                    f"    {report_path}: {json.dumps(case.get(key))}\n"
+                    f"    {baseline_path}: {json.dumps(base.get(key))}"
+                )
+    fail(errors, "baseline diff failed (the compiled bytecode or the workload "
+         "grid changed — if intended, regenerate with `dvsc bench-replay`)")
+    print(f"deterministic fields match baseline for all {compared} shared cases")
+
+
+def main():
+    argv = sys.argv[1:]
+    floor = 10.0
+    paths = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--speedup-floor":
+            try:
+                floor = float(next(it))
+            except (StopIteration, ValueError):
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+        else:
+            paths.append(arg)
+    if len(paths) not in (1, 2):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(paths[0]) as f:
+        report = json.load(f)
+    check_schema(report, paths[0], floor)
+    if len(paths) == 2:
+        with open(paths[1]) as f:
+            baseline = json.load(f)
+        # The committed baseline always answers for the full acceptance
+        # bar, whatever floor the fresh report was granted.
+        check_schema(baseline, paths[1], 10.0)
+        diff_against_baseline(report, baseline, paths[0], paths[1])
+
+
+if __name__ == "__main__":
+    main()

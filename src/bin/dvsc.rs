@@ -13,12 +13,15 @@
 //!             [--capacitance µF] [--jobs N]
 //! dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B]
 //!            [--queue-depth D]
-//! dvsc client <compile|verify|ping|stats|traces|shutdown> [--addr HOST:PORT]
-//!             [--benchmark NAME] [--deadline 1..5] [--solver NAME] [--json]
-//! dvsc client trace <compile|verify> --benchmark NAME [--deadline 1..5]
+//! dvsc client <compile|verify|evaluate|ping|stats|traces|shutdown>
+//!             [--addr HOST:PORT] [--benchmark NAME] [--deadline 1..5]
+//!             [--solver NAME] [--json]
+//! dvsc client trace <compile|verify|evaluate> --benchmark NAME
+//!             [--deadline 1..5]
 //! dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M]
 //!               [--benchmark NAME]
 //! dvsc bench-solver [--quick] [--jobs N] [--out FILE]
+//! dvsc bench-replay [--quick] [--jobs N] [--out FILE]
 //! ```
 //!
 //! `compile` runs profile → filter → MILP → schedule on a built-in
@@ -44,7 +47,10 @@
 //!
 //! `serve` runs the compilation-as-a-service daemon (content-addressed
 //! solve cache, request coalescing, bounded admission queue); `client`
-//! sends one request to a running daemon; `loadtest` hammers a daemon
+//! sends one request to a running daemon (`evaluate` compiles with
+//! validation off and scores the emitted schedule through the
+//! `dvs-replay` bytecode fast path, sharing compiled bytecode across
+//! requests that differ only in deadline or solver); `loadtest` hammers a daemon
 //! from N concurrent connections and writes throughput/latency
 //! percentiles (plus trace-derived queue-wait and cache-lookup means)
 //! to `results/serve.csv`. `client trace <op>` runs one solve and
@@ -59,7 +65,11 @@
 //! ladder shapes × deadline tightnesses × solver backends) and writes
 //! `BENCH_solver.json`:
 //! wall-clock percentiles per cell plus the deterministic solver search
-//! counters CI diffs against the committed baseline.
+//! counters CI diffs against the committed baseline. `bench-replay` does
+//! the same for the `dvs-replay` bytecode interpreter: each cell scores a
+//! batch of schedules on the cycle-level simulator and on compiled
+//! bytecode, checks 1e-6 agreement, and writes `BENCH_replay.json` with
+//! the per-cell speedup the validator gates on.
 //!
 //! `--metrics` prints a pipeline metrics summary (counters, gauges,
 //! histograms) after the run; `--trace-out FILE` writes a Chrome
@@ -122,14 +132,16 @@ fn usage() -> ExitCode {
          [--dot FILE]\n  \
          \x20              [--mutate SEED] [--levels N] [--capacitance µF] [--jobs N]\n  \
          dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B] [--queue-depth D]\n  \
-         dvsc client <compile|verify|ping|stats|traces|shutdown> [--addr HOST:PORT] \
-         [--benchmark <name>]\n  \
+         dvsc client <compile|verify|evaluate|ping|stats|traces|shutdown> \
+         [--addr HOST:PORT] [--benchmark <name>]\n  \
          \x20              [--deadline 1..5] [--levels N] [--capacitance µF] \
          [--solver NAME] [--json]\n  \
-         dvsc client trace <compile|verify> --benchmark <name> [--deadline 1..5]\n  \
+         dvsc client trace <compile|verify|evaluate> --benchmark <name> \
+         [--deadline 1..5]\n  \
          dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M] \
          [--benchmark <name>]\n  \
          dvsc bench-solver [--quick] [--jobs N] [--out FILE]\n  \
+         dvsc bench-replay [--quick] [--jobs N] [--out FILE]\n  \
          dvsc --timeout <secs> ...   (bounds compile/verify/check; request \
          deadline for client/loadtest)\n  \
          dvsc --version"
@@ -157,7 +169,7 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         metrics: false,
         trace_out: None,
         jobs: 1,
-        seeds: 100,
+        seeds: 1000,
         seed_base: 42,
         max_blocks: 6,
         repro_out: None,
@@ -343,6 +355,7 @@ fn main() -> ExitCode {
         "client" => run_client(&args),
         "loadtest" => run_loadtest(&args),
         "bench-solver" => run_bench_solver(&args),
+        "bench-replay" => run_bench_replay(&args),
         other => {
             eprintln!("error: unknown subcommand `{other}`");
             return usage();
@@ -479,7 +492,9 @@ fn print_trace(tree: &obs::json::Json) {
 /// `dvsc client <op>`: one request against a running daemon.
 fn run_client(args: &Args) -> u8 {
     let Some(full_op) = args.client_op.as_deref() else {
-        eprintln!("client requires an operation: compile|verify|ping|stats|traces|shutdown");
+        eprintln!(
+            "client requires an operation: compile|verify|evaluate|ping|stats|traces|shutdown"
+        );
         return 2;
     };
     // `client trace compile` is the two-token form: run a solve and print
@@ -497,16 +512,16 @@ fn run_client(args: &Args) -> u8 {
         "stats" => serve::Request::Stats,
         "traces" => serve::Request::Traces,
         "shutdown" => serve::Request::Shutdown,
-        "compile" | "verify" => {
+        "compile" | "verify" | "evaluate" => {
             let Some(name) = &args.benchmark else {
                 eprintln!("client {op} requires --benchmark");
                 return 2;
             };
             serve::Request::Solve(serve::SolveRequest {
-                op: if op == "compile" {
-                    serve::SolveOp::Compile
-                } else {
-                    serve::SolveOp::Verify
+                op: match op {
+                    "compile" => serve::SolveOp::Compile,
+                    "verify" => serve::SolveOp::Verify,
+                    _ => serve::SolveOp::Evaluate,
                 },
                 benchmark: name.clone(),
                 deadline_index: args.deadline_index,
@@ -526,13 +541,14 @@ fn run_client(args: &Args) -> u8 {
         }
         other => {
             eprintln!(
-                "unknown client operation `{other}` (compile|verify|ping|stats|traces|shutdown)"
+                "unknown client operation `{other}` \
+                 (compile|verify|evaluate|ping|stats|traces|shutdown)"
             );
             return 2;
         }
     };
     if want_trace && !matches!(request, serve::Request::Solve(_)) {
-        eprintln!("client trace takes a solve operation: compile|verify");
+        eprintln!("client trace takes a solve operation: compile|verify|evaluate");
         return 2;
     }
     // The server enforces the request deadline itself, so the socket
@@ -735,6 +751,58 @@ fn run_bench_solver(args: &Args) -> u8 {
     0
 }
 
+/// `dvsc bench-replay`: score the bytecode interpreter against the
+/// cycle-level simulator on the pinned grid and write the
+/// `BENCH_replay.json` baseline document.
+fn run_bench_replay(args: &Args) -> u8 {
+    use compile_time_dvs::bench_replay::{run_bench_replay, BenchReplayConfig};
+    let config = BenchReplayConfig {
+        quick: args.quick,
+        jobs: args.jobs,
+    };
+    let report = run_bench_replay(&config);
+    let path = args.out.as_deref().unwrap_or("BENCH_replay.json");
+    if let Err(e) = std::fs::write(path, report.pretty() + "\n") {
+        eprintln!("cannot write {path}: {e}");
+        return 1;
+    }
+    let agree = report
+        .get("totals")
+        .and_then(|t| t.get("agreement_ok"))
+        .and_then(obs::json::Json::as_bool)
+        .unwrap_or(false);
+    println!(
+        "bench-replay ({} mode): {} cases, {} trace insts, median speedup {:.1}x, \
+         agreement {}",
+        report
+            .get("mode")
+            .and_then(obs::json::Json::as_str)
+            .unwrap_or("?"),
+        report
+            .get("totals")
+            .and_then(|t| t.get("cases"))
+            .and_then(obs::json::Json::as_u64)
+            .unwrap_or(0),
+        report
+            .get("totals")
+            .and_then(|t| t.get("trace_insts"))
+            .and_then(obs::json::Json::as_u64)
+            .unwrap_or(0),
+        report
+            .get("speedup")
+            .and_then(|s| s.get("median"))
+            .and_then(obs::json::Json::as_f64)
+            .unwrap_or(0.0),
+        if agree { "ok" } else { "FAILED" }
+    );
+    println!("wrote {path}");
+    if !agree {
+        eprintln!("error: bytecode and simulator disagreed beyond 1e-6");
+        return 1;
+    }
+    0
+}
+
 fn run_compile(args: &Args) -> u8 {
     let Some(name) = &args.benchmark else {
         eprintln!("compile requires --benchmark");
@@ -875,25 +943,36 @@ fn run_checker(args: &Args) -> u8 {
     u8::from(!report.ok())
 }
 
-/// What `verify` learned about one benchmark: either a report (plus the
-/// resolved deadline, an optional mutation note and an optional rendered
-/// DOT overlay) or the reason the compile could not produce a schedule.
+/// Everything `verify` learned about one benchmark that compiled: the
+/// static report, the resolved deadline, an optional mutation note, an
+/// optional rendered DOT overlay, and the dynamic bytecode replay with its
+/// simulator cross-check.
+struct VerifyOk {
+    report: verify::VerifyReport,
+    deadline: f64,
+    mutation: Option<String>,
+    dot: Option<String>,
+    replay: verify::ReplayCheck,
+}
+
+/// Per-benchmark outcome: findings or the reason the compile could not
+/// produce a schedule.
 struct VerifyOut {
     name: &'static str,
-    outcome: Result<(verify::VerifyReport, f64, Option<String>, Option<String>), String>,
+    outcome: Result<VerifyOk, String>,
 }
 
 #[allow(clippy::too_many_lines)]
 fn verify_one(b: Benchmark, ladder: &VoltageLadder, args: &Args, want_dot: bool) -> VerifyOut {
     let name = b.name();
-    let run = || -> Result<(verify::VerifyReport, f64, Option<String>, Option<String>), String> {
+    let run = || -> Result<VerifyOk, String> {
         let cfg = b.build_cfg();
         let trace = b.trace(&cfg, &b.default_input());
         let machine = Machine::paper_default();
         let scheme = DeadlineScheme::measure(&machine, &cfg, &trace);
         let deadline = scheme.deadline_us(args.deadline_index);
         let transition = TransitionModel::with_capacitance_uf(args.capacitance_uf);
-        let compiler = DvsCompiler::builder(machine, ladder.clone(), transition)
+        let compiler = DvsCompiler::builder(machine.clone(), ladder.clone(), transition)
             .validation(false)
             .solver_jobs(1)
             .build()
@@ -969,7 +1048,17 @@ fn verify_one(b: Benchmark, ladder: &VoltageLadder, args: &Args, want_dot: bool)
             };
             ir::cfg_to_dot_overlay(&cfg, Some(&profile), &overlay)
         });
-        Ok((report, deadline, mutation, dot))
+        // Dynamic complement to the static report: bytecode fast path with
+        // the cycle-level simulator cross-checking it to 1e-6.
+        let replay =
+            verify::replay_check(&machine, &cfg, &trace, ladder, &transition, &schedule, true);
+        Ok(VerifyOk {
+            report,
+            deadline,
+            mutation,
+            dot,
+            replay,
+        })
     };
     VerifyOut {
         name,
@@ -1012,8 +1101,14 @@ fn run_verify(args: &Args) -> u8 {
     let mut json_rows = Vec::new();
     for r in &results {
         match &r.outcome {
-            Ok((report, deadline, mutation, dot)) => {
-                let failed = !report.ok();
+            Ok(VerifyOk {
+                report,
+                deadline,
+                mutation,
+                dot,
+                replay,
+            }) => {
+                let failed = !report.ok() || !replay.ok();
                 denied |= failed;
                 if args.json {
                     let mut row = vec![
@@ -1023,6 +1118,35 @@ fn run_verify(args: &Args) -> u8 {
                             obs::json::Json::from(args.deadline_index as u64),
                         ),
                         ("report", report.to_json()),
+                        (
+                            "replay",
+                            obs::json::Json::obj(vec![
+                                ("time_us", obs::json::Json::from(replay.run.time_us)),
+                                (
+                                    "processor_energy_uj",
+                                    obs::json::Json::from(replay.run.processor_energy_uj),
+                                ),
+                                (
+                                    "dram_energy_uj",
+                                    obs::json::Json::from(replay.run.dram_energy_uj),
+                                ),
+                                ("transitions", obs::json::Json::from(replay.run.transitions)),
+                                (
+                                    "oracle_checked",
+                                    obs::json::Json::from(replay.oracle_checked),
+                                ),
+                                (
+                                    "disagreements",
+                                    obs::json::Json::Arr(
+                                        replay
+                                            .disagreements
+                                            .iter()
+                                            .map(|d| obs::json::Json::from(d.as_str()))
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        ),
                     ];
                     if let Some(m) = mutation {
                         row.push(("mutation", obs::json::Json::from(m.as_str())));
@@ -1031,7 +1155,8 @@ fn run_verify(args: &Args) -> u8 {
                 } else {
                     println!(
                         "{}: {} — {} errors, {} warnings, {} infos; modeled {:.1} µs, \
-                         wcet {:.1} µs, deadline D{} = {:.1} µs",
+                         wcet {:.1} µs, replayed {:.1} µs ({} transitions, sim-checked), \
+                         deadline D{} = {:.1} µs",
                         r.name,
                         if failed { "FAIL" } else { "ok" },
                         report.count(verify::Severity::Error),
@@ -1039,6 +1164,8 @@ fn run_verify(args: &Args) -> u8 {
                         report.count(verify::Severity::Info),
                         report.modeled_time_us,
                         report.wcet.bound_us,
+                        replay.run.time_us,
+                        replay.run.transitions,
                         args.deadline_index,
                         deadline
                     );
@@ -1047,6 +1174,9 @@ fn run_verify(args: &Args) -> u8 {
                     }
                     for d in &report.diagnostics {
                         println!("  {}", d.render());
+                    }
+                    for d in &replay.disagreements {
+                        println!("  replay-oracle: {d}");
                     }
                 }
                 if let (Some(path), Some(dot)) = (&args.dot, dot) {

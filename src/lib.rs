@@ -3,6 +3,7 @@
 //! Each subsystem is reachable as a module (`compiler`, `sim`, ...); the
 //! [`prelude`] flattens the handful of cross-crate types almost every user
 //! touches into one import.
+pub mod bench_replay;
 pub mod bench_solver;
 
 pub use dvs_check as check;
@@ -11,6 +12,7 @@ pub use dvs_ir as ir;
 pub use dvs_milp as milp;
 pub use dvs_model as model;
 pub use dvs_obs as obs;
+pub use dvs_replay as replay;
 pub use dvs_runtime as runtime;
 pub use dvs_serve as serve;
 pub use dvs_sim as sim;

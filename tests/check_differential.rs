@@ -2,7 +2,7 @@
 //! MILP-vs-brute-force agreement, LP-relaxation and §3 continuous-bound
 //! dominance, and simulator replay. See `crates/check` for the framework.
 
-use compile_time_dvs::check::{run_check, CheckConfig, Tolerances};
+use compile_time_dvs::check::{run_check, CheckConfig, Counterexample, OracleKind, Tolerances};
 
 fn env_jobs() -> usize {
     std::env::var(compile_time_dvs::runtime::JOBS_ENV)
@@ -63,4 +63,40 @@ fn report_bytes_do_not_depend_on_worker_count() {
         &Tolerances::default(),
     );
     assert_eq!(sequential.render(), parallel.render());
+}
+
+/// A repro artifact must say *which* differential oracle tripped: the
+/// command line alone reproduces the case, and the trailing annotation
+/// tells the developer which comparison to look at — without it, a saved
+/// `--repro-out` file from CI is ambiguous across five oracles.
+#[test]
+fn repro_lines_record_the_failing_oracle() {
+    for (oracle, wire) in [
+        (OracleKind::BruteForce, "brute-force"),
+        (OracleKind::SimReplay, "sim-replay"),
+        (OracleKind::BytecodeReplay, "bytecode-replay"),
+    ] {
+        let cx = Counterexample {
+            seed: 1234,
+            oracle,
+            detail: "energy mismatch".to_string(),
+            original_tape_len: 40,
+            shrunk_tape_len: 8,
+            shrunk_blocks: 3,
+            shrunk_edges: 3,
+            shrunk_detail: "energy mismatch".to_string(),
+            shrunk_tape: vec![0; 8],
+        };
+        let line = cx.repro(6);
+        assert_eq!(
+            line,
+            format!("dvsc check --seeds 1 --seed-base 1234 --max-blocks 6  # oracle: {wire}"),
+        );
+        let (cmd, annotation) = line.split_once('#').expect("annotated repro line");
+        assert!(
+            !cmd.contains('#') && annotation.trim() == format!("oracle: {wire}"),
+            "the oracle must ride in a trailing comment so the command part \
+             stays directly runnable: {line}"
+        );
+    }
 }

@@ -300,6 +300,65 @@ fn per_request_timeout_abandons_wait_but_populates_cache() {
     );
 }
 
+/// The `evaluate` op scores the emitted schedule through the bytecode
+/// fast path: results carry measured time/energy plus the bytecode shape,
+/// repeats are cache hits, and requests differing only in deadline share
+/// one compiled bytecode (identical shape counters prove it was the same
+/// trace compilation).
+#[test]
+fn evaluate_scores_schedules_and_shares_bytecode_across_deadlines() {
+    let (addr, handle) = spawn_server(ServeConfig::default());
+    let mut client = connect(&addr);
+    let mut shapes = Vec::new();
+    for deadline_index in [2, 4] {
+        let req = Request::Solve(SolveRequest {
+            op: SolveOp::Evaluate,
+            ..solve_request_fields("ghostscript", deadline_index)
+        });
+        let cold = client.request(&req).expect("evaluate request");
+        assert!(cold.ok, "evaluate failed: {:?}", cold.error);
+        let body = cold.result.expect("evaluate reply carries result");
+        let eval = body.get("evaluate").expect("result has `evaluate` object");
+        let time = eval
+            .get("time_us")
+            .and_then(Json::as_f64)
+            .expect("measured time");
+        assert!(time > 0.0, "replayed time must be positive");
+        assert!(
+            eval.get("processor_energy_uj")
+                .and_then(Json::as_f64)
+                .expect("processor energy")
+                > 0.0
+        );
+        assert!(eval.get("predicted_energy_uj").is_some());
+        let shape = eval.get("bytecode").expect("bytecode stats").dump();
+        assert!(
+            eval.get("bytecode")
+                .and_then(|s| s.get("trace_insts"))
+                .and_then(Json::as_u64)
+                .expect("trace_insts")
+                > 0
+        );
+        shapes.push(shape);
+
+        let warm = client.request(&req).expect("warm evaluate");
+        assert!(warm.ok && warm.cached, "repeat evaluate missed the cache");
+        assert_eq!(
+            warm.result.expect("warm result").dump(),
+            body.dump(),
+            "cached evaluate returned different bytes"
+        );
+    }
+    assert_eq!(
+        shapes[0], shapes[1],
+        "deadlines 2 and 4 must share one compiled bytecode"
+    );
+    client
+        .request(&Request::Shutdown)
+        .expect("graceful shutdown");
+    handle.join().expect("server thread").expect("clean run");
+}
+
 fn solve_request_fields(benchmark: &str, deadline_index: usize) -> SolveRequest {
     SolveRequest {
         op: SolveOp::Compile,
