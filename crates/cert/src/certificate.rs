@@ -1,0 +1,575 @@
+//! The optimality-certificate data model and its JSON round trip.
+//!
+//! A [`Certificate`] is self-contained: it carries a [`Snapshot`] of the
+//! lowered LP (minimization form), the incumbent assignment, the claimed
+//! objective with its declared tolerances, and a derivation tree whose
+//! leaves prove bounds ([`CertNode::Bound`]) or infeasibility
+//! ([`CertNode::Farkas`]) and whose interior nodes are disjunctions over
+//! SOS1 groups or single-variable dichotomies. The checker in
+//! [`crate::checker`] consumes nothing else — in particular it never sees
+//! the solver that produced the proof.
+//!
+//! Every `f64` is serialized through the shortest-round-trip renderer in
+//! [`dvs_obs::json`], so encode → parse is bit-exact for finite values;
+//! infinities (legal only in variable bounds) are spelled `"inf"` /
+//! `"-inf"` because JSON numbers cannot carry them.
+
+use dvs_obs::json::Json;
+
+/// One variable of the lowered LP: bounds plus integrality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertVar {
+    /// Lower bound (may be `-inf`).
+    pub lb: f64,
+    /// Upper bound (may be `inf`).
+    pub ub: f64,
+    /// `true` when the variable must take an integer value.
+    pub integer: bool,
+}
+
+/// Row sense of the lowered LP (`Ge` is normalized away by lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertRowKind {
+    /// `Σ aᵢxᵢ ≤ rhs`.
+    Le,
+    /// `Σ aᵢxᵢ = rhs`.
+    Eq,
+}
+
+/// One constraint row: sparse terms against a right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertRow {
+    /// Row sense.
+    pub kind: CertRowKind,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Sparse `(var, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+}
+
+/// The lowered LP the proof talks about, in minimization form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Variables, index-aligned with the original model.
+    pub vars: Vec<CertVar>,
+    /// Dense objective coefficients (minimization sense).
+    pub obj: Vec<f64>,
+    /// Constant added to `c·x` to obtain the reported objective.
+    pub obj_offset: f64,
+    /// Constraint rows.
+    pub rows: Vec<CertRow>,
+    /// `true` when the original model maximized and lowering negated the
+    /// objective; purely provenance, the proof itself is always about the
+    /// minimization form.
+    pub flipped: bool,
+}
+
+/// A node of the derivation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertNode {
+    /// Leaf: the dual vector `y` proves, via the exact Lagrangian bound
+    /// `L(y) = obj_offset + Σᵢ yᵢ·rhsᵢ + Σⱼ min(dⱼlⱼ, dⱼuⱼ)` with
+    /// `dⱼ = cⱼ − (Aᵀy)ⱼ`, that no point in this node's box beats the
+    /// claimed objective by more than the declared tolerance.
+    Bound {
+        /// Sparse `(row, multiplier)` duals; `≤ 0` required on `Le` rows.
+        duals: Vec<(usize, f64)>,
+    },
+    /// Leaf: the same Lagrangian with a zero objective; a strictly
+    /// positive value proves the node's box contains no feasible point.
+    Farkas {
+        /// Sparse `(row, multiplier)` Farkas ray.
+        duals: Vec<(usize, f64)>,
+    },
+    /// Disjunction over an SOS1 group backed by an `Σ x = 1` equality
+    /// row: child 0 fixes every variable in `zero_a` to zero, child 1
+    /// fixes every variable in `zero_b`. Valid when `zero_a ∪ zero_b`
+    /// partitions the row's support (integer, non-negative variables),
+    /// because the single variable equal to 1 lies in exactly one half.
+    Sos1 {
+        /// Index of the justifying equality row.
+        row: usize,
+        /// Variables fixed to zero in child 0.
+        zero_a: Vec<usize>,
+        /// Variables fixed to zero in child 1.
+        zero_b: Vec<usize>,
+        /// Exactly two children (checked, not assumed).
+        kids: Vec<CertNode>,
+    },
+    /// Dichotomy on one integer variable: child 0 adds `x ≤ floor`,
+    /// child 1 adds `x ≥ floor + 1`.
+    Split {
+        /// The branching variable.
+        var: usize,
+        /// Integral split point.
+        floor: f64,
+        /// Exactly two children (checked, not assumed).
+        kids: Vec<CertNode>,
+    },
+}
+
+/// A complete, self-contained optimality proof.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Which prover emitted the proof (`"bnb"` or `"continuous"`);
+    /// provenance only, the checker treats both identically.
+    pub backend: String,
+    /// The lowered LP the proof is about.
+    pub snapshot: Snapshot,
+    /// The claimed-optimal assignment.
+    pub incumbent: Vec<f64>,
+    /// Claimed objective of `incumbent` (minimization form, offset
+    /// included).
+    pub objective: f64,
+    /// Bound slack: every leaf must prove `≥ objective − tolerance`.
+    pub tolerance: f64,
+    /// Row/bound feasibility slack for the incumbent (scaled by
+    /// `max(1, |rhs|)` per row).
+    pub feas_tol: f64,
+    /// Integrality slack for the incumbent.
+    pub int_tol: f64,
+    /// Allowed gap between the exact incumbent objective and `objective`
+    /// (scaled by `max(1, |objective|)`).
+    pub obj_tol: f64,
+    /// The derivation tree.
+    pub tree: CertNode,
+    /// Free-form provenance (node counts, solver options…); never
+    /// checked.
+    pub meta: Json,
+}
+
+/// Encodes an `f64` for the certificate: finite values as JSON numbers
+/// (bit-exact through the shortest-round-trip writer), infinities as
+/// strings.
+fn num(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else if v.is_nan() {
+        Json::Str("nan".into())
+    } else if v > 0.0 {
+        Json::Str("inf".into())
+    } else {
+        Json::Str("-inf".into())
+    }
+}
+
+/// Inverse of [`num`]; `None` for anything else (including `"nan"`, which
+/// a well-formed certificate never contains).
+fn f64_of(j: &Json) -> Option<f64> {
+    match j {
+        Json::Num(v) if v.is_finite() => Some(*v),
+        Json::Str(s) if s == "inf" => Some(f64::INFINITY),
+        Json::Str(s) if s == "-inf" => Some(f64::NEG_INFINITY),
+        _ => None,
+    }
+}
+
+fn sparse_to_json(terms: &[(usize, f64)]) -> Json {
+    Json::Arr(
+        terms
+            .iter()
+            .map(|&(i, v)| Json::Arr(vec![Json::from(i as u64), num(v)]))
+            .collect(),
+    )
+}
+
+fn sparse_from_json(j: &Json, what: &str) -> Result<Vec<(usize, f64)>, String> {
+    let arr = j.as_arr().ok_or_else(|| format!("{what}: not an array"))?;
+    arr.iter()
+        .map(|e| {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let pair = pair.ok_or_else(|| format!("{what}: entry is not a pair"))?;
+            let i = pair[0]
+                .as_u64()
+                .ok_or_else(|| format!("{what}: bad index"))? as usize;
+            let v = f64_of(&pair[1]).ok_or_else(|| format!("{what}: bad value"))?;
+            Ok((i, v))
+        })
+        .collect()
+}
+
+fn indices_to_json(ix: &[usize]) -> Json {
+    Json::Arr(ix.iter().map(|&i| Json::from(i as u64)).collect())
+}
+
+fn indices_from_json(j: &Json, what: &str) -> Result<Vec<usize>, String> {
+    let arr = j.as_arr().ok_or_else(|| format!("{what}: not an array"))?;
+    arr.iter()
+        .map(|e| {
+            e.as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("{what}: bad index"))
+        })
+        .collect()
+}
+
+impl CertNode {
+    fn to_json(&self) -> Json {
+        match self {
+            CertNode::Bound { duals } => Json::Obj(vec![
+                ("t".into(), Json::from("bound")),
+                ("y".into(), sparse_to_json(duals)),
+            ]),
+            CertNode::Farkas { duals } => Json::Obj(vec![
+                ("t".into(), Json::from("farkas")),
+                ("y".into(), sparse_to_json(duals)),
+            ]),
+            CertNode::Sos1 {
+                row,
+                zero_a,
+                zero_b,
+                kids,
+            } => Json::Obj(vec![
+                ("t".into(), Json::from("sos1")),
+                ("row".into(), Json::from(*row as u64)),
+                ("z0".into(), indices_to_json(zero_a)),
+                ("z1".into(), indices_to_json(zero_b)),
+                (
+                    "kids".into(),
+                    Json::Arr(kids.iter().map(CertNode::to_json).collect()),
+                ),
+            ]),
+            CertNode::Split { var, floor, kids } => Json::Obj(vec![
+                ("t".into(), Json::from("split")),
+                ("var".into(), Json::from(*var as u64)),
+                ("floor".into(), num(*floor)),
+                (
+                    "kids".into(),
+                    Json::Arr(kids.iter().map(CertNode::to_json).collect()),
+                ),
+            ]),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<CertNode, String> {
+        let t = j
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or("node: missing tag")?;
+        let kids_of = |j: &Json| -> Result<Vec<CertNode>, String> {
+            j.get("kids")
+                .and_then(Json::as_arr)
+                .ok_or("node: missing kids")?
+                .iter()
+                .map(CertNode::from_json)
+                .collect()
+        };
+        match t {
+            "bound" => Ok(CertNode::Bound {
+                duals: sparse_from_json(j.get("y").ok_or("bound: missing y")?, "bound duals")?,
+            }),
+            "farkas" => Ok(CertNode::Farkas {
+                duals: sparse_from_json(j.get("y").ok_or("farkas: missing y")?, "farkas duals")?,
+            }),
+            "sos1" => Ok(CertNode::Sos1 {
+                row: j
+                    .get("row")
+                    .and_then(Json::as_u64)
+                    .ok_or("sos1: missing row")? as usize,
+                zero_a: indices_from_json(j.get("z0").ok_or("sos1: missing z0")?, "sos1 z0")?,
+                zero_b: indices_from_json(j.get("z1").ok_or("sos1: missing z1")?, "sos1 z1")?,
+                kids: kids_of(j)?,
+            }),
+            "split" => Ok(CertNode::Split {
+                var: j
+                    .get("var")
+                    .and_then(Json::as_u64)
+                    .ok_or("split: missing var")? as usize,
+                floor: f64_of(j.get("floor").ok_or("split: missing floor")?)
+                    .ok_or("split: bad floor")?,
+                kids: kids_of(j)?,
+            }),
+            other => Err(format!("node: unknown tag `{other}`")),
+        }
+    }
+}
+
+impl Snapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "vars".into(),
+                Json::Arr(
+                    self.vars
+                        .iter()
+                        .map(|v| {
+                            Json::Arr(vec![
+                                num(v.lb),
+                                num(v.ub),
+                                Json::from(if v.integer { "i" } else { "c" }),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "obj".into(),
+                Json::Arr(self.obj.iter().map(|&c| num(c)).collect()),
+            ),
+            ("obj_offset".into(), num(self.obj_offset)),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::Arr(vec![
+                                Json::from(match r.kind {
+                                    CertRowKind::Le => "le",
+                                    CertRowKind::Eq => "eq",
+                                }),
+                                num(r.rhs),
+                                sparse_to_json(&r.terms),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("flipped".into(), Json::from(self.flipped)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Snapshot, String> {
+        let vars = j
+            .get("vars")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot: missing vars")?
+            .iter()
+            .map(|v| {
+                let t = v.as_arr().filter(|t| t.len() == 3);
+                let t = t.ok_or("snapshot var: not a triple")?;
+                Ok(CertVar {
+                    lb: f64_of(&t[0]).ok_or("snapshot var: bad lb")?,
+                    ub: f64_of(&t[1]).ok_or("snapshot var: bad ub")?,
+                    integer: match t[2].as_str() {
+                        Some("i") => true,
+                        Some("c") => false,
+                        _ => return Err("snapshot var: bad kind".to_string()),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let obj = j
+            .get("obj")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot: missing obj")?
+            .iter()
+            .map(|c| f64_of(c).ok_or_else(|| "snapshot: bad obj coefficient".to_string()))
+            .collect::<Result<Vec<_>, String>>()?;
+        let rows = j
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot: missing rows")?
+            .iter()
+            .map(|r| {
+                let t = r.as_arr().filter(|t| t.len() == 3);
+                let t = t.ok_or("snapshot row: not a triple")?;
+                Ok(CertRow {
+                    kind: match t[0].as_str() {
+                        Some("le") => CertRowKind::Le,
+                        Some("eq") => CertRowKind::Eq,
+                        _ => return Err("snapshot row: bad kind".to_string()),
+                    },
+                    rhs: f64_of(&t[1]).ok_or("snapshot row: bad rhs")?,
+                    terms: sparse_from_json(&t[2], "snapshot row terms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Snapshot {
+            vars,
+            obj,
+            obj_offset: f64_of(j.get("obj_offset").ok_or("snapshot: missing obj_offset")?)
+                .ok_or("snapshot: bad obj_offset")?,
+            rows,
+            flipped: j
+                .get("flipped")
+                .and_then(Json::as_bool)
+                .ok_or("snapshot: missing flipped")?,
+        })
+    }
+}
+
+impl Certificate {
+    /// Canonical JSON rendering. Deterministic: equal certificates encode
+    /// to equal bytes.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::from("dvs-cert.v1")),
+            ("backend".into(), Json::from(self.backend.as_str())),
+            ("snapshot".into(), self.snapshot.to_json()),
+            (
+                "incumbent".into(),
+                Json::Arr(self.incumbent.iter().map(|&x| num(x)).collect()),
+            ),
+            ("objective".into(), num(self.objective)),
+            ("tolerance".into(), num(self.tolerance)),
+            ("feas_tol".into(), num(self.feas_tol)),
+            ("int_tol".into(), num(self.int_tol)),
+            ("obj_tol".into(), num(self.obj_tol)),
+            ("tree".into(), self.tree.to_json()),
+            ("meta".into(), self.meta.clone()),
+        ])
+    }
+
+    /// Compact byte encoding (the canonical JSON, single line). This is
+    /// what `certificate_bytes` measures and what the serve cache stores.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        self.to_json().dump()
+    }
+
+    /// Parses a certificate back from [`Certificate::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    /// Structural only — semantic validation is [`crate::check`]'s job.
+    pub fn from_json(j: &Json) -> Result<Certificate, String> {
+        match j.get("format").and_then(Json::as_str) {
+            Some("dvs-cert.v1") => {}
+            Some(other) => return Err(format!("unknown certificate format `{other}`")),
+            None => return Err("missing certificate format".to_string()),
+        }
+        let scalar = |key: &str| -> Result<f64, String> {
+            f64_of(j.get(key).ok_or_else(|| format!("missing {key}"))?)
+                .ok_or_else(|| format!("bad {key}"))
+        };
+        Ok(Certificate {
+            backend: j
+                .get("backend")
+                .and_then(Json::as_str)
+                .ok_or("missing backend")?
+                .to_string(),
+            snapshot: Snapshot::from_json(j.get("snapshot").ok_or("missing snapshot")?)?,
+            incumbent: j
+                .get("incumbent")
+                .and_then(Json::as_arr)
+                .ok_or("missing incumbent")?
+                .iter()
+                .map(|x| f64_of(x).ok_or_else(|| "bad incumbent value".to_string()))
+                .collect::<Result<Vec<_>, String>>()?,
+            objective: scalar("objective")?,
+            tolerance: scalar("tolerance")?,
+            feas_tol: scalar("feas_tol")?,
+            int_tol: scalar("int_tol")?,
+            obj_tol: scalar("obj_tol")?,
+            tree: CertNode::from_json(j.get("tree").ok_or("missing tree")?)?,
+            meta: j.get("meta").cloned().unwrap_or(Json::Null),
+        })
+    }
+
+    /// Parses a certificate from its [`Certificate::encode`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// JSON syntax errors or structural problems, as a message.
+    pub fn decode(text: &str) -> Result<Certificate, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        Certificate::from_json(&j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Certificate {
+        Certificate {
+            backend: "bnb".into(),
+            snapshot: Snapshot {
+                vars: vec![
+                    CertVar {
+                        lb: 0.0,
+                        ub: 1.0,
+                        integer: true,
+                    },
+                    CertVar {
+                        lb: 0.0,
+                        ub: f64::INFINITY,
+                        integer: false,
+                    },
+                ],
+                obj: vec![0.1, 2.5e-3],
+                obj_offset: -1.25,
+                rows: vec![
+                    CertRow {
+                        kind: CertRowKind::Eq,
+                        rhs: 1.0,
+                        terms: vec![(0, 1.0)],
+                    },
+                    CertRow {
+                        kind: CertRowKind::Le,
+                        rhs: 7.75,
+                        terms: vec![(0, 3.0), (1, 1.0)],
+                    },
+                ],
+                flipped: false,
+            },
+            incumbent: vec![1.0, 0.0],
+            objective: -1.15,
+            tolerance: 1e-6,
+            feas_tol: 1e-6,
+            int_tol: 1e-6,
+            obj_tol: 1e-7,
+            tree: CertNode::Sos1 {
+                row: 0,
+                zero_a: vec![0],
+                zero_b: vec![],
+                kids: vec![
+                    CertNode::Farkas {
+                        duals: vec![(0, 1.0)],
+                    },
+                    CertNode::Bound {
+                        duals: vec![(1, -0.25), (0, 0.1)],
+                    },
+                ],
+            },
+            meta: Json::obj([("nodes", Json::from(3_u64))]),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let c = sample();
+        let text = c.encode();
+        let back = Certificate::decode(&text).unwrap();
+        assert_eq!(back, c);
+        // And re-encoding is byte-identical (determinism).
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn infinities_survive_the_round_trip() {
+        let c = sample();
+        let back = Certificate::decode(&c.encode()).unwrap();
+        assert_eq!(back.snapshot.vars[1].ub, f64::INFINITY);
+    }
+
+    #[test]
+    fn awkward_f64s_round_trip_bit_exactly() {
+        let mut c = sample();
+        c.objective = 0.1 + 0.2; // not 0.3
+        c.snapshot.obj[0] = 5e-324; // subnormal
+        c.snapshot.rows[1].rhs = 1e300;
+        let back = Certificate::decode(&c.encode()).unwrap();
+        assert_eq!(back.objective.to_bits(), c.objective.to_bits());
+        assert_eq!(back.snapshot.obj[0].to_bits(), c.snapshot.obj[0].to_bits());
+        assert_eq!(
+            back.snapshot.rows[1].rhs.to_bits(),
+            c.snapshot.rows[1].rhs.to_bits()
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_messages() {
+        for (text, needle) in [
+            ("{}", "format"),
+            (r#"{"format": "dvs-cert.v2"}"#, "unknown"),
+            ("not json", "JSON"),
+        ] {
+            let err = Certificate::decode(text).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Solver-independent optimality certificates for the DVS MILP.
+//!
+//! `dvs-milp`'s branch-and-bound answers "this mode assignment is
+//! minimum-energy", but nothing outside those ~3k lines of simplex/B&B
+//! code could confirm it. This crate is the other half of a proof-logging
+//! scheme in the spirit of VIPR-style derivation certificates for exact
+//! MIP solvers: the solver emits a [`Certificate`] — a snapshot of the
+//! lowered LP, the incumbent, and a derivation tree of dual-bound and
+//! Farkas leaves under SOS1/dichotomy disjunctions — and [`check`]
+//! replays it in exact [`dyadic::Dyadic`] arithmetic.
+//!
+//! The trust boundary is deliberate: this crate depends on nothing that
+//! produces proofs (never `dvs-milp`), uses no floating-point arithmetic
+//! in any accept/reject decision, and accepts a bound leaf only via the
+//! *unconditional* weak-duality inequality — valid for any sign-correct
+//! multiplier vector — so it needs no assumptions about the producing
+//! simplex's tolerances.
+//!
+//! Rejections carry a [`RejectCode`] naming the failure class, which is
+//! what lets `dvsc check`'s certificate oracle assert that each seeded
+//! corruption (perturbed duals, truncated disjunction tree, off-by-one
+//! incumbent, stale objective) is caught for the right reason.
+
+pub mod certificate;
+pub mod checker;
+pub mod dyadic;
+
+pub use certificate::{CertNode, CertRow, CertRowKind, CertVar, Certificate, Snapshot};
+pub use checker::{check, CheckReport, Reject, RejectCode};

@@ -14,7 +14,11 @@
 //!   one for compute-bound programs ([`OracleKind::ContinuousLower`]);
 //! * **simulator replay** — the emitted schedule, replayed on the
 //!   cycle-level simulator, must meet the deadline and land near the
-//!   predicted energy ([`OracleKind::SimReplay`]).
+//!   predicted energy ([`OracleKind::SimReplay`]);
+//! * **optimality certificates** — a certifying solve must produce a proof
+//!   the independent `dvs-cert` checker accepts, and seeded corruptions of
+//!   that proof ([`Mutation`]) must each be rejected with the expected
+//!   code ([`OracleKind::Certificate`]).
 //!
 //! Failures shrink automatically: every random choice is recorded on a
 //! tape ([`Gen`]), the shrinker ([`shrink_tape`]) deletes, zeroes and
@@ -44,6 +48,7 @@
 
 mod cases;
 mod gen;
+mod mutate;
 mod oracle;
 mod runner;
 mod shrink;
@@ -52,6 +57,7 @@ pub use cases::{
     gen_case, gen_cfg, gen_ladder, gen_trace, gen_transition, CaseSpec, CheckCase, DeadlineSpec,
 };
 pub use gen::Gen;
+pub use mutate::Mutation;
 pub use oracle::{
     run_case, run_tape, schedule_cost, CaseOutcome, Disagreement, OracleKind, Tolerances,
 };

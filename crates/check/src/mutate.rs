@@ -1,0 +1,260 @@
+//! Seeded certificate corruption for the certificate oracle.
+//!
+//! The checker's rejection contract is only worth something if corrupted
+//! proofs are actually rejected, and rejected *for the right reason*. Each
+//! [`Mutation`] takes an accepted [`Certificate`] and damages exactly one
+//! aspect of it; [`Mutation::expected`] names the [`RejectCode`]s the
+//! independent checker is allowed to answer with. The corruptions are
+//! chosen so rejection is guaranteed, not merely likely: dual-sign flips
+//! are applied to *every* leaf (at least one leaf is non-empty — the one
+//! covering the incumbent), truncation hits the first branch node (branch
+//! arity is checked before any box test), and incumbent/objective edits
+//! trip checks that run before the tree walk.
+
+use dvs_cert::{CertNode, CertRowKind, Certificate, RejectCode};
+
+/// One corruption class. `ALL` enumerates them in a stable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip the sign of every `≤`-row dual (or inject a positive one)
+    /// in every leaf: weak duality forbids positive multipliers on `Le`
+    /// rows, so any non-empty leaf trips.
+    PerturbedDuals,
+    /// Drop the second child of the first branch node: the disjunction no
+    /// longer covers the integral space.
+    TruncatedTree,
+    /// Push one incumbent coordinate past its upper bound by exactly 1.
+    IncumbentOffByOne,
+    /// Move one integer incumbent coordinate half a step off the lattice.
+    IncumbentFractional,
+    /// Lower the claimed objective by 1% — the exactly-recomputed
+    /// incumbent cost no longer matches.
+    StaleObjective,
+}
+
+impl Mutation {
+    /// Every corruption class, in report order.
+    pub const ALL: [Mutation; 5] = [
+        Mutation::PerturbedDuals,
+        Mutation::TruncatedTree,
+        Mutation::IncumbentOffByOne,
+        Mutation::IncumbentFractional,
+        Mutation::StaleObjective,
+    ];
+
+    /// Stable kebab-case name for reports and assertions.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::PerturbedDuals => "perturbed-duals",
+            Mutation::TruncatedTree => "truncated-tree",
+            Mutation::IncumbentOffByOne => "incumbent-off-by-one",
+            Mutation::IncumbentFractional => "incumbent-fractional",
+            Mutation::StaleObjective => "stale-objective",
+        }
+    }
+
+    /// The reject codes the checker may answer this corruption with.
+    #[must_use]
+    pub fn expected(self) -> &'static [RejectCode] {
+        match self {
+            Mutation::PerturbedDuals => &[RejectCode::DualSignViolation],
+            Mutation::TruncatedTree => &[RejectCode::CoverageGap],
+            Mutation::IncumbentOffByOne => &[RejectCode::IncumbentInfeasible],
+            Mutation::IncumbentFractional => &[RejectCode::IncumbentNotIntegral],
+            Mutation::StaleObjective => &[RejectCode::ObjectiveMismatch],
+        }
+    }
+
+    /// Applies the corruption to a copy of `cert`. Returns `None` when the
+    /// certificate has no site for this class (e.g. a single-leaf tree
+    /// cannot be truncated) — never a silently-valid mutant.
+    #[must_use]
+    pub fn apply(self, cert: &Certificate) -> Option<Certificate> {
+        let mut c = cert.clone();
+        match self {
+            Mutation::PerturbedDuals => {
+                let le_row = c
+                    .snapshot
+                    .rows
+                    .iter()
+                    .position(|r| r.kind == CertRowKind::Le)?;
+                let le_rows: Vec<bool> = c
+                    .snapshot
+                    .rows
+                    .iter()
+                    .map(|r| r.kind == CertRowKind::Le)
+                    .collect();
+                corrupt_leaf_duals(&mut c.tree, le_row, &le_rows);
+                Some(c)
+            }
+            Mutation::TruncatedTree => truncate_first_branch(&mut c.tree).then_some(c),
+            Mutation::IncumbentOffByOne => {
+                let j = c
+                    .snapshot
+                    .vars
+                    .iter()
+                    .zip(&c.incumbent)
+                    .position(|(v, &x)| x + 1.0 > v.ub + c.feas_tol)?;
+                c.incumbent[j] += 1.0;
+                Some(c)
+            }
+            Mutation::IncumbentFractional => {
+                let j = c.snapshot.vars.iter().position(|v| v.integer)?;
+                c.incumbent[j] += 0.5;
+                Some(c)
+            }
+            Mutation::StaleObjective => {
+                c.objective -= 0.01 * c.objective.abs().max(1.0);
+                Some(c)
+            }
+        }
+    }
+}
+
+/// Negates any nonzero `Le`-row dual in a leaf, or injects `+1` on
+/// `le_row` when the leaf has none. Applied to every leaf so the (always
+/// present) non-empty leaf covering the incumbent is guaranteed to carry a
+/// sign violation.
+fn corrupt_leaf_duals(node: &mut CertNode, le_row: usize, le_rows: &[bool]) {
+    match node {
+        CertNode::Bound { duals } | CertNode::Farkas { duals } => {
+            let mut flipped = false;
+            for (r, y) in duals.iter_mut() {
+                if le_rows.get(*r).copied().unwrap_or(false) && *y != 0.0 {
+                    *y = y.abs();
+                    flipped = true;
+                }
+            }
+            if !flipped {
+                duals.push((le_row, 1.0));
+            }
+        }
+        CertNode::Sos1 { kids, .. } | CertNode::Split { kids, .. } => {
+            for kid in kids {
+                corrupt_leaf_duals(kid, le_row, le_rows);
+            }
+        }
+    }
+}
+
+/// Pops one child off the first branch node in pre-order; `false` when the
+/// tree is a single leaf.
+fn truncate_first_branch(node: &mut CertNode) -> bool {
+    match node {
+        CertNode::Bound { .. } | CertNode::Farkas { .. } => false,
+        CertNode::Sos1 { kids, .. } | CertNode::Split { kids, .. } => {
+            kids.pop();
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_cert::{check, CertRow, CertVar, Snapshot};
+    use dvs_obs::json::Json;
+
+    /// min x0 + 2·x1 s.t. x0 + x1 = 1, x0 + x1 ≤ 1, x binary; proved by an
+    /// SOS1 split so every mutation class has a site.
+    fn accepted() -> Certificate {
+        let cert = Certificate {
+            backend: "bnb".into(),
+            snapshot: Snapshot {
+                vars: vec![
+                    CertVar {
+                        lb: 0.0,
+                        ub: 1.0,
+                        integer: true,
+                    },
+                    CertVar {
+                        lb: 0.0,
+                        ub: 1.0,
+                        integer: true,
+                    },
+                ],
+                obj: vec![1.0, 2.0],
+                obj_offset: 0.0,
+                rows: vec![
+                    CertRow {
+                        kind: CertRowKind::Eq,
+                        rhs: 1.0,
+                        terms: vec![(0, 1.0), (1, 1.0)],
+                    },
+                    CertRow {
+                        kind: CertRowKind::Le,
+                        rhs: 1.0,
+                        terms: vec![(0, 1.0), (1, 1.0)],
+                    },
+                ],
+                flipped: false,
+            },
+            incumbent: vec![1.0, 0.0],
+            objective: 1.0,
+            tolerance: 1e-9,
+            feas_tol: 1e-6,
+            int_tol: 1e-6,
+            obj_tol: 1e-7,
+            tree: CertNode::Sos1 {
+                row: 0,
+                zero_a: vec![0],
+                zero_b: vec![1],
+                kids: vec![
+                    CertNode::Bound {
+                        duals: vec![(0, 1.0)],
+                    },
+                    CertNode::Bound {
+                        duals: vec![(0, 1.0), (1, -0.0)],
+                    },
+                ],
+            },
+            meta: Json::Null,
+        };
+        assert!(check(&cert).ok(), "fixture must start accepted");
+        cert
+    }
+
+    #[test]
+    fn every_mutation_applies_and_is_rejected_for_its_code() {
+        let cert = accepted();
+        for m in Mutation::ALL {
+            let bad = m.apply(&cert).expect("fixture has a site for every class");
+            let report = check(&bad);
+            let reject = report
+                .reject
+                .unwrap_or_else(|| panic!("{} mutant was accepted", m.name()));
+            assert!(
+                m.expected().contains(&reject.code),
+                "{} mutant rejected as {} ({})",
+                m.name(),
+                reject.code,
+                reject.detail
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_needs_a_branch_node() {
+        let mut cert = accepted();
+        cert.tree = CertNode::Bound {
+            duals: vec![(0, 1.0)],
+        };
+        assert!(Mutation::TruncatedTree.apply(&cert).is_none());
+    }
+
+    #[test]
+    fn dual_injection_covers_leaves_without_le_duals() {
+        // Leaf 0 of the fixture carries no Le-row dual; the mutation must
+        // inject one there rather than leaving the leaf valid.
+        let cert = accepted();
+        let bad = Mutation::PerturbedDuals.apply(&cert).unwrap();
+        let CertNode::Sos1 { kids, .. } = &bad.tree else {
+            panic!("fixture tree is sos1");
+        };
+        let CertNode::Bound { duals } = &kids[0] else {
+            panic!("kid 0 is a bound leaf");
+        };
+        assert!(duals.iter().any(|&(r, y)| r == 1 && y > 0.0));
+    }
+}

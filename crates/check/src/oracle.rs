@@ -9,6 +9,7 @@
 //! | [`OracleKind::SimReplay`] | the emitted schedule, replayed cycle-by-cycle in the simulator, meets the deadline and lands near the predicted energy |
 //! | [`OracleKind::BytecodeReplay`] | the compiled `dvs-replay` bytecode reproduces the simulator's replay of the emitted schedule to 1e-6 relative on every accounting field |
 //! | [`OracleKind::StaticVerify`] | the `dvs-verify` static pass accepts every schedule the other oracles accept (no error diagnostics, modeled time matching the shared evaluator, WCET above modeled time) and rejects a deliberately infeasible mutant |
+//! | [`OracleKind::Certificate`] | a certifying solve of the same model yields a proof the independent `dvs-cert` checker accepts, the encoding round-trips byte-stably, and every seeded corruption class ([`Mutation`]) is rejected with its expected code |
 //!
 //! The brute-force comparison and the MILP share one cost evaluator,
 //! [`schedule_cost`], which replicates the §4.2 objective exactly: block
@@ -18,6 +19,7 @@
 
 use crate::cases::{gen_case, CaseSpec, CheckCase};
 use crate::gen::Gen;
+use crate::mutate::Mutation;
 use dvs_compiler::{analyze_params, MilpFormulation};
 use dvs_ir::{Cfg, EdgeId, Profile};
 use dvs_milp::MilpError;
@@ -87,6 +89,8 @@ pub enum OracleKind {
     BytecodeReplay,
     /// The `dvs-verify` static pass vs the shared cost evaluator.
     StaticVerify,
+    /// The `dvs-cert` checker vs the certifying solver replay.
+    Certificate,
 }
 
 impl std::fmt::Display for OracleKind {
@@ -98,6 +102,7 @@ impl std::fmt::Display for OracleKind {
             OracleKind::SimReplay => "sim-replay",
             OracleKind::BytecodeReplay => "bytecode-replay",
             OracleKind::StaticVerify => "static-verify",
+            OracleKind::Certificate => "certificate",
         })
     }
 }
@@ -675,6 +680,70 @@ fn check_oracles(case: &CheckCase, tol: &Tolerances, out: &mut CaseOutcome) {
                     ),
                 });
             }
+        }
+    }
+
+    // --- certificate: the prover must convince the independent checker ---
+    if milp.is_some() {
+        certificate_oracle(cfg, &profile, ladder, transition, deadline_us, out);
+    }
+}
+
+/// Re-solves the case with certification on and holds the result to the
+/// full contract: the independent checker accepts the proof, the encoding
+/// round-trips byte-stably, and every applicable [`Mutation`] of the proof
+/// is rejected with its expected code.
+fn certificate_oracle(
+    cfg: &Cfg,
+    profile: &Profile,
+    ladder: &VoltageLadder,
+    transition: &TransitionModel,
+    deadline_us: f64,
+    out: &mut CaseOutcome,
+) {
+    let mut fail = |detail: String| {
+        out.disagreements.push(Disagreement {
+            oracle: OracleKind::Certificate,
+            detail,
+        });
+    };
+    let outcome = match MilpFormulation::new(cfg, profile, ladder, transition, deadline_us)
+        .with_certify(true)
+        .solve()
+    {
+        Ok(o) => o,
+        Err(e) => return fail(format!("certifying solve failed: {e}")),
+    };
+    let Some(cert) = &outcome.certificate else {
+        return fail("certification requested but no certificate produced".into());
+    };
+    if let Some(r) = &cert.report.reject {
+        return fail(format!(
+            "checker rejected the prover's certificate: {}: {}",
+            r.code, r.detail
+        ));
+    }
+    let decoded = match dvs_cert::Certificate::decode(&cert.encoded) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("certificate decode failed: {e}")),
+    };
+    if decoded.encode() != cert.encoded {
+        fail("certificate encode/decode round trip is not byte-stable".into());
+    }
+    for m in Mutation::ALL {
+        let Some(bad) = m.apply(&decoded) else {
+            continue; // no site for this class (e.g. single-leaf tree)
+        };
+        match dvs_cert::check(&bad).reject {
+            None => fail(format!("checker accepted a {} corruption", m.name())),
+            Some(r) if !m.expected().contains(&r.code) => fail(format!(
+                "{} corruption rejected as {} ({}), expected {:?}",
+                m.name(),
+                r.code,
+                r.detail,
+                m.expected().iter().map(|c| c.as_str()).collect::<Vec<_>>()
+            )),
+            Some(_) => {}
         }
     }
 }

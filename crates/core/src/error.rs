@@ -29,6 +29,10 @@ pub enum PassError {
     /// The post-emit static verifier rejected the schedule (only reachable
     /// with `CompilerBuilder::verify_emitted(true)`).
     Verify(String),
+    /// The independent `dvs-cert` checker rejected the solver's optimality
+    /// certificate (only reachable with `CompilerBuilder::certify(true)`).
+    /// The payload names the reject code and locus.
+    Certify(String),
 }
 
 impl PassError {
@@ -49,6 +53,7 @@ impl fmt::Display for PassError {
             PassError::Solve(e) => write!(f, "solve stage: {e}"),
             PassError::Validate(msg) => write!(f, "validate stage: {msg}"),
             PassError::Verify(msg) => write!(f, "verify stage: {msg}"),
+            PassError::Certify(msg) => write!(f, "certify stage: {msg}"),
         }
     }
 }
@@ -84,6 +89,10 @@ mod tests {
         assert_eq!(
             PassError::Verify("2 errors".into()).to_string(),
             "verify stage: 2 errors"
+        );
+        assert_eq!(
+            PassError::Certify("bound-too-weak: leaf 3".into()).to_string(),
+            "certify stage: bound-too-weak: leaf 3"
         );
     }
 

@@ -40,6 +40,27 @@ pub struct MilpOutcome {
     pub binary_vars: usize,
     /// Number of constraints in the model.
     pub constraints: usize,
+    /// Optimality certificate plus the independent checker's verdict, when
+    /// requested via [`MilpFormulation::with_certify`].
+    pub certificate: Option<CertifyOutcome>,
+}
+
+/// An optimality certificate for a solved MILP together with the verdict
+/// of the independent `dvs-cert` checker. The checker shares no code with
+/// the solver (it depends only on the certificate format and exact dyadic
+/// arithmetic), so an accepting report is evidence the solver did not
+/// merely agree with itself.
+#[derive(Debug, Clone)]
+pub struct CertifyOutcome {
+    /// The certificate in its canonical encoded form ([`dvs_cert`]'s
+    /// `dvs-cert.v1` compact JSON). Byte-stable for a fixed model and
+    /// solver configuration.
+    pub encoded: String,
+    /// The independent checker's verdict and proof-shape statistics.
+    pub report: dvs_cert::CheckReport,
+    /// Wall-clock microseconds the independent check took
+    /// (nondeterministic; excluded from canonical serializations).
+    pub check_us: f64,
 }
 
 /// Builder for the §4.2 MILP (single input category).
@@ -55,6 +76,7 @@ pub struct MilpFormulation<'a> {
     pinned: Vec<(EdgeId, ModeId)>,
     solver_jobs: usize,
     solver: SolverChoice,
+    certify: bool,
 }
 
 /// Internal handle: variables of one mode group.
@@ -115,7 +137,22 @@ impl<'a> MilpFormulation<'a> {
             pinned: Vec::new(),
             solver_jobs: 1,
             solver: SolverChoice::Auto,
+            certify: false,
         }
+    }
+
+    /// Requests an optimality certificate: after solving, the solver's
+    /// branch-and-bound (or continuous-voltage) proof is exported as a
+    /// [`dvs_cert::Certificate`] and replayed by the independent
+    /// exact-arithmetic checker. The encoded certificate and the checker's
+    /// report land in [`MilpOutcome::certificate`]; a prover failure (the
+    /// solution could not be re-derived) surfaces as a solve error, while a
+    /// checker rejection is recorded in the report for the caller to gate
+    /// on.
+    #[must_use]
+    pub fn with_certify(mut self, on: bool) -> Self {
+        self.certify = on;
+        self
     }
 
     /// Solver threads for the MILP's root branch split (see
@@ -410,12 +447,12 @@ impl<'a> MilpFormulation<'a> {
         };
 
         let t0 = Instant::now();
+        let opts = SolveOptions {
+            jobs: self.solver_jobs,
+            ..SolveOptions::default()
+        };
         let sol = {
             let _span = dvs_obs::span!("pass.solve");
-            let opts = SolveOptions {
-                jobs: self.solver_jobs,
-                ..SolveOptions::default()
-            };
             match self.solver {
                 SolverChoice::Continuous => {
                     solve_with_choice(&built.model, SolverChoice::Continuous, &opts)?
@@ -430,6 +467,38 @@ impl<'a> MilpFormulation<'a> {
         };
         let solve_time = t0.elapsed();
         dvs_obs::gauge("pass.solve.wall_us", solve_time.as_secs_f64() * 1e6);
+
+        let certificate = if self.certify {
+            // Certify what actually ran: the Auto arm above always took the
+            // seeded branch-and-bound path, so the prover must not
+            // re-dispatch on the model shape.
+            let choice = match self.solver {
+                SolverChoice::Continuous => SolverChoice::Continuous,
+                SolverChoice::Auto | SolverChoice::BranchAndBound => SolverChoice::BranchAndBound,
+            };
+            let cert = {
+                let _span = dvs_obs::span!("pass.certify");
+                dvs_milp::certify_solution(&built.model, &opts, choice, &sol)?
+            };
+            let encoded = cert.encode();
+            let tc = Instant::now();
+            let report = {
+                let _span = dvs_obs::span!("cert-check");
+                dvs_cert::check(&cert)
+            };
+            let check_us = tc.elapsed().as_secs_f64() * 1e6;
+            if dvs_obs::enabled() {
+                dvs_obs::counter("certificate_bytes", encoded.len() as u64);
+                dvs_obs::counter("cert_check_us", check_us as u64);
+            }
+            Some(CertifyOutcome {
+                encoded,
+                report,
+                check_us,
+            })
+        } else {
+            None
+        };
 
         // --- extract the schedule ---
         let pick = |ks: &[Var]| -> ModeId {
@@ -463,6 +532,7 @@ impl<'a> MilpFormulation<'a> {
             solve_time,
             binary_vars,
             constraints,
+            certificate,
         })
     }
 

@@ -90,7 +90,7 @@ pub use dvs_milp::SolverChoice;
 pub use emit::{emit_instrumented, schedule_to_dot, EmitStats};
 pub use error::PassError;
 pub use filter::EdgeFilter;
-pub use formulate::{Granularity, MilpFormulation, MilpOutcome};
+pub use formulate::{CertifyOutcome, Granularity, MilpFormulation, MilpOutcome};
 pub use multi::{CategoryProfile, MultiCategory, MultiOutcome};
 pub use pass::{CompileResult, CompilerBuilder, DvsCompiler};
 pub use schedule::ScheduleAnalysis;

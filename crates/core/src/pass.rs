@@ -194,6 +194,15 @@ impl CompileResult {
             .verify
             .as_ref()
             .map_or(Json::Null, dvs_verify::VerifyReport::to_json);
+        // The encoded certificate is byte-stable, so its length and the
+        // checker's report are canonical; the check's wall time is not and
+        // stays out.
+        let certificate = self.milp.certificate.as_ref().map_or(Json::Null, |c| {
+            Json::obj([
+                ("bytes", Json::from(c.encoded.len() as u64)),
+                ("report", c.report.to_json()),
+            ])
+        });
         Json::Obj(vec![
             ("schedule".to_string(), schedule),
             ("milp".to_string(), milp),
@@ -205,6 +214,7 @@ impl CompileResult {
             ),
             ("validated".to_string(), validated),
             ("verify".to_string(), verify),
+            ("certificate".to_string(), certificate),
         ])
     }
 }
@@ -239,6 +249,7 @@ pub struct CompilerBuilder {
     hoisting: bool,
     validation: bool,
     verify_emitted: bool,
+    certify: bool,
     jobs: usize,
     solver_jobs: usize,
     solver: SolverChoice,
@@ -257,6 +268,7 @@ impl CompilerBuilder {
             hoisting: true,
             validation: true,
             verify_emitted: false,
+            certify: false,
             jobs: 1,
             solver_jobs: 1,
             solver: SolverChoice::Auto,
@@ -297,6 +309,19 @@ impl CompilerBuilder {
     #[must_use]
     pub fn verify_emitted(mut self, on: bool) -> Self {
         self.verify_emitted = on;
+        self
+    }
+
+    /// Enables the certified-optimality gate: every solve exports an
+    /// optimality certificate ([`dvs_cert::Certificate`]) which the
+    /// independent exact-arithmetic checker replays. A checker rejection
+    /// fails the compile with [`PassError::Certify`]; an accepted
+    /// certificate (encoded form plus the checker's report) is stored in
+    /// [`crate::MilpOutcome::certificate`] and rendered into
+    /// [`CompileResult::to_json`].
+    #[must_use]
+    pub fn certify(mut self, on: bool) -> Self {
+        self.certify = on;
         self
     }
 
@@ -355,6 +380,7 @@ impl CompilerBuilder {
             hoisting: self.hoisting,
             validation: self.validation,
             verify_emitted: self.verify_emitted,
+            certify: self.certify,
             jobs: self.jobs.max(1),
             solver_jobs: self.solver_jobs.max(1),
             solver: self.solver,
@@ -377,6 +403,7 @@ pub struct DvsCompiler {
     hoisting: bool,
     validation: bool,
     verify_emitted: bool,
+    certify: bool,
     jobs: usize,
     solver_jobs: usize,
     solver: SolverChoice,
@@ -426,7 +453,7 @@ impl DvsCompiler {
     /// A canonical 64-bit digest of every setting that can change what
     /// [`DvsCompiler::compile`] produces: the voltage ladder's operating
     /// points, the regulator transition model, the filter tail fraction and
-    /// the hoisting/verify toggles.
+    /// the hoisting/verify/certify toggles.
     ///
     /// Parallelism knobs (`jobs`) and the validation toggle are excluded —
     /// `jobs` only trades wall-clock, and callers that cache validated
@@ -449,6 +476,7 @@ impl DvsCompiler {
         h.write_f64(self.tail_fraction);
         h.write_bool(self.hoisting);
         h.write_bool(self.verify_emitted);
+        h.write_bool(self.certify);
         h.write_str(self.solver.as_str());
         h.finish()
     }
@@ -522,7 +550,16 @@ impl DvsCompiler {
             .with_filter(filter.clone())
             .with_solver_jobs(solver_jobs)
             .with_solver(self.solver)
+            .with_certify(self.certify)
             .solve()?;
+        if let Some(cert) = &milp.certificate {
+            if let Some(reject) = &cert.report.reject {
+                return Err(PassError::Certify(format!(
+                    "{}: {}",
+                    reject.code, reject.detail
+                )));
+            }
+        }
         let analysis = timed("pass.schedule", "pass.schedule.wall_us", || {
             let a = ScheduleAnalysis::new(cfg, profile, &milp.schedule);
             if self.hoisting {
@@ -960,6 +997,43 @@ mod tests {
     }
 
     #[test]
+    fn certify_gate_attaches_an_accepted_certificate() {
+        let (cfg, trace) = two_phase_program();
+        let c = DvsCompiler::builder(
+            Machine::paper_default(),
+            VoltageLadder::xscale3(&AlphaPower::paper()),
+            TransitionModel::with_capacitance_uf(10.0),
+        )
+        .certify(true)
+        .build()
+        .unwrap();
+        let (profile, runs) = c.profile(&cfg, &trace);
+        let t_fast = runs.last().unwrap().total_time_us;
+        let t_slow = runs[0].total_time_us;
+        let deadline = t_fast + 0.5 * (t_slow - t_fast);
+        let r = c.compile(&cfg, &profile, deadline).unwrap();
+        let cert = r.milp.certificate.as_ref().expect("certificate requested");
+        assert!(
+            cert.report.ok(),
+            "checker rejected: {:?}",
+            cert.report.reject
+        );
+        assert!(!cert.encoded.is_empty());
+        assert!(cert.report.bound_leaves >= 1, "proof must bound some leaf");
+        // The canonical JSON carries the certificate size and report but
+        // never the check's wall time.
+        let dump = r.to_json().dump();
+        assert!(dump.contains("\"certificate\""));
+        assert!(!dump.contains("check_us"));
+        // Without the flag no certificate is produced (and the JSON member
+        // is null).
+        let off = compiler();
+        let r_off = off.compile(&cfg, &profile, deadline).unwrap();
+        assert!(r_off.milp.certificate.is_none());
+        assert!(r_off.to_json().dump().contains("\"certificate\":null"));
+    }
+
+    #[test]
     fn compile_multi_meets_both_category_deadlines() {
         // Two "categories" = the same program with different iteration
         // balances (memory-heavy vs compute-heavy executions).
@@ -1045,6 +1119,7 @@ mod tests {
             mk().tail_fraction(0.05).build().unwrap().config_digest(),
             mk().hoisting(false).build().unwrap().config_digest(),
             mk().verify_emitted(true).build().unwrap().config_digest(),
+            mk().certify(true).build().unwrap().config_digest(),
             DvsCompiler::builder(
                 Machine::paper_default(),
                 VoltageLadder::interpolated(&AlphaPower::paper(), 5).unwrap(),

@@ -228,28 +228,32 @@ pub(crate) fn continuous_lower_bound(model: &Model) -> Option<f64> {
 
 /// One selectable `(time, energy)` point of a group.
 #[derive(Debug, Clone, Copy)]
-struct Pt {
-    t: f64,
-    e: f64,
-    var: usize,
+pub(crate) struct Pt {
+    pub(crate) t: f64,
+    pub(crate) e: f64,
+    pub(crate) var: usize,
 }
 
 /// The extracted pure ladder-selection structure.
-struct Ladder {
-    num_vars: usize,
-    groups: Vec<Vec<Pt>>,
-    deadline: f64,
-    constant: f64,
+pub(crate) struct Ladder {
+    pub(crate) num_vars: usize,
+    pub(crate) groups: Vec<Vec<Pt>>,
+    pub(crate) deadline: f64,
+    pub(crate) constant: f64,
 }
 
 /// Result of the continuous hull walk.
-struct ContinuousOpt {
-    objective: f64,
-    values: Vec<f64>,
+pub(crate) struct ContinuousOpt {
+    pub(crate) objective: f64,
+    pub(crate) values: Vec<f64>,
     /// Per group: hull points and the fractional level the walk stopped at
     /// (`level ∈ [0, hull.len()-1]`, integral = a single point is chosen).
-    hulls: Vec<Vec<Pt>>,
-    levels: Vec<f64>,
+    pub(crate) hulls: Vec<Vec<Pt>>,
+    pub(crate) levels: Vec<f64>,
+    /// Marginal energy-per-time rate of the last segment the walk
+    /// consumed (0 when the deadline was slack). This is the KKT
+    /// multiplier of the deadline row, which the certifier exports.
+    pub(crate) rate: f64,
 }
 
 fn unsupported(reason: impl Into<String>) -> MilpError {
@@ -261,7 +265,7 @@ fn unsupported(reason: impl Into<String>) -> MilpError {
 /// Checks the pure ladder shape and pulls out groups, times, energies and
 /// the deadline. Integrality is deliberately ignored: the caller decides
 /// whether the continuous answer is exact or a bound.
-fn extract_ladder(model: &Model) -> Result<Ladder, MilpError> {
+pub(crate) fn extract_ladder(model: &Model) -> Result<Ladder, MilpError> {
     if model.sense() != Sense::Minimize {
         return Err(unsupported("objective sense must be Minimize"));
     }
@@ -357,7 +361,7 @@ fn extract_ladder(model: &Model) -> Result<Ladder, MilpError> {
 
 /// Efficient frontier then lower convex hull of a group's points, sorted
 /// fastest-first (`t` strictly ascending, `e` strictly descending).
-fn lower_hull(points: &[Pt]) -> Vec<Pt> {
+pub(crate) fn lower_hull(points: &[Pt]) -> Vec<Pt> {
     let mut sorted: Vec<Pt> = points.to_vec();
     sorted.sort_by(|a, b| {
         a.t.partial_cmp(&b.t)
@@ -392,7 +396,7 @@ fn lower_hull(points: &[Pt]) -> Vec<Pt> {
 /// The exact continuous optimum: start every group at its minimum-energy
 /// (slowest) hull point and buy back time along hull segments in
 /// ascending marginal-cost order until the deadline is met.
-fn solve_ladder(ladder: &Ladder) -> Result<ContinuousOpt, MilpError> {
+pub(crate) fn solve_ladder(ladder: &Ladder) -> Result<ContinuousOpt, MilpError> {
     let hulls: Vec<Vec<Pt>> = ladder.groups.iter().map(|g| lower_hull(g)).collect();
     if hulls.iter().any(Vec::is_empty) {
         // A selection row whose members are all fixed to zero.
@@ -405,6 +409,7 @@ fn solve_ladder(ladder: &Ladder) -> Result<ContinuousOpt, MilpError> {
         ladder.constant + hulls.iter().map(|h| h.last().unwrap().e).sum::<f64>();
 
     let mut need = total_t - ladder.deadline;
+    let mut rate = 0.0f64;
     if need > EXT_TOL {
         // All hull segments across groups: moving from point i+1 to i costs
         // `rate` energy per unit of time saved. Consume cheapest first;
@@ -446,6 +451,7 @@ fn solve_ladder(ladder: &Ladder) -> Result<ContinuousOpt, MilpError> {
             }
             let take = need.min(s.dt);
             let frac = take / s.dt;
+            rate = s.rate;
             levels[s.group] = (s.idx + 1) as f64 - frac;
             objective += frac * s.de;
             total_t -= take;
@@ -473,6 +479,7 @@ fn solve_ladder(ladder: &Ladder) -> Result<ContinuousOpt, MilpError> {
         values,
         hulls,
         levels,
+        rate,
     })
 }
 

@@ -935,8 +935,15 @@ fn solve_root_parallel(
         });
 
     // Merge in the sequential exploration order: the most promising child
-    // (pushed last, popped first) before its sibling.
+    // (pushed last, popped first) before its sibling. Child trajectories
+    // re-record the shared seed at their own node 0 and number nodes from
+    // their own root, so the merge renumbers them into the global node
+    // order and keeps only strict improvements over the running best —
+    // the merged trajectory is monotone and ends at the final incumbent,
+    // exactly as a sequential run's would.
     let mut hit_limit = false;
+    let mut node_offset = stats.nodes;
+    let mut traj_best: Option<f64> = incumbent.as_ref().map(|(obj, _)| *obj);
     for r in results.iter().rev() {
         match r {
             Ok(s) => {
@@ -945,6 +952,17 @@ fn solve_root_parallel(
                 }
                 let obj = flip * s.objective;
                 stats.absorb(&s.stats);
+                for inc in &s.stats.incumbents {
+                    if traj_best.is_none_or(|best| inc.objective < best - OBJ_TOL) {
+                        stats.incumbents.push(Incumbent {
+                            objective: inc.objective,
+                            node: node_offset + inc.node,
+                            at_us: inc.at_us,
+                        });
+                        traj_best = Some(inc.objective);
+                    }
+                }
+                node_offset += s.stats.nodes;
                 if incumbent
                     .as_ref()
                     .is_none_or(|(inc, _)| obj < inc - OBJ_TOL)
@@ -1119,7 +1137,7 @@ fn select_pseudocost_var(pc: &PseudoCosts, x: &[f64], violated: &[usize]) -> usi
 }
 
 /// Converts a [`Model`] to minimization computational form.
-fn lower_to_lp(model: &Model) -> LpProblem {
+pub(crate) fn lower_to_lp(model: &Model) -> LpProblem {
     let n = model.num_vars();
     let mut p = LpProblem::new(n);
     let flip = match model.sense() {
@@ -1188,7 +1206,7 @@ fn start_is_feasible(model: &Model, p: &LpProblem, int_vars: &[usize], x: &[f64]
     true
 }
 
-fn recompute_objective(p: &LpProblem, x: &[f64]) -> f64 {
+pub(crate) fn recompute_objective(p: &LpProblem, x: &[f64]) -> f64 {
     p.obj_offset + p.obj.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
 }
 

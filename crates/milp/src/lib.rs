@@ -42,6 +42,7 @@
 
 mod backend;
 mod branch;
+mod certify;
 mod error;
 mod expr;
 mod model;
@@ -56,6 +57,7 @@ pub use backend::{
 #[allow(deprecated)]
 pub use branch::BranchConfig;
 pub use branch::{solve, solve_seeded, solve_with, BranchRule, SolveOptions};
+pub use certify::certify_solution;
 pub use error::MilpError;
 pub use expr::{LinExpr, Var};
 pub use model::{Cmp, Constraint, Model, Sense, VarKind};

@@ -784,7 +784,14 @@ impl SimplexEngine {
                 .map(|i| self.cost[n + m + i] * self.x[n + m + i])
                 .sum();
             if phase1 > 1e-6 {
-                return Ok(self.counters_only(LpStatus::Infeasible));
+                // The phase-1 optimal duals form a Farkas ray: `cost` is
+                // still the phase-1 objective here, so btran of the basic
+                // costs prices the rows of the infeasibility LP. Certifying
+                // replays pick them up to prove the prune.
+                let cb: Vec<f64> = self.basis.iter().map(|&j| self.cost[j]).collect();
+                let mut sol = self.counters_only(LpStatus::Infeasible);
+                sol.duals = self.btran(&cb);
+                return Ok(sol);
             }
             // Freeze artificials.
             for i in 0..m {

@@ -69,19 +69,23 @@ pub struct SolveStats {
     /// proven.
     pub mip_gap: f64,
     /// Every improvement of the incumbent, in the order found. Objectives
-    /// are recorded in minimization form, so a sequential search yields a
-    /// monotone nonincreasing trajectory; a parallel root split
-    /// concatenates per-child trajectories, which need not interleave
-    /// monotonically.
+    /// are recorded in minimization form and the trajectory is monotone
+    /// strictly decreasing, ending at the returned solution's objective —
+    /// for sequential searches by construction, and for a parallel root
+    /// split because the merge renumbers child improvements into the
+    /// deterministic depth-first exploration order and keeps only the
+    /// strict improvements.
     pub incumbents: Vec<Incumbent>,
 }
 
 impl SolveStats {
     /// Folds another run's statistics into this one (used when merging
     /// the results of a parallel root split). Counter fields add;
-    /// `best_bound` takes the minimum; incumbent trajectories
-    /// concatenate; `mip_gap` is left for the caller to recompute once
-    /// the merged incumbent is known.
+    /// `best_bound` takes the minimum. The incumbent trajectory is *not*
+    /// touched: children of a parallel split re-record the shared seed and
+    /// number nodes from their own root, so a blind concatenation would
+    /// duplicate entries and break monotonicity — the merge site filters
+    /// and renumbers instead.
     pub fn absorb(&mut self, other: &SolveStats) {
         self.nodes += other.nodes;
         self.nodes_pruned += other.nodes_pruned;
@@ -94,7 +98,6 @@ impl SolveStats {
         self.presolve_rows_removed += other.presolve_rows_removed;
         self.presolve_bounds_tightened += other.presolve_bounds_tightened;
         self.best_bound = self.best_bound.min(other.best_bound);
-        self.incumbents.extend(other.incumbents.iter().cloned());
     }
 }
 

@@ -130,6 +130,13 @@ pub enum SolveOp {
     /// bytecode shape. The compiled bytecode is itself content-addressed
     /// and shared across requests that differ only in deadline or solver.
     Evaluate,
+    /// Compile (validation off) with the certified-optimality gate: the
+    /// solver's proof is exported as a `dvs-cert` certificate, replayed by
+    /// the independent exact-arithmetic checker, and returned (encoded
+    /// certificate + checker report) alongside the compile result. The
+    /// certificate is byte-stable and rides in the content-addressed
+    /// cache like any other result body.
+    Certify,
 }
 
 impl SolveOp {
@@ -140,6 +147,7 @@ impl SolveOp {
             SolveOp::Compile => "compile",
             SolveOp::Verify => "verify",
             SolveOp::Evaluate => "evaluate",
+            SolveOp::Certify => "certify",
         }
     }
 }
@@ -269,7 +277,7 @@ pub enum Request {
     Shutdown,
     /// The last completed request trace trees, as Chrome trace events.
     Traces,
-    /// A compile, verify or evaluate solve.
+    /// A compile, verify, evaluate or certify solve.
     Solve(SolveRequest),
 }
 
@@ -301,6 +309,10 @@ impl Request {
             )?)),
             "evaluate" => Ok(Request::Solve(SolveRequest::from_json(
                 SolveOp::Evaluate,
+                &v,
+            )?)),
+            "certify" => Ok(Request::Solve(SolveRequest::from_json(
+                SolveOp::Certify,
                 &v,
             )?)),
             other => Err(format!("unknown op `{other}`")),
@@ -454,6 +466,28 @@ mod tests {
         assert_eq!(Request::parse(&req.to_json().dump()).unwrap(), req);
         match Request::parse("{\"op\":\"evaluate\",\"benchmark\":\"gsm\"}").unwrap() {
             Request::Solve(s) => assert_eq!(s.op, SolveOp::Evaluate),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certify_requests_parse_and_round_trip() {
+        let req = Request::Solve(SolveRequest {
+            op: SolveOp::Certify,
+            benchmark: "gsm".into(),
+            deadline_index: 2,
+            levels: 3,
+            capacitance_uf: 0.05,
+            solver: "bnb".into(),
+            timeout_ms: None,
+            trace_id: None,
+        });
+        assert_eq!(Request::parse(&req.to_json().dump()).unwrap(), req);
+        match Request::parse("{\"op\":\"certify\",\"benchmark\":\"epic\"}").unwrap() {
+            Request::Solve(s) => {
+                assert_eq!(s.op, SolveOp::Certify);
+                assert_eq!(s.op.name(), "certify");
+            }
             other => panic!("got {other:?}"),
         }
     }

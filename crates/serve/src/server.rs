@@ -81,12 +81,16 @@ struct Job {
 
 /// What one executed solve produced: the result body plus the timings
 /// the worker side measured, which the connection thread turns into
-/// `queue-wait` and `solve` trace spans.
+/// `queue-wait` and `solve` trace spans (plus a `cert-check` span for
+/// certify solves).
 #[derive(Clone)]
 struct SolveOutcome {
     body: Result<String, String>,
     queue_wait_us: f64,
     solve_us: f64,
+    /// Wall time of the independent certificate check, when the solve
+    /// was a [`SolveOp::Certify`].
+    cert_check_us: Option<f64>,
 }
 
 /// The rendezvous between one in-flight solve and its waiters. The slot
@@ -422,6 +426,18 @@ fn handle_solve(state: &State, req: &SolveRequest, started: Instant) -> String {
                         queue_start + outcome.queue_wait_us,
                         outcome.solve_us,
                     );
+                    // The independent certificate check runs at the tail of
+                    // the solve; surface it as its own span so `dvsc client
+                    // trace certify` shows where the verification time went.
+                    if let Some(cert_us) = outcome.cert_check_us {
+                        let solve_end = queue_start + outcome.queue_wait_us + outcome.solve_us;
+                        tr.record(
+                            ROOT_SPAN,
+                            "cert-check",
+                            (solve_end - cert_us).max(0.0),
+                            cert_us,
+                        );
+                    }
                     if dvs_obs::enabled() {
                         dvs_obs::histogram("serve.queue_wait_us", outcome.queue_wait_us);
                     }
@@ -569,11 +585,15 @@ fn dispatcher(state: &State) {
             let _d = dvs_obs::enter_domain(domain);
             let queue_wait_us = us_since(job.enqueued);
             let solve_start = Instant::now();
-            let body = execute_solve(&job.request);
+            let (body, cert_check_us) = match execute_solve(&job.request) {
+                Ok(s) => (Ok(s.body), s.cert_check_us),
+                Err(e) => (Err(e), None),
+            };
             let outcome = SolveOutcome {
                 body,
                 queue_wait_us,
                 solve_us: us_since(solve_start),
+                cert_check_us,
             };
             (job.key, job.canonical, outcome)
         });
@@ -613,8 +633,9 @@ fn ladder(levels: usize) -> Option<VoltageLadder> {
 }
 
 /// Builds the compiler a request describes. `Compile` validates on the
-/// simulator; `Verify` skips validation (the static pass runs instead).
-/// Both pin `solver_jobs` to 1 so results are reproducible and cacheable.
+/// simulator; `Verify` skips validation (the static pass runs instead);
+/// `Certify` turns on the certified-optimality gate. All pin
+/// `solver_jobs` to 1 so results are reproducible and cacheable.
 fn build_compiler(req: &SolveRequest, ladder: VoltageLadder) -> Result<DvsCompiler, String> {
     let solver = dvs_compiler::SolverChoice::parse(&req.solver)
         .ok_or_else(|| format!("bad solver `{}`", req.solver))?;
@@ -624,6 +645,7 @@ fn build_compiler(req: &SolveRequest, ladder: VoltageLadder) -> Result<DvsCompil
         TransitionModel::with_capacitance_uf(req.capacitance_uf),
     )
     .validation(req.op == SolveOp::Compile)
+    .certify(req.op == SolveOp::Certify)
     .solver_jobs(1)
     .solver(solver)
     .build()
@@ -701,10 +723,26 @@ fn cached_bytecode(
         .clone()
 }
 
+/// A finished solve: the canonical JSON body plus worker-side timings
+/// that ride the trace tree but never the (cacheable) body.
+struct Solved {
+    body: String,
+    cert_check_us: Option<f64>,
+}
+
+impl Solved {
+    fn plain(body: String) -> Solved {
+        Solved {
+            body,
+            cert_check_us: None,
+        }
+    }
+}
+
 /// Runs one solve to its canonical JSON body. This is the expensive path
 /// (tens to hundreds of milliseconds per workload); everything above it
 /// exists to avoid re-entering it.
-fn execute_solve(req: &SolveRequest) -> Result<String, String> {
+fn execute_solve(req: &SolveRequest) -> Result<Solved, String> {
     let b = find_benchmark(&req.benchmark).ok_or("benchmark vanished after admission")?;
     let ladder = ladder(req.levels).ok_or("ladder vanished after admission")?;
     let compiler = build_compiler(req, ladder.clone())?;
@@ -727,7 +765,40 @@ fn execute_solve(req: &SolveRequest) -> Result<String, String> {
             let result = compiler
                 .compile_and_validate(&cfg, &trace, &profile, deadline)
                 .map_err(|e| format!("compile failed: {e}"))?;
-            Ok(header(vec![("compile".to_string(), result.to_json())]))
+            Ok(Solved::plain(header(vec![(
+                "compile".to_string(),
+                result.to_json(),
+            )])))
+        }
+        SolveOp::Certify => {
+            let result = compiler
+                .compile(&cfg, &profile, deadline)
+                .map_err(|e| format!("compile failed: {e}"))?;
+            let cert = result
+                .milp
+                .certificate
+                .as_ref()
+                .ok_or("certify solve produced no certificate")?;
+            // The encoded certificate is canonical JSON; embedding the
+            // parsed object keeps the cached body one self-describing
+            // document (`Json` round-trips numbers bit-exactly).
+            let encoded = Json::parse(&cert.encoded)
+                .map_err(|e| format!("certificate did not re-parse: {e}"))?;
+            let body = header(vec![
+                ("compile".to_string(), result.to_json()),
+                (
+                    "certificate".to_string(),
+                    Json::obj([
+                        ("report", cert.report.to_json()),
+                        ("bytes", Json::from(cert.encoded.len() as u64)),
+                        ("encoded", encoded),
+                    ]),
+                ),
+            ]);
+            Ok(Solved {
+                body,
+                cert_check_us: Some(cert.check_us),
+            })
         }
         SolveOp::Verify => {
             let result = compiler
@@ -743,7 +814,10 @@ fn execute_solve(req: &SolveRequest) -> Result<String, String> {
                 emitted: Some(&emitted),
                 deadline_us: Some(deadline),
             });
-            Ok(header(vec![("report".to_string(), report.to_json())]))
+            Ok(Solved::plain(header(vec![(
+                "report".to_string(),
+                report.to_json(),
+            )])))
         }
         SolveOp::Evaluate => {
             let result = compiler
@@ -752,7 +826,7 @@ fn execute_solve(req: &SolveRequest) -> Result<String, String> {
             let code = cached_bytecode(b, req, &compiler, &cfg, &trace, &ladder);
             let run = code.replay(&result.milp.schedule);
             let stats = code.stats();
-            Ok(header(vec![(
+            Ok(Solved::plain(header(vec![(
                 "evaluate".to_string(),
                 Json::obj([
                     ("time_us", Json::from(run.time_us)),
@@ -776,7 +850,7 @@ fn execute_solve(req: &SolveRequest) -> Result<String, String> {
                         ]),
                     ),
                 ]),
-            )]))
+            )])))
         }
     }
 }

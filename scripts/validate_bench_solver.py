@@ -8,21 +8,25 @@ keys, no failed cells, a monotone-nonincreasing incumbent trajectory per
 case (objectives are in minimization form, so every new incumbent must
 improve or tie the last), and — on `continuous` backend cells — that the
 exact continuous-voltage optimum agrees with the branch-and-bound LP
-relaxation of the same model to 1e-6 relative. With a BASELINE,
-additionally diffs the deterministic search counters (`stats`, plus the
-problem shape) of every case whose name appears in both reports —
+relaxation of the same model to 1e-6 relative. Every case must carry an
+accepted optimality certificate: `certificate_bytes` (a positive,
+deterministic proof size) and `cert_check_us` (the independent checker's
+wall time — never compared). With a BASELINE, additionally diffs the
+deterministic search counters (`stats`, plus the problem shape and
+`certificate_bytes`) of every case whose name appears in both reports —
 wall-clock fields are never compared. With `--perf-smoke`, the strict
-counter diff is replaced by a regression gate: the report's total
+counter diff is replaced by two regression gates: the report's total
 branch-and-bound nodes over cases shared with the baseline must not
-exceed the baseline's by more than 10%. Exits nonzero on the first class
-of failure, printing every instance of it.
+exceed the baseline's by more than 10%, and the total certificate size
+over shared cases must not grow by more than 25%. Exits nonzero on the
+first class of failure, printing every instance of it.
 """
 
 import json
 import sys
 
 TOP_KEYS = {"schema", "mode", "totals", "cases"}
-TOTALS_KEYS = {"cases", "nodes", "lp_iterations", "pivots"}
+TOTALS_KEYS = {"cases", "nodes", "lp_iterations", "pivots", "certificate_bytes"}
 CASE_KEYS = {
     "name",
     "backend",
@@ -35,6 +39,8 @@ CASE_KEYS = {
     "binary_vars",
     "constraints",
     "predicted_energy_uj",
+    "certificate_bytes",
+    "cert_check_us",
     "reps",
     "wall_us",
     "stats",
@@ -56,11 +62,19 @@ STATS_KEYS = {
     "mip_gap",
     "incumbents",
 }
-# The per-case fields that must match a baseline bit-for-bit. `reps`
-# and `wall_us` are excluded by construction: repetition count and wall
-# clock are the two knobs a quick run is allowed to move. The continuous
-# extras compare as None == None on bnb cells.
-DETERMINISTIC_CASE_KEYS = (CASE_KEYS | CONTINUOUS_KEYS) - {"reps", "wall_us"}
+# The per-case fields that must match a baseline bit-for-bit. `reps`,
+# `wall_us` and `cert_check_us` are excluded by construction: repetition
+# count and wall clock are the knobs a quick run is allowed to move. The
+# continuous extras compare as None == None on bnb cells.
+DETERMINISTIC_CASE_KEYS = (CASE_KEYS | CONTINUOUS_KEYS) - {
+    "reps",
+    "wall_us",
+    "cert_check_us",
+}
+# Total certificate size over shared cells may not grow past this factor
+# in --perf-smoke mode (proofs ballooning means the certifying replay's
+# trees got deeper — a real cost for anyone storing or shipping them).
+CERT_SIZE_GATE = 1.25
 
 
 def fail(errors, label):
@@ -145,18 +159,28 @@ def diff_against_baseline(report, baseline, report_path, baseline_path):
 
 
 def perf_smoke(report, baseline, report_path, baseline_path):
-    """Node-count regression gate: over the branch-and-bound cells shared
-    with the baseline, total nodes explored may not grow by more than 10%.
-    Unlike the strict counter diff, this tolerates intentional search
-    changes — it only catches the solver getting meaningfully slower."""
+    """Regression gates: over the branch-and-bound cells shared with the
+    baseline, total nodes explored may not grow by more than 10%, and over
+    all shared cells total certificate size may not grow past
+    CERT_SIZE_GATE. Unlike the strict counter diff, this tolerates
+    intentional search changes — it only catches the solver getting
+    meaningfully slower or its proofs meaningfully fatter."""
     base_by_name = {c["name"]: c for c in baseline["cases"]}
     report_nodes = 0
     baseline_nodes = 0
+    report_cert = 0
+    baseline_cert = 0
     compared = 0
+    cert_compared = 0
     errors = []
     for case in report["cases"]:
         base = base_by_name.get(case["name"])
-        if base is None or case.get("backend") == "continuous":
+        if base is None:
+            continue
+        cert_compared += 1
+        report_cert += case["certificate_bytes"]
+        baseline_cert += base["certificate_bytes"]
+        if case.get("backend") == "continuous":
             continue
         compared += 1
         report_nodes += case["stats"]["nodes"]
@@ -169,10 +193,17 @@ def perf_smoke(report, baseline, report_path, baseline_path):
             f"{report_nodes} over {compared} shared B&B cases vs "
             f"{baseline_nodes} in {baseline_path}"
         )
+    if cert_compared and report_cert > CERT_SIZE_GATE * baseline_cert:
+        errors.append(
+            f"certificate size grew past {CERT_SIZE_GATE}x baseline: "
+            f"{report_path} totals {report_cert} bytes over {cert_compared} "
+            f"shared cases vs {baseline_cert} in {baseline_path}"
+        )
     fail(errors, "perf smoke failed")
     print(
         f"perf smoke ok: {report_nodes} nodes vs baseline {baseline_nodes} "
-        f"over {compared} shared B&B cases"
+        f"over {compared} shared B&B cases; {report_cert} certificate bytes "
+        f"vs baseline {baseline_cert} over {cert_compared} shared cases"
     )
 
 

@@ -28,6 +28,14 @@
 //!   repeated solves and are machine-dependent noise as far as the
 //!   baseline is concerned. [`deterministic_view`] strips them, and the
 //!   determinism test compares only what survives.
+//!
+//! Every cell additionally runs one *certifying* solve: `certificate_bytes`
+//! records the size of the canonical `dvs-cert.v1` proof (deterministic,
+//! diffed against the baseline with a size-regression gate in
+//! `scripts/validate_bench_solver.py`) and `cert_check_us` the independent
+//! checker's wall time (noise, stripped like `wall_us`). A cell whose
+//! certificate the checker rejects renders as an error cell, which the
+//! validator refuses.
 
 use dvs_check::{gen_cfg, gen_trace, DeadlineSpec, Gen};
 use dvs_compiler::{MilpFormulation, SolverChoice};
@@ -211,6 +219,45 @@ fn run_cell(cell: &Cell) -> Json {
         Vec::new()
     };
 
+    // Every cell must certify: one certifying solve feeds the certificate
+    // columns. The encoded size is deterministic (the proof depends only
+    // on the model and the answer, never on thread count or wall clock)
+    // and is diffed against the committed baseline; the independent
+    // checker's wall time is noise and is stripped by
+    // [`deterministic_view`]. A rejected or missing certificate is an
+    // error cell — the baseline validator refuses it.
+    let formulation = formulation.with_certify(true);
+    let (certificate_bytes, cert_check_us) = match formulation.solve() {
+        Ok(certified) => match certified.certificate {
+            Some(c) if c.report.ok() => (c.encoded.len(), c.check_us),
+            Some(c) => {
+                let r = c.report.reject.expect("not ok implies reject");
+                return Json::obj([
+                    ("name", Json::from(cell.name())),
+                    ("seed", Json::from(cell.seed)),
+                    (
+                        "error",
+                        Json::from(format!("certificate rejected: {}: {}", r.code, r.detail)),
+                    ),
+                ]);
+            }
+            None => {
+                return Json::obj([
+                    ("name", Json::from(cell.name())),
+                    ("seed", Json::from(cell.seed)),
+                    ("error", Json::from("certification produced no certificate")),
+                ]);
+            }
+        },
+        Err(e) => {
+            return Json::obj([
+                ("name", Json::from(cell.name())),
+                ("seed", Json::from(cell.seed)),
+                ("error", Json::from(format!("certifying solve failed: {e}"))),
+            ]);
+        }
+    };
+
     let s = &out.solve_stats;
     let mut case = Json::obj([
         ("name", Json::from(cell.name())),
@@ -224,6 +271,8 @@ fn run_cell(cell: &Cell) -> Json {
         ("binary_vars", Json::from(out.binary_vars)),
         ("constraints", Json::from(out.constraints)),
         ("predicted_energy_uj", Json::from(out.predicted_energy_uj)),
+        ("certificate_bytes", Json::from(certificate_bytes)),
+        ("cert_check_us", Json::from(cert_check_us)),
         ("reps", Json::from(cell.reps)),
         (
             "wall_us",
@@ -315,22 +364,31 @@ pub fn run_bench_solver(config: &BenchSolverConfig) -> Json {
                 ("nodes", Json::from(total("nodes"))),
                 ("lp_iterations", Json::from(total("lp_iterations"))),
                 ("pivots", Json::from(total("pivots"))),
+                (
+                    "certificate_bytes",
+                    Json::from(
+                        cases
+                            .iter()
+                            .filter_map(|c| c.get("certificate_bytes").and_then(Json::as_u64))
+                            .sum::<u64>(),
+                    ),
+                ),
             ]),
         ),
         ("cases", Json::Arr(cases)),
     ])
 }
 
-/// The report with every machine-dependent field (`wall_us` subtrees)
-/// removed — what must be byte-stable across `--jobs` values and CI
-/// runs on the same toolchain.
+/// The report with every machine-dependent field (`wall_us` subtrees and
+/// the `cert_check_us` checker timings) removed — what must be
+/// byte-stable across `--jobs` values and CI runs on the same toolchain.
 #[must_use]
 pub fn deterministic_view(v: &Json) -> Json {
     match v {
         Json::Obj(members) => Json::Obj(
             members
                 .iter()
-                .filter(|(k, _)| k != "wall_us")
+                .filter(|(k, _)| k != "wall_us" && k != "cert_check_us")
                 .map(|(k, val)| (k.clone(), deterministic_view(val)))
                 .collect(),
         ),
@@ -384,10 +442,17 @@ mod tests {
     fn deterministic_view_strips_wall_clock_only() {
         let j = Json::obj([
             ("stats", Json::obj([("nodes", Json::from(3usize))])),
+            ("certificate_bytes", Json::from(1234usize)),
+            ("cert_check_us", Json::from(56.7)),
             ("wall_us", Json::obj([("p50", Json::from(1.5))])),
         ]);
         let v = deterministic_view(&j);
         assert!(v.get("wall_us").is_none());
+        assert!(v.get("cert_check_us").is_none());
+        assert_eq!(
+            v.get("certificate_bytes").and_then(Json::as_u64),
+            Some(1234)
+        );
         assert_eq!(
             v.get("stats")
                 .and_then(|s| s.get("nodes"))

@@ -3,7 +3,7 @@
 //! ```text
 //! dvsc list
 //! dvsc compile --benchmark gsm --deadline 3 [--levels 3] [--capacitance 0.05]
-//!              [--solver auto|bnb|continuous] [--emit listing.s]
+//!              [--solver auto|bnb|continuous] [--certify] [--emit listing.s]
 //!              [--no-validate] [--metrics] [--trace-out trace.json] [--jobs N]
 //! dvsc analyze --benchmark epic [--levels 7]
 //! dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J]
@@ -13,10 +13,10 @@
 //!             [--capacitance µF] [--jobs N]
 //! dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B]
 //!            [--queue-depth D]
-//! dvsc client <compile|verify|evaluate|ping|stats|traces|shutdown>
+//! dvsc client <compile|verify|evaluate|certify|ping|stats|traces|shutdown>
 //!             [--addr HOST:PORT] [--benchmark NAME] [--deadline 1..5]
 //!             [--solver NAME] [--json]
-//! dvsc client trace <compile|verify|evaluate> --benchmark NAME
+//! dvsc client trace <compile|verify|evaluate|certify> --benchmark NAME
 //!             [--deadline 1..5]
 //! dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M]
 //!               [--benchmark NAME]
@@ -30,7 +30,10 @@
 //! dispatches by model shape, `bnb` forces branch-and-bound, and
 //! `continuous` forces the exact continuous-voltage algorithm (which
 //! rounds integer models to a feasible schedule and reports the
-//! continuous optimum as the bound). `analyze` prints the §3 analytical parameters and the
+//! continuous optimum as the bound). `--certify` exports the solver's
+//! optimality proof as a `dvs-cert` certificate and replays it through
+//! the independent exact-arithmetic checker, failing the compile (exit 1)
+//! if the checker rejects it. `analyze` prints the §3 analytical parameters and the
 //! savings bound per deadline. `check` fuzzes the whole pipeline with
 //! seeded random programs and cross-checks the MILP against brute-force
 //! enumeration, analytical lower bounds and simulator replay, shrinking
@@ -96,6 +99,7 @@ struct Args {
     capacitance_uf: f64,
     emit: Option<String>,
     validate: bool,
+    certify: bool,
     metrics: bool,
     trace_out: Option<String>,
     jobs: usize,
@@ -123,7 +127,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dvsc list\n  dvsc [compile] --benchmark <name> [--deadline 1..5] \
          [--levels N] [--capacitance µF] [--emit FILE] [--no-validate]\n  \
-         \x20              [--solver auto|bnb|continuous] [--metrics] \
+         \x20              [--solver auto|bnb|continuous] [--certify] [--metrics] \
          [--trace-out FILE] [--jobs N]\n  \
          dvsc analyze --benchmark <name> [--levels N]\n  \
          dvsc check [--seeds N] [--seed-base S] [--max-blocks K] [--jobs J] \
@@ -132,11 +136,11 @@ fn usage() -> ExitCode {
          [--dot FILE]\n  \
          \x20              [--mutate SEED] [--levels N] [--capacitance µF] [--jobs N]\n  \
          dvsc serve [--addr HOST:PORT] [--jobs N] [--cache-bytes B] [--queue-depth D]\n  \
-         dvsc client <compile|verify|evaluate|ping|stats|traces|shutdown> \
+         dvsc client <compile|verify|evaluate|certify|ping|stats|traces|shutdown> \
          [--addr HOST:PORT] [--benchmark <name>]\n  \
          \x20              [--deadline 1..5] [--levels N] [--capacitance µF] \
          [--solver NAME] [--json]\n  \
-         dvsc client trace <compile|verify|evaluate> --benchmark <name> \
+         dvsc client trace <compile|verify|evaluate|certify> --benchmark <name> \
          [--deadline 1..5]\n  \
          dvsc loadtest [--addr HOST:PORT] [--clients N] [--requests M] \
          [--benchmark <name>]\n  \
@@ -166,6 +170,7 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
         capacitance_uf: 0.05,
         emit: None,
         validate: true,
+        certify: false,
         metrics: false,
         trace_out: None,
         jobs: 1,
@@ -224,6 +229,7 @@ fn parse(argv: &[String]) -> Result<(String, Args), String> {
             }
             "--emit" | "-e" => args.emit = Some(value(flag, &mut it)?.clone()),
             "--no-validate" => args.validate = false,
+            "--certify" => args.certify = true,
             "--metrics" | "-m" => args.metrics = true,
             "--trace-out" | "-t" => args.trace_out = Some(value(flag, &mut it)?.clone()),
             "--jobs" | "-j" => {
@@ -493,7 +499,7 @@ fn print_trace(tree: &obs::json::Json) {
 fn run_client(args: &Args) -> u8 {
     let Some(full_op) = args.client_op.as_deref() else {
         eprintln!(
-            "client requires an operation: compile|verify|evaluate|ping|stats|traces|shutdown"
+            "client requires an operation: compile|verify|evaluate|certify|ping|stats|traces|shutdown"
         );
         return 2;
     };
@@ -512,7 +518,7 @@ fn run_client(args: &Args) -> u8 {
         "stats" => serve::Request::Stats,
         "traces" => serve::Request::Traces,
         "shutdown" => serve::Request::Shutdown,
-        "compile" | "verify" | "evaluate" => {
+        "compile" | "verify" | "evaluate" | "certify" => {
             let Some(name) = &args.benchmark else {
                 eprintln!("client {op} requires --benchmark");
                 return 2;
@@ -521,6 +527,7 @@ fn run_client(args: &Args) -> u8 {
                 op: match op {
                     "compile" => serve::SolveOp::Compile,
                     "verify" => serve::SolveOp::Verify,
+                    "certify" => serve::SolveOp::Certify,
                     _ => serve::SolveOp::Evaluate,
                 },
                 benchmark: name.clone(),
@@ -542,13 +549,13 @@ fn run_client(args: &Args) -> u8 {
         other => {
             eprintln!(
                 "unknown client operation `{other}` \
-                 (compile|verify|evaluate|ping|stats|traces|shutdown)"
+                 (compile|verify|evaluate|certify|ping|stats|traces|shutdown)"
             );
             return 2;
         }
     };
     if want_trace && !matches!(request, serve::Request::Solve(_)) {
-        eprintln!("client trace takes a solve operation: compile|verify|evaluate");
+        eprintln!("client trace takes a solve operation: compile|verify|evaluate|certify");
         return 2;
     }
     // The server enforces the request deadline itself, so the socket
@@ -844,6 +851,7 @@ fn run_compile(args: &Args) -> u8 {
         TransitionModel::with_capacitance_uf(args.capacitance_uf),
     )
     .validation(args.validate)
+    .certify(args.certify)
     .jobs(args.jobs)
     .solver_jobs(args.jobs.min(2))
     .solver(
@@ -874,6 +882,20 @@ fn run_compile(args: &Args) -> u8 {
         result.milp.solve_stats.nodes,
         result.milp.solve_time.as_secs_f64() * 1e3,
     );
+    // A rejected certificate never reaches this point: the compiler gate
+    // turns it into a `PassError::Certify` failure (exit 1 above).
+    if let Some(cert) = &result.milp.certificate {
+        println!(
+            "certificate: accepted by independent checker ({} bound / {} farkas / {} empty \
+             leaves, {} branch nodes, {} bytes, checked in {:.0} µs)",
+            cert.report.bound_leaves,
+            cert.report.farkas_leaves,
+            cert.report.empty_leaves,
+            cert.report.branch_nodes,
+            cert.encoded.len(),
+            cert.check_us,
+        );
+    }
     if let Some((m, t, e)) = result.single_mode {
         println!(
             "best single mode: {} -> {:.1} µs, {:.2} µJ  (savings {:.1}%)",

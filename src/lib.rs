@@ -6,6 +6,7 @@
 pub mod bench_replay;
 pub mod bench_solver;
 
+pub use dvs_cert as cert;
 pub use dvs_check as check;
 pub use dvs_compiler as compiler;
 pub use dvs_ir as ir;
